@@ -1,0 +1,60 @@
+//! Node-level kernel benchmarks: the `zgemm`/`zgesv`/`zhesv` workloads of
+//! §3.C and the §5.E Hermitian saving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtx_linalg::{ldl_factor_nopiv, lu_factor, lu_factor_nopiv, matmul, qr_factor, ZMat};
+use std::hint::black_box;
+
+fn hermitian_pd(n: usize, seed: u64) -> ZMat {
+    let g = ZMat::random(n, n, seed);
+    let mut a = &g * &g.adjoint();
+    for i in 0..n {
+        a[(i, i)] = a[(i, i)] + qtx_linalg::c64(n as f64, 0.0);
+    }
+    a.hermitianize();
+    a
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zgemm");
+    for n in [32usize, 64, 128] {
+        let a = ZMat::random(n, n, 1);
+        let b = ZMat::random(n, n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul(&a, &b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factorization");
+    g.sample_size(20);
+    for n in [48usize, 96] {
+        let a = hermitian_pd(n, 3);
+        g.bench_with_input(BenchmarkId::new("zgesv (pivoted LU)", n), &n, |bench, _| {
+            bench.iter(|| black_box(lu_factor(&a).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("zgesv_nopiv (MAGMA-style)", n), &n, |bench, _| {
+            bench.iter(|| black_box(lu_factor_nopiv(&a).unwrap()));
+        });
+        // The §5.E kernel: Hermitian LDLᴴ at half the LU flops.
+        g.bench_with_input(BenchmarkId::new("zhesv_nopiv (Hermitian)", n), &n, |bench, _| {
+            bench.iter(|| black_box(ldl_factor_nopiv(&a).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_qr_eig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr_eig");
+    g.sample_size(10);
+    let a = ZMat::random(64, 32, 5);
+    g.bench_function("qr_64x32", |bench| bench.iter(|| black_box(qr_factor(&a))));
+    let m = ZMat::random(32, 32, 6);
+    g.bench_function("eig_32", |bench| bench.iter(|| black_box(qtx_linalg::eig(&m).unwrap())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_factorizations, bench_qr_eig);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! OBC algorithm benchmark: FEAST vs shift-and-invert vs Sancho–Rubio
+//! decimation on the same lead — the algorithmic content of Fig. 8's
+//! orange (OBC) bars.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qtx_atomistic::{BasisKind, DeviceBuilder};
+use qtx_core::Device;
+use qtx_obc::{
+    self_energy, self_energy_decimation, CompanionPencil, FeastConfig, LeadBlocks, ObcMethod,
+    Side,
+};
+use std::hint::black_box;
+
+fn dft_lead() -> (LeadBlocks, f64) {
+    let spec = DeviceBuilder::nanowire(0.8).cells(8).basis(BasisKind::Dft3sp).build();
+    let dev = Device::build(spec).expect("device");
+    let dk = dev.at_kz(0.0);
+    let e = dk.lead_l.bands_at(1.1).into_iter().find(|&b| b > 1.0).expect("band");
+    (dk.lead_l, e)
+}
+
+fn bench_obc(c: &mut Criterion) {
+    let (lead, e) = dft_lead();
+    let mut g = c.benchmark_group("obc_self_energy");
+    g.sample_size(10);
+    g.bench_function("feast_annulus", |b| {
+        b.iter(|| {
+            black_box(
+                self_energy(&lead, e, Side::Left, ObcMethod::Feast(FeastConfig::default()))
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("shift_invert_dense", |b| {
+        b.iter(|| black_box(self_energy(&lead, e, Side::Left, ObcMethod::ShiftInvert).unwrap()))
+    });
+    g.bench_function("sancho_rubio_decimation", |b| {
+        b.iter(|| black_box(self_energy_decimation(&lead, e, 1e-8, Side::Left).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_feast_pieces(c: &mut Criterion) {
+    let (lead, e) = dft_lead();
+    let pencil = CompanionPencil::at_energy(&lead, e, 0.0);
+    let mut g = c.benchmark_group("feast_pieces");
+    g.sample_size(10);
+    let z = qtx_linalg::Complex64::from_polar(1.0, 0.37);
+    g.bench_function("poly_factorization", |b| {
+        b.iter(|| black_box(pencil.factor_poly(z).unwrap()))
+    });
+    let f = pencil.factor_poly(z).unwrap();
+    let y = qtx_linalg::ZMat::random(pencil.nbc(), 16, 9);
+    g.bench_function("shifted_solve_16rhs", |b| {
+        b.iter(|| black_box(pencil.solve_shifted(&f, z, &y)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obc, bench_feast_pieces);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end energy-point benchmark: the full OBC + Eq. 5 pipeline per
+//! (E, k) pixel in the tight-binding vs DFT-like basis — the cost gap that
+//! motivated the whole paper (Fig. 3 → Fig. 8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qtx_atomistic::{BasisKind, DeviceBuilder};
+use qtx_core::transport::solve_energy_point;
+use qtx_core::Device;
+use qtx_obc::ObcMethod;
+use std::hint::black_box;
+
+fn device(basis: BasisKind) -> (Device, f64) {
+    let spec = DeviceBuilder::nanowire(0.8).cells(8).basis(basis).build();
+    let dev = Device::build(spec).expect("device");
+    let dk = dev.at_kz(0.0);
+    let e = dk.lead_l.bands_at(1.0).into_iter().find(|&b| b > 0.5).expect("band");
+    (dev, e)
+}
+
+fn bench_energy_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("energy_point");
+    g.sample_size(10);
+    for (name, basis) in [("tight_binding", BasisKind::TightBinding), ("dft_3sp", BasisKind::Dft3sp)] {
+        let (dev, e) = device(basis);
+        let dk = dev.at_kz(0.0);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(solve_energy_point(&dk, e, &dev.config).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_obc_method_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the OBC algorithm is the knob that moved the
+    // paper from 1000-atom to 50 000-atom systems.
+    let (dev, e) = device(BasisKind::Dft3sp);
+    let dk = dev.at_kz(0.0);
+    let mut g = c.benchmark_group("obc_ablation_full_point");
+    g.sample_size(10);
+    for (name, obc) in [
+        ("feast", ObcMethod::default()),
+        ("shift_invert", ObcMethod::ShiftInvert),
+    ] {
+        let mut cfg = dev.config;
+        cfg.obc = obc;
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(solve_energy_point(&dk, e, &cfg).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_energy_point, bench_obc_method_ablation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Fig. 1(b): energy-resolved transmission through a Si nanowire,
+//! LDA (blue) vs HSE06 hybrid functional (red).
+//!
+//! Paper: d = 2.2 nm, L = 34.8 nm, 10 560 atoms. Here the cross-section is
+//! downscaled for laptop runtimes (same code path end to end: CP2K-lite →
+//! FEAST OBCs → SplitSolve → transmission); the observable comparison —
+//! the hybrid functional widening the zero-transmission gap — is preserved.
+
+use qtx_atomistic::{BasisKind, DeviceBuilder};
+use qtx_bench::{print_table, Row};
+use qtx_core::{transmission, Device};
+use qtx_cp2k::Functional;
+
+fn gap_width(spectrum: &[(f64, f64)]) -> f64 {
+    // Longest zero-transmission stretch (flushed at the window edge).
+    let mut best = 0.0f64;
+    let mut start: Option<f64> = None;
+    for &(e, t) in spectrum {
+        if t < 1e-6 {
+            start.get_or_insert(e);
+        } else if let Some(s) = start.take() {
+            best = best.max(e - s);
+        }
+    }
+    if let (Some(s), Some(&(last, _))) = (start, spectrum.last()) {
+        best = best.max(last - s);
+    }
+    best
+}
+
+fn main() {
+    let energies: Vec<f64> = (0..81).map(|i| -4.0 + i as f64 * 0.1).collect();
+    let mut rows = Vec::new();
+    let mut gaps = Vec::new();
+    let mut spectra = Vec::new();
+    for functional in [Functional::Lda, Functional::Hse06] {
+        let spec =
+            DeviceBuilder::nanowire(1.0).cells(8).basis(BasisKind::TightBinding).build();
+        let dev = Device::build_with_functional(spec, functional).expect("device");
+        let mut spectrum = Vec::new();
+        for &e in &energies {
+            let t = transmission(&dev, e).map(|r| r.transmission).unwrap_or(0.0);
+            spectrum.push((e, t));
+        }
+        gaps.push(gap_width(&spectrum));
+        spectra.push((functional, spectrum));
+    }
+    for &e in energies.iter().step_by(4) {
+        let lda = spectra[0].1.iter().find(|(x, _)| (*x - e).abs() < 1e-9).map(|p| p.1);
+        let hse = spectra[1].1.iter().find(|(x, _)| (*x - e).abs() < 1e-9).map(|p| p.1);
+        rows.push(Row::new(format!("E = {e:+.2} eV"), vec![
+            lda.unwrap_or(0.0),
+            hse.unwrap_or(0.0),
+        ]));
+    }
+    print_table(
+        "Fig. 1(b) — Si nanowire transmission: LDA vs HSE06",
+        &["energy", "T_LDA(E)", "T_HSE06(E)"],
+        &rows,
+    );
+    println!("\nzero-transmission gap:  LDA = {:.2} eV,  HSE06 = {:.2} eV", gaps[0], gaps[1]);
+    println!("paper: the hybrid functional reopens the LDA gap (red vs blue curves)");
+    assert!(gaps[1] > gaps[0] + 0.3, "HSE06 must widen the gap");
+}

@@ -1,0 +1,46 @@
+//! Fig. 9: OMEN's three-level parallelization — momentum (top), energy
+//! (middle), spatial domain decomposition (bottom) — demonstrated with
+//! real simulated-MPI ranks on a UTB device with a transverse k-grid.
+
+use qtx_atomistic::{BasisKind, DeviceBuilder};
+use qtx_bench::{print_table, Row};
+use qtx_core::{parallel_sweep, Device, SweepPlan};
+
+fn main() {
+    let spec = DeviceBuilder::utb(0.8).cells(8).basis(BasisKind::TightBinding).build();
+    let mut dev = Device::build(spec).expect("device");
+    dev.config.n_kz = 3;
+    let dk = dev.at_kz(0.0);
+    let edge = dk.lead_l.dispersive_band_min(0.1, 0.3).expect("edge");
+    dev.config.mu_l = edge + 0.15;
+    dev.config.mu_r = edge + 0.10;
+
+    let plan = SweepPlan::from_device(&dev, 0.03, 0.08);
+    println!("momentum points: {}", plan.k_points.len());
+    for (i, es) in plan.energies.iter().enumerate() {
+        println!("  k[{i}] = {:.3}: {} energy points", plan.k_points[i].0, es.len());
+    }
+    let n_ranks = 6;
+    let alloc = plan.allocate_ranks(n_ranks);
+    println!("dynamic rank allocation over {n_ranks} ranks (ref. [45]): {alloc:?}");
+
+    let result = parallel_sweep(&dev, &plan, n_ranks);
+    let rows: Vec<Row> = result
+        .spectrum
+        .iter()
+        .step_by((result.spectrum.len() / 12).max(1))
+        .map(|&(e, t)| Row::new(format!("E = {e:+.3}"), vec![t]))
+        .collect();
+    print_table(
+        "Fig. 9 — k-summed transmission from the 3-level parallel sweep",
+        &["energy", "sum_k w_k T(E,k)"],
+        &rows,
+    );
+    println!(
+        "\n{} samples over {} ranks; virtual comm time {:.3} ms",
+        result.samples.len(),
+        n_ranks,
+        result.comm_seconds * 1e3
+    );
+    println!("paper: k and E are almost embarrassingly parallel; the spatial level is SplitSolve");
+}

@@ -1,0 +1,32 @@
+//! Table II / Fig. 11(a): OMEN weak scaling on Titan — Si DG UTBFET with
+//! 23 040 atoms, 21 k-points, 4-node spatial domains, ~13–14 energy
+//! points per node.
+
+use qtx_bench::{print_table, Row};
+use qtx_machine::experiments::{fig11_weak, TABLE2_PAPER};
+
+fn main() {
+    let nodes: Vec<usize> = TABLE2_PAPER.iter().map(|r| r.0).collect();
+    let model = fig11_weak(&nodes);
+    let rows: Vec<Row> = model
+        .iter()
+        .zip(TABLE2_PAPER.iter())
+        .map(|(m, p)| {
+            Row::new(
+                format!("{} nodes", m.nodes),
+                vec![p.1, m.time_s, p.2, m.points_per_node, p.3, m.time_per_point],
+            )
+        })
+        .collect();
+    print_table(
+        "Table II — weak scaling (paper vs model)",
+        &["config", "t_paper", "t_model", "E/n_paper", "E/n_model", "t/E_paper", "t/E_model"],
+        &rows,
+    );
+    let t0 = model[0].time_per_point;
+    let spread = model
+        .iter()
+        .map(|r| (r.time_per_point - t0).abs() / t0)
+        .fold(0.0f64, f64::max);
+    println!("\ntime-per-point spread: {:.1}% (paper: ~5% variation across all nodes)", spread * 100.0);
+}

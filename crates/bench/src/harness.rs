@@ -1,0 +1,51 @@
+//! Table formatting shared by the `repro_*` binaries.
+
+/// A labelled row of numeric cells.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (first column).
+    pub label: String,
+    /// Numeric cells, printed with engineering precision.
+    pub cells: Vec<f64>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>, cells: Vec<f64>) -> Self {
+        Row { label: label.into(), cells }
+    }
+}
+
+/// Prints an aligned ASCII table with a title and column headers.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Row]) {
+    println!("\n=== {title} ===");
+    let mut line = format!("{:<26}", headers.first().copied().unwrap_or(""));
+    for h in &headers[1..] {
+        line.push_str(&format!("{h:>16}"));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+    for row in rows {
+        let mut l = format!("{:<26}", row.label);
+        for c in &row.cells {
+            if c.abs() >= 1e5 || (c.abs() < 1e-3 && *c != 0.0) {
+                l.push_str(&format!("{c:>16.4e}"));
+            } else {
+                l.push_str(&format!("{c:>16.4}"));
+            }
+        }
+        println!("{l}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_hold_cells() {
+        let r = Row::new("a", vec![1.0, 2.0]);
+        assert_eq!(r.cells.len(), 2);
+        print_table("t", &["c0", "c1", "c2"], &[r]);
+    }
+}

@@ -1,0 +1,9 @@
+//! # qtx-bench — reproduction harness
+//!
+//! One binary per paper table/figure (`repro_*`) plus criterion benches.
+//! See `EXPERIMENTS.md` for the paper-vs-measured record. Shared helpers
+//! live here.
+
+pub mod harness;
+
+pub use harness::{print_table, Row};

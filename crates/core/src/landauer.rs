@@ -1,0 +1,89 @@
+//! Landauer–Büttiker current integration.
+
+/// Boltzmann constant (eV/K).
+pub const KB_EV: f64 = 8.617_333_262e-5;
+
+/// Conductance quantum with spin degeneracy, `2e²/h` in µS.
+pub const CONDUCTANCE_QUANTUM_US: f64 = 77.480_917;
+
+/// Fermi–Dirac occupation at energy `e` (eV) for chemical potential `mu`
+/// and temperature `t` (K).
+pub fn fermi(e: f64, mu: f64, t: f64) -> f64 {
+    let kt = KB_EV * t.max(1e-9);
+    let x = (e - mu) / kt;
+    if x > 40.0 {
+        0.0
+    } else if x < -40.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Ballistic two-terminal current (µA) from a transmission spectrum:
+/// `I = (2e/h) ∫ T(E)·[f_L(E) − f_R(E)] dE` via trapezoid integration.
+/// `spectrum` holds `(E, T(E))` pairs sorted by energy.
+pub fn landauer_current_ua(spectrum: &[(f64, f64)], mu_l: f64, mu_r: f64, temp: f64) -> f64 {
+    if spectrum.len() < 2 {
+        return 0.0;
+    }
+    let integrand =
+        |e: f64, t: f64| -> f64 { t * (fermi(e, mu_l, temp) - fermi(e, mu_r, temp)) };
+    let mut acc = 0.0;
+    for w in spectrum.windows(2) {
+        let (e0, t0) = w[0];
+        let (e1, t1) = w[1];
+        acc += 0.5 * (integrand(e0, t0) + integrand(e1, t1)) * (e1 - e0);
+    }
+    // (2e/h)·1 eV = 77.48 µA.
+    CONDUCTANCE_QUANTUM_US * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_limits() {
+        assert!((fermi(-1.0, 0.0, 300.0) - 1.0).abs() < 1e-10);
+        assert!(fermi(1.0, 0.0, 300.0) < 1e-10);
+        assert!((fermi(0.0, 0.0, 300.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fermi_monotone_in_energy() {
+        let mut last = 2.0;
+        for i in 0..50 {
+            let e = -0.5 + i as f64 * 0.02;
+            let f = fermi(e, 0.0, 300.0);
+            assert!(f <= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn zero_bias_means_zero_current() {
+        let spectrum: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 0.01, 1.0)).collect();
+        let i = landauer_current_ua(&spectrum, 0.3, 0.3, 300.0);
+        assert!(i.abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_transmission_linear_response() {
+        // T = 1 over a wide window: I ≈ G0·V for small bias.
+        let spectrum: Vec<(f64, f64)> = (0..4000).map(|i| (-1.0 + i as f64 * 5e-4, 1.0)).collect();
+        let v = 0.01;
+        let i = landauer_current_ua(&spectrum, v / 2.0, -v / 2.0, 10.0);
+        let g = i / v; // µA / V = µS
+        assert!((g - CONDUCTANCE_QUANTUM_US).abs() < 0.5, "g = {g}");
+    }
+
+    #[test]
+    fn current_sign_follows_bias() {
+        let spectrum: Vec<(f64, f64)> = (0..200).map(|i| (i as f64 * 0.005, 1.0)).collect();
+        let fwd = landauer_current_ua(&spectrum, 0.6, 0.4, 300.0);
+        let rev = landauer_current_ua(&spectrum, 0.4, 0.6, 300.0);
+        assert!(fwd > 0.0);
+        assert!((fwd + rev).abs() < 1e-12, "antisymmetric under bias reversal");
+    }
+}

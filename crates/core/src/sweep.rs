@@ -1,0 +1,304 @@
+//! Three-level parallel (k, E, domain) sweep (§4, Fig. 9).
+//!
+//! "The momentum k and energy E points are almost embarrassingly parallel,
+//! while FEAST+SplitSolve provides a 1-D spatial domain decomposition."
+//! The sweep distributes simulated MPI ranks over momentum groups with the
+//! dynamic node-per-k allocation of ref. [45] (groups sized by their
+//! energy-point counts), splits each group's communicator over its energy
+//! points, and leaves the spatial level to SplitSolve's partitions inside
+//! each rank.
+
+use crate::device::Device;
+use crate::energygrid::EnergyGrid;
+use crate::transport::solve_energy_point;
+use qtx_mpi::{run_world, Comm, CostModel};
+use std::sync::Arc;
+
+/// Work description of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// Momentum points `(kz, weight)`.
+    pub k_points: Vec<(f64, f64)>,
+    /// Energy grid per momentum (k-dependent sizes allowed, §5.D:
+    /// "the total number of energy points ... varies with the momentum").
+    pub energies: Vec<Vec<f64>>,
+}
+
+impl SweepPlan {
+    /// Builds a plan from a device: its kz set and an automatic grid per k.
+    pub fn from_device(dev: &Device, d_min: f64, d_max: f64) -> SweepPlan {
+        let k_points = dev.kz_points();
+        let (lo_w, hi_w) = dev.fermi_window(10.0);
+        let energies = k_points
+            .iter()
+            .map(|&(kz, _)| {
+                let dk = dev.at_kz(kz);
+                let (band_lo, band_hi) = dk.lead_l.band_window(16);
+                let lo = lo_w.max(band_lo - 0.02);
+                let hi = hi_w.min(band_hi + 0.02);
+                if hi <= lo {
+                    Vec::new()
+                } else {
+                    EnergyGrid::auto(&dk.lead_l, lo, hi, d_min, d_max).points
+                }
+            })
+            .collect();
+        SweepPlan { k_points, energies }
+    }
+
+    /// Total energy points across momenta (the Table III workload count).
+    pub fn total_points(&self) -> usize {
+        self.energies.iter().map(Vec::len).sum()
+    }
+
+    /// Dynamic node allocation (ref. [45]): ranks per momentum
+    /// proportional to its energy-point count, with at least one rank per
+    /// non-empty momentum.
+    pub fn allocate_ranks(&self, n_ranks: usize) -> Vec<usize> {
+        let total = self.total_points().max(1);
+        let nk = self.k_points.len();
+        let mut alloc = vec![0usize; nk];
+        let mut assigned = 0usize;
+        for (i, es) in self.energies.iter().enumerate() {
+            let share =
+                ((es.len() as f64 / total as f64) * n_ranks as f64).floor() as usize;
+            alloc[i] = share.max(usize::from(!es.is_empty()));
+            assigned += alloc[i];
+        }
+        // Distribute leftovers to the largest groups.
+        let mut order: Vec<usize> = (0..nk).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.energies[i].len()));
+        let mut idx = 0;
+        while assigned < n_ranks && nk > 0 {
+            alloc[order[idx % nk]] += 1;
+            assigned += 1;
+            idx += 1;
+        }
+        while assigned > n_ranks {
+            // Trim over-assignment (when minimums exceeded the budget).
+            if let Some(&i) = order.iter().find(|&&i| alloc[i] > 1) {
+                alloc[i] -= 1;
+                assigned -= 1;
+            } else {
+                break;
+            }
+        }
+        alloc
+    }
+}
+
+/// Aggregated sweep output.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// `(kz, weight, energy, transmission)` tuples from all ranks.
+    pub samples: Vec<(f64, f64, f64, f64)>,
+    /// k-summed transmission spectrum, sorted by energy.
+    pub spectrum: Vec<(f64, f64)>,
+    /// Virtual communication seconds (max over ranks).
+    pub comm_seconds: f64,
+}
+
+/// Runs the sweep over `n_ranks` simulated MPI ranks.
+///
+/// With at least one rank per momentum the hierarchy of Fig. 9 applies
+/// (k-groups → energy distribution). With fewer ranks than momenta, all
+/// ranks pool and stride the flattened (k, E) work list — "each
+/// point/iteration is processed sequentially" (§5.D).
+pub fn parallel_sweep(dev: &Device, plan: &SweepPlan, n_ranks: usize) -> SweepResult {
+    let non_empty = plan.energies.iter().filter(|e| !e.is_empty()).count();
+    if n_ranks < non_empty.max(1) {
+        return pooled_sweep(dev, plan, n_ranks);
+    }
+    let alloc = plan.allocate_ranks(n_ranks);
+    // Map world rank → (k-group, rank within group).
+    let mut owner = Vec::with_capacity(n_ranks);
+    for (k_idx, &n) in alloc.iter().enumerate() {
+        for _ in 0..n {
+            owner.push(k_idx);
+        }
+    }
+    owner.resize(n_ranks, alloc.len().saturating_sub(1));
+    let owner = Arc::new(owner);
+    let dev = Arc::new(dev.clone());
+    let plan = Arc::new(plan.clone());
+    let outputs = run_world(n_ranks, CostModel::gemini(), move |comm: Comm| {
+        let k_idx = owner[comm.rank()];
+        // Momentum-level communicator (top of Fig. 9).
+        let k_comm = comm.split(k_idx, comm.rank());
+        let (kz, w) = plan.k_points[k_idx];
+        let energies = &plan.energies[k_idx];
+        // Energy-level distribution: round-robin inside the k-group.
+        let dk = dev.at_kz(kz);
+        let mut local: Vec<(f64, f64, f64, f64)> = Vec::new();
+        for (i, &e) in energies.iter().enumerate() {
+            if i % k_comm.size() == k_comm.rank() {
+                let t = solve_energy_point(&dk, e, &dev.config)
+                    .map(|r| r.transmission)
+                    .unwrap_or(0.0);
+                local.push((kz, w, e, t));
+            }
+        }
+        // Gather the group's samples at the group root, then at world 0.
+        let mut payload = Vec::new();
+        for (kz, w, e, t) in &local {
+            payload.extend_from_slice(&kz.to_le_bytes());
+            payload.extend_from_slice(&w.to_le_bytes());
+            payload.extend_from_slice(&e.to_le_bytes());
+            payload.extend_from_slice(&t.to_le_bytes());
+        }
+        let group_gathered = k_comm.gather(0, payload);
+        let group_payload: Vec<u8> = group_gathered.map(|v| v.concat()).unwrap_or_default();
+        let world_gathered = comm.gather(0, group_payload);
+        let t_comm = comm.comm_time();
+        (world_gathered, t_comm)
+    });
+    let mut samples = Vec::new();
+    let mut comm_seconds = 0.0f64;
+    for (gathered, t) in outputs {
+        comm_seconds = comm_seconds.max(t);
+        if let Some(parts) = gathered {
+            for part in parts {
+                for chunk in part.chunks_exact(32) {
+                    let f = |r: std::ops::Range<usize>| {
+                        f64::from_le_bytes(chunk[r].try_into().expect("8 bytes"))
+                    };
+                    samples.push((f(0..8), f(8..16), f(16..24), f(24..32)));
+                }
+            }
+        }
+    }
+    finalize(samples, comm_seconds)
+}
+
+fn finalize(samples: Vec<(f64, f64, f64, f64)>, comm_seconds: f64) -> SweepResult {
+    // k-summed spectrum.
+    let mut spectrum: Vec<(f64, f64)> = Vec::new();
+    let mut sorted = samples.clone();
+    sorted.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    for (_, w, e, t) in sorted {
+        match spectrum.last_mut() {
+            Some((le, lt)) if (*le - e).abs() < 1e-12 => *lt += w * t,
+            _ => spectrum.push((e, w * t)),
+        }
+    }
+    SweepResult { samples, spectrum, comm_seconds }
+}
+
+/// Fallback for rank-starved sweeps: every rank strides the flattened
+/// (k, E) list; momenta are processed one after the other.
+fn pooled_sweep(dev: &Device, plan: &SweepPlan, n_ranks: usize) -> SweepResult {
+    let dev = Arc::new(dev.clone());
+    let plan = Arc::new(plan.clone());
+    let outputs = run_world(n_ranks.max(1), CostModel::gemini(), move |comm: Comm| {
+        let mut local = Vec::new();
+        let mut idx = 0usize;
+        for (k_idx, &(kz, w)) in plan.k_points.iter().enumerate() {
+            if plan.energies[k_idx].is_empty() {
+                continue;
+            }
+            let dk = dev.at_kz(kz);
+            for &e in &plan.energies[k_idx] {
+                if idx % comm.size() == comm.rank() {
+                    let t = solve_energy_point(&dk, e, &dev.config)
+                        .map(|r| r.transmission)
+                        .unwrap_or(0.0);
+                    local.push((kz, w, e, t));
+                }
+                idx += 1;
+            }
+        }
+        let mut payload = Vec::new();
+        for (kz, w, e, t) in &local {
+            payload.extend_from_slice(&kz.to_le_bytes());
+            payload.extend_from_slice(&w.to_le_bytes());
+            payload.extend_from_slice(&e.to_le_bytes());
+            payload.extend_from_slice(&t.to_le_bytes());
+        }
+        let gathered = comm.gather(0, payload);
+        (gathered, comm.comm_time())
+    });
+    let mut samples = Vec::new();
+    let mut comm_seconds = 0.0f64;
+    for (gathered, t) in outputs {
+        comm_seconds = comm_seconds.max(t);
+        if let Some(parts) = gathered {
+            for part in parts {
+                for chunk in part.chunks_exact(32) {
+                    let f = |r: std::ops::Range<usize>| {
+                        f64::from_le_bytes(chunk[r].try_into().expect("8 bytes"))
+                    };
+                    samples.push((f(0..8), f(8..16), f(16..24), f(24..32)));
+                }
+            }
+        }
+    }
+    finalize(samples, comm_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtx_atomistic::{BasisKind, DeviceBuilder};
+
+    fn small_device() -> Device {
+        let spec = DeviceBuilder::nanowire(0.8).cells(6).basis(BasisKind::TightBinding).build();
+        let mut d = Device::build(spec).unwrap();
+        // Park the Fermi level in the conduction band so the window has
+        // propagating states.
+        let dk = d.at_kz(0.0);
+        let edge = dk.lead_l.dispersive_band_min(0.1, 0.3).expect("edge");
+        d.config.mu_l = edge + 0.15;
+        d.config.mu_r = edge + 0.10;
+        d
+    }
+
+    #[test]
+    fn plan_counts_and_allocation() {
+        let d = small_device();
+        let plan = SweepPlan::from_device(&d, 0.02, 0.1);
+        assert_eq!(plan.k_points.len(), 1, "nanowire: Γ only");
+        assert!(plan.total_points() > 5);
+        let alloc = plan.allocate_ranks(4);
+        assert_eq!(alloc.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn allocation_is_proportional_to_workload() {
+        let plan = SweepPlan {
+            k_points: vec![(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)],
+            energies: vec![vec![0.0; 60], vec![0.0; 30], vec![0.0; 10]],
+        };
+        let alloc = plan.allocate_ranks(10);
+        assert_eq!(alloc.iter().sum::<usize>(), 10);
+        assert!(alloc[0] > alloc[1]);
+        assert!(alloc[1] > alloc[2]);
+        assert!(alloc[2] >= 1);
+    }
+
+    #[test]
+    fn sweep_matches_serial_reference() {
+        let d = small_device();
+        let plan = SweepPlan::from_device(&d, 0.05, 0.15);
+        let result = parallel_sweep(&d, &plan, 3);
+        assert_eq!(result.samples.len(), plan.total_points());
+        // Serial reference for a few points.
+        let dk = d.at_kz(0.0);
+        for &(kz, _w, e, t) in result.samples.iter().take(4) {
+            assert_eq!(kz, 0.0);
+            let reference = solve_energy_point(&dk, e, &d.config).unwrap().transmission;
+            assert!((t - reference).abs() < 1e-9, "E={e}: {t} vs {reference}");
+        }
+        assert!(result.comm_seconds > 0.0);
+    }
+
+    #[test]
+    fn spectrum_is_sorted_and_weighted() {
+        let d = small_device();
+        let plan = SweepPlan::from_device(&d, 0.05, 0.15);
+        let result = parallel_sweep(&d, &plan, 2);
+        for w in result.spectrum.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(result.spectrum.len(), plan.total_points());
+    }
+}

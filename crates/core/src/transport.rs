@@ -1,0 +1,339 @@
+//! One (E, k) transport pixel: OBCs + Eq. 5 solve + observables.
+//!
+//! The production pipeline mirrors the paper's interleaving: Step 1 of
+//! SplitSolve (`Q = A⁻¹B`) only needs `A = E·S − H`, so it runs while the
+//! OBC algorithm (FEAST on the CPUs) produces `Σ^RB` and `Inj`; the
+//! post-processing then combines them (Fig. 6's timeline). Transmission is
+//! computed two independent ways:
+//!
+//! * **Wave function** (Eq. 5): solve for the scattering states injected
+//!   from each contact, project the outgoing block on the lead modes, sum
+//!   `|t|²` over propagating channels (flux-normalized modes make the
+//!   amplitudes probabilities directly);
+//! * **NEGF/Caroli** (Eq. 4): `T = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ]` via
+//!   the RGF kernel — the cross-check used throughout the test suite.
+
+use crate::device::{DeviceK, TransportConfig};
+use qtx_accel::AccelRuntime;
+use qtx_linalg::{qr_least_squares, Complex64, Result, ZMat};
+use qtx_obc::{self_energy, LeadBlocks, ModeSet, ObcMethod, ObcResult, Side};
+use qtx_solver::{bcr_solve, btd_lu_solve, rgf_diagonal_and_corner, ObcSystem, SolverKind, SplitSolve};
+
+/// Everything computed at one (E, k) pixel.
+#[derive(Debug, Clone)]
+pub struct EnergyPointResult {
+    /// Energy (eV).
+    pub e: f64,
+    /// Transverse momentum.
+    pub kz: f64,
+    /// Total left→right transmission (sum over incoming left modes).
+    pub transmission: f64,
+    /// Right→left transmission (= `transmission` at equilibrium symmetry).
+    pub transmission_rl: f64,
+    /// Total reflection of left-injected modes.
+    pub reflection: f64,
+    /// Propagating channel counts `(left lead, right lead)`.
+    pub channels: (usize, usize),
+    /// Scattering wave functions, one column per injected mode
+    /// (left-injected columns first), `N_SS × (m_L + m_R)`.
+    pub psi: ZMat,
+    /// Number of left-injected columns inside `psi`.
+    pub m_left: usize,
+    /// The assembled system (kept for observable post-processing).
+    pub sigma_l: ZMat,
+    /// Right self-energy.
+    pub sigma_r: ZMat,
+}
+
+/// Expansion coefficients of a boundary block over a mode set.
+fn project_onto_modes(modes: &[ModeSet], block: &[Complex64]) -> Vec<Complex64> {
+    if modes.is_empty() {
+        return Vec::new();
+    }
+    let nf = block.len();
+    let mut u = ZMat::zeros(nf, modes.len());
+    for (j, m) in modes.iter().enumerate() {
+        for i in 0..nf {
+            u[(i, j)] = m.u[i];
+        }
+    }
+    let mut b = ZMat::zeros(nf, 1);
+    b.col_mut(0).copy_from_slice(block);
+    let c = qr_least_squares(&u, &b);
+    c.col(0).to_vec()
+}
+
+/// Solves one energy point on a momentum-resolved device.
+pub fn solve_energy_point(
+    dk: &DeviceK,
+    e: f64,
+    cfg: &TransportConfig,
+) -> Result<EnergyPointResult> {
+    solve_energy_point_with_runtime(dk, e, cfg, None)
+}
+
+/// Same as [`solve_energy_point`] with an attached accelerator runtime
+/// (for the virtual-time experiments).
+pub fn solve_energy_point_with_runtime(
+    dk: &DeviceK,
+    e: f64,
+    cfg: &TransportConfig,
+    rt: Option<&AccelRuntime>,
+) -> Result<EnergyPointResult> {
+    let obc_l = self_energy(&dk.lead_l, e, Side::Left, cfg.obc)?;
+    let obc_r = self_energy(&dk.lead_r, e, Side::Right, cfg.obc)?;
+    solve_with_obc(dk, e, cfg, &obc_l, &obc_r, rt)
+}
+
+/// Inner solve with precomputed OBCs (lets the sweep reuse them and lets
+/// tests swap algorithms).
+pub fn solve_with_obc(
+    dk: &DeviceK,
+    e: f64,
+    cfg: &TransportConfig,
+    obc_l: &ObcResult,
+    obc_r: &ObcResult,
+    rt: Option<&AccelRuntime>,
+) -> Result<EnergyPointResult> {
+    let a = dk.es_minus_h(e);
+    let sys = ObcSystem {
+        a,
+        sigma_l: obc_l.sigma.clone(),
+        sigma_r: obc_r.sigma.clone(),
+        rhs_top: obc_l.injection.clone(),
+        rhs_bottom: obc_r.injection.clone(),
+    };
+    let psi = match cfg.solver {
+        SolverKind::SplitSolve { partitions } => {
+            let p = partitions.min(sys.num_blocks().next_power_of_two() / 2).max(1);
+            let p = if p.is_power_of_two() { p } else { 1 };
+            SplitSolve::new(p.min(sys.num_blocks())).solve(&sys, rt)?.0
+        }
+        SolverKind::BtdLu => btd_lu_solve(&sys)?,
+        SolverKind::Bcr => bcr_solve(&sys)?,
+    };
+    let s = sys.block_size();
+    let n = sys.dim();
+    let m_left = obc_l.injection.cols();
+    let m_right = obc_r.injection.cols();
+    // Left→right: project the last block on the right-going mode set.
+    let mut t_lr = 0.0;
+    let mut r_l = 0.0;
+    for j in 0..m_left {
+        let last: Vec<Complex64> = (0..s).map(|i| psi[(n - s + i, j)]).collect();
+        let coeffs = project_onto_modes(&obc_r.out_modes, &last);
+        for (c, m) in coeffs.iter().zip(&obc_r.out_modes) {
+            if m.propagating {
+                t_lr += c.norm_sqr();
+            }
+        }
+        // Reflection: scattered part of the first block over left-going
+        // modes (subtract the incident mode).
+        let inc = &obc_l.inc_modes[j];
+        let first: Vec<Complex64> =
+            (0..s).map(|i| psi[(i, j)] - inc.u[i]).collect();
+        let rc = project_onto_modes(&obc_l.out_modes, &first);
+        for (c, m) in rc.iter().zip(&obc_l.out_modes) {
+            if m.propagating {
+                r_l += c.norm_sqr();
+            }
+        }
+    }
+    // Right→left: right-injected columns projected on left-going modes at
+    // the first block.
+    let mut t_rl = 0.0;
+    for j in 0..m_right {
+        let col = m_left + j;
+        let first: Vec<Complex64> = (0..s).map(|i| psi[(i, col)]).collect();
+        let coeffs = project_onto_modes(&obc_l.out_modes, &first);
+        for (c, m) in coeffs.iter().zip(&obc_l.out_modes) {
+            if m.propagating {
+                t_rl += c.norm_sqr();
+            }
+        }
+    }
+    Ok(EnergyPointResult {
+        e,
+        kz: dk.kz,
+        transmission: t_lr,
+        transmission_rl: t_rl,
+        reflection: r_l,
+        channels: (m_left, m_right),
+        psi,
+        m_left,
+        sigma_l: obc_l.sigma.clone(),
+        sigma_r: obc_r.sigma.clone(),
+    })
+}
+
+/// NEGF/Caroli transmission through the RGF kernel (Eq. 4 route).
+pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> Result<f64> {
+    let obc_l = self_energy(&dk.lead_l, e, Side::Left, obc)?;
+    let obc_r = self_energy(&dk.lead_r, e, Side::Right, obc)?;
+    let sys = ObcSystem {
+        a: dk.es_minus_h(e),
+        sigma_l: obc_l.sigma.clone(),
+        sigma_r: obc_r.sigma.clone(),
+        rhs_top: ZMat::zeros(dk.h.block_size(), 0),
+        rhs_bottom: ZMat::zeros(dk.h.block_size(), 0),
+    };
+    let g = rgf_diagonal_and_corner(&sys)?;
+    let gamma = |sig: &ZMat| -> ZMat {
+        // Γ = i(Σ − Σᴴ).
+        &sig.scaled(Complex64::I) - &sig.adjoint().scaled(Complex64::I)
+    };
+    let gl = gamma(&obc_l.sigma);
+    let gr = gamma(&obc_r.sigma);
+    // T = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ].
+    let glg = &gl * &g.corner;
+    let glggr = &glg * &gr;
+    let t = &glggr * &g.corner.adjoint();
+    Ok(t.trace().re)
+}
+
+/// Lead band edges helper re-exported for grid building.
+pub fn lead_of(dk: &DeviceK, side: Side) -> &LeadBlocks {
+    match side {
+        Side::Left => &dk.lead_l,
+        Side::Right => &dk.lead_r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use qtx_atomistic::{BasisKind, DeviceBuilder};
+    use qtx_obc::FeastConfig;
+
+    fn chain_device() -> Device {
+        let spec = DeviceBuilder::nanowire(0.8).cells(8).basis(BasisKind::TightBinding).build();
+        Device::build(spec).unwrap()
+    }
+
+    /// Energies guaranteed to cross a *dispersive* conduction band
+    /// (flat passivation bands carry no current and are skipped).
+    fn probe_energies(lead: &LeadBlocks, n: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let k = 0.6 + 0.5 * i as f64;
+            if let Some(e) = lead.dispersive_energy(k, 0.2, 0.3) {
+                out.push(e);
+            }
+        }
+        assert!(!out.is_empty(), "no conduction band found");
+        out
+    }
+
+    #[test]
+    fn clean_device_transmission_is_integer_channels() {
+        // Ballistic homogeneous wire: T(E) equals the number of
+        // propagating channels and reflection vanishes.
+        let d = chain_device();
+        let dk = d.at_kz(0.0);
+        for e in probe_energies(&dk.lead_l, 2) {
+            let r = solve_energy_point(&dk, e, &d.config).unwrap();
+            assert!(r.channels.0 > 0, "E={e} should propagate");
+            assert!(
+                (r.transmission - r.channels.0 as f64).abs() < 1e-6,
+                "E={e}: T={} vs channels {}",
+                r.transmission,
+                r.channels.0
+            );
+            assert!(r.reflection < 1e-6, "E={e}: R={}", r.reflection);
+        }
+    }
+
+    #[test]
+    fn gap_energy_transmits_nothing() {
+        let d = chain_device();
+        let dk = d.at_kz(0.0);
+        let r = solve_energy_point(&dk, 0.0, &d.config).unwrap();
+        assert_eq!(r.channels.0, 0);
+        assert_eq!(r.transmission, 0.0);
+    }
+
+    #[test]
+    fn wavefunction_matches_caroli() {
+        let mut d = chain_device();
+        // A potential barrier makes the comparison non-trivial (T < N).
+        let mut v = vec![0.0; d.n_slabs];
+        for (q, vq) in v.iter_mut().enumerate() {
+            if (3..5).contains(&q) {
+                *vq = 0.3;
+            }
+        }
+        d.set_potential(&v);
+        let dk = d.at_kz(0.0);
+        for e in probe_energies(&dk.lead_l, 3) {
+            let wf = solve_energy_point(&dk, e, &d.config).unwrap();
+            let neg = caroli_transmission(&dk, e, d.config.obc).unwrap();
+            assert!(
+                (wf.transmission - neg).abs() < 1e-5,
+                "E={e}: WF {} vs Caroli {neg}",
+                wf.transmission
+            );
+            if wf.channels.0 > 0 {
+                assert!(wf.transmission < wf.channels.0 as f64, "barrier must reflect");
+                // Unitarity: T + R = channel count.
+                assert!(
+                    (wf.transmission + wf.reflection - wf.channels.0 as f64).abs() < 1e-6,
+                    "E={e}: T+R = {}",
+                    wf.transmission + wf.reflection
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solver_kinds_agree() {
+        let mut d = chain_device();
+        let v: Vec<f64> = (0..d.n_slabs).map(|q| 0.05 * q as f64).collect();
+        d.set_potential(&v);
+        let dk = d.at_kz(0.0);
+        let e = probe_energies(&dk.lead_l, 1)[0] + 0.11;
+        let mut results = Vec::new();
+        for solver in [
+            SolverKind::SplitSolve { partitions: 2 },
+            SolverKind::BtdLu,
+            SolverKind::Bcr,
+        ] {
+            let mut cfg = d.config;
+            cfg.solver = solver;
+            results.push(solve_energy_point(&dk, e, &cfg).unwrap().transmission);
+        }
+        assert!((results[0] - results[1]).abs() < 1e-8, "{results:?}");
+        assert!((results[0] - results[2]).abs() < 1e-8, "{results:?}");
+    }
+
+    #[test]
+    fn feast_obc_matches_shift_invert_end_to_end() {
+        let d = chain_device();
+        let dk = d.at_kz(0.0);
+        let e = probe_energies(&dk.lead_l, 1)[0];
+        let mut cfg_feast = d.config;
+        cfg_feast.obc = qtx_obc::ObcMethod::Feast(FeastConfig::default());
+        let mut cfg_si = d.config;
+        cfg_si.obc = qtx_obc::ObcMethod::ShiftInvert;
+        let t_feast = solve_energy_point(&dk, e, &cfg_feast).unwrap().transmission;
+        let t_si = solve_energy_point(&dk, e, &cfg_si).unwrap().transmission;
+        assert!((t_feast - t_si).abs() < 1e-6, "{t_feast} vs {t_si}");
+    }
+
+    #[test]
+    fn left_right_symmetry_at_zero_bias() {
+        let mut d = chain_device();
+        let mut v = vec![0.0; d.n_slabs];
+        v[4] = 0.2;
+        d.set_potential(&v);
+        let dk = d.at_kz(0.0);
+        let e = probe_energies(&dk.lead_l, 1)[0] + 0.07;
+        let r = solve_energy_point(&dk, e, &d.config).unwrap();
+        assert!(
+            (r.transmission - r.transmission_rl).abs() < 1e-6,
+            "L→R {} vs R→L {}",
+            r.transmission,
+            r.transmission_rl
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Virtual devices, kernel cost model and memory accounting.
+
+use crate::trace::KernelRecord;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Static description of an accelerator (Table I's GPU column).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: String,
+    /// Double-precision peak (GFlop/s).
+    pub peak_gflops: f64,
+    /// Fraction of peak reached by large `zgemm` (cuBLAS-like).
+    pub gemm_efficiency: f64,
+    /// Fraction of peak reached by `zgesv_nopiv`-style factorizations
+    /// (MAGMA hybrid kernels are markedly less efficient than GEMM).
+    pub lu_efficiency: f64,
+    /// Device memory (GiB).
+    pub mem_gib: f64,
+    /// Host↔device bandwidth (GiB/s, PCIe 2.0 x16 on the XK7/XC30).
+    pub pcie_gibs: f64,
+    /// Device↔device bandwidth (GiB/s, through the interconnect).
+    pub d2d_gibs: f64,
+    /// Idle power draw (W).
+    pub idle_w: f64,
+    /// Power at full utilization (W); the paper measured 146 W average
+    /// during the 15 PFlop/s run.
+    pub busy_w: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla K20X — the accelerator of both Piz Daint and Titan.
+    pub fn k20x() -> Self {
+        GpuSpec {
+            name: "Tesla K20X".into(),
+            peak_gflops: 1311.0,
+            gemm_efficiency: 0.80,
+            lu_efficiency: 0.42,
+            mem_gib: 6.0,
+            pcie_gibs: 8.0,
+            d2d_gibs: 6.0,
+            idle_w: 25.0,
+            busy_w: 170.0,
+        }
+    }
+
+    /// K20X with the Titan-specific MAGMA degradation of §5.A: the hybrid
+    /// `zgesv_nopiv_gpu` runs ~10% slower per node than on Piz Daint
+    /// because the Opteron cores compete with the library's host part.
+    pub fn k20x_titan() -> Self {
+        let mut s = Self::k20x();
+        s.lu_efficiency *= 0.90;
+        s
+    }
+}
+
+/// Logical kernel classes with distinct cost-model rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Dense complex matrix multiplication (cuBLAS `zgemm`).
+    Gemm,
+    /// LU / LDLᴴ factorization + substitution (MAGMA `z?esv_nopiv_gpu`).
+    Solve,
+    /// Host-to-device transfer.
+    H2D,
+    /// Device-to-host transfer.
+    D2H,
+    /// Device-to-device transfer.
+    D2D,
+    /// Anything else accounted at GEMM efficiency.
+    Other,
+}
+
+impl KernelClass {
+    /// Short label used in traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelClass::Gemm => "zgemm",
+            KernelClass::Solve => "zgesv_nopiv",
+            KernelClass::H2D => "H-to-D",
+            KernelClass::D2H => "D-to-H",
+            KernelClass::D2D => "D-to-D",
+            KernelClass::Other => "kernel",
+        }
+    }
+
+    fn is_transfer(self) -> bool {
+        matches!(self, KernelClass::H2D | KernelClass::D2H | KernelClass::D2D)
+    }
+}
+
+/// One virtual accelerator.
+#[derive(Debug)]
+pub struct Device {
+    /// Device index.
+    pub id: usize,
+    /// Hardware description.
+    pub spec: GpuSpec,
+    /// Virtual clock (seconds since runtime start).
+    pub clock: f64,
+    /// Bytes currently allocated.
+    pub mem_used: u64,
+    /// Kernel records on the virtual timeline.
+    pub trace: Vec<KernelRecord>,
+}
+
+impl Device {
+    fn duration_of(&self, class: KernelClass, flops: u64, bytes: u64) -> f64 {
+        if class.is_transfer() {
+            let bw = match class {
+                KernelClass::D2D => self.spec.d2d_gibs,
+                _ => self.spec.pcie_gibs,
+            };
+            // 10 µs launch latency + bandwidth term.
+            1e-5 + bytes as f64 / (bw * 1024.0 * 1024.0 * 1024.0)
+        } else {
+            let eff = match class {
+                KernelClass::Solve => self.spec.lu_efficiency,
+                _ => self.spec.gemm_efficiency,
+            };
+            2e-5 + flops as f64 / (self.spec.peak_gflops * 1e9 * eff)
+        }
+    }
+}
+
+/// A pool of virtual accelerators with shared timeline bookkeeping.
+///
+/// Real computation runs on the host; callers wrap each logical kernel in
+/// [`AccelRuntime::account`] so the device clocks and traces reflect what
+/// a K20X would have done. `sync` models a barrier (all clocks jump to the
+/// max), matching the lockstep phases P1–P4 of Fig. 6.
+pub struct AccelRuntime {
+    devices: Vec<Mutex<Device>>,
+}
+
+impl AccelRuntime {
+    /// Creates `n` devices of the given spec.
+    pub fn new(n: usize, spec: GpuSpec) -> Self {
+        AccelRuntime {
+            devices: (0..n)
+                .map(|id| {
+                    Mutex::new(Device { id, spec: spec.clone(), clock: 0.0, mem_used: 0, trace: Vec::new() })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when no devices are configured.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Accounts a kernel on `dev`: advances its clock by the cost model
+    /// and records the interval. Returns the kernel duration (virtual s).
+    pub fn account(&self, dev: usize, class: KernelClass, flops: u64, bytes: u64) -> f64 {
+        let mut d = self.devices[dev].lock();
+        let dur = d.duration_of(class, flops, bytes);
+        let start = d.clock;
+        d.clock += dur;
+        let end = d.clock;
+        d.trace.push(KernelRecord {
+            device: dev,
+            label: class.label().to_string(),
+            t_start: start,
+            t_end: end,
+            flops,
+            bytes,
+        });
+        dur
+    }
+
+    /// Models an asynchronous transfer that overlaps compute: records it
+    /// on the timeline but does not advance the compute clock (the paper:
+    /// "the induced CPU↔GPU data transfer overlaps with computation
+    /// (no cost)").
+    pub fn account_overlapped(&self, dev: usize, class: KernelClass, bytes: u64) {
+        let mut d = self.devices[dev].lock();
+        let dur = d.duration_of(class, 0, bytes);
+        let start = d.clock;
+        d.trace.push(KernelRecord {
+            device: dev,
+            label: class.label().to_string(),
+            t_start: start,
+            t_end: start + dur,
+            flops: 0,
+            bytes,
+        });
+    }
+
+    /// Allocates device memory; panics if the device would overflow — the
+    /// caller must use more GPUs (the §3.C placement rule).
+    pub fn alloc(&self, dev: usize, bytes: u64) {
+        let mut d = self.devices[dev].lock();
+        let cap = (d.spec.mem_gib * 1024.0 * 1024.0 * 1024.0) as u64;
+        assert!(
+            d.mem_used + bytes <= cap,
+            "device {dev} out of memory: {} + {bytes} > {cap}",
+            d.mem_used
+        );
+        d.mem_used += bytes;
+    }
+
+    /// Frees device memory.
+    pub fn free(&self, dev: usize, bytes: u64) {
+        let mut d = self.devices[dev].lock();
+        d.mem_used = d.mem_used.saturating_sub(bytes);
+    }
+
+    /// Remaining capacity of a device in bytes.
+    pub fn mem_available(&self, dev: usize) -> u64 {
+        let d = self.devices[dev].lock();
+        (d.spec.mem_gib * 1024.0 * 1024.0 * 1024.0) as u64 - d.mem_used
+    }
+
+    /// Barrier: all device clocks advance to the global maximum.
+    pub fn sync(&self) -> f64 {
+        let max = self.max_clock();
+        for d in &self.devices {
+            d.lock().clock = max;
+        }
+        max
+    }
+
+    /// Latest clock across devices (virtual makespan).
+    pub fn max_clock(&self) -> f64 {
+        self.devices.iter().map(|d| d.lock().clock).fold(0.0, f64::max)
+    }
+
+    /// Snapshot of all kernel records, sorted by start time.
+    pub fn traces(&self) -> Vec<KernelRecord> {
+        let mut all: Vec<KernelRecord> =
+            self.devices.iter().flat_map(|d| d.lock().trace.clone()).collect();
+        all.sort_by(|a, b| a.t_start.partial_cmp(&b.t_start).unwrap());
+        all
+    }
+
+    /// Busy fraction of a device over `[0, horizon]`.
+    pub fn utilization(&self, dev: usize, horizon: f64) -> f64 {
+        let d = self.devices[dev].lock();
+        let busy: f64 = d
+            .trace
+            .iter()
+            .filter(|r| r.flops > 0)
+            .map(|r| (r.t_end.min(horizon) - r.t_start.min(horizon)).max(0.0))
+            .sum();
+        (busy / horizon.max(1e-12)).min(1.0)
+    }
+
+    /// Total FLOPs executed across devices.
+    pub fn total_flops(&self) -> u64 {
+        self.devices.iter().map(|d| d.lock().trace.iter().map(|r| r.flops).sum::<u64>()).sum()
+    }
+
+    /// Device spec (all devices share one).
+    pub fn spec(&self) -> GpuSpec {
+        self.devices[0].lock().spec.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_faster_than_lu_per_flop() {
+        let rt = AccelRuntime::new(1, GpuSpec::k20x());
+        let t_gemm = rt.account(0, KernelClass::Gemm, 1_000_000_000, 0);
+        let t_lu = rt.account(0, KernelClass::Solve, 1_000_000_000, 0);
+        assert!(t_lu > t_gemm * 1.5, "MAGMA LU is much less efficient than cuBLAS GEMM");
+    }
+
+    #[test]
+    fn clock_advances_and_sync_aligns() {
+        let rt = AccelRuntime::new(2, GpuSpec::k20x());
+        rt.account(0, KernelClass::Gemm, 5_000_000_000, 0);
+        assert!(rt.max_clock() > 0.0);
+        let m = rt.sync();
+        assert!((rt.utilization(1, m) - 0.0).abs() < 1e-12, "device 1 idle so far");
+        rt.account(1, KernelClass::Gemm, 1_000_000, 0);
+        assert!(rt.max_clock() > m);
+    }
+
+    #[test]
+    fn memory_accounting_enforces_capacity() {
+        let rt = AccelRuntime::new(1, GpuSpec::k20x());
+        let cap = rt.mem_available(0);
+        rt.alloc(0, cap / 2);
+        assert_eq!(rt.mem_available(0), cap - cap / 2);
+        rt.free(0, cap / 2);
+        assert_eq!(rt.mem_available(0), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn oversubscription_panics() {
+        let rt = AccelRuntime::new(1, GpuSpec::k20x());
+        rt.alloc(0, u64::MAX / 4);
+    }
+
+    #[test]
+    fn overlapped_transfers_do_not_advance_clock() {
+        let rt = AccelRuntime::new(1, GpuSpec::k20x());
+        let before = rt.max_clock();
+        rt.account_overlapped(0, KernelClass::H2D, 1 << 30);
+        assert_eq!(rt.max_clock(), before);
+        assert_eq!(rt.traces().len(), 1);
+    }
+
+    #[test]
+    fn titan_variant_slower_lu() {
+        let daint = GpuSpec::k20x();
+        let titan = GpuSpec::k20x_titan();
+        assert!(titan.lu_efficiency < daint.lu_efficiency);
+        assert_eq!(titan.peak_gflops, daint.peak_gflops);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let rt = AccelRuntime::new(1, GpuSpec::k20x());
+        let dur = rt.account(0, KernelClass::Gemm, 10_000_000_000, 0);
+        let horizon = dur * 2.0;
+        let u = rt.utilization(0, horizon);
+        assert!((u - 0.5).abs() < 0.05, "u = {u}");
+    }
+}

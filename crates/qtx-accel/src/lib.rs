@@ -1,0 +1,25 @@
+//! # qtx-accel — simulated accelerator runtime
+//!
+//! The paper runs SplitSolve on NVIDIA K20X GPUs (Table I) through
+//! cuBLAS/MAGMA kernels, measures per-kernel activity with nvprof
+//! (Fig. 12(b)) and power with the machine/GPU sensors (Fig. 12(a)). No
+//! GPU exists in this environment, so this crate provides the documented
+//! substitution: a **virtual accelerator runtime**. Real numerics execute
+//! on host threads, while every logical kernel reports its deterministic
+//! FLOP/byte counts to a per-device virtual clock driven by a cost model
+//! calibrated to the K20X. The runtime exposes
+//!
+//! * per-device kernel traces (start/end on the virtual timeline) — the
+//!   Fig. 12(b) activity plot,
+//! * device memory accounting — the "minimum number of GPUs that can
+//!   accommodate the desired nanostructure" placement rule (§3.C),
+//! * a utilization-driven power model — the Fig. 12(a) profiles and the
+//!   MFLOPS/W numbers of §5.E.
+
+pub mod device;
+pub mod power;
+pub mod trace;
+
+pub use device::{AccelRuntime, Device, GpuSpec, KernelClass};
+pub use power::{power_profile, PowerModel, PowerSample};
+pub use trace::{KernelRecord, TraceSummary};

@@ -1,0 +1,130 @@
+//! Power modelling (Fig. 12(a)).
+//!
+//! The paper reports a machine-level profile (7.6 MW average, 8.8 MW peak,
+//! 1975 MFLOPS/W) and a GPU-level one (146 W average, 5396 MFLOPS/W) for
+//! the 15 PFlop/s run. The machine profile "includes the hardware usage
+//! (CPU+GPU), the pumping power used by the XDPs, the fan energy ... as
+//! well as the line loss" — modelled here as a constant facility overhead
+//! on top of utilization-driven node draw.
+
+use crate::device::GpuSpec;
+use crate::trace::KernelRecord;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a power timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Time (virtual seconds).
+    pub t: f64,
+    /// Power (watts).
+    pub watts: f64,
+}
+
+/// Node- and facility-level power coefficients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// CPU + board draw per node when hosting an active job (W).
+    pub node_base_w: f64,
+    /// Facility overhead (cooling pumps, blowers, line loss) as a
+    /// fraction of IT power.
+    pub facility_overhead: f64,
+}
+
+impl PowerModel {
+    /// Cray-XK7 Titan coefficients: 18 688 nodes, ~8.2 MW measured peak
+    /// during the paper's run.
+    pub fn titan() -> Self {
+        PowerModel { node_base_w: 180.0, facility_overhead: 0.18 }
+    }
+}
+
+/// Builds a GPU power timeline from kernel records: at each sample the
+/// device draws `idle + (busy − idle)·utilization` watts.
+pub fn power_profile(
+    records: &[KernelRecord],
+    spec: &GpuSpec,
+    device: usize,
+    horizon: f64,
+    samples: usize,
+) -> Vec<PowerSample> {
+    let dt = horizon / samples.max(1) as f64;
+    (0..samples)
+        .map(|i| {
+            let t0 = i as f64 * dt;
+            let t1 = t0 + dt;
+            let busy: f64 = records
+                .iter()
+                .filter(|r| r.device == device && r.flops > 0)
+                .map(|r| (r.t_end.min(t1) - r.t_start.max(t0)).max(0.0))
+                .sum();
+            let util = (busy / dt).min(1.0);
+            PowerSample { t: t0 + dt / 2.0, watts: spec.idle_w + (spec.busy_w - spec.idle_w) * util }
+        })
+        .collect()
+}
+
+/// Mean watts of a profile.
+pub fn mean_power(profile: &[PowerSample]) -> f64 {
+    if profile.is_empty() {
+        return 0.0;
+    }
+    profile.iter().map(|s| s.watts).sum::<f64>() / profile.len() as f64
+}
+
+/// Energy efficiency in MFLOPS/W given total flops, runtime and mean power.
+pub fn mflops_per_watt(total_flops: u64, seconds: f64, mean_watts: f64) -> f64 {
+    (total_flops as f64 / seconds.max(1e-12)) / 1e6 / mean_watts.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::KernelRecord;
+
+    fn busy_record(t0: f64, t1: f64) -> KernelRecord {
+        KernelRecord { device: 0, label: "zgemm".into(), t_start: t0, t_end: t1, flops: 1, bytes: 0 }
+    }
+
+    #[test]
+    fn idle_device_draws_idle_power() {
+        let spec = GpuSpec::k20x();
+        let p = power_profile(&[], &spec, 0, 10.0, 5);
+        assert_eq!(p.len(), 5);
+        for s in &p {
+            assert!((s.watts - spec.idle_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fully_busy_device_draws_busy_power() {
+        let spec = GpuSpec::k20x();
+        let p = power_profile(&[busy_record(0.0, 10.0)], &spec, 0, 10.0, 4);
+        for s in &p {
+            assert!((s.watts - spec.busy_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn half_busy_draws_half_way() {
+        let spec = GpuSpec::k20x();
+        let p = power_profile(&[busy_record(0.0, 5.0)], &spec, 0, 10.0, 1);
+        let expected = spec.idle_w + (spec.busy_w - spec.idle_w) * 0.5;
+        assert!((p[0].watts - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_math() {
+        // 1e12 flops in 1 s at 200 W → 5000 MFLOPS/W.
+        let e = mflops_per_watt(1_000_000_000_000, 1.0, 200.0);
+        assert!((e - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_power_averages() {
+        let profile = vec![
+            PowerSample { t: 0.0, watts: 100.0 },
+            PowerSample { t: 1.0, watts: 200.0 },
+        ];
+        assert!((mean_power(&profile) - 150.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Kernel traces on the virtual timeline (the nvprof substitute).
+
+use serde::{Deserialize, Serialize};
+
+/// One kernel or transfer interval on a device timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelRecord {
+    /// Device index.
+    pub device: usize,
+    /// Kernel label (`zgemm`, `zgesv_nopiv`, `H-to-D`, ...).
+    pub label: String,
+    /// Start time (virtual seconds).
+    pub t_start: f64,
+    /// End time (virtual seconds).
+    pub t_end: f64,
+    /// Double-precision operations executed.
+    pub flops: u64,
+    /// Bytes moved (transfers).
+    pub bytes: u64,
+}
+
+/// Aggregated view of a trace (per label).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// `(label, total seconds, total flops, total bytes, count)` rows.
+    pub rows: Vec<(String, f64, u64, u64, usize)>,
+}
+
+impl TraceSummary {
+    /// Builds the per-label aggregate of a record list.
+    pub fn from_records(records: &[KernelRecord]) -> Self {
+        let mut rows: Vec<(String, f64, u64, u64, usize)> = Vec::new();
+        for r in records {
+            match rows.iter_mut().find(|(l, ..)| *l == r.label) {
+                Some(row) => {
+                    row.1 += r.t_end - r.t_start;
+                    row.2 += r.flops;
+                    row.3 += r.bytes;
+                    row.4 += 1;
+                }
+                None => rows.push((r.label.clone(), r.t_end - r.t_start, r.flops, r.bytes, 1)),
+            }
+        }
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        TraceSummary { rows }
+    }
+
+    /// Renders a compact ASCII activity chart per device over the horizon
+    /// (Fig. 12(b)-style): one row per device, `█` = compute, `▒` =
+    /// transfer, space = idle.
+    pub fn activity_chart(records: &[KernelRecord], n_devices: usize, width: usize) -> String {
+        let horizon = records.iter().map(|r| r.t_end).fold(0.0, f64::max).max(1e-12);
+        let mut out = String::new();
+        for dev in 0..n_devices {
+            let mut row = vec![' '; width];
+            for r in records.iter().filter(|r| r.device == dev) {
+                let a = ((r.t_start / horizon) * width as f64) as usize;
+                let b = (((r.t_end / horizon) * width as f64).ceil() as usize).min(width);
+                let ch = if r.flops > 0 { '█' } else { '▒' };
+                for cell in row.iter_mut().take(b).skip(a.min(width)) {
+                    if *cell == ' ' || ch == '█' {
+                        *cell = ch;
+                    }
+                }
+            }
+            out.push_str(&format!("GPU{dev} |{}|\n", row.iter().collect::<String>()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(device: usize, label: &str, t0: f64, t1: f64, flops: u64) -> KernelRecord {
+        KernelRecord { device, label: label.into(), t_start: t0, t_end: t1, flops, bytes: 0 }
+    }
+
+    #[test]
+    fn summary_aggregates_by_label() {
+        let records = vec![
+            rec(0, "zgemm", 0.0, 1.0, 100),
+            rec(0, "zgemm", 1.0, 3.0, 200),
+            rec(1, "zgesv_nopiv", 0.0, 0.5, 50),
+        ];
+        let s = TraceSummary::from_records(&records);
+        assert_eq!(s.rows.len(), 2);
+        let gemm = s.rows.iter().find(|r| r.0 == "zgemm").unwrap();
+        assert!((gemm.1 - 3.0).abs() < 1e-12);
+        assert_eq!(gemm.2, 300);
+        assert_eq!(gemm.4, 2);
+    }
+
+    #[test]
+    fn chart_marks_busy_cells() {
+        let records = vec![rec(0, "zgemm", 0.0, 1.0, 10)];
+        let chart = TraceSummary::activity_chart(&records, 2, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('█'));
+        assert!(!lines[1].contains('█'));
+    }
+}

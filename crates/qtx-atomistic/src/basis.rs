@@ -1,0 +1,271 @@
+//! Localized basis sets and two-centre integrals.
+//!
+//! CP2K expands the Kohn–Sham wave functions in contracted Gaussian
+//! orbitals (Eq. 2); the resulting `H`/`S` matrices carry ~100× more
+//! non-zeros than a nearest-neighbour tight-binding basis (Fig. 3) and
+//! couple unit cells up to `NBW ≥ 2` apart (Eq. 6). This module implements
+//! a transferable two-centre parameterization with exactly those
+//! properties — the documented substitution for a full Gaussian integral
+//! engine:
+//!
+//! * overlap `S_ij(r) = s0 · exp(−(r − r_bond)/λ_s)` with a hard cutoff,
+//!   which matches the exponential tail of contracted Gaussians;
+//! * hopping `H_ij(r) = t_ij · exp(−(r − r_bond)/λ_h)` with per-orbital
+//!   couplings giving a semiconducting spectrum (valence/conduction
+//!   manifolds separated by a tunable gap);
+//! * a short-cutoff 2-orbital variant standing in for the sp³
+//!   tight-binding model of OMEN's legacy solvers.
+
+use crate::structure::Species;
+use serde::{Deserialize, Serialize};
+
+/// Which basis the matrices are assembled in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BasisKind {
+    /// Nearest-neighbour, 2 orbitals/atom (bonding/anti-bonding pair).
+    TightBinding,
+    /// DFT-like contracted-Gaussian basis: 6 orbitals/atom, long cutoff.
+    Dft3sp,
+}
+
+/// Numerical parameters of a basis for one species.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BasisParams {
+    /// Orbitals per atom.
+    pub n_orb: usize,
+    /// Interaction cutoff (nm).
+    pub rcut: f64,
+    /// On-site energies per orbital (eV).
+    pub onsite: Vec<f64>,
+    /// Hopping prefactor between like orbitals (eV); sign alternates with
+    /// the orbital manifold to bend valence bands down and conduction
+    /// bands up.
+    pub t0: f64,
+    /// Cross-manifold hopping prefactor (eV).
+    pub t_cross: f64,
+    /// Hopping decay length (nm).
+    pub lambda_h: f64,
+    /// Overlap prefactor at the bond length.
+    pub s0: f64,
+    /// Overlap decay length (nm).
+    pub lambda_s: f64,
+    /// Reference bond length (nm).
+    pub r_bond: f64,
+    /// Ideal bulk coordination; under-coordinated (surface) atoms get
+    /// their on-site energies split away from the gap by
+    /// `passivation_shift`, mimicking the hydrogen passivation of the
+    /// paper's fabricated nanowires (dangling-bond states removed).
+    pub ideal_coordination: usize,
+    /// Per-missing-bond on-site split applied to surface atoms (eV).
+    pub passivation_shift: f64,
+}
+
+impl BasisKind {
+    /// Orbitals per atom in this basis.
+    pub fn orbitals_per_atom(self) -> usize {
+        match self {
+            BasisKind::TightBinding => 2,
+            BasisKind::Dft3sp => 6,
+        }
+    }
+
+    /// Interaction range in unit cells for a cell of length `cell_len`:
+    /// the paper's `NBW` (≥ 2 for DFT bases, 1 for tight-binding).
+    pub fn nbw(self, species: Species, cell_len: f64) -> usize {
+        let rcut = self.params(species).rcut;
+        ((rcut / cell_len).ceil() as usize).max(1)
+    }
+
+    /// Parameter set for a species. Values are an empirical stand-in for
+    /// self-consistent CP2K integrals (see module docs); the SnO/Li values
+    /// encode the insulating character of lithiated regions (Fig. 1(f)).
+    pub fn params(self, species: Species) -> BasisParams {
+        // On-site manifold separation. These are *not* spectroscopic
+        // gaps: the transport gap is the manifold separation minus one
+        // full bandwidth (≈ 2·z_eff·t0), tuned here to land at ~1 eV for
+        // bulk Si — cf. DESIGN.md's substitution notes.
+        let (gap_center, gap) = match self {
+            BasisKind::TightBinding => match species {
+                Species::Si => (0.0, 10.0),
+                Species::Sn => (0.0, 9.4),
+                Species::O => (-0.4, 9.8),
+                // Li-oxide region: wide gap, almost no current (Fig. 1(f)).
+                Species::Li => (0.2, 16.0),
+            },
+            BasisKind::Dft3sp => match species {
+                Species::Si => (0.0, 13.0),
+                Species::Sn => (0.0, 12.2),
+                Species::O => (-0.4, 12.6),
+                Species::Li => (0.2, 20.0),
+            },
+        };
+        let coordination = match species {
+            Species::Si => 4,
+            _ => 6, // rock-salt-like SnO/Li sublattice
+        };
+        match self {
+            BasisKind::TightBinding => BasisParams {
+                n_orb: 2,
+                rcut: 0.26,
+                onsite: vec![gap_center - gap / 2.0, gap_center + gap / 2.0],
+                t0: 1.125,
+                t_cross: 0.15,
+                lambda_h: 0.08,
+                s0: 0.0, // orthogonal TB: S = I
+                lambda_s: 0.08,
+                r_bond: 0.235,
+                ideal_coordination: coordination,
+                passivation_shift: 0.9,
+            },
+            BasisKind::Dft3sp => BasisParams {
+                n_orb: 6,
+                rcut: 0.72,
+                onsite: (0..6)
+                    .map(|o| {
+                        let manifold = if o < 3 { -1.0 } else { 1.0 };
+                        let spread = 0.35 * (o % 3) as f64;
+                        gap_center + manifold * (gap / 2.0 + spread)
+                    })
+                    .collect(),
+                t0: 0.55,
+                t_cross: 0.08,
+                lambda_h: 0.10,
+                s0: 0.12,
+                lambda_s: 0.07,
+                r_bond: 0.235,
+                ideal_coordination: coordination,
+                passivation_shift: 0.9,
+            },
+        }
+    }
+
+    /// Two-centre Hamiltonian block `H_ij` (n_orb × n_orb, eV) between an
+    /// atom of species `si` and one of species `sj` at distance `r`.
+    /// Returns `None` beyond the cutoff.
+    pub fn h_block(self, si: Species, sj: Species, r: f64) -> Option<Vec<f64>> {
+        let pi = self.params(si);
+        let pj = self.params(sj);
+        let rcut = 0.5 * (pi.rcut + pj.rcut);
+        if r > rcut || r < 1e-9 {
+            return None;
+        }
+        let n = pi.n_orb;
+        let radial = (-(r - pi.r_bond) / pi.lambda_h).exp();
+        let t0 = 0.5 * (pi.t0 + pj.t0);
+        let t_cross = 0.5 * (pi.t_cross + pj.t_cross);
+        let mut block = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                let same_manifold = (a < n / 2) == (b < n / 2);
+                let val = if a == b {
+                    // Valence manifold: positive hopping (band max at Γ);
+                    // conduction manifold: negative (band min at Γ).
+                    let sign = if a < n / 2 { 1.0 } else { -1.0 };
+                    sign * t0 * radial
+                } else if same_manifold {
+                    0.3 * t0 * radial / (1.0 + (a as f64 - b as f64).abs())
+                } else {
+                    t_cross * radial
+                };
+                block[a * n + b] = val;
+            }
+        }
+        Some(block)
+    }
+
+    /// Two-centre overlap block `S_ij` at distance `r` (`None` beyond
+    /// cutoff; tight-binding is orthogonal so all off-site blocks vanish).
+    pub fn s_block(self, si: Species, sj: Species, r: f64) -> Option<Vec<f64>> {
+        let pi = self.params(si);
+        let pj = self.params(sj);
+        let rcut = 0.5 * (pi.rcut + pj.rcut);
+        if r > rcut || r < 1e-9 || pi.s0 == 0.0 {
+            return None;
+        }
+        let n = pi.n_orb;
+        let s0 = 0.5 * (pi.s0 + pj.s0);
+        let radial = s0 * (-(r - pi.r_bond) / pi.lambda_s).exp();
+        let mut block = vec![0.0; n * n];
+        for a in 0..n {
+            // Overlap predominantly between like orbitals.
+            block[a * n + a] = radial;
+        }
+        Some(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orbital_counts() {
+        assert_eq!(BasisKind::TightBinding.orbitals_per_atom(), 2);
+        assert_eq!(BasisKind::Dft3sp.orbitals_per_atom(), 6);
+    }
+
+    #[test]
+    fn nbw_matches_paper_expectations() {
+        use crate::structure::SI_LATTICE;
+        // Tight-binding couples only nearest cells; DFT reaches ≥ 2 (Eq. 6:
+        // "NBW typically ≥ 2").
+        assert_eq!(BasisKind::TightBinding.nbw(Species::Si, SI_LATTICE), 1);
+        assert!(BasisKind::Dft3sp.nbw(Species::Si, SI_LATTICE) >= 2);
+    }
+
+    #[test]
+    fn blocks_vanish_beyond_cutoff() {
+        let b = BasisKind::Dft3sp;
+        assert!(b.h_block(Species::Si, Species::Si, 10.0).is_none());
+        assert!(b.h_block(Species::Si, Species::Si, 0.3).is_some());
+        assert!(b.s_block(Species::Si, Species::Si, 10.0).is_none());
+    }
+
+    #[test]
+    fn hopping_decays_with_distance() {
+        let b = BasisKind::Dft3sp;
+        let h1 = b.h_block(Species::Si, Species::Si, 0.24).unwrap();
+        let h2 = b.h_block(Species::Si, Species::Si, 0.45).unwrap();
+        assert!(h1[0].abs() > h2[0].abs() * 2.0);
+    }
+
+    #[test]
+    fn tight_binding_is_orthogonal() {
+        assert!(BasisKind::TightBinding.s_block(Species::Si, Species::Si, 0.235).is_none());
+    }
+
+    #[test]
+    fn onsite_energies_have_a_gap() {
+        for kind in [BasisKind::TightBinding, BasisKind::Dft3sp] {
+            let p = kind.params(Species::Si);
+            let n = p.n_orb;
+            let max_valence = p.onsite[..n / 2].iter().cloned().fold(f64::MIN, f64::max);
+            let min_conduction = p.onsite[n / 2..].iter().cloned().fold(f64::MAX, f64::min);
+            assert!(min_conduction - max_valence > 1.0, "basis {kind:?} lacks a gap");
+        }
+    }
+
+    #[test]
+    fn lithium_region_is_insulating() {
+        let p = BasisKind::Dft3sp.params(Species::Li);
+        let si = BasisKind::Dft3sp.params(Species::Si);
+        let gap = |p: &BasisParams| {
+            let n = p.n_orb;
+            p.onsite[n / 2..].iter().cloned().fold(f64::MAX, f64::min)
+                - p.onsite[..n / 2].iter().cloned().fold(f64::MIN, f64::max)
+        };
+        assert!(gap(&p) > 1.5 * gap(&si));
+    }
+
+    #[test]
+    fn h_block_symmetric_for_same_species() {
+        let b = BasisKind::Dft3sp;
+        let h = b.h_block(Species::Si, Species::Si, 0.3).unwrap();
+        let n = 6;
+        for a in 0..n {
+            for c in 0..n {
+                assert!((h[a * n + c] - h[c * n + a]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Device geometry generators (Fig. 1(a) and 1(c)).
+//!
+//! * [`nanowire`] — gate-all-around Si nanowire FET: a cylinder of
+//!   diameter `d` carved from the diamond lattice, transport along
+//!   `<100>`/x, confined in y and z.
+//! * [`utb_film`] — double-gate ultra-thin-body FET: a film of thickness
+//!   `t_body` confined in y, periodic out-of-plane (z).
+//!
+//! Both produce structures whose unit cell repeats identically along x, so
+//! the lead/device Hamiltonian blocks of §2.B follow by translation.
+
+use crate::basis::BasisKind;
+use crate::structure::{diamond_supercell, Species, Structure, SI_LATTICE};
+use serde::{Deserialize, Serialize};
+
+/// Geometric description of a transport device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceGeometry {
+    /// "nanowire" or "utb" (or "battery" from the battery module).
+    pub kind: String,
+    /// Nanowire diameter or film thickness (nm).
+    pub cross_section: f64,
+    /// Number of unit cells along transport.
+    pub n_cells: usize,
+    /// Unit-cell length along x (nm).
+    pub cell_len: f64,
+    /// Whether z is periodic (UTB) or confined (nanowire).
+    pub z_periodic: bool,
+}
+
+impl DeviceGeometry {
+    /// Device length along transport (nm).
+    pub fn length(&self) -> f64 {
+        self.n_cells as f64 * self.cell_len
+    }
+}
+
+/// A fully specified device: unit-cell structure + basis + extent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// One transport unit cell (periodic along x).
+    pub unit_cell: Structure,
+    /// Geometry metadata.
+    pub geometry: DeviceGeometry,
+    /// Basis the matrices will be assembled in.
+    pub basis: BasisKind,
+}
+
+/// Builder for the two FET families of Fig. 1. Produces a [`DeviceSpec`]
+/// consumed by `qtx-cp2k` (matrix generation) and `qtx-core` (transport).
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    kind: String,
+    cross_section: f64,
+    n_cells: usize,
+    basis: BasisKind,
+}
+
+impl DeviceBuilder {
+    /// Gate-all-around nanowire of diameter `d` nm (Fig. 1(a)).
+    pub fn nanowire(d: f64) -> Self {
+        DeviceBuilder { kind: "nanowire".into(), cross_section: d, n_cells: 8, basis: BasisKind::Dft3sp }
+    }
+
+    /// Ultra-thin-body film of thickness `t_body` nm (Fig. 1(c)).
+    pub fn utb(t_body: f64) -> Self {
+        DeviceBuilder { kind: "utb".into(), cross_section: t_body, n_cells: 8, basis: BasisKind::Dft3sp }
+    }
+
+    /// Sets the number of transport unit cells.
+    pub fn cells(mut self, n: usize) -> Self {
+        self.n_cells = n;
+        self
+    }
+
+    /// Sets the basis.
+    pub fn basis(mut self, basis: BasisKind) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// Builds the device specification.
+    pub fn build(self) -> DeviceSpec {
+        let unit_cell = match self.kind.as_str() {
+            "nanowire" => nanowire(self.cross_section),
+            "utb" => utb_film(self.cross_section),
+            other => panic!("unknown device kind {other}"),
+        };
+        let z_periodic = unit_cell.z_period > 0.0;
+        DeviceSpec {
+            geometry: DeviceGeometry {
+                kind: self.kind,
+                cross_section: self.cross_section,
+                n_cells: self.n_cells,
+                cell_len: unit_cell.x_period,
+                z_periodic,
+            },
+            unit_cell,
+            basis: self.basis,
+        }
+    }
+}
+
+/// Carves one transport unit cell of a Si nanowire of diameter `d` (nm).
+/// The carve criterion depends only on (y, z), so every cell along x is
+/// identical — the translational symmetry the lead construction needs.
+pub fn nanowire(d: f64) -> Structure {
+    let a = SI_LATTICE;
+    let n_tr = ((d / a).ceil() as usize + 1).max(1);
+    let mut s = diamond_supercell(Species::Si, a, 1, n_tr, n_tr);
+    let c = n_tr as f64 * a / 2.0;
+    let r2 = (d / 2.0) * (d / 2.0);
+    s.atoms.retain(|at| {
+        let dy = at.pos[1] - c;
+        let dz = at.pos[2] - c;
+        dy * dy + dz * dz <= r2 + 1e-12
+    });
+    s.z_period = 0.0; // confined cross-section
+    s.label = format!("Si NW d={d}nm unit cell");
+    s.sort_into_slabs(a);
+    s
+}
+
+/// Carves one transport unit cell of an ultra-thin body of thickness
+/// `t_body` (nm), periodic along z with one conventional cell.
+pub fn utb_film(t_body: f64) -> Structure {
+    let a = SI_LATTICE;
+    let n_y = ((t_body / a).ceil() as usize + 1).max(1);
+    let mut s = diamond_supercell(Species::Si, a, 1, n_y, 1);
+    let c = n_y as f64 * a / 2.0;
+    s.atoms.retain(|at| (at.pos[1] - c).abs() <= t_body / 2.0 + 1e-12);
+    s.z_period = a; // periodic out-of-plane (Fig. 1(c))
+    s.label = format!("Si UTB t={t_body}nm unit cell");
+    s.sort_into_slabs(a);
+    s
+}
+
+/// Estimates the total atom count of a full-length device, used to check
+/// the paper-scale structures (55 488-atom nanowire, 23 040-atom UTB)
+/// without building them atom by atom.
+pub fn full_device_atom_count(spec: &DeviceSpec) -> usize {
+    spec.unit_cell.len() * spec.geometry.n_cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanowire_cross_section_is_round() {
+        let s = nanowire(1.5);
+        assert!(!s.is_empty());
+        let b = s.bounds();
+        let width_y = b[1].1 - b[1].0;
+        let width_z = b[2].1 - b[2].0;
+        assert!(width_y <= 1.5 + 1e-9);
+        assert!((width_y - width_z).abs() < 0.3, "roughly isotropic cross-section");
+    }
+
+    #[test]
+    fn nanowire_atom_count_scales_with_area() {
+        let small = nanowire(1.0).len() as f64;
+        let large = nanowire(2.0).len() as f64;
+        let ratio = large / small;
+        assert!(ratio > 2.5 && ratio < 6.0, "area scaling, got {ratio}");
+    }
+
+    #[test]
+    fn paper_scale_nanowire_atom_count() {
+        // The paper's largest structure: d = 3.2 nm, L = 104.3 nm,
+        // 55 488 atoms. Our carve (no H passivation shell) must land in
+        // the same range: tens of thousands of atoms.
+        let cell = nanowire(3.2);
+        let cells = (104.3 / SI_LATTICE).round() as usize;
+        let total = cell.len() * cells;
+        assert!(
+            (30_000..90_000).contains(&total),
+            "paper-scale NW atom count {total} (paper: 55 488)"
+        );
+    }
+
+    #[test]
+    fn utb_film_is_z_periodic() {
+        let s = utb_film(1.0);
+        assert!(s.z_period > 0.0);
+        assert!(!s.is_empty());
+        let b = s.bounds();
+        assert!(b[1].1 - b[1].0 <= 1.0 + 1e-9, "confined in y");
+    }
+
+    #[test]
+    fn paper_scale_utb_atom_count() {
+        // Fig. 8(a): t_body = 5 nm, L = 78.2 nm, 23 040 atoms. The model
+        // counts only the crystalline Si body (per-z-cell column), so
+        // normalize to the paper's 3-D count via the z extent: the paper
+        // device is one z-cell wide in the periodic direction too.
+        let cell = utb_film(5.0);
+        let cells = (78.2 / SI_LATTICE).round() as usize;
+        let total = cell.len() * cells;
+        assert!(
+            (10_000..40_000).contains(&total),
+            "paper-scale UTB atom count {total} (paper: 23 040)"
+        );
+    }
+
+    #[test]
+    fn builder_produces_consistent_spec() {
+        let spec = DeviceBuilder::nanowire(1.2).cells(12).basis(BasisKind::TightBinding).build();
+        assert_eq!(spec.geometry.n_cells, 12);
+        assert_eq!(spec.basis, BasisKind::TightBinding);
+        assert!(!spec.geometry.z_periodic);
+        assert!((spec.geometry.cell_len - SI_LATTICE).abs() < 1e-12);
+        let spec_utb = DeviceBuilder::utb(1.0).cells(6).build();
+        assert!(spec_utb.geometry.z_periodic);
+    }
+
+    #[test]
+    fn unit_cells_tile_identically() {
+        // Every atom of the unit cell must map into [0, cell_len).
+        let s = nanowire(1.2);
+        for at in &s.atoms {
+            assert!(at.pos[0] >= -1e-9 && at.pos[0] < s.x_period + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Atomic structures on crystal lattices.
+//!
+//! Lengths are in nanometres, energies in electron-volts throughout the
+//! workspace. Transport is always along `x` (the paper's convention,
+//! Fig. 1(a)); `y`/`z` are confinement or periodic directions.
+
+use serde::{Deserialize, Serialize};
+
+/// Chemical species appearing in the paper's workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Species {
+    /// Silicon (nanowire and UTB channels).
+    Si,
+    /// Tin (SnO battery anode).
+    Sn,
+    /// Oxygen (SnO battery anode).
+    O,
+    /// Lithium (inserted during lithiation).
+    Li,
+}
+
+impl Species {
+    /// Covalent-ish radius used by the neighbour heuristics (nm).
+    pub fn radius(self) -> f64 {
+        match self {
+            Species::Si => 0.111,
+            Species::Sn => 0.139,
+            Species::O => 0.066,
+            Species::Li => 0.128,
+        }
+    }
+
+    /// Display symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Species::Si => "Si",
+            Species::Sn => "Sn",
+            Species::O => "O",
+            Species::Li => "Li",
+        }
+    }
+}
+
+/// One atom: species + Cartesian position (nm).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Chemical species.
+    pub species: Species,
+    /// Position in nm; `pos[0]` is the transport direction.
+    pub pos: [f64; 3],
+}
+
+/// A finite atomic structure, optionally periodic along `x` (leads) and/or
+/// `z` (UTB out-of-plane direction).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Structure {
+    /// The atoms, sorted by slab when produced by the device builders.
+    pub atoms: Vec<Atom>,
+    /// Length of the periodic repeat unit along `x` (nm); 0 if aperiodic.
+    pub x_period: f64,
+    /// Out-of-plane period along `z` (nm); 0 if confined.
+    pub z_period: f64,
+    /// Human-readable label ("Si NWFET d=2.2nm", ...).
+    pub label: String,
+}
+
+/// Lattice constant of diamond silicon (nm).
+pub const SI_LATTICE: f64 = 0.5431;
+
+/// Lattice constant of the rock-salt-like SnO model crystal (nm).
+pub const SNO_LATTICE: f64 = 0.48;
+
+impl Structure {
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True when the structure has no atoms (carving removed everything).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Extent along each axis as `(min, max)` pairs.
+    pub fn bounds(&self) -> [(f64, f64); 3] {
+        let mut b = [(f64::INFINITY, f64::NEG_INFINITY); 3];
+        for a in &self.atoms {
+            for d in 0..3 {
+                b[d].0 = b[d].0.min(a.pos[d]);
+                b[d].1 = b[d].1.max(a.pos[d]);
+            }
+        }
+        b
+    }
+
+    /// Sorts atoms lexicographically by (slab index along x, y, z) so that
+    /// slab-contiguous orbital ordering produces a block tri-diagonal
+    /// Hamiltonian. `slab_len` is the slab thickness in nm.
+    pub fn sort_into_slabs(&mut self, slab_len: f64) {
+        let eps = 1e-9;
+        self.atoms.sort_by(|a, b| {
+            let sa = ((a.pos[0] + eps) / slab_len).floor() as i64;
+            let sb = ((b.pos[0] + eps) / slab_len).floor() as i64;
+            (sa, ord(a.pos[1]), ord(a.pos[2]))
+                .cmp(&(sb, ord(b.pos[1]), ord(b.pos[2])))
+        });
+    }
+
+    /// Partitions atom indices into slabs of thickness `slab_len` along x.
+    /// Returns one index range per slab (may be empty for vacuum slabs).
+    pub fn slab_ranges(&self, slab_len: f64) -> Vec<std::ops::Range<usize>> {
+        let eps = 1e-9;
+        let n_slabs = self
+            .atoms
+            .iter()
+            .map(|a| ((a.pos[0] + eps) / slab_len).floor() as usize)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut ranges = vec![0..0; n_slabs];
+        let mut start = 0usize;
+        for s in 0..n_slabs {
+            let mut end = start;
+            while end < self.atoms.len()
+                && ((self.atoms[end].pos[0] + eps) / slab_len).floor() as usize == s
+            {
+                end += 1;
+            }
+            ranges[s] = start..end;
+            start = end;
+        }
+        assert_eq!(start, self.atoms.len(), "atoms must be slab-sorted first");
+        ranges
+    }
+
+    /// Atom count per species.
+    pub fn composition(&self) -> Vec<(Species, usize)> {
+        let mut counts: Vec<(Species, usize)> = Vec::new();
+        for a in &self.atoms {
+            match counts.iter_mut().find(|(s, _)| *s == a.species) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((a.species, 1)),
+            }
+        }
+        counts
+    }
+}
+
+fn ord(x: f64) -> i64 {
+    (x * 1e6).round() as i64
+}
+
+/// Generates a diamond-lattice supercell of `nx × ny × nz` conventional
+/// cubic cells (8 atoms each) of the given species, anchored at the origin.
+pub fn diamond_supercell(species: Species, a: f64, nx: usize, ny: usize, nz: usize) -> Structure {
+    // Fractional coordinates of the 8 atoms in the conventional cell.
+    const FRAC: [[f64; 3]; 8] = [
+        [0.0, 0.0, 0.0],
+        [0.0, 0.5, 0.5],
+        [0.5, 0.0, 0.5],
+        [0.5, 0.5, 0.0],
+        [0.25, 0.25, 0.25],
+        [0.25, 0.75, 0.75],
+        [0.75, 0.25, 0.75],
+        [0.75, 0.75, 0.25],
+    ];
+    let mut atoms = Vec::with_capacity(8 * nx * ny * nz);
+    for ix in 0..nx {
+        for iy in 0..ny {
+            for iz in 0..nz {
+                for f in FRAC.iter() {
+                    atoms.push(Atom {
+                        species,
+                        pos: [
+                            (ix as f64 + f[0]) * a,
+                            (iy as f64 + f[1]) * a,
+                            (iz as f64 + f[2]) * a,
+                        ],
+                    });
+                }
+            }
+        }
+    }
+    Structure {
+        atoms,
+        x_period: nx as f64 * a,
+        z_period: nz as f64 * a,
+        label: format!("{} diamond {nx}x{ny}x{nz}", species.symbol()),
+    }
+}
+
+/// Generates a rock-salt-like SnO supercell (alternating Sn/O sites).
+pub fn sno_supercell(a: f64, nx: usize, ny: usize, nz: usize) -> Structure {
+    let mut atoms = Vec::with_capacity(8 * nx * ny * nz);
+    for ix in 0..nx {
+        for iy in 0..ny {
+            for iz in 0..nz {
+                for (f, parity) in [
+                    ([0.0, 0.0, 0.0], 0),
+                    ([0.5, 0.5, 0.0], 0),
+                    ([0.5, 0.0, 0.5], 0),
+                    ([0.0, 0.5, 0.5], 0),
+                    ([0.5, 0.0, 0.0], 1),
+                    ([0.0, 0.5, 0.0], 1),
+                    ([0.0, 0.0, 0.5], 1),
+                    ([0.5, 0.5, 0.5], 1),
+                ] {
+                    atoms.push(Atom {
+                        species: if parity == 0 { Species::Sn } else { Species::O },
+                        pos: [
+                            (ix as f64 + f[0]) * a,
+                            (iy as f64 + f[1]) * a,
+                            (iz as f64 + f[2]) * a,
+                        ],
+                    });
+                }
+            }
+        }
+    }
+    Structure {
+        atoms,
+        x_period: nx as f64 * a,
+        z_period: nz as f64 * a,
+        label: format!("SnO rock-salt {nx}x{ny}x{nz}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diamond_cell_has_eight_atoms() {
+        let s = diamond_supercell(Species::Si, SI_LATTICE, 1, 1, 1);
+        assert_eq!(s.len(), 8);
+        // Si atomic density ≈ 50 atoms/nm³.
+        let density = 8.0 / SI_LATTICE.powi(3);
+        assert!((density - 49.94).abs() < 0.5, "density = {density}");
+    }
+
+    #[test]
+    fn nearest_neighbor_distance_in_diamond() {
+        let s = diamond_supercell(Species::Si, SI_LATTICE, 2, 2, 2);
+        let expected = SI_LATTICE * 3f64.sqrt() / 4.0;
+        let mut min_d = f64::INFINITY;
+        for i in 0..s.len() {
+            for j in i + 1..s.len() {
+                let d: f64 = (0..3)
+                    .map(|k| (s.atoms[i].pos[k] - s.atoms[j].pos[k]).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                min_d = min_d.min(d);
+            }
+        }
+        assert!((min_d - expected).abs() < 1e-12, "min distance {min_d} vs {expected}");
+    }
+
+    #[test]
+    fn slab_sorting_and_ranges() {
+        let mut s = diamond_supercell(Species::Si, SI_LATTICE, 3, 1, 1);
+        s.sort_into_slabs(SI_LATTICE);
+        let ranges = s.slab_ranges(SI_LATTICE);
+        assert_eq!(ranges.len(), 3);
+        for r in &ranges {
+            assert_eq!(r.len(), 8, "each conventional cell holds 8 atoms");
+        }
+        // Atoms in slab k all lie within [k·a, (k+1)·a).
+        for (k, r) in ranges.iter().enumerate() {
+            for a in &s.atoms[r.clone()] {
+                assert!(a.pos[0] >= k as f64 * SI_LATTICE - 1e-9);
+                assert!(a.pos[0] < (k + 1) as f64 * SI_LATTICE + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sno_cell_is_stoichiometric() {
+        let s = sno_supercell(SNO_LATTICE, 2, 1, 1);
+        let comp = s.composition();
+        let sn = comp.iter().find(|(sp, _)| *sp == Species::Sn).unwrap().1;
+        let o = comp.iter().find(|(sp, _)| *sp == Species::O).unwrap().1;
+        assert_eq!(sn, o, "SnO is 1:1");
+        assert_eq!(sn + o, 16);
+    }
+
+    #[test]
+    fn bounds_cover_cell() {
+        let s = diamond_supercell(Species::Si, SI_LATTICE, 2, 1, 1);
+        let b = s.bounds();
+        assert!(b[0].1 - b[0].0 <= 2.0 * SI_LATTICE);
+        assert!(b[0].1 > SI_LATTICE, "atoms in the second cell exist");
+    }
+}

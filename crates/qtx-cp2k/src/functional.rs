@@ -1,0 +1,55 @@
+//! Exchange-correlation functional knob.
+//!
+//! The paper computes everything with a 3SP basis in the LDA (ref. [34])
+//! but stresses that "the SplitSolve algorithm works with any basis set
+//! and functional": Fig. 1(b) compares LDA to the HSE06 hybrid and
+//! Fig. 1(e)/(f) uses PBE. At the level the transport solvers see, the
+//! functional choice shifts band edges — LDA famously underestimates the
+//! gap, hybrids reopen it — so the substitution applies the documented
+//! gap corrections to the conduction manifold on-site energies.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported exchange-correlation treatments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Functional {
+    /// Local density approximation (the paper's production choice).
+    Lda,
+    /// PBE generalized-gradient approximation (battery workloads).
+    Pbe,
+    /// HSE06-like screened hybrid: opens the LDA gap back up.
+    Hse06,
+}
+
+impl Functional {
+    /// Rigid shift (eV) applied to the conduction manifold relative to the
+    /// LDA baseline — the Si LDA→HSE06 gap reopening is ≈ +0.6–0.7 eV.
+    pub fn gap_correction(self) -> f64 {
+        match self {
+            Functional::Lda => 0.0,
+            Functional::Pbe => 0.08,
+            Functional::Hse06 => 0.65,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Functional::Lda => "LDA",
+            Functional::Pbe => "PBE",
+            Functional::Hse06 => "HSE06",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_opens_the_gap() {
+        assert_eq!(Functional::Lda.gap_correction(), 0.0);
+        assert!(Functional::Hse06.gap_correction() > 0.5);
+        assert!(Functional::Pbe.gap_correction() < Functional::Hse06.gap_correction());
+    }
+}

@@ -1,0 +1,214 @@
+//! The CP2K → OMEN binary transfer file (Fig. 2).
+//!
+//! "The coupling between the two packages currently occurs through a
+//! transfer of binary files" (§4). The format here is a simple
+//! length-prefixed little-endian layout built with the `bytes` crate: a
+//! magic tag, metadata, then the unit-cell `H_l`/`S_l` blocks. `qtx-core`
+//! plays OMEN's role and reads these files back ("not all the nodes
+//! running OMEN load the Hamiltonian ... the resulting data are then
+//! distributed to all the available MPI ranks with MPI_Bcast").
+
+use crate::functional::Functional;
+use crate::scf::ScfReport;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use qtx_atomistic::assemble::UnitCellMatrices;
+use qtx_atomistic::devices::DeviceGeometry;
+use qtx_atomistic::BasisKind;
+use qtx_linalg::{c64, ZMat};
+
+/// Magic prefix of the transfer format.
+const MAGIC: &[u8; 8] = b"QTXHS\x01\0\0";
+
+/// The transferred content: everything OMEN needs to build leads and
+/// device matrices.
+#[derive(Debug, Clone)]
+pub struct HsFile {
+    /// Human-readable structure label.
+    pub label: String,
+    /// Functional the matrices were generated with.
+    pub functional: Functional,
+    /// Device geometry metadata.
+    pub geometry: DeviceGeometry,
+    /// Basis kind.
+    pub basis: BasisKind,
+    /// Unit-cell Hamiltonian/overlap blocks.
+    pub unit_cell: UnitCellMatrices,
+    /// Self-consistency record.
+    pub scf: ScfReport,
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u64_le(s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> String {
+    let len = buf.get_u64_le() as usize;
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).expect("utf8 label")
+}
+
+fn put_zmat(buf: &mut BytesMut, m: &ZMat) {
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for z in m.as_slice() {
+        buf.put_f64_le(z.re);
+        buf.put_f64_le(z.im);
+    }
+}
+
+fn get_zmat(buf: &mut Bytes) -> ZMat {
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let mut m = ZMat::zeros(rows, cols);
+    for j in 0..cols {
+        for i in 0..rows {
+            let re = buf.get_f64_le();
+            let im = buf.get_f64_le();
+            m[(i, j)] = c64(re, im);
+        }
+    }
+    m
+}
+
+impl HsFile {
+    /// Serializes to the binary transfer format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        put_string(&mut buf, &self.label);
+        buf.put_u8(match self.functional {
+            Functional::Lda => 0,
+            Functional::Pbe => 1,
+            Functional::Hse06 => 2,
+        });
+        buf.put_u8(match self.basis {
+            BasisKind::TightBinding => 0,
+            BasisKind::Dft3sp => 1,
+        });
+        put_string(&mut buf, &self.geometry.kind);
+        buf.put_f64_le(self.geometry.cross_section);
+        buf.put_u64_le(self.geometry.n_cells as u64);
+        buf.put_f64_le(self.geometry.cell_len);
+        buf.put_u8(self.geometry.z_periodic as u8);
+        // Unit cell matrices.
+        let uc = &self.unit_cell;
+        buf.put_u64_le(uc.nbw as u64);
+        buf.put_u64_le(uc.n_orb as u64);
+        buf.put_u64_le(uc.atoms_per_cell as u64);
+        buf.put_f64_le(uc.cell_len);
+        for l in 0..=uc.nbw {
+            put_zmat(&mut buf, &uc.h[l]);
+            put_zmat(&mut buf, &uc.s[l]);
+        }
+        // SCF report.
+        buf.put_u64_le(self.scf.iterations as u64);
+        buf.put_f64_le(self.scf.charge_residual);
+        buf.put_u8(self.scf.converged as u8);
+        buf.put_u64_le(self.scf.mulliken.len() as u64);
+        for &q in &self.scf.mulliken {
+            buf.put_f64_le(q);
+        }
+        buf.to_vec()
+    }
+
+    /// Deserializes from the binary transfer format.
+    pub fn from_bytes(data: &[u8]) -> std::io::Result<HsFile> {
+        let mut buf = Bytes::copy_from_slice(data);
+        if buf.len() < 8 || &buf.split_to(8)[..] != MAGIC {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let label = get_string(&mut buf);
+        let functional = match buf.get_u8() {
+            0 => Functional::Lda,
+            1 => Functional::Pbe,
+            _ => Functional::Hse06,
+        };
+        let basis = match buf.get_u8() {
+            0 => BasisKind::TightBinding,
+            _ => BasisKind::Dft3sp,
+        };
+        let kind = get_string(&mut buf);
+        let cross_section = buf.get_f64_le();
+        let n_cells = buf.get_u64_le() as usize;
+        let cell_len = buf.get_f64_le();
+        let z_periodic = buf.get_u8() != 0;
+        let nbw = buf.get_u64_le() as usize;
+        let n_orb = buf.get_u64_le() as usize;
+        let atoms_per_cell = buf.get_u64_le() as usize;
+        let uc_cell_len = buf.get_f64_le();
+        let mut h = Vec::with_capacity(nbw + 1);
+        let mut s = Vec::with_capacity(nbw + 1);
+        for _ in 0..=nbw {
+            h.push(get_zmat(&mut buf));
+            s.push(get_zmat(&mut buf));
+        }
+        let iterations = buf.get_u64_le() as usize;
+        let charge_residual = buf.get_f64_le();
+        let converged = buf.get_u8() != 0;
+        let nq = buf.get_u64_le() as usize;
+        let mulliken = (0..nq).map(|_| buf.get_f64_le()).collect();
+        Ok(HsFile {
+            label,
+            functional,
+            geometry: DeviceGeometry { kind, cross_section, n_cells, cell_len, z_periodic },
+            basis,
+            unit_cell: UnitCellMatrices { nbw, n_orb, h, s, atoms_per_cell, cell_len: uc_cell_len },
+            scf: ScfReport { iterations, charge_residual, converged, mulliken },
+        })
+    }
+
+    /// Writes the transfer file to disk.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a transfer file from disk.
+    pub fn load(path: &std::path::Path) -> std::io::Result<HsFile> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scf::Cp2kRun;
+    use qtx_atomistic::{BasisKind, DeviceBuilder};
+
+    fn sample() -> HsFile {
+        let spec = DeviceBuilder::nanowire(0.8).cells(4).basis(BasisKind::TightBinding).build();
+        Cp2kRun::new(spec).without_scf().generate().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrices() {
+        let hs = sample();
+        let bytes = hs.to_bytes();
+        let back = HsFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.unit_cell.nbw, hs.unit_cell.nbw);
+        assert_eq!(back.unit_cell.n_orb, hs.unit_cell.n_orb);
+        for l in 0..=hs.unit_cell.nbw {
+            assert!(back.unit_cell.h[l].max_diff(&hs.unit_cell.h[l]) < 1e-15);
+            assert!(back.unit_cell.s[l].max_diff(&hs.unit_cell.s[l]) < 1e-15);
+        }
+        assert_eq!(back.label, hs.label);
+        assert_eq!(back.geometry.n_cells, 4);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(HsFile::from_bytes(b"NOTQTXHS-whatever").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_on_disk() {
+        let hs = sample();
+        let dir = std::env::temp_dir().join("qtx_hsfile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cell.qtxhs");
+        hs.save(&path).unwrap();
+        let back = HsFile::load(&path).unwrap();
+        assert!(back.unit_cell.h[0].max_diff(&hs.unit_cell.h[0]) < 1e-15);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,385 @@
+//! Double-precision complex arithmetic.
+//!
+//! A self-contained replacement for `num_complex::Complex64`, kept minimal
+//! on purpose: the transport kernels only need field arithmetic, conjugation,
+//! polar helpers and a handful of transcendentals.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor, mirroring `num_complex`'s free function.
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// Additive identity.
+    pub const ZERO: Complex64 = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: Complex64 = c64(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = c64(0.0, 1.0);
+
+    /// Builds a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Builds a purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (avoids the `sqrt` of [`Self::abs`]).
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude, computed with `hypot` for overflow safety.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(−π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse with Smith's scaling to avoid overflow.
+    #[inline]
+    pub fn inv(self) -> Self {
+        if self.re.abs() >= self.im.abs() {
+            let r = self.im / self.re;
+            let d = self.re + self.im * r;
+            c64(1.0 / d, -r / d)
+        } else {
+            let r = self.re / self.im;
+            let d = self.re * r + self.im;
+            c64(r / d, -1.0 / d)
+        }
+    }
+
+    /// Complex square root (principal branch).
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let m = self.abs();
+        let re = ((m + self.re) * 0.5).max(0.0).sqrt();
+        let im_mag = ((m - self.re) * 0.5).max(0.0).sqrt();
+        c64(re, if self.im >= 0.0 { im_mag } else { -im_mag })
+    }
+
+    /// Complex exponential `e^{re}·(cos im + i sin im)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        c64(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        c64(self.abs().ln(), self.arg())
+    }
+
+    /// Unit complex number `e^{iθ}` on the unit circle.
+    #[inline]
+    pub fn from_phase(theta: f64) -> Self {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// Polar constructor `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Fused multiply-accumulate `self + a·b`, the hot path of every kernel.
+    #[inline(always)]
+    pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
+        c64(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// `self·s` for a real scalar, cheaper than promoting `s`.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// True if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Raises to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Self::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Self::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        acc
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Self {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: f64) -> Self {
+        c64(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: f64) -> Self {
+        c64(self.re - rhs, self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline(always)]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn field_axioms_on_samples() {
+        let a = c64(1.5, -2.25);
+        let b = c64(-0.5, 3.0);
+        let c = c64(0.75, 0.125);
+        assert!(close((a + b) + c, a + (b + c), 1e-14));
+        assert!(close(a * (b + c), a * b + a * c, 1e-12));
+        assert!(close(a * b, b * a, 1e-14));
+    }
+
+    #[test]
+    fn inverse_and_division() {
+        let a = c64(3.0, -4.0);
+        assert!(close(a * a.inv(), Complex64::ONE, 1e-14));
+        assert!(close(a / a, Complex64::ONE, 1e-14));
+        // Smith's algorithm handles extreme components without overflow.
+        let big = c64(1e300, 1e-300);
+        assert!(big.inv().is_finite());
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &z in &[c64(2.0, 3.0), c64(-1.0, 0.5), c64(0.0, -4.0), c64(-9.0, 0.0)] {
+            let r = z.sqrt();
+            assert!(close(r * r, z, 1e-12), "sqrt({z}) = {r}");
+            assert!(r.re >= 0.0, "principal branch");
+        }
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let z = c64(0.3, -1.2);
+        assert!(close(z.exp().ln(), z, 1e-12));
+        // Euler identity.
+        assert!(close(c64(0.0, std::f64::consts::PI).exp(), c64(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn polar_and_phase() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-14);
+        assert!((z.arg() - 0.7).abs() < 1e-14);
+        let u = Complex64::from_phase(-2.1);
+        assert!((u.abs() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64(0.9, 0.4);
+        let mut acc = Complex64::ONE;
+        for _ in 0..7 {
+            acc = acc * z;
+        }
+        assert!(close(z.powi(7), acc, 1e-12));
+        assert!(close(z.powi(-3) * z.powi(3), Complex64::ONE, 1e-12));
+        assert!(close(z.powi(0), Complex64::ONE, 0.0));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let acc = c64(0.1, 0.2);
+        let a = c64(1.0, -1.0);
+        let b = c64(2.0, 0.5);
+        assert!(close(acc.mul_add(a, b), acc + a * b, 1e-14));
+    }
+
+    #[test]
+    fn conj_properties() {
+        let a = c64(1.0, 2.0);
+        let b = c64(-0.5, 0.25);
+        assert!(close((a * b).conj(), a.conj() * b.conj(), 1e-14));
+        assert!((a * a.conj()).im.abs() < 1e-15);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < 1e-15);
+    }
+}

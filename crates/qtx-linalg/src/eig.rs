@@ -1,0 +1,490 @@
+//! Dense complex eigensolvers (`zgeev`/`zggev`-lite).
+//!
+//! The shift-and-invert OBC baseline and FEAST's Rayleigh–Ritz step both
+//! end in a dense non-Hermitian eigenvalue problem (§3.A, Eq. 7). LAPACK's
+//! `zggev` is unavailable here, so this module implements the classic
+//! pipeline from scratch:
+//!
+//! 1. Householder reduction to upper Hessenberg form,
+//! 2. explicitly shifted QR iteration with Givens rotations and Wilkinson
+//!    shifts to the (complex) Schur form `A = Z·T·Zᴴ`,
+//! 3. eigenvector recovery by triangular back-substitution,
+//! 4. generalized problems `A·x = λ·B·x` by a `B⁻¹A` reduction (the FEAST
+//!    reduced matrices `QᴴBQ` are well conditioned by construction).
+
+use crate::complex::{c64, Complex64};
+use crate::flops::flops_add;
+use crate::lu::lu_factor;
+use crate::zmat::ZMat;
+use crate::{LinalgError, Result};
+
+/// A complex Schur decomposition `A = Z·T·Zᴴ` with unitary `Z` and upper
+/// triangular `T`.
+#[derive(Debug, Clone)]
+pub struct SchurDecomposition {
+    /// Upper triangular factor; eigenvalues on the diagonal.
+    pub t: ZMat,
+    /// Unitary Schur vectors.
+    pub z: ZMat,
+}
+
+/// Eigenvalues and right eigenvectors of a dense complex matrix.
+#[derive(Debug, Clone)]
+pub struct EigDecomposition {
+    /// Eigenvalues (unsorted).
+    pub values: Vec<Complex64>,
+    /// Right eigenvectors, column `k` pairs with `values[k]`, unit 2-norm.
+    pub vectors: ZMat,
+}
+
+/// Reduces `a` to upper Hessenberg form `H = Qᴴ·A·Q`, returning `(H, Q)`.
+pub fn hessenberg(a: &ZMat) -> (ZMat, ZMat) {
+    let n = a.rows();
+    assert!(a.is_square());
+    let mut h = a.clone();
+    let mut q = ZMat::identity(n);
+    flops_add(10 * (n as u64).pow(3) / 3);
+    for k in 0..n.saturating_sub(2) {
+        // Reflector zeroing column k below the subdiagonal.
+        let alpha = h[(k + 1, k)];
+        let mut xnorm_sq = 0.0;
+        for i in k + 2..n {
+            xnorm_sq += h[(i, k)].norm_sqr();
+        }
+        if xnorm_sq == 0.0 && alpha.im == 0.0 {
+            continue;
+        }
+        let beta_mag = (alpha.norm_sqr() + xnorm_sq).sqrt();
+        let beta = if alpha.re >= 0.0 { -beta_mag } else { beta_mag };
+        let tau = c64((beta - alpha.re) / beta, -alpha.im / beta);
+        let scale = (alpha - c64(beta, 0.0)).inv();
+        let mut v = vec![Complex64::ONE; n - k - 1];
+        for i in k + 2..n {
+            v[i - k - 1] = h[(i, k)] * scale;
+        }
+        h[(k + 1, k)] = c64(beta, 0.0);
+        for i in k + 2..n {
+            h[(i, k)] = Complex64::ZERO;
+        }
+        // H ← Hᴴ_refl · H = (I − τ̄ v vᴴ) H  on rows k+1.., columns k+1..
+        for j in k + 1..n {
+            let mut w = Complex64::ZERO;
+            for i in k + 1..n {
+                w += v[i - k - 1].conj() * h[(i, j)];
+            }
+            let f = tau.conj() * w;
+            for i in k + 1..n {
+                let vi = v[i - k - 1];
+                h[(i, j)] = h[(i, j)] - vi * f;
+            }
+        }
+        // H ← H · H_refl = H (I − τ v vᴴ)  on columns k+1.., all rows.
+        for i in 0..n {
+            let mut w = Complex64::ZERO;
+            for j in k + 1..n {
+                w += h[(i, j)] * v[j - k - 1];
+            }
+            let f = w * tau;
+            for j in k + 1..n {
+                let vj = v[j - k - 1];
+                h[(i, j)] = h[(i, j)] - f * vj.conj();
+            }
+        }
+        // Accumulate Q ← Q · H_refl.
+        for i in 0..n {
+            let mut w = Complex64::ZERO;
+            for j in k + 1..n {
+                w += q[(i, j)] * v[j - k - 1];
+            }
+            let f = w * tau;
+            for j in k + 1..n {
+                let vj = v[j - k - 1];
+                q[(i, j)] = q[(i, j)] - f * vj.conj();
+            }
+        }
+    }
+    (h, q)
+}
+
+/// A complex Givens rotation `[[c, s], [-s̄, c]]` with real `c ≥ 0`.
+#[derive(Clone, Copy)]
+struct Givens {
+    c: f64,
+    s: Complex64,
+}
+
+impl Givens {
+    /// Computes the rotation that maps `(f, g)` to `(r, 0)`.
+    fn compute(f: Complex64, g: Complex64) -> (Givens, Complex64) {
+        if g == Complex64::ZERO {
+            return (Givens { c: 1.0, s: Complex64::ZERO }, f);
+        }
+        if f == Complex64::ZERO {
+            return (Givens { c: 0.0, s: Complex64::ONE }, g);
+        }
+        let fa = f.abs();
+        let d = (f.norm_sqr() + g.norm_sqr()).sqrt();
+        let c = fa / d;
+        let s = (f / fa) * g.conj() / d;
+        let r = (f / fa) * d;
+        (Givens { c, s }, r)
+    }
+
+    /// Applies the rotation to the row pair `(x, y)` element-wise.
+    #[inline(always)]
+    fn rotate(&self, x: Complex64, y: Complex64) -> (Complex64, Complex64) {
+        (
+            x.scale(self.c) + self.s * y,
+            y.scale(self.c) - self.s.conj() * x,
+        )
+    }
+}
+
+/// Computes the complex Schur decomposition of `a`.
+pub fn schur(a: &ZMat) -> Result<SchurDecomposition> {
+    let n = a.rows();
+    assert!(a.is_square());
+    let (mut t, mut z) = hessenberg(a);
+    if n <= 1 {
+        return Ok(SchurDecomposition { t, z });
+    }
+    flops_add(25 * (n as u64).pow(3));
+    let scale = t.norm_max().max(1e-300);
+    let small = f64::EPSILON * scale;
+    let max_total_iters = 60 * n;
+    let mut hi = n - 1;
+    let mut iters_here = 0usize;
+    let mut total_iters = 0usize;
+    while hi > 0 {
+        if total_iters > max_total_iters {
+            return Err(LinalgError::NoConvergence { remaining: hi + 1 });
+        }
+        // Deflation scan: find the start `lo` of the active block.
+        let mut lo = hi;
+        while lo > 0 {
+            let sub = t[(lo, lo - 1)].abs();
+            let local = t[(lo - 1, lo - 1)].abs() + t[(lo, lo)].abs();
+            if sub <= f64::EPSILON * local.max(small) {
+                t[(lo, lo - 1)] = Complex64::ZERO;
+                break;
+            }
+            lo -= 1;
+        }
+        if lo == hi {
+            // Eigenvalue at `hi` has converged.
+            hi -= 1;
+            iters_here = 0;
+            continue;
+        }
+        iters_here += 1;
+        total_iters += 1;
+        // Wilkinson shift from the trailing 2×2 of the active block, with
+        // an exceptional shift every 10 stalled iterations.
+        let mu = if iters_here % 10 == 0 {
+            t[(hi, hi)] + c64(1.5 * t[(hi, hi - 1)].abs(), 0.5 * t[(hi, hi - 1)].abs())
+        } else {
+            let a11 = t[(hi - 1, hi - 1)];
+            let a12 = t[(hi - 1, hi)];
+            let a21 = t[(hi, hi - 1)];
+            let a22 = t[(hi, hi)];
+            let tr_half = (a11 + a22).scale(0.5);
+            let disc = ((a11 - a22).scale(0.5).powi(2) + a12 * a21).sqrt();
+            let l1 = tr_half + disc;
+            let l2 = tr_half - disc;
+            if (l1 - a22).abs() <= (l2 - a22).abs() {
+                l1
+            } else {
+                l2
+            }
+        };
+        // Explicit shifted QR sweep on the block [lo, hi].
+        for k in lo..=hi {
+            t[(k, k)] = t[(k, k)] - mu;
+        }
+        let mut rotations = Vec::with_capacity(hi - lo);
+        for k in lo..hi {
+            let (g, r) = Givens::compute(t[(k, k)], t[(k + 1, k)]);
+            t[(k, k)] = r;
+            t[(k + 1, k)] = Complex64::ZERO;
+            for j in k + 1..n {
+                let (x, y) = g.rotate(t[(k, j)], t[(k + 1, j)]);
+                t[(k, j)] = x;
+                t[(k + 1, j)] = y;
+            }
+            rotations.push(g);
+        }
+        // Right-multiply by the adjoint rotations: T ← T·Gᴴ, Z ← Z·Gᴴ.
+        for (idx, g) in rotations.iter().enumerate() {
+            let k = lo + idx;
+            let row_end = (k + 2).min(hi + 1);
+            for i in 0..row_end {
+                let x = t[(i, k)];
+                let y = t[(i, k + 1)];
+                t[(i, k)] = x.scale(g.c) + y * g.s.conj();
+                t[(i, k + 1)] = y.scale(g.c) - x * g.s;
+            }
+            for i in 0..n {
+                let x = z[(i, k)];
+                let y = z[(i, k + 1)];
+                z[(i, k)] = x.scale(g.c) + y * g.s.conj();
+                z[(i, k + 1)] = y.scale(g.c) - x * g.s;
+            }
+        }
+        for k in lo..=hi {
+            t[(k, k)] = t[(k, k)] + mu;
+        }
+    }
+    // Clean any numerically negligible subdiagonals.
+    for k in 1..n {
+        t[(k, k - 1)] = Complex64::ZERO;
+    }
+    Ok(SchurDecomposition { t, z })
+}
+
+/// Computes eigenvalues and right eigenvectors of a dense complex matrix.
+pub fn eig(a: &ZMat) -> Result<EigDecomposition> {
+    let n = a.rows();
+    let dec = schur(a)?;
+    let t = &dec.t;
+    let values: Vec<Complex64> = (0..n).map(|i| t[(i, i)]).collect();
+    // Back-substitute for eigenvectors in the Schur basis, then rotate.
+    let mut vecs = ZMat::zeros(n, n);
+    let scale = t.norm_max().max(1.0);
+    let smlnum = (f64::EPSILON * scale).max(1e-280);
+    for k in 0..n {
+        let lambda = values[k];
+        let mut y = vec![Complex64::ZERO; n];
+        y[k] = Complex64::ONE;
+        for i in (0..k).rev() {
+            // (T(i,i) − λ)·y_i = −Σ_{j>i} T(i,j)·y_j
+            let mut rhs = Complex64::ZERO;
+            for j in i + 1..=k {
+                rhs += t[(i, j)] * y[j];
+            }
+            let mut denom = t[(i, i)] - lambda;
+            if denom.abs() < smlnum {
+                denom = c64(smlnum, smlnum);
+            }
+            y[i] = -rhs / denom;
+        }
+        // v = Z·y, normalized.
+        let v = dec.z.matvec(&y);
+        let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        for (i, zv) in v.into_iter().enumerate() {
+            vecs[(i, k)] = zv / norm;
+        }
+    }
+    Ok(EigDecomposition { values, vectors: vecs })
+}
+
+/// Eigenvalues only (skips eigenvector recovery).
+pub fn eigenvalues(a: &ZMat) -> Result<Vec<Complex64>> {
+    let dec = schur(a)?;
+    Ok((0..a.rows()).map(|i| dec.t[(i, i)]).collect())
+}
+
+/// Solves the generalized problem `A·x = λ·B·x` by reduction to the
+/// standard problem `B⁻¹A·x = λ·x` (LAPACK `zggev` replacement; valid for
+/// invertible `B`, which holds for the FEAST reduced matrices and the
+/// companion pencils with invertible leading coupling block).
+pub fn eig_generalized(a: &ZMat, b: &ZMat) -> Result<EigDecomposition> {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    let c = match lu_factor(b) {
+        Ok(f) => f.solve(a),
+        Err(_) => {
+            // Regularize a numerically singular B: shift by ε·‖B‖ and warn
+            // through the error path if that also fails.
+            let eps = 1e-12 * b.norm_max().max(1.0);
+            let mut b_reg = b.clone();
+            for i in 0..b.rows() {
+                b_reg[(i, i)] = b_reg[(i, i)] + c64(eps, eps);
+            }
+            lu_factor(&b_reg)?.solve(a)
+        }
+    };
+    eig(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Op};
+
+    fn residual(a: &ZMat, e: &EigDecomposition) -> f64 {
+        let n = a.rows();
+        let mut worst: f64 = 0.0;
+        for k in 0..n {
+            let v: Vec<Complex64> = (0..n).map(|i| e.vectors[(i, k)]).collect();
+            let av = a.matvec(&v);
+            let lv: Vec<Complex64> = v.iter().map(|&z| z * e.values[k]).collect();
+            let r = av
+                .iter()
+                .zip(&lv)
+                .map(|(x, y)| (*x - *y).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            worst = worst.max(r);
+        }
+        worst
+    }
+
+    #[test]
+    fn hessenberg_is_similarity() {
+        let a = ZMat::random(9, 9, 1);
+        let (h, q) = hessenberg(&a);
+        // Q unitary.
+        let mut qhq = ZMat::zeros(9, 9);
+        gemm(Complex64::ONE, &q, Op::Adjoint, &q, Op::None, Complex64::ZERO, &mut qhq);
+        assert!(qhq.max_diff(&ZMat::identity(9)) < 1e-11);
+        // Q H Qᴴ = A.
+        let qh = &q * &h;
+        let mut back = ZMat::zeros(9, 9);
+        gemm(Complex64::ONE, &qh, Op::None, &q, Op::Adjoint, Complex64::ZERO, &mut back);
+        assert!(back.max_diff(&a) < 1e-10);
+        // Zero below the first subdiagonal.
+        for j in 0..9 {
+            for i in j + 2..9 {
+                assert!(h[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn schur_decomposes_random_matrix() {
+        let a = ZMat::random(12, 12, 2);
+        let d = schur(&a).unwrap();
+        // T upper triangular.
+        for j in 0..12 {
+            for i in j + 1..12 {
+                assert!(d.t[(i, j)].abs() < 1e-9, "t[{i},{j}] = {}", d.t[(i, j)]);
+            }
+        }
+        // Z unitary, Z T Zᴴ = A.
+        let zt = &d.z * &d.t;
+        let mut back = ZMat::zeros(12, 12);
+        gemm(Complex64::ONE, &zt, Op::None, &d.z, Op::Adjoint, Complex64::ZERO, &mut back);
+        assert!(back.max_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn eig_of_diagonal_matrix() {
+        let diag = [c64(1.0, 0.0), c64(-2.0, 0.5), c64(3.0, -1.0)];
+        let a = ZMat::from_diag(&diag);
+        let e = eig(&a).unwrap();
+        let mut got: Vec<f64> = e.values.iter().map(|z| z.re).collect();
+        got.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((got[0] + 2.0).abs() < 1e-10);
+        assert!((got[1] - 1.0).abs() < 1e-10);
+        assert!((got[2] - 3.0).abs() < 1e-10);
+        assert!(residual(&a, &e) < 1e-9);
+    }
+
+    #[test]
+    fn eig_known_2x2() {
+        // [[0, 1], [-1, 0]] has eigenvalues ±i.
+        let a = ZMat::from_rows(2, 2, &[(0.0, 0.0), (1.0, 0.0), (-1.0, 0.0), (0.0, 0.0)]);
+        let e = eig(&a).unwrap();
+        let mut ims: Vec<f64> = e.values.iter().map(|z| z.im).collect();
+        ims.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((ims[0] + 1.0).abs() < 1e-12);
+        assert!((ims[1] - 1.0).abs() < 1e-12);
+        assert!(residual(&a, &e) < 1e-10);
+    }
+
+    #[test]
+    fn eig_residual_random() {
+        for seed in [3u64, 4, 5] {
+            let a = ZMat::random(15, 15, seed);
+            let e = eig(&a).unwrap();
+            assert!(residual(&a, &e) < 1e-7, "seed {seed}: residual {}", residual(&a, &e));
+        }
+    }
+
+    #[test]
+    fn hermitian_matrix_has_real_eigenvalues() {
+        let mut a = ZMat::random(10, 10, 6);
+        a.hermitianize();
+        let e = eig(&a).unwrap();
+        for v in &e.values {
+            assert!(v.im.abs() < 1e-8, "eigenvalue {v} not real");
+        }
+        assert!(residual(&a, &e) < 1e-8);
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3); companion eigenvalues 1,2,3.
+        let a = ZMat::from_rows(
+            3,
+            3,
+            &[
+                (6.0, 0.0), (-11.0, 0.0), (6.0, 0.0),
+                (1.0, 0.0), (0.0, 0.0), (0.0, 0.0),
+                (0.0, 0.0), (1.0, 0.0), (0.0, 0.0),
+            ],
+        );
+        let e = eig(&a).unwrap();
+        let mut roots: Vec<f64> = e.values.iter().map(|z| z.re).collect();
+        roots.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((roots[0] - 1.0).abs() < 1e-8);
+        assert!((roots[1] - 2.0).abs() < 1e-8);
+        assert!((roots[2] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn generalized_reduces_to_standard_for_identity_b() {
+        let a = ZMat::random(8, 8, 7);
+        let b = ZMat::identity(8);
+        let eg = eig_generalized(&a, &b).unwrap();
+        let es = eig(&a).unwrap();
+        let mut g: Vec<f64> = eg.values.iter().map(|z| z.abs()).collect();
+        let mut s: Vec<f64> = es.values.iter().map(|z| z.abs()).collect();
+        g.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        s.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (x, y) in g.iter().zip(&s) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn generalized_pencil_residual() {
+        let a = ZMat::random(9, 9, 8);
+        let mut b = ZMat::random(9, 9, 9);
+        for i in 0..9 {
+            b[(i, i)] = b[(i, i)] + c64(9.0, 0.0); // keep B invertible
+        }
+        let e = eig_generalized(&a, &b).unwrap();
+        for k in 0..9 {
+            let v: Vec<Complex64> = (0..9).map(|i| e.vectors[(i, k)]).collect();
+            let av = a.matvec(&v);
+            let bv = b.matvec(&v);
+            let r = av
+                .iter()
+                .zip(&bv)
+                .map(|(x, y)| (*x - *y * e.values[k]).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(r < 1e-7, "pencil residual {r} for eigenvalue {}", e.values[k]);
+        }
+    }
+
+    #[test]
+    fn repeated_eigenvalues_converge() {
+        // Jordan-like structure stresses deflation: diag(2,2,2) + nilpotent.
+        let mut a = ZMat::from_diag(&[c64(2.0, 0.0); 3]);
+        a[(0, 1)] = c64(1.0, 0.0);
+        a[(1, 2)] = c64(1.0, 0.0);
+        let vals = eigenvalues(&a).unwrap();
+        for v in vals {
+            assert!((v - c64(2.0, 0.0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn size_one_and_empty() {
+        let a = ZMat::from_diag(&[c64(5.0, 1.0)]);
+        let e = eig(&a).unwrap();
+        assert_eq!(e.values.len(), 1);
+        assert!((e.values[0] - c64(5.0, 1.0)).abs() < 1e-14);
+    }
+}

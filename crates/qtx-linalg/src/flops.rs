@@ -1,0 +1,122 @@
+//! Deterministic FLOP accounting.
+//!
+//! The paper measures CPU FLOPs with PAPI and GPU FLOPs with CUPTI device
+//! counters (§5.B), noting that SplitSolve's operation count is
+//! deterministic. We reproduce that methodology in software: every kernel
+//! in this crate reports its double-precision operation count to a global
+//! relaxed atomic counter, and scoped counters ([`FlopScope`]) measure
+//! individual phases (e.g. "OBC on CPUs" vs "Eq. 5 on GPUs") exactly the
+//! way `PAPI_start_counters`/`PAPI_stop_counters` bracket the production
+//! run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` double-precision operations to the global counter.
+#[inline]
+pub fn flops_add(n: u64) {
+    GLOBAL_FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total double-precision operations counted since start/reset.
+#[inline]
+pub fn flops_total() -> u64 {
+    GLOBAL_FLOPS.load(Ordering::Relaxed)
+}
+
+/// Resets the global counter (used between benchmark phases).
+#[inline]
+pub fn flops_reset() {
+    GLOBAL_FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// A scoped FLOP measurement: records the counter at construction and
+/// reports the delta on [`FlopScope::elapsed`]. Mirrors the PAPI
+/// start/stop bracketing of §5.B.
+pub struct FlopScope {
+    start: u64,
+}
+
+impl FlopScope {
+    /// Starts a measurement scope.
+    pub fn start() -> Self {
+        FlopScope { start: flops_total() }
+    }
+
+    /// Operations executed since the scope started.
+    pub fn elapsed(&self) -> u64 {
+        flops_total().saturating_sub(self.start)
+    }
+}
+
+/// Standard operation-count formulas (real FLOPs, complex arithmetic
+/// counted as 8 real ops per multiply-add pair, 2 per add).
+pub mod counts {
+    /// `C ← A·B` for complex matrices: 8·m·n·k real operations.
+    #[inline]
+    pub fn zgemm(m: usize, n: usize, k: usize) -> u64 {
+        8 * (m as u64) * (n as u64) * (k as u64)
+    }
+
+    /// Complex LU factorization of an n×n matrix: (8/3)·n³.
+    #[inline]
+    pub fn zgetrf(n: usize) -> u64 {
+        (8 * (n as u64).pow(3)) / 3
+    }
+
+    /// Complex triangular solve with `nrhs` right-hand sides: 8·n²·nrhs.
+    #[inline]
+    pub fn zgetrs(n: usize, nrhs: usize) -> u64 {
+        8 * (n as u64).pow(2) * nrhs as u64
+    }
+
+    /// Hermitian LDLᴴ factorization: half the LU cost, (4/3)·n³.
+    #[inline]
+    pub fn zhetrf(n: usize) -> u64 {
+        (4 * (n as u64).pow(3)) / 3
+    }
+
+    /// Householder QR of an m×n matrix: 8·(m·n² − n³/3) complex-op-equivalent.
+    #[inline]
+    pub fn zgeqrf(m: usize, n: usize) -> u64 {
+        let (m, n) = (m as u64, n as u64);
+        8 * (m * n * n - n * n * n / 3).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_measures_delta() {
+        let before = flops_total();
+        let scope = FlopScope::start();
+        flops_add(123);
+        // Other tests in the same binary run concurrently and share the
+        // global counter: the scope sees *at least* its own additions.
+        assert!(scope.elapsed() >= 123);
+        assert!(flops_total() >= before + 123);
+    }
+
+    #[test]
+    fn formulas_are_consistent() {
+        assert_eq!(counts::zgemm(2, 3, 4), 8 * 24);
+        assert_eq!(counts::zgetrf(3), 72);
+        assert_eq!(counts::zgetrs(4, 2), 8 * 16 * 2);
+        // Hermitian factorization is half of LU.
+        assert_eq!(counts::zhetrf(6), counts::zgetrf(6) / 2);
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let scope = FlopScope::start();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| flops_add(1000));
+            }
+        });
+        assert!(scope.elapsed() >= 4000);
+    }
+}

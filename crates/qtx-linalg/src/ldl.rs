@@ -1,0 +1,196 @@
+//! Pivot-free LDLᴴ factorization for Hermitian systems (`zhesv_nopiv`).
+//!
+//! §5.E of the paper: replacing `zgesv_nopiv_gpu` with `zhesv_nopiv_gpu`
+//! and exploiting that `A = E·S − H` is Hermitian for 2-D structures cut
+//! the per-energy-point operation count from 241 to 228 TFLOPs and lifted
+//! the sustained performance from 12.8 to 15.01 PFlop/s. This module
+//! provides that Hermitian fast path: an LDLᴴ factorization without
+//! pivoting (half the flops of LU) and the corresponding solve.
+
+use crate::complex::{c64, Complex64};
+use crate::flops::{counts, flops_add};
+use crate::zmat::ZMat;
+use crate::{LinalgError, Result};
+
+/// Packed LDLᴴ factors: unit-lower `L` in the strict lower triangle and the
+/// real diagonal `D` on the diagonal.
+#[derive(Debug, Clone)]
+pub struct LdlFactors {
+    packed: ZMat,
+}
+
+/// Factors a Hermitian matrix `A = L·D·Lᴴ` without pivoting.
+///
+/// The input must be Hermitian (checked up to a tolerance in debug builds);
+/// transport matrices at complex-free energies in 2-D/1-D devices satisfy
+/// this (§3.B, "A is usually real symmetric in 3-D structures and complex
+/// Hermitian in 1-D and 2-D").
+pub fn ldl_factor_nopiv(a: &ZMat) -> Result<LdlFactors> {
+    let n = a.rows();
+    assert!(a.is_square(), "LDLᴴ requires a square matrix");
+    debug_assert!(
+        a.hermitian_defect() < 1e-8 * a.norm_max().max(1.0),
+        "ldl_factor_nopiv requires a Hermitian matrix"
+    );
+    flops_add(counts::zhetrf(n));
+    let mut p = a.clone();
+    let scale = a.norm_max().max(1.0);
+    for k in 0..n {
+        // d_k = A_kk - sum_{j<k} |L_kj|^2 d_j  (real by Hermiticity)
+        let mut d = p[(k, k)].re;
+        for j in 0..k {
+            let lkj = p[(k, j)];
+            let dj = p[(j, j)].re;
+            d -= lkj.norm_sqr() * dj;
+        }
+        if d.abs() < 1e-14 * scale {
+            return Err(LinalgError::SingularPivot { index: k, magnitude: d.abs() });
+        }
+        p[(k, k)] = c64(d, 0.0);
+        for i in k + 1..n {
+            // L_ik = (A_ik - sum_{j<k} L_ij d_j conj(L_kj)) / d_k
+            let mut v = p[(i, k)];
+            for j in 0..k {
+                let lij = p[(i, j)];
+                let lkj = p[(k, j)];
+                let dj = p[(j, j)].re;
+                v -= lij * lkj.conj() * dj;
+            }
+            p[(i, k)] = v / d;
+        }
+    }
+    Ok(LdlFactors { packed: p })
+}
+
+impl LdlFactors {
+    /// Solves `A·X = B` using the LDLᴴ factors.
+    pub fn solve(&self, b: &ZMat) -> ZMat {
+        let n = self.packed.rows();
+        assert_eq!(b.rows(), n);
+        flops_add(counts::zgetrs(n, b.cols()) / 2 * 3); // L, D, Lᴴ sweeps
+        let mut x = b.clone();
+        for j in 0..x.cols() {
+            // Forward: L y = b.
+            for k in 0..n {
+                let xkj = x[(k, j)];
+                if xkj == Complex64::ZERO {
+                    continue;
+                }
+                for i in k + 1..n {
+                    let lik = self.packed[(i, k)];
+                    x[(i, j)] = x[(i, j)] - lik * xkj;
+                }
+            }
+            // Diagonal: z = D⁻¹ y.
+            for k in 0..n {
+                let d = self.packed[(k, k)].re;
+                x[(k, j)] = x[(k, j)] / d;
+            }
+            // Backward: Lᴴ x = z.
+            for k in (0..n).rev() {
+                let mut v = x[(k, j)];
+                for i in k + 1..n {
+                    let lik = self.packed[(i, k)];
+                    v -= lik.conj() * x[(i, j)];
+                }
+                x[(k, j)] = v;
+            }
+        }
+        x
+    }
+
+    /// The real diagonal `D`; its signs give the matrix inertia, which
+    /// transport uses as a sanity check on energy placement.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.packed.rows()).map(|i| self.packed[(i, i)].re).collect()
+    }
+}
+
+/// One-shot Hermitian solve (MAGMA `zhesv_nopiv_gpu` analogue).
+pub fn zhesv_nopiv(a: &ZMat, b: &ZMat) -> Result<ZMat> {
+    Ok(ldl_factor_nopiv(a)?.solve(b))
+}
+
+/// Solves `A·x = b` for one Hermitian right-hand side vector.
+pub fn ldl_solve(a: &ZMat, b: &[Complex64]) -> Result<Vec<Complex64>> {
+    let mut bm = ZMat::zeros(b.len(), 1);
+    bm.col_mut(0).copy_from_slice(b);
+    Ok(zhesv_nopiv(a, &bm)?.col(0).to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hermitian_pd(n: usize, seed: u64) -> ZMat {
+        // G Gᴴ + n·I is Hermitian positive definite.
+        let g = ZMat::random(n, n, seed);
+        let mut a = ZMat::zeros(n, n);
+        crate::gemm::gemm(
+            Complex64::ONE,
+            &g,
+            crate::gemm::Op::None,
+            &g,
+            crate::gemm::Op::Adjoint,
+            Complex64::ZERO,
+            &mut a,
+        );
+        for i in 0..n {
+            a[(i, i)] = a[(i, i)] + c64(n as f64, 0.0);
+        }
+        a.hermitianize();
+        a
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = hermitian_pd(10, 5);
+        let b = ZMat::random(10, 3, 6);
+        let x_ldl = zhesv_nopiv(&a, &b).unwrap();
+        let x_lu = crate::lu::zgesv(&a, &b).unwrap();
+        assert!(x_ldl.max_diff(&x_lu) < 1e-8);
+    }
+
+    #[test]
+    fn reconstructs_rhs() {
+        let a = hermitian_pd(14, 9);
+        let x_true = ZMat::random(14, 2, 10);
+        let b = &a * &x_true;
+        let x = zhesv_nopiv(&a, &b).unwrap();
+        assert!(x.max_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn inertia_of_definite_matrix_is_all_positive() {
+        let a = hermitian_pd(8, 12);
+        let f = ldl_factor_nopiv(&a).unwrap();
+        assert!(f.diagonal().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn indefinite_matrix_has_mixed_inertia() {
+        // diag(1, -2, 3) is indefinite but factors fine without pivoting.
+        let a = ZMat::from_diag(&[c64(1.0, 0.0), c64(-2.0, 0.0), c64(3.0, 0.0)]);
+        let f = ldl_factor_nopiv(&a).unwrap();
+        let d = f.diagonal();
+        assert!(d[0] > 0.0 && d[1] < 0.0 && d[2] > 0.0);
+    }
+
+    #[test]
+    fn half_the_flops_of_lu() {
+        let a = hermitian_pd(32, 13);
+        let s1 = crate::flops::FlopScope::start();
+        let _ = ldl_factor_nopiv(&a).unwrap();
+        let ldl_flops = s1.elapsed();
+        let s2 = crate::flops::FlopScope::start();
+        let _ = crate::lu::lu_factor(&a).unwrap();
+        let lu_flops = s2.elapsed();
+        assert_eq!(ldl_flops, lu_flops / 2, "the §5.E saving");
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = ZMat::zeros(3, 3);
+        assert!(ldl_factor_nopiv(&a).is_err());
+    }
+}

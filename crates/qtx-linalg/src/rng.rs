@@ -1,0 +1,127 @@
+//! Deterministic pseudo-random numbers (PCG-XSH-RR flavour).
+//!
+//! FEAST starts from a matrix of random numbers `Y_F` (Eq. 10) and the
+//! workload generators need reproducible structures, so the workspace
+//! carries its own tiny, seedable generator instead of depending on
+//! platform entropy. The `rand` crate is still used in tests/benches where
+//! distribution quality matters.
+
+/// A 64-bit permuted-congruential generator (PCG-XSH-RR 64/32 doubled up).
+#[derive(Debug, Clone)]
+pub struct Pcg64 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg64 {
+    const MULT: u64 = 6364136223846793005;
+
+    /// Creates a generator from a seed (stream constant fixed).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Pcg64 { state: 0, inc: (seed << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed ^ 0x9e3779b97f4a7c15);
+        rng.next_u32();
+        rng
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(Self::MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.uniform() * n as f64) as usize % n.max(1)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Pcg64::new(7);
+        let mut b = Pcg64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg64::new(1);
+        let mut b = Pcg64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval_and_roughly_centered() {
+        let mut rng = Pcg64::new(123);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_has_unit_variance() {
+        let mut rng = Pcg64::new(9);
+        let n = 20_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.normal();
+            s1 += x;
+            s2 += x * x;
+        }
+        let mean = s1 / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Pcg64::new(5);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+}

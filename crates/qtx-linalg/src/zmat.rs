@@ -1,0 +1,428 @@
+//! Column-major dense complex matrices.
+//!
+//! `ZMat` is the single dense container used across the workspace: FEAST
+//! subspaces, SplitSolve block operands, reduced Rayleigh–Ritz systems and
+//! lead coupling blocks are all `ZMat`s. Storage is column-major (like
+//! LAPACK) so the factorization kernels translate directly.
+
+use crate::complex::{c64, Complex64};
+use crate::rng::Pcg64;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Dense complex matrix, column-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl ZMat {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        ZMat { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Diagonal matrix from the given entries.
+    pub fn from_diag(diag: &[Complex64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds from a row-major slice of `(re, im)` pairs — handy in tests.
+    pub fn from_rows(rows: usize, cols: usize, entries: &[(f64, f64)]) -> Self {
+        assert_eq!(entries.len(), rows * cols, "entry count mismatch");
+        Self::from_fn(rows, cols, |i, j| {
+            let (re, im) = entries[i * cols + j];
+            c64(re, im)
+        })
+    }
+
+    /// Random matrix with entries uniform in the unit square, deterministic
+    /// under `seed`. Used for FEAST's `Y_F` matrix of random numbers (Eq. 10).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = Pcg64::new(seed);
+        Self::from_fn(rows, cols, |_, _| c64(rng.uniform() * 2.0 - 1.0, rng.uniform() * 2.0 - 1.0))
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw column-major data.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Borrow of column `j` as a contiguous slice.
+    #[inline(always)]
+    pub fn col(&self, j: usize) -> &[Complex64] {
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable borrow of column `j`.
+    #[inline(always)]
+    pub fn col_mut(&mut self, j: usize) -> &mut [Complex64] {
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Two disjoint mutable columns (for in-place rotations).
+    pub fn two_cols_mut(&mut self, j0: usize, j1: usize) -> (&mut [Complex64], &mut [Complex64]) {
+        assert!(j0 < j1 && j1 < self.cols);
+        let (a, b) = self.data.split_at_mut(j1 * self.rows);
+        (&mut a[j0 * self.rows..(j0 + 1) * self.rows], &mut b[..self.rows])
+    }
+
+    /// Copies the rectangular block with top-left corner `(r0, c0)` and
+    /// shape `rows × cols` into a new matrix.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> ZMat {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        let mut out = ZMat::zeros(rows, cols);
+        for j in 0..cols {
+            let src = &self.col(c0 + j)[r0..r0 + rows];
+            out.col_mut(j).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Writes `src` into the block with top-left corner `(r0, c0)`.
+    pub fn set_block(&mut self, r0: usize, c0: usize, src: &ZMat) {
+        assert!(r0 + src.rows <= self.rows && c0 + src.cols <= self.cols, "block out of range");
+        for j in 0..src.cols {
+            let dst_rows = self.rows;
+            let dst =
+                &mut self.data[(c0 + j) * dst_rows + r0..(c0 + j) * dst_rows + r0 + src.rows];
+            dst.copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Adds `src` into the block with top-left corner `(r0, c0)`.
+    pub fn add_block(&mut self, r0: usize, c0: usize, src: &ZMat) {
+        assert!(r0 + src.rows <= self.rows && c0 + src.cols <= self.cols, "block out of range");
+        for j in 0..src.cols {
+            let dst_rows = self.rows;
+            let dst =
+                &mut self.data[(c0 + j) * dst_rows + r0..(c0 + j) * dst_rows + r0 + src.rows];
+            for (d, s) in dst.iter_mut().zip(src.col(j)) {
+                *d += *s;
+            }
+        }
+    }
+
+    /// Plain transpose.
+    pub fn transpose(&self) -> ZMat {
+        ZMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate (Hermitian) transpose `Aᴴ`.
+    pub fn adjoint(&self) -> ZMat {
+        ZMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Element-wise conjugate.
+    pub fn conj(&self) -> ZMat {
+        let mut out = self.clone();
+        for z in out.data.iter_mut() {
+            *z = z.conj();
+        }
+        out
+    }
+
+    /// Scales every entry by a complex scalar.
+    pub fn scaled(&self, s: Complex64) -> ZMat {
+        let mut out = self.clone();
+        for z in out.data.iter_mut() {
+            *z = *z * s;
+        }
+        out
+    }
+
+    /// In-place `self ← self + s·other` (complex AXPY over the whole matrix).
+    pub fn axpy(&mut self, s: Complex64, other: &ZMat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (d, o) in self.data.iter_mut().zip(&other.data) {
+            *d = d.mul_add(s, *o);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Max-abs (Chebyshev) norm over entries.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// One-norm (max column sum), the norm used in condition estimates.
+    pub fn norm_one(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| self.col(j).iter().map(|z| z.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Hermitian deviation `‖A − Aᴴ‖_max`; zero for Hermitian matrices.
+    pub fn hermitian_defect(&self) -> f64 {
+        assert!(self.is_square());
+        let mut worst: f64 = 0.0;
+        for j in 0..self.cols {
+            for i in 0..=j {
+                worst = worst.max((self[(i, j)] - self[(j, i)].conj()).abs());
+            }
+        }
+        worst
+    }
+
+    /// Symmetrizes in place: `A ← (A + Aᴴ)/2`.
+    pub fn hermitianize(&mut self) {
+        assert!(self.is_square());
+        for j in 0..self.cols {
+            for i in 0..j {
+                let avg = (self[(i, j)] + self[(j, i)].conj()).scale(0.5);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg.conj();
+            }
+            let d = self[(j, j)];
+            self[(j, j)] = c64(d.re, 0.0);
+        }
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square());
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hcat(&self, other: &ZMat) -> ZMat {
+        assert_eq!(self.rows, other.rows);
+        let mut out = ZMat::zeros(self.rows, self.cols + other.cols);
+        out.set_block(0, 0, self);
+        out.set_block(0, self.cols, other);
+        out
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![Complex64::ZERO; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == Complex64::ZERO {
+                continue;
+            }
+            for (yi, &aij) in y.iter_mut().zip(self.col(j)) {
+                *yi = yi.mul_add(aij, xj);
+            }
+        }
+        crate::flops::flops_add(8 * (self.rows as u64) * (self.cols as u64));
+        y
+    }
+
+    /// Swap two rows in place (pivoting support).
+    pub fn swap_rows(&mut self, i0: usize, i1: usize) {
+        if i0 == i1 {
+            return;
+        }
+        for j in 0..self.cols {
+            let base = j * self.rows;
+            self.data.swap(base + i0, base + i1);
+        }
+    }
+
+    /// Maximum absolute difference to another matrix.
+    pub fn max_diff(&self, other: &ZMat) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for ZMat {
+    type Output = Complex64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[j * self.rows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for ZMat {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.rows + i]
+    }
+}
+
+impl Add for &ZMat {
+    type Output = ZMat;
+    fn add(self, rhs: &ZMat) -> ZMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (d, s) in out.data.iter_mut().zip(&rhs.data) {
+            *d += *s;
+        }
+        out
+    }
+}
+
+impl Sub for &ZMat {
+    type Output = ZMat;
+    fn sub(self, rhs: &ZMat) -> ZMat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (d, s) in out.data.iter_mut().zip(&rhs.data) {
+            *d -= *s;
+        }
+        out
+    }
+}
+
+impl Neg for &ZMat {
+    type Output = ZMat;
+    fn neg(self) -> ZMat {
+        let mut out = self.clone();
+        for z in out.data.iter_mut() {
+            *z = -*z;
+        }
+        out
+    }
+}
+
+impl Mul for &ZMat {
+    type Output = ZMat;
+    fn mul(self, rhs: &ZMat) -> ZMat {
+        crate::gemm::matmul(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = ZMat::from_fn(3, 2, |i, j| c64(i as f64, j as f64));
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(2, 1)], c64(2.0, 1.0));
+        let id = ZMat::identity(4);
+        assert_eq!(id.trace(), c64(4.0, 0.0));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let m = ZMat::random(6, 6, 7);
+        let b = m.block(1, 2, 3, 4);
+        let mut n = ZMat::zeros(6, 6);
+        n.set_block(1, 2, &b);
+        assert_eq!(n.block(1, 2, 3, 4), b);
+        assert_eq!(n[(0, 0)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn adjoint_involution() {
+        let m = ZMat::random(4, 3, 11);
+        assert_eq!(m.adjoint().adjoint(), m);
+        assert_eq!(m.adjoint().rows(), 3);
+    }
+
+    #[test]
+    fn hermitianize_makes_hermitian() {
+        let mut m = ZMat::random(5, 5, 3);
+        assert!(m.hermitian_defect() > 0.1);
+        m.hermitianize();
+        assert!(m.hermitian_defect() < 1e-15);
+    }
+
+    #[test]
+    fn norms_agree_on_identity() {
+        let id = ZMat::identity(9);
+        assert!((id.norm_fro() - 3.0).abs() < 1e-15);
+        assert!((id.norm_max() - 1.0).abs() < 1e-15);
+        assert!((id.norm_one() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matvec_identity_is_noop() {
+        let id = ZMat::identity(5);
+        let x: Vec<Complex64> = (0..5).map(|i| c64(i as f64, -(i as f64))).collect();
+        let y = id.matvec(&x);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn swap_rows_permutes() {
+        let mut m = ZMat::from_fn(3, 3, |i, _| c64(i as f64, 0.0));
+        m.swap_rows(0, 2);
+        assert_eq!(m[(0, 0)], c64(2.0, 0.0));
+        assert_eq!(m[(2, 0)], c64(0.0, 0.0));
+    }
+
+    #[test]
+    fn hcat_shapes() {
+        let a = ZMat::zeros(3, 2);
+        let b = ZMat::identity(3);
+        let c = a.hcat(&b);
+        assert_eq!((c.rows(), c.cols()), (3, 5));
+        assert_eq!(c[(1, 3)], Complex64::ONE);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(ZMat::random(4, 4, 42), ZMat::random(4, 4, 42));
+        assert_ne!(ZMat::random(4, 4, 42), ZMat::random(4, 4, 43));
+    }
+}

@@ -1,0 +1,375 @@
+//! Deterministic FLOP/time model of the transport kernels.
+//!
+//! §5.B: "the number of floating point operations (FLOPs) involved in
+//! SplitSolve is deterministic and can be accurately estimated". The
+//! ledger below mirrors, operation for operation, what the real kernels in
+//! `qtx-solver`/`qtx-obc` account at runtime (a test cross-checks the two),
+//! then converts FLOPs to seconds through the Table I device rates.
+//!
+//! Paper-scale inputs: the production basis carries **12 orbitals per
+//! atom** (both headline structures satisfy `N_SS = 12 × N_A`: UTBFET
+//! 276 480 = 12 × 23 040 and NWFET 665 856 = 12 × 55 488) and couples
+//! `NBW = 2` unit cells, so the folded superblocks double the cell
+//! orbital count.
+
+use crate::specs::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// A paper-scale device described by its matrix dimensions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperDevice {
+    /// Label used in the printed tables.
+    pub label: String,
+    /// Atom count.
+    pub atoms: usize,
+    /// Orbitals per atom (12 in the production 3SP basis).
+    pub orb_per_atom: usize,
+    /// Transport unit cells.
+    pub cells: usize,
+    /// Interaction range in cells.
+    pub nbw: usize,
+    /// Injected right-hand-side columns per energy point.
+    pub nrhs: usize,
+    /// 3-D structures have real-symmetric `A = E·S − H` (§3.B), quartering
+    /// the arithmetic relative to complex; 1-D/2-D are complex Hermitian.
+    pub real_symmetric: bool,
+}
+
+impl PaperDevice {
+    /// The 2-D UTBFET of Figs. 8(a)/11 and Tables II/III: t_body = 5 nm,
+    /// L = 78.2 nm, 23 040 atoms, `N_SS` = 276 480.
+    pub fn utbfet_23040() -> Self {
+        PaperDevice {
+            label: "Si UTBFET 23040 atoms".into(),
+            atoms: 23_040,
+            orb_per_atom: 12,
+            cells: 144,
+            nbw: 2,
+            nrhs: 64,
+            real_symmetric: false,
+        }
+    }
+
+    /// The 3-D NWFET of Figs. 8(b)/10: d = 3.2 nm, L = 104.3 nm, 55 488
+    /// atoms, `N_SS` = 665 856.
+    pub fn nwfet_55488() -> Self {
+        PaperDevice {
+            label: "Si NWFET 55488 atoms".into(),
+            atoms: 55_488,
+            orb_per_atom: 12,
+            cells: 192,
+            nbw: 2,
+            nrhs: 96,
+            real_symmetric: true,
+        }
+    }
+
+    /// Weak-scaling unit of Fig. 7(a): 2560 atoms per GPU
+    /// (`N_SS = N_GPU × 30 720`).
+    pub fn utb_weak_unit(n_gpu: usize) -> Self {
+        PaperDevice {
+            label: format!("UTB weak {n_gpu} GPUs"),
+            atoms: 2560 * n_gpu,
+            orb_per_atom: 12,
+            cells: 16 * n_gpu,
+            nbw: 2,
+            nrhs: 48,
+            real_symmetric: false,
+        }
+    }
+
+    /// Strong-scaling structure of Fig. 7(b): 10 240 atoms,
+    /// `N_SS` = 122 880.
+    pub fn utb_strong_10240() -> Self {
+        PaperDevice {
+            label: "UTB strong 10240 atoms".into(),
+            atoms: 10_240,
+            orb_per_atom: 12,
+            cells: 64,
+            nbw: 2,
+            nrhs: 48,
+            real_symmetric: false,
+        }
+    }
+
+    /// Total matrix dimension `N_SS`.
+    pub fn nss(&self) -> usize {
+        self.atoms * self.orb_per_atom
+    }
+
+    /// Orbitals per transport cell.
+    pub fn cell_orbitals(&self) -> usize {
+        self.nss() / self.cells
+    }
+
+    /// Folded superblock size (`NBW` cells per block).
+    pub fn block_size(&self) -> usize {
+        self.cell_orbitals() * self.nbw
+    }
+
+    /// Folded block count `n_B`.
+    pub fn num_blocks(&self) -> usize {
+        self.cells / self.nbw
+    }
+
+    /// Companion pencil size `NBC = 2·NBW·n`.
+    pub fn nbc(&self) -> usize {
+        2 * self.block_size()
+    }
+
+    /// Device memory footprint of `A` + `Q` in bytes. Symmetric storage
+    /// keeps diagonal + upper blocks only; half of `Q` stays on the CPUs
+    /// (§3.C), and real-symmetric 3-D structures store 8-byte entries.
+    pub fn memory_bytes(&self) -> u64 {
+        let s = self.block_size() as u64;
+        let nb = self.num_blocks() as u64;
+        let entry = if self.real_symmetric { 8 } else { 16 };
+        // diag + upper (Hermitian/symmetric A) + Q/2 on device.
+        (2 * nb * s * s + nb * s * s) * entry
+    }
+}
+
+/// FLOP ledger + rate model for one machine.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    /// Host machine.
+    pub machine: MachineSpec,
+    /// FEAST integration points per circle.
+    pub feast_np: usize,
+    /// Synchronization/transfer seconds per SPIKE merge level on top of
+    /// the spike FLOPs already in the ledger (the ledger itself produces
+    /// the ~10 s/level of Fig. 7(a)).
+    pub spike_level_seconds: f64,
+    /// Fixed per-energy-point overhead (communication, injection
+    /// assembly, reduced solves) in seconds.
+    pub point_overhead_seconds: f64,
+    /// MUMPS-like baseline: sustained fraction of node CPU peak ×
+    /// parallel efficiency across nodes (sparse direct solvers scale
+    /// poorly on BTD problems).
+    pub mumps_efficiency: f64,
+    /// Shift-and-invert baseline: usable nodes ("the difficulty to
+    /// parallelize the shift-and-invert method", §3.A).
+    pub shift_invert_nodes: f64,
+}
+
+impl PerfModel {
+    /// Model of Titan.
+    pub fn titan() -> Self {
+        PerfModel {
+            machine: crate::specs::TITAN.clone(),
+            feast_np: 8,
+            spike_level_seconds: 2.0,
+            point_overhead_seconds: 6.0,
+            mumps_efficiency: 0.2,
+            shift_invert_nodes: 1.0,
+        }
+    }
+
+    /// Model of Piz Daint.
+    pub fn piz_daint() -> Self {
+        PerfModel {
+            machine: crate::specs::PIZ_DAINT.clone(),
+            feast_np: 8,
+            spike_level_seconds: 2.0,
+            point_overhead_seconds: 5.0,
+            mumps_efficiency: 0.2,
+            shift_invert_nodes: 1.0,
+        }
+    }
+
+    /// SplitSolve FLOPs per energy point, split `(gemm, factorization)`.
+    ///
+    /// Algorithm 1 per block: two `s³` GEMMs, one LU, one block
+    /// back-substitution, run twice (first + last columns); plus the
+    /// forward accumulation GEMM, the SPIKE corrections (2 GEMMs per block
+    /// per level) and the `x = Q·(b′+z)` post-processing.
+    pub fn splitsolve_flops(&self, dev: &PaperDevice, partitions: usize) -> (f64, f64) {
+        let s = dev.block_size() as f64;
+        let nb = dev.num_blocks() as f64;
+        let m = dev.nrhs as f64;
+        let levels = (partitions.max(1) as f64).log2().round();
+        // Per block, per sweep: the A_{i,i+1}·X_{i+1} product and the
+        // Q_i = −X_i·Q_{i−1} accumulation; two sweeps (first + last cols).
+        let alg1_gemm = 2.0 * 2.0 * 8.0 * s * s * s;
+        // SPIKE corrections: one GEMM per block per column set per level.
+        let spike_gemm = 2.0 * levels * 8.0 * s * s * s;
+        // Post-processing: x_i = [first|last]·(b′+z), one s×2s×m GEMM.
+        let post_gemm = 8.0 * s * (2.0 * s) * m;
+        let gemm = nb * (alg1_gemm + spike_gemm + post_gemm);
+        // Per block, per sweep: one LU + one s-RHS back-substitution.
+        let solve = nb * 2.0 * (8.0 / 3.0 * s * s * s + 8.0 * s * s * s);
+        // Real-symmetric 3-D preprocessing runs in real arithmetic: 2
+        // real flops per multiply-add instead of 8 (§3.B).
+        let arith = if dev.real_symmetric { 0.25 } else { 1.0 };
+        (gemm * arith, solve * arith)
+    }
+
+    /// Hermitian (`zhesv_nopiv`) variant of §5.E: factorization at half
+    /// cost.
+    pub fn splitsolve_flops_hermitian(&self, dev: &PaperDevice, partitions: usize) -> (f64, f64) {
+        let (gemm, solve) = self.splitsolve_flops(dev, partitions);
+        (gemm, solve * (4.0 / 3.0 + 8.0) / (8.0 / 3.0 + 8.0))
+    }
+
+    /// FEAST FLOPs per energy point (CPU side): `2·N_p` factorizations of
+    /// the `nf`-sized polynomial + solves + Rayleigh–Ritz products.
+    pub fn feast_flops(&self, dev: &PaperDevice) -> f64 {
+        let nf = dev.block_size() as f64;
+        let m0 = (nf / 8.0).max(64.0); // subspace for the annulus modes
+        let n_solves = (2 * self.feast_np) as f64;
+        n_solves * (8.0 / 3.0 * nf * nf * nf + 8.0 * nf * nf * m0)
+            + 2.0 * 8.0 * nf * nf * m0 // projector application
+            + 25.0 * m0 * m0 * m0 // reduced eigensolve
+    }
+
+    /// SplitSolve wall seconds per energy point on `n_gpu` accelerators
+    /// (`hermitian` selects the §5.E kernel).
+    pub fn splitsolve_seconds(&self, dev: &PaperDevice, n_gpu: usize, hermitian: bool) -> f64 {
+        let partitions = (n_gpu / 2).max(1);
+        let (gemm, solve) = if hermitian {
+            self.splitsolve_flops_hermitian(dev, partitions)
+        } else {
+            self.splitsolve_flops(dev, partitions)
+        };
+        let gpu = self.machine.gpu();
+        let peak = gpu.peak_gflops * 1e9 * n_gpu as f64;
+        // zhesv_nopiv on Titan was additionally tuned (§5.E) — model the
+        // tuned kernel at standard-LU efficiency parity.
+        let lu_eff = if hermitian { gpu.lu_efficiency * 1.15 } else { gpu.lu_efficiency };
+        let t_compute = gemm / (gpu.gemm_efficiency * peak) + solve / (lu_eff * peak);
+        let levels = (partitions as f64).log2().round();
+        t_compute + levels * self.spike_level_seconds + self.point_overhead_seconds
+    }
+
+    /// FEAST wall seconds per energy point on the CPUs of the same nodes.
+    pub fn feast_seconds(&self, dev: &PaperDevice, n_nodes: usize) -> f64 {
+        let rate = self.machine.cpu_gflops_per_node
+            * 1e9
+            * self.machine.cpu_efficiency
+            * n_nodes as f64;
+        self.feast_flops(dev) / rate
+    }
+
+    /// Combined FEAST+SplitSolve time per energy point: the OBCs run on
+    /// the CPUs concurrently with Step 1 on the GPUs, so the wall time is
+    /// the max of the two (§3.C: "the calculation of the OBCs with FEAST
+    /// is completely hidden by the solution of Eq. 5").
+    pub fn feast_splitsolve_seconds(&self, dev: &PaperDevice, n_nodes: usize, hermitian: bool) -> f64 {
+        let gpu_t = self.splitsolve_seconds(dev, n_nodes * self.machine.gpus_per_node, hermitian);
+        let cpu_t = self.feast_seconds(dev, n_nodes);
+        gpu_t.max(cpu_t)
+    }
+
+    /// MUMPS-like sparse direct solve per energy point: full BTD
+    /// factorization + solve on the CPUs at the (poor) sustained fraction
+    /// of a multifrontal code on banded problems.
+    pub fn mumps_seconds(&self, dev: &PaperDevice, n_nodes: usize) -> f64 {
+        let s = dev.block_size() as f64;
+        let nb = dev.num_blocks() as f64;
+        let m = dev.nrhs as f64;
+        // Block Thomas: one LU + two GEMMs per block + RHS sweeps, with
+        // multifrontal fill overhead on the DFT-dense band (factor ~3).
+        let fill_overhead = 3.0;
+        let arith = if dev.real_symmetric { 0.25 } else { 1.0 };
+        let flops = arith
+            * (fill_overhead * nb * (8.0 / 3.0 * s * s * s + 2.0 * 8.0 * s * s * s)
+                + nb * 8.0 * s * s * m);
+        let rate =
+            self.machine.cpu_gflops_per_node * 1e9 * self.mumps_efficiency * n_nodes as f64;
+        flops / rate + self.point_overhead_seconds
+    }
+
+    /// Shift-and-invert OBC per energy point (ref. [38]): dense
+    /// factorization and eigendecomposition of the `NBC`-sized companion,
+    /// essentially sequential across nodes.
+    pub fn shift_invert_seconds(&self, dev: &PaperDevice) -> f64 {
+        let nbc = dev.nbc() as f64;
+        // Dense generalized eigensolve (zggev-grade, ~60·n³ complex
+        // operations = 480·n³ real flops) — lead modes are complex even
+        // for real-symmetric device matrices.
+        let flops = 480.0 * nbc * nbc * nbc;
+        let rate = self.machine.cpu_gflops_per_node
+            * 1e9
+            * self.machine.cpu_efficiency
+            * self.shift_invert_nodes;
+        flops / rate
+    }
+
+    /// Total FLOPs per energy point (OBC + Eq. 5), the §5.B accounting
+    /// unit (≈ 241 TFLOPs for the UTBFET, 11 on the CPUs + 230 on GPUs).
+    pub fn flops_per_point(&self, dev: &PaperDevice, hermitian: bool) -> f64 {
+        let (g, s) = if hermitian {
+            self.splitsolve_flops_hermitian(dev, 2)
+        } else {
+            self.splitsolve_flops(dev, 2)
+        };
+        g + s + self.feast_flops(dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions_reproduce_nss() {
+        let utb = PaperDevice::utbfet_23040();
+        assert_eq!(utb.nss(), 276_480);
+        let nw = PaperDevice::nwfet_55488();
+        assert_eq!(nw.nss(), 665_856);
+    }
+
+    #[test]
+    fn utbfet_flops_per_point_near_241_tflops() {
+        // §5.B: 241 TFLOPs per energy point, 11 CPU + 230 GPU.
+        let m = PerfModel::titan();
+        let dev = PaperDevice::utbfet_23040();
+        let total = m.flops_per_point(&dev, false) / 1e12;
+        assert!(
+            (180.0..300.0).contains(&total),
+            "per-point TFLOPs {total} vs paper 241"
+        );
+        let feast = m.feast_flops(&dev) / 1e12;
+        assert!(feast < 0.15 * total, "OBC share {feast} of {total} (paper: 5%)");
+    }
+
+    #[test]
+    fn hermitian_variant_saves_about_five_percent() {
+        // §5.E: 241 → 228 TFLOPs (−5.4%).
+        let m = PerfModel::titan();
+        let dev = PaperDevice::utbfet_23040();
+        let full = m.flops_per_point(&dev, false);
+        let herm = m.flops_per_point(&dev, true);
+        let saving = 1.0 - herm / full;
+        assert!((0.02..0.10).contains(&saving), "saving {saving}");
+    }
+
+    #[test]
+    fn nwfet_on_16_nodes_near_102_seconds() {
+        // §5.C: "the computational time per energy point for this nanowire
+        // reduces to 102 sec with FEAST+SplitSolve using 16 hybrid nodes".
+        let m = PerfModel::titan();
+        let dev = PaperDevice::nwfet_55488();
+        let t = m.feast_splitsolve_seconds(&dev, 16, false);
+        assert!((60.0..160.0).contains(&t), "NWFET time/E {t} vs paper 102 s");
+    }
+
+    #[test]
+    fn feast_is_hidden_behind_splitsolve() {
+        let m = PerfModel::titan();
+        let dev = PaperDevice::utbfet_23040();
+        let cpu = m.feast_seconds(&dev, 4);
+        let gpu = m.splitsolve_seconds(&dev, 4, false);
+        assert!(cpu < gpu, "OBC {cpu} s must hide behind SplitSolve {gpu} s");
+    }
+
+    #[test]
+    fn memory_rule_minimum_gpus() {
+        // §3.C: choose the minimum number of GPUs that can accommodate the
+        // structure; the 55 488-atom NW needed 16 GPUs.
+        let dev = PaperDevice::nwfet_55488();
+        let per_gpu = 6.0 * 1024f64.powi(3);
+        let needed = (dev.memory_bytes() as f64 / per_gpu).ceil() as usize;
+        assert!((10..=24).contains(&needed), "NW needs {needed} GPUs (paper used 16)");
+    }
+}

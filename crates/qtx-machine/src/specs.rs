@@ -1,0 +1,97 @@
+//! Table I: technical specifications of Piz Daint and Titan.
+
+use qtx_accel::GpuSpec;
+
+/// One hybrid machine.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    /// Machine name.
+    pub name: &'static str,
+    /// Hybrid (CPU+GPU) node count.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// CPU model string.
+    pub cpu_model: &'static str,
+    /// Total CPU cores.
+    pub cores: usize,
+    /// CPU double-precision peak per node (GFlop/s).
+    pub cpu_gflops_per_node: f64,
+    /// GPU double-precision peak per node (GFlop/s).
+    pub gpu_gflops_per_node: f64,
+    /// Fraction of CPU peak sustained by the OBC kernels.
+    pub cpu_efficiency: f64,
+}
+
+impl MachineSpec {
+    /// GPU model backing this machine.
+    pub fn gpu(&self) -> GpuSpec {
+        if self.name == "Titan" {
+            GpuSpec::k20x_titan()
+        } else {
+            GpuSpec::k20x()
+        }
+    }
+
+    /// Node peak as Table I prints it (CPU + GPU GFlop/s).
+    pub fn node_peak_gflops(&self) -> f64 {
+        self.cpu_gflops_per_node + self.gpu_gflops_per_node
+    }
+
+    /// Machine double-precision peak (PFlop/s).
+    pub fn machine_peak_pflops(&self) -> f64 {
+        self.nodes as f64 * self.node_peak_gflops() / 1e6
+    }
+}
+
+/// Cray-XC30 Piz Daint at CSCS (Table I, left column).
+pub const PIZ_DAINT: MachineSpec = MachineSpec {
+    name: "Piz Daint",
+    nodes: 5272,
+    gpus_per_node: 1,
+    cpu_model: "Intel Xeon E5-2670",
+    cores: 42176,
+    cpu_gflops_per_node: 166.4,
+    gpu_gflops_per_node: 1311.0,
+    cpu_efficiency: 0.55,
+};
+
+/// Cray-XK7 Titan at ORNL (Table I, right column). "On Titan at least
+/// half of the CPUs remain idle" (§5.A) — reflected in the lower CPU
+/// efficiency.
+pub const TITAN: MachineSpec = MachineSpec {
+    name: "Titan",
+    nodes: 18688,
+    gpus_per_node: 1,
+    cpu_model: "AMD Opteron 6274",
+    cores: 299008,
+    cpu_gflops_per_node: 134.4,
+    gpu_gflops_per_node: 1311.0,
+    cpu_efficiency: 0.35,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_numbers() {
+        assert_eq!(PIZ_DAINT.nodes, 5272);
+        assert_eq!(TITAN.nodes, 18688);
+        assert_eq!(PIZ_DAINT.cores, 42176);
+        assert_eq!(TITAN.cores, 299008);
+        assert!((PIZ_DAINT.node_peak_gflops() - 1477.4).abs() < 0.1);
+        assert!((TITAN.node_peak_gflops() - 1445.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn titan_peak_is_about_27_pflops() {
+        let p = TITAN.machine_peak_pflops();
+        assert!((26.0..28.0).contains(&p), "Titan peak {p} PFlop/s");
+    }
+
+    #[test]
+    fn titan_gpu_is_slower_at_lu() {
+        assert!(TITAN.gpu().lu_efficiency < PIZ_DAINT.gpu().lu_efficiency);
+    }
+}

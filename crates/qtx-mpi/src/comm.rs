@@ -1,0 +1,372 @@
+//! Communicators over the thread fabric.
+//!
+//! Semantics follow MPI: ranks address each other by *local* rank inside a
+//! communicator, `split` produces disjoint sub-communicators (the k-, E-
+//! and domain-levels of Fig. 9), and collectives are implemented on top of
+//! matched point-to-point messages. Every operation advances the calling
+//! rank's virtual communication clock through the [`CostModel`].
+
+use crate::world::CostModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::Arc;
+
+struct Msg {
+    src_world: usize,
+    comm_id: u64,
+    tag: u64,
+    payload: Vec<u8>,
+}
+
+/// Shared transport: one mailbox per world rank plus virtual clocks.
+pub struct Fabric {
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Mutex<Receiver<Msg>>>,
+    pending: Vec<Mutex<Vec<Msg>>>,
+    vtime: Vec<Mutex<f64>>,
+    cost: CostModel,
+}
+
+impl Fabric {
+    /// Builds the transport for `n` world ranks.
+    pub fn new(n: usize, cost: CostModel) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Mutex::new(rx));
+        }
+        Fabric {
+            senders,
+            receivers,
+            pending: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            vtime: (0..n).map(|_| Mutex::new(0.0)).collect(),
+            cost,
+        }
+    }
+
+    fn advance(&self, world_rank: usize, seconds: f64) {
+        *self.vtime[world_rank].lock() += seconds;
+    }
+
+    /// Accumulated virtual communication time of a world rank.
+    pub fn vtime_of(&self, world_rank: usize) -> f64 {
+        *self.vtime[world_rank].lock()
+    }
+}
+
+/// An MPI-like communicator.
+pub struct Comm {
+    fabric: Arc<Fabric>,
+    comm_id: u64,
+    /// World ranks of the members, indexed by local rank.
+    members: Arc<Vec<usize>>,
+    rank: usize,
+    op_seq: Cell<u64>,
+    split_seq: Cell<u64>,
+}
+
+/// Reserved tag space for internal collective traffic.
+const INTERNAL: u64 = 1 << 48;
+
+impl Comm {
+    /// World communicator for `rank` of `n`.
+    pub fn world(fabric: Arc<Fabric>, rank: usize, n: usize) -> Self {
+        Comm {
+            fabric,
+            comm_id: 1,
+            members: Arc::new((0..n).collect()),
+            rank,
+            op_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// Local rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank backing a local rank.
+    pub fn world_rank(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    /// Virtual communication time accumulated by this rank.
+    pub fn comm_time(&self) -> f64 {
+        self.fabric.vtime_of(self.members[self.rank])
+    }
+
+    /// Point-to-point send (non-blocking semantics: buffered channel).
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        let t = self.fabric.cost.msg_time(payload.len());
+        self.fabric.advance(self.members[self.rank], t);
+        let msg = Msg { src_world: self.members[self.rank], comm_id: self.comm_id, tag, payload };
+        self.fabric.senders[self.members[dst]].send(msg).expect("fabric closed");
+    }
+
+    /// Blocking receive matched on `(src, tag)`.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        let me = self.members[self.rank];
+        let want_src = self.members[src];
+        loop {
+            {
+                let mut pend = self.fabric.pending[me].lock();
+                if let Some(pos) = pend
+                    .iter()
+                    .position(|m| m.src_world == want_src && m.tag == tag && m.comm_id == self.comm_id)
+                {
+                    let m = pend.swap_remove(pos);
+                    let t = self.fabric.cost.msg_time(m.payload.len());
+                    self.fabric.advance(me, t);
+                    return m.payload;
+                }
+            }
+            let msg = self.fabric.receivers[me].lock().recv().expect("fabric closed");
+            self.fabric.pending[me].lock().push(msg);
+        }
+    }
+
+    fn next_op_tag(&self) -> u64 {
+        let s = self.op_seq.get();
+        self.op_seq.set(s + 1);
+        INTERNAL + s
+    }
+
+    /// Synchronizes all members (gather-then-release through rank 0).
+    pub fn barrier(&self) {
+        let tag = self.next_op_tag();
+        if self.rank == 0 {
+            for r in 1..self.size() {
+                let _ = self.recv(r, tag);
+            }
+            for r in 1..self.size() {
+                self.send(r, tag + INTERNAL, Vec::new());
+            }
+        } else {
+            self.send(0, tag, Vec::new());
+            let _ = self.recv(0, tag + INTERNAL);
+        }
+        self.fabric
+            .advance(self.members[self.rank], self.fabric.cost.collective_time(self.size(), 8));
+    }
+
+    /// Broadcast from `root` (`MPI_Bcast` — how H and S reach all ranks,
+    /// §4: "the resulting data are then distributed to all the available
+    /// MPI ranks with MPI_Bcast").
+    pub fn bcast(&self, root: usize, data: &mut Vec<u8>) {
+        let tag = self.next_op_tag();
+        if self.rank == root {
+            for r in 0..self.size() {
+                if r != root {
+                    self.send(r, tag, data.clone());
+                }
+            }
+        } else {
+            *data = self.recv(root, tag);
+        }
+        self.fabric
+            .advance(self.members[self.rank], self.fabric.cost.collective_time(self.size(), data.len()));
+    }
+
+    /// Gathers byte payloads at `root` (returns `None` elsewhere).
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        let tag = self.next_op_tag();
+        if self.rank == root {
+            let mut out = vec![Vec::new(); self.size()];
+            out[root] = data;
+            for r in 0..self.size() {
+                if r != root {
+                    out[r] = self.recv(r, tag);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, data);
+            None
+        }
+    }
+
+    /// All-reduce (sum) over per-rank f64 vectors.
+    pub fn allreduce_sum(&self, vals: &[f64]) -> Vec<f64> {
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let gathered = self.gather(0, bytes);
+        let mut result = vec![0.0; vals.len()];
+        if self.rank == 0 {
+            for payload in gathered.expect("root gathers") {
+                for (i, chunk) in payload.chunks_exact(8).enumerate() {
+                    result[i] += f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                }
+            }
+        }
+        let mut out_bytes: Vec<u8> = result.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.bcast(0, &mut out_bytes);
+        out_bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    /// All-gather of one f64 triple per rank (used by `split`).
+    fn allgather3(&self, v: [f64; 3]) -> Vec<[f64; 3]> {
+        let bytes: Vec<u8> = v.iter().flat_map(|x| x.to_le_bytes()).collect();
+        let gathered = self.gather(0, bytes);
+        let mut flat: Vec<u8> = Vec::new();
+        if self.rank == 0 {
+            for p in gathered.expect("root") {
+                flat.extend_from_slice(&p);
+            }
+        }
+        self.bcast(0, &mut flat);
+        flat.chunks_exact(24)
+            .map(|c| {
+                [
+                    f64::from_le_bytes(c[0..8].try_into().expect("8")),
+                    f64::from_le_bytes(c[8..16].try_into().expect("8")),
+                    f64::from_le_bytes(c[16..24].try_into().expect("8")),
+                ]
+            })
+            .collect()
+    }
+
+    /// Splits into sub-communicators by `color`, ordering members by
+    /// `(key, old rank)` — `MPI_Comm_split`, the mechanism behind the
+    /// momentum/energy/domain hierarchy of Fig. 9.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        let info = self.allgather3([color as f64, key as f64, self.rank as f64]);
+        let mut members: Vec<(usize, usize)> = info
+            .iter()
+            .filter(|t| t[0] as usize == color)
+            .map(|t| (t[1] as usize, t[2] as usize))
+            .collect();
+        members.sort_unstable();
+        let world_members: Vec<usize> =
+            members.iter().map(|&(_, old_local)| self.members[old_local]).collect();
+        let my_world = self.members[self.rank];
+        let new_rank = world_members
+            .iter()
+            .position(|&w| w == my_world)
+            .expect("caller must be in its own color group");
+        let epoch = self.split_seq.get();
+        self.split_seq.set(epoch + 1);
+        // Deterministic id shared by all members of the same color/epoch.
+        let comm_id = self
+            .comm_id
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add((color as u64) << 20)
+            .wrapping_add(epoch + 1);
+        Comm {
+            fabric: Arc::clone(&self.fabric),
+            comm_id,
+            members: Arc::new(world_members),
+            rank: new_rank,
+            op_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_world;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run_world(2, CostModel::gemini(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1, 2, 3]);
+                c.recv(1, 8)
+            } else {
+                let got = c.recv(0, 7);
+                c.send(0, 8, vec![got[2], got[1], got[0]]);
+                got
+            }
+        });
+        assert_eq!(out[0], vec![3, 2, 1]);
+        assert_eq!(out[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bcast_reaches_everyone() {
+        let out = run_world(5, CostModel::gemini(), |c| {
+            let mut data = if c.rank() == 2 { vec![42u8, 43] } else { Vec::new() };
+            c.bcast(2, &mut data);
+            data
+        });
+        for o in out {
+            assert_eq!(o, vec![42, 43]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let out = run_world(4, CostModel::gemini(), |c| {
+            c.allreduce_sum(&[c.rank() as f64, 1.0])
+        });
+        for o in out {
+            assert_eq!(o, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn split_builds_disjoint_groups() {
+        // 6 ranks → 2 colors of 3; inside each group ranks renumber 0..3.
+        let out = run_world(6, CostModel::gemini(), |c| {
+            let color = c.rank() % 2;
+            let sub = c.split(color, c.rank());
+            // Sum of world ranks inside the subgroup.
+            let s = sub.allreduce_sum(&[c.rank() as f64]);
+            (color, sub.rank(), sub.size(), s[0] as usize)
+        });
+        for (color, sub_rank, sub_size, sum) in out {
+            assert_eq!(sub_size, 3);
+            assert!(sub_rank < 3);
+            let expected = if color == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+            assert_eq!(sum, expected);
+        }
+    }
+
+    #[test]
+    fn hierarchical_split_like_fig9() {
+        // 8 ranks → 2 k-groups × 2 E-groups × 2 domain ranks.
+        let out = run_world(8, CostModel::gemini(), |c| {
+            let k_comm = c.split(c.rank() / 4, c.rank());
+            let e_comm = k_comm.split(k_comm.rank() / 2, k_comm.rank());
+            (k_comm.size(), e_comm.size(), e_comm.rank())
+        });
+        for (ks, es, er) in out {
+            assert_eq!(ks, 4);
+            assert_eq!(es, 2);
+            assert!(er < 2);
+        }
+    }
+
+    #[test]
+    fn barrier_and_vtime_accounting() {
+        let out = run_world(3, CostModel::gemini(), |c| {
+            c.barrier();
+            c.comm_time()
+        });
+        for t in out {
+            assert!(t > 0.0, "collectives must cost virtual time");
+        }
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let out = run_world(3, CostModel::gemini(), |c| c.gather(0, vec![c.rank() as u8]));
+        assert_eq!(out[0].as_ref().unwrap().len(), 3);
+        for (r, payload) in out[0].as_ref().unwrap().iter().enumerate() {
+            assert_eq!(payload[0] as usize, r);
+        }
+        assert!(out[1].is_none() && out[2].is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Rank spawning and the communication cost model.
+
+use crate::comm::{Comm, Fabric};
+use std::sync::Arc;
+
+/// Latency/bandwidth model of the interconnect (Cray Gemini/Aries class).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Per-message latency (s).
+    pub latency: f64,
+    /// Link bandwidth (bytes/s).
+    pub bandwidth: f64,
+}
+
+impl CostModel {
+    /// Cray Gemini (Titan-era) figures: ~1.5 µs latency, ~6 GB/s per link.
+    pub fn gemini() -> Self {
+        CostModel { latency: 1.5e-6, bandwidth: 6.0e9 }
+    }
+
+    /// Time to move one message of `bytes`.
+    pub fn msg_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Time of a binary-tree collective over `ranks` with `bytes` payload.
+    pub fn collective_time(&self, ranks: usize, bytes: usize) -> f64 {
+        (ranks.max(1) as f64).log2().ceil().max(1.0) * self.msg_time(bytes)
+    }
+}
+
+/// Spawns `n` ranks, each running `f(comm)`, and returns their outputs in
+/// rank order. Panics in any rank propagate (failing tests loudly rather
+/// than deadlocking).
+pub fn run_world<T, F>(n: usize, cost: CostModel, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    assert!(n >= 1);
+    let fabric = Arc::new(Fabric::new(n, cost));
+    let f = Arc::new(f);
+    let mut handles = Vec::with_capacity(n);
+    for rank in 0..n {
+        let fabric = Arc::clone(&fabric);
+        let f = Arc::clone(&f);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .spawn(move || {
+                    let comm = Comm::world(fabric, rank, n);
+                    f(comm)
+                })
+                .expect("spawn rank"),
+        );
+    }
+    handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_runs_all_ranks() {
+        let out = run_world(4, CostModel::gemini(), |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn cost_model_scales() {
+        let m = CostModel::gemini();
+        assert!(m.msg_time(1_000_000) > m.msg_time(10));
+        assert!(m.collective_time(1024, 8) > m.collective_time(2, 8));
+    }
+}

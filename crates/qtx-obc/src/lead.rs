@@ -1,0 +1,183 @@
+//! Folded lead blocks.
+//!
+//! After grouping `NBW` unit cells into one superblock of size
+//! `nf = NBW · n`, the semi-infinite lead is nearest-neighbour at the
+//! superblock level: on-site `H00/S00` and coupling `H01/S01` blocks fully
+//! describe it. All OBC algorithms work on the energy-shifted blocks
+//! `T = E·S − H`.
+
+use qtx_linalg::{c64, ZMat};
+use serde::{Deserialize, Serialize};
+
+/// Folded nearest-neighbour lead description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeadBlocks {
+    /// On-site superblock Hamiltonian (`nf × nf`, Hermitian).
+    pub h00: ZMat,
+    /// Coupling to the next superblock along +x.
+    pub h01: ZMat,
+    /// On-site overlap.
+    pub s00: ZMat,
+    /// Coupling overlap.
+    pub s01: ZMat,
+}
+
+impl LeadBlocks {
+    /// Builds from explicit blocks (validated).
+    pub fn new(h00: ZMat, h01: ZMat, s00: ZMat, s01: ZMat) -> Self {
+        let nf = h00.rows();
+        assert!(h00.is_square() && h01.is_square() && s00.is_square() && s01.is_square());
+        assert_eq!(h01.rows(), nf);
+        assert_eq!(s00.rows(), nf);
+        assert_eq!(s01.rows(), nf);
+        assert!(h00.hermitian_defect() < 1e-8 * h00.norm_max().max(1.0), "H00 must be Hermitian");
+        LeadBlocks { h00, h01, s00, s01 }
+    }
+
+    /// A 1-D single-orbital chain with on-site `eps` and hopping `t`
+    /// (orthogonal basis): the analytic reference of every OBC test.
+    pub fn chain_1d(eps: f64, t: f64) -> Self {
+        LeadBlocks {
+            h00: ZMat::from_diag(&[c64(eps, 0.0)]),
+            h01: ZMat::from_diag(&[c64(t, 0.0)]),
+            s00: ZMat::identity(1),
+            s01: ZMat::zeros(1, 1),
+        }
+    }
+
+    /// Superblock dimension `nf`.
+    pub fn nf(&self) -> usize {
+        self.h00.rows()
+    }
+
+    /// Energy-shifted blocks `(T00, T01, T10) = (E·S − H)` at energy `e`
+    /// with broadening `eta` (retarded: `E + iη`).
+    pub fn t_blocks(&self, e: f64, eta: f64) -> (ZMat, ZMat, ZMat) {
+        let z = c64(e, eta);
+        let t00 = &self.s00.scaled(z) - &self.h00;
+        let t01 = &self.s01.scaled(z) - &self.h01;
+        // T10 = E·S01ᴴ − H01ᴴ (Hermitian lead ⇒ S10 = S01ᴴ, H10 = H01ᴴ);
+        // with a complex shift this is (z·S01 − H01) conjugate-transposed
+        // entrywise in S/H but the shift stays z (retarded convention).
+        let t10 = &self.s01.adjoint().scaled(z) - &self.h01.adjoint();
+        (t00, t01, t10)
+    }
+
+    /// Band structure sample: eigenvalues of
+    /// `H(k) = H00 + H01·e^{ik} + H01ᴴ·e^{−ik}` against
+    /// `S(k)` — used to place energy grids and to locate band edges.
+    pub fn bands_at(&self, k: f64) -> Vec<f64> {
+        let phase = qtx_linalg::Complex64::from_phase(k);
+        let hk = {
+            let mut m = self.h00.clone();
+            m.axpy(phase, &self.h01);
+            m.axpy(phase.conj(), &self.h01.adjoint());
+            m
+        };
+        let sk = {
+            let mut m = self.s00.clone();
+            m.axpy(phase, &self.s01);
+            m.axpy(phase.conj(), &self.s01.adjoint());
+            m
+        };
+        let dec = qtx_linalg::eig_generalized(&hk, &sk).expect("band eigensolve");
+        let mut bands: Vec<f64> = dec.values.iter().map(|z| z.re).collect();
+        bands.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bands
+    }
+
+    /// First dispersive band energy above `lo` at momentum `k`: bands are
+    /// matched between `k` and `k + dk` by sorted index and kept only when
+    /// the local slope exceeds `min_slope` (eV per unit phase). Flat
+    /// (surface/passivation) bands carry no current and are skipped.
+    pub fn dispersive_energy(&self, k: f64, lo: f64, min_slope: f64) -> Option<f64> {
+        let dk = 0.08;
+        let b0 = self.bands_at(k);
+        let b1 = self.bands_at(k + dk);
+        b0.iter()
+            .zip(&b1)
+            .filter(|(e0, e1)| (**e1 - **e0).abs() / dk > min_slope)
+            .map(|(e0, _)| *e0)
+            .find(|&e| e > lo)
+    }
+
+    /// Minimum energy of any dispersive band above `lo` over a k-scan —
+    /// the conducting band edge (ignores flat passivation bands).
+    pub fn dispersive_band_min(&self, lo: f64, min_slope: f64) -> Option<f64> {
+        let nk = 24;
+        let mut best: Option<f64> = None;
+        for i in 0..nk {
+            let k = 0.05 + (std::f64::consts::PI - 0.1) * i as f64 / (nk - 1) as f64;
+            if let Some(e) = self.dispersive_energy(k, lo, min_slope) {
+                best = Some(best.map_or(e, |b: f64| b.min(e)));
+            }
+        }
+        best
+    }
+
+    /// Scans the Brillouin zone and returns `(E_min, E_max)` over all
+    /// bands — the energy window that brackets every propagating mode.
+    pub fn band_window(&self, nk: usize) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..nk {
+            let k = std::f64::consts::PI * i as f64 / (nk.max(2) - 1) as f64;
+            for b in self.bands_at(k) {
+                lo = lo.min(b);
+                hi = hi.max(b);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_dispersion_is_cosine() {
+        // E(k) = eps + 2 t cos k for the 1-D chain.
+        let lead = LeadBlocks::chain_1d(0.5, -1.0);
+        for &k in &[0.0, 0.7, 1.5, std::f64::consts::PI] {
+            let bands = lead.bands_at(k);
+            assert_eq!(bands.len(), 1);
+            let expected = 0.5 - 2.0 * k.cos();
+            assert!((bands[0] - expected).abs() < 1e-10, "k={k}: {} vs {expected}", bands[0]);
+        }
+    }
+
+    #[test]
+    fn band_window_of_chain() {
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let (lo, hi) = lead.band_window(64);
+        assert!((lo + 2.0).abs() < 1e-6);
+        assert!((hi - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn t_blocks_shift() {
+        let lead = LeadBlocks::chain_1d(1.0, -0.5);
+        let (t00, t01, t10) = lead.t_blocks(2.0, 0.0);
+        assert!((t00[(0, 0)] - c64(1.0, 0.0)).abs() < 1e-14); // 2·1 − 1
+        assert!((t01[(0, 0)] - c64(0.5, 0.0)).abs() < 1e-14); // −(−0.5)
+        assert!((t10[(0, 0)] - t01[(0, 0)].conj()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn two_band_lead_has_gap() {
+        // Two decoupled orbitals at ±1.5 with weak hopping: gap around 0.
+        let h00 = ZMat::from_diag(&[c64(-1.5, 0.0), c64(1.5, 0.0)]);
+        let h01 = ZMat::from_diag(&[c64(0.3, 0.0), c64(-0.3, 0.0)]);
+        let lead = LeadBlocks::new(h00, h01, ZMat::identity(2), ZMat::zeros(2, 2));
+        let (lo, hi) = lead.band_window(32);
+        assert!(lo < -1.0 && hi > 1.0);
+        // No band touches zero.
+        for i in 0..32 {
+            let k = std::f64::consts::PI * i as f64 / 31.0;
+            for b in lead.bands_at(k) {
+                assert!(b.abs() > 0.5, "gap state at k={k}: E={b}");
+            }
+        }
+    }
+}

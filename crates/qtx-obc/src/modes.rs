@@ -1,0 +1,222 @@
+//! Lead mode classification and flux normalization.
+//!
+//! Every finite eigenpair `(λ, u)` of the companion pencil is a Bloch or
+//! evanescent lead state `ψ_q = λ^q·u`. Retarded boundary conditions sort
+//! them by where they travel or decay:
+//!
+//! * `|λ| = 1` — propagating; the group velocity
+//!   `v = 2·Im(uᴴ·T01·λ·u) / (uᴴ·S(λ)·u)` decides the direction
+//!   (derived by differentiating the Bloch condition; `v > 0` moves
+//!   towards +x). Propagating modes are normalized to unit flux so
+//!   transmission amplitudes square directly to probabilities.
+//! * `|λ| < 1` — decays towards +x (right-outgoing);
+//! * `|λ| > 1` — decays towards −x (left-outgoing).
+
+use crate::companion::CompanionPencil;
+use crate::lead::LeadBlocks;
+use qtx_linalg::{Complex64, ZMat};
+
+/// Tolerance band around `|λ| = 1` classifying propagating modes.
+pub const PROP_TOL: f64 = 1e-6;
+
+/// One classified lead mode.
+#[derive(Debug, Clone)]
+pub struct ModeSet {
+    /// Bloch factor `λ = e^{i·k_B}`.
+    pub lambda: Complex64,
+    /// Mode vector (folded superblock, flux-normalized when propagating).
+    pub u: Vec<Complex64>,
+    /// Group velocity (`dE/dk` units); 0 for evanescent modes.
+    pub velocity: f64,
+    /// True when `|λ| ≈ 1`.
+    pub propagating: bool,
+}
+
+/// All modes of a lead at one energy, classified for retarded BCs.
+#[derive(Debug, Clone)]
+pub struct LeadModes {
+    /// Modes moving/decaying towards −x (outgoing into the left lead).
+    pub left_going: Vec<ModeSet>,
+    /// Modes moving/decaying towards +x (outgoing into the right lead).
+    pub right_going: Vec<ModeSet>,
+}
+
+impl LeadModes {
+    /// Count of propagating modes per direction `(left, right)`.
+    pub fn propagating_counts(&self) -> (usize, usize) {
+        (
+            self.left_going.iter().filter(|m| m.propagating).count(),
+            self.right_going.iter().filter(|m| m.propagating).count(),
+        )
+    }
+
+    /// Matrix whose columns are the modes of one direction set.
+    pub fn mode_matrix(modes: &[ModeSet], nf: usize) -> ZMat {
+        let mut m = ZMat::zeros(nf, modes.len());
+        for (j, mode) in modes.iter().enumerate() {
+            for i in 0..nf {
+                m[(i, j)] = mode.u[i];
+            }
+        }
+        m
+    }
+}
+
+/// Bloch-overlap norm `uᴴ·S(λ)·u` with
+/// `S(λ) = S00 + λ·S01 + λ̄⁻¹... = S00 + λ·S01 + λ^{-1}·S01ᴴ` (for
+/// propagating modes `λ^{-1} = λ̄`, making the norm real positive).
+fn bloch_overlap(lead: &LeadBlocks, lambda: Complex64, u: &[Complex64]) -> f64 {
+    let s00u = lead.s00.matvec(u);
+    let s01u = lead.s01.matvec(u);
+    let s10u = lead.s01.adjoint().matvec(u);
+    let mut acc = Complex64::ZERO;
+    let li = lambda.inv();
+    for i in 0..u.len() {
+        acc += u[i].conj() * (s00u[i] + lambda * s01u[i] + li * s10u[i]);
+    }
+    acc.re.max(1e-12)
+}
+
+/// Group velocity of a candidate propagating mode (2·Im(uᴴT01λu)/‖u‖²_S).
+fn group_velocity(pencil: &CompanionPencil, lead: &LeadBlocks, lambda: Complex64, u: &[Complex64]) -> f64 {
+    let t01u = pencil.t01.matvec(u);
+    let mut c = Complex64::ZERO;
+    for i in 0..u.len() {
+        c += u[i].conj() * t01u[i];
+    }
+    let ns = bloch_overlap(lead, lambda, u);
+    2.0 * (lambda * c).im / ns
+}
+
+/// Classifies raw eigenpairs into retarded left-/right-going mode sets,
+/// flux-normalizing the propagating ones.
+///
+/// `pairs` holds `(λ, u)` with `u` the bottom block of the companion
+/// eigenvector; non-finite or out-of-range λ are ignored by the caller.
+pub fn classify_modes(
+    lead: &LeadBlocks,
+    pencil: &CompanionPencil,
+    pairs: &[(Complex64, Vec<Complex64>)],
+) -> LeadModes {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (lambda, u_raw) in pairs {
+        let mag = lambda.abs();
+        if !lambda.is_finite() || mag < 1e-12 {
+            continue;
+        }
+        let norm = u_raw.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            continue;
+        }
+        let mut u: Vec<Complex64> = u_raw.iter().map(|&z| z / norm).collect();
+        let propagating = (mag - 1.0).abs() < PROP_TOL;
+        if propagating {
+            let v = group_velocity(pencil, lead, *lambda, &u);
+            // Flux normalization: scale so |v|·‖u‖²_S = 1.
+            let ns = bloch_overlap(lead, *lambda, &u);
+            let scale = 1.0 / (v.abs() * ns).sqrt().max(1e-12);
+            for z in u.iter_mut() {
+                *z = z.scale(scale);
+            }
+            let mode = ModeSet { lambda: *lambda, u, velocity: v, propagating: true };
+            if v >= 0.0 {
+                right.push(mode);
+            } else {
+                left.push(mode);
+            }
+        } else {
+            let mode = ModeSet { lambda: *lambda, u, velocity: 0.0, propagating: false };
+            if mag < 1.0 {
+                right.push(mode); // decays towards +x
+            } else {
+                left.push(mode); // decays towards −x
+            }
+        }
+    }
+    // Deterministic ordering: propagating first, by |Im k| then phase.
+    let key = |m: &ModeSet| {
+        (
+            if m.propagating { 0 } else { 1 },
+            ((m.lambda.abs().ln().abs()) * 1e9) as i64,
+            (m.lambda.arg() * 1e9) as i64,
+        )
+    };
+    left.sort_by(|a, b| key(a).cmp(&key(b)));
+    right.sort_by(|a, b| key(a).cmp(&key(b)));
+    LeadModes { left_going: left, right_going: right }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::dense_modes;
+
+    #[test]
+    fn chain_in_band_has_one_mode_each_way() {
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let pencil = CompanionPencil::at_energy(&lead, 0.3, 0.0);
+        let pairs = dense_modes(&pencil).unwrap();
+        let modes = classify_modes(&lead, &pencil, &pairs);
+        assert_eq!(modes.propagating_counts(), (1, 1));
+        // Velocities are opposite and equal in magnitude.
+        let vl = modes.left_going[0].velocity;
+        let vr = modes.right_going[0].velocity;
+        assert!(vl < 0.0 && vr > 0.0);
+        assert!((vl + vr).abs() < 1e-9);
+        // E = −2 cos k ⇒ v = dE/dk = 2 sin k with k = acos(−E/2).
+        let k = (0.3f64 / 2.0).acos();
+        assert!((vr - 2.0 * k.sin()).abs() < 1e-6, "v = {vr}");
+    }
+
+    #[test]
+    fn chain_outside_band_has_only_evanescent() {
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let pencil = CompanionPencil::at_energy(&lead, 3.0, 0.0);
+        let pairs = dense_modes(&pencil).unwrap();
+        let modes = classify_modes(&lead, &pencil, &pairs);
+        assert_eq!(modes.propagating_counts(), (0, 0));
+        assert_eq!(modes.left_going.len(), 1);
+        assert_eq!(modes.right_going.len(), 1);
+        assert!(modes.left_going[0].lambda.abs() > 1.0);
+        assert!(modes.right_going[0].lambda.abs() < 1.0);
+        // λ_left · λ_right = 1 (reciprocal pair).
+        let prod = modes.left_going[0].lambda * modes.right_going[0].lambda;
+        assert!((prod - Complex64::ONE).abs() < 1e-8);
+    }
+
+    #[test]
+    fn flux_normalization_sets_unit_flux() {
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let pencil = CompanionPencil::at_energy(&lead, -0.7, 0.0);
+        let pairs = dense_modes(&pencil).unwrap();
+        let modes = classify_modes(&lead, &pencil, &pairs);
+        let m = &modes.right_going[0];
+        // Flux = 2·Im(uᴴ T01 λ u) must be ±1 after normalization.
+        let t01u = pencil.t01.matvec(&m.u);
+        let mut c = Complex64::ZERO;
+        for i in 0..m.u.len() {
+            c += m.u[i].conj() * t01u[i];
+        }
+        let flux = 2.0 * (m.lambda * c).im;
+        assert!((flux.abs() - 1.0).abs() < 1e-9, "flux = {flux}");
+    }
+
+    #[test]
+    fn two_band_lead_mode_count_matches_bands() {
+        // At an energy crossed by exactly one band, one propagating pair.
+        let h00 = ZMat::from_diag(&[qtx_linalg::c64(-1.5, 0.0), qtx_linalg::c64(1.5, 0.0)]);
+        let h01 = ZMat::from_diag(&[qtx_linalg::c64(0.4, 0.0), qtx_linalg::c64(-0.4, 0.0)]);
+        let lead = LeadBlocks::new(h00, h01, ZMat::identity(2), ZMat::zeros(2, 2));
+        // Band 1 spans [−2.3, −0.7]; band 2 spans [0.7, 2.3].
+        let pencil = CompanionPencil::at_energy(&lead, -1.0, 0.0);
+        let pairs = dense_modes(&pencil).unwrap();
+        let modes = classify_modes(&lead, &pencil, &pairs);
+        assert_eq!(modes.propagating_counts(), (1, 1));
+        // In the gap: nothing propagates.
+        let pencil_gap = CompanionPencil::at_energy(&lead, 0.0, 0.0);
+        let pairs_gap = dense_modes(&pencil_gap).unwrap();
+        let modes_gap = classify_modes(&lead, &pencil_gap, &pairs_gap);
+        assert_eq!(modes_gap.propagating_counts(), (0, 0));
+    }
+}

@@ -1,0 +1,252 @@
+//! Finite-difference Laplacians and a conjugate-gradient solver.
+//!
+//! Units: lengths in nm, potentials in V, charge densities pre-scaled by
+//! `q/ε` so the equation reads `−∇²V = ρ̃` (the scaling happens in the
+//! device driver where the material permittivity is known).
+
+/// 1-D Poisson problem on a uniform grid.
+#[derive(Debug, Clone)]
+pub struct Poisson1D {
+    /// Grid spacing (nm).
+    pub dx: f64,
+    /// Number of interior nodes.
+    pub n: usize,
+    /// Dirichlet value at the left boundary, `None` = Neumann (zero flux).
+    pub left: Option<f64>,
+    /// Dirichlet value at the right boundary, `None` = Neumann.
+    pub right: Option<f64>,
+}
+
+impl Poisson1D {
+    /// Solves `−V'' = rho` and returns the potential on the grid.
+    pub fn solve(&self, rho: &[f64]) -> Vec<f64> {
+        assert_eq!(rho.len(), self.n);
+        // Thomas algorithm on the tridiagonal FD matrix.
+        let n = self.n;
+        let h2 = self.dx * self.dx;
+        let a = vec![-1.0; n]; // sub-diagonal
+        let mut b = vec![2.0; n]; // diagonal
+        let c = vec![-1.0; n]; // super-diagonal
+        let mut d: Vec<f64> = rho.iter().map(|r| r * h2).collect();
+        match self.left {
+            Some(v) => d[0] += v,
+            None => b[0] = 1.0, // zero-flux: V_0 = V_1 ⇒ (V0 − V1) term only
+        }
+        match self.right {
+            Some(v) => d[n - 1] += v,
+            None => b[n - 1] = 1.0,
+        }
+        // Forward elimination.
+        for i in 1..n {
+            let w = a[i] / b[i - 1];
+            b[i] -= w * c[i - 1];
+            d[i] -= w * d[i - 1];
+        }
+        let mut v = vec![0.0; n];
+        v[n - 1] = d[n - 1] / b[n - 1];
+        for i in (0..n - 1).rev() {
+            v[i] = (d[i] - c[i] * v[i + 1]) / b[i];
+        }
+        v
+    }
+}
+
+/// 2-D Poisson problem on a uniform tensor grid (5-point stencil),
+/// Dirichlet on cells listed in `dirichlet`, Neumann elsewhere.
+#[derive(Debug, Clone)]
+pub struct Poisson2D {
+    /// Grid spacings (nm).
+    pub dx: f64,
+    /// Grid spacing along y.
+    pub dy: f64,
+    /// Interior nodes along x.
+    pub nx: usize,
+    /// Interior nodes along y.
+    pub ny: usize,
+    /// Fixed-potential nodes `(ix, iy, value)` (gate contacts).
+    pub dirichlet: Vec<(usize, usize, f64)>,
+}
+
+impl Poisson2D {
+    fn idx(&self, i: usize, j: usize) -> usize {
+        j * self.nx + i
+    }
+
+    /// Applies the (negative) Laplacian with Neumann boundaries.
+    fn apply_raw(&self, v: &[f64], out: &mut [f64]) {
+        let (nx, ny) = (self.nx, self.ny);
+        let (ax, ay) = (1.0 / (self.dx * self.dx), 1.0 / (self.dy * self.dy));
+        for j in 0..ny {
+            for i in 0..nx {
+                let c = v[self.idx(i, j)];
+                let xl = if i > 0 { v[self.idx(i - 1, j)] } else { c };
+                let xr = if i + 1 < nx { v[self.idx(i + 1, j)] } else { c };
+                let yd = if j > 0 { v[self.idx(i, j - 1)] } else { c };
+                let yu = if j + 1 < ny { v[self.idx(i, j + 1)] } else { c };
+                out[self.idx(i, j)] = ax * (2.0 * c - xl - xr) + ay * (2.0 * c - yd - yu);
+            }
+        }
+    }
+
+    /// Solves `−∇²V = rho` by conjugate gradients, enforcing the Dirichlet
+    /// nodes through the symmetric lift-and-project construction: solve
+    /// `P·L·P·u = P·(b − L·x₀)` with `x₀` the Dirichlet lift and `P` the
+    /// projector zeroing constrained entries, then return `u + x₀`. This
+    /// keeps the CG operator symmetric positive definite.
+    pub fn solve(&self, rho: &[f64], tol: f64, max_iter: usize) -> Vec<f64> {
+        assert_eq!(rho.len(), self.nx * self.ny);
+        assert!(!self.dirichlet.is_empty(), "2-D solve needs at least one Dirichlet node");
+        let n = rho.len();
+        let mut fixed = vec![false; n];
+        let mut x0 = vec![0.0; n];
+        for &(i, j, val) in &self.dirichlet {
+            fixed[self.idx(i, j)] = true;
+            x0[self.idx(i, j)] = val;
+        }
+        let mut lx0 = vec![0.0; n];
+        self.apply_raw(&x0, &mut lx0);
+        let mut b: Vec<f64> = rho.iter().zip(&lx0).map(|(r, l)| r - l).collect();
+        for (bi, &f) in b.iter_mut().zip(&fixed) {
+            if f {
+                *bi = 0.0;
+            }
+        }
+        let mut u = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        cg_solve(
+            |v, out| {
+                scratch.copy_from_slice(v);
+                for (s, &f) in scratch.iter_mut().zip(&fixed) {
+                    if f {
+                        *s = 0.0;
+                    }
+                }
+                self.apply_raw(&scratch, out);
+                for (o, &f) in out.iter_mut().zip(&fixed) {
+                    if f {
+                        *o = 0.0;
+                    }
+                }
+            },
+            &b,
+            &mut u,
+            tol,
+            max_iter,
+        );
+        for i in 0..n {
+            u[i] += x0[i];
+            if fixed[i] {
+                u[i] = x0[i];
+            }
+        }
+        u
+    }
+}
+
+/// Generic conjugate gradients for a matrix-free SPD operator.
+pub fn cg_solve(
+    mut apply: impl FnMut(&[f64], &mut [f64]),
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> usize {
+    let n = b.len();
+    let mut r = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+    apply(x, &mut ax);
+    for i in 0..n {
+        r[i] = b[i] - ax[i];
+    }
+    let mut p = r.clone();
+    let mut rs: f64 = r.iter().map(|v| v * v).sum();
+    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+    let mut ap = vec![0.0; n];
+    for it in 0..max_iter {
+        if rs.sqrt() / b_norm < tol {
+            return it;
+        }
+        apply(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap.abs() < 1e-300 {
+            return it;
+        }
+        let alpha = rs / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rs_new / rs;
+        rs = rs_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    max_iter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirichlet_laplace_is_linear_ramp() {
+        // −V'' = 0 with V(0)=0, V(L)=1 → linear profile.
+        let p = Poisson1D { dx: 0.1, n: 21, left: Some(0.0), right: Some(1.0) };
+        let v = p.solve(&vec![0.0; 21]);
+        for (i, vi) in v.iter().enumerate() {
+            let expected = (i + 1) as f64 / 22.0;
+            assert!((vi - expected).abs() < 1e-10, "node {i}: {vi} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn uniform_charge_gives_parabola() {
+        // −V'' = 1, V(±) = 0 → V = x(L−x)/2 on the continuum.
+        let n = 101;
+        let dx = 1.0 / (n as f64 + 1.0);
+        let p = Poisson1D { dx, n, left: Some(0.0), right: Some(0.0) };
+        let v = p.solve(&vec![1.0; n]);
+        let mid = v[n / 2];
+        assert!((mid - 0.125).abs() < 1e-3, "mid = {mid} vs 1/8");
+    }
+
+    #[test]
+    fn neumann_side_flattens_profile() {
+        let p = Poisson1D { dx: 0.1, n: 30, left: None, right: Some(0.0) };
+        let v = p.solve(&vec![0.5; 30]);
+        // Zero-flux at the left: the first two nodes are nearly equal.
+        assert!((v[0] - v[1]).abs() < 0.02 * v[0].abs().max(1e-12) + 5e-3);
+        assert!(v[0] > v[29], "potential decays towards the grounded side");
+    }
+
+    #[test]
+    fn poisson_2d_gate_pins_potential() {
+        let mut dirichlet = Vec::new();
+        for i in 0..8 {
+            dirichlet.push((i, 0usize, 1.0)); // bottom gate at 1 V
+            dirichlet.push((i, 7usize, 0.0)); // top contact grounded
+        }
+        let p = Poisson2D { dx: 0.5, dy: 0.5, nx: 8, ny: 8, dirichlet };
+        let v = p.solve(&vec![0.0; 64], 1e-10, 2000);
+        // Monotonic decay from the 1 V gate to the 0 V contact.
+        let col = |j: usize| v[j * 8 + 4];
+        assert!((col(0) - 1.0).abs() < 1e-8);
+        assert!((col(7) - 0.0).abs() < 1e-8);
+        for j in 1..8 {
+            assert!(col(j) <= col(j - 1) + 1e-9, "profile must decay, col {j}");
+        }
+    }
+
+    #[test]
+    fn cg_solves_identity() {
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x = vec![0.0; 3];
+        let iters = cg_solve(|v, out| out.copy_from_slice(v), &b, &mut x, 1e-12, 10);
+        assert!(iters <= 2);
+        for (a, e) in x.iter().zip(&b) {
+            assert!((a - e).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # qtx-poisson — finite-difference Poisson solvers
+//!
+//! OMEN is "basically a Schrödinger-Poisson solver with open boundary
+//! conditions" (§4): every self-consistent iteration feeds the transport
+//! charge back into the electrostatic potential. This crate provides the
+//! electrostatics substrate: 1-D and 2-D finite-difference Laplacians
+//! with Dirichlet/Neumann/gate boundaries, a conjugate-gradient solver,
+//! and the damped nonlinear iteration helper used by the device SCF loop.
+
+pub mod fd;
+pub mod gate;
+
+pub use fd::{cg_solve, Poisson1D, Poisson2D};
+pub use gate::{gated_poisson_1d, GateSpec};

@@ -1,0 +1,143 @@
+//! MUMPS-like block tri-diagonal direct solver (the Fig. 8 baseline).
+//!
+//! MUMPS factorizes the whole sparse matrix; on a BTD-ordered transport
+//! matrix its elimination tree degenerates into the block Thomas
+//! recursion implemented here (dense frontal blocks, full fill inside the
+//! band). The cost profile — one `s³` factorization plus two `s³` GEMMs
+//! per block row, all sequential along the chain, executed on the CPU —
+//! is what makes it "slow when the number of non-zero entries increases
+//! drastically" (§3.B) compared to SplitSolve's accelerator pipeline.
+
+use crate::system::ObcSystem;
+use qtx_linalg::{lu_factor, Complex64, LuFactors, Result, ZMat};
+use qtx_sparse::Btd;
+
+/// Factorization state of the block Thomas elimination.
+pub struct BtdLuFactors {
+    /// LU factors of the pivot blocks `D̃_i`.
+    pivots: Vec<LuFactors>,
+    /// Elimination multipliers `L_i·D̃_{i-1}⁻¹... stored as D̃⁻¹·U` blocks.
+    dinv_upper: Vec<ZMat>,
+    /// Copy of the sub-diagonal blocks (back-substitution needs them).
+    lower: Vec<ZMat>,
+}
+
+/// Factors `T` (BTD with boundary self-energies folded into the corner
+/// diagonal blocks) by block Gaussian elimination without pivoting across
+/// blocks.
+pub fn btd_lu_factor(a: &Btd, sigma_l: &ZMat, sigma_r: &ZMat) -> Result<BtdLuFactors> {
+    let nb = a.num_blocks();
+    let mut pivots = Vec::with_capacity(nb);
+    let mut dinv_upper = Vec::with_capacity(nb - 1);
+    let mut carry: Option<ZMat> = None; // L_{i-1}·(D̃_{i-1}⁻¹·U_{i-1})
+    for i in 0..nb {
+        let mut d = a.diag[i].clone();
+        if i == 0 {
+            d.axpy(-Complex64::ONE, sigma_l);
+        }
+        if i == nb - 1 {
+            d.axpy(-Complex64::ONE, sigma_r);
+        }
+        if let Some(c) = &carry {
+            d.axpy(-Complex64::ONE, c);
+        }
+        let f = lu_factor(&d)?;
+        if i + 1 < nb {
+            let du = f.solve(&a.upper[i]);
+            carry = Some(&a.lower[i] * &du);
+            dinv_upper.push(du);
+        }
+        pivots.push(f);
+    }
+    Ok(BtdLuFactors { pivots, dinv_upper, lower: a.lower.clone() })
+}
+
+impl BtdLuFactors {
+    /// Solves `T·x = b` for a dense multi-column RHS.
+    pub fn solve(&self, b: &ZMat) -> ZMat {
+        let nb = self.pivots.len();
+        let s = self.lower.first().map_or(b.rows(), |l| l.rows());
+        let m = b.cols();
+        // Forward: ỹ_i = D̃_i⁻¹·(b_i − L_{i-1}·ỹ_{i-1}).
+        let mut y: Vec<ZMat> = Vec::with_capacity(nb);
+        for i in 0..nb {
+            let mut rhs = b.block(i * s, 0, s, m);
+            if i > 0 {
+                let prod = &self.lower[i - 1] * &y[i - 1];
+                rhs.axpy(-Complex64::ONE, &prod);
+            }
+            y.push(self.pivots[i].solve(&rhs));
+        }
+        // Backward: x_i = ỹ_i − (D̃_i⁻¹·U_i)·x_{i+1}.
+        let mut x = ZMat::zeros(nb * s, m);
+        x.set_block((nb - 1) * s, 0, &y[nb - 1]);
+        for i in (0..nb - 1).rev() {
+            let xn = x.block((i + 1) * s, 0, s, m);
+            let mut xi = y[i].clone();
+            let corr = &self.dinv_upper[i] * &xn;
+            xi.axpy(-Complex64::ONE, &corr);
+            x.set_block(i * s, 0, &xi);
+        }
+        x
+    }
+}
+
+/// One-shot baseline solve of Eq. 5.
+pub fn btd_lu_solve(sys: &ObcSystem) -> Result<ZMat> {
+    let f = btd_lu_factor(&sys.a, &sys.sigma_l, &sys.sigma_r)?;
+    Ok(f.solve(&sys.b_dense()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtx_linalg::{c64, zgesv};
+
+    fn random_system(nb: usize, s: usize, m: usize, seed: u64) -> ObcSystem {
+        let mut a = Btd::zeros(nb, s);
+        for i in 0..nb {
+            a.diag[i] = ZMat::random(s, s, seed + i as u64);
+            for d in 0..s {
+                a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(4.0, 1.0);
+            }
+        }
+        for i in 0..nb - 1 {
+            a.upper[i] = ZMat::random(s, s, seed + 50 + i as u64).scaled(c64(0.4, 0.0));
+            a.lower[i] = ZMat::random(s, s, seed + 90 + i as u64).scaled(c64(0.4, 0.0));
+        }
+        ObcSystem {
+            a,
+            sigma_l: ZMat::random(s, s, seed + 130).scaled(c64(0.2, 0.1)),
+            sigma_r: ZMat::random(s, s, seed + 131).scaled(c64(0.2, -0.2)),
+            rhs_top: ZMat::random(s, m, seed + 150),
+            rhs_bottom: ZMat::random(s, m, seed + 151),
+        }
+    }
+
+    #[test]
+    fn matches_dense_solver() {
+        let sys = random_system(6, 3, 2, 41);
+        let x_ref = zgesv(&sys.t_dense(), &sys.b_dense()).unwrap();
+        let x = btd_lu_solve(&sys).unwrap();
+        assert!(x.max_diff(&x_ref) < 1e-9);
+    }
+
+    #[test]
+    fn factors_are_reusable_across_rhs() {
+        let sys = random_system(5, 2, 1, 43);
+        let f = btd_lu_factor(&sys.a, &sys.sigma_l, &sys.sigma_r).unwrap();
+        let b1 = sys.b_dense();
+        let b2 = ZMat::random(sys.dim(), 3, 99);
+        let x1 = f.solve(&b1);
+        let x2 = f.solve(&b2);
+        assert!(x1.max_diff(&zgesv(&sys.t_dense(), &b1).unwrap()) < 1e-9);
+        assert!(x2.max_diff(&zgesv(&sys.t_dense(), &b2).unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn two_block_system() {
+        let sys = random_system(2, 4, 2, 47);
+        let x = btd_lu_solve(&sys).unwrap();
+        assert!(sys.residual(&x) < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qtx-solver — SplitSolve and the direct-solver baselines (§3.B)
+//!
+//! Solves the Schrödinger equation with open boundary conditions,
+//! `T·x = (E·S − H − Σ^RB)·x = Inj` (Eq. 5), exploiting its structure:
+//! block tri-diagonal `A = E·S − H`, low-rank boundary corners
+//! `Σ^RB = B·C`, and a right-hand side with non-zeros only in the top and
+//! bottom block rows (Fig. 4).
+//!
+//! * [`splitsolve`] — the paper's contribution: Sherman–Morrison–Woodbury
+//!   decoupling of the OBCs from the big solve (Steps 1–4), the RGF block
+//!   column inversion of Algorithm 1, and the SPIKE-style recursive
+//!   partition merge of Fig. 6, all accounted on the virtual accelerators
+//!   of `qtx-accel`.
+//! * [`btd_lu`] — a MUMPS-like block tri-diagonal direct factorization,
+//!   the sparse-direct baseline of Fig. 8.
+//! * [`bcr`] — block cyclic reduction, OMEN's legacy tight-binding solver
+//!   (ref. [33]).
+//! * [`rgf`] — the recursive Green's function reference used for NEGF
+//!   cross-checks (transmission via the Caroli formula in `qtx-core`).
+
+pub mod bcr;
+pub mod btd_lu;
+pub mod rgf;
+pub mod splitsolve;
+pub mod system;
+
+pub use bcr::bcr_solve;
+pub use btd_lu::{btd_lu_solve, BtdLuFactors};
+pub use rgf::{rgf_diagonal_and_corner, RgfResult};
+pub use splitsolve::{SplitSolve, SplitSolveReport};
+pub use system::ObcSystem;
+
+/// Which solver handles Eq. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// SplitSolve on `p` accelerator partitions (power of two).
+    SplitSolve {
+        /// Number of horizontal partitions (Fig. 6's `p/2`).
+        partitions: usize,
+    },
+    /// MUMPS-like block tri-diagonal LU.
+    BtdLu,
+    /// Block cyclic reduction.
+    Bcr,
+}

@@ -1,0 +1,535 @@
+//! SplitSolve (§3.B, Fig. 6, Algorithm 1).
+//!
+//! The goals, quoting the paper: "(i) efficiently computing only the
+//! required parts of T⁻¹ and (ii) decoupling the calculation of the open
+//! boundary conditions Σ^RB from the solution of T⁻¹". With
+//! `T = A − B·C`, the Sherman–Morrison–Woodbury identity gives the
+//! four-step scheme:
+//!
+//! 1. **Step 1** (preprocessing, accelerators): `Q = A⁻¹·B` — the first
+//!    and last `s` columns of `A⁻¹`, via the modified RGF sweeps of
+//!    Algorithm 1, two independent sweeps per partition ("naturally scale
+//!    to two accelerators"), partitions merged recursively SPIKE-style.
+//!    This runs *before* `Σ^RB` and `Inj` exist — the decoupling that lets
+//!    FEAST (CPU) hide behind SplitSolve (GPU).
+//! 2. **Step 2**: `y = A⁻¹·b = Q·b′` (the RHS lives in the corner rows).
+//! 3. **Step 3**: `R·z = (1 − C·Q)·z = C·y` — one small `2s × 2s` solve.
+//! 4. **Step 4**: `x = y + Q·z = Q·(b′ + z)` — one GEMM per block row.
+
+use crate::system::ObcSystem;
+use qtx_accel::{AccelRuntime, KernelClass};
+use qtx_linalg::flops::counts;
+use qtx_linalg::{zgesv, zgesv_nopiv, Complex64, FlopScope, Result, ZMat};
+use qtx_sparse::Btd;
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// First and last block columns of a (sub-)matrix inverse.
+#[derive(Debug, Clone)]
+pub struct BlockColumns {
+    /// `first[i] = (A⁻¹)_{i, 0..s}` for each local block row `i`.
+    pub first: Vec<ZMat>,
+    /// `last[i] = (A⁻¹)_{i, end−s..end}`.
+    pub last: Vec<ZMat>,
+}
+
+/// SplitSolve driver.
+#[derive(Debug, Clone)]
+pub struct SplitSolve {
+    /// Number of horizontal partitions (power of two, ≥ 1).
+    pub partitions: usize,
+}
+
+/// Cost/shape report of one SplitSolve run.
+#[derive(Debug, Clone, Default)]
+pub struct SplitSolveReport {
+    /// Virtual accelerator makespan (seconds) when a runtime was attached.
+    pub virtual_seconds: f64,
+    /// Real double-precision operations executed.
+    pub flops: u64,
+    /// Number of SPIKE merge levels (log₂ partitions).
+    pub spike_levels: usize,
+}
+
+impl SplitSolve {
+    /// Creates a solver over `partitions` partitions (power of two).
+    pub fn new(partitions: usize) -> Self {
+        assert!(partitions >= 1 && partitions.is_power_of_two(), "partitions must be 2^k");
+        SplitSolve { partitions }
+    }
+
+    /// Solves Eq. 5 and returns the dense solution (`N_SS × m`) plus the
+    /// cost report. `rt` attaches the virtual accelerators (2 devices per
+    /// partition, Fig. 6).
+    pub fn solve(&self, sys: &ObcSystem, rt: Option<&AccelRuntime>) -> Result<(ZMat, SplitSolveReport)> {
+        let scope = FlopScope::start();
+        let mut report = SplitSolveReport {
+            spike_levels: self.partitions.trailing_zeros() as usize,
+            ..Default::default()
+        };
+        // Step 1 — preprocessing: Q = A⁻¹B (independent of Σ and Inj).
+        let q = self.inverse_block_columns(&sys.a, rt)?;
+        // Post-processing (Steps 2–4) starts once Σ/Inj are available.
+        let x = self.postprocess(sys, &q, rt)?;
+        if let Some(rt) = rt {
+            report.virtual_seconds = rt.sync();
+        }
+        report.flops = scope.elapsed();
+        Ok((x, report))
+    }
+
+    /// Step 1: first/last block columns of `A⁻¹` over all partitions with
+    /// recursive SPIKE merging. Exposed so callers can overlap the OBC
+    /// computation with this phase (the paper's interleaving).
+    pub fn inverse_block_columns(&self, a: &Btd, rt: Option<&AccelRuntime>) -> Result<BlockColumns> {
+        let nb = a.num_blocks();
+        let p = self.partitions.min(nb.max(1));
+        assert!(p <= nb, "more partitions than block rows");
+        // Partition the block rows as evenly as possible.
+        let ranges: Vec<Range<usize>> = (0..p)
+            .map(|k| {
+                let lo = k * nb / p;
+                let hi = (k + 1) * nb / p;
+                lo..hi
+            })
+            .collect();
+        // Memory model: each partition's share of A plus its Q columns
+        // live on its pair of devices ("A is distributed over all the
+        // available GPUs and stored in their memory"; half of Q is kept on
+        // the CPUs, hence the 0.5 factor on Q).
+        if let Some(rt) = rt {
+            let s = a.block_size() as u64;
+            for (k, r) in ranges.iter().enumerate() {
+                let blocks = r.len() as u64;
+                let a_bytes = 3 * blocks * s * s * 16;
+                let q_bytes = blocks * s * s * 16; // half of 2·(first+last)
+                rt.alloc((2 * k) % rt.len(), a_bytes / 2 + q_bytes / 2);
+                rt.alloc((2 * k + 1) % rt.len(), a_bytes / 2 + q_bytes / 2);
+                rt.account_overlapped((2 * k) % rt.len(), KernelClass::H2D, a_bytes / 2);
+                rt.account_overlapped((2 * k + 1) % rt.len(), KernelClass::H2D, a_bytes / 2);
+            }
+        }
+        // Phases P1/P2 + P3/P4 of Fig. 6: per-partition local sweeps, the
+        // first-column sweep on device 2k and the last-column on 2k+1.
+        let locals: Vec<BlockColumns> = ranges
+            .par_iter()
+            .enumerate()
+            .map(|(k, r)| {
+                let (first, last) = rayon::join(
+                    || local_first_column(a, r.clone(), rt, (2 * k) % rt.map_or(1, |r| r.len())),
+                    || local_last_column(a, r.clone(), rt, (2 * k + 1) % rt.map_or(1, |r| r.len())),
+                );
+                Ok(BlockColumns { first: first?, last: last? })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        if let Some(rt) = rt {
+            rt.sync();
+        }
+        // Recursive SPIKE merge: log₂ p levels, each of constant wall time
+        // (work is proportional to the local block count, spread evenly).
+        let mut layer: Vec<(Range<usize>, BlockColumns)> =
+            ranges.into_iter().zip(locals).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .par_chunks(2)
+                .map(|pair| -> Result<(Range<usize>, BlockColumns)> {
+                    if pair.len() == 1 {
+                        return Ok(pair[0].clone());
+                    }
+                    let (rl, left) = &pair[0];
+                    let (rr, right) = &pair[1];
+                    let dev = (2 * rl.start) % rt.map_or(1, |r| r.len());
+                    let merged = merge_partitions(a, left, right, rl.end - 1, rt, dev)?;
+                    Ok((rl.start..rr.end, merged))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            if let Some(rt) = rt {
+                rt.sync();
+            }
+        }
+        Ok(layer.pop().expect("at least one partition").1)
+    }
+
+    /// Steps 2–4: assemble `R`, solve for `z`, expand `x = Q·(b′ + z)`.
+    pub fn postprocess(&self, sys: &ObcSystem, q: &BlockColumns, rt: Option<&AccelRuntime>) -> Result<ZMat> {
+        let s = sys.block_size();
+        let nb = sys.num_blocks();
+        let m = sys.num_rhs();
+        let bp = sys.b_prime();
+        // C·Q (2s × 2s): corners of Q hit by the self-energies.
+        let cq = {
+            let mut cq = ZMat::zeros(2 * s, 2 * s);
+            cq.set_block(0, 0, &(&sys.sigma_l * &q.first[0]));
+            cq.set_block(0, s, &(&sys.sigma_l * &q.last[0]));
+            cq.set_block(s, 0, &(&sys.sigma_r * &q.first[nb - 1]));
+            cq.set_block(s, s, &(&sys.sigma_r * &q.last[nb - 1]));
+            cq
+        };
+        // C·y with y = Q·b′ evaluated only at the boundary blocks.
+        let y0 = block_row_times(&q.first[0], &q.last[0], &bp, s);
+        let yn = block_row_times(&q.first[nb - 1], &q.last[nb - 1], &bp, s);
+        let mut cy = ZMat::zeros(2 * s, m);
+        cy.set_block(0, 0, &(&sys.sigma_l * &y0));
+        cy.set_block(s, 0, &(&sys.sigma_r * &yn));
+        // R·z = C·y with R = 1 − C·Q (2s × 2s — "a system of comparably
+        // small size").
+        let r_mat = &ZMat::identity(2 * s) - &cq;
+        let z = zgesv(&r_mat, &cy)?;
+        if let Some(rt) = rt {
+            // The R solve happens on the two boundary devices.
+            rt.account(0, KernelClass::Solve, counts::zgetrf(2 * s) + counts::zgetrs(2 * s, m), 0);
+            rt.account_overlapped(0, KernelClass::D2D, (2 * s * m * 16) as u64);
+        }
+        // x = Q·(b′ + z): one GEMM pair per block row, embarrassingly
+        // parallel over the devices that own each block.
+        let bpz = &bp + &z;
+        let mut x = ZMat::zeros(sys.dim(), m);
+        let rows: Vec<ZMat> = (0..nb)
+            .into_par_iter()
+            .map(|i| block_row_times(&q.first[i], &q.last[i], &bpz, s))
+            .collect();
+        for (i, row) in rows.into_iter().enumerate() {
+            x.set_block(i * s, 0, &row);
+        }
+        if let Some(rt) = rt {
+            let per_dev_blocks = nb.div_ceil(rt.len());
+            let fl = counts::zgemm(s, m, 2 * s) * per_dev_blocks as u64;
+            for d in 0..rt.len() {
+                rt.account(d, KernelClass::Gemm, fl, 0);
+                rt.account_overlapped(d, KernelClass::D2H, (per_dev_blocks * s * m * 16) as u64);
+            }
+            rt.sync();
+        }
+        Ok(x)
+    }
+}
+
+/// `[first | last] · bp` for one block row: `first·bp_top + last·bp_bot`.
+fn block_row_times(first: &ZMat, last: &ZMat, bp: &ZMat, s: usize) -> ZMat {
+    let m = bp.cols();
+    let top = bp.block(0, 0, s, m);
+    let bot = bp.block(s, 0, s, m);
+    let mut out = first * &top;
+    let lb = last * &bot;
+    out.axpy(Complex64::ONE, &lb);
+    out
+}
+
+/// Solves `M·X = rhs` preferring the pivot-free GPU kernel and falling
+/// back to pivoted LU when the block is not diagonally dominant enough.
+fn gpu_solve(m: &ZMat, rhs: &ZMat) -> Result<ZMat> {
+    match zgesv_nopiv(m, rhs) {
+        Ok(x) => Ok(x),
+        Err(_) => zgesv(m, rhs),
+    }
+}
+
+/// Accounts one Algorithm-1 step on a device: "two matrix-matrix
+/// multiplications, one LU factorization, and one backward substitution".
+fn account_alg1_step(rt: Option<&AccelRuntime>, dev: usize, s: usize) {
+    if let Some(rt) = rt {
+        rt.account(dev, KernelClass::Gemm, counts::zgemm(s, s, s), 0);
+        rt.account(dev, KernelClass::Solve, counts::zgetrf(s) + counts::zgetrs(s, s), 0);
+        rt.account(dev, KernelClass::Gemm, counts::zgemm(s, s, s), 0);
+    }
+}
+
+/// Algorithm 1, first block column of the local inverse (phases P1+P3).
+fn local_first_column(
+    a: &Btd,
+    r: Range<usize>,
+    rt: Option<&AccelRuntime>,
+    dev: usize,
+) -> Result<Vec<ZMat>> {
+    let s = a.block_size();
+    let nbl = r.len();
+    let mut xs: Vec<ZMat> = Vec::with_capacity(nbl);
+    xs.resize(nbl, ZMat::zeros(0, 0));
+    let mut x_next: Option<ZMat> = None;
+    // Backward sweep: X_i = (A_ii − A_{i,i+1}·X_{i+1})⁻¹ · A_{i,i−1}
+    // (identity RHS at the partition head).
+    for li in (0..nbl).rev() {
+        let gi = r.start + li;
+        let mut m = a.diag[gi].clone();
+        if let Some(xn) = &x_next {
+            // m −= A_{i,i+1}·X_{i+1}; the coupling is internal to the
+            // partition by construction of the sweep.
+            let up = &a.upper[gi];
+            let prod = up * xn;
+            m.axpy(-Complex64::ONE, &prod);
+        }
+        let rhs = if li > 0 { a.lower[gi - 1].clone() } else { ZMat::identity(s) };
+        let xi = gpu_solve(&m, &rhs)?;
+        account_alg1_step(rt, dev, s);
+        x_next = Some(xi.clone());
+        xs[li] = xi;
+    }
+    // Forward accumulation: Q_0 = X_0 (identity RHS), Q_i = −X_i·Q_{i−1}.
+    let mut out: Vec<ZMat> = Vec::with_capacity(nbl);
+    out.push(xs[0].clone());
+    for li in 1..nbl {
+        let prev = out[li - 1].clone();
+        let qi = -&(&xs[li] * &prev);
+        if let Some(rt) = rt {
+            rt.account(dev, KernelClass::Gemm, counts::zgemm(s, s, s), 0);
+        }
+        out.push(qi);
+    }
+    Ok(out)
+}
+
+/// Algorithm 1 mirrored: last block column of the local inverse (P2+P4).
+fn local_last_column(
+    a: &Btd,
+    r: Range<usize>,
+    rt: Option<&AccelRuntime>,
+    dev: usize,
+) -> Result<Vec<ZMat>> {
+    let s = a.block_size();
+    let nbl = r.len();
+    let mut ys: Vec<ZMat> = Vec::with_capacity(nbl);
+    ys.resize(nbl, ZMat::zeros(0, 0));
+    let mut y_prev: Option<ZMat> = None;
+    // Forward sweep: Y_i = (A_ii − A_{i,i−1}·Y_{i−1})⁻¹ · A_{i,i+1}
+    // (identity RHS at the partition tail).
+    for li in 0..nbl {
+        let gi = r.start + li;
+        let mut m = a.diag[gi].clone();
+        if let Some(yp) = &y_prev {
+            let lo = &a.lower[gi - 1];
+            let prod = lo * yp;
+            m.axpy(-Complex64::ONE, &prod);
+        }
+        let rhs = if li + 1 < nbl { a.upper[gi].clone() } else { ZMat::identity(s) };
+        let yi = gpu_solve(&m, &rhs)?;
+        account_alg1_step(rt, dev, s);
+        y_prev = Some(yi.clone());
+        ys[li] = yi;
+    }
+    // Backward accumulation: Q_{n−1} = Y_{n−1}, Q_i = −Y_i·Q_{i+1}.
+    let mut out = vec![ZMat::zeros(0, 0); nbl];
+    out[nbl - 1] = ys[nbl - 1].clone();
+    for li in (0..nbl - 1).rev() {
+        let next = out[li + 1].clone();
+        out[li] = -&(&ys[li] * &next);
+        if let Some(rt) = rt {
+            rt.account(dev, KernelClass::Gemm, counts::zgemm(s, s, s), 0);
+        }
+    }
+    Ok(out)
+}
+
+/// SPIKE merge of two adjacent partitions (Fig. 6's recursive step).
+///
+/// Writing the merged matrix `M = [[A_L, E↑],[E↓, A_R]]` with the single
+/// coupling blocks `E↑ = A_{e,e+1}`, `E↓ = A_{e+1,e}` at the interface
+/// `e = boundary`, the merged first/last inverse columns follow from the
+/// local ones through one `s × s` "tip" solve and one correction GEMM per
+/// block row — the constant-cost-per-level spike computation.
+fn merge_partitions(
+    a: &Btd,
+    left: &BlockColumns,
+    right: &BlockColumns,
+    boundary: usize,
+    rt: Option<&AccelRuntime>,
+    dev: usize,
+) -> Result<BlockColumns> {
+    let s = a.block_size();
+    let up = &a.upper[boundary];
+    let dn = &a.lower[boundary];
+    let nl = left.first.len();
+    let nr = right.first.len();
+    // Spike tips: V_Lb = L_L[end]·E↑, W_Rt = F_R[0]·E↓.
+    let v_lb = &left.last[nl - 1] * up;
+    let w_rt = &right.first[0] * dn;
+    if let Some(rt) = rt {
+        rt.account(dev, KernelClass::Gemm, 2 * counts::zgemm(s, s, s), 0);
+        rt.account_overlapped(dev, KernelClass::D2D, (2 * s * s * 16) as u64);
+    }
+    // Merged FIRST column: (I − V_Lb·W_Rt)·x_e = F_L[end].
+    let i_s = ZMat::identity(s);
+    let m_first = &i_s - &(&v_lb * &w_rt);
+    let x_bottom = zgesv(&m_first, &left.first[nl - 1])?;
+    let y_top = -&(&w_rt * &x_bottom);
+    // Merged LAST column: (I − W_Rt·V_Lb)·y_b = L_R[0].
+    let m_last = &i_s - &(&w_rt * &v_lb);
+    let y_top2 = zgesv(&m_last, &right.last[0])?;
+    let x_bottom2 = -&(&v_lb * &y_top2);
+    if let Some(rt) = rt {
+        rt.account(
+            dev,
+            KernelClass::Solve,
+            2 * (counts::zgetrf(s) + counts::zgetrs(s, s)) + 2 * counts::zgemm(s, s, s),
+            0,
+        );
+    }
+    // Per-block corrections (distributed over the partition devices).
+    let up_y = up * &y_top;
+    let dn_x = dn * &x_bottom;
+    let up_y2 = up * &y_top2;
+    let dn_x2 = dn * &x_bottom2;
+    let first: Vec<ZMat> = (0..nl + nr)
+        .into_par_iter()
+        .map(|i| {
+            if i < nl {
+                // x_i = F_L[i] − L_L[i]·E↑·y_top
+                let mut v = left.first[i].clone();
+                let corr = &left.last[i] * &up_y;
+                v.axpy(-Complex64::ONE, &corr);
+                v
+            } else {
+                // y_i = −F_R[i]·E↓·x_bottom
+                -&(&right.first[i - nl] * &dn_x)
+            }
+        })
+        .collect();
+    let last: Vec<ZMat> = (0..nl + nr)
+        .into_par_iter()
+        .map(|i| {
+            if i < nl {
+                // x_i = −L_L[i]·E↑·y_top′
+                -&(&left.last[i] * &up_y2)
+            } else {
+                // y_i = L_R[i] − F_R[i]·E↓·x_bottom′
+                let mut v = right.last[i - nl].clone();
+                let corr = &right.first[i - nl] * &dn_x2;
+                v.axpy(-Complex64::ONE, &corr);
+                v
+            }
+        })
+        .collect();
+    if let Some(rt) = rt {
+        // 2 correction GEMMs per block row, spread across the devices of
+        // the merged range.
+        let per_dev = (nl + nr).div_ceil(rt.len().max(1)) as u64;
+        for d in 0..rt.len() {
+            rt.account(d, KernelClass::Gemm, 2 * per_dev * counts::zgemm(s, s, s), 0);
+        }
+    }
+    Ok(BlockColumns { first, last })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtx_accel::GpuSpec;
+    use qtx_linalg::{c64, lu_inverse};
+
+    fn random_system(nb: usize, s: usize, m: usize, seed: u64) -> ObcSystem {
+        let mut a = Btd::zeros(nb, s);
+        for i in 0..nb {
+            a.diag[i] = ZMat::random(s, s, seed + i as u64);
+            for d in 0..s {
+                a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(4.0 + s as f64, 1.0);
+            }
+        }
+        for i in 0..nb - 1 {
+            a.upper[i] = ZMat::random(s, s, seed + 100 + i as u64).scaled(c64(0.4, 0.0));
+            a.lower[i] = ZMat::random(s, s, seed + 200 + i as u64).scaled(c64(0.4, 0.0));
+        }
+        ObcSystem {
+            a,
+            sigma_l: ZMat::random(s, s, seed + 300).scaled(c64(0.3, 0.1)),
+            sigma_r: ZMat::random(s, s, seed + 301).scaled(c64(0.3, -0.1)),
+            rhs_top: ZMat::random(s, m, seed + 400),
+            rhs_bottom: ZMat::random(s, m, seed + 401),
+        }
+    }
+
+    #[test]
+    fn single_partition_matches_dense_inverse_columns() {
+        let sys = random_system(5, 3, 1, 1);
+        let q = SplitSolve::new(1).inverse_block_columns(&sys.a, None).unwrap();
+        let inv = lu_inverse(&sys.a.to_dense()).unwrap();
+        for i in 0..5 {
+            let f_ref = inv.block(3 * i, 0, 3, 3);
+            let l_ref = inv.block(3 * i, 12, 3, 3);
+            assert!(q.first[i].max_diff(&f_ref) < 1e-9, "first col block {i}");
+            assert!(q.last[i].max_diff(&l_ref) < 1e-9, "last col block {i}");
+        }
+    }
+
+    #[test]
+    fn spike_merge_matches_single_partition() {
+        let sys = random_system(8, 2, 1, 3);
+        let q1 = SplitSolve::new(1).inverse_block_columns(&sys.a, None).unwrap();
+        for p in [2usize, 4, 8] {
+            let qp = SplitSolve::new(p).inverse_block_columns(&sys.a, None).unwrap();
+            for i in 0..8 {
+                assert!(
+                    qp.first[i].max_diff(&q1.first[i]) < 1e-8,
+                    "p={p} first block {i}: {:.2e}",
+                    qp.first[i].max_diff(&q1.first[i])
+                );
+                assert!(qp.last[i].max_diff(&q1.last[i]) < 1e-8, "p={p} last block {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_solve_matches_dense_for_all_partition_counts() {
+        let sys = random_system(8, 3, 2, 7);
+        let x_ref = zgesv(&sys.t_dense(), &sys.b_dense()).unwrap();
+        for p in [1usize, 2, 4] {
+            let (x, report) = SplitSolve::new(p).solve(&sys, None).unwrap();
+            assert!(x.max_diff(&x_ref) < 1e-8, "p={p}: {:.2e}", x.max_diff(&x_ref));
+            assert_eq!(report.spike_levels, p.trailing_zeros() as usize);
+            assert!(report.flops > 0);
+        }
+    }
+
+    #[test]
+    fn residual_is_small() {
+        let sys = random_system(6, 4, 3, 13);
+        let (x, _) = SplitSolve::new(2).solve(&sys, None).unwrap();
+        assert!(sys.residual(&x) < 1e-9, "residual {:.2e}", sys.residual(&x));
+    }
+
+    #[test]
+    fn uneven_partition_sizes_work() {
+        // 7 blocks over 4 partitions → sizes 1/2/2/2.
+        let sys = random_system(7, 2, 1, 17);
+        let x_ref = zgesv(&sys.t_dense(), &sys.b_dense()).unwrap();
+        let (x, _) = SplitSolve::new(4).solve(&sys, None).unwrap();
+        assert!(x.max_diff(&x_ref) < 1e-8);
+    }
+
+    #[test]
+    fn accel_runtime_traces_phases() {
+        let sys = random_system(8, 3, 2, 23);
+        let rt = AccelRuntime::new(4, GpuSpec::k20x());
+        let (x, report) = SplitSolve::new(2).solve(&sys, Some(&rt)).unwrap();
+        let x_ref = zgesv(&sys.t_dense(), &sys.b_dense()).unwrap();
+        assert!(x.max_diff(&x_ref) < 1e-8);
+        assert!(report.virtual_seconds > 0.0);
+        let traces = rt.traces();
+        assert!(traces.iter().any(|t| t.label == "zgemm"));
+        assert!(traces.iter().any(|t| t.label == "zgesv_nopiv"));
+        assert!(traces.iter().any(|t| t.label == "H-to-D"), "A upload recorded");
+        // All four devices did compute work.
+        for d in 0..4 {
+            assert!(traces.iter().any(|t| t.device == d && t.flops > 0), "device {d} idle");
+        }
+    }
+
+    #[test]
+    fn more_partitions_cost_more_flops_spike_overhead() {
+        // The weak-scaling efficiency drop of Fig. 7(a) comes from the
+        // extra spike work: verify the FLOP count grows with partitions.
+        let sys = random_system(16, 3, 1, 31);
+        let f = |p: usize| {
+            let scope = FlopScope::start();
+            let _ = SplitSolve::new(p).inverse_block_columns(&sys.a, None).unwrap();
+            scope.elapsed()
+        };
+        let f1 = f(1);
+        let f4 = f(4);
+        assert!(f4 > f1, "spikes add work: {f4} vs {f1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "partitions must be 2^k")]
+    fn rejects_non_power_of_two() {
+        let _ = SplitSolve::new(3);
+    }
+}

@@ -1,0 +1,23 @@
+//! # qtx-sparse — sparse matrix substrate
+//!
+//! DFT Hamiltonians in a contracted-Gaussian basis are "usually block
+//! tri-diagonal" (§2.B) with roughly 100× more non-zero entries than their
+//! tight-binding counterparts (Fig. 3). This crate provides the two
+//! representations the transport stack uses:
+//!
+//! * [`Csr`] — classic compressed sparse row storage, the exchange format
+//!   between the DFT substrate and the transport driver, plus sparsity
+//!   analytics (Fig. 3) and spy-pattern rendering (Fig. 4).
+//! * [`Btd`] — block tri-diagonal storage with dense blocks, the native
+//!   layout of the Schrödinger matrix `T = E·S − H − Σ^RB` that SplitSolve
+//!   and the RGF kernels consume.
+
+pub mod btd;
+pub mod csr;
+pub mod spy;
+pub mod stats;
+
+pub use btd::Btd;
+pub use csr::{Csr, CsrBuilder};
+pub use spy::spy_string;
+pub use stats::{sparsity_stats, SparsityStats};

@@ -1,0 +1,103 @@
+//! Sparsity analytics — the quantitative content of Fig. 3.
+//!
+//! The paper's Fig. 3 contrasts the Hamiltonian of a UTBFET in the
+//! contracted-Gaussian (DFT) basis with the tight-binding one: "the number
+//! of non-zero entries increases by two orders of magnitude in DFT as
+//! compared to tight-binding." These helpers measure exactly that.
+
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sparse matrix pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparsityStats {
+    /// Matrix dimension (rows).
+    pub dim: usize,
+    /// Stored non-zero count.
+    pub nnz: usize,
+    /// Fill fraction `nnz / dim²`.
+    pub fill: f64,
+    /// Average non-zeros per row.
+    pub nnz_per_row: f64,
+    /// Matrix bandwidth (max |i − j| over stored entries).
+    pub bandwidth: usize,
+    /// Number of block layers when interpreted with `block_size` rows per
+    /// layer (0 when not requested).
+    pub coupling_range_blocks: usize,
+}
+
+/// Computes sparsity statistics; `block_size` (orbital count per slab) is
+/// used to express the interaction range in unit-cell blocks — the paper's
+/// `NBW` (Eq. 6), typically 1 for tight-binding and ≥ 2 for DFT.
+pub fn sparsity_stats(m: &Csr, block_size: usize) -> SparsityStats {
+    let dim = m.rows();
+    let nnz = m.nnz();
+    let bandwidth = m.bandwidth();
+    SparsityStats {
+        dim,
+        nnz,
+        fill: nnz as f64 / (dim as f64 * dim as f64),
+        nnz_per_row: nnz as f64 / dim as f64,
+        bandwidth,
+        coupling_range_blocks: if block_size == 0 { 0 } else { bandwidth.div_ceil(block_size) },
+    }
+}
+
+impl SparsityStats {
+    /// Ratio of non-zero counts against another pattern (Fig. 3 headline:
+    /// DFT/TB ≈ 100).
+    pub fn nnz_ratio(&self, other: &SparsityStats) -> f64 {
+        self.nnz as f64 / other.nnz.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+    use qtx_linalg::Complex64;
+
+    fn banded(n: usize, half_bw: usize) -> Csr {
+        let mut b = CsrBuilder::new(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(half_bw)..(i + half_bw + 1).min(n) {
+                b.push(i, j, Complex64::ONE);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stats_of_tridiagonal() {
+        let m = banded(10, 1);
+        let s = sparsity_stats(&m, 1);
+        assert_eq!(s.dim, 10);
+        assert_eq!(s.nnz, 28);
+        assert_eq!(s.bandwidth, 1);
+        assert_eq!(s.coupling_range_blocks, 1);
+    }
+
+    #[test]
+    fn ratio_between_wide_and_narrow_band() {
+        let narrow = sparsity_stats(&banded(50, 1), 1);
+        let wide = sparsity_stats(&banded(50, 10), 1);
+        assert!(wide.nnz_ratio(&narrow) > 5.0);
+        assert!(narrow.nnz_ratio(&narrow) == 1.0);
+    }
+
+    #[test]
+    fn coupling_range_counts_blocks() {
+        // bandwidth 6 with block size 3 → reaches 2 blocks away.
+        let m = banded(30, 6);
+        let s = sparsity_stats(&m, 3);
+        assert_eq!(s.coupling_range_blocks, 2);
+    }
+
+    #[test]
+    fn fill_fraction() {
+        let m = banded(4, 3); // fully dense 4×4
+        let s = sparsity_stats(&m, 0);
+        assert!((s.fill - 1.0).abs() < 1e-15);
+        assert!((s.nnz_per_row - 4.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,61 @@
+//! # qtx — ab-initio quantum transport on (simulated) hybrid supercomputers
+//!
+//! `qtx` is an open, from-scratch Rust reproduction of the SC'15 paper
+//! *"Pushing Back the Limit of Ab-initio Quantum Transport Simulations on
+//! Hybrid Supercomputers"* (Calderara et al., ETH Zürich). It couples a
+//! CP2K-like density-functional substrate with an OMEN-like quantum
+//! transport driver and implements the paper's two algorithmic
+//! contributions:
+//!
+//! * **FEAST-based open boundary conditions** — contour-integration
+//!   eigensolver restricted to an annulus around `|λ| = 1`, replacing
+//!   shift-and-invert for the lead-mode polynomial eigenvalue problem
+//!   ([`qtx_obc`]).
+//! * **SplitSolve** — a multi-accelerator block-tridiagonal solver built
+//!   from a recursive-Green's-function block-column inversion, SPIKE-style
+//!   recursive partition merging and Sherman–Morrison–Woodbury
+//!   post-processing, overlapping the boundary-condition computation (CPU)
+//!   with the Schrödinger solve (GPU) ([`qtx_solver`]).
+//!
+//! The facade re-exports every sub-crate; see `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the reproduced tables and figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qtx::prelude::*;
+//!
+//! // A small silicon nanowire in the tight-binding basis.
+//! let spec = DeviceBuilder::nanowire(0.8)
+//!     .cells(6)
+//!     .basis(BasisKind::TightBinding)
+//!     .build();
+//! let device = Device::build(spec).expect("CP2K-lite matrix generation");
+//! // Ballistic transmission at one energy (eV).
+//! let point = transmission(&device, 2.0).expect("transport solve");
+//! assert!(point.transmission >= -1e-9);
+//! ```
+
+pub use qtx_accel as accel;
+pub use qtx_atomistic as atomistic;
+pub use qtx_core as core;
+pub use qtx_cp2k as cp2k;
+pub use qtx_linalg as linalg;
+pub use qtx_machine as machine;
+pub use qtx_mpi as mpi;
+pub use qtx_obc as obc;
+pub use qtx_poisson as poisson;
+pub use qtx_solver as solver;
+pub use qtx_sparse as sparse;
+
+/// Commonly used items for downstream applications and the bundled examples.
+pub mod prelude {
+    pub use qtx_atomistic::{BasisKind, DeviceBuilder, Species, Structure};
+    pub use qtx_core::{
+        schrodinger_poisson, transmission, Device, EnergyGrid, ScfConfig, TransportConfig,
+    };
+    pub use qtx_cp2k::{Cp2kRun, Functional, HsFile};
+    pub use qtx_linalg::{Complex64, ZMat};
+    pub use qtx_obc::{ObcMethod, ObcResult, Side};
+    pub use qtx_solver::{SolverKind, SplitSolve};
+}

@@ -1,0 +1,43 @@
+//! Integration: the Fig. 2 workflow — CP2K-lite generates and exports
+//! H/S, OMEN (qtx-core) imports them and runs transport.
+
+use qtx::prelude::*;
+
+#[test]
+fn transfer_file_roundtrip_preserves_transport() {
+    let spec = DeviceBuilder::nanowire(0.8).cells(8).basis(BasisKind::TightBinding).build();
+    let hs = Cp2kRun::new(spec.clone()).generate().expect("cp2k");
+    assert!(hs.scf.converged);
+
+    // Round trip through the binary transfer format.
+    let bytes = hs.to_bytes();
+    let imported = HsFile::from_bytes(&bytes).expect("import");
+    let dev_direct = Device::from_hsfile(spec.clone(), hs);
+    let dev_imported = Device::from_hsfile(spec, imported);
+
+    let dk = dev_direct.at_kz(0.0);
+    let e = dk.lead_l.dispersive_energy(1.0, 0.2, 0.3).expect("band");
+    let t_direct = transmission(&dev_direct, e).expect("direct").transmission;
+    let t_imported = transmission(&dev_imported, e).expect("imported").transmission;
+    assert!((t_direct - t_imported).abs() < 1e-12, "{t_direct} vs {t_imported}");
+    assert!(t_direct > 0.5, "conduction band must transmit");
+}
+
+#[test]
+fn functional_changes_transport_gap() {
+    let build = |f: Functional| {
+        let spec = DeviceBuilder::nanowire(0.8).cells(8).basis(BasisKind::TightBinding).build();
+        Device::build_with_functional(spec, f).expect("device")
+    };
+    let lda = build(Functional::Lda);
+    let hse = build(Functional::Hse06);
+    // Probe just above the LDA conduction edge: LDA conducts, HSE06 does
+    // not (its edge moved up by the gap correction).
+    let dk = lda.at_kz(0.0);
+    let edge = dk.lead_l.dispersive_band_min(0.1, 0.3).expect("edge");
+    let e = edge + 0.1;
+    let t_lda = transmission(&lda, e).expect("lda").transmission;
+    let t_hse = transmission(&hse, e).expect("hse").transmission;
+    assert!(t_lda > 0.5, "LDA conducts at {e}: {t_lda}");
+    assert!(t_hse < 1e-6, "HSE06 gap widened: {t_hse}");
+}

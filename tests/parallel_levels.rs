@@ -1,0 +1,57 @@
+//! Integration: the three-level parallel sweep (Fig. 9) is independent of
+//! the rank count and matches the serial reference.
+
+use qtx::core::transport::solve_energy_point;
+use qtx::core::{parallel_sweep, SweepPlan};
+use qtx::prelude::*;
+
+fn utb_device() -> Device {
+    let spec = DeviceBuilder::utb(0.8).cells(6).basis(BasisKind::TightBinding).build();
+    let mut dev = Device::build(spec).expect("device");
+    dev.config.n_kz = 3;
+    let dk = dev.at_kz(0.0);
+    let edge = qtx::core::energygrid::subband_edges(&dk.lead_l, 0.0, 6.0)[0];
+    dev.config.mu_l = edge + 0.12;
+    dev.config.mu_r = edge + 0.08;
+    dev
+}
+
+#[test]
+fn sweep_is_rank_count_invariant() {
+    let dev = utb_device();
+    let plan = SweepPlan::from_device(&dev, 0.05, 0.12);
+    assert_eq!(plan.k_points.len(), 3);
+    assert!(plan.total_points() > 0);
+    let spectra: Vec<Vec<(f64, f64)>> = [2usize, 5]
+        .iter()
+        .map(|&n| parallel_sweep(&dev, &plan, n).spectrum)
+        .collect();
+    assert_eq!(spectra[0].len(), spectra[1].len());
+    for (a, b) in spectra[0].iter().zip(&spectra[1]) {
+        assert!((a.0 - b.0).abs() < 1e-12);
+        assert!((a.1 - b.1).abs() < 1e-9, "{a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn sweep_matches_serial_per_k_reference() {
+    let dev = utb_device();
+    let plan = SweepPlan::from_device(&dev, 0.08, 0.15);
+    let result = parallel_sweep(&dev, &plan, 4);
+    // Pick a handful of samples and recompute serially.
+    for &(kz, _w, e, t) in result.samples.iter().take(5) {
+        let dk = dev.at_kz(kz);
+        let reference = solve_energy_point(&dk, e, &dev.config).expect("serial").transmission;
+        assert!((t - reference).abs() < 1e-9, "kz={kz} E={e}: {t} vs {reference}");
+    }
+}
+
+#[test]
+fn weights_halve_at_zone_boundary() {
+    let dev = utb_device();
+    let ks = dev.kz_points();
+    assert_eq!(ks.len(), 3);
+    assert_eq!(ks[0].1, 0.5);
+    assert_eq!(ks[1].1, 1.0);
+    assert_eq!(ks[2].1, 0.5);
+}

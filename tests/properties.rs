@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core numerical invariants.
+
+use proptest::prelude::*;
+use qtx::linalg::{c64, lu_inverse, zgesv, Complex64, ZMat};
+use qtx::solver::{bcr::bcr_solve_raw, ObcSystem, SplitSolve};
+use qtx::sparse::Btd;
+
+fn random_btd(nb: usize, s: usize, seed: u64, dominance: f64) -> Btd {
+    let mut a = Btd::zeros(nb, s);
+    for i in 0..nb {
+        a.diag[i] = ZMat::random(s, s, seed.wrapping_add(i as u64));
+        for d in 0..s {
+            a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(dominance, 1.0);
+        }
+    }
+    for i in 0..nb - 1 {
+        a.upper[i] = ZMat::random(s, s, seed.wrapping_add(1000 + i as u64)).scaled(c64(0.35, 0.0));
+        a.lower[i] = ZMat::random(s, s, seed.wrapping_add(2000 + i as u64)).scaled(c64(0.35, 0.0));
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SplitSolve solves random well-conditioned BTD systems for every
+    /// partition count, matching the dense reference.
+    #[test]
+    fn splitsolve_matches_dense(
+        nb in 2usize..10,
+        s in 1usize..5,
+        m in 1usize..4,
+        seed in 0u64..1_000_000,
+        partitions_pow in 0u32..3,
+    ) {
+        let partitions = (1usize << partitions_pow).min(nb);
+        let partitions = if partitions.is_power_of_two() { partitions } else { 1 };
+        let sys = ObcSystem {
+            a: random_btd(nb, s, seed, 4.0 + s as f64),
+            sigma_l: ZMat::random(s, s, seed + 31).scaled(c64(0.25, 0.1)),
+            sigma_r: ZMat::random(s, s, seed + 32).scaled(c64(0.25, -0.1)),
+            rhs_top: ZMat::random(s, m, seed + 33),
+            rhs_bottom: ZMat::random(s, m, seed + 34),
+        };
+        let x_ref = zgesv(&sys.t_dense(), &sys.b_dense()).unwrap();
+        let (x, _) = SplitSolve::new(partitions).solve(&sys, None).unwrap();
+        prop_assert!(x.max_diff(&x_ref) < 1e-7, "diff {:.2e}", x.max_diff(&x_ref));
+    }
+
+    /// BCR agrees with dense solves on arbitrary block counts (including
+    /// non-powers of two).
+    #[test]
+    fn bcr_matches_dense(
+        nb in 1usize..12,
+        s in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random_btd(nb.max(1), s, seed, 5.0);
+        let b = ZMat::random(a.dim(), 2, seed + 77);
+        let x = bcr_solve_raw(&a, &b).unwrap();
+        let x_ref = zgesv(&a.to_dense(), &b).unwrap();
+        prop_assert!(x.max_diff(&x_ref) < 1e-7);
+    }
+
+    /// The dense inverse round-trips: A·A⁻¹ = 1 for diagonally dominant A.
+    #[test]
+    fn inverse_roundtrip(n in 1usize..12, seed in 0u64..1_000_000) {
+        let mut a = ZMat::random(n, n, seed);
+        for i in 0..n {
+            a[(i, i)] = a[(i, i)] + c64(n as f64 + 2.0, 1.0);
+        }
+        let inv = lu_inverse(&a).unwrap();
+        let id = &a * &inv;
+        prop_assert!(id.max_diff(&ZMat::identity(n)) < 1e-8);
+    }
+
+    /// Eigen-pairs of random matrices satisfy A·v = λ·v.
+    #[test]
+    fn eigenpairs_satisfy_definition(n in 2usize..10, seed in 0u64..1_000_000) {
+        let a = ZMat::random(n, n, seed);
+        let dec = qtx::linalg::eig(&a).unwrap();
+        for k in 0..n {
+            let v: Vec<Complex64> = (0..n).map(|i| dec.vectors[(i, k)]).collect();
+            let av = a.matvec(&v);
+            let r: f64 = av
+                .iter()
+                .zip(&v)
+                .map(|(x, y)| (*x - *y * dec.values[k]).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            prop_assert!(r < 1e-6, "residual {r} for eigenvalue {}", dec.values[k]);
+        }
+    }
+}
+
+mod transport_properties {
+    use super::*;
+    use qtx::core::transport::solve_energy_point;
+    use qtx::core::Device;
+    use qtx::prelude::*;
+
+    fn device_with_barrier(height: f64) -> Device {
+        let spec = DeviceBuilder::nanowire(0.8).cells(8).basis(BasisKind::TightBinding).build();
+        let mut dev = Device::build(spec).expect("device");
+        let mut v = vec![0.0; dev.n_slabs];
+        v[3] = height;
+        v[4] = height;
+        dev.set_potential(&v);
+        dev
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Transmission is bounded by the channel count and unitarity
+        /// holds for arbitrary barrier heights and probe positions.
+        #[test]
+        fn transmission_bounds_and_unitarity(
+            height in 0.0f64..0.6,
+            kprobe in 0.5f64..2.5,
+        ) {
+            let dev = device_with_barrier(height);
+            let dk = dev.at_kz(0.0);
+            if let Some(e) = dk.lead_l.dispersive_energy(kprobe, 0.2, 0.3) {
+                let r = solve_energy_point(&dk, e, &dev.config).unwrap();
+                prop_assert!(r.transmission >= -1e-9);
+                prop_assert!(r.transmission <= r.channels.0 as f64 + 1e-6);
+                if r.channels.0 > 0 {
+                    prop_assert!(
+                        (r.transmission + r.reflection - r.channels.0 as f64).abs() < 1e-5
+                    );
+                }
+                // Reciprocity at zero bias.
+                prop_assert!((r.transmission - r.transmission_rl).abs() < 1e-5);
+            }
+        }
+
+        /// In the tunneling regime (probe energy below every barrier top)
+        /// a higher barrier never increases the transmission. Above the
+        /// barrier this would be false — over-the-barrier transmission
+        /// oscillates (Fabry–Pérot) — so the probe is pinned under both
+        /// barrier tops.
+        #[test]
+        fn barrier_monotonicity_in_tunneling_regime(h1 in 0.15f64..0.35) {
+            let h2 = h1 + 0.25;
+            let d1 = device_with_barrier(h1);
+            let d2 = device_with_barrier(h2);
+            let dk1 = d1.at_kz(0.0);
+            let dk2 = d2.at_kz(0.0);
+            if let Some(edge) = dk1.lead_l.dispersive_band_min(0.1, 0.3) {
+                // E − h1 < edge ⇒ evanescent inside the lower barrier too.
+                let e = edge + 0.4 * h1;
+                let t1 = solve_energy_point(&dk1, e, &d1.config).unwrap().transmission;
+                let t2 = solve_energy_point(&dk2, e, &d2.config).unwrap().transmission;
+                prop_assert!(t2 <= t1 + 1e-6, "T({h2}) = {t2} > T({h1}) = {t1}");
+            }
+        }
+    }
+}
