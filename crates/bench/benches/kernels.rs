@@ -9,7 +9,7 @@ fn hermitian_pd(n: usize, seed: u64) -> ZMat {
     let g = ZMat::random(n, n, seed);
     let mut a = &g * &g.adjoint();
     for i in 0..n {
-        a[(i, i)] = a[(i, i)] + qtx_linalg::c64(n as f64, 0.0);
+        a[(i, i)] += qtx_linalg::c64(n as f64, 0.0);
     }
     a.hermitianize();
     a
@@ -17,11 +17,37 @@ fn hermitian_pd(n: usize, seed: u64) -> ZMat {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("zgemm");
-    for n in [32usize, 64, 128] {
+    g.sample_size(10);
+    for n in [32usize, 64, 128, 256, 384] {
         let a = ZMat::random(n, n, 1);
         let b = ZMat::random(n, n, 2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| black_box(matmul(&a, &b)));
+        });
+    }
+    // Transform paths: packing folds the transpose/adjoint in, so these
+    // should track the Op::None numbers closely.
+    let n = 256;
+    let a = ZMat::random(n, n, 3);
+    let b = ZMat::random(n, n, 4);
+    for (label, op_a, op_b) in [
+        ("NT", qtx_linalg::Op::None, qtx_linalg::Op::Transpose),
+        ("HN", qtx_linalg::Op::Adjoint, qtx_linalg::Op::None),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+            let mut c_out = ZMat::zeros(n, n);
+            bench.iter(|| {
+                qtx_linalg::gemm(
+                    qtx_linalg::Complex64::ONE,
+                    &a,
+                    op_a,
+                    &b,
+                    op_b,
+                    qtx_linalg::Complex64::ZERO,
+                    &mut c_out,
+                );
+                black_box(&c_out);
+            });
         });
     }
     g.finish();

@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use qtx_atomistic::{BasisKind, DeviceBuilder};
 use qtx_core::Device;
 use qtx_obc::{
-    self_energy, self_energy_decimation, CompanionPencil, FeastConfig, LeadBlocks, ObcMethod,
-    Side,
+    self_energy, self_energy_decimation, CompanionPencil, FeastConfig, LeadBlocks, ObcMethod, Side,
 };
 use std::hint::black_box;
 

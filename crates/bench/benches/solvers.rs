@@ -13,7 +13,7 @@ fn system(nb: usize, s: usize, m: usize) -> ObcSystem {
     for i in 0..nb {
         a.diag[i] = ZMat::random(s, s, 10 + i as u64);
         for d in 0..s {
-            a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(6.0, 1.0);
+            a.diag[i][(d, d)] += c64(6.0, 1.0);
         }
     }
     for i in 0..nb - 1 {
@@ -39,9 +39,7 @@ fn bench_solvers(c: &mut Criterion) {
             b.iter(|| black_box(solver.solve(&sys, None).unwrap()));
         });
     }
-    g.bench_function("btd_lu (MUMPS-like)", |b| {
-        b.iter(|| black_box(btd_lu_solve(&sys).unwrap()))
-    });
+    g.bench_function("btd_lu (MUMPS-like)", |b| b.iter(|| black_box(btd_lu_solve(&sys).unwrap())));
     g.bench_function("bcr (legacy OMEN)", |b| b.iter(|| black_box(bcr_solve(&sys).unwrap())));
     g.finish();
 }

@@ -20,7 +20,9 @@ fn device(basis: BasisKind) -> (Device, f64) {
 fn bench_energy_point(c: &mut Criterion) {
     let mut g = c.benchmark_group("energy_point");
     g.sample_size(10);
-    for (name, basis) in [("tight_binding", BasisKind::TightBinding), ("dft_3sp", BasisKind::Dft3sp)] {
+    for (name, basis) in
+        [("tight_binding", BasisKind::TightBinding), ("dft_3sp", BasisKind::Dft3sp)]
+    {
         let (dev, e) = device(basis);
         let dk = dev.at_kz(0.0);
         g.bench_function(name, |b| {
@@ -37,15 +39,10 @@ fn bench_obc_method_ablation(c: &mut Criterion) {
     let dk = dev.at_kz(0.0);
     let mut g = c.benchmark_group("obc_ablation_full_point");
     g.sample_size(10);
-    for (name, obc) in [
-        ("feast", ObcMethod::default()),
-        ("shift_invert", ObcMethod::ShiftInvert),
-    ] {
+    for (name, obc) in [("feast", ObcMethod::default()), ("shift_invert", ObcMethod::ShiftInvert)] {
         let mut cfg = dev.config;
         cfg.obc = obc;
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(solve_energy_point(&dk, e, &cfg).unwrap()))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(solve_energy_point(&dk, e, &cfg).unwrap())));
     }
     g.finish();
 }

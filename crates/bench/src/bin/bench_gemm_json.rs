@@ -1,0 +1,106 @@
+//! Emits `BENCH_gemm.json`: tiled zero-copy zgemm vs the seed kernel.
+//!
+//! The seed implementation (cloned operands + column-panel triple loop) is
+//! reproduced here verbatim as the baseline; the measured speedups and the
+//! machine fingerprint land in a JSON report so `CHANGES.md` numbers stay
+//! reproducible. Run with `cargo run --release -p qtx-bench --bin
+//! bench_gemm_json [output-path]`.
+
+use qtx_bench::{print_table, Row};
+use qtx_linalg::{gemm, Complex64, Op, ZMat};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The seed's gemm: materialize both operands, then a column-panel loop.
+fn seed_gemm(a: &ZMat, op_a: Op, b: &ZMat, op_b: Op, c: &mut ZMat) {
+    let a_eff = match op_a {
+        Op::None => a.clone(),
+        Op::Transpose => a.transpose(),
+        Op::Adjoint => a.adjoint(),
+    };
+    let b_eff = match op_b {
+        Op::None => b.clone(),
+        Op::Transpose => b.transpose(),
+        Op::Adjoint => b.adjoint(),
+    };
+    let m = a_eff.rows();
+    let k = a_eff.cols();
+    let a_data = a_eff.as_slice();
+    for j in 0..b_eff.cols() {
+        let c_col = c.col_mut(j);
+        c_col.fill(Complex64::ZERO);
+        for (l, &blj) in b_eff.col(j).iter().enumerate().take(k) {
+            let a_col = &a_data[l * m..(l + 1) * m];
+            for (ci, &ail) in c_col.iter_mut().zip(a_col) {
+                *ci = ci.mul_add(ail, blj);
+            }
+        }
+    }
+}
+
+fn median_secs(mut f: impl FnMut(), reps: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries = String::new();
+    let mut rows = Vec::new();
+    for &n in &[64usize, 128, 256, 384, 512] {
+        let a = ZMat::random(n, n, 1);
+        let b = ZMat::random(n, n, 2);
+        let mut c_new = ZMat::zeros(n, n);
+        let mut c_old = ZMat::zeros(n, n);
+        let reps = (256 / (n / 32)).clamp(3, 31);
+        for (op_a, op_b, tag) in [
+            (Op::None, Op::None, "NN"),
+            (Op::Adjoint, Op::None, "HN"),
+            (Op::None, Op::Transpose, "NT"),
+        ] {
+            let t_new = median_secs(
+                || gemm(Complex64::ONE, &a, op_a, &b, op_b, Complex64::ZERO, &mut c_new),
+                reps,
+            );
+            let t_old = median_secs(|| seed_gemm(&a, op_a, &b, op_b, &mut c_old), reps);
+            assert!(
+                c_new.max_diff(&c_old) < 1e-9 * n as f64,
+                "kernel mismatch at n = {n} ops {tag}"
+            );
+            let gflops = 8.0 * (n as f64).powi(3) / t_new / 1e9;
+            let _ = writeln!(
+                entries,
+                "    {{\"n\": {n}, \"ops\": \"{tag}\", \"tiled_ms\": {:.4}, \"seed_ms\": {:.4}, \"speedup\": {:.3}, \"tiled_gflops\": {:.2}}},",
+                t_new * 1e3,
+                t_old * 1e3,
+                t_old / t_new,
+                gflops
+            );
+            if tag == "NN" {
+                rows.push(Row::new(
+                    format!("zgemm {n}x{n}"),
+                    vec![t_new * 1e3, t_old * 1e3, t_old / t_new, gflops],
+                ));
+            }
+        }
+    }
+    let entries = entries.trim_end().trim_end_matches(',').to_string();
+    let json = format!(
+        "{{\n  \"bench\": \"zgemm tiled vs seed\",\n  \"cores\": {cores},\n  \"target_cpu\": \"native\",\n  \"flags_note\": \"speedup = seed_ms / tiled_ms, both single run on this machine\",\n  \"results\": [\n{entries}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_gemm.json");
+    print_table(
+        "zgemm: tiled (new) vs seed panel loop",
+        &["size", "tiled ms", "seed ms", "speedup", "GF/s"],
+        &rows,
+    );
+    println!("\nwrote {out_path}");
+}

@@ -44,7 +44,14 @@ fn main() {
         .collect();
     let de = grid.points[1] - grid.points[0];
     let weights = vec![de; points.len()];
-    let cc = accumulate(&dk, &points, &weights, dev.config.mu_l, dev.config.mu_r, dev.config.temperature);
+    let cc = accumulate(
+        &dk,
+        &points,
+        &weights,
+        dev.config.mu_l,
+        dev.config.mu_r,
+        dev.config.temperature,
+    );
 
     // (a) electron distribution along the wire.
     let rows: Vec<Row> = cc
@@ -70,12 +77,8 @@ fn main() {
     // (c) spectral current (energy-resolved, coarse ASCII heat map).
     let sm = spectral_map(&dk, &points, dev.config.mu_l, dev.config.mu_r, dev.config.temperature);
     println!("\nFig. 10(c) — spectral current j(E, x):  (rows: E, cols: x; '#' = strong)");
-    let jpeak = sm
-        .current
-        .iter()
-        .flat_map(|r| r.iter().map(|v| v.abs()))
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let jpeak =
+        sm.current.iter().flat_map(|r| r.iter().map(|v| v.abs())).fold(0.0f64, f64::max).max(1e-12);
     for (ei, row) in sm.current.iter().enumerate().rev() {
         let line: String = row
             .iter()
@@ -89,7 +92,12 @@ fn main() {
             .collect();
         println!("E={:+.3} |{}|", sm.energies[ei], line);
     }
-    let id = landauer_current_ua(&scf.spectrum, dev.config.mu_l, dev.config.mu_r, dev.config.temperature);
+    let id = landauer_current_ua(
+        &scf.spectrum,
+        dev.config.mu_l,
+        dev.config.mu_r,
+        dev.config.temperature,
+    );
     println!("\nId = {id:.3} µA (paper device: 1.5 µA at Vds = 0.6 V)");
     assert!((jmax - jmin).abs() < 1e-6 * jmax.abs().max(1e-9), "current must be conserved");
 }

@@ -20,7 +20,11 @@ fn main() {
         Row::new("GPU MFLOPS/W", vec![5396.0, p.gpu_mflops_per_w]),
         Row::new("sustained PFlop/s", vec![15.01, p.sustained_pflops]),
     ];
-    print_table("Fig. 12(a) — power figures (paper vs model)", &["quantity", "paper", "model"], &rows);
+    print_table(
+        "Fig. 12(a) — power figures (paper vs model)",
+        &["quantity", "paper", "model"],
+        &rows,
+    );
 
     // (b) real kernel activity of one energy point on 4 virtual GPUs.
     let spec = DeviceBuilder::nanowire(1.0).cells(16).basis(BasisKind::TightBinding).build();

@@ -34,8 +34,7 @@ fn main() {
     let mut gaps = Vec::new();
     let mut spectra = Vec::new();
     for functional in [Functional::Lda, Functional::Hse06] {
-        let spec =
-            DeviceBuilder::nanowire(1.0).cells(8).basis(BasisKind::TightBinding).build();
+        let spec = DeviceBuilder::nanowire(1.0).cells(8).basis(BasisKind::TightBinding).build();
         let dev = Device::build_with_functional(spec, functional).expect("device");
         let mut spectrum = Vec::new();
         for &e in &energies {
@@ -48,10 +47,10 @@ fn main() {
     for &e in energies.iter().step_by(4) {
         let lda = spectra[0].1.iter().find(|(x, _)| (*x - e).abs() < 1e-9).map(|p| p.1);
         let hse = spectra[1].1.iter().find(|(x, _)| (*x - e).abs() < 1e-9).map(|p| p.1);
-        rows.push(Row::new(format!("E = {e:+.2} eV"), vec![
-            lda.unwrap_or(0.0),
-            hse.unwrap_or(0.0),
-        ]));
+        rows.push(Row::new(
+            format!("E = {e:+.2} eV"),
+            vec![lda.unwrap_or(0.0), hse.unwrap_or(0.0)],
+        ));
     }
     print_table(
         "Fig. 1(b) — Si nanowire transmission: LDA vs HSE06",

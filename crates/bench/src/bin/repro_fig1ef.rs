@@ -44,14 +44,14 @@ fn main() {
     let e = lead.dispersive_energy(1.0, 0.2, 0.25).expect("conduction band");
     let obc_l = self_energy(&lead, e, Side::Left, ObcMethod::ShiftInvert).expect("obc L");
     let obc_r = self_energy(&lead, e, Side::Right, ObcMethod::ShiftInvert).expect("obc R");
-    let dk = qtx_core::device::DeviceK { lead_l: lead.clone(), lead_r: lead, h: dm.h, s: dm.s, kz: 0.0 };
+    let dk =
+        qtx_core::device::DeviceK { lead_l: lead.clone(), lead_r: lead, h: dm.h, s: dm.s, kz: 0.0 };
     let cfg = qtx_core::TransportConfig::default();
     let r = solve_with_obc(&dk, e, &cfg, &obc_l, &obc_r, None).expect("transport");
     let nb = dk.h.num_blocks();
     let mut rows = Vec::new();
     for q in 0..nb - 1 {
-        let j: f64 =
-            (0..r.m_left).map(|col| bond_current_of_state(&dk, e, &r.psi, col, q)).sum();
+        let j: f64 = (0..r.m_left).map(|col| bond_current_of_state(&dk, e, &r.psi, col, q)).sum();
         rows.push(Row::new(format!("slab {q} -> {}", q + 1), vec![j]));
     }
     print_table("Fig. 1(f) — bond current along the anode", &["segment", "J (units of T)"], &rows);
@@ -60,8 +60,5 @@ fn main() {
         r.transmission, r.channels.0
     );
     println!("paper: current through the central Li-oxide is insignificant");
-    assert!(
-        r.transmission < 0.5 * r.channels.0 as f64,
-        "lithiation must suppress the current"
-    );
+    assert!(r.transmission < 0.5 * r.channels.0 as f64, "lithiation must suppress the current");
 }

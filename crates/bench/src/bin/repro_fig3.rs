@@ -14,7 +14,9 @@ fn main() {
     slab.sort_into_slabs(2.0 * SI_LATTICE);
     let mut rows = Vec::new();
     let mut stats = Vec::new();
-    for (name, basis) in [("tight-binding", BasisKind::TightBinding), ("DFT (3SP-like)", BasisKind::Dft3sp)] {
+    for (name, basis) in
+        [("tight-binding", BasisKind::TightBinding), ("DFT (3SP-like)", BasisKind::Dft3sp)]
+    {
         let dm = assemble_device(&slab, basis, 2.0 * SI_LATTICE);
         let csr = Csr::from_dense(&dm.h.to_dense(), 1e-12);
         let st = sparsity_stats(&csr, dm.orbitals_per_slab);

@@ -39,6 +39,8 @@ fn main() {
         stats.linear_solves,
         stats.max_residual
     );
-    println!("{n_prop} propagating (unit-circle) modes; fast-decaying modes ignored as in the paper");
+    println!(
+        "{n_prop} propagating (unit-circle) modes; fast-decaying modes ignored as in the paper"
+    );
     assert!(inside.len() >= n_prop, "FEAST must at least catch the propagating set");
 }

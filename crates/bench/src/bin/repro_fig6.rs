@@ -18,17 +18,27 @@ fn main() {
     let e = dk.lead_l.dispersive_energy(1.0, 0.2, 0.3).expect("band");
     let rt = AccelRuntime::new(4, GpuSpec::k20x());
     let r = solve_energy_point_with_runtime(&dk, e, &dev.config, Some(&rt)).expect("solve");
-    println!("device: {} blocks of size {}, T(E) = {:.4}", dk.h.num_blocks(), dk.h.block_size(), r.transmission);
+    println!(
+        "device: {} blocks of size {}, T(E) = {:.4}",
+        dk.h.num_blocks(),
+        dk.h.block_size(),
+        r.transmission
+    );
 
     let records = rt.traces();
-    println!("\nvirtual GPU activity (2 partitions x 2 accelerators, phases P1-P4 + merge + post):");
+    println!(
+        "\nvirtual GPU activity (2 partitions x 2 accelerators, phases P1-P4 + merge + post):"
+    );
     println!("{}", TraceSummary::activity_chart(&records, 4, 64));
     let summary = TraceSummary::from_records(&records);
     let rows: Vec<Row> = summary
         .rows
         .iter()
         .map(|(label, secs, flops, bytes, count)| {
-            Row::new(label.clone(), vec![*secs * 1e3, *flops as f64 / 1e6, *bytes as f64 / 1024.0, *count as f64])
+            Row::new(
+                label.clone(),
+                vec![*secs * 1e3, *flops as f64 / 1e6, *bytes as f64 / 1024.0, *count as f64],
+            )
         })
         .collect();
     print_table(

@@ -22,7 +22,11 @@ fn model_tables() {
         .iter()
         .map(|r| Row::new(format!("{} GPUs", r.nodes), vec![r.time_s, r.efficiency_pct]))
         .collect();
-    print_table("Fig. 7(a) — weak scaling (model, paper: 30 s -> 70 s)", &["config", "time (s)", "eff (%)"], &rows);
+    print_table(
+        "Fig. 7(a) — weak scaling (model, paper: 30 s -> 70 s)",
+        &["config", "time (s)", "eff (%)"],
+        &rows,
+    );
 
     let strong = fig7_strong(&[2, 4, 8, 16]);
     let rows: Vec<Row> = strong
@@ -44,7 +48,7 @@ fn real_downscaled() {
         for i in 0..nb {
             a.diag[i] = ZMat::random(s, s, 10 + i as u64);
             for d in 0..s {
-                a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(8.0, 1.0);
+                a.diag[i][(d, d)] += c64(8.0, 1.0);
             }
         }
         for i in 0..nb - 1 {
@@ -62,7 +66,11 @@ fn real_downscaled() {
         let (_, report) = SplitSolve::new(p).solve(&sys, Some(&rt)).expect("solve");
         rows.push(Row::new(
             format!("{} GPUs ({} partitions)", 2 * p, p),
-            vec![report.virtual_seconds * 1e3, report.spike_levels as f64, report.flops as f64 / 1e6],
+            vec![
+                report.virtual_seconds * 1e3,
+                report.spike_levels as f64,
+                report.flops as f64 / 1e6,
+            ],
         ));
     }
     print_table(

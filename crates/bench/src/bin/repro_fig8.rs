@@ -4,8 +4,8 @@
 //! (a) Si UTBFET, 23 040 atoms (N_SS = 276 480) on 4 hybrid nodes;
 //! (b) Si NWFET, 55 488 atoms (N_SS = 665 856) on 16 hybrid nodes.
 //!
-//! Headline claims: shift-and-invert+MUMPS → FEAST+SplitSolve speedup
-//! > 50× in both cases; SplitSolve alone 6–16× faster than MUMPS.
+//! Headline claims: shift-and-invert+MUMPS → FEAST+SplitSolve speedup of
+//! more than 50× in both cases; SplitSolve alone 6–16× faster than MUMPS.
 //! A real downscaled comparison with the actual kernels follows.
 
 use qtx_atomistic::{BasisKind, DeviceBuilder};
@@ -18,10 +18,9 @@ use qtx_solver::SolverKind;
 use std::time::Instant;
 
 fn model_tables() {
-    for (dev, nodes, fig) in [
-        (PaperDevice::utbfet_23040(), 4usize, "(a)"),
-        (PaperDevice::nwfet_55488(), 16usize, "(b)"),
-    ] {
+    for (dev, nodes, fig) in
+        [(PaperDevice::utbfet_23040(), 4usize, "(a)"), (PaperDevice::nwfet_55488(), 16usize, "(b)")]
+    {
         let cmp = fig8_comparison(&dev, nodes);
         let rows: Vec<Row> = cmp
             .iter()
@@ -36,10 +35,7 @@ fn model_tables() {
             "  total speedup SI+MUMPS -> FEAST+SplitSolve: {:.0}x (paper: >50x)",
             cmp[0].total_s / cmp[2].total_s
         );
-        println!(
-            "  SplitSolve vs MUMPS: {:.1}x (paper: 6-16x)",
-            cmp[1].solve_s / cmp[2].solve_s
-        );
+        println!("  SplitSolve vs MUMPS: {:.1}x (paper: 6-16x)", cmp[1].solve_s / cmp[2].solve_s);
     }
 }
 

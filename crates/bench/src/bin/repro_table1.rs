@@ -6,17 +6,33 @@ use qtx_machine::{PIZ_DAINT, TITAN};
 fn main() {
     let rows = vec![
         Row::new("hybrid nodes", vec![PIZ_DAINT.nodes as f64, TITAN.nodes as f64]),
-        Row::new("GPUs", vec![
-            (PIZ_DAINT.nodes * PIZ_DAINT.gpus_per_node) as f64,
-            (TITAN.nodes * TITAN.gpus_per_node) as f64,
-        ]),
+        Row::new(
+            "GPUs",
+            vec![
+                (PIZ_DAINT.nodes * PIZ_DAINT.gpus_per_node) as f64,
+                (TITAN.nodes * TITAN.gpus_per_node) as f64,
+            ],
+        ),
         Row::new("CPU cores", vec![PIZ_DAINT.cores as f64, TITAN.cores as f64]),
-        Row::new("CPU GF/s per node", vec![PIZ_DAINT.cpu_gflops_per_node, TITAN.cpu_gflops_per_node]),
-        Row::new("GPU GF/s per node", vec![PIZ_DAINT.gpu_gflops_per_node, TITAN.gpu_gflops_per_node]),
+        Row::new(
+            "CPU GF/s per node",
+            vec![PIZ_DAINT.cpu_gflops_per_node, TITAN.cpu_gflops_per_node],
+        ),
+        Row::new(
+            "GPU GF/s per node",
+            vec![PIZ_DAINT.gpu_gflops_per_node, TITAN.gpu_gflops_per_node],
+        ),
         Row::new("node peak GF/s", vec![PIZ_DAINT.node_peak_gflops(), TITAN.node_peak_gflops()]),
-        Row::new("machine peak PF/s", vec![PIZ_DAINT.machine_peak_pflops(), TITAN.machine_peak_pflops()]),
+        Row::new(
+            "machine peak PF/s",
+            vec![PIZ_DAINT.machine_peak_pflops(), TITAN.machine_peak_pflops()],
+        ),
     ];
-    print_table("Table I — Piz Daint (Cray-XC30) vs Titan (Cray-XK7)", &["quantity", "Piz Daint", "Titan"], &rows);
+    print_table(
+        "Table I — Piz Daint (Cray-XC30) vs Titan (Cray-XK7)",
+        &["quantity", "Piz Daint", "Titan"],
+        &rows,
+    );
     println!("\nGPU model: {} on both machines", PIZ_DAINT.gpu().name);
     println!("CPUs: {} (Piz Daint) / {} (Titan)", PIZ_DAINT.cpu_model, TITAN.cpu_model);
 }

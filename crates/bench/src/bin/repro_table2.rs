@@ -24,9 +24,9 @@ fn main() {
         &rows,
     );
     let t0 = model[0].time_per_point;
-    let spread = model
-        .iter()
-        .map(|r| (r.time_per_point - t0).abs() / t0)
-        .fold(0.0f64, f64::max);
-    println!("\ntime-per-point spread: {:.1}% (paper: ~5% variation across all nodes)", spread * 100.0);
+    let spread = model.iter().map(|r| (r.time_per_point - t0).abs() / t0).fold(0.0f64, f64::max);
+    println!(
+        "\ntime-per-point spread: {:.1}% (paper: ~5% variation across all nodes)",
+        spread * 100.0
+    );
 }

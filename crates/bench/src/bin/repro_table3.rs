@@ -25,7 +25,10 @@ fn main() {
     );
     let last_lu = &model[5];
     let tuned = &model[6];
-    println!("\nstrong-scaling efficiency at 18 564 nodes: {:.1}% (paper 97.3%)", last_lu.efficiency_pct);
+    println!(
+        "\nstrong-scaling efficiency at 18 564 nodes: {:.1}% (paper 97.3%)",
+        last_lu.efficiency_pct
+    );
     println!(
         "sustained performance: {:.1} PFlop/s -> {:.1} PFlop/s with the Hermitian kernel (paper 12.8 -> 15.01)",
         last_lu.pflops, tuned.pflops

@@ -167,8 +167,10 @@ impl Device {
             out.axpy(c64(v, 0.0), s);
             out
         };
-        let lead_l = LeadBlocks::new(shift(&d, &ds, v_l), shift(&up, &us, v_l), ds.clone(), us.clone());
-        let lead_r = LeadBlocks::new(shift(&d, &ds, v_r), shift(&up, &us, v_r), ds.clone(), us.clone());
+        let lead_l =
+            LeadBlocks::new(shift(&d, &ds, v_l), shift(&up, &us, v_l), ds.clone(), us.clone());
+        let lead_r =
+            LeadBlocks::new(shift(&d, &ds, v_r), shift(&up, &us, v_r), ds.clone(), us.clone());
         // Device: H_qq += V_q·S_qq ; H_{q,q+1} += (V_q+V_{q+1})/2 · S_{q,q+1}.
         let mut h = Btd::uniform(self.n_slabs, &d, &up, &lo);
         let s = Btd::uniform(self.n_slabs, &ds, &us, &ls);

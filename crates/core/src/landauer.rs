@@ -27,8 +27,7 @@ pub fn landauer_current_ua(spectrum: &[(f64, f64)], mu_l: f64, mu_r: f64, temp: 
     if spectrum.len() < 2 {
         return 0.0;
     }
-    let integrand =
-        |e: f64, t: f64| -> f64 { t * (fermi(e, mu_l, temp) - fermi(e, mu_r, temp)) };
+    let integrand = |e: f64, t: f64| -> f64 { t * (fermi(e, mu_l, temp) - fermi(e, mu_r, temp)) };
     let mut acc = 0.0;
     for w in spectrum.windows(2) {
         let (e0, t0) = w[0];

@@ -171,9 +171,8 @@ mod tests {
         // Sum over left-injected columns.
         let nb = dk.h.num_blocks();
         for q in 0..nb - 1 {
-            let j: f64 = (0..r.m_left)
-                .map(|col| bond_current_of_state(&dk, e, &r.psi, col, q))
-                .sum();
+            let j: f64 =
+                (0..r.m_left).map(|col| bond_current_of_state(&dk, e, &r.psi, col, q)).sum();
             assert!(
                 (j - r.transmission).abs() < 1e-6,
                 "slab {q}: J = {j} vs T = {}",
@@ -189,9 +188,8 @@ mod tests {
         let r = solve_energy_point(&dk, e, &d.config).unwrap();
         let m_r = r.psi.cols() - r.m_left;
         assert!(m_r >= 1);
-        let j: f64 = (r.m_left..r.psi.cols())
-            .map(|col| bond_current_of_state(&dk, e, &r.psi, col, 2))
-            .sum();
+        let j: f64 =
+            (r.m_left..r.psi.cols()).map(|col| bond_current_of_state(&dk, e, &r.psi, col, 2)).sum();
         assert!(j < 0.0, "right-injected current flows to −x: {j}");
         assert!((j + r.transmission_rl).abs() < 1e-6);
     }
@@ -213,7 +211,7 @@ mod tests {
         let dk = d.at_kz(0.0);
         let r = solve_energy_point(&dk, e, &d.config).unwrap();
         // μ_L above the probe energy, μ_R far below: only left injection.
-        let cc = accumulate(&dk, &[r.clone()], &[1.0], e + 0.3, e - 1.0, 300.0);
+        let cc = accumulate(&dk, std::slice::from_ref(&r), &[1.0], e + 0.3, e - 1.0, 300.0);
         for j in &cc.bond_current {
             assert!(*j > 0.0, "forward bias current {j}");
         }

@@ -139,7 +139,14 @@ pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> Result<ScfResul
         // 2. Charge per slab.
         let de = (e_hi - e_lo) / (cfg.n_energy.max(2) - 1) as f64;
         let weights = vec![de; points.len()];
-        let cc = accumulate(&dk, &points, &weights, dev.config.mu_l, dev.config.mu_r, dev.config.temperature);
+        let cc = accumulate(
+            &dk,
+            &points,
+            &weights,
+            dev.config.mu_l,
+            dev.config.mu_r,
+            dev.config.temperature,
+        );
         // 3. Electrostatics: electrons screen the gate (negative charge).
         let rho: Vec<f64> = cc.density.iter().map(|n| -cfg.charge_coupling * n).collect();
         let v_new = gated_poisson_1d(&rho, dx, &gate, v_s, v_d, 1e-10);
@@ -234,10 +241,7 @@ mod tests {
             cfg.vg = 0.15;
             schrodinger_poisson(&mut d, &cfg).unwrap().current_ua
         };
-        assert!(
-            on > 5.0 * off.max(1e-12),
-            "gate must modulate: on = {on} µA, off = {off} µA"
-        );
+        assert!(on > 5.0 * off.max(1e-12), "gate must modulate: on = {on} µA, off = {off} µA");
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl SweepPlan {
         let mut alloc = vec![0usize; nk];
         let mut assigned = 0usize;
         for (i, es) in self.energies.iter().enumerate() {
-            let share =
-                ((es.len() as f64 / total as f64) * n_ranks as f64).floor() as usize;
+            let share = ((es.len() as f64 / total as f64) * n_ranks as f64).floor() as usize;
             alloc[i] = share.max(usize::from(!es.is_empty()));
             assigned += alloc[i];
         }
@@ -132,9 +131,8 @@ pub fn parallel_sweep(dev: &Device, plan: &SweepPlan, n_ranks: usize) -> SweepRe
         let mut local: Vec<(f64, f64, f64, f64)> = Vec::new();
         for (i, &e) in energies.iter().enumerate() {
             if i % k_comm.size() == k_comm.rank() {
-                let t = solve_energy_point(&dk, e, &dev.config)
-                    .map(|r| r.transmission)
-                    .unwrap_or(0.0);
+                let t =
+                    solve_energy_point(&dk, e, &dev.config).map(|r| r.transmission).unwrap_or(0.0);
                 local.push((kz, w, e, t));
             }
         }

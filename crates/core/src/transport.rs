@@ -17,7 +17,17 @@ use crate::device::{DeviceK, TransportConfig};
 use qtx_accel::AccelRuntime;
 use qtx_linalg::{qr_least_squares, Complex64, Result, ZMat};
 use qtx_obc::{self_energy, LeadBlocks, ModeSet, ObcMethod, ObcResult, Side};
-use qtx_solver::{bcr_solve, btd_lu_solve, rgf_diagonal_and_corner, ObcSystem, SolverKind, SplitSolve};
+use qtx_solver::{
+    bcr_solve, btd_lu_solve_ws, rgf_diagonal_and_corner_ws, ObcSystem, SolverKind, SplitSolve,
+    Workspace,
+};
+
+thread_local! {
+    /// Per-thread solver scratch pool: energy points swept on the same
+    /// thread (the common sweep layout) recycle one set of block
+    /// temporaries instead of reallocating them every point.
+    static SOLVER_WS: Workspace = Workspace::new();
+}
 
 /// Everything computed at one (E, k) pixel.
 #[derive(Debug, Clone)]
@@ -103,15 +113,17 @@ pub fn solve_with_obc(
         rhs_top: obc_l.injection.clone(),
         rhs_bottom: obc_r.injection.clone(),
     };
-    let psi = match cfg.solver {
-        SolverKind::SplitSolve { partitions } => {
-            let p = partitions.min(sys.num_blocks().next_power_of_two() / 2).max(1);
-            let p = if p.is_power_of_two() { p } else { 1 };
-            SplitSolve::new(p.min(sys.num_blocks())).solve(&sys, rt)?.0
-        }
-        SolverKind::BtdLu => btd_lu_solve(&sys)?,
-        SolverKind::Bcr => bcr_solve(&sys)?,
-    };
+    let psi = SOLVER_WS.with(|ws| -> Result<ZMat> {
+        Ok(match cfg.solver {
+            SolverKind::SplitSolve { partitions } => {
+                let p = partitions.min(sys.num_blocks().next_power_of_two() / 2).max(1);
+                let p = if p.is_power_of_two() { p } else { 1 };
+                SplitSolve::new(p.min(sys.num_blocks())).solve_ws(&sys, rt, ws)?.0
+            }
+            SolverKind::BtdLu => btd_lu_solve_ws(&sys, ws)?,
+            SolverKind::Bcr => bcr_solve(&sys)?,
+        })
+    })?;
     let s = sys.block_size();
     let n = sys.dim();
     let m_left = obc_l.injection.cols();
@@ -130,8 +142,7 @@ pub fn solve_with_obc(
         // Reflection: scattered part of the first block over left-going
         // modes (subtract the incident mode).
         let inc = &obc_l.inc_modes[j];
-        let first: Vec<Complex64> =
-            (0..s).map(|i| psi[(i, j)] - inc.u[i]).collect();
+        let first: Vec<Complex64> = (0..s).map(|i| psi[(i, j)] - inc.u[i]).collect();
         let rc = project_onto_modes(&obc_l.out_modes, &first);
         for (c, m) in rc.iter().zip(&obc_l.out_modes) {
             if m.propagating {
@@ -177,7 +188,7 @@ pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> Result<f64> 
         rhs_top: ZMat::zeros(dk.h.block_size(), 0),
         rhs_bottom: ZMat::zeros(dk.h.block_size(), 0),
     };
-    let g = rgf_diagonal_and_corner(&sys)?;
+    let g = SOLVER_WS.with(|ws| rgf_diagonal_and_corner_ws(&sys, ws))?;
     let gamma = |sig: &ZMat| -> ZMat {
         // Γ = i(Σ − Σᴴ).
         &sig.scaled(Complex64::I) - &sig.adjoint().scaled(Complex64::I)
@@ -293,11 +304,8 @@ mod tests {
         let dk = d.at_kz(0.0);
         let e = probe_energies(&dk.lead_l, 1)[0] + 0.11;
         let mut results = Vec::new();
-        for solver in [
-            SolverKind::SplitSolve { partitions: 2 },
-            SolverKind::BtdLu,
-            SolverKind::Bcr,
-        ] {
+        for solver in [SolverKind::SplitSolve { partitions: 2 }, SolverKind::BtdLu, SolverKind::Bcr]
+        {
             let mut cfg = d.config;
             cfg.solver = solver;
             results.push(solve_energy_point(&dk, e, &cfg).unwrap().transmission);

@@ -140,7 +140,13 @@ impl AccelRuntime {
         AccelRuntime {
             devices: (0..n)
                 .map(|id| {
-                    Mutex::new(Device { id, spec: spec.clone(), clock: 0.0, mem_used: 0, trace: Vec::new() })
+                    Mutex::new(Device {
+                        id,
+                        spec: spec.clone(),
+                        clock: 0.0,
+                        mem_used: 0,
+                        trace: Vec::new(),
+                    })
                 })
                 .collect(),
         }

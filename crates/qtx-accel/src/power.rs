@@ -58,7 +58,10 @@ pub fn power_profile(
                 .map(|r| (r.t_end.min(t1) - r.t_start.max(t0)).max(0.0))
                 .sum();
             let util = (busy / dt).min(1.0);
-            PowerSample { t: t0 + dt / 2.0, watts: spec.idle_w + (spec.busy_w - spec.idle_w) * util }
+            PowerSample {
+                t: t0 + dt / 2.0,
+                watts: spec.idle_w + (spec.busy_w - spec.idle_w) * util,
+            }
         })
         .collect()
 }
@@ -82,7 +85,14 @@ mod tests {
     use crate::trace::KernelRecord;
 
     fn busy_record(t0: f64, t1: f64) -> KernelRecord {
-        KernelRecord { device: 0, label: "zgemm".into(), t_start: t0, t_end: t1, flops: 1, bytes: 0 }
+        KernelRecord {
+            device: 0,
+            label: "zgemm".into(),
+            t_start: t0,
+            t_end: t1,
+            flops: 1,
+            bytes: 0,
+        }
     }
 
     #[test]
@@ -121,10 +131,8 @@ mod tests {
 
     #[test]
     fn mean_power_averages() {
-        let profile = vec![
-            PowerSample { t: 0.0, watts: 100.0 },
-            PowerSample { t: 1.0, watts: 200.0 },
-        ];
+        let profile =
+            vec![PowerSample { t: 0.0, watts: 100.0 }, PowerSample { t: 1.0, watts: 200.0 }];
         assert!((mean_power(&profile) - 150.0).abs() < 1e-12);
     }
 }

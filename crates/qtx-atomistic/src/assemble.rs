@@ -258,7 +258,13 @@ pub fn assemble_device(structure: &Structure, basis: BasisKind, slab_len: f64) -
             }
         }
     }
-    DeviceMatrices { h, s, orbitals_per_slab: orbs_per_slab, atom_orbital_offset: atom_off, atom_slab }
+    DeviceMatrices {
+        h,
+        s,
+        orbitals_per_slab: orbs_per_slab,
+        atom_orbital_offset: atom_off,
+        atom_slab,
+    }
 }
 
 #[cfg(test)]

@@ -54,8 +54,14 @@ pub fn volume_expansion(capacity: f64) -> f64 {
 /// Sn sites are converted (the conversion reaction Li + SnO → Li₂O + Sn is
 /// modeled as a species change on the cation sublattice), deterministic
 /// under `seed`.
-pub fn lithiate(nx: usize, ny: usize, capacity: f64, central_fraction: f64, seed: u64) -> (Structure, LithiationReport) {
-    assert!(capacity >= 0.0 && capacity <= SNO_FULL_CAPACITY, "capacity out of range");
+pub fn lithiate(
+    nx: usize,
+    ny: usize,
+    capacity: f64,
+    central_fraction: f64,
+    seed: u64,
+) -> (Structure, LithiationReport) {
+    assert!((0.0..=SNO_FULL_CAPACITY).contains(&capacity), "capacity out of range");
     let mut s = sno_supercell(SNO_LATTICE, nx, ny, 1);
     s.z_period = 0.0;
     let x_fraction = capacity / SNO_FULL_CAPACITY;
@@ -72,11 +78,13 @@ pub fn lithiate(nx: usize, ny: usize, capacity: f64, central_fraction: f64, seed
         // number of slabs tile the device).
         at.pos[1] *= lateral;
         at.pos[2] *= lateral;
-        if at.species == Species::Sn && at.pos[0] >= lo && at.pos[0] <= hi {
-            if rng.uniform() < x_fraction {
-                at.species = Species::Li;
-                n_li += 1;
-            }
+        if at.species == Species::Sn
+            && at.pos[0] >= lo
+            && at.pos[0] <= hi
+            && rng.uniform() < x_fraction
+        {
+            at.species = Species::Li;
+            n_li += 1;
         }
     }
     s.label = format!("Li_x SnO slab (C={capacity:.0} mAh/g, x={x_fraction:.2})");

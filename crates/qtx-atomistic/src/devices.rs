@@ -59,12 +59,22 @@ pub struct DeviceBuilder {
 impl DeviceBuilder {
     /// Gate-all-around nanowire of diameter `d` nm (Fig. 1(a)).
     pub fn nanowire(d: f64) -> Self {
-        DeviceBuilder { kind: "nanowire".into(), cross_section: d, n_cells: 8, basis: BasisKind::Dft3sp }
+        DeviceBuilder {
+            kind: "nanowire".into(),
+            cross_section: d,
+            n_cells: 8,
+            basis: BasisKind::Dft3sp,
+        }
     }
 
     /// Ultra-thin-body film of thickness `t_body` nm (Fig. 1(c)).
     pub fn utb(t_body: f64) -> Self {
-        DeviceBuilder { kind: "utb".into(), cross_section: t_body, n_cells: 8, basis: BasisKind::Dft3sp }
+        DeviceBuilder {
+            kind: "utb".into(),
+            cross_section: t_body,
+            n_cells: 8,
+            basis: BasisKind::Dft3sp,
+        }
     }
 
     /// Sets the number of transport unit cells.

@@ -62,12 +62,11 @@ impl NeighborList {
                         for dy in -1..=1i64 {
                             for dz in -1..=1i64 {
                                 let cc = [c[0] + dx, c[1] + dy, c[2] + dz];
-                                if cc.iter().zip(&dims).any(|(&v, &dim)| v < 0 || v >= dim as i64)
-                                {
+                                if cc.iter().zip(&dims).any(|(&v, &dim)| v < 0 || v >= dim as i64) {
                                     continue;
                                 }
-                                let bucket =
-                                    &buckets[flat([cc[0] as usize, cc[1] as usize, cc[2] as usize])];
+                                let bucket = &buckets
+                                    [flat([cc[0] as usize, cc[1] as usize, cc[2] as usize])];
                                 for &j in bucket {
                                     if ix == 0 && iz == 0 && j == i {
                                         continue;
@@ -166,8 +165,7 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let d2: f64 =
-                    (0..3).map(|k| (s.atoms[i].pos[k] - s.atoms[j].pos[k]).powi(2)).sum();
+                let d2: f64 = (0..3).map(|k| (s.atoms[i].pos[k] - s.atoms[j].pos[k]).powi(2)).sum();
                 if d2.sqrt() <= rcut {
                     brute += 1;
                 }

@@ -85,9 +85,9 @@ impl Structure {
     pub fn bounds(&self) -> [(f64, f64); 3] {
         let mut b = [(f64::INFINITY, f64::NEG_INFINITY); 3];
         for a in &self.atoms {
-            for d in 0..3 {
-                b[d].0 = b[d].0.min(a.pos[d]);
-                b[d].1 = b[d].1.max(a.pos[d]);
+            for (bd, &p) in b.iter_mut().zip(&a.pos) {
+                bd.0 = bd.0.min(p);
+                bd.1 = bd.1.max(p);
             }
         }
         b
@@ -101,8 +101,7 @@ impl Structure {
         self.atoms.sort_by(|a, b| {
             let sa = ((a.pos[0] + eps) / slab_len).floor() as i64;
             let sb = ((b.pos[0] + eps) / slab_len).floor() as i64;
-            (sa, ord(a.pos[1]), ord(a.pos[2]))
-                .cmp(&(sb, ord(b.pos[1]), ord(b.pos[2])))
+            (sa, ord(a.pos[1]), ord(a.pos[2])).cmp(&(sb, ord(b.pos[1]), ord(b.pos[2])))
         });
     }
 
@@ -118,14 +117,14 @@ impl Structure {
             .map_or(0, |m| m + 1);
         let mut ranges = vec![0..0; n_slabs];
         let mut start = 0usize;
-        for s in 0..n_slabs {
+        for (s, range) in ranges.iter_mut().enumerate() {
             let mut end = start;
             while end < self.atoms.len()
                 && ((self.atoms[end].pos[0] + eps) / slab_len).floor() as usize == s
             {
                 end += 1;
             }
-            ranges[s] = start..end;
+            *range = start..end;
             start = end;
         }
         assert_eq!(start, self.atoms.len(), "atoms must be slab-sorted first");

@@ -99,10 +99,7 @@ impl Cp2kRun {
             for it in 0..self.max_iter {
                 report.iterations = it + 1;
                 let q = mulliken_charges(&ucm.h[0], &ucm.s[0], n_atoms, n_orb_atom, &shifts)?;
-                let residual = q
-                    .iter()
-                    .map(|&qi| (qi - q0).abs())
-                    .fold(0.0f64, f64::max);
+                let residual = q.iter().map(|&qi| (qi - q0).abs()).fold(0.0f64, f64::max);
                 report.charge_residual = residual;
                 report.mulliken = q.clone();
                 if residual < self.tol {
@@ -126,15 +123,15 @@ impl Cp2kRun {
         // Functional correction: rigid shift of the conduction manifold.
         let dg = self.functional.gap_correction();
         if dg != 0.0 {
-            for block in ucm.h.iter_mut() {
-                // Conduction orbitals are the upper half of each atom's set.
+            if let Some(block) = ucm.h.first_mut() {
+                // On-site (H_0) block only; conduction orbitals are the
+                // upper half of each atom's set.
                 for a in 0..n_atoms {
                     for o in n_orb_atom / 2..n_orb_atom {
                         let idx = a * n_orb_atom + o;
-                        block[(idx, idx)] = block[(idx, idx)] + c64(dg, 0.0);
+                        block[(idx, idx)] += c64(dg, 0.0);
                     }
                 }
-                break; // on-site only: H_0 block
             }
         }
         Ok(HsFile {
@@ -160,10 +157,10 @@ fn mulliken_charges(
 ) -> Result<Vec<f64>> {
     let n = h0.rows();
     let mut h = h0.clone();
-    for a in 0..n_atoms {
+    for (a, &shift) in shifts.iter().enumerate().take(n_atoms) {
         for o in 0..n_orb_atom {
             let i = a * n_orb_atom + o;
-            h[(i, i)] = h[(i, i)] + c64(shifts[a], 0.0);
+            h[(i, i)] += c64(shift, 0.0);
         }
     }
     let dec = eig_generalized(&h, s0)?;
@@ -189,10 +186,10 @@ fn mulliken_charges(
     let mut ps = ZMat::zeros(n, n);
     gemm(Complex64::ONE, &p, Op::None, s0, Op::None, Complex64::ZERO, &mut ps);
     let mut q = vec![0.0; n_atoms];
-    for a in 0..n_atoms {
+    for (a, qa) in q.iter_mut().enumerate().take(n_atoms) {
         for o in 0..n_orb_atom {
             let i = a * n_orb_atom + o;
-            q[a] += ps[(i, i)].re;
+            *qa += ps[(i, i)].re;
         }
     }
     Ok(q)
@@ -210,7 +207,7 @@ fn apply_onsite_shifts(
         let dv = shift_of(qa);
         for o in 0..n_orb_atom {
             let i = a * n_orb_atom + o;
-            h0[(i, i)] = h0[(i, i)] + c64(dv, 0.0);
+            h0[(i, i)] += c64(dv, 0.0);
         }
     }
 }

@@ -119,10 +119,7 @@ impl Complex64 {
     /// Fused multiply-accumulate `self + a·b`, the hot path of every kernel.
     #[inline(always)]
     pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
-        c64(
-            self.re + a.re * b.re - a.im * b.im,
-            self.im + a.re * b.im + a.im * b.re,
-        )
+        c64(self.re + a.re * b.re - a.im * b.im, self.im + a.re * b.im + a.im * b.re)
     }
 
     /// `self·s` for a real scalar, cheaper than promoting `s`.
@@ -155,7 +152,7 @@ impl Complex64 {
         let mut acc = Self::ONE;
         while n > 0 {
             if n & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
             base = base * base;
             n >>= 1;
@@ -191,16 +188,14 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
-        c64(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        c64(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline(always)]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via the inverse
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }
@@ -359,7 +354,7 @@ mod tests {
         let z = c64(0.9, 0.4);
         let mut acc = Complex64::ONE;
         for _ in 0..7 {
-            acc = acc * z;
+            acc *= z;
         }
         assert!(close(z.powi(7), acc, 1e-12));
         assert!(close(z.powi(-3) * z.powi(3), Complex64::ONE, 1e-12));

@@ -75,7 +75,7 @@ pub fn hessenberg(a: &ZMat) -> (ZMat, ZMat) {
             let f = tau.conj() * w;
             for i in k + 1..n {
                 let vi = v[i - k - 1];
-                h[(i, j)] = h[(i, j)] - vi * f;
+                h[(i, j)] -= vi * f;
             }
         }
         // H ← H · H_refl = H (I − τ v vᴴ)  on columns k+1.., all rows.
@@ -87,7 +87,7 @@ pub fn hessenberg(a: &ZMat) -> (ZMat, ZMat) {
             let f = w * tau;
             for j in k + 1..n {
                 let vj = v[j - k - 1];
-                h[(i, j)] = h[(i, j)] - f * vj.conj();
+                h[(i, j)] -= f * vj.conj();
             }
         }
         // Accumulate Q ← Q · H_refl.
@@ -99,7 +99,7 @@ pub fn hessenberg(a: &ZMat) -> (ZMat, ZMat) {
             let f = w * tau;
             for j in k + 1..n {
                 let vj = v[j - k - 1];
-                q[(i, j)] = q[(i, j)] - f * vj.conj();
+                q[(i, j)] -= f * vj.conj();
             }
         }
     }
@@ -133,10 +133,7 @@ impl Givens {
     /// Applies the rotation to the row pair `(x, y)` element-wise.
     #[inline(always)]
     fn rotate(&self, x: Complex64, y: Complex64) -> (Complex64, Complex64) {
-        (
-            x.scale(self.c) + self.s * y,
-            y.scale(self.c) - self.s.conj() * x,
-        )
+        (x.scale(self.c) + self.s * y, y.scale(self.c) - self.s.conj() * x)
     }
 }
 
@@ -180,7 +177,7 @@ pub fn schur(a: &ZMat) -> Result<SchurDecomposition> {
         total_iters += 1;
         // Wilkinson shift from the trailing 2×2 of the active block, with
         // an exceptional shift every 10 stalled iterations.
-        let mu = if iters_here % 10 == 0 {
+        let mu = if iters_here.is_multiple_of(10) {
             t[(hi, hi)] + c64(1.5 * t[(hi, hi - 1)].abs(), 0.5 * t[(hi, hi - 1)].abs())
         } else {
             let a11 = t[(hi - 1, hi - 1)];
@@ -199,7 +196,7 @@ pub fn schur(a: &ZMat) -> Result<SchurDecomposition> {
         };
         // Explicit shifted QR sweep on the block [lo, hi].
         for k in lo..=hi {
-            t[(k, k)] = t[(k, k)] - mu;
+            t[(k, k)] -= mu;
         }
         let mut rotations = Vec::with_capacity(hi - lo);
         for k in lo..hi {
@@ -231,7 +228,7 @@ pub fn schur(a: &ZMat) -> Result<SchurDecomposition> {
             }
         }
         for k in lo..=hi {
-            t[(k, k)] = t[(k, k)] + mu;
+            t[(k, k)] += mu;
         }
     }
     // Clean any numerically negligible subdiagonals.
@@ -297,7 +294,7 @@ pub fn eig_generalized(a: &ZMat, b: &ZMat) -> Result<EigDecomposition> {
             let eps = 1e-12 * b.norm_max().max(1.0);
             let mut b_reg = b.clone();
             for i in 0..b.rows() {
-                b_reg[(i, i)] = b_reg[(i, i)] + c64(eps, eps);
+                b_reg[(i, i)] += c64(eps, eps);
             }
             lu_factor(&b_reg)?.solve(a)
         }
@@ -317,12 +314,7 @@ mod tests {
             let v: Vec<Complex64> = (0..n).map(|i| e.vectors[(i, k)]).collect();
             let av = a.matvec(&v);
             let lv: Vec<Complex64> = v.iter().map(|&z| z * e.values[k]).collect();
-            let r = av
-                .iter()
-                .zip(&lv)
-                .map(|(x, y)| (*x - *y).norm_sqr())
-                .sum::<f64>()
-                .sqrt();
+            let r = av.iter().zip(&lv).map(|(x, y)| (*x - *y).norm_sqr()).sum::<f64>().sqrt();
             worst = worst.max(r);
         }
         worst
@@ -418,9 +410,15 @@ mod tests {
             3,
             3,
             &[
-                (6.0, 0.0), (-11.0, 0.0), (6.0, 0.0),
-                (1.0, 0.0), (0.0, 0.0), (0.0, 0.0),
-                (0.0, 0.0), (1.0, 0.0), (0.0, 0.0),
+                (6.0, 0.0),
+                (-11.0, 0.0),
+                (6.0, 0.0),
+                (1.0, 0.0),
+                (0.0, 0.0),
+                (0.0, 0.0),
+                (0.0, 0.0),
+                (1.0, 0.0),
+                (0.0, 0.0),
             ],
         );
         let e = eig(&a).unwrap();
@@ -451,7 +449,7 @@ mod tests {
         let a = ZMat::random(9, 9, 8);
         let mut b = ZMat::random(9, 9, 9);
         for i in 0..9 {
-            b[(i, i)] = b[(i, i)] + c64(9.0, 0.0); // keep B invertible
+            b[(i, i)] += c64(9.0, 0.0); // keep B invertible
         }
         let e = eig_generalized(&a, &b).unwrap();
         for k in 0..9 {

@@ -78,7 +78,7 @@ impl LdlFactors {
                 }
                 for i in k + 1..n {
                     let lik = self.packed[(i, k)];
-                    x[(i, j)] = x[(i, j)] - lik * xkj;
+                    x[(i, j)] -= lik * xkj;
                 }
             }
             // Diagonal: z = D⁻¹ y.
@@ -136,7 +136,7 @@ mod tests {
             &mut a,
         );
         for i in 0..n {
-            a[(i, i)] = a[(i, i)] + c64(n as f64, 0.0);
+            a[(i, i)] += c64(n as f64, 0.0);
         }
         a.hermitianize();
         a

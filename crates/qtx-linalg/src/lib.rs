@@ -34,6 +34,7 @@ pub mod ldl;
 pub mod lu;
 pub mod qr;
 pub mod rng;
+pub mod workspace;
 pub mod zmat;
 
 pub use complex::{c64, Complex64};
@@ -41,14 +42,15 @@ pub use eig::{
     eig, eig_generalized, eigenvalues, hessenberg, schur, EigDecomposition, SchurDecomposition,
 };
 pub use flops::{flops_reset, flops_total, FlopScope};
-pub use gemm::{gemm, gemv, matmul, Op};
+pub use gemm::{gemm, gemm_view, gemv, matmul, Op};
 pub use ldl::{ldl_factor_nopiv, ldl_solve, zhesv_nopiv, LdlFactors};
 pub use lu::{lu_factor, lu_factor_nopiv, lu_inverse, lu_solve, zgesv, zgesv_nopiv, LuFactors};
 pub use qr::{
     orthonormality_defect, orthonormalize, pinv_apply, qr, qr_factor, qr_least_squares, QrFactors,
 };
 pub use rng::Pcg64;
-pub use zmat::ZMat;
+pub use workspace::Workspace;
+pub use zmat::{ZMat, ZMatRef};
 
 /// Machine epsilon for `f64`, re-exported for tolerance bookkeeping.
 pub const EPS: f64 = f64::EPSILON;

@@ -67,7 +67,7 @@ pub fn lu_factor(a: &ZMat) -> Result<LuFactors> {
             }
             for i in k + 1..n {
                 let lik = lu[(i, k)];
-                lu[(i, j)] = lu[(i, j)] - lik * ukj;
+                lu[(i, j)] -= lik * ukj;
             }
         }
     }
@@ -102,7 +102,7 @@ pub fn lu_factor_nopiv(a: &ZMat) -> Result<LuFactors> {
             }
             for i in k + 1..n {
                 let lik = lu[(i, k)];
-                lu[(i, j)] = lu[(i, j)] - lik * ukj;
+                lu[(i, j)] -= lik * ukj;
             }
         }
     }
@@ -131,7 +131,7 @@ impl LuFactors {
                 }
                 for i in k + 1..n {
                     let lik = self.lu[(i, k)];
-                    x[(i, j)] = x[(i, j)] - lik * xkj;
+                    x[(i, j)] -= lik * xkj;
                 }
             }
             // Backward substitution with U.
@@ -141,7 +141,7 @@ impl LuFactors {
                 x[(k, j)] = xkj;
                 for i in 0..k {
                     let uik = self.lu[(i, k)];
-                    x[(i, j)] = x[(i, j)] - uik * xkj;
+                    x[(i, j)] -= uik * xkj;
                 }
             }
         }
@@ -216,7 +216,7 @@ mod tests {
     fn diag_dominant(n: usize, seed: u64) -> ZMat {
         let mut a = ZMat::random(n, n, seed);
         for i in 0..n {
-            a[(i, i)] = a[(i, i)] + c64(n as f64, n as f64 * 0.5);
+            a[(i, i)] += c64(n as f64, n as f64 * 0.5);
         }
         a
     }

@@ -43,7 +43,7 @@ pub fn qr_factor(a: &ZMat) -> QrFactors {
         tau[k] = tau_k;
         let scale = (alpha - c64(beta, 0.0)).inv();
         for i in k + 1..m {
-            p[(i, k)] = p[(i, k)] * scale;
+            p[(i, k)] *= scale;
         }
         p[(k, k)] = c64(beta, 0.0);
         // Apply Hᴴ = I − τ̄ v vᴴ to the trailing columns (LAPACK zgeqr2
@@ -55,10 +55,10 @@ pub fn qr_factor(a: &ZMat) -> QrFactors {
                 w += p[(i, k)].conj() * p[(i, j)];
             }
             let f = tau_k.conj() * w;
-            p[(k, j)] = p[(k, j)] - f;
+            p[(k, j)] -= f;
             for i in k + 1..m {
                 let vik = p[(i, k)];
-                p[(i, j)] = p[(i, j)] - vik * f;
+                p[(i, j)] -= vik * f;
             }
         }
     }
@@ -97,10 +97,10 @@ impl QrFactors {
                     w += self.packed[(i, k)].conj() * q[(i, j)];
                 }
                 let f = tau_k * w;
-                q[(k, j)] = q[(k, j)] - f;
+                q[(k, j)] -= f;
                 for i in k + 1..m {
                     let vik = self.packed[(i, k)];
-                    q[(i, j)] = q[(i, j)] - vik * f;
+                    q[(i, j)] -= vik * f;
                 }
             }
         }
@@ -123,10 +123,10 @@ impl QrFactors {
                     w += self.packed[(i, k)].conj() * x[(i, j)];
                 }
                 let f = tau_k.conj() * w;
-                x[(k, j)] = x[(k, j)] - f;
+                x[(k, j)] -= f;
                 for i in k + 1..m {
                     let vik = self.packed[(i, k)];
-                    x[(i, j)] = x[(i, j)] - vik * f;
+                    x[(i, j)] -= vik * f;
                 }
             }
         }

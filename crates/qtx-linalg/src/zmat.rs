@@ -8,20 +8,81 @@
 use crate::complex::{c64, Complex64};
 use crate::rng::Pcg64;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
+thread_local! {
+    /// Fresh `ZMat` heap allocations made by this thread (see
+    /// [`alloc_count`]). Thread-local so concurrent tests measuring
+    /// allocation deltas don't pollute each other.
+    static ZMAT_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of fresh `ZMat` buffer allocations (zeros/clones/materialized
+/// transforms) performed by the current thread since it started. Take a
+/// delta around a kernel call to verify its zero-copy claims — the tiled
+/// `gemm` must not allocate on the `Op::None` fast path.
+pub fn alloc_count() -> u64 {
+    ZMAT_ALLOCS.with(|c| c.get())
+}
+
+#[inline]
+fn note_alloc() {
+    ZMAT_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
 /// Dense complex matrix, column-major.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct ZMat {
     rows: usize,
     cols: usize,
     data: Vec<Complex64>,
 }
 
+impl Clone for ZMat {
+    fn clone(&self) -> Self {
+        note_alloc();
+        ZMat { rows: self.rows, cols: self.cols, data: self.data.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        if self.data.capacity() < source.data.len() {
+            note_alloc();
+        }
+        self.data.clear();
+        self.data.extend_from_slice(&source.data);
+    }
+}
+
 impl ZMat {
     /// Zero matrix of shape `rows × cols`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        note_alloc();
         ZMat { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+    }
+
+    /// Wraps a recycled scratch buffer as a `rows × cols` column-major
+    /// matrix without allocating when its capacity suffices (the
+    /// [`crate::workspace::Workspace`] recycle path). **Element contents
+    /// are unspecified** — whatever the buffer previously held, resized to
+    /// `rows·cols`; callers must either overwrite every element or zero it
+    /// explicitly. Not a value constructor: use [`ZMat::from_fn`] /
+    /// [`ZMat::from_rows`] to build a matrix from data.
+    pub fn from_recycled_buffer(rows: usize, cols: usize, mut data: Vec<Complex64>) -> Self {
+        if data.capacity() < rows * cols {
+            note_alloc();
+        }
+        // Resize without clearing: only growth beyond the previous length
+        // is written here; existing elements keep their stale values.
+        data.resize(rows * cols, Complex64::ZERO);
+        ZMat { rows, cols, data }
+    }
+
+    /// Consumes the matrix, returning its backing buffer for reuse.
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.data
     }
 
     /// Identity matrix of size `n`.
@@ -136,8 +197,18 @@ impl ZMat {
         assert!(r0 + src.rows <= self.rows && c0 + src.cols <= self.cols, "block out of range");
         for j in 0..src.cols {
             let dst_rows = self.rows;
+            let dst = &mut self.data[(c0 + j) * dst_rows + r0..(c0 + j) * dst_rows + r0 + src.rows];
+            dst.copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Writes a borrowed view into the block with top-left corner `(r0, c0)`.
+    pub fn set_block_view(&mut self, r0: usize, c0: usize, src: ZMatRef<'_>) {
+        assert!(r0 + src.rows() <= self.rows && c0 + src.cols() <= self.cols, "block out of range");
+        let dst_rows = self.rows;
+        for j in 0..src.cols() {
             let dst =
-                &mut self.data[(c0 + j) * dst_rows + r0..(c0 + j) * dst_rows + r0 + src.rows];
+                &mut self.data[(c0 + j) * dst_rows + r0..(c0 + j) * dst_rows + r0 + src.rows()];
             dst.copy_from_slice(src.col(j));
         }
     }
@@ -147,8 +218,7 @@ impl ZMat {
         assert!(r0 + src.rows <= self.rows && c0 + src.cols <= self.cols, "block out of range");
         for j in 0..src.cols {
             let dst_rows = self.rows;
-            let dst =
-                &mut self.data[(c0 + j) * dst_rows + r0..(c0 + j) * dst_rows + r0 + src.rows];
+            let dst = &mut self.data[(c0 + j) * dst_rows + r0..(c0 + j) * dst_rows + r0 + src.rows];
             for (d, s) in dst.iter_mut().zip(src.col(j)) {
                 *d += *s;
             }
@@ -178,9 +248,16 @@ impl ZMat {
     pub fn scaled(&self, s: Complex64) -> ZMat {
         let mut out = self.clone();
         for z in out.data.iter_mut() {
-            *z = *z * s;
+            *z *= s;
         }
         out
+    }
+
+    /// In-place scaling `self ← s·self` (no allocation, unlike [`Self::scaled`]).
+    pub fn scale_assign(&mut self, s: Complex64) {
+        for z in self.data.iter_mut() {
+            *z *= s;
+        }
     }
 
     /// In-place `self ← self + s·other` (complex AXPY over the whole matrix).
@@ -203,9 +280,7 @@ impl ZMat {
 
     /// One-norm (max column sum), the norm used in condition estimates.
     pub fn norm_one(&self) -> f64 {
-        (0..self.cols)
-            .map(|j| self.col(j).iter().map(|z| z.abs()).sum::<f64>())
-            .fold(0.0, f64::max)
+        (0..self.cols).map(|j| self.col(j).iter().map(|z| z.abs()).sum::<f64>()).fold(0.0, f64::max)
     }
 
     /// Hermitian deviation `‖A − Aᴴ‖_max`; zero for Hermitian matrices.
@@ -279,11 +354,104 @@ impl ZMat {
     /// Maximum absolute difference to another matrix.
     pub fn max_diff(&self, other: &ZMat) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max)
+    }
+
+    /// Borrowed view of the whole matrix (zero-copy).
+    #[inline]
+    pub fn view(&self) -> ZMatRef<'_> {
+        ZMatRef { data: &self.data, rows: self.rows, cols: self.cols, ld: self.rows }
+    }
+
+    /// Borrowed view of the rectangular block with top-left corner
+    /// `(r0, c0)` and shape `rows × cols` — the zero-copy counterpart of
+    /// [`ZMat::block`].
+    #[inline]
+    pub fn block_view(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> ZMatRef<'_> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block view out of range");
+        if rows == 0 || cols == 0 {
+            return ZMatRef { data: &[], rows, cols, ld: self.rows.max(1) };
+        }
+        let start = c0 * self.rows + r0;
+        let end = (c0 + cols - 1) * self.rows + r0 + rows;
+        ZMatRef { data: &self.data[start..end], rows, cols, ld: self.rows }
+    }
+}
+
+/// Borrowed, possibly strided, column-major matrix view.
+///
+/// `ZMatRef` is the zero-copy operand type of the tiled [`crate::gemm`]
+/// kernels: `ld` (leading dimension, LAPACK's `lda`) is the distance
+/// between column starts in `data`, so a view can alias a whole [`ZMat`]
+/// (`ld == rows`) or any rectangular sub-block of one (`ld > rows`)
+/// without materializing it.
+#[derive(Debug, Clone, Copy)]
+pub struct ZMatRef<'a> {
+    data: &'a [Complex64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> ZMatRef<'a> {
+    /// Wraps a raw column-major slice with an explicit leading dimension.
+    pub fn from_slice(data: &'a [Complex64], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows, "leading dimension shorter than a column");
+        if cols > 0 {
+            assert!(data.len() >= (cols - 1) * ld + rows, "slice too short for view shape");
+        }
+        ZMatRef { data, rows, cols, ld }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (distance between column starts).
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element at `(i, j)` (debug-asserted bounds).
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i]
+    }
+
+    /// Borrow of column `j` as a contiguous slice of length `rows`.
+    #[inline(always)]
+    pub fn col(&self, j: usize) -> &'a [Complex64] {
+        &self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Sub-view of this view (offsets relative to the view's origin).
+    pub fn sub(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> ZMatRef<'a> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "sub-view out of range");
+        if rows == 0 || cols == 0 {
+            return ZMatRef { data: &[], rows, cols, ld: self.ld.max(1) };
+        }
+        let start = c0 * self.ld + r0;
+        let end = (c0 + cols - 1) * self.ld + r0 + rows;
+        ZMatRef { data: &self.data[start..end], rows, cols, ld: self.ld }
+    }
+
+    /// Materializes the view into an owned matrix (allocates).
+    pub fn to_owned(&self) -> ZMat {
+        let mut out = ZMat::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            out.col_mut(j).copy_from_slice(self.col(j));
+        }
+        out
     }
 }
 

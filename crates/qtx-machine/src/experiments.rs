@@ -227,8 +227,7 @@ pub fn fig12_power() -> PowerReport {
         machine_peak_mw: machine_peak_w / 1e6,
         gpu_avg_w,
         machine_mflops_per_w: tuned.pflops * 1e15 / 1e6 / machine_avg_w,
-        gpu_mflops_per_w: gpu_flops / tuned.time_s / 1e6
-            / (TITAN.nodes as f64 * gpu_avg_w),
+        gpu_mflops_per_w: gpu_flops / tuned.time_s / 1e6 / (TITAN.nodes as f64 * gpu_avg_w),
         sustained_pflops: tuned.pflops,
     }
 }
@@ -284,9 +283,7 @@ mod tests {
 
     #[test]
     fn fig8_speedups_match_paper_claims() {
-        for (dev, nodes) in
-            [(PaperDevice::utbfet_23040(), 4), (PaperDevice::nwfet_55488(), 16)]
-        {
+        for (dev, nodes) in [(PaperDevice::utbfet_23040(), 4), (PaperDevice::nwfet_55488(), 16)] {
             let c = fig8_comparison(&dev, nodes);
             let si_mumps = c[0].total_s;
             let feast_mumps = c[1].total_s;

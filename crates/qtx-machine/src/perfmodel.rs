@@ -243,10 +243,8 @@ impl PerfModel {
 
     /// FEAST wall seconds per energy point on the CPUs of the same nodes.
     pub fn feast_seconds(&self, dev: &PaperDevice, n_nodes: usize) -> f64 {
-        let rate = self.machine.cpu_gflops_per_node
-            * 1e9
-            * self.machine.cpu_efficiency
-            * n_nodes as f64;
+        let rate =
+            self.machine.cpu_gflops_per_node * 1e9 * self.machine.cpu_efficiency * n_nodes as f64;
         self.feast_flops(dev) / rate
     }
 
@@ -254,7 +252,12 @@ impl PerfModel {
     /// the CPUs concurrently with Step 1 on the GPUs, so the wall time is
     /// the max of the two (§3.C: "the calculation of the OBCs with FEAST
     /// is completely hidden by the solution of Eq. 5").
-    pub fn feast_splitsolve_seconds(&self, dev: &PaperDevice, n_nodes: usize, hermitian: bool) -> f64 {
+    pub fn feast_splitsolve_seconds(
+        &self,
+        dev: &PaperDevice,
+        n_nodes: usize,
+        hermitian: bool,
+    ) -> f64 {
         let gpu_t = self.splitsolve_seconds(dev, n_nodes * self.machine.gpus_per_node, hermitian);
         let cpu_t = self.feast_seconds(dev, n_nodes);
         gpu_t.max(cpu_t)
@@ -274,8 +277,7 @@ impl PerfModel {
         let flops = arith
             * (fill_overhead * nb * (8.0 / 3.0 * s * s * s + 2.0 * 8.0 * s * s * s)
                 + nb * 8.0 * s * s * m);
-        let rate =
-            self.machine.cpu_gflops_per_node * 1e9 * self.mumps_efficiency * n_nodes as f64;
+        let rate = self.machine.cpu_gflops_per_node * 1e9 * self.mumps_efficiency * n_nodes as f64;
         flops / rate + self.point_overhead_seconds
     }
 
@@ -325,10 +327,7 @@ mod tests {
         let m = PerfModel::titan();
         let dev = PaperDevice::utbfet_23040();
         let total = m.flops_per_point(&dev, false) / 1e12;
-        assert!(
-            (180.0..300.0).contains(&total),
-            "per-point TFLOPs {total} vs paper 241"
-        );
+        assert!((180.0..300.0).contains(&total), "per-point TFLOPs {total} vs paper 241");
         let feast = m.feast_flops(&dev) / 1e12;
         assert!(feast < 0.15 * total, "OBC share {feast} of {total} (paper: 5%)");
     }

@@ -119,10 +119,9 @@ impl Comm {
         loop {
             {
                 let mut pend = self.fabric.pending[me].lock();
-                if let Some(pos) = pend
-                    .iter()
-                    .position(|m| m.src_world == want_src && m.tag == tag && m.comm_id == self.comm_id)
-                {
+                if let Some(pos) = pend.iter().position(|m| {
+                    m.src_world == want_src && m.tag == tag && m.comm_id == self.comm_id
+                }) {
                     let m = pend.swap_remove(pos);
                     let t = self.fabric.cost.msg_time(m.payload.len());
                     self.fabric.advance(me, t);
@@ -172,8 +171,10 @@ impl Comm {
         } else {
             *data = self.recv(root, tag);
         }
-        self.fabric
-            .advance(self.members[self.rank], self.fabric.cost.collective_time(self.size(), data.len()));
+        self.fabric.advance(
+            self.members[self.rank],
+            self.fabric.cost.collective_time(self.size(), data.len()),
+        );
     }
 
     /// Gathers byte payloads at `root` (returns `None` elsewhere).
@@ -182,9 +183,9 @@ impl Comm {
         if self.rank == root {
             let mut out = vec![Vec::new(); self.size()];
             out[root] = data;
-            for r in 0..self.size() {
+            for (r, slot) in out.iter_mut().enumerate() {
                 if r != root {
-                    out[r] = self.recv(r, tag);
+                    *slot = self.recv(r, tag);
                 }
             }
             Some(out)
@@ -308,9 +309,7 @@ mod tests {
 
     #[test]
     fn allreduce_sums_across_ranks() {
-        let out = run_world(4, CostModel::gemini(), |c| {
-            c.allreduce_sum(&[c.rank() as f64, 1.0])
-        });
+        let out = run_world(4, CostModel::gemini(), |c| c.allreduce_sum(&[c.rank() as f64, 1.0]));
         for o in out {
             assert_eq!(o, vec![6.0, 4.0]);
         }
@@ -329,7 +328,7 @@ mod tests {
         for (color, sub_rank, sub_size, sum) in out {
             assert_eq!(sub_size, 3);
             assert!(sub_rank < 3);
-            let expected = if color == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+            let expected = if color == 0 { 2 + 4 } else { 1 + 3 + 5 };
             assert_eq!(sum, expected);
         }
     }

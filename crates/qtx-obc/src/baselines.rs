@@ -133,11 +133,8 @@ mod tests {
         let m2 = shift_invert_modes(&pencil, c64(0.6, -0.8)).unwrap();
         // Same finite spectrum independent of shift (compare annulus part).
         let in_annulus = |v: &Vec<(Complex64, Vec<Complex64>)>| {
-            let mut l: Vec<f64> = v
-                .iter()
-                .map(|(z, _)| z.abs())
-                .filter(|m| (0.25..4.0).contains(m))
-                .collect();
+            let mut l: Vec<f64> =
+                v.iter().map(|(z, _)| z.abs()).filter(|m| (0.25..4.0).contains(m)).collect();
             l.sort_by(|a, b| a.partial_cmp(b).unwrap());
             l
         };

@@ -197,19 +197,11 @@ pub fn beyn_annulus(
     }
     // Deduplicate eigenpairs that polished onto the same root.
     out.sort_by(|a, b| {
-        (a.0.re, a.0.im)
-            .partial_cmp(&(b.0.re, b.0.im))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        (a.0.re, a.0.im).partial_cmp(&(b.0.re, b.0.im)).unwrap_or(std::cmp::Ordering::Equal)
     });
     out.dedup_by(|a, b| {
         (a.0 - b.0).abs() < 1e-9
-            && a.1
-                .iter()
-                .zip(&b.1)
-                .map(|(x, y)| x.conj() * *y)
-                .sum::<Complex64>()
-                .abs()
-                > 0.999
+            && a.1.iter().zip(&b.1).map(|(x, y)| x.conj() * *y).sum::<Complex64>().abs() > 0.999
     });
     Ok(out)
 }
@@ -292,14 +284,12 @@ mod tests {
         // The lead spectrum has magnitudes {0.154, 0.511, 1, 1, 1, 1,
         // 1.958, 6.512}: R = 3 keeps a ≥2× margin between the contours and
         // every excluded eigenvalue (see the contour-placement caveat).
-        let beyn = beyn_annulus(&pencil, BeynConfig { r_outer: 3.0, ..Default::default() })
-            .unwrap();
-        let feast = feast_annulus(
-            &pencil,
-            FeastConfig { r_outer: 3.0, np: 16, ..FeastConfig::default() },
-        )
-        .unwrap()
-        .0;
+        let beyn =
+            beyn_annulus(&pencil, BeynConfig { r_outer: 3.0, ..Default::default() }).unwrap();
+        let feast =
+            feast_annulus(&pencil, FeastConfig { r_outer: 3.0, np: 16, ..FeastConfig::default() })
+                .unwrap()
+                .0;
         let (lo, hi) = (1.0 / 2.9, 2.9);
         let b = sorted_mags(&beyn, lo, hi);
         let f = sorted_mags(&feast, lo, hi);

@@ -20,7 +20,7 @@
 //! can be decreased" remark — implemented in [`CompanionPencil::solve_shifted`].
 
 use crate::lead::LeadBlocks;
-use qtx_linalg::{lu_factor, Complex64, LuFactors, Result, ZMat};
+use qtx_linalg::{gemm_view, lu_factor, Complex64, LuFactors, Op, Result, Workspace, ZMat};
 
 /// The quadratic companion pencil of a lead at fixed energy.
 #[derive(Debug, Clone)]
@@ -68,29 +68,47 @@ impl CompanionPencil {
 
     /// Applies `B` to a block vector without materializing it.
     pub fn apply_b(&self, y: &ZMat) -> ZMat {
+        self.apply_b_ws(y, &Workspace::new())
+    }
+
+    /// [`CompanionPencil::apply_b`] over pooled scratch: the halves of `y`
+    /// are read through zero-copy block views and the only product writes
+    /// into a recycled buffer.
+    pub fn apply_b_ws(&self, y: &ZMat, ws: &Workspace) -> ZMat {
         let nf = self.nf;
         assert_eq!(y.rows(), 2 * nf);
-        let y1 = y.block(0, 0, nf, y.cols());
-        let y2 = y.block(nf, 0, nf, y.cols());
-        let top = &self.t01 * &y1;
-        let mut out = ZMat::zeros(2 * nf, y.cols());
+        let m = y.cols();
+        let y1 = y.block_view(0, 0, nf, m);
+        let y2 = y.block_view(nf, 0, nf, m);
+        let top = ws.matmul_op_view(self.t01.view(), Op::None, y1, Op::None);
+        let mut out = ws.take(2 * nf, m);
         out.set_block(0, 0, &top);
-        out.set_block(nf, 0, &y2);
+        ws.recycle(top);
+        out.set_block_view(nf, 0, y2);
         out
     }
 
     /// Applies `A` to a block vector without materializing it.
     pub fn apply_a(&self, y: &ZMat) -> ZMat {
+        self.apply_a_ws(y, &Workspace::new())
+    }
+
+    /// [`CompanionPencil::apply_a`] over pooled scratch.
+    pub fn apply_a_ws(&self, y: &ZMat, ws: &Workspace) -> ZMat {
         let nf = self.nf;
         assert_eq!(y.rows(), 2 * nf);
-        let y1 = y.block(0, 0, nf, y.cols());
-        let y2 = y.block(nf, 0, nf, y.cols());
-        let mut top = &self.t00 * &y1;
-        let t10y2 = &self.t10 * &y2;
-        top = &(-&top) - &t10y2;
-        let mut out = ZMat::zeros(2 * nf, y.cols());
+        let m = y.cols();
+        let y1 = y.block_view(0, 0, nf, m);
+        let y2 = y.block_view(nf, 0, nf, m);
+        // top = −T00·y1 − T10·y2, accumulated in one pooled buffer.
+        let mut top = ws.take(nf, m);
+        let minus_one = -Complex64::ONE;
+        gemm_view(minus_one, self.t00.view(), Op::None, y1, Op::None, Complex64::ZERO, &mut top);
+        gemm_view(minus_one, self.t10.view(), Op::None, y2, Op::None, Complex64::ONE, &mut top);
+        let mut out = ws.take(2 * nf, m);
         out.set_block(0, 0, &top);
-        out.set_block(nf, 0, &y1);
+        ws.recycle(top);
+        out.set_block_view(nf, 0, y1);
         out
     }
 
@@ -113,21 +131,52 @@ impl CompanionPencil {
     /// with `x = [x1; x2]`, `y = [y1; y2]`:
     /// `x1 = z·x2 − y2` and `P(z)·x2 = y1 + (z·T01 + T00)·y2`.
     pub fn solve_shifted(&self, factors: &LuFactors, z: Complex64, y: &ZMat) -> ZMat {
+        self.solve_shifted_ws(factors, z, y, &Workspace::new())
+    }
+
+    /// [`CompanionPencil::solve_shifted`] over pooled scratch — the form
+    /// the FEAST quadrature loop calls once per node per refinement.
+    pub fn solve_shifted_ws(
+        &self,
+        factors: &LuFactors,
+        z: Complex64,
+        y: &ZMat,
+        ws: &Workspace,
+    ) -> ZMat {
         let nf = self.nf;
         assert_eq!(y.rows(), 2 * nf);
-        let y1 = y.block(0, 0, nf, y.cols());
-        let y2 = y.block(nf, 0, nf, y.cols());
+        let m = y.cols();
+        let y1 = y.block_view(0, 0, nf, m);
+        let y2 = y.block_view(nf, 0, nf, m);
         // rhs = y1 + (z·T01 + T00)·y2
-        let mut zt01_t00 = self.t01.scaled(z);
+        let mut zt01_t00 = ws.copy_of(&self.t01);
+        zt01_t00.scale_assign(z);
         zt01_t00.axpy(Complex64::ONE, &self.t00);
-        let mut rhs = &zt01_t00 * &y2;
-        rhs.axpy(Complex64::ONE, &y1);
+        let mut rhs = ws.copy_of_view(y1);
+        gemm_view(
+            Complex64::ONE,
+            zt01_t00.view(),
+            Op::None,
+            y2,
+            Op::None,
+            Complex64::ONE,
+            &mut rhs,
+        );
+        ws.recycle(zt01_t00);
         let x2 = factors.solve(&rhs);
-        let mut x1 = x2.scaled(z);
-        x1.axpy(-Complex64::ONE, &y2);
-        let mut x = ZMat::zeros(2 * nf, y.cols());
-        x.set_block(0, 0, &x1);
+        ws.recycle(rhs);
+        let mut x = ws.take(2 * nf, m);
+        // x1 = z·x2 − y2, written column-wise straight into the output.
+        for j in 0..m {
+            let x2col = x2.col(j);
+            let y2col = y2.col(j);
+            let xcol = x.col_mut(j);
+            for i in 0..nf {
+                xcol[i] = z * x2col[i] - y2col[i];
+            }
+        }
         x.set_block(nf, 0, &x2);
+        ws.recycle(x2);
         x
     }
 

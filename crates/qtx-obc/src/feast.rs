@@ -20,7 +20,7 @@
 
 use crate::companion::CompanionPencil;
 use qtx_linalg::{
-    eig, eig_generalized, gemm, orthonormalize, Complex64, LinalgError, Op, Result, ZMat,
+    eig, eig_generalized, gemm, orthonormalize, Complex64, LinalgError, Op, Result, Workspace, ZMat,
 };
 use rayon::prelude::*;
 
@@ -33,19 +33,19 @@ use rayon::prelude::*;
 /// Diagonalizing the Gram matrix `(P·Y)ᴴ(P·Y)` and dropping directions
 /// below `rel_tol·λ_max` keeps exactly the numerically meaningful
 /// subspace.
-fn orthonormalize_rank(p: &ZMat, rel_tol: f64) -> Result<ZMat> {
+fn orthonormalize_rank(p: &ZMat, rel_tol: f64, ws: &Workspace) -> Result<ZMat> {
     let m = p.cols();
-    let mut g = ZMat::zeros(m, m);
+    let mut g = ws.take(m, m);
     gemm(Complex64::ONE, p, Op::Adjoint, p, Op::None, Complex64::ZERO, &mut g);
     g.hermitianize();
     let dec = eig(&g)?;
+    ws.recycle(g);
     let lmax = dec.values.iter().map(|v| v.re).fold(0.0, f64::max);
     if lmax <= 0.0 {
         return Ok(ZMat::zeros(p.rows(), 0));
     }
-    let keep: Vec<usize> =
-        (0..m).filter(|&j| dec.values[j].re > rel_tol * lmax).collect();
-    let mut v = ZMat::zeros(m, keep.len());
+    let keep: Vec<usize> = (0..m).filter(|&j| dec.values[j].re > rel_tol * lmax).collect();
+    let mut v = ws.take(m, keep.len());
     for (jj, &j) in keep.iter().enumerate() {
         let scale = 1.0 / dec.values[j].re.sqrt();
         for i in 0..m {
@@ -53,7 +53,11 @@ fn orthonormalize_rank(p: &ZMat, rel_tol: f64) -> Result<ZMat> {
         }
     }
     // One QR pass cleans residual non-orthogonality.
-    Ok(orthonormalize(&(p * &v)))
+    let pv = ws.matmul(p, &v);
+    ws.recycle(v);
+    let q = orthonormalize(&pv);
+    ws.recycle(pv);
+    Ok(q)
 }
 
 /// FEAST configuration.
@@ -94,13 +98,17 @@ pub struct FeastStats {
     pub max_residual: f64,
 }
 
+/// FEAST output: `(λ, u)` pairs with `u` the quadratic eigenvector
+/// (bottom block of the companion vector).
+pub type FeastModes = Vec<(Complex64, Vec<Complex64>)>;
+
 /// Runs FEAST on the annulus `1/R ≤ |λ| ≤ R` of the companion pencil.
 /// Returns `(λ, u)` pairs (`u` = quadratic eigenvector, bottom block) and
 /// run statistics.
 pub fn feast_annulus(
     pencil: &CompanionPencil,
     cfg: FeastConfig,
-) -> Result<(Vec<(Complex64, Vec<Complex64>)>, FeastStats)> {
+) -> Result<(FeastModes, FeastStats)> {
     let nf = pencil.nf;
     let nbc = 2 * nf;
     let mut m0 = if cfg.subspace == 0 { (nf + 8).min(nbc) } else { cfg.subspace.min(nbc) };
@@ -118,11 +126,10 @@ pub fn feast_annulus(
         })
         .collect();
     // One LU of P(z_p) per node, reused across refinements and RHS.
-    let factors: Vec<_> = nodes
-        .par_iter()
-        .map(|(z, _)| pencil.factor_poly(*z))
-        .collect::<Result<Vec<_>>>()?;
+    let factors: Vec<_> =
+        nodes.par_iter().map(|(z, _)| pencil.factor_poly(*z)).collect::<Result<Vec<_>>>()?;
 
+    let ws = Workspace::new();
     let mut y = ZMat::random(nbc, m0, 0x0f_ea_57);
     for _attempt in 0..3 {
         let mut accepted: Vec<(Complex64, Vec<Complex64>)> = Vec::new();
@@ -131,35 +138,44 @@ pub fn feast_annulus(
         for it in 0..cfg.max_refine {
             stats.iterations += 1;
             // Q = Σ_p w_p (z_p/N_p)(z_p B − A)⁻¹ B Y  (Eq. 10).
-            let by = pencil.apply_b(&y);
+            let by = pencil.apply_b_ws(&y, &ws);
             let partials: Vec<ZMat> = nodes
                 .par_iter()
                 .zip(&factors)
                 .map(|(&(z, w), f)| {
-                    let x = pencil.solve_shifted(f, z, &by);
-                    x.scaled(z.scale(w / cfg.np as f64))
+                    let mut x = pencil.solve_shifted_ws(f, z, &by, &ws);
+                    x.scale_assign(z.scale(w / cfg.np as f64));
+                    x
                 })
                 .collect();
             stats.linear_solves += nodes.len();
-            let mut p_acc = ZMat::zeros(nbc, y.cols());
+            let mut p_acc = ws.take(nbc, y.cols());
             for p in partials {
                 p_acc.axpy(Complex64::ONE, &p);
+                ws.recycle(p);
             }
-            let q = orthonormalize_rank(&p_acc, 1e-13)?;
+            ws.recycle(by);
+            let q = orthonormalize_rank(&p_acc, 1e-13, &ws)?;
+            ws.recycle(p_acc);
             let k = q.cols();
             if k == 0 {
                 break; // empty annulus
             }
             // Reduced pencil (Eq. 7): [QᴴAQ]·y = λ·[QᴴBQ]·y.
-            let aq = pencil.apply_a(&q);
-            let bq = pencil.apply_b(&q);
-            let mut ar = ZMat::zeros(k, k);
-            let mut br = ZMat::zeros(k, k);
+            let aq = pencil.apply_a_ws(&q, &ws);
+            let bq = pencil.apply_b_ws(&q, &ws);
+            let mut ar = ws.take(k, k);
+            let mut br = ws.take(k, k);
             gemm(Complex64::ONE, &q, Op::Adjoint, &aq, Op::None, Complex64::ZERO, &mut ar);
             gemm(Complex64::ONE, &q, Op::Adjoint, &bq, Op::None, Complex64::ZERO, &mut br);
+            ws.recycle(aq);
+            ws.recycle(bq);
             let ritz = eig_generalized(&ar, &br)?;
+            ws.recycle(ar);
+            ws.recycle(br);
             // Lift Ritz vectors, classify, and measure residuals.
-            let x = &q * &ritz.vectors;
+            let x = ws.matmul(&q, &ritz.vectors);
+            ws.recycle(q);
             accepted.clear();
             let mut max_res: f64 = 0.0;
             let mut inside = 0usize;
@@ -207,8 +223,11 @@ pub fn feast_annulus(
             }
             prev_accepted = accepted.len();
             if it + 1 < cfg.max_refine {
-                // Subspace iteration: feed the Ritz vectors back.
-                y = x;
+                // Subspace iteration: feed the Ritz vectors back, letting
+                // the pool reclaim the previous subspace.
+                ws.recycle(std::mem::replace(&mut y, x));
+            } else {
+                ws.recycle(x);
             }
         }
         if saturated {

@@ -78,7 +78,12 @@ fn bloch_overlap(lead: &LeadBlocks, lambda: Complex64, u: &[Complex64]) -> f64 {
 }
 
 /// Group velocity of a candidate propagating mode (2·Im(uᴴT01λu)/‖u‖²_S).
-fn group_velocity(pencil: &CompanionPencil, lead: &LeadBlocks, lambda: Complex64, u: &[Complex64]) -> f64 {
+fn group_velocity(
+    pencil: &CompanionPencil,
+    lead: &LeadBlocks,
+    lambda: Complex64,
+    u: &[Complex64],
+) -> f64 {
     let t01u = pencil.t01.matvec(u);
     let mut c = Complex64::ZERO;
     for i in 0..u.len() {
@@ -142,8 +147,8 @@ pub fn classify_modes(
             (m.lambda.arg() * 1e9) as i64,
         )
     };
-    left.sort_by(|a, b| key(a).cmp(&key(b)));
-    right.sort_by(|a, b| key(a).cmp(&key(b)));
+    left.sort_by_key(|a| key(a));
+    right.sort_by_key(|a| key(a));
     LeadModes { left_going: left, right_going: right }
 }
 
@@ -195,8 +200,8 @@ mod tests {
         // Flux = 2·Im(uᴴ T01 λ u) must be ±1 after normalization.
         let t01u = pencil.t01.matvec(&m.u);
         let mut c = Complex64::ZERO;
-        for i in 0..m.u.len() {
-            c += m.u[i].conj() * t01u[i];
+        for (ui, ti) in m.u.iter().zip(&t01u) {
+            c += ui.conj() * *ti;
         }
         let flux = 2.0 * (m.lambda * c).im;
         assert!((flux.abs() - 1.0).abs() < 1e-9, "flux = {flux}");

@@ -28,7 +28,7 @@ use crate::feast::{feast_annulus, FeastStats};
 use crate::lead::LeadBlocks;
 use crate::modes::{classify_modes, LeadModes, ModeSet};
 use crate::ObcMethod;
-use qtx_linalg::{c64, qr_least_squares, Result, ZMat};
+use qtx_linalg::{c64, qr_least_squares, Complex64, Result, ZMat};
 
 /// Which contact the self-energy belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +77,11 @@ fn bloch_product(modes: &[ModeSet], nf: usize, pow: i32) -> ZMat {
 }
 
 /// Computes lead modes with the requested algorithm.
-pub fn lead_modes(lead: &LeadBlocks, e: f64, method: ObcMethod) -> Result<(LeadModes, Option<FeastStats>)> {
+pub fn lead_modes(
+    lead: &LeadBlocks,
+    e: f64,
+    method: ObcMethod,
+) -> Result<(LeadModes, Option<FeastStats>)> {
     let pencil = CompanionPencil::at_energy(lead, e, 0.0);
     let (pairs, stats) = match method {
         ObcMethod::Feast(cfg) => match feast_annulus(&pencil, cfg) {
@@ -117,7 +121,8 @@ pub fn self_energy(lead: &LeadBlocks, e: f64, side: Side, method: ObcMethod) -> 
         Side::Left => {
             // Outgoing into the left lead; F_L⁻¹ = U Λ⁻¹ U⁺.
             let g = bloch_product(&modes.left_going, nf, -1);
-            let sigma = -&(&t10 * &g);
+            let mut sigma = &t10 * &g;
+            sigma.scale_assign(-Complex64::ONE);
             let inc: Vec<ModeSet> =
                 modes.right_going.iter().filter(|m| m.propagating).cloned().collect();
             (sigma, inc, modes.left_going.clone(), t10.clone(), -1)
@@ -125,7 +130,8 @@ pub fn self_energy(lead: &LeadBlocks, e: f64, side: Side, method: ObcMethod) -> 
         Side::Right => {
             // Outgoing into the right lead; F_R = U Λ U⁺.
             let g = bloch_product(&modes.right_going, nf, 1);
-            let sigma = -&(&t01 * &g);
+            let mut sigma = &t01 * &g;
+            sigma.scale_assign(-Complex64::ONE);
             let inc: Vec<ModeSet> =
                 modes.left_going.iter().filter(|m| m.propagating).cloned().collect();
             (sigma, inc, modes.right_going.clone(), t01.clone(), 1)
@@ -189,9 +195,8 @@ mod tests {
     #[test]
     fn mode_sigma_equals_decimation_sigma() {
         for &e in &[0.3f64, -0.8, 1.4] {
-            let modes_sigma = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert)
-                .unwrap()
-                .sigma;
+            let modes_sigma =
+                self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap().sigma;
             let dec_sigma = self_energy_decimation(&chain(), e, 1e-9, Side::Left).unwrap();
             assert!(
                 modes_sigma.max_diff(&dec_sigma) < 1e-5,

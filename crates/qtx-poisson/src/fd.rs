@@ -194,7 +194,7 @@ mod tests {
     fn dirichlet_laplace_is_linear_ramp() {
         // −V'' = 0 with V(0)=0, V(L)=1 → linear profile.
         let p = Poisson1D { dx: 0.1, n: 21, left: Some(0.0), right: Some(1.0) };
-        let v = p.solve(&vec![0.0; 21]);
+        let v = p.solve(&[0.0; 21]);
         for (i, vi) in v.iter().enumerate() {
             let expected = (i + 1) as f64 / 22.0;
             assert!((vi - expected).abs() < 1e-10, "node {i}: {vi} vs {expected}");

@@ -37,12 +37,7 @@ pub fn bcr_solve(sys: &ObcSystem) -> Result<ZMat> {
 
 /// One level of cyclic reduction: eliminate the odd-indexed blocks,
 /// recurse on the evens, back-substitute.
-fn bcr_recurse(
-    diag: &[ZMat],
-    upper: &[ZMat],
-    lower: &[ZMat],
-    rhs: &[ZMat],
-) -> Result<Vec<ZMat>> {
+fn bcr_recurse(diag: &[ZMat], upper: &[ZMat], lower: &[ZMat], rhs: &[ZMat]) -> Result<Vec<ZMat>> {
     let nb = diag.len();
     if nb == 1 {
         return Ok(vec![zgesv(&diag[0], &rhs[0])?]);
@@ -177,7 +172,7 @@ mod tests {
         for i in 0..nb {
             a.diag[i] = ZMat::random(s, s, seed + i as u64);
             for d in 0..s {
-                a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(4.0, 0.5);
+                a.diag[i][(d, d)] += c64(4.0, 0.5);
             }
         }
         for i in 0..nb - 1 {

@@ -9,7 +9,7 @@
 //! drastically" (§3.B) compared to SplitSolve's accelerator pipeline.
 
 use crate::system::ObcSystem;
-use qtx_linalg::{lu_factor, Complex64, LuFactors, Result, ZMat};
+use qtx_linalg::{lu_factor, Complex64, LuFactors, Result, Workspace, ZMat};
 use qtx_sparse::Btd;
 
 /// Factorization state of the block Thomas elimination.
@@ -22,29 +22,42 @@ pub struct BtdLuFactors {
     lower: Vec<ZMat>,
 }
 
+/// Factors `T` with a private scratch pool.
+pub fn btd_lu_factor(a: &Btd, sigma_l: &ZMat, sigma_r: &ZMat) -> Result<BtdLuFactors> {
+    btd_lu_factor_ws(a, sigma_l, sigma_r, &Workspace::new())
+}
+
 /// Factors `T` (BTD with boundary self-energies folded into the corner
 /// diagonal blocks) by block Gaussian elimination without pivoting across
-/// blocks.
-pub fn btd_lu_factor(a: &Btd, sigma_l: &ZMat, sigma_r: &ZMat) -> Result<BtdLuFactors> {
+/// blocks. Per-block elimination temporaries are borrowed from `ws`; the
+/// factors themselves own their storage (they outlive the call).
+pub fn btd_lu_factor_ws(
+    a: &Btd,
+    sigma_l: &ZMat,
+    sigma_r: &ZMat,
+    ws: &Workspace,
+) -> Result<BtdLuFactors> {
     let nb = a.num_blocks();
     let mut pivots = Vec::with_capacity(nb);
     let mut dinv_upper = Vec::with_capacity(nb - 1);
     let mut carry: Option<ZMat> = None; // L_{i-1}·(D̃_{i-1}⁻¹·U_{i-1})
     for i in 0..nb {
-        let mut d = a.diag[i].clone();
+        let mut d = ws.copy_of(&a.diag[i]);
         if i == 0 {
             d.axpy(-Complex64::ONE, sigma_l);
         }
         if i == nb - 1 {
             d.axpy(-Complex64::ONE, sigma_r);
         }
-        if let Some(c) = &carry {
-            d.axpy(-Complex64::ONE, c);
+        if let Some(c) = carry.take() {
+            d.axpy(-Complex64::ONE, &c);
+            ws.recycle(c);
         }
         let f = lu_factor(&d)?;
+        ws.recycle(d);
         if i + 1 < nb {
             let du = f.solve(&a.upper[i]);
-            carry = Some(&a.lower[i] * &du);
+            carry = Some(ws.matmul(&a.lower[i], &du));
             dinv_upper.push(du);
         }
         pivots.push(f);
@@ -53,30 +66,44 @@ pub fn btd_lu_factor(a: &Btd, sigma_l: &ZMat, sigma_r: &ZMat) -> Result<BtdLuFac
 }
 
 impl BtdLuFactors {
-    /// Solves `T·x = b` for a dense multi-column RHS.
+    /// Solves `T·x = b` for a dense multi-column RHS (private scratch).
     pub fn solve(&self, b: &ZMat) -> ZMat {
+        self.solve_ws(b, &Workspace::new())
+    }
+
+    /// Solves `T·x = b` borrowing all sweep temporaries from `ws`.
+    pub fn solve_ws(&self, b: &ZMat, ws: &Workspace) -> ZMat {
         let nb = self.pivots.len();
         let s = self.lower.first().map_or(b.rows(), |l| l.rows());
         let m = b.cols();
         // Forward: ỹ_i = D̃_i⁻¹·(b_i − L_{i-1}·ỹ_{i-1}).
         let mut y: Vec<ZMat> = Vec::with_capacity(nb);
         for i in 0..nb {
-            let mut rhs = b.block(i * s, 0, s, m);
+            let mut rhs = ws.copy_of_view(b.block_view(i * s, 0, s, m));
             if i > 0 {
-                let prod = &self.lower[i - 1] * &y[i - 1];
+                let prod = ws.matmul(&self.lower[i - 1], &y[i - 1]);
                 rhs.axpy(-Complex64::ONE, &prod);
+                ws.recycle(prod);
             }
             y.push(self.pivots[i].solve(&rhs));
+            ws.recycle(rhs);
         }
         // Backward: x_i = ỹ_i − (D̃_i⁻¹·U_i)·x_{i+1}.
         let mut x = ZMat::zeros(nb * s, m);
         x.set_block((nb - 1) * s, 0, &y[nb - 1]);
         for i in (0..nb - 1).rev() {
-            let xn = x.block((i + 1) * s, 0, s, m);
-            let mut xi = y[i].clone();
-            let corr = &self.dinv_upper[i] * &xn;
-            xi.axpy(-Complex64::ONE, &corr);
-            x.set_block(i * s, 0, &xi);
+            let corr = ws.matmul_op_view(
+                self.dinv_upper[i].view(),
+                qtx_linalg::Op::None,
+                x.block_view((i + 1) * s, 0, s, m),
+                qtx_linalg::Op::None,
+            );
+            y[i].axpy(-Complex64::ONE, &corr);
+            ws.recycle(corr);
+            x.set_block(i * s, 0, &y[i]);
+        }
+        for yi in y {
+            ws.recycle(yi);
         }
         x
     }
@@ -84,8 +111,13 @@ impl BtdLuFactors {
 
 /// One-shot baseline solve of Eq. 5.
 pub fn btd_lu_solve(sys: &ObcSystem) -> Result<ZMat> {
-    let f = btd_lu_factor(&sys.a, &sys.sigma_l, &sys.sigma_r)?;
-    Ok(f.solve(&sys.b_dense()))
+    btd_lu_solve_ws(sys, &Workspace::new())
+}
+
+/// One-shot baseline solve of Eq. 5 over a shared workspace.
+pub fn btd_lu_solve_ws(sys: &ObcSystem, ws: &Workspace) -> Result<ZMat> {
+    let f = btd_lu_factor_ws(&sys.a, &sys.sigma_l, &sys.sigma_r, ws)?;
+    Ok(f.solve_ws(&sys.b_dense(), ws))
 }
 
 #[cfg(test)]
@@ -98,7 +130,7 @@ mod tests {
         for i in 0..nb {
             a.diag[i] = ZMat::random(s, s, seed + i as u64);
             for d in 0..s {
-                a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(4.0, 1.0);
+                a.diag[i][(d, d)] += c64(4.0, 1.0);
             }
         }
         for i in 0..nb - 1 {

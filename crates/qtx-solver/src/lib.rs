@@ -17,6 +17,16 @@
 //!   (ref. [33]).
 //! * [`rgf`] — the recursive Green's function reference used for NEGF
 //!   cross-checks (transmission via the Caroli formula in `qtx-core`).
+//!
+//! ## Scratch reuse
+//!
+//! Every solver comes in two flavors: the original entry point (which
+//! allocates a private scratch pool per call) and a `*_ws` variant taking
+//! a shared [`Workspace`]. Callers that loop — energy sweeps, SCF
+//! iterations, bias points — should hold one `Workspace` and pass it down
+//! so the per-block temporaries of RGF/SplitSolve/block-Thomas recycle
+//! instead of churning the allocator. Solver results are identical either
+//! way (a property test asserts fresh-vs-recycled equality).
 
 pub mod bcr;
 pub mod btd_lu;
@@ -25,10 +35,13 @@ pub mod splitsolve;
 pub mod system;
 
 pub use bcr::bcr_solve;
-pub use btd_lu::{btd_lu_solve, BtdLuFactors};
-pub use rgf::{rgf_diagonal_and_corner, RgfResult};
+pub use btd_lu::{btd_lu_factor, btd_lu_solve, btd_lu_solve_ws, BtdLuFactors};
+pub use rgf::{rgf_diagonal_and_corner, rgf_diagonal_and_corner_ws, RgfResult};
 pub use splitsolve::{SplitSolve, SplitSolveReport};
 pub use system::ObcSystem;
+// The buffer pool itself lives in `qtx-linalg` (so the OBC layer can use
+// it too); re-exported here because the solver hot paths are its home.
+pub use qtx_linalg::Workspace;
 
 /// Which solver handles Eq. 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -8,7 +8,7 @@
 //! cross-check of the wave-function (SplitSolve) transmission.
 
 use crate::system::ObcSystem;
-use qtx_linalg::{zgesv, Complex64, Result, ZMat};
+use qtx_linalg::{zgesv, Complex64, Result, Workspace, ZMat};
 
 /// Green's function blocks produced by one RGF pass.
 #[derive(Debug, Clone)]
@@ -19,35 +19,54 @@ pub struct RgfResult {
     pub corner: ZMat,
 }
 
-/// Runs the two-pass RGF on the open system.
+/// Runs the two-pass RGF on the open system with a private scratch pool.
 pub fn rgf_diagonal_and_corner(sys: &ObcSystem) -> Result<RgfResult> {
+    rgf_diagonal_and_corner_ws(sys, &Workspace::new())
+}
+
+/// Runs the two-pass RGF borrowing every block temporary from `ws`, so a
+/// sweep over energy points recycles the same handful of `s × s` buffers
+/// instead of allocating ~5 fresh matrices per block per point.
+pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> Result<RgfResult> {
     let nb = sys.num_blocks();
     let s = sys.block_size();
-    // Effective diagonal blocks with the boundary self-energies.
-    let mut d: Vec<ZMat> = sys.a.diag.clone();
-    d[0].axpy(-Complex64::ONE, &sys.sigma_l);
-    d[nb - 1].axpy(-Complex64::ONE, &sys.sigma_r);
     let id = ZMat::identity(s);
-    // Forward (left-connected) pass: gL_i = (D_i − L_{i−1}·gL_{i−1}·U_{i−1})⁻¹.
+    // Forward (left-connected) pass: gL_i = (D_i − L_{i−1}·gL_{i−1}·U_{i−1})⁻¹,
+    // with the boundary self-energies folded into the corner blocks.
     let mut g_left: Vec<ZMat> = Vec::with_capacity(nb);
     for i in 0..nb {
-        let mut m = d[i].clone();
+        let mut m = ws.copy_of(&sys.a.diag[i]);
+        if i == 0 {
+            m.axpy(-Complex64::ONE, &sys.sigma_l);
+        }
+        if i == nb - 1 {
+            m.axpy(-Complex64::ONE, &sys.sigma_r);
+        }
         if i > 0 {
-            let t = &(&sys.a.lower[i - 1] * &g_left[i - 1]) * &sys.a.upper[i - 1];
-            m.axpy(-Complex64::ONE, &t);
+            let lg = ws.matmul(&sys.a.lower[i - 1], &g_left[i - 1]);
+            let lgu = ws.matmul(&lg, &sys.a.upper[i - 1]);
+            ws.recycle(lg);
+            m.axpy(-Complex64::ONE, &lgu);
+            ws.recycle(lgu);
         }
         g_left.push(zgesv(&m, &id)?);
+        ws.recycle(m);
     }
     // Backward pass: G_{n−1,n−1} = gL_{n−1};
     // G_{i,i} = gL_i + gL_i·U_i·G_{i+1,i+1}·L_i·gL_i.
     let mut diag = vec![ZMat::zeros(0, 0); nb];
     diag[nb - 1] = g_left[nb - 1].clone();
     for i in (0..nb - 1).rev() {
-        let u_g = &sys.a.upper[i] * &diag[i + 1];
-        let u_g_l = &u_g * &sys.a.lower[i];
+        let u_g = ws.matmul(&sys.a.upper[i], &diag[i + 1]);
+        let u_g_l = ws.matmul(&u_g, &sys.a.lower[i]);
+        ws.recycle(u_g);
+        let g_ugl = ws.matmul(&g_left[i], &u_g_l);
+        ws.recycle(u_g_l);
+        let corr = ws.matmul(&g_ugl, &g_left[i]);
+        ws.recycle(g_ugl);
         let mut gi = g_left[i].clone();
-        let corr = &(&g_left[i] * &u_g_l) * &g_left[i];
         gi.axpy(Complex64::ONE, &corr);
+        ws.recycle(corr);
         diag[i] = gi;
     }
     // Corner block through the upper off-diagonal recursion
@@ -56,8 +75,14 @@ pub fn rgf_diagonal_and_corner(sys: &ObcSystem) -> Result<RgfResult> {
     // left-connected functions only.
     let mut corner = g_left[nb - 1].clone();
     for i in (0..nb - 1).rev() {
-        let t = &sys.a.upper[i] * &corner;
-        corner = -&(&g_left[i] * &t);
+        let t = ws.matmul(&sys.a.upper[i], &corner);
+        let mut next = ws.matmul(&g_left[i], &t);
+        ws.recycle(t);
+        next.scale_assign(-Complex64::ONE);
+        ws.recycle(std::mem::replace(&mut corner, next));
+    }
+    for g in g_left {
+        ws.recycle(g);
     }
     Ok(RgfResult { diag, corner })
 }
@@ -73,7 +98,7 @@ mod tests {
         for i in 0..nb {
             a.diag[i] = ZMat::random(s, s, seed + i as u64);
             for dd in 0..s {
-                a.diag[i][(dd, dd)] = a.diag[i][(dd, dd)] + c64(4.0, 0.8);
+                a.diag[i][(dd, dd)] += c64(4.0, 0.8);
             }
         }
         for i in 0..nb - 1 {

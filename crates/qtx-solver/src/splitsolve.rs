@@ -19,7 +19,9 @@
 use crate::system::ObcSystem;
 use qtx_accel::{AccelRuntime, KernelClass};
 use qtx_linalg::flops::counts;
-use qtx_linalg::{zgesv, zgesv_nopiv, Complex64, FlopScope, Result, ZMat};
+use qtx_linalg::{
+    gemm_view, zgesv, zgesv_nopiv, Complex64, FlopScope, Op, Result, Workspace, ZMat,
+};
 use qtx_sparse::Btd;
 use rayon::prelude::*;
 use std::ops::Range;
@@ -61,16 +63,36 @@ impl SplitSolve {
     /// Solves Eq. 5 and returns the dense solution (`N_SS × m`) plus the
     /// cost report. `rt` attaches the virtual accelerators (2 devices per
     /// partition, Fig. 6).
-    pub fn solve(&self, sys: &ObcSystem, rt: Option<&AccelRuntime>) -> Result<(ZMat, SplitSolveReport)> {
+    pub fn solve(
+        &self,
+        sys: &ObcSystem,
+        rt: Option<&AccelRuntime>,
+    ) -> Result<(ZMat, SplitSolveReport)> {
+        self.solve_ws(sys, rt, &Workspace::new())
+    }
+
+    /// [`SplitSolve::solve`] borrowing all block temporaries from `ws`:
+    /// callers looping over energy points hand in one workspace and the
+    /// per-point `ZMat` churn (≈ 6 temporaries per block row) collapses
+    /// into pool reuse.
+    pub fn solve_ws(
+        &self,
+        sys: &ObcSystem,
+        rt: Option<&AccelRuntime>,
+        ws: &Workspace,
+    ) -> Result<(ZMat, SplitSolveReport)> {
         let scope = FlopScope::start();
         let mut report = SplitSolveReport {
             spike_levels: self.partitions.trailing_zeros() as usize,
             ..Default::default()
         };
         // Step 1 — preprocessing: Q = A⁻¹B (independent of Σ and Inj).
-        let q = self.inverse_block_columns(&sys.a, rt)?;
+        let q = self.inverse_block_columns_ws(&sys.a, rt, ws)?;
         // Post-processing (Steps 2–4) starts once Σ/Inj are available.
-        let x = self.postprocess(sys, &q, rt)?;
+        let x = self.postprocess_ws(sys, &q, rt, ws)?;
+        for m in q.first.into_iter().chain(q.last) {
+            ws.recycle(m);
+        }
         if let Some(rt) = rt {
             report.virtual_seconds = rt.sync();
         }
@@ -78,10 +100,24 @@ impl SplitSolve {
         Ok((x, report))
     }
 
+    /// Step 1 with a private scratch pool.
+    pub fn inverse_block_columns(
+        &self,
+        a: &Btd,
+        rt: Option<&AccelRuntime>,
+    ) -> Result<BlockColumns> {
+        self.inverse_block_columns_ws(a, rt, &Workspace::new())
+    }
+
     /// Step 1: first/last block columns of `A⁻¹` over all partitions with
     /// recursive SPIKE merging. Exposed so callers can overlap the OBC
     /// computation with this phase (the paper's interleaving).
-    pub fn inverse_block_columns(&self, a: &Btd, rt: Option<&AccelRuntime>) -> Result<BlockColumns> {
+    pub fn inverse_block_columns_ws(
+        &self,
+        a: &Btd,
+        rt: Option<&AccelRuntime>,
+        ws: &Workspace,
+    ) -> Result<BlockColumns> {
         let nb = a.num_blocks();
         let p = self.partitions.min(nb.max(1));
         assert!(p <= nb, "more partitions than block rows");
@@ -116,8 +152,24 @@ impl SplitSolve {
             .enumerate()
             .map(|(k, r)| {
                 let (first, last) = rayon::join(
-                    || local_first_column(a, r.clone(), rt, (2 * k) % rt.map_or(1, |r| r.len())),
-                    || local_last_column(a, r.clone(), rt, (2 * k + 1) % rt.map_or(1, |r| r.len())),
+                    || {
+                        local_first_column(
+                            a,
+                            r.clone(),
+                            rt,
+                            (2 * k) % rt.map_or(1, |r| r.len()),
+                            ws,
+                        )
+                    },
+                    || {
+                        local_last_column(
+                            a,
+                            r.clone(),
+                            rt,
+                            (2 * k + 1) % rt.map_or(1, |r| r.len()),
+                            ws,
+                        )
+                    },
                 );
                 Ok(BlockColumns { first: first?, last: last? })
             })
@@ -127,19 +179,26 @@ impl SplitSolve {
         }
         // Recursive SPIKE merge: log₂ p levels, each of constant wall time
         // (work is proportional to the local block count, spread evenly).
-        let mut layer: Vec<(Range<usize>, BlockColumns)> =
-            ranges.into_iter().zip(locals).collect();
+        let mut layer: Vec<(Range<usize>, BlockColumns)> = ranges.into_iter().zip(locals).collect();
         while layer.len() > 1 {
-            layer = layer
-                .par_chunks(2)
-                .map(|pair| -> Result<(Range<usize>, BlockColumns)> {
+            let mut pairs: Vec<Vec<(Range<usize>, BlockColumns)>> = Vec::new();
+            let mut it = layer.into_iter();
+            while let Some(first) = it.next() {
+                match it.next() {
+                    Some(second) => pairs.push(vec![first, second]),
+                    None => pairs.push(vec![first]),
+                }
+            }
+            layer = pairs
+                .into_par_iter()
+                .map(|mut pair| -> Result<(Range<usize>, BlockColumns)> {
                     if pair.len() == 1 {
-                        return Ok(pair[0].clone());
+                        return Ok(pair.pop().expect("odd partition"));
                     }
-                    let (rl, left) = &pair[0];
-                    let (rr, right) = &pair[1];
+                    let (rr, right) = pair.pop().expect("pair right");
+                    let (rl, left) = pair.pop().expect("pair left");
                     let dev = (2 * rl.start) % rt.map_or(1, |r| r.len());
-                    let merged = merge_partitions(a, left, right, rl.end - 1, rt, dev)?;
+                    let merged = merge_partitions(a, left, right, rl.end - 1, rt, dev, ws)?;
                     Ok((rl.start..rr.end, merged))
                 })
                 .collect::<Result<Vec<_>>>()?;
@@ -150,31 +209,64 @@ impl SplitSolve {
         Ok(layer.pop().expect("at least one partition").1)
     }
 
+    /// Steps 2–4 with a private scratch pool.
+    pub fn postprocess(
+        &self,
+        sys: &ObcSystem,
+        q: &BlockColumns,
+        rt: Option<&AccelRuntime>,
+    ) -> Result<ZMat> {
+        self.postprocess_ws(sys, q, rt, &Workspace::new())
+    }
+
     /// Steps 2–4: assemble `R`, solve for `z`, expand `x = Q·(b′ + z)`.
-    pub fn postprocess(&self, sys: &ObcSystem, q: &BlockColumns, rt: Option<&AccelRuntime>) -> Result<ZMat> {
+    pub fn postprocess_ws(
+        &self,
+        sys: &ObcSystem,
+        q: &BlockColumns,
+        rt: Option<&AccelRuntime>,
+        ws: &Workspace,
+    ) -> Result<ZMat> {
         let s = sys.block_size();
         let nb = sys.num_blocks();
         let m = sys.num_rhs();
-        let bp = sys.b_prime();
+        // b′ = [b_top; b_bottom] (2s × m), assembled in pooled scratch.
+        let mut bp = ws.take(2 * s, m);
+        sys.b_prime_into(&mut bp);
         // C·Q (2s × 2s): corners of Q hit by the self-energies.
-        let cq = {
-            let mut cq = ZMat::zeros(2 * s, 2 * s);
-            cq.set_block(0, 0, &(&sys.sigma_l * &q.first[0]));
-            cq.set_block(0, s, &(&sys.sigma_l * &q.last[0]));
-            cq.set_block(s, 0, &(&sys.sigma_r * &q.first[nb - 1]));
-            cq.set_block(s, s, &(&sys.sigma_r * &q.last[nb - 1]));
-            cq
-        };
+        let mut cq = ws.take(2 * s, 2 * s);
+        for (r0, c0, sigma, qcorner) in [
+            (0, 0, &sys.sigma_l, &q.first[0]),
+            (0, s, &sys.sigma_l, &q.last[0]),
+            (s, 0, &sys.sigma_r, &q.first[nb - 1]),
+            (s, s, &sys.sigma_r, &q.last[nb - 1]),
+        ] {
+            let prod = ws.matmul(sigma, qcorner);
+            cq.set_block(r0, c0, &prod);
+            ws.recycle(prod);
+        }
         // C·y with y = Q·b′ evaluated only at the boundary blocks.
-        let y0 = block_row_times(&q.first[0], &q.last[0], &bp, s);
-        let yn = block_row_times(&q.first[nb - 1], &q.last[nb - 1], &bp, s);
-        let mut cy = ZMat::zeros(2 * s, m);
-        cy.set_block(0, 0, &(&sys.sigma_l * &y0));
-        cy.set_block(s, 0, &(&sys.sigma_r * &yn));
+        let y0 = block_row_times(&q.first[0], &q.last[0], &bp, s, ws);
+        let yn = block_row_times(&q.first[nb - 1], &q.last[nb - 1], &bp, s, ws);
+        let mut cy = ws.take(2 * s, m);
+        for (r0, sigma, y) in [(0, &sys.sigma_l, &y0), (s, &sys.sigma_r, &yn)] {
+            let prod = ws.matmul(sigma, y);
+            cy.set_block(r0, 0, &prod);
+            ws.recycle(prod);
+        }
+        ws.recycle(y0);
+        ws.recycle(yn);
         // R·z = C·y with R = 1 − C·Q (2s × 2s — "a system of comparably
         // small size").
-        let r_mat = &ZMat::identity(2 * s) - &cq;
+        let mut r_mat = ws.take(2 * s, 2 * s);
+        for i in 0..2 * s {
+            r_mat[(i, i)] = Complex64::ONE;
+        }
+        r_mat.axpy(-Complex64::ONE, &cq);
+        ws.recycle(cq);
         let z = zgesv(&r_mat, &cy)?;
+        ws.recycle(r_mat);
+        ws.recycle(cy);
         if let Some(rt) = rt {
             // The R solve happens on the two boundary devices.
             rt.account(0, KernelClass::Solve, counts::zgetrf(2 * s) + counts::zgetrs(2 * s, m), 0);
@@ -182,15 +274,19 @@ impl SplitSolve {
         }
         // x = Q·(b′ + z): one GEMM pair per block row, embarrassingly
         // parallel over the devices that own each block.
-        let bpz = &bp + &z;
+        bp.axpy(Complex64::ONE, &z);
+        ws.recycle(z);
+        let bpz = bp;
         let mut x = ZMat::zeros(sys.dim(), m);
         let rows: Vec<ZMat> = (0..nb)
             .into_par_iter()
-            .map(|i| block_row_times(&q.first[i], &q.last[i], &bpz, s))
+            .map(|i| block_row_times(&q.first[i], &q.last[i], &bpz, s, ws))
             .collect();
         for (i, row) in rows.into_iter().enumerate() {
             x.set_block(i * s, 0, &row);
+            ws.recycle(row);
         }
+        ws.recycle(bpz);
         if let Some(rt) = rt {
             let per_dev_blocks = nb.div_ceil(rt.len());
             let fl = counts::zgemm(s, m, 2 * s) * per_dev_blocks as u64;
@@ -205,13 +301,17 @@ impl SplitSolve {
 }
 
 /// `[first | last] · bp` for one block row: `first·bp_top + last·bp_bot`.
-fn block_row_times(first: &ZMat, last: &ZMat, bp: &ZMat, s: usize) -> ZMat {
+///
+/// Both halves of `bp` are read through zero-copy block views and the
+/// second product accumulates straight into the output (`β = 1`), so one
+/// pooled matrix is the only storage touched.
+fn block_row_times(first: &ZMat, last: &ZMat, bp: &ZMat, s: usize, ws: &Workspace) -> ZMat {
     let m = bp.cols();
-    let top = bp.block(0, 0, s, m);
-    let bot = bp.block(s, 0, s, m);
-    let mut out = first * &top;
-    let lb = last * &bot;
-    out.axpy(Complex64::ONE, &lb);
+    let mut out = ws.take(s, m);
+    let top = bp.block_view(0, 0, s, m);
+    let bot = bp.block_view(s, 0, s, m);
+    gemm_view(Complex64::ONE, first.view(), Op::None, top, Op::None, Complex64::ZERO, &mut out);
+    gemm_view(Complex64::ONE, last.view(), Op::None, bot, Op::None, Complex64::ONE, &mut out);
     out
 }
 
@@ -240,36 +340,40 @@ fn local_first_column(
     r: Range<usize>,
     rt: Option<&AccelRuntime>,
     dev: usize,
+    ws: &Workspace,
 ) -> Result<Vec<ZMat>> {
     let s = a.block_size();
     let nbl = r.len();
-    let mut xs: Vec<ZMat> = Vec::with_capacity(nbl);
+    let id = ZMat::identity(s);
+    let mut xs: Vec<ZMat> = Vec::new();
     xs.resize(nbl, ZMat::zeros(0, 0));
-    let mut x_next: Option<ZMat> = None;
     // Backward sweep: X_i = (A_ii − A_{i,i+1}·X_{i+1})⁻¹ · A_{i,i−1}
     // (identity RHS at the partition head).
     for li in (0..nbl).rev() {
         let gi = r.start + li;
-        let mut m = a.diag[gi].clone();
-        if let Some(xn) = &x_next {
+        let mut m = ws.copy_of(&a.diag[gi]);
+        if li + 1 < nbl {
             // m −= A_{i,i+1}·X_{i+1}; the coupling is internal to the
             // partition by construction of the sweep.
-            let up = &a.upper[gi];
-            let prod = up * xn;
+            let prod = ws.matmul(&a.upper[gi], &xs[li + 1]);
             m.axpy(-Complex64::ONE, &prod);
+            ws.recycle(prod);
         }
-        let rhs = if li > 0 { a.lower[gi - 1].clone() } else { ZMat::identity(s) };
-        let xi = gpu_solve(&m, &rhs)?;
+        let rhs = if li > 0 { &a.lower[gi - 1] } else { &id };
+        xs[li] = gpu_solve(&m, rhs)?;
+        ws.recycle(m);
         account_alg1_step(rt, dev, s);
-        x_next = Some(xi.clone());
-        xs[li] = xi;
     }
     // Forward accumulation: Q_0 = X_0 (identity RHS), Q_i = −X_i·Q_{i−1}.
     let mut out: Vec<ZMat> = Vec::with_capacity(nbl);
-    out.push(xs[0].clone());
-    for li in 1..nbl {
-        let prev = out[li - 1].clone();
-        let qi = -&(&xs[li] * &prev);
+    for (li, xi) in xs.into_iter().enumerate() {
+        if li == 0 {
+            out.push(xi);
+            continue;
+        }
+        let mut qi = ws.matmul(&xi, &out[li - 1]);
+        qi.scale_assign(-Complex64::ONE);
+        ws.recycle(xi);
         if let Some(rt) = rt {
             rt.account(dev, KernelClass::Gemm, counts::zgemm(s, s, s), 0);
         }
@@ -284,37 +388,42 @@ fn local_last_column(
     r: Range<usize>,
     rt: Option<&AccelRuntime>,
     dev: usize,
+    ws: &Workspace,
 ) -> Result<Vec<ZMat>> {
     let s = a.block_size();
     let nbl = r.len();
-    let mut ys: Vec<ZMat> = Vec::with_capacity(nbl);
+    let id = ZMat::identity(s);
+    let mut ys: Vec<ZMat> = Vec::new();
     ys.resize(nbl, ZMat::zeros(0, 0));
-    let mut y_prev: Option<ZMat> = None;
     // Forward sweep: Y_i = (A_ii − A_{i,i−1}·Y_{i−1})⁻¹ · A_{i,i+1}
     // (identity RHS at the partition tail).
     for li in 0..nbl {
         let gi = r.start + li;
-        let mut m = a.diag[gi].clone();
-        if let Some(yp) = &y_prev {
-            let lo = &a.lower[gi - 1];
-            let prod = lo * yp;
+        let mut m = ws.copy_of(&a.diag[gi]);
+        if li > 0 {
+            let prod = ws.matmul(&a.lower[gi - 1], &ys[li - 1]);
             m.axpy(-Complex64::ONE, &prod);
+            ws.recycle(prod);
         }
-        let rhs = if li + 1 < nbl { a.upper[gi].clone() } else { ZMat::identity(s) };
-        let yi = gpu_solve(&m, &rhs)?;
+        let rhs = if li + 1 < nbl { &a.upper[gi] } else { &id };
+        ys[li] = gpu_solve(&m, rhs)?;
+        ws.recycle(m);
         account_alg1_step(rt, dev, s);
-        y_prev = Some(yi.clone());
-        ys[li] = yi;
     }
     // Backward accumulation: Q_{n−1} = Y_{n−1}, Q_i = −Y_i·Q_{i+1}.
     let mut out = vec![ZMat::zeros(0, 0); nbl];
-    out[nbl - 1] = ys[nbl - 1].clone();
-    for li in (0..nbl - 1).rev() {
-        let next = out[li + 1].clone();
-        out[li] = -&(&ys[li] * &next);
+    for (li, yi) in ys.into_iter().enumerate().rev() {
+        if li == nbl - 1 {
+            out[li] = yi;
+            continue;
+        }
+        let mut qi = ws.matmul(&yi, &out[li + 1]);
+        qi.scale_assign(-Complex64::ONE);
+        ws.recycle(yi);
         if let Some(rt) = rt {
             rt.account(dev, KernelClass::Gemm, counts::zgemm(s, s, s), 0);
         }
+        out[li] = qi;
     }
     Ok(out)
 }
@@ -326,13 +435,15 @@ fn local_last_column(
 /// `e = boundary`, the merged first/last inverse columns follow from the
 /// local ones through one `s × s` "tip" solve and one correction GEMM per
 /// block row — the constant-cost-per-level spike computation.
+#[allow(clippy::too_many_arguments)]
 fn merge_partitions(
     a: &Btd,
-    left: &BlockColumns,
-    right: &BlockColumns,
+    left: BlockColumns,
+    right: BlockColumns,
     boundary: usize,
     rt: Option<&AccelRuntime>,
     dev: usize,
+    ws: &Workspace,
 ) -> Result<BlockColumns> {
     let s = a.block_size();
     let up = &a.upper[boundary];
@@ -340,21 +451,33 @@ fn merge_partitions(
     let nl = left.first.len();
     let nr = right.first.len();
     // Spike tips: V_Lb = L_L[end]·E↑, W_Rt = F_R[0]·E↓.
-    let v_lb = &left.last[nl - 1] * up;
-    let w_rt = &right.first[0] * dn;
+    let v_lb = ws.matmul(&left.last[nl - 1], up);
+    let w_rt = ws.matmul(&right.first[0], dn);
     if let Some(rt) = rt {
         rt.account(dev, KernelClass::Gemm, 2 * counts::zgemm(s, s, s), 0);
         rt.account_overlapped(dev, KernelClass::D2D, (2 * s * s * 16) as u64);
     }
+    // Tip system `I − T` assembled in place from a pooled product.
+    let tip_system = |t: ZMat| -> ZMat {
+        let mut m = t;
+        m.scale_assign(-Complex64::ONE);
+        for i in 0..s {
+            m[(i, i)] += Complex64::ONE;
+        }
+        m
+    };
     // Merged FIRST column: (I − V_Lb·W_Rt)·x_e = F_L[end].
-    let i_s = ZMat::identity(s);
-    let m_first = &i_s - &(&v_lb * &w_rt);
+    let m_first = tip_system(ws.matmul(&v_lb, &w_rt));
     let x_bottom = zgesv(&m_first, &left.first[nl - 1])?;
-    let y_top = -&(&w_rt * &x_bottom);
+    ws.recycle(m_first);
+    let mut y_top = ws.matmul(&w_rt, &x_bottom);
+    y_top.scale_assign(-Complex64::ONE);
     // Merged LAST column: (I − W_Rt·V_Lb)·y_b = L_R[0].
-    let m_last = &i_s - &(&w_rt * &v_lb);
+    let m_last = tip_system(ws.matmul(&w_rt, &v_lb));
     let y_top2 = zgesv(&m_last, &right.last[0])?;
-    let x_bottom2 = -&(&v_lb * &y_top2);
+    ws.recycle(m_last);
+    let mut x_bottom2 = ws.matmul(&v_lb, &y_top2);
+    x_bottom2.scale_assign(-Complex64::ONE);
     if let Some(rt) = rt {
         rt.account(
             dev,
@@ -364,22 +487,25 @@ fn merge_partitions(
         );
     }
     // Per-block corrections (distributed over the partition devices).
-    let up_y = up * &y_top;
-    let dn_x = dn * &x_bottom;
-    let up_y2 = up * &y_top2;
-    let dn_x2 = dn * &x_bottom2;
+    let up_y = ws.matmul(up, &y_top);
+    let dn_x = ws.matmul(dn, &x_bottom);
+    let up_y2 = ws.matmul(up, &y_top2);
+    let dn_x2 = ws.matmul(dn, &x_bottom2);
     let first: Vec<ZMat> = (0..nl + nr)
         .into_par_iter()
         .map(|i| {
             if i < nl {
                 // x_i = F_L[i] − L_L[i]·E↑·y_top
-                let mut v = left.first[i].clone();
-                let corr = &left.last[i] * &up_y;
+                let mut v = ws.copy_of(&left.first[i]);
+                let corr = ws.matmul(&left.last[i], &up_y);
                 v.axpy(-Complex64::ONE, &corr);
+                ws.recycle(corr);
                 v
             } else {
                 // y_i = −F_R[i]·E↓·x_bottom
-                -&(&right.first[i - nl] * &dn_x)
+                let mut v = ws.matmul(&right.first[i - nl], &dn_x);
+                v.scale_assign(-Complex64::ONE);
+                v
             }
         })
         .collect();
@@ -388,12 +514,15 @@ fn merge_partitions(
         .map(|i| {
             if i < nl {
                 // x_i = −L_L[i]·E↑·y_top′
-                -&(&left.last[i] * &up_y2)
+                let mut v = ws.matmul(&left.last[i], &up_y2);
+                v.scale_assign(-Complex64::ONE);
+                v
             } else {
                 // y_i = L_R[i] − F_R[i]·E↓·x_bottom′
-                let mut v = right.last[i - nl].clone();
-                let corr = &right.first[i - nl] * &dn_x2;
+                let mut v = ws.copy_of(&right.last[i - nl]);
+                let corr = ws.matmul(&right.first[i - nl], &dn_x2);
                 v.axpy(-Complex64::ONE, &corr);
+                ws.recycle(corr);
                 v
             }
         })
@@ -405,6 +534,13 @@ fn merge_partitions(
         for d in 0..rt.len() {
             rt.account(d, KernelClass::Gemm, 2 * per_dev * counts::zgemm(s, s, s), 0);
         }
+    }
+    // The pre-merge columns and tip temporaries are spent: recycle them.
+    for m in [v_lb, w_rt, x_bottom, y_top, y_top2, x_bottom2, up_y, dn_x, up_y2, dn_x2] {
+        ws.recycle(m);
+    }
+    for m in left.first.into_iter().chain(left.last).chain(right.first).chain(right.last) {
+        ws.recycle(m);
     }
     Ok(BlockColumns { first, last })
 }
@@ -420,7 +556,7 @@ mod tests {
         for i in 0..nb {
             a.diag[i] = ZMat::random(s, s, seed + i as u64);
             for d in 0..s {
-                a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(4.0 + s as f64, 1.0);
+                a.diag[i][(d, d)] += c64(4.0 + s as f64, 1.0);
             }
         }
         for i in 0..nb - 1 {

@@ -77,12 +77,19 @@ impl ObcSystem {
     /// Stacked boundary blocks `b' = [b_top; b_bottom]` (`2s × m`) — the
     /// compressed RHS Steps 2–4 operate on.
     pub fn b_prime(&self) -> ZMat {
+        let mut bp = ZMat::zeros(2 * self.block_size(), self.num_rhs());
+        self.b_prime_into(&mut bp);
+        bp
+    }
+
+    /// Writes `b'` into a caller-provided (zeroed) `2s × m` matrix — the
+    /// single place encoding the boundary-RHS layout (left-injected
+    /// columns first, right-injected columns at offset `rhs_top.cols()`).
+    pub fn b_prime_into(&self, bp: &mut ZMat) {
         let s = self.block_size();
-        let m = self.num_rhs();
-        let mut bp = ZMat::zeros(2 * s, m);
+        assert_eq!((bp.rows(), bp.cols()), (2 * s, self.num_rhs()), "b_prime shape");
         bp.set_block(0, 0, &self.rhs_top);
         bp.set_block(s, self.rhs_top.cols(), &self.rhs_bottom);
-        bp
     }
 
     /// Residual `‖T·x − b‖_max` of a candidate solution (dense check).
@@ -103,7 +110,7 @@ mod tests {
         for i in 0..nb {
             a.diag[i] = ZMat::random(s, s, seed + i as u64);
             for d in 0..s {
-                a.diag[i][(d, d)] = a.diag[i][(d, d)] + c64(3.0 + s as f64, 1.0);
+                a.diag[i][(d, d)] += c64(3.0 + s as f64, 1.0);
             }
         }
         for i in 0..nb - 1 {

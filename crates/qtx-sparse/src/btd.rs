@@ -191,7 +191,7 @@ mod tests {
         for i in 0..nb {
             btd.diag[i] = ZMat::random(bs, bs, 100 + i as u64);
             for d in 0..bs {
-                btd.diag[i][(d, d)] = btd.diag[i][(d, d)] + c64(4.0, 0.0);
+                btd.diag[i][(d, d)] += c64(4.0, 0.0);
             }
         }
         for i in 0..nb - 1 {

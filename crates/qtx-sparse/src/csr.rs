@@ -138,12 +138,12 @@ impl Csr {
     pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![Complex64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc = acc.mul_add(self.values[k], x[self.col_idx[k]]);
             }
-            y[r] = acc;
+            *yr = acc;
         }
         qtx_linalg::flops::flops_add(8 * self.nnz() as u64);
         y

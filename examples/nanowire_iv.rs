@@ -7,10 +7,7 @@ use qtx::core::{id_vgs, ScfConfig};
 use qtx::prelude::*;
 
 fn main() {
-    let spec = DeviceBuilder::nanowire(0.8)
-        .cells(10)
-        .basis(BasisKind::TightBinding)
-        .build();
+    let spec = DeviceBuilder::nanowire(0.8).cells(10).basis(BasisKind::TightBinding).build();
     let mut dev = Device::build(spec).expect("device");
 
     // n-type contacts: Fermi level slightly above the lowest subband.

@@ -9,10 +9,7 @@ use qtx::prelude::*;
 fn main() {
     // 1. Geometry: a gate-all-around Si nanowire, 0.8 nm in diameter,
     //    8 unit cells long, in the nearest-neighbour tight-binding basis.
-    let spec = DeviceBuilder::nanowire(0.8)
-        .cells(8)
-        .basis(BasisKind::TightBinding)
-        .build();
+    let spec = DeviceBuilder::nanowire(0.8).cells(8).basis(BasisKind::TightBinding).build();
     println!("structure: {} ({} atoms/cell)", spec.unit_cell.label, spec.unit_cell.len());
 
     // 2. CP2K-lite: self-consistent charge loop + matrix generation happen
@@ -33,7 +30,7 @@ fn main() {
     for i in 0..25 {
         let e = lo + (hi - lo) * i as f64 / 24.0;
         let t = transmission(&device, e).map(|r| r.transmission).unwrap_or(0.0);
-        let bar: String = std::iter::repeat('#').take((t * 4.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (t * 4.0) as usize).collect();
         println!("{e:>10.3} {t:>12.4}  {bar}");
     }
     println!("\nInteger plateaus = conduction channels; zero plateau = the band gap.");

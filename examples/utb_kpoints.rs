@@ -26,7 +26,7 @@ fn main() {
     println!("\nk-summed transmission spectrum:");
     println!("{:>10} {:>12}", "E (eV)", "Σ_k w_k T");
     for (e, t) in result.spectrum.iter().step_by((result.spectrum.len() / 20).max(1)) {
-        let bar: String = std::iter::repeat('#').take((t * 3.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (t * 3.0) as usize).collect();
         println!("{e:>10.3} {t:>12.4}  {bar}");
     }
     println!("\nvirtual communication time: {:.3} ms", result.comm_seconds * 1e3);

@@ -1,0 +1,188 @@
+//! Minimal `bytes` shim for the CP2K→OMEN transfer format.
+//!
+//! Implements the little-endian subset `qtx-cp2k::hsfile` uses: a growable
+//! write buffer (`BytesMut` + `BufMut`) and a consuming read cursor
+//! (`Bytes` + `Buf` with `split_to`). No refcounted zero-copy slicing —
+//! buffers here are megabytes read once at startup.
+
+use std::ops::Deref;
+
+/// Growable byte buffer (write side).
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Freezes into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side operations (little-endian subset).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable byte cursor (read side). Reads consume from the front.
+#[derive(Debug, Default, Clone)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into an owned cursor.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes { data: src.to_vec(), pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `n` unread bytes.
+    ///
+    /// Panics when fewer than `n` bytes remain, matching `bytes`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let front = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Bytes { data: front, pos: 0 }
+    }
+
+    /// Copies the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.len(), "buffer underrun");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+/// Read-side operations (little-endian subset).
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take::<8>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"HDR");
+        w.put_u8(7);
+        w.put_u64_le(0xDEAD_BEEF);
+        w.put_f64_le(-2.5);
+        let mut r = Bytes::copy_from_slice(&w.to_vec());
+        assert_eq!(&r.split_to(3)[..], b"HDR");
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f64_le(), -2.5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        let mut r = Bytes::copy_from_slice(b"ab");
+        let _ = r.split_to(3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal criterion-compatible bench harness.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros — with a straightforward
+//! measurement loop: a warm-up phase sizes the batch so one sample lasts
+//! ≳1 ms, then `sample_size` samples are timed and min/median/mean are
+//! reported on stdout.
+//!
+//! Set `QTX_BENCH_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`{"id": ..., "median_ns": ..., "mean_ns": ..., "min_ns":
+//! ..., "samples": ...}`) — the hook the repo's `BENCH_*.json` artifacts
+//! are produced through.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, recording `sample_size` samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: grow the batch until one run ≳ 1 ms so
+        // timer resolution is negligible, capping total sizing time.
+        let mut batch = 1u64;
+        let sizing_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || sizing_start.elapsed() > Duration::from_millis(500)
+            {
+                self.iters_per_sample = batch;
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / self.iters_per_sample as f64);
+        }
+    }
+}
+
+/// Summary statistics of one benchmark (nanoseconds per iteration).
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark id, `group/name`.
+    pub id: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean sample.
+    pub mean_ns: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+fn report(summary: &Summary) {
+    println!(
+        "bench {:<52} min {:>12.1} ns   median {:>12.1} ns   mean {:>12.1} ns   ({} samples)",
+        summary.id, summary.min_ns, summary.median_ns, summary.mean_ns, summary.samples
+    );
+    if let Ok(path) = std::env::var("QTX_BENCH_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                fh,
+                "{{\"id\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}",
+                summary.id, summary.min_ns, summary.median_ns, summary.mean_ns, summary.samples
+            );
+        }
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) -> Summary {
+    let mut b = Bencher { iters_per_sample: 1, samples: Vec::new(), sample_size };
+    f(&mut b);
+    let mut s = b.samples;
+    if s.is_empty() {
+        s.push(0.0);
+    }
+    s.sort_by(|a, c| a.partial_cmp(c).unwrap());
+    let to_ns = 1e9;
+    let summary = Summary {
+        id: id.to_string(),
+        min_ns: s[0] * to_ns,
+        median_ns: s[s.len() / 2] * to_ns,
+        mean_ns: s.iter().sum::<f64>() / s.len() as f64 * to_ns,
+        samples: s.len(),
+    };
+    report(&summary);
+    summary
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Ignored (API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let mut f = f;
+        run_bench(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure that receives an input reference.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let mut f = f;
+        run_bench(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+
+    /// Benchmarks a stand-alone closure.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_bench(id, 10, |b| f(b));
+        self
+    }
+}
+
+/// Bundles bench functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let s = run_bench("t/fast", 5, |b| b.iter(|| black_box(3u64).pow(7)));
+        assert!(s.min_ns >= 0.0);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("w", 4), &4usize, |b, &n| b.iter(|| black_box(n * 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,30 @@
+//! `crossbeam::channel` shim backed by `std::sync::mpsc`.
+//!
+//! The virtual-MPI fabric (`qtx-mpi`) only needs unbounded MPSC channels
+//! with cloneable senders; std's channel provides exactly that. Receivers
+//! are `Send` (they live behind a `Mutex` in the fabric), which is all the
+//! consumer requires.
+
+/// Unbounded channel API mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_across_threads() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(7).unwrap()).join().unwrap();
+        tx.send(8).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Data-parallel iterator shim with the rayon surface the workspace uses.
+//!
+//! Items are materialized eagerly, split into one chunk per available core
+//! and executed on scoped OS threads (`std::thread::scope`), so parallel
+//! sections genuinely run concurrently. Differences from real rayon:
+//!
+//! * no work-stealing pool — each terminal call spawns short-lived threads;
+//! * adaptors (`enumerate`, `zip`) are eager; only the final `map` closure
+//!   runs in parallel;
+//! * an active-worker cap keeps nested parallelism (e.g. a parallel gemm
+//!   inside a parallel SplitSolve partition sweep) from spawning an
+//!   unbounded number of threads — saturated levels run inline instead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Currently active shim worker threads (for the nesting cap).
+static ACTIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads a terminal operation may use right now.
+fn available_workers() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cap = cores * 2;
+    let active = ACTIVE_WORKERS.load(Ordering::Relaxed);
+    if active >= cap {
+        1
+    } else {
+        cores
+    }
+}
+
+/// Number of logical cores (rayon API compatibility).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Decrements the active-worker count on drop, so a panicking parallel
+/// region (caught by a test harness) cannot leak workers and permanently
+/// serialize the rest of the process.
+struct WorkerLease(usize);
+
+impl WorkerLease {
+    fn acquire(n: usize) -> Self {
+        ACTIVE_WORKERS.fetch_add(n, Ordering::Relaxed);
+        WorkerLease(n)
+    }
+}
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        ACTIVE_WORKERS.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Runs `a` and `b` potentially in parallel and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if available_workers() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let _lease = WorkerLease::acquire(1);
+        let ha = s.spawn(a);
+        let rb = b();
+        let ra = ha.join().expect("rayon-shim join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Applies `f` to every item, preserving order, on up to `workers` threads.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = available_workers().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `workers` nearly equal runs, keep chunk order.
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let _lease = WorkerLease::acquire(chunks.len());
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-shim map worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Eagerly materialized "parallel" iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `ParIter` with a pending map stage that will run in parallel.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Zips with any ordinary iterable (eager).
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<(T, J::Item)> {
+        ParIter { items: self.items.into_iter().zip(other).collect() }
+    }
+
+    /// Chains a closure to run in parallel at the terminal operation.
+    /// The `Fn(T) -> U` bound pins the closure's argument type here, like
+    /// rayon's `ParallelIterator::map`, so call sites infer cleanly.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> U,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Runs `f` over all items in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let _ = par_map_vec(self.items, &|t| f(t));
+    }
+
+    /// Collects the (unchanged) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Executes the map stage in parallel and collects in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Executes the map stage in parallel, discarding results.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        let _ = par_map_vec(self.items, &|t| g(f(t)));
+    }
+}
+
+/// Conversion into the shim's parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Borrowing parallel-iterator entry points on slices and vectors.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over non-overlapping sub-slices of length `n`.
+    fn par_chunks(&self, n: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+    fn par_chunks(&self, n: usize) -> ParIter<&[T]> {
+        ParIter { items: self.chunks(n).collect() }
+    }
+}
+
+/// Mutable parallel-iterator entry points on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable sub-slices.
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<&mut [T]>;
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, n: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(n).collect() }
+    }
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// The prelude mirror: `use rayon::prelude::*` pulls in the entry traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_type() {
+        let v = [1i32, 2, 3];
+        let ok: Result<Vec<i32>, ()> = v.par_iter().map(|&x| Ok(x)).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+        let err: Result<Vec<i32>, i32> =
+            vec![1, 2, 3].into_par_iter().map(|x| if x == 2 { Err(x) } else { Ok(x) }).collect();
+        assert_eq!(err.unwrap_err(), 2);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let count = AtomicUsize::new(0);
+        (0..257usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_writes() {
+        let mut v = vec![0u64; 1024];
+        v.par_chunks_mut(100).enumerate().for_each(|(i, c)| {
+            for z in c.iter_mut() {
+                *z = i as u64;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[999], 9);
+        assert_eq!(v[1023], 10);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 21 * 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn zip_and_enumerate() {
+        let a = [10, 20, 30];
+        let b = vec![1, 2, 3];
+        let s: Vec<i32> = a.par_iter().zip(&b).map(|(x, y)| x + y).collect();
+        assert_eq!(s, vec![11, 22, 33]);
+        let e: Vec<usize> = a.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(e, vec![0, 1, 2]);
+    }
+}

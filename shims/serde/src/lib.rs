@@ -1,0 +1,20 @@
+//! Marker-trait shim for serde.
+//!
+//! `Serialize`/`Deserialize` are blanket-implemented for every type so the
+//! derive bounds used across the workspace type-check; no serialization
+//! machinery exists (none is used — persistence goes through the `bytes`
+//! transfer format in `qtx-cp2k`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod traits {
+    /// Marker stand-in for `serde::Serialize`.
+    pub trait SerializeMarker {}
+    impl<T: ?Sized> SerializeMarker for T {}
+
+    /// Marker stand-in for `serde::Deserialize`.
+    pub trait DeserializeMarker {}
+    impl<T: ?Sized> DeserializeMarker for T {}
+}
+
+pub use traits::{DeserializeMarker, SerializeMarker};

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace only uses serde derives as markers (nothing is actually
+//! serialized through serde's data model — binary I/O goes through the
+//! `bytes` transfer format), so the derives expand to nothing and the
+//! traits in the companion `serde` shim are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

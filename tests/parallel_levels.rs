@@ -22,10 +22,8 @@ fn sweep_is_rank_count_invariant() {
     let plan = SweepPlan::from_device(&dev, 0.05, 0.12);
     assert_eq!(plan.k_points.len(), 3);
     assert!(plan.total_points() > 0);
-    let spectra: Vec<Vec<(f64, f64)>> = [2usize, 5]
-        .iter()
-        .map(|&n| parallel_sweep(&dev, &plan, n).spectrum)
-        .collect();
+    let spectra: Vec<Vec<(f64, f64)>> =
+        [2usize, 5].iter().map(|&n| parallel_sweep(&dev, &plan, n).spectrum).collect();
     assert_eq!(spectra[0].len(), spectra[1].len());
     for (a, b) in spectra[0].iter().zip(&spectra[1]) {
         assert!((a.0 - b.0).abs() < 1e-12);

@@ -56,10 +56,7 @@ fn every_pipeline_agrees_in_the_dft_basis() {
     // paper's "fast decaying modes are negligible"); exact methods agree
     // to solver precision among themselves.
     for (name, t) in &results {
-        assert!(
-            (t - reference).abs() < 5e-3,
-            "{name}: T = {t} deviates from {reference}"
-        );
+        assert!((t - reference).abs() < 5e-3, "{name}: T = {t} deviates from {reference}");
     }
     let exact: Vec<&(String, f64)> =
         results.iter().filter(|(n, _)| n.starts_with("shift-invert")).collect();
@@ -72,11 +69,7 @@ fn every_pipeline_agrees_in_the_dft_basis() {
     }
     // Independent NEGF route.
     let caroli = caroli_transmission(&dk, e, ObcMethod::ShiftInvert).expect("caroli");
-    assert!(
-        (caroli - exact[0].1).abs() < 1e-6,
-        "Caroli {caroli} vs wave-function {}",
-        exact[0].1
-    );
+    assert!((caroli - exact[0].1).abs() < 1e-6, "Caroli {caroli} vs wave-function {}", exact[0].1);
 }
 
 #[test]
