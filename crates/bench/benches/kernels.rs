@@ -56,10 +56,13 @@ fn bench_gemm(c: &mut Criterion) {
 fn bench_factorizations(c: &mut Criterion) {
     let mut g = c.benchmark_group("factorization");
     g.sample_size(20);
-    for n in [48usize, 96] {
+    for n in [48usize, 96, 192] {
         let a = hermitian_pd(n, 3);
         g.bench_with_input(BenchmarkId::new("zgesv (pivoted LU)", n), &n, |bench, _| {
             bench.iter(|| black_box(lu_factor(&a).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("zgetrf unblocked baseline", n), &n, |bench, _| {
+            bench.iter(|| black_box(qtx_linalg::lu_factor_unblocked(&a).unwrap()));
         });
         g.bench_with_input(BenchmarkId::new("zgesv_nopiv (MAGMA-style)", n), &n, |bench, _| {
             bench.iter(|| black_box(lu_factor_nopiv(&a).unwrap()));
@@ -69,6 +72,20 @@ fn bench_factorizations(c: &mut Criterion) {
             bench.iter(|| black_box(ldl_factor_nopiv(&a).unwrap()));
         });
     }
+    // The blocked solve path: trsm-powered multi-RHS back-substitution.
+    let n = 192;
+    let a = hermitian_pd(n, 7);
+    let b = ZMat::random(n, 64, 8);
+    let f = lu_factor(&a).unwrap();
+    let ws = qtx_linalg::Workspace::new();
+    g.bench_function("zgetrs 192x64 solve_into (pooled)", |bench| {
+        bench.iter(|| {
+            let mut x = ws.take_scratch(n, 64);
+            f.solve_into(b.view(), &mut x);
+            black_box(&x);
+            ws.recycle(x);
+        });
+    });
     g.finish();
 }
 

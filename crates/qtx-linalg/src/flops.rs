@@ -71,6 +71,20 @@ pub mod counts {
         8 * (n as u64).pow(2) * nrhs as u64
     }
 
+    /// One complex triangular solve (`ztrsm`) against an n×n triangle with
+    /// `nrhs` right-hand sides: half of [`zgetrs`] (one sweep, not two).
+    #[inline]
+    pub fn ztrsm(n: usize, nrhs: usize) -> u64 {
+        4 * (n as u64).pow(2) * nrhs as u64
+    }
+
+    /// Hermitian rank-k update `C ← α·A·Aᴴ + β·C` for an n×n output:
+    /// half of [`zgemm`]`(n, n, k)` — only one triangle is computed.
+    #[inline]
+    pub fn zherk(n: usize, k: usize) -> u64 {
+        4 * (n as u64).pow(2) * k as u64
+    }
+
     /// Hermitian LDLᴴ factorization: half the LU cost, (4/3)·n³.
     #[inline]
     pub fn zhetrf(n: usize) -> u64 {

@@ -25,7 +25,7 @@
 
 use crate::complex::{c64, Complex64};
 use crate::flops::{counts, flops_add};
-use crate::zmat::{ZMat, ZMatRef};
+use crate::zmat::{ZMat, ZMatMut, ZMatRef};
 use rayon::prelude::*;
 
 /// Operand transform applied before multiplication, mirroring BLAS `trans`.
@@ -78,6 +78,13 @@ const NC: usize = 128;
 /// Below this `m·n·k` volume the direct (non-packing) path wins: packing
 /// scratch setup costs more than it saves on cache traffic.
 const SMALL_MNK: usize = 64 * 64 * 64;
+/// …except for panel shapes: with at least this panel depth and
+/// [`TALL_MN`] output elements, each packed element feeds ≥ `8·TALL_K`
+/// flops, so packing pays even under the volume cutoff (the blocked
+/// factorizations' tall-skinny `m×32×32` trailing updates live here).
+const TALL_K: usize = 24;
+/// Minimum output-tile area for the panel-shape exception.
+const TALL_MN: usize = 64 * 64;
 /// Minimum `m·n·k` before the tile loop goes parallel; smaller products
 /// run inline to avoid fork-join overhead.
 const PAR_MNK: usize = 128 * 128 * 128;
@@ -105,18 +112,51 @@ pub fn gemm_view(
     beta: Complex64,
     c: &mut ZMat,
 ) {
+    gemm_into(alpha, a, op_a, b, op_b, beta, c.view_mut());
+}
+
+/// `C ← α·op(A)·op(B) + β·C` where `C` is a possibly strided mutable view
+/// — the entry the blocked LU/LDLᴴ trailing updates and [`crate::trsm`]
+/// use to accumulate straight into a panel of a larger matrix.
+pub fn gemm_into(
+    alpha: Complex64,
+    a: ZMatRef<'_>,
+    op_a: Op,
+    b: ZMatRef<'_>,
+    op_b: Op,
+    beta: Complex64,
+    c: ZMatMut<'_>,
+) {
+    let (m, ka) = op_a.shape_of(a.rows(), a.cols());
+    let n = op_b.shape_of(b.rows(), b.cols()).1;
+    flops_add(counts::zgemm(m, n, ka));
+    gemm_into_unc(alpha, a, op_a, b, op_b, beta, c);
+}
+
+/// [`gemm_into`] without FLOP accounting. The factorization kernels call
+/// this so their own `zgetrf`/`zhetrf` formula counts aren't inflated by
+/// the internal gemm traffic (the counters stay deterministic formulas,
+/// matching the paper's §5.B methodology).
+pub(crate) fn gemm_into_unc(
+    alpha: Complex64,
+    a: ZMatRef<'_>,
+    op_a: Op,
+    b: ZMatRef<'_>,
+    op_b: Op,
+    beta: Complex64,
+    mut c: ZMatMut<'_>,
+) {
     let (m, ka) = op_a.shape_of(a.rows(), a.cols());
     let (kb, n) = op_b.shape_of(b.rows(), b.cols());
     assert_eq!(ka, kb, "gemm inner dimension mismatch: {ka} vs {kb}");
     assert_eq!((c.rows(), c.cols()), (m, n), "gemm output shape mismatch");
     let k = ka;
-    flops_add(counts::zgemm(m, n, k));
 
     if m == 0 || n == 0 {
         return;
     }
     if k == 0 || alpha == Complex64::ZERO {
-        scale_in_place(c, beta);
+        scale_in_place(&mut c, beta);
         return;
     }
     // A/B harness: the `seed-gemm` feature routes everything through a
@@ -124,13 +164,13 @@ pub fn gemm_view(
     // loop) so solver-level speedups can be measured end to end.
     #[cfg(feature = "seed-gemm")]
     {
-        gemm_seed_reference(alpha, a, op_a, b, op_b, beta, c);
+        gemm_seed_reference(alpha, a, op_a, b, op_b, beta, &mut c);
     }
     #[cfg(not(feature = "seed-gemm"))]
-    if m * n * k < SMALL_MNK {
-        gemm_direct(alpha, a, op_a, b, op_b, beta, c);
+    if m * n * k < SMALL_MNK && !(k >= TALL_K && m * n >= TALL_MN) {
+        gemm_direct(alpha, a, op_a, b, op_b, beta, &mut c);
     } else {
-        gemm_tiled(alpha, a, op_a, b, op_b, beta, c);
+        gemm_tiled(alpha, a, op_a, b, op_b, beta, &mut c);
     }
 }
 
@@ -145,7 +185,7 @@ fn gemm_seed_reference(
     b: ZMatRef<'_>,
     op_b: Op,
     beta: Complex64,
-    c: &mut ZMat,
+    c: &mut ZMatMut<'_>,
 ) {
     let materialize = |v: ZMatRef<'_>, op: Op| -> ZMat {
         let owned = v.to_owned();
@@ -181,24 +221,37 @@ fn gemm_seed_reference(
     }
 }
 
-/// `C ← β·C` (handles the `β = 0`/`β = 1` fast cases). Large matrices
-/// scale in parallel over mutable chunks — no intermediate collection.
-fn scale_in_place(c: &mut ZMat, beta: Complex64) {
+/// `C ← β·C` (handles the `β = 0`/`β = 1` fast cases). Large dense views
+/// scale in parallel over mutable chunks — no intermediate collection;
+/// strided views fall back to a per-column sweep.
+fn scale_in_place(c: &mut ZMatMut<'_>, beta: Complex64) {
     if beta == Complex64::ONE {
         return;
     }
-    let data = c.as_mut_slice();
-    if beta == Complex64::ZERO {
-        data.fill(Complex64::ZERO);
-    } else if data.len() >= PAR_MNK / 64 && rayon::current_num_threads() > 1 {
-        data.par_chunks_mut(16 * 1024).for_each(|chunk| {
-            for z in chunk.iter_mut() {
+    if let Some(data) = c.contiguous_mut() {
+        if beta == Complex64::ZERO {
+            data.fill(Complex64::ZERO);
+        } else if data.len() >= PAR_MNK / 64 && rayon::current_num_threads() > 1 {
+            data.par_chunks_mut(16 * 1024).for_each(|chunk| {
+                for z in chunk.iter_mut() {
+                    *z *= beta;
+                }
+            });
+        } else {
+            for z in data.iter_mut() {
                 *z *= beta;
             }
-        });
-    } else {
-        for z in data.iter_mut() {
-            *z *= beta;
+        }
+        return;
+    }
+    for j in 0..c.cols() {
+        let col = c.col_mut(j);
+        if beta == Complex64::ZERO {
+            col.fill(Complex64::ZERO);
+        } else {
+            for z in col.iter_mut() {
+                *z *= beta;
+            }
         }
     }
 }
@@ -216,7 +269,7 @@ fn gemm_direct(
     b: ZMatRef<'_>,
     op_b: Op,
     beta: Complex64,
-    c: &mut ZMat,
+    c: &mut ZMatMut<'_>,
 ) {
     let (m, k) = op_a.shape_of(a.rows(), a.cols());
     let n = c.cols();
@@ -295,12 +348,12 @@ fn gemm_tiled(
     b: ZMatRef<'_>,
     op_b: Op,
     beta: Complex64,
-    c: &mut ZMat,
+    c: &mut ZMatMut<'_>,
 ) {
     let (m, k) = op_a.shape_of(a.rows(), a.cols());
     let n = c.cols();
-    let c_ld = c.rows();
-    let c_ptr = SendPtr(c.as_mut_slice().as_mut_ptr());
+    let c_ld = c.ld();
+    let c_ptr = SendPtr(c.as_mut_ptr());
 
     // 2-D task grid over C: prefer column strips (contiguous in memory),
     // add row strips when the matrix is tall and columns are scarce.

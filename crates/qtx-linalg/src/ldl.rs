@@ -6,11 +6,42 @@
 //! the sustained performance from 12.8 to 15.01 PFlop/s. This module
 //! provides that Hermitian fast path: an LDLᴴ factorization without
 //! pivoting (half the flops of LU) and the corresponding solve.
+//!
+//! Above the size crossover the factorization runs **blocked
+//! right-looking**, mirroring the LU stack: column ranges split
+//! recursively (flat `NB`-panel peeling below a strip width, halving
+//! above), each merge staging `W = L₂₁·D₁` in raw scratch and applying
+//! `−W·L₂₁ᴴ` on the tiled [`crate::gemm`] microkernel, walked
+//! block-column by block-column so only the lower triangle (plus a small
+//! diagonal wedge) is touched — preserving the half-of-LU work profile.
+//! Solves are two blocked [`crate::trsm`] sweeps (`L`, then `Lᴴ` via the
+//! adjoint transform on the same stored triangle) around a diagonal
+//! scaling, with [`LdlFactors::solve_into`] writing straight into caller
+//! buffers.
 
 use crate::complex::{c64, Complex64};
 use crate::flops::{counts, flops_add};
-use crate::zmat::ZMat;
+use crate::gemm::{gemm_into_unc, Op};
+use crate::trsm::{trsm_unc, Diag, Side, UpLo};
+use crate::workspace::Workspace;
+use crate::zmat::{ZMat, ZMatMut, ZMatRef};
 use crate::{LinalgError, Result};
+
+/// Panel width of the blocked factorization (matches the LU stack).
+const NB: usize = 32;
+
+/// Flat-vs-recursive threshold, as in the LU stack: narrow ranges peel
+/// `NB`-panels, wide ranges halve so merge gemms run at large `k` while
+/// every update stays on the packed gemm path.
+const STRIP: usize = 128;
+
+/// Column-chunk width of the merge's trailing update: the Hermitian
+/// update walks block columns this wide so only the lower triangle plus a
+/// small diagonal wedge is written.
+const CHUNK: usize = 48;
+
+/// Crossover below which the unblocked recurrence wins (see `lu::BLOCK_MIN`).
+const BLOCK_MIN: usize = 96;
 
 /// Packed LDLᴴ factors: unit-lower `L` in the strict lower triangle and the
 /// real diagonal `D` on the diagonal.
@@ -26,77 +57,204 @@ pub struct LdlFactors {
 /// this (§3.B, "A is usually real symmetric in 3-D structures and complex
 /// Hermitian in 1-D and 2-D").
 pub fn ldl_factor_nopiv(a: &ZMat) -> Result<LdlFactors> {
-    let n = a.rows();
+    ldl_entry(a.clone(), None)
+}
+
+/// [`ldl_factor_nopiv`] with the working copy borrowed from `ws`; recycle
+/// the factors via [`LdlFactors::into_packed`] when spent.
+pub fn ldl_factor_nopiv_ws(a: &ZMat, ws: &Workspace) -> Result<LdlFactors> {
+    ldl_entry(ws.copy_of(a), Some(ws))
+}
+
+/// The unblocked left-looking baseline, kept callable for A/B
+/// measurements and the blocked-vs-unblocked property tests.
+pub fn ldl_factor_nopiv_unblocked(a: &ZMat) -> Result<LdlFactors> {
+    check_hermitian(a);
+    flops_add(counts::zhetrf(a.rows()));
+    let mut p = a.clone();
+    factor_unblocked(&mut p)?;
+    Ok(LdlFactors { packed: p })
+}
+
+fn check_hermitian(a: &ZMat) {
     assert!(a.is_square(), "LDLᴴ requires a square matrix");
     debug_assert!(
         a.hermitian_defect() < 1e-8 * a.norm_max().max(1.0),
         "ldl_factor_nopiv requires a Hermitian matrix"
     );
+}
+
+fn ldl_entry(mut p: ZMat, ws: Option<&Workspace>) -> Result<LdlFactors> {
+    check_hermitian(&p);
+    let n = p.rows();
     flops_add(counts::zhetrf(n));
-    let mut p = a.clone();
-    let scale = a.norm_max().max(1.0);
-    for k in 0..n {
-        // d_k = A_kk - sum_{j<k} |L_kj|^2 d_j  (real by Hermiticity)
-        let mut d = p[(k, k)].re;
-        for j in 0..k {
-            let lkj = p[(k, j)];
-            let dj = p[(j, j)].re;
-            d -= lkj.norm_sqr() * dj;
-        }
-        if d.abs() < 1e-14 * scale {
-            return Err(LinalgError::SingularPivot { index: k, magnitude: d.abs() });
-        }
-        p[(k, k)] = c64(d, 0.0);
-        for i in k + 1..n {
-            // L_ik = (A_ik - sum_{j<k} L_ij d_j conj(L_kj)) / d_k
-            let mut v = p[(i, k)];
-            for j in 0..k {
-                let lij = p[(i, j)];
-                let lkj = p[(k, j)];
-                let dj = p[(j, j)].re;
-                v -= lij * lkj.conj() * dj;
+    let factored = if n < BLOCK_MIN || crate::lu::unblocked_forced() {
+        factor_unblocked(&mut p)
+    } else {
+        factor_blocked(&mut p)
+    };
+    match factored {
+        Ok(()) => Ok(LdlFactors { packed: p }),
+        Err(e) => {
+            if let Some(ws) = ws {
+                ws.recycle(p);
             }
-            p[(i, k)] = v / d;
+            Err(e)
         }
     }
-    Ok(LdlFactors { packed: p })
+}
+
+/// The left-looking recurrence (seed algorithm), with the column updates
+/// `L[k+1.., k] −= L[k+1.., j]·(conj(L_kj)·d_j)` run as contiguous column
+/// AXPYs so the inner loops vectorize.
+fn factor_unblocked(p: &mut ZMat) -> Result<()> {
+    let n = p.rows();
+    let scale = p.norm_max().max(1.0);
+    for k in 0..n {
+        ldl_column_step(p, k, 0, k, scale)?;
+    }
+    Ok(())
+}
+
+/// One LDLᴴ column: applies the corrections from columns `j0..j1` to
+/// column `k` (diagonal first, then the sub-column as AXPYs), checks the
+/// pivot and scales by `1/d_k`.
+#[inline]
+fn ldl_column_step(p: &mut ZMat, k: usize, j0: usize, j1: usize, scale: f64) -> Result<()> {
+    let n = p.rows();
+    // d_k = A_kk - sum_j |L_kj|^2 d_j  (real by Hermiticity)
+    let mut d = p[(k, k)].re;
+    for j in j0..j1 {
+        let lkj = p[(k, j)];
+        let dj = p[(j, j)].re;
+        d -= lkj.norm_sqr() * dj;
+    }
+    if d.abs() < 1e-14 * scale {
+        return Err(LinalgError::SingularPivot { index: k, magnitude: d.abs() });
+    }
+    p[(k, k)] = c64(d, 0.0);
+    // L_ik = (A_ik - sum_j L_ij·conj(L_kj)·d_j) / d_k, one AXPY per j.
+    for j in j0..j1 {
+        let coef = p[(k, j)].conj().scale(p[(j, j)].re);
+        if coef == Complex64::ZERO {
+            continue;
+        }
+        let neg = -coef;
+        let (colj, colk) = p.two_cols_mut(j, k);
+        for (ck, &cj) in colk[k + 1..n].iter_mut().zip(&colj[k + 1..n]) {
+            *ck = ck.mul_add(cj, neg);
+        }
+    }
+    let dinv = 1.0 / d;
+    for z in p.col_mut(k)[k + 1..n].iter_mut() {
+        *z = z.scale(dinv);
+    }
+    Ok(())
+}
+
+/// Recursive blocked right-looking factorization: halved column splits
+/// whose merges are `−W·L₂₁ᴴ` gemm updates at large `k`, walked in block
+/// columns so only the lower triangle (plus a small diagonal wedge) is
+/// written — the §5.E half-of-LU work profile.
+fn factor_blocked(p: &mut ZMat) -> Result<()> {
+    let n = p.rows();
+    let scale = p.norm_max().max(1.0);
+    // W = L₂₁·D₁ staged in raw scratch (no ZMat allocation).
+    let mut wbuf: Vec<Complex64> = Vec::new();
+    ldl_factor_cols(p, 0, n, scale, &mut wbuf)
+}
+
+/// Factors columns `c0..c1`, assuming every column left of `c0` is
+/// factored and its Hermitian trailing update applied to this range.
+fn ldl_factor_cols(
+    p: &mut ZMat,
+    c0: usize,
+    c1: usize,
+    scale: f64,
+    wbuf: &mut Vec<Complex64>,
+) -> Result<()> {
+    let n = p.rows();
+    let w = c1 - c0;
+    if w <= NB {
+        // Scalar strip: corrections from within the strip only.
+        for k in c0..c1 {
+            ldl_column_step(p, k, c0, k, scale)?;
+        }
+        return Ok(());
+    }
+    let h = if w <= STRIP { NB } else { (w / 2).div_ceil(NB) * NB };
+    ldl_factor_cols(p, c0, c0 + h, scale, wbuf)?;
+    let mid = c0 + h;
+    let nr = c1 - mid;
+    let rows = n - mid;
+    {
+        // Stage W = L[mid.., c0..mid]·D column by column (contiguous).
+        wbuf.resize(rows * h, Complex64::ZERO);
+        for t in 0..h {
+            let dt = p[(c0 + t, c0 + t)].re;
+            let src = &p.col(c0 + t)[mid..n];
+            for (w, &l) in wbuf[t * rows..(t + 1) * rows].iter_mut().zip(src) {
+                *w = l * dt;
+            }
+        }
+        let wv = ZMatRef::from_slice(wbuf, rows, h, rows);
+        let ld = n;
+        let data = p.as_mut_slice();
+        let (left, right) = data.split_at_mut(mid * ld);
+        let right = &mut right[..nr * ld];
+        let l21 = ZMatRef::from_slice(&left[c0 * ld + mid..], rows, h, ld);
+        let mut cc = 0;
+        while cc < nr {
+            let cb = CHUNK.min(nr - cc);
+            let a_sub = wv.sub(cc, 0, rows - cc, h);
+            let b_sub = l21.sub(cc, 0, cb, h);
+            let c_sub = ZMatMut::from_slice(&mut right[cc * ld + mid + cc..], rows - cc, cb, ld);
+            gemm_into_unc(
+                -Complex64::ONE,
+                a_sub,
+                Op::None,
+                b_sub,
+                Op::Adjoint,
+                Complex64::ONE,
+                c_sub,
+            );
+            cc += cb;
+        }
+    }
+    ldl_factor_cols(p, mid, c1, scale, wbuf)
 }
 
 impl LdlFactors {
     /// Solves `A·X = B` using the LDLᴴ factors.
     pub fn solve(&self, b: &ZMat) -> ZMat {
-        let n = self.packed.rows();
-        assert_eq!(b.rows(), n);
-        flops_add(counts::zgetrs(n, b.cols()) / 2 * 3); // L, D, Lᴴ sweeps
         let mut x = b.clone();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A·X = B` into a caller-provided buffer (typically borrowed
+    /// from a [`Workspace`]); `x` is fully overwritten.
+    pub fn solve_into(&self, b: ZMatRef<'_>, x: &mut ZMat) {
+        assert_eq!((x.rows(), x.cols()), (b.rows(), b.cols()), "solve_into output shape mismatch");
+        x.view_mut().copy_from_view(b);
+        self.solve_in_place(x);
+    }
+
+    /// Solves `A·X = B` in place: forward `L`, diagonal `D⁻¹`, backward
+    /// `Lᴴ` — the triangular sweeps run blocked on the gemm microkernel.
+    pub fn solve_in_place(&self, x: &mut ZMat) {
+        let n = self.packed.rows();
+        assert_eq!(x.rows(), n);
+        flops_add(counts::zgetrs(n, x.cols()) / 2 * 3); // L, D, Lᴴ sweeps
+        let a = self.packed.view();
+        trsm_unc(Side::Left, UpLo::Lower, Op::None, Diag::Unit, a, x.view_mut());
         for j in 0..x.cols() {
-            // Forward: L y = b.
-            for k in 0..n {
-                let xkj = x[(k, j)];
-                if xkj == Complex64::ZERO {
-                    continue;
-                }
-                for i in k + 1..n {
-                    let lik = self.packed[(i, k)];
-                    x[(i, j)] -= lik * xkj;
-                }
-            }
-            // Diagonal: z = D⁻¹ y.
-            for k in 0..n {
-                let d = self.packed[(k, k)].re;
-                x[(k, j)] = x[(k, j)] / d;
-            }
-            // Backward: Lᴴ x = z.
-            for k in (0..n).rev() {
-                let mut v = x[(k, j)];
-                for i in k + 1..n {
-                    let lik = self.packed[(i, k)];
-                    v -= lik.conj() * x[(i, j)];
-                }
-                x[(k, j)] = v;
+            let col = x.col_mut(j);
+            for (k, xk) in col.iter_mut().enumerate() {
+                *xk = *xk / self.packed[(k, k)].re;
             }
         }
-        x
+        trsm_unc(Side::Left, UpLo::Lower, Op::Adjoint, Diag::Unit, a, x.view_mut());
     }
 
     /// The real diagonal `D`; its signs give the matrix inertia, which
@@ -104,11 +262,26 @@ impl LdlFactors {
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.packed.rows()).map(|i| self.packed[(i, i)].re).collect()
     }
+
+    /// Consumes the factors, returning the packed matrix so its buffer can
+    /// be recycled into a [`Workspace`].
+    pub fn into_packed(self) -> ZMat {
+        self.packed
+    }
 }
 
 /// One-shot Hermitian solve (MAGMA `zhesv_nopiv_gpu` analogue).
 pub fn zhesv_nopiv(a: &ZMat, b: &ZMat) -> Result<ZMat> {
     Ok(ldl_factor_nopiv(a)?.solve(b))
+}
+
+/// One-shot Hermitian solve with every temporary borrowed from `ws`,
+/// writing into the caller's buffer (see [`crate::lu::zgesv_into`]).
+pub fn zhesv_nopiv_into(a: &ZMat, b: &ZMat, x: &mut ZMat, ws: &Workspace) -> Result<()> {
+    let f = ldl_factor_nopiv_ws(a, ws)?;
+    f.solve_into(b.view(), x);
+    ws.recycle(f.into_packed());
+    Ok(())
 }
 
 /// Solves `A·x = b` for one Hermitian right-hand side vector.
@@ -126,15 +299,7 @@ mod tests {
         // G Gᴴ + n·I is Hermitian positive definite.
         let g = ZMat::random(n, n, seed);
         let mut a = ZMat::zeros(n, n);
-        crate::gemm::gemm(
-            Complex64::ONE,
-            &g,
-            crate::gemm::Op::None,
-            &g,
-            crate::gemm::Op::Adjoint,
-            Complex64::ZERO,
-            &mut a,
-        );
+        crate::herk::zherk(1.0, g.view(), Op::None, 0.0, &mut a);
         for i in 0..n {
             a[(i, i)] += c64(n as f64, 0.0);
         }
@@ -158,6 +323,50 @@ mod tests {
         let b = &a * &x_true;
         let x = zhesv_nopiv(&a, &b).unwrap();
         assert!(x.max_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let n = BLOCK_MIN + 44; // several panels plus a remainder
+        let a = hermitian_pd(n, 15);
+        let fb = ldl_factor_nopiv(&a).unwrap();
+        let fu = ldl_factor_nopiv_unblocked(&a).unwrap();
+        // Same factors up to roundoff (no pivoting → unique LDLᴴ).
+        let mut worst: f64 = 0.0;
+        for j in 0..n {
+            for i in j..n {
+                worst = worst.max((fb.packed[(i, j)] - fu.packed[(i, j)]).abs());
+            }
+        }
+        assert!(worst < 1e-7 * a.norm_max(), "factor drift {worst:.2e}");
+        // And identical solves up to roundoff.
+        let b = ZMat::random(n, 2, 16);
+        assert!(fb.solve(&b).max_diff(&fu.solve(&b)) < 1e-6);
+    }
+
+    #[test]
+    fn blocked_solve_reconstructs_rhs() {
+        let n = BLOCK_MIN + 24;
+        let a = hermitian_pd(n, 29);
+        let x_true = ZMat::random(n, 3, 30);
+        let b = &a * &x_true;
+        let x = zhesv_nopiv(&a, &b).unwrap();
+        assert!(x.max_diff(&x_true) < 1e-7, "{:.2e}", x.max_diff(&x_true));
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = hermitian_pd(12, 33);
+        let b = ZMat::random(12, 4, 34);
+        let f = ldl_factor_nopiv(&a).unwrap();
+        let x_ref = f.solve(&b);
+        let ws = Workspace::new();
+        let mut x = ws.take(12, 4);
+        f.solve_into(b.view(), &mut x);
+        assert!(x.max_diff(&x_ref) == 0.0, "same code path must be bit-identical");
+        let mut x2 = ws.take(12, 4);
+        zhesv_nopiv_into(&a, &b, &mut x2, &ws).unwrap();
+        assert!(x2.max_diff(&x_ref) < 1e-10);
     }
 
     #[test]

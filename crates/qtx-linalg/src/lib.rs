@@ -11,11 +11,21 @@
 //!   Hermitian helpers.
 //! * [`gemm`] — blocked, optionally rayon-parallel complex matrix-matrix
 //!   multiplication with `N`/`T`/`H` operand transforms (the `zgemm`
-//!   workhorse of both FEAST and SplitSolve).
+//!   workhorse of both FEAST and SplitSolve), including the strided
+//!   [`gemm::gemm_into`] entry the factorizations accumulate through.
+//! * [`trsm`] — triangular solves over borrowed views (left/right,
+//!   lower/upper, `N`/`T`/`H`, unit/non-unit), cache-blocked on the gemm
+//!   microkernel; the substrate of every factor/solve below.
+//! * [`herk`] — Hermitian rank-k update (`zherk`): the FEAST/Beyn Gram
+//!   matrices at half the flops of a general product.
 //! * [`lu`] — partial-pivoting LU (`zgesv`), pivot-free LU
 //!   (`zgesv_nopiv`, the MAGMA kernel used in Algorithm 1) and inverses.
+//!   Blocked right-looking (panel + `laswp` + trsm + gemm trailing
+//!   update) above a size crossover, with workspace-borrowing
+//!   [`lu::LuFactors::solve_into`] / [`lu::zgesv_into`] solves.
 //! * [`ldl`] — pivot-free LDLᴴ for Hermitian systems (`zhesv_nopiv`, the
-//!   §5.E optimization that lifted Titan from 12.8 to 15 PFlop/s).
+//!   §5.E optimization that lifted Titan from 12.8 to 15 PFlop/s), same
+//!   blocked structure at half the flops.
 //! * [`qr`] — Householder QR, orthonormalization, least squares.
 //! * [`eig`] — Hessenberg reduction + implicitly shifted complex QR
 //!   (Schur form), eigenvectors, and the generalized solver used by the
@@ -30,10 +40,12 @@ pub mod complex;
 pub mod eig;
 pub mod flops;
 pub mod gemm;
+pub mod herk;
 pub mod ldl;
 pub mod lu;
 pub mod qr;
 pub mod rng;
+pub mod trsm;
 pub mod workspace;
 pub mod zmat;
 
@@ -42,15 +54,24 @@ pub use eig::{
     eig, eig_generalized, eigenvalues, hessenberg, schur, EigDecomposition, SchurDecomposition,
 };
 pub use flops::{flops_reset, flops_total, FlopScope};
-pub use gemm::{gemm, gemm_view, gemv, matmul, Op};
-pub use ldl::{ldl_factor_nopiv, ldl_solve, zhesv_nopiv, LdlFactors};
-pub use lu::{lu_factor, lu_factor_nopiv, lu_inverse, lu_solve, zgesv, zgesv_nopiv, LuFactors};
+pub use gemm::{gemm, gemm_into, gemm_view, gemv, matmul, Op};
+pub use herk::zherk;
+pub use ldl::{
+    ldl_factor_nopiv, ldl_factor_nopiv_unblocked, ldl_factor_nopiv_ws, ldl_solve, zhesv_nopiv,
+    zhesv_nopiv_into, LdlFactors,
+};
+pub use lu::{
+    force_unblocked_factor, laswp, lu_factor, lu_factor_nopiv, lu_factor_nopiv_unblocked,
+    lu_factor_nopiv_ws, lu_factor_owned, lu_factor_unblocked, lu_factor_ws, lu_inverse, lu_solve,
+    zgesv, zgesv_into, zgesv_nopiv, zgesv_nopiv_into, LuFactors,
+};
 pub use qr::{
     orthonormality_defect, orthonormalize, pinv_apply, qr, qr_factor, qr_least_squares, QrFactors,
 };
 pub use rng::Pcg64;
+pub use trsm::{trsm, Diag, Side, UpLo};
 pub use workspace::Workspace;
-pub use zmat::{ZMat, ZMatRef};
+pub use zmat::{alloc_count, ZMat, ZMatMut, ZMatRef};
 
 /// Machine epsilon for `f64`, re-exported for tolerance bookkeeping.
 pub const EPS: f64 = f64::EPSILON;

@@ -9,38 +9,214 @@
 //!   `A_ii − A_{i,i+1}X_{i+1}` of transport matrices are strongly
 //!   diagonally dominant at complex energies. The pivot-free path is what
 //!   makes the hybrid CPU+GPU factorization stream-friendly (§5.A).
+//!
+//! Both run **blocked right-looking** above a size crossover: column
+//! ranges split recursively (flat `NB`-panel peeling below a strip
+//! width, halving above it), each merge being a scalar-panel factor with
+//! full-row pivot interchanges ([`laswp`]-style), a [`crate::trsm`]
+//! solve of the `U₁₂` panel and one gemm trailing update on the tiled
+//! [`crate::gemm`] microkernel — the same decomposition MAGMA's `zgetrf`
+//! uses on the paper's GPUs, with the recursion pushing the large-`n`
+//! flops into large-`k` gemms. Below the crossover (and behind
+//! [`force_unblocked_factor`], the A/B baseline switch used by
+//! `bench_lu_json`) the unblocked rank-1 loop runs unchanged.
+//!
+//! Solves follow the same split: [`LuFactors::solve_in_place`] applies the
+//! pivot sequence and two blocked triangular solves directly in the
+//! caller's buffer, and [`LuFactors::solve_into`]/[`zgesv_into`] borrow
+//! everything — including the factorization's own working copy, via
+//! [`lu_factor_ws`] — from a [`Workspace`], so a factor+solve loop over
+//! energy points performs zero fresh matrix allocations once the pool is
+//! warm.
 
 use crate::complex::Complex64;
 use crate::flops::{counts, flops_add};
-use crate::zmat::ZMat;
+use crate::gemm::{gemm_into_unc, Op};
+use crate::trsm::{trsm_unc, Diag, Side, UpLo};
+use crate::workspace::Workspace;
+use crate::zmat::{ZMat, ZMatMut, ZMatRef};
 use crate::{LinalgError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Breakdown threshold relative to the matrix scale.
 const PIVOT_TOL: f64 = 1e-300;
+
+/// Panel width of the blocked factorization: strips this narrow are
+/// factored with the scalar rank-1 loop.
+const NB: usize = 32;
+
+/// Column widths up to this peel `NB`-panels left to right (flat
+/// blocking, whose trailing updates are wide enough for the packed gemm
+/// path); wider ranges split in half recursively so the merge gemm runs
+/// at large `k` (Toledo's recursive LU shape). The hybrid keeps every
+/// update gemm on the packed microkernel: pure recursion would drown in
+/// small `32×32×m` bottom-level merges below the packing threshold.
+const STRIP: usize = 128;
+
+/// Smallest order that takes the blocked path; below it the panel/trsm
+/// bookkeeping costs more than the gemm saves (measured on this
+/// container's 1-core AVX-512 CPU via `bench_lu_json`, crossover ≈ 96).
+const BLOCK_MIN: usize = 96;
+
+/// A/B baseline switch: `true` forces every factorization (LU and LDLᴴ)
+/// through the unblocked rank-1 path regardless of size.
+static FORCE_UNBLOCKED: AtomicBool = AtomicBool::new(false);
+
+/// Routes all factorizations through the unblocked baseline (or back).
+/// Benchmark-only: `bench_lu_json` uses it to measure blocked-vs-unblocked
+/// speedups end to end at the solver level in one process.
+pub fn force_unblocked_factor(on: bool) {
+    FORCE_UNBLOCKED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the unblocked baseline is currently forced.
+pub(crate) fn unblocked_forced() -> bool {
+    FORCE_UNBLOCKED.load(Ordering::Relaxed)
+}
 
 /// An LU factorization `P·A = L·U` stored packed in a single matrix.
 #[derive(Debug, Clone)]
 pub struct LuFactors {
     /// Packed L (unit lower, implicit diagonal) and U factors.
     pub lu: ZMat,
-    /// Row permutation: `perm[k]` is the pivot row chosen at step `k`.
+    /// Row permutation as a gather map: row `i` of the factored matrix is
+    /// row `perm[i]` of the input.
     pub perm: Vec<usize>,
+    /// LAPACK-style pivot sequence: at step `k`, rows `k` and `ipiv[k]`
+    /// were interchanged ([`laswp`] consumes this ordering).
+    pub ipiv: Vec<usize>,
     /// Whether pivoting was used (false for the `nopiv` variant).
     pub pivoted: bool,
 }
 
+/// Applies a pivot interchange sequence to a right-hand side in place
+/// (LAPACK `zlaswp`): for `k` ascending, swaps rows `k` and `ipiv[k]`.
+pub fn laswp(x: &mut ZMat, ipiv: &[usize]) {
+    for (k, &p) in ipiv.iter().enumerate() {
+        if p != k {
+            x.swap_rows(k, p);
+        }
+    }
+}
+
 /// Factors `A` with partial pivoting.
 pub fn lu_factor(a: &ZMat) -> Result<LuFactors> {
-    let n = a.rows();
-    assert!(a.is_square(), "LU requires a square matrix");
+    lu_factor_owned(a.clone(), true)
+}
+
+/// [`lu_factor`] with the working copy borrowed from `ws` — the zero-churn
+/// form for factor loops; recycle `factors.lu` when the factors are spent.
+pub fn lu_factor_ws(a: &ZMat, ws: &Workspace) -> Result<LuFactors> {
+    factor_entry(ws.copy_of(a), true, Some(ws))
+}
+
+/// Factors a matrix the caller already owns, in place (no copy at all).
+pub fn lu_factor_owned(a: ZMat, pivot: bool) -> Result<LuFactors> {
+    factor_entry(a, pivot, None)
+}
+
+/// Factors `A` without pivoting (the `zgesv_nopiv_gpu` analogue).
+///
+/// Fails with [`LinalgError::SingularPivot`] if a diagonal entry collapses;
+/// callers that cannot guarantee diagonal dominance should use
+/// [`lu_factor`] instead.
+pub fn lu_factor_nopiv(a: &ZMat) -> Result<LuFactors> {
+    lu_factor_owned(a.clone(), false)
+}
+
+/// [`lu_factor_nopiv`] with the working copy borrowed from `ws`.
+pub fn lu_factor_nopiv_ws(a: &ZMat, ws: &Workspace) -> Result<LuFactors> {
+    factor_entry(ws.copy_of(a), false, Some(ws))
+}
+
+/// The unblocked rank-1-update baseline, kept callable for A/B
+/// measurements and the blocked-vs-unblocked property tests.
+pub fn lu_factor_unblocked(a: &ZMat) -> Result<LuFactors> {
     let mut lu = a.clone();
-    let mut perm: Vec<usize> = (0..n).collect();
+    flops_add(counts::zgetrf(lu.rows()));
+    let (perm, ipiv) = factor_unblocked(&mut lu, true)?;
+    Ok(LuFactors { lu, perm, ipiv, pivoted: true })
+}
+
+/// Unblocked pivot-free baseline (see [`lu_factor_unblocked`]).
+pub fn lu_factor_nopiv_unblocked(a: &ZMat) -> Result<LuFactors> {
+    let mut lu = a.clone();
+    flops_add(counts::zgetrf(lu.rows()));
+    let (perm, ipiv) = factor_unblocked(&mut lu, false)?;
+    Ok(LuFactors { lu, perm, ipiv, pivoted: false })
+}
+
+/// Shared entry: counts, dispatches on size, recycles the buffer on error.
+fn factor_entry(mut lu: ZMat, pivot: bool, ws: Option<&Workspace>) -> Result<LuFactors> {
+    let n = lu.rows();
+    assert!(lu.is_square(), "LU requires a square matrix");
     flops_add(counts::zgetrf(n));
+    let factored = if n < BLOCK_MIN || unblocked_forced() {
+        factor_unblocked(&mut lu, pivot)
+    } else {
+        factor_blocked(&mut lu, pivot)
+    };
+    match factored {
+        Ok((perm, ipiv)) => Ok(LuFactors { lu, perm, ipiv, pivoted: pivot }),
+        Err(e) => {
+            if let Some(ws) = ws {
+                ws.recycle(lu);
+            }
+            Err(e)
+        }
+    }
+}
+
+/// The seed's unblocked rank-1-update loop, pivoted or not.
+fn factor_unblocked(lu: &mut ZMat, pivot: bool) -> Result<(Vec<usize>, Vec<usize>)> {
+    let n = lu.rows();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut ipiv: Vec<usize> = (0..n).collect();
+    let scale = if pivot { 0.0 } else { lu.norm_max().max(1.0) };
     for k in 0..n {
-        // Pivot search down column k.
+        pivot_step(lu, &mut perm, &mut ipiv, pivot, scale, k, n)?;
+        // Rank-1 trailing update, column by column for cache friendliness.
+        rank1_update(lu, k, k + 1, n);
+    }
+    Ok((perm, ipiv))
+}
+
+/// Rank-1 trailing update `A[k+1.., j] −= L[k+1.., k]·U[k, j]` for columns
+/// `j ∈ col_lo..col_hi`, run over contiguous column slices so the inner
+/// loop vectorizes (the unblocked path's hottest loop).
+#[inline]
+fn rank1_update(lu: &mut ZMat, k: usize, col_lo: usize, col_hi: usize) {
+    let n = lu.rows();
+    for j in col_lo..col_hi {
+        let ukj = lu[(k, j)];
+        if ukj == Complex64::ZERO {
+            continue;
+        }
+        let neg = -ukj;
+        let (colk, colj) = lu.two_cols_mut(k, j);
+        for (cj, &ck) in colj[k + 1..n].iter_mut().zip(&colk[k + 1..n]) {
+            *cj = cj.mul_add(ck, neg);
+        }
+    }
+}
+
+/// One elimination step shared by the unblocked loop and the blocked
+/// panel: pivot search/interchange (full rows), breakdown check,
+/// multiplier scaling of column `k` below the diagonal.
+#[inline]
+fn pivot_step(
+    lu: &mut ZMat,
+    perm: &mut [usize],
+    ipiv: &mut [usize],
+    pivot: bool,
+    scale: f64,
+    k: usize,
+    row_end: usize,
+) -> Result<()> {
+    if pivot {
         let mut p = k;
         let mut best = lu[(k, k)].norm_sqr();
-        for i in k + 1..n {
+        for i in k + 1..row_end {
             let mag = lu[(i, k)].norm_sqr();
             if mag > best {
                 best = mag;
@@ -54,98 +230,124 @@ pub fn lu_factor(a: &ZMat) -> Result<LuFactors> {
             lu.swap_rows(k, p);
             perm.swap(k, p);
         }
-        let pivot_inv = lu[(k, k)].inv();
-        for i in k + 1..n {
-            let lik = lu[(i, k)] * pivot_inv;
-            lu[(i, k)] = lik;
-        }
-        // Rank-1 trailing update, column by column for cache friendliness.
-        for j in k + 1..n {
-            let ukj = lu[(k, j)];
-            if ukj == Complex64::ZERO {
-                continue;
-            }
-            for i in k + 1..n {
-                let lik = lu[(i, k)];
-                lu[(i, j)] -= lik * ukj;
-            }
-        }
-    }
-    Ok(LuFactors { lu, perm, pivoted: true })
-}
-
-/// Factors `A` without pivoting (the `zgesv_nopiv_gpu` analogue).
-///
-/// Fails with [`LinalgError::SingularPivot`] if a diagonal entry collapses;
-/// callers that cannot guarantee diagonal dominance should use
-/// [`lu_factor`] instead.
-pub fn lu_factor_nopiv(a: &ZMat) -> Result<LuFactors> {
-    let n = a.rows();
-    assert!(a.is_square(), "LU requires a square matrix");
-    let mut lu = a.clone();
-    let scale = a.norm_max().max(1.0);
-    flops_add(counts::zgetrf(n));
-    for k in 0..n {
+        ipiv[k] = p;
+    } else {
         let piv = lu[(k, k)];
         if piv.abs() < 1e-14 * scale {
             return Err(LinalgError::SingularPivot { index: k, magnitude: piv.abs() });
         }
-        let pivot_inv = piv.inv();
-        for i in k + 1..n {
-            let lik = lu[(i, k)] * pivot_inv;
-            lu[(i, k)] = lik;
-        }
-        for j in k + 1..n {
-            let ukj = lu[(k, j)];
-            if ukj == Complex64::ZERO {
-                continue;
-            }
-            for i in k + 1..n {
-                let lik = lu[(i, k)];
-                lu[(i, j)] -= lik * ukj;
-            }
-        }
     }
-    Ok(LuFactors { lu, perm: (0..n).collect(), pivoted: false })
+    let pivot_inv = lu[(k, k)].inv();
+    for lik in lu.col_mut(k)[k + 1..row_end].iter_mut() {
+        *lik *= pivot_inv;
+    }
+    Ok(())
+}
+
+/// Recursive blocked right-looking factorization.
+///
+/// The column range splits in half until it reaches the `NB`-wide scalar
+/// base case; each merge is one `trsm` on `U₁₂` plus one gemm trailing
+/// update with `k` equal to the half-width — so the bulk of the flops run
+/// through the packed microkernel at large `k` instead of the thin
+/// panel-width `k` of flat blocking. Pivot interchanges are applied
+/// across all `n` columns immediately, so the matrix state at every
+/// recursion level matches the unblocked algorithm's.
+fn factor_blocked(lu: &mut ZMat, pivot: bool) -> Result<(Vec<usize>, Vec<usize>)> {
+    let n = lu.rows();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut ipiv: Vec<usize> = (0..n).collect();
+    let scale = if pivot { 0.0 } else { lu.norm_max().max(1.0) };
+    // Staging buffer for U₁₂ (raw scratch, not a ZMat): the merge gemm
+    // reads it while writing other rows of the same columns.
+    let mut u12buf: Vec<Complex64> = Vec::new();
+    factor_cols(lu, 0, n, pivot, scale, &mut perm, &mut ipiv, &mut u12buf)?;
+    Ok((perm, ipiv))
+}
+
+/// Factors columns `c0..c1` (rows `c0..n`), assuming all columns left of
+/// `c0` are factored and their updates applied to this range.
+#[allow(clippy::too_many_arguments)]
+fn factor_cols(
+    lu: &mut ZMat,
+    c0: usize,
+    c1: usize,
+    pivot: bool,
+    scale: f64,
+    perm: &mut [usize],
+    ipiv: &mut [usize],
+    u12buf: &mut Vec<Complex64>,
+) -> Result<()> {
+    let n = lu.rows();
+    let w = c1 - c0;
+    if w <= NB {
+        // Scalar strip: rank-1 updates restricted to the strip's columns.
+        for k in c0..c1 {
+            pivot_step(lu, perm, ipiv, pivot, scale, k, n)?;
+            rank1_update(lu, k, k + 1, c1);
+        }
+        return Ok(());
+    }
+    // Narrow ranges peel one panel (flat blocking); wide ranges split in
+    // half (rounded to a panel multiple) so the merge gemm gets large `k`.
+    let h = if w <= STRIP { NB } else { (w / 2).div_ceil(NB) * NB };
+    factor_cols(lu, c0, c0 + h, pivot, scale, perm, ipiv, u12buf)?;
+    let mid = c0 + h;
+    let nr = c1 - mid;
+    let rows = n - mid;
+    {
+        // Split the storage at column `mid`: L₁₁/L₂₁ live left of the
+        // split, U₁₂ and the trailing block right of it.
+        let ld = n;
+        let data = lu.as_mut_slice();
+        let (left, right) = data.split_at_mut(mid * ld);
+        let right = &mut right[..nr * ld];
+        let l11 = ZMatRef::from_slice(&left[c0 * ld + c0..], h, h, ld);
+        let u12 = ZMatMut::from_slice(&mut right[c0..], h, nr, ld);
+        trsm_unc(Side::Left, UpLo::Lower, Op::None, Diag::Unit, l11, u12);
+        // Stage U₁₂ for the gemm (it reads rows c0..mid of the columns
+        // the update writes below).
+        u12buf.resize(h * nr, Complex64::ZERO);
+        for jj in 0..nr {
+            u12buf[jj * h..(jj + 1) * h].copy_from_slice(&right[jj * ld + c0..jj * ld + c0 + h]);
+        }
+        let u12v = ZMatRef::from_slice(u12buf, h, nr, h);
+        let l21 = ZMatRef::from_slice(&left[c0 * ld + mid..], rows, h, ld);
+        let a22 = ZMatMut::from_slice(&mut right[mid..], rows, nr, ld);
+        gemm_into_unc(-Complex64::ONE, l21, Op::None, u12v, Op::None, Complex64::ONE, a22);
+    }
+    factor_cols(lu, mid, c1, pivot, scale, perm, ipiv, u12buf)
 }
 
 impl LuFactors {
     /// Solves `A·X = B` for multiple right-hand sides using the factors.
     pub fn solve(&self, b: &ZMat) -> ZMat {
-        let n = self.lu.rows();
-        assert_eq!(b.rows(), n, "rhs row count mismatch");
-        flops_add(counts::zgetrs(n, b.cols()));
-        let mut x = ZMat::zeros(n, b.cols());
-        // Apply the permutation: x = P·b.
-        for j in 0..b.cols() {
-            for i in 0..n {
-                x[(i, j)] = b[(self.perm[i], j)];
-            }
-        }
-        // Forward substitution with unit-lower L.
-        for j in 0..x.cols() {
-            for k in 0..n {
-                let xkj = x[(k, j)];
-                if xkj == Complex64::ZERO {
-                    continue;
-                }
-                for i in k + 1..n {
-                    let lik = self.lu[(i, k)];
-                    x[(i, j)] -= lik * xkj;
-                }
-            }
-            // Backward substitution with U.
-            for k in (0..n).rev() {
-                let ukk_inv = self.lu[(k, k)].inv();
-                let xkj = x[(k, j)] * ukk_inv;
-                x[(k, j)] = xkj;
-                for i in 0..k {
-                    let uik = self.lu[(i, k)];
-                    x[(i, j)] -= uik * xkj;
-                }
-            }
-        }
+        let mut x = b.clone();
+        self.solve_in_place(&mut x);
         x
+    }
+
+    /// Solves `A·X = B` writing the solution into a caller-provided buffer
+    /// (typically borrowed from a [`Workspace`]); `x` is fully overwritten,
+    /// so unzeroed scratch is fine.
+    pub fn solve_into(&self, b: ZMatRef<'_>, x: &mut ZMat) {
+        assert_eq!((x.rows(), x.cols()), (b.rows(), b.cols()), "solve_into output shape mismatch");
+        x.view_mut().copy_from_view(b);
+        self.solve_in_place(x);
+    }
+
+    /// Solves `A·X = B` in place: `x` holds `B` on entry and `X` on exit.
+    /// Pivot interchanges ([`laswp`]) followed by two blocked triangular
+    /// solves — the multi-RHS sweeps run on the gemm microkernel.
+    pub fn solve_in_place(&self, x: &mut ZMat) {
+        let n = self.lu.rows();
+        assert_eq!(x.rows(), n, "rhs row count mismatch");
+        flops_add(counts::zgetrs(n, x.cols()));
+        if self.pivoted {
+            laswp(x, &self.ipiv);
+        }
+        trsm_unc(Side::Left, UpLo::Lower, Op::None, Diag::Unit, self.lu.view(), x.view_mut());
+        trsm_unc(Side::Left, UpLo::Upper, Op::None, Diag::NonUnit, self.lu.view(), x.view_mut());
     }
 
     /// Solves for a single right-hand-side vector.
@@ -153,32 +355,21 @@ impl LuFactors {
         let n = self.lu.rows();
         let mut bm = ZMat::zeros(n, 1);
         bm.col_mut(0).copy_from_slice(b);
-        self.solve(&bm).col(0).to_vec()
+        self.solve_in_place(&mut bm);
+        bm.col(0).to_vec()
     }
 
-    /// Determinant from the factorization (sign from the permutation).
+    /// Determinant from the factorization; the sign comes from the parity
+    /// of the pivot interchange sequence (`ipiv[k] ≠ k` counts one swap),
+    /// which stays correct on the blocked path where `perm` is assembled
+    /// from [`laswp`]-ordered panel swaps.
     pub fn determinant(&self) -> Complex64 {
         let n = self.lu.rows();
         let mut det = Complex64::ONE;
         for i in 0..n {
             det *= self.lu[(i, i)];
         }
-        // Permutation parity.
-        let mut visited = vec![false; n];
-        let mut swaps = 0;
-        for start in 0..n {
-            if visited[start] {
-                continue;
-            }
-            let mut len = 0;
-            let mut i = start;
-            while !visited[i] {
-                visited[i] = true;
-                i = self.perm[i];
-                len += 1;
-            }
-            swaps += len - 1;
-        }
+        let swaps = self.ipiv.iter().enumerate().filter(|&(k, &p)| p != k).count();
         if swaps % 2 == 1 {
             det = -det;
         }
@@ -196,6 +387,25 @@ pub fn zgesv_nopiv(a: &ZMat, b: &ZMat) -> Result<ZMat> {
     Ok(lu_factor_nopiv(a)?.solve(b))
 }
 
+/// One-shot pivoted solve with **every** temporary — the factorization's
+/// working copy included — borrowed from `ws`, writing the solution into
+/// the caller's buffer. The zero-allocation form the per-block solves in
+/// SplitSolve/RGF/BTD-LU call once per block per energy point.
+pub fn zgesv_into(a: &ZMat, b: &ZMat, x: &mut ZMat, ws: &Workspace) -> Result<()> {
+    let f = lu_factor_ws(a, ws)?;
+    f.solve_into(b.view(), x);
+    ws.recycle(f.lu);
+    Ok(())
+}
+
+/// [`zgesv_into`] without pivoting.
+pub fn zgesv_nopiv_into(a: &ZMat, b: &ZMat, x: &mut ZMat, ws: &Workspace) -> Result<()> {
+    let f = lu_factor_nopiv_ws(a, ws)?;
+    f.solve_into(b.view(), x);
+    ws.recycle(f.lu);
+    Ok(())
+}
+
 /// Alias used by callers that want the factor-then-solve split explicit.
 pub fn lu_solve(f: &LuFactors, b: &ZMat) -> ZMat {
     f.solve(b)
@@ -205,7 +415,9 @@ pub fn lu_solve(f: &LuFactors, b: &ZMat) -> ZMat {
 /// transport solvers never invert large matrices explicitly).
 pub fn lu_inverse(a: &ZMat) -> Result<ZMat> {
     let f = lu_factor(a)?;
-    Ok(f.solve(&ZMat::identity(a.rows())))
+    let mut x = ZMat::identity(a.rows());
+    f.solve_in_place(&mut x);
+    Ok(x)
 }
 
 #[cfg(test)]
@@ -278,6 +490,18 @@ mod tests {
     }
 
     #[test]
+    fn determinant_consistent_across_blocked_and_unblocked() {
+        // Large enough for the blocked path; the permutation-parity sign
+        // must agree with the unblocked baseline.
+        let n = BLOCK_MIN + 30;
+        let a = diag_dominant(n, 71);
+        let det_b = lu_factor(&a).unwrap().determinant();
+        let det_u = lu_factor_unblocked(&a).unwrap().determinant();
+        let rel = (det_b - det_u).abs() / det_u.abs().max(1e-300);
+        assert!(rel < 1e-6, "blocked {det_b} vs unblocked {det_u}");
+    }
+
+    #[test]
     fn singular_matrix_rejected() {
         let mut a = ZMat::zeros(4, 4);
         a[(0, 0)] = Complex64::ONE; // rank 1
@@ -314,6 +538,71 @@ mod tests {
     }
 
     #[test]
+    fn blocked_factors_reconstruct_matrix() {
+        let n = BLOCK_MIN + 37; // straddles several panels with remainder
+        let a = ZMat::random(n, n, 56);
+        let f = lu_factor(&a).unwrap();
+        let mut l = ZMat::identity(n);
+        let mut u = ZMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                if i > j {
+                    l[(i, j)] = f.lu[(i, j)];
+                } else {
+                    u[(i, j)] = f.lu[(i, j)];
+                }
+            }
+        }
+        let mut pa = ZMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                pa[(i, j)] = a[(f.perm[i], j)];
+            }
+        }
+        let diff = (&l * &u).max_diff(&pa);
+        assert!(diff < 1e-8 * n as f64, "{diff:.2e}");
+    }
+
+    #[test]
+    fn ipiv_and_perm_agree() {
+        // Applying the ipiv swap sequence to the identity gather must
+        // reproduce the perm gather map, on both paths.
+        for n in [17usize, BLOCK_MIN + 5] {
+            let a = ZMat::random(n, n, 60 + n as u64);
+            let f = lu_factor(&a).unwrap();
+            let mut gather: Vec<usize> = (0..n).collect();
+            for (k, &p) in f.ipiv.iter().enumerate() {
+                gather.swap(k, p);
+            }
+            assert_eq!(gather, f.perm, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = diag_dominant(20, 91);
+        let b = ZMat::random(20, 5, 92);
+        let f = lu_factor(&a).unwrap();
+        let x_ref = f.solve(&b);
+        let ws = Workspace::new();
+        let mut x = ws.take(20, 5);
+        f.solve_into(b.view(), &mut x);
+        assert!(x.max_diff(&x_ref) == 0.0, "same code path must be bit-identical");
+        // And through the one-shot pooled entry.
+        let mut x2 = ws.take(20, 5);
+        zgesv_into(&a, &b, &mut x2, &ws).unwrap();
+        assert!(x2.max_diff(&x_ref) < 1e-9);
+    }
+
+    #[test]
+    fn ws_factor_recycles_on_error() {
+        let ws = Workspace::new();
+        let a = ZMat::zeros(4, 4); // singular
+        assert!(lu_factor_ws(&a, &ws).is_err());
+        assert_eq!(ws.pooled(), 1, "working copy returned to the pool on error");
+    }
+
+    #[test]
     fn multiple_rhs_agree_with_vector_solves() {
         let a = diag_dominant(6, 77);
         let b = ZMat::random(6, 4, 78);
@@ -325,5 +614,15 @@ mod tests {
                 assert!((x[(i, j)] - xj[i]).abs() < 1e-11);
             }
         }
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_solution() {
+        let n = BLOCK_MIN + 60;
+        let a = ZMat::random(n, n, 123);
+        let b = ZMat::random(n, 3, 124);
+        let xb = lu_factor(&a).unwrap().solve(&b);
+        let xu = lu_factor_unblocked(&a).unwrap().solve(&b);
+        assert!(xb.max_diff(&xu) < 1e-6 * n as f64, "{:.2e}", xb.max_diff(&xu));
     }
 }

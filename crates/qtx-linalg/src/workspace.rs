@@ -50,9 +50,10 @@ impl Workspace {
 
     /// Like [`Workspace::take`] but **without zeroing**: element contents
     /// are unspecified. Only for callers that overwrite every element
-    /// before reading (β = 0 products, full copies) — skipping the
+    /// before reading (β = 0 products, full copies, the
+    /// `solve_into`/`solve_in_place` factorization sinks) — skipping the
     /// zero-fill halves the memory traffic of the pool's hottest users.
-    fn take_scratch(&self, rows: usize, cols: usize) -> ZMat {
+    pub fn take_scratch(&self, rows: usize, cols: usize) -> ZMat {
         let need = rows * cols;
         let recycled = {
             let mut pool = self.pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);

@@ -363,6 +363,26 @@ impl ZMat {
         ZMatRef { data: &self.data, rows: self.rows, cols: self.cols, ld: self.rows }
     }
 
+    /// Mutable borrowed view of the whole matrix (zero-copy).
+    #[inline]
+    pub fn view_mut(&mut self) -> ZMatMut<'_> {
+        ZMatMut { rows: self.rows, cols: self.cols, ld: self.rows, data: &mut self.data }
+    }
+
+    /// Mutable borrowed view of the rectangular block with top-left corner
+    /// `(r0, c0)` — the writable counterpart of [`ZMat::block_view`], used
+    /// by the blocked factorization kernels to address panels in place.
+    #[inline]
+    pub fn block_view_mut(
+        &mut self,
+        r0: usize,
+        c0: usize,
+        rows: usize,
+        cols: usize,
+    ) -> ZMatMut<'_> {
+        self.view_mut().sub_mut(r0, c0, rows, cols)
+    }
+
     /// Borrowed view of the rectangular block with top-left corner
     /// `(r0, c0)` and shape `rows × cols` — the zero-copy counterpart of
     /// [`ZMat::block`].
@@ -452,6 +472,152 @@ impl<'a> ZMatRef<'a> {
             out.col_mut(j).copy_from_slice(self.col(j));
         }
         out
+    }
+}
+
+/// Borrowed, possibly strided, **mutable** column-major matrix view.
+///
+/// The writable counterpart of [`ZMatRef`]: the blocked LU/LDLᴴ kernels and
+/// [`crate::trsm`] solve panels of a larger matrix in place through this
+/// type, and [`crate::gemm::gemm_into`] accumulates trailing updates into
+/// it without the output ever being a full owned matrix.
+#[derive(Debug)]
+pub struct ZMatMut<'a> {
+    data: &'a mut [Complex64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> ZMatMut<'a> {
+    /// Wraps a raw column-major slice with an explicit leading dimension.
+    pub fn from_slice(data: &'a mut [Complex64], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows, "leading dimension shorter than a column");
+        if cols > 0 {
+            assert!(data.len() >= (cols - 1) * ld + rows, "slice too short for view shape");
+        }
+        ZMatMut { data, rows, cols, ld }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension (distance between column starts).
+    #[inline(always)]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Reborrows as a shorter-lived mutable view (lets a caller pass the
+    /// same view to several consuming calls in sequence).
+    #[inline]
+    pub fn rb(&mut self) -> ZMatMut<'_> {
+        ZMatMut { data: self.data, rows: self.rows, cols: self.cols, ld: self.ld }
+    }
+
+    /// Read-only view of the same block.
+    #[inline]
+    pub fn as_ref(&self) -> ZMatRef<'_> {
+        ZMatRef { data: self.data, rows: self.rows, cols: self.cols, ld: self.ld }
+    }
+
+    /// Element at `(i, j)`.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[j * self.ld + i]
+    }
+
+    /// Mutable element at `(i, j)`.
+    #[inline(always)]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut Complex64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[j * self.ld + i]
+    }
+
+    /// Borrow of column `j` as a contiguous slice of length `rows`.
+    #[inline(always)]
+    pub fn col(&self, j: usize) -> &[Complex64] {
+        &self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Mutable borrow of column `j`.
+    #[inline(always)]
+    pub fn col_mut(&mut self, j: usize) -> &mut [Complex64] {
+        &mut self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Two disjoint mutable columns (`j0 < j1`).
+    pub fn two_cols_mut(&mut self, j0: usize, j1: usize) -> (&mut [Complex64], &mut [Complex64]) {
+        assert!(j0 < j1 && j1 < self.cols);
+        let (a, b) = self.data.split_at_mut(j1 * self.ld);
+        (&mut a[j0 * self.ld..j0 * self.ld + self.rows], &mut b[..self.rows])
+    }
+
+    /// Consuming sub-view (offsets relative to this view's origin).
+    pub fn sub_mut(self, r0: usize, c0: usize, rows: usize, cols: usize) -> ZMatMut<'a> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "sub-view out of range");
+        if rows == 0 || cols == 0 {
+            return ZMatMut { data: &mut [], rows, cols, ld: self.ld.max(1) };
+        }
+        let start = c0 * self.ld + r0;
+        let end = (c0 + cols - 1) * self.ld + r0 + rows;
+        ZMatMut { data: &mut self.data[start..end], rows, cols, ld: self.ld }
+    }
+
+    /// Splits at column `j` into the views of columns `0..j` and `j..cols`
+    /// — the aliasing-free split the right-side [`crate::trsm`] and the
+    /// blocked factorizations build on (columns of a column-major matrix
+    /// occupy disjoint slice ranges).
+    pub fn split_at_col(self, j: usize) -> (ZMatMut<'a>, ZMatMut<'a>) {
+        assert!(j <= self.cols, "split column out of range");
+        let (rows, cols, ld) = (self.rows, self.cols, self.ld);
+        if j == 0 {
+            return (ZMatMut { data: &mut [], rows, cols: 0, ld }, self);
+        }
+        if j == cols {
+            return (self, ZMatMut { data: &mut [], rows, cols: 0, ld });
+        }
+        let (left, right) = self.data.split_at_mut(j * ld);
+        (
+            ZMatMut { data: left, rows, cols: j, ld },
+            ZMatMut { data: right, rows, cols: cols - j, ld },
+        )
+    }
+
+    /// Raw mutable pointer to the first element (for the tiled gemm's
+    /// disjoint-tile writers).
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut Complex64 {
+        self.data.as_mut_ptr()
+    }
+
+    /// Whole backing slice when the view is dense (`ld == rows`), letting
+    /// bulk operations skip the per-column loop.
+    #[inline]
+    pub fn contiguous_mut(&mut self) -> Option<&mut [Complex64]> {
+        if self.ld == self.rows || self.cols <= 1 {
+            Some(&mut self.data[..self.rows * self.cols])
+        } else {
+            None
+        }
+    }
+
+    /// Copies `src` (same shape) into this view.
+    pub fn copy_from_view(&mut self, src: ZMatRef<'_>) {
+        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()), "copy shape mismatch");
+        for j in 0..self.cols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
     }
 }
 

@@ -16,7 +16,9 @@
 //!   cross-validate the mode-based self-energies.
 
 use crate::companion::CompanionPencil;
-use qtx_linalg::{c64, eig, lu_factor, zgesv, Complex64, LinalgError, Result, ZMat};
+use qtx_linalg::{
+    c64, eig, lu_factor, lu_factor_ws, zgesv, Complex64, LinalgError, Result, Workspace, ZMat,
+};
 
 /// Directly solves the companion pencil with the dense generalized
 /// eigensolver. Returns finite `(λ, u)` pairs (`u` = bottom block).
@@ -89,18 +91,34 @@ pub fn sancho_rubio(t00: &ZMat, t01: &ZMat, t10: &ZMat, tol: f64, max_iter: usiz
     let mut alpha = t01.clone();
     let mut beta = t10.clone();
     let scale = t00.norm_max().max(1.0);
+    // All per-iteration temporaries cycle through one pool: each decimation
+    // step reuses the buffers the previous one released.
+    let ws = Workspace::new();
     for _ in 0..max_iter {
         if alpha.norm_max() < tol * scale && beta.norm_max() < tol * scale {
             return zgesv(&delta_s, &ZMat::identity(t00.rows()));
         }
-        let g_alpha = zgesv(&delta, &alpha)?; // δ⁻¹ α
-        let g_beta = zgesv(&delta, &beta)?; // δ⁻¹ β
-        let a_g_b = &alpha * &g_beta;
-        let b_g_a = &beta * &g_alpha;
-        delta_s = &delta_s - &a_g_b;
-        delta = &(&delta - &a_g_b) - &b_g_a;
-        alpha = -&(&alpha * &g_alpha);
-        beta = -&(&beta * &g_beta);
+        let f = lu_factor_ws(&delta, &ws)?;
+        let mut g_alpha = ws.take_scratch(alpha.rows(), alpha.cols());
+        f.solve_into(alpha.view(), &mut g_alpha); // δ⁻¹ α
+        let mut g_beta = ws.take_scratch(beta.rows(), beta.cols());
+        f.solve_into(beta.view(), &mut g_beta); // δ⁻¹ β
+        ws.recycle(f.lu);
+        let a_g_b = ws.matmul(&alpha, &g_beta);
+        let b_g_a = ws.matmul(&beta, &g_alpha);
+        delta_s.axpy(-Complex64::ONE, &a_g_b);
+        delta.axpy(-Complex64::ONE, &a_g_b);
+        delta.axpy(-Complex64::ONE, &b_g_a);
+        ws.recycle(a_g_b);
+        ws.recycle(b_g_a);
+        let mut next_alpha = ws.matmul(&alpha, &g_alpha);
+        next_alpha.scale_assign(-Complex64::ONE);
+        ws.recycle(std::mem::replace(&mut alpha, next_alpha));
+        let mut next_beta = ws.matmul(&beta, &g_beta);
+        next_beta.scale_assign(-Complex64::ONE);
+        ws.recycle(std::mem::replace(&mut beta, next_beta));
+        ws.recycle(g_alpha);
+        ws.recycle(g_beta);
     }
     Err(LinalgError::NoConvergence { remaining: 1 })
 }

@@ -24,7 +24,7 @@
 //! like the FEAST contour.
 
 use crate::companion::CompanionPencil;
-use qtx_linalg::{eig, gemm, Complex64, Op, Result, ZMat};
+use qtx_linalg::{eig, gemm, zherk, Complex64, Op, Result, Workspace, ZMat};
 use rayon::prelude::*;
 
 /// Beyn configuration.
@@ -77,14 +77,19 @@ pub fn beyn_annulus(
         })
         .collect();
     // Moments: A_k = Σ_p w_p (z_p^{k+1}/N_p)·P(z_p)⁻¹·V̂  (the extra z
-    // comes from dz = i·z·dθ on the circle).
+    // comes from dz = i·z·dθ on the circle). Per-node temporaries —
+    // polynomial evaluation, factorization copy, solve buffers — all
+    // cycle through one shared pool.
+    let ws = Workspace::new();
     let partials: Vec<(ZMat, ZMat)> = nodes
         .par_iter()
         .map(|&(z, w)| {
-            let f = pencil.factor_poly(z)?;
-            let x = pencil.solve_shifted(&f, z, &v_hat);
-            let s0 = x.scaled(z.scale(w / cfg.np as f64));
-            let s1 = x.scaled((z * z).scale(w / cfg.np as f64));
+            let f = pencil.factor_poly_ws(z, &ws)?;
+            let mut s0 = pencil.solve_shifted_ws(&f, z, &v_hat, &ws);
+            ws.recycle(f.lu);
+            let mut s1 = ws.copy_of(&s0);
+            s0.scale_assign(z.scale(w / cfg.np as f64));
+            s1.scale_assign((z * z).scale(w / cfg.np as f64));
             Ok((s0, s1))
         })
         .collect::<Result<Vec<_>>>()?;
@@ -93,12 +98,14 @@ pub fn beyn_annulus(
     for (s0, s1) in partials {
         a0.axpy(Complex64::ONE, &s0);
         a1.axpy(Complex64::ONE, &s1);
+        ws.recycle(s0);
+        ws.recycle(s1);
     }
     // Rank-revealing factorization of A₀ through its Gram matrix
-    // (A₀ = Q·Σ·Wᴴ with Q = A₀·W·Σ⁻¹): eigen-decompose A₀ᴴA₀ = W·Σ²·Wᴴ.
+    // (A₀ = Q·Σ·Wᴴ with Q = A₀·W·Σ⁻¹): eigen-decompose A₀ᴴA₀ = W·Σ²·Wᴴ
+    // with the Hermitian rank-k update (half the flops of a full gemm).
     let mut gram = ZMat::zeros(probes, probes);
-    gemm(Complex64::ONE, &a0, Op::Adjoint, &a0, Op::None, Complex64::ZERO, &mut gram);
-    gram.hermitianize();
+    zherk(1.0, a0.view(), Op::Adjoint, 0.0, &mut gram);
     let dec = eig(&gram)?;
     let smax = dec.values.iter().map(|v| v.re).fold(0.0f64, f64::max);
     if smax <= 0.0 {

@@ -20,7 +20,9 @@
 //! can be decreased" remark — implemented in [`CompanionPencil::solve_shifted`].
 
 use crate::lead::LeadBlocks;
-use qtx_linalg::{gemm_view, lu_factor, Complex64, LuFactors, Op, Result, Workspace, ZMat};
+use qtx_linalg::{
+    gemm_view, lu_factor, lu_factor_owned, Complex64, LuFactors, Op, Result, Workspace, ZMat,
+};
 
 /// The quadratic companion pencil of a lead at fixed energy.
 #[derive(Debug, Clone)]
@@ -126,6 +128,17 @@ impl CompanionPencil {
         lu_factor(&self.poly_at(z))
     }
 
+    /// [`CompanionPencil::factor_poly`] with the polynomial evaluation
+    /// borrowed from `ws` and factored in place (zero copies); hand
+    /// `factors.lu` back to the pool when the factors are spent.
+    pub fn factor_poly_ws(&self, z: Complex64, ws: &Workspace) -> Result<LuFactors> {
+        let mut p = ws.copy_of(&self.t01);
+        p.scale_assign(z * z);
+        p.axpy(z, &self.t00);
+        p.axpy(Complex64::ONE, &self.t10);
+        lu_factor_owned(p, true)
+    }
+
     /// Solves `(z·B − A)·x = y` through the `nf`-sized polynomial solve:
     ///
     /// with `x = [x1; x2]`, `y = [y1; y2]`:
@@ -163,7 +176,10 @@ impl CompanionPencil {
             &mut rhs,
         );
         ws.recycle(zt01_t00);
-        let x2 = factors.solve(&rhs);
+        // Back-substitution lands straight in a pooled buffer (no fresh
+        // RHS-sized allocation per quadrature node).
+        let mut x2 = ws.take_scratch(nf, m);
+        factors.solve_into(rhs.view(), &mut x2);
         ws.recycle(rhs);
         let mut x = ws.take(2 * nf, m);
         // x1 = z·x2 − y2, written column-wise straight into the output.

@@ -20,7 +20,8 @@
 
 use crate::companion::CompanionPencil;
 use qtx_linalg::{
-    eig, eig_generalized, gemm, orthonormalize, Complex64, LinalgError, Op, Result, Workspace, ZMat,
+    eig, eig_generalized, gemm, orthonormalize, zherk, Complex64, LinalgError, Op, Result,
+    Workspace, ZMat,
 };
 use rayon::prelude::*;
 
@@ -36,8 +37,9 @@ use rayon::prelude::*;
 fn orthonormalize_rank(p: &ZMat, rel_tol: f64, ws: &Workspace) -> Result<ZMat> {
     let m = p.cols();
     let mut g = ws.take(m, m);
-    gemm(Complex64::ONE, p, Op::Adjoint, p, Op::None, Complex64::ZERO, &mut g);
-    g.hermitianize();
+    // Gram matrix through the Hermitian rank-k update: half the flops of
+    // the general product, Hermitian by construction (no symmetrization).
+    zherk(1.0, p.view(), Op::Adjoint, 0.0, &mut g);
     let dec = eig(&g)?;
     ws.recycle(g);
     let lmax = dec.values.iter().map(|v| v.re).fold(0.0, f64::max);
@@ -125,11 +127,14 @@ pub fn feast_annulus(
             ]
         })
         .collect();
-    // One LU of P(z_p) per node, reused across refinements and RHS.
-    let factors: Vec<_> =
-        nodes.par_iter().map(|(z, _)| pencil.factor_poly(*z)).collect::<Result<Vec<_>>>()?;
-
+    // One LU of P(z_p) per node, reused across refinements and RHS; the
+    // polynomial evaluations cycle through the shared pool and the factors
+    // adopt their buffers (handed back when the run returns).
     let ws = Workspace::new();
+    let factors: Vec<_> = nodes
+        .par_iter()
+        .map(|(z, _)| pencil.factor_poly_ws(*z, &ws))
+        .collect::<Result<Vec<_>>>()?;
     let mut y = ZMat::random(nbc, m0, 0x0f_ea_57);
     for _attempt in 0..3 {
         let mut accepted: Vec<(Complex64, Vec<Complex64>)> = Vec::new();

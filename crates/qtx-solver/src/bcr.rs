@@ -10,7 +10,7 @@
 //! why the DFT-sized blocks kill it in the Fig. 8 comparison.
 
 use crate::system::ObcSystem;
-use qtx_linalg::{zgesv, Complex64, Result, ZMat};
+use qtx_linalg::{lu_factor_ws, zgesv_into, Complex64, Result, Workspace, ZMat};
 use qtx_sparse::Btd;
 
 /// Solves `T·x = b` by block cyclic reduction. `T` is the BTD matrix of
@@ -27,7 +27,8 @@ pub fn bcr_solve(sys: &ObcSystem) -> Result<ZMat> {
     let lower = sys.a.lower.clone();
     let b = sys.b_dense();
     let rhs: Vec<ZMat> = (0..nb).map(|i| b.block(i * s, 0, s, m)).collect();
-    let x_blocks = bcr_recurse(&diag, &upper, &lower, &rhs)?;
+    let ws = Workspace::new();
+    let x_blocks = bcr_recurse(&diag, &upper, &lower, &rhs, &ws)?;
     let mut x = ZMat::zeros(nb * s, m);
     for (i, xb) in x_blocks.into_iter().enumerate() {
         x.set_block(i * s, 0, &xb);
@@ -35,27 +36,52 @@ pub fn bcr_solve(sys: &ObcSystem) -> Result<ZMat> {
     Ok(x)
 }
 
+/// Pool-backed one-shot solve: factor copy, factors and solution all
+/// borrow from `ws`; the solution is handed back owned.
+fn pooled_solve(a: &ZMat, b: &ZMat, ws: &Workspace) -> Result<ZMat> {
+    let mut x = ws.take_scratch(b.rows(), b.cols());
+    zgesv_into(a, b, &mut x, ws)?;
+    Ok(x)
+}
+
 /// One level of cyclic reduction: eliminate the odd-indexed blocks,
-/// recurse on the evens, back-substitute.
-fn bcr_recurse(diag: &[ZMat], upper: &[ZMat], lower: &[ZMat], rhs: &[ZMat]) -> Result<Vec<ZMat>> {
+/// recurse on the evens, back-substitute. Every elimination temporary
+/// cycles through `ws` — one pool serves all recursion levels.
+fn bcr_recurse(
+    diag: &[ZMat],
+    upper: &[ZMat],
+    lower: &[ZMat],
+    rhs: &[ZMat],
+    ws: &Workspace,
+) -> Result<Vec<ZMat>> {
     let nb = diag.len();
     if nb == 1 {
-        return Ok(vec![zgesv(&diag[0], &rhs[0])?]);
+        return pooled_solve(&diag[0], &rhs[0], ws).map(|x| vec![x]);
     }
     if nb == 2 {
         // Direct 2×2 block solve via Schur complement on the second block.
-        let d0_inv_u = zgesv(&diag[0], &upper[0])?;
-        let d0_inv_b = zgesv(&diag[0], &rhs[0])?;
-        let mut schur = diag[1].clone();
-        let prod = &lower[0] * &d0_inv_u;
+        let f0 = lu_factor_ws(&diag[0], ws)?;
+        let mut d0_inv_u = ws.take_scratch(upper[0].rows(), upper[0].cols());
+        f0.solve_into(upper[0].view(), &mut d0_inv_u);
+        let mut d0_inv_b = ws.take_scratch(rhs[0].rows(), rhs[0].cols());
+        f0.solve_into(rhs[0].view(), &mut d0_inv_b);
+        ws.recycle(f0.lu);
+        let mut schur = ws.copy_of(&diag[1]);
+        let prod = ws.matmul(&lower[0], &d0_inv_u);
         schur.axpy(-Complex64::ONE, &prod);
-        let mut r1 = rhs[1].clone();
-        let lb = &lower[0] * &d0_inv_b;
+        ws.recycle(prod);
+        let mut r1 = ws.copy_of(&rhs[1]);
+        let lb = ws.matmul(&lower[0], &d0_inv_b);
         r1.axpy(-Complex64::ONE, &lb);
-        let x1 = zgesv(&schur, &r1)?;
+        ws.recycle(lb);
+        let x1 = pooled_solve(&schur, &r1, ws)?;
+        ws.recycle(schur);
+        ws.recycle(r1);
         let mut x0 = d0_inv_b;
-        let corr = &d0_inv_u * &x1;
+        let corr = ws.matmul(&d0_inv_u, &x1);
         x0.axpy(-Complex64::ONE, &corr);
+        ws.recycle(corr);
+        ws.recycle(d0_inv_u);
         return Ok(vec![x0, x1]);
     }
     // Eliminate odd blocks: for odd i,
@@ -73,15 +99,23 @@ fn bcr_recurse(diag: &[ZMat], upper: &[ZMat], lower: &[ZMat], rhs: &[ZMat]) -> R
     let mut odd_inv_up: Vec<Option<ZMat>> = vec![None; nb]; // D_i⁻¹·upper[i]
     let mut odd_inv_rhs: Vec<Option<ZMat>> = vec![None; nb];
     for i in (1..nb).step_by(2) {
-        odd_inv_low[i] = Some(zgesv(&diag[i], &lower[i - 1])?);
+        let f = lu_factor_ws(&diag[i], ws)?;
+        let mut low = ws.take_scratch(lower[i - 1].rows(), lower[i - 1].cols());
+        f.solve_into(lower[i - 1].view(), &mut low);
+        odd_inv_low[i] = Some(low);
         if i + 1 < nb {
-            odd_inv_up[i] = Some(zgesv(&diag[i], &upper[i])?);
+            let mut up = ws.take_scratch(upper[i].rows(), upper[i].cols());
+            f.solve_into(upper[i].view(), &mut up);
+            odd_inv_up[i] = Some(up);
         }
-        odd_inv_rhs[i] = Some(zgesv(&diag[i], &rhs[i])?);
+        let mut r = ws.take_scratch(rhs[i].rows(), rhs[i].cols());
+        f.solve_into(rhs[i].view(), &mut r);
+        odd_inv_rhs[i] = Some(r);
+        ws.recycle(f.lu);
     }
     for (e, &i) in evens.iter().enumerate() {
-        let mut d = diag[i].clone();
-        let mut r = rhs[i].clone();
+        let mut d = ws.copy_of(&diag[i]);
+        let mut r = ws.copy_of(&rhs[i]);
         // Left odd neighbour i−1 feeds into row i through lower[i−1]... the
         // coupling from even row i to odd i−1 is lower[i−1] (A_{i,i−1}).
         if i >= 1 {
@@ -89,48 +123,64 @@ fn bcr_recurse(diag: &[ZMat], upper: &[ZMat], lower: &[ZMat], rhs: &[ZMat]) -> R
             // x_{i−1} = D⁻¹(b − lower[i−2]x_{i−2} − upper[i−1]x_i)
             // row i: + lower[i−1]·x_{i−1}
             if let Some(inv_up) = il {
-                let prod = &lower[i - 1] * inv_up;
+                let prod = ws.matmul(&lower[i - 1], inv_up);
                 d.axpy(-Complex64::ONE, &prod);
+                ws.recycle(prod);
             }
-            let rb = &lower[i - 1] * odd_inv_rhs[i - 1].as_ref().expect("odd rhs");
+            let rb = ws.matmul(&lower[i - 1], odd_inv_rhs[i - 1].as_ref().expect("odd rhs"));
             r.axpy(-Complex64::ONE, &rb);
+            ws.recycle(rb);
             if i >= 2 {
                 // coarse lower coupling to even i−2
-                let prod = &lower[i - 1] * odd_inv_low[i - 1].as_ref().expect("odd low");
-                c_lower.push(-&prod);
+                let mut prod =
+                    ws.matmul(&lower[i - 1], odd_inv_low[i - 1].as_ref().expect("odd low"));
+                prod.scale_assign(-Complex64::ONE);
+                c_lower.push(prod);
             }
         }
         if i + 1 < nb {
             // Right odd neighbour i+1 through upper[i].
             let inv_low = odd_inv_low[i + 1].as_ref().expect("odd low");
-            let prod = &upper[i] * inv_low;
+            let prod = ws.matmul(&upper[i], inv_low);
             d.axpy(-Complex64::ONE, &prod);
-            let rb = &upper[i] * odd_inv_rhs[i + 1].as_ref().expect("odd rhs");
+            ws.recycle(prod);
+            let rb = ws.matmul(&upper[i], odd_inv_rhs[i + 1].as_ref().expect("odd rhs"));
             r.axpy(-Complex64::ONE, &rb);
+            ws.recycle(rb);
             if i + 2 < nb {
-                let coarse_up = &upper[i] * odd_inv_up[i + 1].as_ref().expect("odd up");
-                c_upper.push(-&coarse_up);
+                let mut coarse_up =
+                    ws.matmul(&upper[i], odd_inv_up[i + 1].as_ref().expect("odd up"));
+                coarse_up.scale_assign(-Complex64::ONE);
+                c_upper.push(coarse_up);
             }
         }
         let _ = e;
         c_diag.push(d);
         c_rhs.push(r);
     }
-    let x_even = bcr_recurse(&c_diag, &c_upper, &c_lower, &c_rhs)?;
-    // Back-substitute the odd blocks.
+    let x_even = bcr_recurse(&c_diag, &c_upper, &c_lower, &c_rhs, ws)?;
+    for m in c_diag.into_iter().chain(c_upper).chain(c_lower).chain(c_rhs) {
+        ws.recycle(m);
+    }
+    // Back-substitute the odd blocks; the even solutions move (not clone)
+    // into the output slots.
     let mut x = vec![ZMat::zeros(0, 0); nb];
-    for (e, &i) in evens.iter().enumerate() {
-        x[i] = x_even[e].clone();
+    for (&i, xe) in evens.iter().zip(x_even) {
+        x[i] = xe;
     }
     for i in (1..nb).step_by(2) {
         let mut xi = odd_inv_rhs[i].take().expect("odd rhs");
         let low = odd_inv_low[i].take().expect("odd low");
-        let corr = &low * &x[i - 1];
+        let corr = ws.matmul(&low, &x[i - 1]);
         xi.axpy(-Complex64::ONE, &corr);
+        ws.recycle(corr);
+        ws.recycle(low);
         if i + 1 < nb {
             let up = odd_inv_up[i].take().expect("odd up");
-            let corr2 = &up * &x[i + 1];
+            let corr2 = ws.matmul(&up, &x[i + 1]);
             xi.axpy(-Complex64::ONE, &corr2);
+            ws.recycle(corr2);
+            ws.recycle(up);
         }
         x[i] = xi;
     }
@@ -153,7 +203,7 @@ pub fn bcr_solve_raw(a: &Btd, b: &ZMat) -> Result<ZMat> {
     let nb = a.num_blocks();
     let diag = a.diag.clone();
     let rhs: Vec<ZMat> = (0..nb).map(|i| b.block(i * s, 0, s, b.cols())).collect();
-    let xb = bcr_recurse(&diag, &a.upper, &a.lower, &rhs)?;
+    let xb = bcr_recurse(&diag, &a.upper, &a.lower, &rhs, &Workspace::new())?;
     let mut x = ZMat::zeros(nb * s, b.cols());
     for (i, blk) in xb.into_iter().enumerate() {
         x.set_block(i * s, 0, &blk);

@@ -9,7 +9,7 @@
 //! drastically" (§3.B) compared to SplitSolve's accelerator pipeline.
 
 use crate::system::ObcSystem;
-use qtx_linalg::{lu_factor, Complex64, LuFactors, Result, Workspace, ZMat};
+use qtx_linalg::{lu_factor_owned, Complex64, LuFactors, Result, Workspace, ZMat};
 use qtx_sparse::Btd;
 
 /// Factorization state of the block Thomas elimination.
@@ -29,8 +29,10 @@ pub fn btd_lu_factor(a: &Btd, sigma_l: &ZMat, sigma_r: &ZMat) -> Result<BtdLuFac
 
 /// Factors `T` (BTD with boundary self-energies folded into the corner
 /// diagonal blocks) by block Gaussian elimination without pivoting across
-/// blocks. Per-block elimination temporaries are borrowed from `ws`; the
-/// factors themselves own their storage (they outlive the call).
+/// blocks. Everything — elimination temporaries and the factor blocks
+/// themselves — borrows from `ws`; the factors adopt their buffers for
+/// their lifetime and hand them back through
+/// [`BtdLuFactors::recycle_into`].
 pub fn btd_lu_factor_ws(
     a: &Btd,
     sigma_l: &ZMat,
@@ -53,16 +55,20 @@ pub fn btd_lu_factor_ws(
             d.axpy(-Complex64::ONE, &c);
             ws.recycle(c);
         }
-        let f = lu_factor(&d)?;
-        ws.recycle(d);
+        // The eliminated block is factored in place: the factors adopt the
+        // buffer, so no second copy is made (the factors outlive the call
+        // and own their storage, as before).
+        let f = lu_factor_owned(d, true)?;
         if i + 1 < nb {
-            let du = f.solve(&a.upper[i]);
+            let mut du = ws.take_scratch(a.upper[i].rows(), a.upper[i].cols());
+            f.solve_into(a.upper[i].view(), &mut du);
             carry = Some(ws.matmul(&a.lower[i], &du));
             dinv_upper.push(du);
         }
         pivots.push(f);
     }
-    Ok(BtdLuFactors { pivots, dinv_upper, lower: a.lower.clone() })
+    let lower = a.lower.iter().map(|l| ws.copy_of(l)).collect();
+    Ok(BtdLuFactors { pivots, dinv_upper, lower })
 }
 
 impl BtdLuFactors {
@@ -85,7 +91,11 @@ impl BtdLuFactors {
                 rhs.axpy(-Complex64::ONE, &prod);
                 ws.recycle(prod);
             }
-            y.push(self.pivots[i].solve(&rhs));
+            // The forward solve lands straight in a pooled buffer; the RHS
+            // staging buffer goes back to the pool immediately.
+            let mut yi = ws.take_scratch(s, m);
+            self.pivots[i].solve_into(rhs.view(), &mut yi);
+            y.push(yi);
             ws.recycle(rhs);
         }
         // Backward: x_i = ỹ_i − (D̃_i⁻¹·U_i)·x_{i+1}.
@@ -107,6 +117,19 @@ impl BtdLuFactors {
         }
         x
     }
+
+    /// Returns every buffer the factorization adopted — pivot blocks,
+    /// `D̃⁻¹·U` panels and the sub-diagonal copies — to the pool, so a
+    /// factor/solve loop over energy points reaches a zero-allocation
+    /// steady state.
+    pub fn recycle_into(self, ws: &Workspace) {
+        for f in self.pivots {
+            ws.recycle(f.lu);
+        }
+        for m in self.dinv_upper.into_iter().chain(self.lower) {
+            ws.recycle(m);
+        }
+    }
 }
 
 /// One-shot baseline solve of Eq. 5.
@@ -117,7 +140,9 @@ pub fn btd_lu_solve(sys: &ObcSystem) -> Result<ZMat> {
 /// One-shot baseline solve of Eq. 5 over a shared workspace.
 pub fn btd_lu_solve_ws(sys: &ObcSystem, ws: &Workspace) -> Result<ZMat> {
     let f = btd_lu_factor_ws(&sys.a, &sys.sigma_l, &sys.sigma_r, ws)?;
-    Ok(f.solve_ws(&sys.b_dense(), ws))
+    let x = f.solve_ws(&sys.b_dense(), ws);
+    f.recycle_into(ws);
+    Ok(x)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! cross-check of the wave-function (SplitSolve) transmission.
 
 use crate::system::ObcSystem;
-use qtx_linalg::{zgesv, Complex64, Result, Workspace, ZMat};
+use qtx_linalg::{lu_factor_owned, Complex64, Result, Workspace, ZMat};
 
 /// Green's function blocks produced by one RGF pass.
 #[derive(Debug, Clone)]
@@ -49,8 +49,13 @@ pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> Result<Rgf
             m.axpy(-Complex64::ONE, &lgu);
             ws.recycle(lgu);
         }
-        g_left.push(zgesv(&m, &id)?);
-        ws.recycle(m);
+        // Factor the shifted block in place (it is spent either way) and
+        // solve the identity RHS straight into a pooled buffer.
+        let f = lu_factor_owned(m, true)?;
+        let mut g = ws.take_scratch(s, s);
+        f.solve_into(id.view(), &mut g);
+        ws.recycle(f.lu);
+        g_left.push(g);
     }
     // Backward pass: G_{n−1,n−1} = gL_{n−1};
     // G_{i,i} = gL_i + gL_i·U_i·G_{i+1,i+1}·L_i·gL_i.

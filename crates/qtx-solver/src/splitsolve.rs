@@ -20,7 +20,8 @@ use crate::system::ObcSystem;
 use qtx_accel::{AccelRuntime, KernelClass};
 use qtx_linalg::flops::counts;
 use qtx_linalg::{
-    gemm_view, zgesv, zgesv_nopiv, Complex64, FlopScope, Op, Result, Workspace, ZMat,
+    gemm_view, lu_factor_nopiv_ws, lu_factor_ws, zgesv_into, Complex64, FlopScope, Op, Result,
+    Workspace, ZMat,
 };
 use qtx_sparse::Btd;
 use rayon::prelude::*;
@@ -264,7 +265,8 @@ impl SplitSolve {
         }
         r_mat.axpy(-Complex64::ONE, &cq);
         ws.recycle(cq);
-        let z = zgesv(&r_mat, &cy)?;
+        let mut z = ws.take_scratch(2 * s, m);
+        zgesv_into(&r_mat, &cy, &mut z, ws)?;
         ws.recycle(r_mat);
         ws.recycle(cy);
         if let Some(rt) = rt {
@@ -317,11 +319,16 @@ fn block_row_times(first: &ZMat, last: &ZMat, bp: &ZMat, s: usize, ws: &Workspac
 
 /// Solves `M·X = rhs` preferring the pivot-free GPU kernel and falling
 /// back to pivoted LU when the block is not diagonally dominant enough.
-fn gpu_solve(m: &ZMat, rhs: &ZMat) -> Result<ZMat> {
-    match zgesv_nopiv(m, rhs) {
-        Ok(x) => Ok(x),
-        Err(_) => zgesv(m, rhs),
-    }
+/// Factorization working copy, factors and solution all borrow from `ws`.
+fn gpu_solve_ws(m: &ZMat, rhs: &ZMat, ws: &Workspace) -> Result<ZMat> {
+    let f = match lu_factor_nopiv_ws(m, ws) {
+        Ok(f) => f,
+        Err(_) => lu_factor_ws(m, ws)?,
+    };
+    let mut x = ws.take_scratch(m.rows(), rhs.cols());
+    f.solve_into(rhs.view(), &mut x);
+    ws.recycle(f.lu);
+    Ok(x)
 }
 
 /// Accounts one Algorithm-1 step on a device: "two matrix-matrix
@@ -360,7 +367,7 @@ fn local_first_column(
             ws.recycle(prod);
         }
         let rhs = if li > 0 { &a.lower[gi - 1] } else { &id };
-        xs[li] = gpu_solve(&m, rhs)?;
+        xs[li] = gpu_solve_ws(&m, rhs, ws)?;
         ws.recycle(m);
         account_alg1_step(rt, dev, s);
     }
@@ -406,7 +413,7 @@ fn local_last_column(
             ws.recycle(prod);
         }
         let rhs = if li + 1 < nbl { &a.upper[gi] } else { &id };
-        ys[li] = gpu_solve(&m, rhs)?;
+        ys[li] = gpu_solve_ws(&m, rhs, ws)?;
         ws.recycle(m);
         account_alg1_step(rt, dev, s);
     }
@@ -468,13 +475,15 @@ fn merge_partitions(
     };
     // Merged FIRST column: (I − V_Lb·W_Rt)·x_e = F_L[end].
     let m_first = tip_system(ws.matmul(&v_lb, &w_rt));
-    let x_bottom = zgesv(&m_first, &left.first[nl - 1])?;
+    let mut x_bottom = ws.take_scratch(s, left.first[nl - 1].cols());
+    zgesv_into(&m_first, &left.first[nl - 1], &mut x_bottom, ws)?;
     ws.recycle(m_first);
     let mut y_top = ws.matmul(&w_rt, &x_bottom);
     y_top.scale_assign(-Complex64::ONE);
     // Merged LAST column: (I − W_Rt·V_Lb)·y_b = L_R[0].
     let m_last = tip_system(ws.matmul(&w_rt, &v_lb));
-    let y_top2 = zgesv(&m_last, &right.last[0])?;
+    let mut y_top2 = ws.take_scratch(s, right.last[0].cols());
+    zgesv_into(&m_last, &right.last[0], &mut y_top2, ws)?;
     ws.recycle(m_last);
     let mut x_bottom2 = ws.matmul(&v_lb, &y_top2);
     x_bottom2.scale_assign(-Complex64::ONE);
@@ -549,7 +558,7 @@ fn merge_partitions(
 mod tests {
     use super::*;
     use qtx_accel::GpuSpec;
-    use qtx_linalg::{c64, lu_inverse};
+    use qtx_linalg::{c64, lu_inverse, zgesv};
 
     fn random_system(nb: usize, s: usize, m: usize, seed: u64) -> ObcSystem {
         let mut a = Btd::zeros(nb, s);

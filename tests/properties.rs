@@ -1,7 +1,10 @@
 //! Property-based tests (proptest) on the core numerical invariants.
 
 use proptest::prelude::*;
-use qtx::linalg::{c64, gemm, lu_inverse, zgesv, Complex64, Op, Workspace, ZMat};
+use qtx::linalg::{
+    c64, gemm, ldl_factor_nopiv, ldl_factor_nopiv_unblocked, lu_factor, lu_factor_unblocked,
+    lu_inverse, zgesv, zgesv_into, zherk, Complex64, Op, Workspace, ZMat,
+};
 use qtx::solver::{bcr::bcr_solve_raw, rgf_diagonal_and_corner_ws, ObcSystem, SplitSolve};
 use qtx::sparse::Btd;
 
@@ -26,6 +29,15 @@ fn apply_op(op: Op, m: &ZMat) -> ZMat {
         Op::Transpose => m.transpose(),
         Op::Adjoint => m.adjoint(),
     }
+}
+
+/// Diagonal shift that keeps a random decoy system factorable.
+fn lu_shift(a: &ZMat) -> ZMat {
+    let mut s = a.clone();
+    for i in 0..s.rows() {
+        s[(i, i)] += c64(4.0, 1.0);
+    }
+    s
 }
 
 fn random_btd(nb: usize, s: usize, seed: u64, dominance: f64) -> Btd {
@@ -160,6 +172,79 @@ proptest! {
         prop_assert!(dirty_ws.fresh_allocations() > 0);
     }
 
+    /// Blocked (panel + trsm + gemm) and unblocked LU agree across sizes
+    /// straddling the blocking crossover (96): same solutions, same
+    /// determinant (pivot-parity sign included).
+    #[test]
+    fn blocked_lu_matches_unblocked(n in 60usize..160, seed in 0u64..1_000_000) {
+        let a = ZMat::random(n, n, seed);
+        let b = ZMat::random(n, 2, seed + 1);
+        let fb = lu_factor(&a).unwrap();
+        let fu = lu_factor_unblocked(&a).unwrap();
+        let xb = fb.solve(&b);
+        let xu = fu.solve(&b);
+        prop_assert!(
+            xb.max_diff(&xu) < 1e-6 * n as f64,
+            "n={n}: {:.2e}",
+            xb.max_diff(&xu)
+        );
+        let (db, du) = (fb.determinant(), fu.determinant());
+        let rel = (db - du).abs() / du.abs().max(1e-300);
+        prop_assert!(rel < 1e-6, "determinant drift {rel:.2e} (sign bug?)");
+    }
+
+    /// Same for the Hermitian LDLᴴ stack: without pivoting the factors are
+    /// unique, so blocked and unblocked packed factors must agree entrywise.
+    #[test]
+    fn blocked_ldl_matches_unblocked(n in 60usize..160, seed in 0u64..1_000_000) {
+        let g = ZMat::random(n, n, seed);
+        let mut a = ZMat::zeros(n, n);
+        zherk(1.0, g.view(), Op::None, 0.0, &mut a);
+        for i in 0..n {
+            a[(i, i)] += c64(n as f64, 0.0);
+        }
+        let fb = ldl_factor_nopiv(&a).unwrap();
+        let fu = ldl_factor_nopiv_unblocked(&a).unwrap();
+        let b = ZMat::random(n, 2, seed + 1);
+        let diff = fb.solve(&b).max_diff(&fu.solve(&b));
+        prop_assert!(diff < 1e-6 * n as f64, "n={n}: {diff:.2e}");
+        for (db, du) in fb.diagonal().iter().zip(fu.diagonal()) {
+            prop_assert!((db - du).abs() < 1e-6 * db.abs().max(1.0));
+        }
+    }
+
+    /// `solve_into` through a recycled pool is bit-identical to a fresh
+    /// pool: factor+solve results must not depend on buffer history.
+    #[test]
+    fn factor_solve_into_recycled_pool_is_bit_identical(
+        n in 30usize..140,
+        m in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = {
+            let mut a = ZMat::random(n, n, seed);
+            for i in 0..n {
+                a[(i, i)] += c64(3.0, 1.0);
+            }
+            a
+        };
+        let b = ZMat::random(n, m, seed + 1);
+        // Fresh pool.
+        let ws_fresh = Workspace::new();
+        let mut x_fresh = ws_fresh.take_scratch(n, m);
+        zgesv_into(&a, &b, &mut x_fresh, &ws_fresh).unwrap();
+        // Dirty pool: recycled through solves of a different system first.
+        let ws_dirty = Workspace::new();
+        let decoy_a = ZMat::random(n + 3, n + 3, seed + 7);
+        let decoy_b = ZMat::random(n + 3, m + 1, seed + 8);
+        let mut decoy_x = ws_dirty.take_scratch(n + 3, m + 1);
+        let _ = zgesv_into(&lu_shift(&decoy_a), &decoy_b, &mut decoy_x, &ws_dirty);
+        ws_dirty.recycle(decoy_x);
+        let mut x_dirty = ws_dirty.take_scratch(n, m);
+        zgesv_into(&a, &b, &mut x_dirty, &ws_dirty).unwrap();
+        prop_assert!(x_fresh.max_diff(&x_dirty) == 0.0, "recycled pool changed bits");
+    }
+
     /// The dense inverse round-trips: A·A⁻¹ = 1 for diagonally dominant A.
     #[test]
     fn inverse_roundtrip(n in 1usize..12, seed in 0u64..1_000_000) {
@@ -187,6 +272,83 @@ proptest! {
                 .sum::<f64>()
                 .sqrt();
             prop_assert!(r < 1e-6, "residual {r} for eigenvalue {}", dec.values[k]);
+        }
+    }
+}
+
+mod factorization_edges {
+    use super::*;
+    use qtx::linalg::alloc_count;
+
+    /// Adversarial pivot patterns on both sides of the blocking crossover:
+    /// every elimination step needs an interchange (row-reversed systems)
+    /// or the natural pivot starts at zero (shifted-cycle permutations).
+    #[test]
+    fn adversarial_pivot_patterns() {
+        for n in [90usize, 130] {
+            // Row-reversal: the in-place pivot search must chase the
+            // bottom row at every step.
+            let base = {
+                let mut a = ZMat::random(n, n, 1000 + n as u64);
+                for i in 0..n {
+                    a[(i, i)] += c64(3.0, 0.5);
+                }
+                a
+            };
+            let mut reversed = ZMat::zeros(n, n);
+            for j in 0..n {
+                for i in 0..n {
+                    reversed[(i, j)] = base[(n - 1 - i, j)];
+                }
+            }
+            // Cycle: zero diagonal everywhere (a[i][i] = 0, weight on the
+            // shifted band), unsolvable without pivoting.
+            let mut cycle = ZMat::random(n, n, 2000 + n as u64).scaled(c64(0.01, 0.0));
+            for i in 0..n {
+                cycle[(i, i)] = qtx::linalg::Complex64::ZERO;
+                cycle[((i + 1) % n, i)] = c64(2.0, -1.0);
+            }
+            for (label, a) in [("reversed", &reversed), ("cycle", &cycle)] {
+                let b = ZMat::random(n, 3, 3000 + n as u64);
+                let fb = lu_factor(a).unwrap_or_else(|e| panic!("{label} n={n}: {e}"));
+                let fu = lu_factor_unblocked(a).unwrap();
+                let diff = fb.solve(&b).max_diff(&fu.solve(&b));
+                assert!(diff < 1e-6 * n as f64, "{label} n={n}: {diff:.2e}");
+                // And the solution actually solves the system.
+                let x = fb.solve(&b);
+                let residual = (&(a * &x) - &b).norm_max();
+                assert!(residual < 1e-7 * n as f64, "{label} n={n}: residual {residual:.2e}");
+            }
+        }
+    }
+
+    /// The PR 1 allocation-counter test, extended to the factorization
+    /// stack: once the pool is warm, a factor+solve loop — working copy,
+    /// factors, staging and solution all included — performs **zero**
+    /// fresh `ZMat` allocations, on both sides of the crossover.
+    #[test]
+    fn factor_solve_loop_is_allocation_free_once_warm() {
+        for n in [48usize, 160] {
+            let ws = Workspace::new();
+            let a = {
+                let mut a = ZMat::random(n, n, 7);
+                for i in 0..n {
+                    a[(i, i)] += c64(4.0, 1.0);
+                }
+                a
+            };
+            let b = ZMat::random(n, n / 2, 8);
+            // Warm-up pass fills the pool.
+            let mut x = ws.take_scratch(n, n / 2);
+            zgesv_into(&a, &b, &mut x, &ws).unwrap();
+            ws.recycle(x);
+            let before = alloc_count();
+            for _ in 0..3 {
+                let mut x = ws.take_scratch(n, n / 2);
+                zgesv_into(&a, &b, &mut x, &ws).unwrap();
+                ws.recycle(x);
+            }
+            assert_eq!(alloc_count(), before, "factor+solve loop at n={n} allocated a fresh ZMat");
         }
     }
 }
