@@ -94,6 +94,17 @@ fn bench_qr_eig(c: &mut Criterion) {
     g.sample_size(10);
     let a = ZMat::random(64, 32, 5);
     g.bench_function("qr_64x32", |bench| bench.iter(|| black_box(qr_factor(&a))));
+    // Blocked compact-WY path (n above the crossover) vs the scalar
+    // baseline on the same input.
+    let big = ZMat::random(256, 256, 7);
+    g.bench_function("qr_256 blocked", |bench| bench.iter(|| black_box(qr_factor(&big))));
+    g.bench_function("qr_256 unblocked", |bench| {
+        bench.iter(|| black_box(qtx_linalg::qr_factor_unblocked(&big)))
+    });
+    g.bench_function("hessenberg_192 blocked", |bench| {
+        let h = ZMat::random(192, 192, 8);
+        bench.iter(|| black_box(qtx_linalg::hessenberg(&h)))
+    });
     let m = ZMat::random(32, 32, 6);
     g.bench_function("eig_32", |bench| bench.iter(|| black_box(qtx_linalg::eig(&m).unwrap())));
     g.finish();

@@ -51,11 +51,20 @@ fn median_secs(mut f: impl FnMut(), reps: usize) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let mut out_path = "BENCH_gemm.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sizes: &[usize] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 384, 512] };
     let mut entries = String::new();
     let mut rows = Vec::new();
-    for &n in &[64usize, 128, 256, 384, 512] {
+    for &n in sizes {
         let a = ZMat::random(n, n, 1);
         let b = ZMat::random(n, n, 2);
         let mut c_new = ZMat::zeros(n, n);

@@ -1,0 +1,304 @@
+//! CI perf-regression gate over the committed `BENCH_*.json` baselines.
+//!
+//! Usage: `check_bench <baseline.json> <fresh.json> [--tolerance 0.25]`.
+//!
+//! Compares a fresh bench run (typically a `--quick` CI profile) against
+//! the committed baseline and **fails (exit 1) when a speedup ratio
+//! regressed by more than the tolerance**. Only dimensionless `*speedup*`
+//! fields are gated — absolute milliseconds and GF/s depend on the
+//! runner's hardware, but "blocked is N× faster than the in-binary
+//! unblocked baseline" is a property of the code and must not rot.
+//! Ratios whose baseline value is below the noise floor (1.1×) are
+//! reported but not gated: a 0.95× case flapping to 0.88× on a shared
+//! runner is measurement noise, not a regression. Entries are matched by
+//! their identity fields (`kind`, `n`, `m`, `nrhs`, `ops`, `name`, `nb`,
+//! `s`); baseline entries missing from the fresh run (the quick profile
+//! subsets the sizes) are skipped.
+//!
+//! A tiny recursive-descent JSON reader lives below because the offline
+//! container has no serde_json; the bench files are machine-written and
+//! flat, so full spec coverage is not required (but strings, numbers,
+//! bools, null, arrays and objects are all handled).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(got) if got == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            got => Err(format!("expected '{}' at byte {}, got {:?}", c as char, self.pos, got)),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("bad escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            // The bench writers never emit \u escapes;
+                            // accept and skip the 4 hex digits.
+                            self.pos += 4;
+                            out.push('?');
+                        }
+                        other => out.push(other as char),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 continuation bytes pass through.
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                got => return Err(format!("expected ',' or ']' at byte {}: {got:?}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                got => return Err(format!("expected ',' or '}}' at byte {}: {got:?}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse_file(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut p = Parser::new(&text);
+    p.value().map_err(|e| format!("{path}: {e}"))
+}
+
+/// Keys that identify a result entry (everything that is a label rather
+/// than a measurement).
+const IDENTITY_KEYS: &[&str] = &["kind", "n", "m", "nrhs", "ops", "name", "nb", "s"];
+
+/// Baseline ratios below this are within run-to-run noise and are
+/// reported but not gated.
+const NOISE_FLOOR: f64 = 1.1;
+
+fn identity(entry: &BTreeMap<String, Json>) -> String {
+    let mut parts = Vec::new();
+    for &k in IDENTITY_KEYS {
+        match entry.get(k) {
+            Some(Json::Str(s)) => parts.push(format!("{k}={s}")),
+            Some(Json::Num(v)) => parts.push(format!("{k}={v}")),
+            _ => {}
+        }
+    }
+    parts.join(" ")
+}
+
+fn results(doc: &Json) -> Vec<&BTreeMap<String, Json>> {
+    match doc {
+        Json::Obj(map) => match map.get("results") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|e| if let Json::Obj(o) = e { Some(o) } else { None })
+                .collect(),
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.25;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance =
+                it.next().and_then(|v| v.parse().ok()).expect("--tolerance needs a numeric value");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: check_bench <baseline.json> <fresh.json> [--tolerance 0.25]");
+        return ExitCode::from(2);
+    }
+    let (base_doc, fresh_doc) = match (parse_file(&paths[0]), parse_file(&paths[1])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("check_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base: BTreeMap<String, &BTreeMap<String, Json>> =
+        results(&base_doc).into_iter().map(|e| (identity(e), e)).collect();
+    let fresh = results(&fresh_doc);
+    if fresh.is_empty() {
+        eprintln!("check_bench: {} has no results[]", paths[1]);
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for entry in fresh {
+        let id = identity(entry);
+        let Some(base_entry) = base.get(&id) else {
+            println!("  [skip] {id}: no baseline entry");
+            continue;
+        };
+        for (key, val) in entry {
+            if !key.contains("speedup") {
+                continue;
+            }
+            let (Json::Num(fresh_v), Some(Json::Num(base_v))) = (val, base_entry.get(key)) else {
+                continue;
+            };
+            if *base_v < NOISE_FLOOR {
+                println!(
+                    "  [info] {id} {key}: baseline {base_v:.3} below noise floor, not gated \
+                     (fresh {fresh_v:.3})"
+                );
+                continue;
+            }
+            compared += 1;
+            let floor = base_v * (1.0 - tolerance);
+            if *fresh_v < floor {
+                regressions += 1;
+                println!(
+                    "  [FAIL] {id} {key}: {fresh_v:.3} < {floor:.3} \
+                     (baseline {base_v:.3}, tolerance {:.0}%)",
+                    tolerance * 100.0
+                );
+            } else if *fresh_v > base_v * (1.0 + tolerance) {
+                println!(
+                    "  [note] {id} {key}: {fresh_v:.3} beats baseline {base_v:.3} by >{:.0}% — \
+                     consider refreshing the committed JSON",
+                    tolerance * 100.0
+                );
+            } else {
+                println!("  [ok]   {id} {key}: {fresh_v:.3} (baseline {base_v:.3})");
+            }
+        }
+    }
+    println!(
+        "check_bench: {} vs {}: {compared} gated ratios, {regressions} regression(s)",
+        paths[0], paths[1]
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else if compared == 0 {
+        eprintln!("check_bench: nothing compared — identity mismatch between files?");
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -128,6 +128,27 @@ impl Complex64 {
         c64(self.re * s, self.im * s)
     }
 
+    /// Conjugated dot product `Σ conj(a_i)·b_i` over equal-length slices,
+    /// accumulated in four independent lanes so the per-element complex
+    /// multiply-adds pipeline instead of serializing on one accumulator's
+    /// FMA latency — the hot primitive of the Householder panel kernels.
+    pub fn dot_conj(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = [Complex64::ZERO; 4];
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for (qa, qb) in (&mut ca).zip(&mut cb) {
+            acc[0] = acc[0].mul_add(qa[0].conj(), qb[0]);
+            acc[1] = acc[1].mul_add(qa[1].conj(), qb[1]);
+            acc[2] = acc[2].mul_add(qa[2].conj(), qb[2]);
+            acc[3] = acc[3].mul_add(qa[3].conj(), qb[3]);
+        }
+        for (ra, rb) in ca.remainder().iter().zip(cb.remainder()) {
+            acc[0] = acc[0].mul_add(ra.conj(), *rb);
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3])
+    }
+
     /// True if either component is NaN.
     #[inline]
     pub fn is_nan(self) -> bool {

@@ -5,18 +5,50 @@
 //! `zggev` is unavailable here, so this module implements the classic
 //! pipeline from scratch:
 //!
-//! 1. Householder reduction to upper Hessenberg form,
+//! 1. Householder reduction to upper Hessenberg form — **blocked** above
+//!    the ~96 crossover shared with the LU stack: panels of 32
+//!    reflectors are aggregated `zlahr2`-style (the panel loop maintains
+//!    the compact-WY triangle `T` and the product `Y = A·V·T` so panel
+//!    columns see their two-sided updates immediately while everything
+//!    else is deferred), then the trailing matrix takes one `Y·Vᴴ`
+//!    right-update gemm and one `I − V·Tᴴ·Vᴴ` left-update WY sweep on the
+//!    same gemm/trsm kernels as the blocked QR, and `Q` accumulates one
+//!    panel at a time through three more gemms,
 //! 2. explicitly shifted QR iteration with Givens rotations and Wilkinson
 //!    shifts to the (complex) Schur form `A = Z·T·Zᴴ`,
 //! 3. eigenvector recovery by triangular back-substitution,
 //! 4. generalized problems `A·x = λ·B·x` by a `B⁻¹A` reduction (the FEAST
 //!    reduced matrices `QᴴBQ` are well conditioned by construction).
+//!
+//! Every stage has a workspace-borrowing `_ws` form ([`hessenberg_ws`],
+//! [`schur_ws`], [`eig_ws`], [`eig_generalized_ws`]) whose dense
+//! temporaries — working copies, `Q`/`Z` accumulators, panel staging,
+//! eigenvector matrix — all cycle through the caller's pool, so the FEAST
+//! Rayleigh–Ritz step inside a warm OBC iteration allocates no fresh
+//! matrices.
 
 use crate::complex::{c64, Complex64};
-use crate::flops::flops_add;
-use crate::lu::lu_factor;
+use crate::flops::{counts, flops_add};
+use crate::gemm::{gemm_into_unc, Op};
+use crate::lu::{lu_factor_owned_ws, lu_factor_ws};
+use crate::qr::{apply_panel_wy, qr_unblocked_forced, stage_v, zlarfg};
+use crate::workspace::Workspace;
 use crate::zmat::ZMat;
 use crate::{LinalgError, Result};
+
+/// Panel width of the blocked Hessenberg reduction (matches the QR/LU
+/// stacks so the staging buffers tile identically).
+const NB: usize = 32;
+
+/// Smallest order that takes the blocked path (same crossover family as
+/// `lu::BLOCK_MIN`; below it the `Y`/`T` bookkeeping costs more than the
+/// trailing gemms save).
+const BLOCK_MIN: usize = 96;
+
+/// Once fewer than this many reflectors remain, the tail runs scalar
+/// (LAPACK's `NX` switch): the shrinking trailing blocks no longer feed
+/// the packed gemm path efficiently.
+const NX: usize = 64;
 
 /// A complex Schur decomposition `A = Z·T·Zᴴ` with unitary `Z` and upper
 /// triangular `T`.
@@ -39,33 +71,59 @@ pub struct EigDecomposition {
 
 /// Reduces `a` to upper Hessenberg form `H = Qᴴ·A·Q`, returning `(H, Q)`.
 pub fn hessenberg(a: &ZMat) -> (ZMat, ZMat) {
+    hessenberg_ws(a, &Workspace::new())
+}
+
+/// [`hessenberg`] with `H`, `Q` and all panel staging borrowed from `ws`
+/// (recycle both returned matrices when spent).
+pub fn hessenberg_ws(a: &ZMat, ws: &Workspace) -> (ZMat, ZMat) {
     let n = a.rows();
     assert!(a.is_square());
+    flops_add(counts::zgehrd(n));
+    let mut h = ws.copy_of(a);
+    let mut q = ws.take(n, n);
+    for i in 0..n {
+        q[(i, i)] = Complex64::ONE;
+    }
+    let kmax = n.saturating_sub(2);
+    if n >= BLOCK_MIN && !qr_unblocked_forced() {
+        let k0 = hess_blocked_panels(&mut h, &mut q, kmax, ws);
+        hess_scalar_steps(&mut h, &mut q, k0, kmax);
+    } else {
+        hess_scalar_steps(&mut h, &mut q, 0, kmax);
+    }
+    (h, q)
+}
+
+/// The scalar one-reflector-at-a-time baseline, kept callable for A/B
+/// measurements (`bench_qr_json`) and blocked-vs-unblocked tests.
+pub fn hessenberg_unblocked(a: &ZMat) -> (ZMat, ZMat) {
+    let n = a.rows();
+    assert!(a.is_square());
+    flops_add(counts::zgehrd(n));
     let mut h = a.clone();
     let mut q = ZMat::identity(n);
-    flops_add(10 * (n as u64).pow(3) / 3);
-    for k in 0..n.saturating_sub(2) {
-        // Reflector zeroing column k below the subdiagonal.
-        let alpha = h[(k + 1, k)];
-        let mut xnorm_sq = 0.0;
-        for i in k + 2..n {
-            xnorm_sq += h[(i, k)].norm_sqr();
-        }
-        if xnorm_sq == 0.0 && alpha.im == 0.0 {
+    hess_scalar_steps(&mut h, &mut q, 0, n.saturating_sub(2));
+    (h, q)
+}
+
+/// Scalar Hessenberg steps `k ∈ lo..hi`: generate the reflector zeroing
+/// column `k` below the subdiagonal, apply it two-sided and accumulate
+/// `Q` — the seed algorithm, used below the crossover and for the tail of
+/// the blocked path (which leaves the matrix fully updated).
+fn hess_scalar_steps(h: &mut ZMat, q: &mut ZMat, lo: usize, hi: usize) {
+    let n = h.rows();
+    for k in lo..hi {
+        // Reflector zeroing column k below the subdiagonal (shared
+        // zlarfg: β lands on the subdiagonal, the tail becomes v).
+        let tau = zlarfg(&mut h.col_mut(k)[k + 1..n]);
+        if tau == Complex64::ZERO {
             continue;
         }
-        let beta_mag = (alpha.norm_sqr() + xnorm_sq).sqrt();
-        let beta = if alpha.re >= 0.0 { -beta_mag } else { beta_mag };
-        let tau = c64((beta - alpha.re) / beta, -alpha.im / beta);
-        let scale = (alpha - c64(beta, 0.0)).inv();
+        let colk = h.col_mut(k);
         let mut v = vec![Complex64::ONE; n - k - 1];
-        for i in k + 2..n {
-            v[i - k - 1] = h[(i, k)] * scale;
-        }
-        h[(k + 1, k)] = c64(beta, 0.0);
-        for i in k + 2..n {
-            h[(i, k)] = Complex64::ZERO;
-        }
+        v[1..].copy_from_slice(&colk[k + 2..n]);
+        colk[k + 2..n].fill(Complex64::ZERO);
         // H ← Hᴴ_refl · H = (I − τ̄ v vᴴ) H  on rows k+1.., columns k+1..
         for j in k + 1..n {
             let mut w = Complex64::ZERO;
@@ -103,7 +161,265 @@ pub fn hessenberg(a: &ZMat) -> (ZMat, ZMat) {
             }
         }
     }
-    (h, q)
+}
+
+/// Runs compact-WY panels until fewer than [`NX`] reflectors remain;
+/// returns the first unreduced column (where the scalar tail picks up).
+fn hess_blocked_panels(h: &mut ZMat, q: &mut ZMat, kmax: usize, ws: &Workspace) -> usize {
+    let n = h.rows();
+    let mut vbuf = ws.take_scratch(n, NB);
+    let mut ybuf = ws.take_scratch(n, NB);
+    let mut ytbuf = ws.take_scratch(n, NB);
+    let mut qbuf = ws.take_scratch(n, NB);
+    let mut tbuf = ws.take_scratch(NB, NB);
+    let mut bbuf = ws.take_scratch(n, 1);
+    let mut wbuf = ws.take_scratch(NB, n);
+    let mut w2buf = ws.take_scratch(NB, n);
+    let mut k0 = 0;
+    while kmax - k0 > NX {
+        let ib = NB.min(kmax - k0);
+        hess_panel(h, k0, ib, &mut tbuf, &mut ybuf, &mut bbuf);
+        let rb = k0 + 1;
+        let nv = n - rb;
+        let pe = k0 + ib;
+        // V = unit-lower-trapezoid of the panel (packed one row below the
+        // diagonal: the source block's own diagonal is the subdiagonal β).
+        stage_v(&h.block_view(rb, k0, nv, ib), &mut vbuf);
+        let v = vbuf.block_view(0, 0, nv, ib);
+        let t = tbuf.block_view(0, 0, ib, ib);
+        // Top rows of Y (untouched so far): Y[0..rb] = A[0..rb, rb..n]·V·T.
+        {
+            let mut yt = ytbuf.block_view_mut(0, 0, rb, ib);
+            gemm_into_unc(
+                Complex64::ONE,
+                h.block_view(0, rb, rb, nv),
+                Op::None,
+                v,
+                Op::None,
+                Complex64::ZERO,
+                yt.rb(),
+            );
+            gemm_into_unc(
+                Complex64::ONE,
+                yt.as_ref(),
+                Op::None,
+                t,
+                Op::None,
+                Complex64::ZERO,
+                ybuf.block_view_mut(0, 0, rb, ib),
+            );
+        }
+        // Right update of the trailing columns (all rows): A −= Y·Vᴴ,
+        // restricted to the V rows owning columns pe..n.
+        gemm_into_unc(
+            -Complex64::ONE,
+            ybuf.block_view(0, 0, n, ib),
+            Op::None,
+            vbuf.block_view(ib - 1, 0, nv - ib + 1, ib),
+            Op::Adjoint,
+            Complex64::ONE,
+            h.block_view_mut(0, pe, n, n - pe),
+        );
+        // Right update of the panel columns' top rows (rows 0..rb of
+        // columns rb..rb+ib−1; rows rb.. were updated inside the panel).
+        if ib > 1 {
+            let mut w = ytbuf.block_view_mut(0, 0, rb, ib);
+            gemm_into_unc(
+                Complex64::ONE,
+                ybuf.block_view(0, 0, rb, ib),
+                Op::None,
+                vbuf.block_view(0, 0, ib, ib),
+                Op::Adjoint,
+                Complex64::ZERO,
+                w.rb(),
+            );
+            for tcol in 0..ib - 1 {
+                for (dst, s) in h.col_mut(rb + tcol)[..rb].iter_mut().zip(w.col(tcol)) {
+                    *dst -= *s;
+                }
+            }
+        }
+        // Left update of the trailing block: A ← (I − V·Tᴴ·Vᴴ)·A.
+        apply_panel_wy(v, t, true, h.block_view_mut(rb, pe, nv, n - pe), &mut wbuf, &mut w2buf);
+        // Accumulate Q ← Q·(I − V·T·Vᴴ) through three gemms.
+        {
+            let mut wq = ytbuf.block_view_mut(0, 0, n, ib);
+            gemm_into_unc(
+                Complex64::ONE,
+                q.block_view(0, rb, n, nv),
+                Op::None,
+                v,
+                Op::None,
+                Complex64::ZERO,
+                wq.rb(),
+            );
+            let mut wq2 = qbuf.block_view_mut(0, 0, n, ib);
+            gemm_into_unc(
+                Complex64::ONE,
+                wq.as_ref(),
+                Op::None,
+                t,
+                Op::None,
+                Complex64::ZERO,
+                wq2.rb(),
+            );
+            gemm_into_unc(
+                -Complex64::ONE,
+                wq2.as_ref(),
+                Op::None,
+                v,
+                Op::Adjoint,
+                Complex64::ONE,
+                q.block_view_mut(0, rb, n, nv),
+            );
+        }
+        // The packed reflector tails are spent (later panels never read
+        // them): zero the below-subdiagonal storage so `h` leaves as a
+        // genuine Hessenberg matrix, matching the unblocked path.
+        for t in 0..ib {
+            let sub = rb + t;
+            h.col_mut(k0 + t)[sub + 1..n].fill(Complex64::ZERO);
+        }
+        k0 += ib;
+    }
+    ws.recycle(vbuf);
+    ws.recycle(ybuf);
+    ws.recycle(ytbuf);
+    ws.recycle(qbuf);
+    ws.recycle(tbuf);
+    ws.recycle(bbuf);
+    ws.recycle(wbuf);
+    ws.recycle(w2buf);
+    k0
+}
+
+/// `zlahr2`-style panel reduction: generates `ib` reflectors starting at
+/// column `k0`, keeping only the panel columns current. On exit the panel
+/// columns hold the reduced Hessenberg values on top and the packed
+/// reflector tails below the subdiagonal, `t[0..ib, 0..ib]` holds the
+/// compact-WY triangle (zeros below the diagonal, so dense gemms may read
+/// it), and `y[rb..n, 0..ib]` holds the lower rows of `Y = A·V·T` — the
+/// deferred right-update aggregate the caller turns into trailing gemms.
+fn hess_panel(h: &mut ZMat, k0: usize, ib: usize, t: &mut ZMat, y: &mut ZMat, bbuf: &mut ZMat) {
+    let n = h.rows();
+    let rb = k0 + 1;
+    let mut ei = Complex64::ZERO;
+    let mut svec = [Complex64::ZERO; NB];
+    let mut wvec = [Complex64::ZERO; NB];
+    for j in 0..ib {
+        let c = k0 + j;
+        if j > 0 {
+            // Work on a copy of column c so the V columns stay readable.
+            bbuf.col_mut(0)[rb..n].copy_from_slice(&h.col(c)[rb..n]);
+            let b = &mut bbuf.col_mut(0)[..n];
+            // (a) pending right-updates: b[rb..n] −= Y[rb..n, 0..j]·w̄
+            // with w = row rb+j−1 of the unit-lower V (last entry 1).
+            for (s, w) in wvec[..j].iter_mut().enumerate() {
+                *w = if s == j - 1 { Complex64::ONE } else { h[(rb + j - 1, k0 + s)].conj() };
+            }
+            for (s, &f) in wvec[..j].iter().enumerate() {
+                if f == Complex64::ZERO {
+                    continue;
+                }
+                for (bi, yi) in b[rb..n].iter_mut().zip(&y.col(s)[rb..n]) {
+                    *bi -= *yi * f;
+                }
+            }
+            // (b) pending left-updates: b ← (I − V·Tᴴ·Vᴴ)·b.
+            //     w = V1ᴴ·b1 + V2ᴴ·b2  (V1 unit lower j×j — its diagonal
+            //     is implicit in the `acc` seed — V2 the stored tails).
+            for i in 0..j {
+                let mut acc = b[rb + i];
+                for r in i + 1..j {
+                    acc = acc.mul_add(h[(rb + r, k0 + i)].conj(), b[rb + r]);
+                }
+                let tail = Complex64::dot_conj(&h.col(k0 + i)[rb + j..n], &b[rb + j..n]);
+                wvec[i] = acc + tail;
+            }
+            // w ← Tᴴ·w (conjugate-transposed upper triangle).
+            for i in (0..j).rev() {
+                let mut acc = Complex64::ZERO;
+                for (l, w) in wvec.iter().enumerate().take(i + 1) {
+                    acc = acc.mul_add(t[(l, i)].conj(), *w);
+                }
+                svec[i] = acc;
+            }
+            wvec[..j].copy_from_slice(&svec[..j]);
+            // b2 −= V2·w ; b1 −= V1·w.
+            for (i, &w) in wvec[..j].iter().enumerate() {
+                if w == Complex64::ZERO {
+                    continue;
+                }
+                let col = &h.col(k0 + i)[rb + j..n];
+                for (bi, vi) in b[rb + j..n].iter_mut().zip(col) {
+                    *bi -= *vi * w;
+                }
+            }
+            for r in (0..j).rev() {
+                let mut acc = wvec[r]; // unit diagonal of V1
+                for (i, &w) in wvec[..r].iter().enumerate() {
+                    acc = acc.mul_add(h[(rb + r, k0 + i)], w);
+                }
+                b[rb + r] -= acc;
+            }
+            h.col_mut(c)[rb..n].copy_from_slice(&bbuf.col(0)[rb..n]);
+            // Restore the previous column's subdiagonal β.
+            h[(rb + j - 1, k0 + j - 1)] = ei;
+        }
+        // Generate reflector j on h[rb+j.., c] (shared zlarfg), saving
+        // the subdiagonal β as `ei` and storing an explicit unit head for
+        // the Y/T products below.
+        let tau_j = {
+            let col = &mut h.col_mut(c)[rb + j..n];
+            let t = zlarfg(col);
+            ei = col[0];
+            col[0] = Complex64::ONE;
+            t
+        };
+        // Y[rb..n, j] = A[rb..n, c+1..n]·v  (v has its unit stored).
+        gemm_into_unc(
+            Complex64::ONE,
+            h.block_view(rb, c + 1, n - rb, n - c - 1),
+            Op::None,
+            h.block_view(rb + j, c, n - rb - j, 1),
+            Op::None,
+            Complex64::ZERO,
+            y.block_view_mut(rb, j, n - rb, 1),
+        );
+        // s = V[j.., 0..j]ᴴ·v (tail dots, contiguous columns).
+        for (i, s) in svec[..j].iter_mut().enumerate() {
+            *s = Complex64::dot_conj(&h.col(k0 + i)[rb + j..n], &h.col(c)[rb + j..n]);
+        }
+        // Y[rb..n, j] ← τ_j·(Y[rb..n, j] − Y[rb..n, 0..j]·s).
+        for (s_idx, &s) in svec[..j].iter().enumerate() {
+            if s == Complex64::ZERO {
+                continue;
+            }
+            let (ys, yj) = y.two_cols_mut(s_idx, j);
+            for (yj, yi) in yj[rb..n].iter_mut().zip(&ys[rb..n]) {
+                *yj -= *yi * s;
+            }
+        }
+        for z in y.col_mut(j)[rb..n].iter_mut() {
+            *z *= tau_j;
+        }
+        // T(0..j, j) = −τ_j·T(0..j,0..j)·s ; T(j,j) = τ_j; zeros below.
+        for i in 0..j {
+            let mut acc = Complex64::ZERO;
+            for (l, &s) in svec.iter().enumerate().take(j).skip(i) {
+                acc = acc.mul_add(t[(i, l)], s);
+            }
+            wvec[i] = acc;
+        }
+        let tcol = t.col_mut(j);
+        tcol.fill(Complex64::ZERO);
+        for (ti, &wi) in tcol[..j].iter_mut().zip(&wvec[..j]) {
+            *ti = -(tau_j * wi);
+        }
+        tcol[j] = tau_j;
+    }
+    // Restore the last column's subdiagonal β.
+    h[(rb + ib - 1, k0 + ib - 1)] = ei;
 }
 
 /// A complex Givens rotation `[[c, s], [-s̄, c]]` with real `c ≥ 0`.
@@ -139,11 +455,29 @@ impl Givens {
 
 /// Computes the complex Schur decomposition of `a`.
 pub fn schur(a: &ZMat) -> Result<SchurDecomposition> {
-    let n = a.rows();
+    schur_ws(a, &Workspace::new())
+}
+
+/// [`schur`] with `T`, `Z` and the Hessenberg staging borrowed from `ws`
+/// (both are recycled back into the pool on a convergence failure).
+pub fn schur_ws(a: &ZMat, ws: &Workspace) -> Result<SchurDecomposition> {
     assert!(a.is_square());
-    let (mut t, mut z) = hessenberg(a);
+    let (mut t, mut z) = hessenberg_ws(a, ws);
+    match schur_iterate(&mut t, &mut z) {
+        Ok(()) => Ok(SchurDecomposition { t, z }),
+        Err(e) => {
+            ws.recycle(t);
+            ws.recycle(z);
+            Err(e)
+        }
+    }
+}
+
+/// The shifted-QR deflation loop, in place on the Hessenberg pair.
+fn schur_iterate(t: &mut ZMat, z: &mut ZMat) -> Result<()> {
+    let n = t.rows();
     if n <= 1 {
-        return Ok(SchurDecomposition { t, z });
+        return Ok(());
     }
     flops_add(25 * (n as u64).pow(3));
     let scale = t.norm_max().max(1e-300);
@@ -235,17 +569,24 @@ pub fn schur(a: &ZMat) -> Result<SchurDecomposition> {
     for k in 1..n {
         t[(k, k - 1)] = Complex64::ZERO;
     }
-    Ok(SchurDecomposition { t, z })
+    Ok(())
 }
 
 /// Computes eigenvalues and right eigenvectors of a dense complex matrix.
 pub fn eig(a: &ZMat) -> Result<EigDecomposition> {
+    eig_ws(a, &Workspace::new())
+}
+
+/// [`eig`] over pooled scratch: the Schur factors are recycled into `ws`
+/// after the eigenvector recovery and the returned `vectors` matrix is
+/// itself pool-backed (recycle it when spent).
+pub fn eig_ws(a: &ZMat, ws: &Workspace) -> Result<EigDecomposition> {
     let n = a.rows();
-    let dec = schur(a)?;
+    let dec = schur_ws(a, ws)?;
     let t = &dec.t;
     let values: Vec<Complex64> = (0..n).map(|i| t[(i, i)]).collect();
     // Back-substitute for eigenvectors in the Schur basis, then rotate.
-    let mut vecs = ZMat::zeros(n, n);
+    let mut vecs = ws.take(n, n);
     let scale = t.norm_max().max(1.0);
     let smlnum = (f64::EPSILON * scale).max(1e-280);
     for k in 0..n {
@@ -271,12 +612,15 @@ pub fn eig(a: &ZMat) -> Result<EigDecomposition> {
             vecs[(i, k)] = zv / norm;
         }
     }
+    ws.recycle(dec.t);
+    ws.recycle(dec.z);
     Ok(EigDecomposition { values, vectors: vecs })
 }
 
 /// Eigenvalues only (skips eigenvector recovery).
 pub fn eigenvalues(a: &ZMat) -> Result<Vec<Complex64>> {
-    let dec = schur(a)?;
+    let ws = Workspace::new();
+    let dec = schur_ws(a, &ws)?;
     Ok((0..a.rows()).map(|i| dec.t[(i, i)]).collect())
 }
 
@@ -285,21 +629,32 @@ pub fn eigenvalues(a: &ZMat) -> Result<Vec<Complex64>> {
 /// invertible `B`, which holds for the FEAST reduced matrices and the
 /// companion pencils with invertible leading coupling block).
 pub fn eig_generalized(a: &ZMat, b: &ZMat) -> Result<EigDecomposition> {
+    eig_generalized_ws(a, b, &Workspace::new())
+}
+
+/// [`eig_generalized`] with the `B` factorization, the reduced matrix and
+/// the eigensolver scratch all borrowed from `ws`.
+pub fn eig_generalized_ws(a: &ZMat, b: &ZMat, ws: &Workspace) -> Result<EigDecomposition> {
     assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
-    let c = match lu_factor(b) {
-        Ok(f) => f.solve(a),
+    let f = match lu_factor_ws(b, ws) {
+        Ok(f) => f,
         Err(_) => {
             // Regularize a numerically singular B: shift by ε·‖B‖ and warn
             // through the error path if that also fails.
             let eps = 1e-12 * b.norm_max().max(1.0);
-            let mut b_reg = b.clone();
+            let mut b_reg = ws.copy_of(b);
             for i in 0..b.rows() {
                 b_reg[(i, i)] += c64(eps, eps);
             }
-            lu_factor(&b_reg)?.solve(a)
+            lu_factor_owned_ws(b_reg, true, ws)?
         }
     };
-    eig(&c)
+    let mut c = ws.take_scratch(a.rows(), a.cols());
+    f.solve_into(a.view(), &mut c);
+    f.recycle_into(ws);
+    let result = eig_ws(&c, ws);
+    ws.recycle(c);
+    result
 }
 
 #[cfg(test)]
@@ -320,25 +675,67 @@ mod tests {
         worst
     }
 
+    fn check_hessenberg_invariants(a: &ZMat, h: &ZMat, q: &ZMat, tol: f64) {
+        let n = a.rows();
+        // Q unitary.
+        let mut qhq = ZMat::zeros(n, n);
+        gemm(Complex64::ONE, q, Op::Adjoint, q, Op::None, Complex64::ZERO, &mut qhq);
+        assert!(qhq.max_diff(&ZMat::identity(n)) < tol, "QᴴQ ≠ I");
+        // Q H Qᴴ = A.
+        let qh = q * h;
+        let mut back = ZMat::zeros(n, n);
+        gemm(Complex64::ONE, &qh, Op::None, q, Op::Adjoint, Complex64::ZERO, &mut back);
+        assert!(back.max_diff(a) < tol, "QHQᴴ ≠ A: {:.2e}", back.max_diff(a));
+        // Zero below the first subdiagonal.
+        for j in 0..n {
+            for i in j + 2..n {
+                assert!(h[(i, j)].abs() < tol, "h[{i},{j}] = {}", h[(i, j)]);
+            }
+        }
+    }
+
     #[test]
     fn hessenberg_is_similarity() {
         let a = ZMat::random(9, 9, 1);
         let (h, q) = hessenberg(&a);
-        // Q unitary.
-        let mut qhq = ZMat::zeros(9, 9);
-        gemm(Complex64::ONE, &q, Op::Adjoint, &q, Op::None, Complex64::ZERO, &mut qhq);
-        assert!(qhq.max_diff(&ZMat::identity(9)) < 1e-11);
-        // Q H Qᴴ = A.
-        let qh = &q * &h;
-        let mut back = ZMat::zeros(9, 9);
-        gemm(Complex64::ONE, &qh, Op::None, &q, Op::Adjoint, Complex64::ZERO, &mut back);
-        assert!(back.max_diff(&a) < 1e-10);
-        // Zero below the first subdiagonal.
-        for j in 0..9 {
-            for i in j + 2..9 {
-                assert!(h[(i, j)].abs() < 1e-12);
-            }
+        check_hessenberg_invariants(&a, &h, &q, 1e-10);
+    }
+
+    #[test]
+    fn blocked_hessenberg_is_similarity() {
+        // Above the crossover with a non-multiple-of-NB tail.
+        for n in [120usize, 150] {
+            let a = ZMat::random(n, n, 40 + n as u64);
+            let (h, q) = hessenberg(&a);
+            check_hessenberg_invariants(&a, &h, &q, 1e-8 * n as f64);
         }
+    }
+
+    #[test]
+    fn blocked_hessenberg_matches_unblocked() {
+        // The panels replay the scalar algorithm exactly, so the reduced
+        // matrices agree entrywise up to roundoff reordering.
+        let n = 140;
+        let a = ZMat::random(n, n, 77);
+        let (hb, qb) = hessenberg(&a);
+        let (hu, qu) = hessenberg_unblocked(&a);
+        let scale = a.norm_max().max(1.0) * n as f64;
+        assert!(hb.max_diff(&hu) < 1e-10 * scale, "H drift {:.2e}", hb.max_diff(&hu));
+        assert!(qb.max_diff(&qu) < 1e-10 * scale, "Q drift {:.2e}", qb.max_diff(&qu));
+    }
+
+    #[test]
+    fn hessenberg_ws_recycled_pool_is_bit_identical() {
+        let ws = Workspace::new();
+        let a = ZMat::random(130, 130, 99);
+        let (h_fresh, q_fresh) = hessenberg(&a);
+        // Dirty the pool with a different-size reduction first.
+        let (hd, qd) = hessenberg_ws(&ZMat::random(110, 110, 98), &ws);
+        ws.recycle(hd);
+        ws.recycle(qd);
+        let (h, q) = hessenberg_ws(&a, &ws);
+        assert!(h.max_diff(&h_fresh) == 0.0, "recycled pool changed H bits");
+        assert!(q.max_diff(&q_fresh) == 0.0, "recycled pool changed Q bits");
     }
 
     #[test]
@@ -356,6 +753,17 @@ mod tests {
         let mut back = ZMat::zeros(12, 12);
         gemm(Complex64::ONE, &zt, Op::None, &d.z, Op::Adjoint, Complex64::ZERO, &mut back);
         assert!(back.max_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn schur_on_blocked_hessenberg_path() {
+        let n = 110;
+        let a = ZMat::random(n, n, 3);
+        let d = schur(&a).unwrap();
+        let zt = &d.z * &d.t;
+        let mut back = ZMat::zeros(n, n);
+        gemm(Complex64::ONE, &zt, Op::None, &d.z, Op::Adjoint, Complex64::ZERO, &mut back);
+        assert!(back.max_diff(&a) < 1e-7 * n as f64, "{:.2e}", back.max_diff(&a));
     }
 
     #[test]
@@ -390,6 +798,22 @@ mod tests {
             let e = eig(&a).unwrap();
             assert!(residual(&a, &e) < 1e-7, "seed {seed}: residual {}", residual(&a, &e));
         }
+    }
+
+    #[test]
+    fn eig_ws_matches_fresh() {
+        let ws = Workspace::new();
+        let a = ZMat::random(20, 20, 55);
+        let fresh = eig(&a).unwrap();
+        // Warm the pool on a decoy, then solve through the dirty pool.
+        let decoy = eig_ws(&ZMat::random(24, 24, 56), &ws).unwrap();
+        ws.recycle(decoy.vectors);
+        let pooled = eig_ws(&a, &ws).unwrap();
+        for (x, y) in fresh.values.iter().zip(&pooled.values) {
+            assert!(*x == *y, "recycled pool changed eigenvalue bits");
+        }
+        assert!(pooled.vectors.max_diff(&fresh.vectors) == 0.0);
+        ws.recycle(pooled.vectors);
     }
 
     #[test]

@@ -97,6 +97,25 @@ pub mod counts {
         let (m, n) = (m as u64, n as u64);
         8 * (m * n * n - n * n * n / 3).max(1)
     }
+
+    /// Applying `Q` (or `Qᴴ`) built from `k` Householder reflectors of
+    /// length m to an m×n matrix from the left (`zunmqr`): each reflector
+    /// touches the full n columns twice (dot + axpy), shrinking by one row
+    /// per step — 8·n·k·(2m − k) real operations. The same formula counts
+    /// `zungqr`-style explicit-Q assembly (n columns of the identity).
+    #[inline]
+    pub fn zunmqr(m: usize, n: usize, k: usize) -> u64 {
+        let (m, n, k) = (m as u64, n as u64, k as u64);
+        (8 * n * k * (2 * m).saturating_sub(k).max(1)).max(1)
+    }
+
+    /// Householder reduction of an n×n matrix to upper Hessenberg form
+    /// (`zgehrd`): (10/3)·n³ complex multiply-adds (both-side updates plus
+    /// the Q accumulation) ≈ (80/3)·n³ real operations.
+    #[inline]
+    pub fn zgehrd(n: usize) -> u64 {
+        80 * (n as u64).pow(3) / 3
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +140,11 @@ mod tests {
         assert_eq!(counts::zgetrs(4, 2), 8 * 16 * 2);
         // Hermitian factorization is half of LU.
         assert_eq!(counts::zhetrf(6), counts::zgetrf(6) / 2);
+        // Q-application: 8·n·k·(2m − k).
+        assert_eq!(counts::zunmqr(10, 3, 4), 8 * 3 * 4 * 16);
+        // Hessenberg: (80/3)·n³; degenerate sizes stay nonzero.
+        assert_eq!(counts::zgehrd(3), 720);
+        assert!(counts::zunmqr(1, 1, 0) >= 1 && counts::zgeqrf(1, 0) >= 1);
     }
 
     #[test]

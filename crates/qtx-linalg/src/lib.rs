@@ -26,10 +26,14 @@
 //! * [`ldl`] — pivot-free LDLᴴ for Hermitian systems (`zhesv_nopiv`, the
 //!   §5.E optimization that lifted Titan from 12.8 to 15 PFlop/s), same
 //!   blocked structure at half the flops.
-//! * [`qr`] — Householder QR, orthonormalization, least squares.
-//! * [`eig`] — Hessenberg reduction + implicitly shifted complex QR
-//!   (Schur form), eigenvectors, and the generalized solver used by the
-//!   FEAST Rayleigh–Ritz step (`zggev`-lite).
+//! * [`qr`] — blocked compact-WY Householder QR (panel + `T`-via-trsm +
+//!   gemm trailing updates above a measured ~192 crossover, scalar baseline
+//!   behind [`qr::force_unblocked_qr`]), orthonormalization and least
+//!   squares, with workspace-borrowing factor/apply entry points.
+//! * [`eig`] — blocked (`zlahr2`-style) Hessenberg reduction + implicitly
+//!   shifted complex QR (Schur form), eigenvectors, and the generalized
+//!   solver used by the FEAST Rayleigh–Ritz step (`zggev`-lite), all with
+//!   pooled `_ws` forms.
 //! * [`flops`] — deterministic FLOP accounting mirroring the paper's
 //!   PAPI/CUPTI measurement methodology (§5.B).
 //!
@@ -51,7 +55,8 @@ pub mod zmat;
 
 pub use complex::{c64, Complex64};
 pub use eig::{
-    eig, eig_generalized, eigenvalues, hessenberg, schur, EigDecomposition, SchurDecomposition,
+    eig, eig_generalized, eig_generalized_ws, eig_ws, eigenvalues, hessenberg,
+    hessenberg_unblocked, hessenberg_ws, schur, schur_ws, EigDecomposition, SchurDecomposition,
 };
 pub use flops::{flops_reset, flops_total, FlopScope};
 pub use gemm::{gemm, gemm_into, gemm_view, gemv, matmul, Op};
@@ -62,11 +67,12 @@ pub use ldl::{
 };
 pub use lu::{
     force_unblocked_factor, laswp, lu_factor, lu_factor_nopiv, lu_factor_nopiv_unblocked,
-    lu_factor_nopiv_ws, lu_factor_owned, lu_factor_unblocked, lu_factor_ws, lu_inverse, lu_solve,
-    zgesv, zgesv_into, zgesv_nopiv, zgesv_nopiv_into, LuFactors,
+    lu_factor_nopiv_ws, lu_factor_owned, lu_factor_owned_ws, lu_factor_unblocked, lu_factor_ws,
+    lu_inverse, lu_solve, zgesv, zgesv_into, zgesv_nopiv, zgesv_nopiv_into, LuFactors,
 };
 pub use qr::{
-    orthonormality_defect, orthonormalize, pinv_apply, qr, qr_factor, qr_least_squares, QrFactors,
+    force_unblocked_qr, orthonormality_defect, orthonormalize, orthonormalize_ws, pinv_apply, qr,
+    qr_factor, qr_factor_unblocked, qr_factor_ws, qr_least_squares, QrFactors,
 };
 pub use rng::Pcg64;
 pub use trsm::{trsm, Diag, Side, UpLo};

@@ -104,8 +104,10 @@ pub fn lu_factor(a: &ZMat) -> Result<LuFactors> {
     lu_factor_owned(a.clone(), true)
 }
 
-/// [`lu_factor`] with the working copy borrowed from `ws` — the zero-churn
-/// form for factor loops; recycle `factors.lu` when the factors are spent.
+/// [`lu_factor`] with the working copy **and** the pivot index buffers
+/// borrowed from `ws` — the zero-churn form for factor loops; hand
+/// everything back with [`LuFactors::recycle_into`] when the factors are
+/// spent.
 pub fn lu_factor_ws(a: &ZMat, ws: &Workspace) -> Result<LuFactors> {
     factor_entry(ws.copy_of(a), true, Some(ws))
 }
@@ -113,6 +115,15 @@ pub fn lu_factor_ws(a: &ZMat, ws: &Workspace) -> Result<LuFactors> {
 /// Factors a matrix the caller already owns, in place (no copy at all).
 pub fn lu_factor_owned(a: ZMat, pivot: bool) -> Result<LuFactors> {
     factor_entry(a, pivot, None)
+}
+
+/// [`lu_factor_owned`] with the pivot index buffers (`perm` + `ipiv`)
+/// borrowed from the `ws` index pool — the form callers that already
+/// pooled the matrix itself (e.g. `factor_poly_ws`) use so a warm factor
+/// loop allocates nothing at all; return everything with
+/// [`LuFactors::recycle_into`].
+pub fn lu_factor_owned_ws(a: ZMat, pivot: bool, ws: &Workspace) -> Result<LuFactors> {
+    factor_entry(a, pivot, Some(ws))
 }
 
 /// Factors `A` without pivoting (the `zgesv_nopiv_gpu` analogue).
@@ -132,53 +143,68 @@ pub fn lu_factor_nopiv_ws(a: &ZMat, ws: &Workspace) -> Result<LuFactors> {
 /// The unblocked rank-1-update baseline, kept callable for A/B
 /// measurements and the blocked-vs-unblocked property tests.
 pub fn lu_factor_unblocked(a: &ZMat) -> Result<LuFactors> {
+    let n = a.rows();
     let mut lu = a.clone();
-    flops_add(counts::zgetrf(lu.rows()));
-    let (perm, ipiv) = factor_unblocked(&mut lu, true)?;
+    flops_add(counts::zgetrf(n));
+    let (mut perm, mut ipiv): (Vec<usize>, Vec<usize>) = ((0..n).collect(), (0..n).collect());
+    factor_unblocked(&mut lu, true, &mut perm, &mut ipiv)?;
     Ok(LuFactors { lu, perm, ipiv, pivoted: true })
 }
 
 /// Unblocked pivot-free baseline (see [`lu_factor_unblocked`]).
 pub fn lu_factor_nopiv_unblocked(a: &ZMat) -> Result<LuFactors> {
+    let n = a.rows();
     let mut lu = a.clone();
-    flops_add(counts::zgetrf(lu.rows()));
-    let (perm, ipiv) = factor_unblocked(&mut lu, false)?;
+    flops_add(counts::zgetrf(n));
+    let (mut perm, mut ipiv): (Vec<usize>, Vec<usize>) = ((0..n).collect(), (0..n).collect());
+    factor_unblocked(&mut lu, false, &mut perm, &mut ipiv)?;
     Ok(LuFactors { lu, perm, ipiv, pivoted: false })
 }
 
-/// Shared entry: counts, dispatches on size, recycles the buffer on error.
+/// Shared entry: counts, dispatches on size, pools the pivot index
+/// buffers when a workspace is supplied, recycles everything on error.
 fn factor_entry(mut lu: ZMat, pivot: bool, ws: Option<&Workspace>) -> Result<LuFactors> {
     let n = lu.rows();
     assert!(lu.is_square(), "LU requires a square matrix");
     flops_add(counts::zgetrf(n));
+    let (mut perm, mut ipiv) = match ws {
+        Some(ws) => (ws.take_index(n), ws.take_index(n)),
+        None => ((0..n).collect(), (0..n).collect()),
+    };
     let factored = if n < BLOCK_MIN || unblocked_forced() {
-        factor_unblocked(&mut lu, pivot)
+        factor_unblocked(&mut lu, pivot, &mut perm, &mut ipiv)
     } else {
-        factor_blocked(&mut lu, pivot)
+        factor_blocked(&mut lu, pivot, &mut perm, &mut ipiv)
     };
     match factored {
-        Ok((perm, ipiv)) => Ok(LuFactors { lu, perm, ipiv, pivoted: pivot }),
+        Ok(()) => Ok(LuFactors { lu, perm, ipiv, pivoted: pivot }),
         Err(e) => {
             if let Some(ws) = ws {
                 ws.recycle(lu);
+                ws.recycle_index(perm);
+                ws.recycle_index(ipiv);
             }
             Err(e)
         }
     }
 }
 
-/// The seed's unblocked rank-1-update loop, pivoted or not.
-fn factor_unblocked(lu: &mut ZMat, pivot: bool) -> Result<(Vec<usize>, Vec<usize>)> {
+/// The seed's unblocked rank-1-update loop, pivoted or not, filling the
+/// caller-provided (identity-initialized) pivot buffers.
+fn factor_unblocked(
+    lu: &mut ZMat,
+    pivot: bool,
+    perm: &mut [usize],
+    ipiv: &mut [usize],
+) -> Result<()> {
     let n = lu.rows();
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut ipiv: Vec<usize> = (0..n).collect();
     let scale = if pivot { 0.0 } else { lu.norm_max().max(1.0) };
     for k in 0..n {
-        pivot_step(lu, &mut perm, &mut ipiv, pivot, scale, k, n)?;
+        pivot_step(lu, perm, ipiv, pivot, scale, k, n)?;
         // Rank-1 trailing update, column by column for cache friendliness.
         rank1_update(lu, k, k + 1, n);
     }
-    Ok((perm, ipiv))
+    Ok(())
 }
 
 /// Rank-1 trailing update `A[k+1.., j] −= L[k+1.., k]·U[k, j]` for columns
@@ -253,16 +279,18 @@ fn pivot_step(
 /// panel-width `k` of flat blocking. Pivot interchanges are applied
 /// across all `n` columns immediately, so the matrix state at every
 /// recursion level matches the unblocked algorithm's.
-fn factor_blocked(lu: &mut ZMat, pivot: bool) -> Result<(Vec<usize>, Vec<usize>)> {
+fn factor_blocked(
+    lu: &mut ZMat,
+    pivot: bool,
+    perm: &mut [usize],
+    ipiv: &mut [usize],
+) -> Result<()> {
     let n = lu.rows();
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut ipiv: Vec<usize> = (0..n).collect();
     let scale = if pivot { 0.0 } else { lu.norm_max().max(1.0) };
     // Staging buffer for U₁₂ (raw scratch, not a ZMat): the merge gemm
     // reads it while writing other rows of the same columns.
     let mut u12buf: Vec<Complex64> = Vec::new();
-    factor_cols(lu, 0, n, pivot, scale, &mut perm, &mut ipiv, &mut u12buf)?;
-    Ok((perm, ipiv))
+    factor_cols(lu, 0, n, pivot, scale, perm, ipiv, &mut u12buf)
 }
 
 /// Factors columns `c0..c1` (rows `c0..n`), assuming all columns left of
@@ -375,6 +403,15 @@ impl LuFactors {
         }
         det
     }
+
+    /// Consumes the factors, returning every backing buffer — the packed
+    /// matrix and both pivot index vectors — to the pool, so warm factor
+    /// loops recycle the `O(n)` pivot churn along with the `O(n²)` matrix.
+    pub fn recycle_into(self, ws: &Workspace) {
+        ws.recycle(self.lu);
+        ws.recycle_index(self.perm);
+        ws.recycle_index(self.ipiv);
+    }
 }
 
 /// One-shot solve `A·X = B` with partial pivoting (LAPACK `zgesv`).
@@ -394,7 +431,7 @@ pub fn zgesv_nopiv(a: &ZMat, b: &ZMat) -> Result<ZMat> {
 pub fn zgesv_into(a: &ZMat, b: &ZMat, x: &mut ZMat, ws: &Workspace) -> Result<()> {
     let f = lu_factor_ws(a, ws)?;
     f.solve_into(b.view(), x);
-    ws.recycle(f.lu);
+    f.recycle_into(ws);
     Ok(())
 }
 
@@ -402,7 +439,7 @@ pub fn zgesv_into(a: &ZMat, b: &ZMat, x: &mut ZMat, ws: &Workspace) -> Result<()
 pub fn zgesv_nopiv_into(a: &ZMat, b: &ZMat, x: &mut ZMat, ws: &Workspace) -> Result<()> {
     let f = lu_factor_nopiv_ws(a, ws)?;
     f.solve_into(b.view(), x);
-    ws.recycle(f.lu);
+    f.recycle_into(ws);
     Ok(())
 }
 

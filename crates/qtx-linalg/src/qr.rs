@@ -4,65 +4,319 @@
 //! projector's range (subspace iteration hygiene) and least-squares
 //! pseudo-inverses for the tall-skinny mode matrices `U` when assembling
 //! boundary self-energies from an incomplete (annulus-only) mode set.
+//!
+//! # Blocked compact-WY factorization
+//!
+//! Above a measured ~192-column crossover (higher than the LU stack's 96:
+//! the QR panel's serial reflector dots amortize more slowly than LU's
+//! rank-1 axpys), the factorization runs **blocked right-looking** on the
+//! gemm/trsm substrate: 48-wide panels are factored with the scalar
+//! reflector loop, then the panel's reflectors are aggregated into the
+//! compact-WY form
+//!
+//! ```text
+//! Q_panel = H_0·H_1···H_{kb−1} = I − V·T·Vᴴ
+//! ```
+//!
+//! with `V` the unit-lower-trapezoidal reflector matrix and `T` a small
+//! upper-triangular factor. `T` is recovered from the Gram matrix
+//! `S = VᴴV` through the identity `T⁻¹ = diag(1/τ) + strict_upper(S)` —
+//! one [`crate::trsm`] solve of the identity against that triangle (with a
+//! scalar recurrence fallback when a τ vanishes, where the inverse
+//! formulation breaks down). The trailing update is then two gemms around
+//! a small one:
+//!
+//! ```text
+//! W = Vᴴ·B,    B ← B − V·(Tᴴ·W)
+//! ```
+//!
+//! so the bulk of the `8·(m·n² − n³/3)` flops runs on the packed 8×4
+//! microkernel. The per-panel `T` factors are retained in the returned
+//! [`QrFactors`], so `Q`-applications (`apply_qh`, `q_thin`, least
+//! squares) replay the same blocked WY updates instead of one reflector
+//! at a time, and the `R` back-substitution is a blocked [`crate::trsm`]
+//! sweep. The unblocked path is kept as a runtime A/B baseline behind
+//! [`force_unblocked_qr`] (used by `bench_qr_json`), and every entry
+//! point has a workspace-borrowing form ([`qr_factor_ws`],
+//! [`QrFactors::apply_qh_into`], [`QrFactors::least_squares_into`],
+//! [`QrFactors::q_thin_into`]) so warm factor/apply loops perform zero
+//! fresh matrix allocations.
 
 use crate::complex::{c64, Complex64};
 use crate::flops::{counts, flops_add};
-use crate::gemm::{gemm, Op};
-use crate::zmat::ZMat;
+use crate::gemm::{gemm, gemm_into_unc, Op};
+use crate::trsm::{trsm_unc, Diag, Side, UpLo};
+use crate::workspace::Workspace;
+use crate::zmat::{ZMat, ZMatMut, ZMatRef};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Panel width of the blocked factorization (wider than the LU/LDL
+/// 32-panels: the QR panel amortizes its scalar dot products over two
+/// trailing gemms, and 48 measured fastest on this container at 256–512).
+const NB: usize = 48;
+
+/// Smallest column count that takes the blocked path. Measured on this
+/// container (`bench_qr_json`): break-even against the slice-tuned
+/// unblocked loop sits near n ≈ 200 — higher than the LU stack's 96,
+/// because the QR panel's serial reflector dots amortize more slowly
+/// than LU's rank-1 axpys — so dispatch starts at four full panels.
+const BLOCK_MIN: usize = 192;
+
+/// A/B baseline switch: `true` forces every QR factorization (and the
+/// blocked Hessenberg reduction in [`crate::eig`]) through the unblocked
+/// scalar path regardless of size.
+static FORCE_UNBLOCKED: AtomicBool = AtomicBool::new(false);
+
+/// Routes QR factorizations (and the Hessenberg reduction) through the
+/// unblocked baseline (or back). Benchmark-only: `bench_qr_json` uses it
+/// to measure blocked-vs-unblocked speedups end to end in one process.
+pub fn force_unblocked_qr(on: bool) {
+    FORCE_UNBLOCKED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the unblocked baseline is currently forced.
+pub(crate) fn qr_unblocked_forced() -> bool {
+    FORCE_UNBLOCKED.load(Ordering::Relaxed)
+}
 
 /// Packed Householder QR factors of an m×n matrix (m ≥ n).
 #[derive(Debug, Clone)]
 pub struct QrFactors {
     /// Reflectors below the diagonal, R on and above.
     packed: ZMat,
-    /// Scalar reflector coefficients τ.
-    tau: Vec<Complex64>,
+    /// Scalar reflector coefficients τ (n×1 column).
+    tau: ZMat,
+    /// Compact-WY `T` factors, one `kb×kb` upper-triangular block per
+    /// panel at `[0..kb, k0..k0+kb]`; empty for unblocked factors.
+    ts: ZMat,
 }
 
 /// Computes the Householder QR factorization of `a` (requires m ≥ n).
 pub fn qr_factor(a: &ZMat) -> QrFactors {
+    factor_entry(a.clone(), None)
+}
+
+/// [`qr_factor`] with the working copy (and the τ/`T` stores) borrowed
+/// from `ws` — the zero-churn form for factor loops; hand the buffers
+/// back with [`QrFactors::recycle_into`] when the factors are spent.
+pub fn qr_factor_ws(a: &ZMat, ws: &Workspace) -> QrFactors {
+    factor_entry(ws.copy_of(a), Some(ws))
+}
+
+/// The unblocked one-reflector-at-a-time baseline, kept callable for A/B
+/// measurements and the blocked-vs-unblocked property tests.
+pub fn qr_factor_unblocked(a: &ZMat) -> QrFactors {
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n, "qr_factor requires rows ≥ cols");
     flops_add(counts::zgeqrf(m, n));
     let mut p = a.clone();
-    let mut tau = vec![Complex64::ZERO; n];
-    for k in 0..n {
-        // Generate the reflector for column k (LAPACK zlarfg).
-        let alpha = p[(k, k)];
-        let mut xnorm_sq = 0.0;
-        for i in k + 1..m {
-            xnorm_sq += p[(i, k)].norm_sqr();
-        }
-        if xnorm_sq == 0.0 && alpha.im == 0.0 {
-            tau[k] = Complex64::ZERO;
+    let mut tau = ZMat::zeros(n, 1);
+    factor_panel(&mut p, &mut tau, 0, n, n);
+    QrFactors { packed: p, tau, ts: ZMat::empty() }
+}
+
+/// Shared entry: counts, dispatches on size, pools scratch when possible.
+fn factor_entry(mut p: ZMat, ws: Option<&Workspace>) -> QrFactors {
+    let (m, n) = (p.rows(), p.cols());
+    assert!(m >= n, "qr_factor requires rows ≥ cols");
+    flops_add(counts::zgeqrf(m, n));
+    let mut tau = match ws {
+        Some(ws) => ws.take_scratch(n, 1),
+        None => ZMat::zeros(n, 1),
+    };
+    let ts = if n < BLOCK_MIN || qr_unblocked_forced() {
+        factor_panel(&mut p, &mut tau, 0, n, n);
+        ZMat::empty()
+    } else {
+        let local;
+        let scratch = match ws {
+            Some(ws) => ws,
+            None => {
+                local = Workspace::new();
+                &local
+            }
+        };
+        let mut ts = scratch.take_scratch(NB, n);
+        factor_blocked(&mut p, &mut tau, &mut ts, scratch);
+        ts
+    };
+    QrFactors { packed: p, tau, ts }
+}
+
+/// LAPACK `zlarfg` on a column slice: `col[0]` holds α on entry and β on
+/// exit, `col[1..]` the entries to annihilate on entry and the reflector
+/// tail `v` on exit (implicit unit head). Returns τ — zero (leaving the
+/// slice untouched) when the input is already reduced. **The single home
+/// of the reflector sign/τ convention**, shared by the QR panels and
+/// both Hessenberg reduction paths in [`crate::eig`].
+pub(crate) fn zlarfg(col: &mut [Complex64]) -> Complex64 {
+    let alpha = col[0];
+    let mut xnorm_sq = 0.0;
+    for z in &col[1..] {
+        xnorm_sq += z.norm_sqr();
+    }
+    if xnorm_sq == 0.0 && alpha.im == 0.0 {
+        return Complex64::ZERO;
+    }
+    let beta_mag = (alpha.norm_sqr() + xnorm_sq).sqrt();
+    let beta = if alpha.re >= 0.0 { -beta_mag } else { beta_mag };
+    let scale = (alpha - c64(beta, 0.0)).inv();
+    for z in col[1..].iter_mut() {
+        *z *= scale;
+    }
+    col[0] = c64(beta, 0.0);
+    c64((beta - alpha.re) / beta, -alpha.im / beta)
+}
+
+/// Generates the Householder reflector for column `k`: on exit the
+/// diagonal holds β, the sub-column holds `v` (implicit unit head), and
+/// `tau[k]` the coefficient. Returns the τ.
+fn reflector(p: &mut ZMat, tau: &mut ZMat, k: usize) -> Complex64 {
+    let m = p.rows();
+    let tau_k = zlarfg(&mut p.col_mut(k)[k..m]);
+    tau[(k, 0)] = tau_k;
+    tau_k
+}
+
+/// Scalar panel factorization: reflectors for columns `k0..k1`, each
+/// applied (as `Hᴴ`) to columns `k+1..col_hi` only — the full matrix for
+/// the unblocked path, the panel itself for the blocked path.
+fn factor_panel(p: &mut ZMat, tau: &mut ZMat, k0: usize, k1: usize, col_hi: usize) {
+    let m = p.rows();
+    for k in k0..k1 {
+        let tau_k = reflector(p, tau, k);
+        if tau_k == Complex64::ZERO {
             continue;
         }
-        let beta_mag = (alpha.norm_sqr() + xnorm_sq).sqrt();
-        let beta = if alpha.re >= 0.0 { -beta_mag } else { beta_mag };
-        let tau_k = c64((beta - alpha.re) / beta, -alpha.im / beta);
-        tau[k] = tau_k;
-        let scale = (alpha - c64(beta, 0.0)).inv();
-        for i in k + 1..m {
-            p[(i, k)] *= scale;
-        }
-        p[(k, k)] = c64(beta, 0.0);
-        // Apply Hᴴ = I − τ̄ v vᴴ to the trailing columns (LAPACK zgeqr2
-        // uses conj(tau), so that Q = H(1)···H(k) with plain τ).
-        for j in k + 1..n {
-            // w = vᴴ · A(:, j)  with v = [1, p[k+1.., k]]
-            let mut w = p[(k, j)];
-            for i in k + 1..m {
-                w += p[(i, k)].conj() * p[(i, j)];
-            }
-            let f = tau_k.conj() * w;
-            p[(k, j)] -= f;
-            for i in k + 1..m {
-                let vik = p[(i, k)];
-                p[(i, j)] -= vik * f;
+        let tch = tau_k.conj();
+        for j in k + 1..col_hi {
+            // w = vᴴ·A(:, j) with v = [1, p[k+1.., k]] (column slices so
+            // the dot/axpy pair vectorizes).
+            let (ck, cj) = p.two_cols_mut(k, j);
+            let w = cj[k] + Complex64::dot_conj(&ck[k + 1..m], &cj[k + 1..m]);
+            let f = tch * w;
+            cj[k] -= f;
+            let neg = -f;
+            for (xi, &vi) in cj[k + 1..m].iter_mut().zip(&ck[k + 1..m]) {
+                *xi = xi.mul_add(vi, neg);
             }
         }
     }
-    QrFactors { packed: p, tau }
+}
+
+/// Blocked right-looking factorization: scalar 48-wide panels, `T` via
+/// trsm on the Gram triangle, compact-WY trailing updates on gemm.
+fn factor_blocked(p: &mut ZMat, tau: &mut ZMat, ts: &mut ZMat, ws: &Workspace) {
+    let (m, n) = (p.rows(), p.cols());
+    let mut vbuf = ws.take_scratch(m, NB);
+    let mut wbuf = ws.take_scratch(NB, n);
+    let mut w2buf = ws.take_scratch(NB, n);
+    let mut sbuf = ws.take_scratch(NB, NB);
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = NB.min(n - k0);
+        factor_panel(p, tau, k0, k0 + kb, k0 + kb);
+        stage_v(&p.block_view(k0, k0, m - k0, kb), &mut vbuf);
+        let v = vbuf.block_view(0, 0, m - k0, kb);
+        build_t(v, tau, &mut sbuf, ts, k0, kb);
+        let nr = n - k0 - kb;
+        if nr > 0 {
+            let t = ts.block_view(0, k0, kb, kb);
+            let b = p.block_view_mut(k0, k0 + kb, m - k0, nr);
+            apply_panel_wy(v, t, true, b, &mut wbuf, &mut w2buf);
+        }
+        k0 += kb;
+    }
+    ws.recycle(vbuf);
+    ws.recycle(wbuf);
+    ws.recycle(w2buf);
+    ws.recycle(sbuf);
+}
+
+/// Materializes the unit-lower-trapezoidal `V` of one panel (packed
+/// reflectors `src`, R entries on/above the diagonal) into the staging
+/// buffer: zeros above, explicit unit diagonal, reflector tails below.
+/// Shared with the blocked Hessenberg reduction in [`crate::eig`], whose
+/// packed panels have the same unit-lower-trapezoid shape one row below
+/// the diagonal.
+pub(crate) fn stage_v(src: &ZMatRef<'_>, vbuf: &mut ZMat) {
+    let (mv, kb) = (src.rows(), src.cols());
+    for t in 0..kb {
+        let dst = &mut vbuf.col_mut(t)[..mv];
+        dst[..t].fill(Complex64::ZERO);
+        dst[t] = Complex64::ONE;
+        dst[t + 1..].copy_from_slice(&src.col(t)[t + 1..]);
+    }
+}
+
+/// Builds the panel's upper-triangular `T` into `ts[0..kb, k0..k0+kb]`
+/// from `Q_panel = I − V·T·Vᴴ`: the Gram matrix `S = VᴴV` gives
+/// `T⁻¹ = diag(1/τ) + strict_upper(S)`, solved against the identity with
+/// one trsm. A vanishing τ (exactly dependent column) voids the inverse
+/// formulation, so that case falls back to the `zlarft` column recurrence
+/// `T(0:j, j) = −τ_j·T·S(0:j, j)`.
+fn build_t(v: ZMatRef<'_>, tau: &ZMat, sbuf: &mut ZMat, ts: &mut ZMat, k0: usize, kb: usize) {
+    let mut s = sbuf.block_view_mut(0, 0, kb, kb);
+    gemm_into_unc(Complex64::ONE, v, Op::Adjoint, v, Op::None, Complex64::ZERO, s.rb());
+    let all_nonzero = (0..kb).all(|t| tau[(k0 + t, 0)] != Complex64::ZERO);
+    let mut tblk = ts.block_view_mut(0, k0, kb, kb);
+    if all_nonzero {
+        // M = diag(1/τ) + strict_upper(S); T = M⁻¹ via trsm on I.
+        for t in 0..kb {
+            *s.at_mut(t, t) = tau[(k0 + t, 0)].inv();
+        }
+        for j in 0..kb {
+            let col = tblk.col_mut(j);
+            col.fill(Complex64::ZERO);
+            col[j] = Complex64::ONE;
+        }
+        trsm_unc(Side::Left, UpLo::Upper, Op::None, Diag::NonUnit, s.as_ref(), tblk);
+    } else {
+        for j in 0..kb {
+            let tau_j = tau[(k0 + j, 0)];
+            // tmp_i = Σ_{l=i..j} T(i,l)·S(l,j), then T(0:j,j) = −τ_j·tmp.
+            let mut tmp = [Complex64::ZERO; NB];
+            for (i, t) in tmp[..j].iter_mut().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for l in i..j {
+                    acc = acc.mul_add(tblk.at(i, l), s.at(l, j));
+                }
+                *t = acc;
+            }
+            let col = tblk.col_mut(j);
+            col.fill(Complex64::ZERO);
+            for (ci, &ti) in col[..j].iter_mut().zip(&tmp[..j]) {
+                *ci = -(tau_j * ti);
+            }
+            col[j] = tau_j;
+        }
+    }
+}
+
+/// Applies one panel's compact-WY block reflector in place:
+/// `B ← (I − V·Tᴴ·Vᴴ)·B` when `adjoint` (the `Qᴴ` direction used by the
+/// factorization and `apply_qh`), `B ← (I − V·T·Vᴴ)·B` otherwise (the `Q`
+/// direction used by `q_thin`). Three gemms: `W = Vᴴ·B`, the small
+/// `T`-transform, `B −= V·W`.
+pub(crate) fn apply_panel_wy(
+    v: ZMatRef<'_>,
+    t: ZMatRef<'_>,
+    adjoint: bool,
+    mut b: ZMatMut<'_>,
+    wbuf: &mut ZMat,
+    w2buf: &mut ZMat,
+) {
+    let kb = v.cols();
+    let nc = b.cols();
+    if nc == 0 {
+        return;
+    }
+    let mut w = wbuf.block_view_mut(0, 0, kb, nc);
+    gemm_into_unc(Complex64::ONE, v, Op::Adjoint, b.as_ref(), Op::None, Complex64::ZERO, w.rb());
+    let mut w2 = w2buf.block_view_mut(0, 0, kb, nc);
+    let t_op = if adjoint { Op::Adjoint } else { Op::None };
+    gemm_into_unc(Complex64::ONE, t, t_op, w.as_ref(), Op::None, Complex64::ZERO, w2.rb());
+    gemm_into_unc(-Complex64::ONE, v, Op::None, w2.as_ref(), Op::None, Complex64::ONE, b.rb());
 }
 
 impl QrFactors {
@@ -78,78 +332,181 @@ impl QrFactors {
         r
     }
 
+    /// τ coefficient of reflector `k`.
+    #[inline]
+    fn tau_k(&self, k: usize) -> Complex64 {
+        self.tau[(k, 0)]
+    }
+
     /// The thin orthonormal factor `Q` (m×n, QᴴQ = I).
     pub fn q_thin(&self) -> ZMat {
         let (m, n) = (self.packed.rows(), self.packed.cols());
         let mut q = ZMat::zeros(m, n);
+        self.q_thin_into(&mut q, &Workspace::new());
+        q
+    }
+
+    /// Writes the thin `Q` into a caller-provided m×n buffer (typically
+    /// borrowed from `ws`, which also supplies the WY staging scratch).
+    pub fn q_thin_into(&self, q: &mut ZMat, ws: &Workspace) {
+        let (m, n) = (self.packed.rows(), self.packed.cols());
+        assert_eq!((q.rows(), q.cols()), (m, n), "q_thin_into output shape mismatch");
+        flops_add(counts::zunmqr(m, n, n));
+        q.as_mut_slice().fill(Complex64::ZERO);
         for k in 0..n {
             q[(k, k)] = Complex64::ONE;
         }
-        // Apply reflectors in reverse order: Q = H_0 H_1 ... H_{n-1} I.
-        for k in (0..n).rev() {
-            let tau_k = self.tau[k];
-            if tau_k == Complex64::ZERO {
-                continue;
-            }
-            for j in 0..n {
-                let mut w = q[(k, j)];
-                for i in k + 1..m {
-                    w += self.packed[(i, k)].conj() * q[(i, j)];
+        if self.ts.cols() > 0 {
+            // Blocked: Q = Q_p0·Q_p1···I applied in reverse panel order.
+            let mut vbuf = ws.take_scratch(m, NB);
+            let mut wbuf = ws.take_scratch(NB, n);
+            let mut w2buf = ws.take_scratch(NB, n);
+            let mut k0 = n - (n - 1) % NB - 1;
+            loop {
+                let kb = NB.min(n - k0);
+                stage_v(&self.packed.block_view(k0, k0, m - k0, kb), &mut vbuf);
+                let v = vbuf.block_view(0, 0, m - k0, kb);
+                let t = self.ts.block_view(0, k0, kb, kb);
+                let b = q.block_view_mut(k0, 0, m - k0, n);
+                apply_panel_wy(v, t, false, b, &mut wbuf, &mut w2buf);
+                if k0 == 0 {
+                    break;
                 }
-                let f = tau_k * w;
-                q[(k, j)] -= f;
-                for i in k + 1..m {
-                    let vik = self.packed[(i, k)];
-                    q[(i, j)] -= vik * f;
+                k0 -= NB;
+            }
+            ws.recycle(vbuf);
+            ws.recycle(wbuf);
+            ws.recycle(w2buf);
+        } else {
+            // Apply reflectors in reverse order: Q = H_0·H_1···H_{n−1}·I.
+            for k in (0..n).rev() {
+                let tau_k = self.tau_k(k);
+                if tau_k == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    let mut w = q[(k, j)];
+                    for i in k + 1..m {
+                        w += self.packed[(i, k)].conj() * q[(i, j)];
+                    }
+                    let f = tau_k * w;
+                    q[(k, j)] -= f;
+                    for i in k + 1..m {
+                        let vik = self.packed[(i, k)];
+                        q[(i, j)] -= vik * f;
+                    }
                 }
             }
         }
-        q
     }
 
     /// Applies `Qᴴ` to a matrix (m×p → m×p, top n rows meaningful).
     pub fn apply_qh(&self, b: &ZMat) -> ZMat {
-        let (m, n) = (self.packed.rows(), self.packed.cols());
-        assert_eq!(b.rows(), m);
         let mut x = b.clone();
-        for k in 0..n {
-            let tau_k = self.tau[k];
-            if tau_k == Complex64::ZERO {
-                continue;
+        self.apply_qh_mut(&mut x, &Workspace::new());
+        x
+    }
+
+    /// [`QrFactors::apply_qh`] writing into a caller-provided buffer
+    /// (fully overwritten) with WY staging scratch borrowed from `ws`.
+    pub fn apply_qh_into(&self, b: ZMatRef<'_>, x: &mut ZMat, ws: &Workspace) {
+        assert_eq!(
+            (x.rows(), x.cols()),
+            (b.rows(), b.cols()),
+            "apply_qh_into output shape mismatch"
+        );
+        x.view_mut().copy_from_view(b);
+        self.apply_qh_mut(x, ws);
+    }
+
+    /// In-place `X ← Qᴴ·X` — blocked WY sweeps when the factors carry
+    /// panel `T`s, the scalar reflector loop otherwise.
+    fn apply_qh_mut(&self, x: &mut ZMat, ws: &Workspace) {
+        let (m, n) = (self.packed.rows(), self.packed.cols());
+        assert_eq!(x.rows(), m, "apply_qh rhs row count mismatch");
+        let nc = x.cols();
+        flops_add(counts::zunmqr(m, nc, n));
+        if self.ts.cols() > 0 {
+            let mut vbuf = ws.take_scratch(m, NB);
+            let mut wbuf = ws.take_scratch(NB, nc.max(1));
+            let mut w2buf = ws.take_scratch(NB, nc.max(1));
+            let mut k0 = 0;
+            while k0 < n {
+                let kb = NB.min(n - k0);
+                stage_v(&self.packed.block_view(k0, k0, m - k0, kb), &mut vbuf);
+                let v = vbuf.block_view(0, 0, m - k0, kb);
+                let t = self.ts.block_view(0, k0, kb, kb);
+                let b = x.block_view_mut(k0, 0, m - k0, nc);
+                apply_panel_wy(v, t, true, b, &mut wbuf, &mut w2buf);
+                k0 += kb;
             }
-            for j in 0..x.cols() {
-                let mut w = x[(k, j)];
-                for i in k + 1..m {
-                    w += self.packed[(i, k)].conj() * x[(i, j)];
+            ws.recycle(vbuf);
+            ws.recycle(wbuf);
+            ws.recycle(w2buf);
+        } else {
+            for k in 0..n {
+                let tau_k = self.tau_k(k);
+                if tau_k == Complex64::ZERO {
+                    continue;
                 }
-                let f = tau_k.conj() * w;
-                x[(k, j)] -= f;
-                for i in k + 1..m {
-                    let vik = self.packed[(i, k)];
-                    x[(i, j)] -= vik * f;
+                let tch = tau_k.conj();
+                for j in 0..nc {
+                    let mut w = x[(k, j)];
+                    for i in k + 1..m {
+                        w += self.packed[(i, k)].conj() * x[(i, j)];
+                    }
+                    let f = tch * w;
+                    x[(k, j)] -= f;
+                    for i in k + 1..m {
+                        let vik = self.packed[(i, k)];
+                        x[(i, j)] -= vik * f;
+                    }
                 }
             }
         }
-        x
     }
 
     /// Solves the least-squares problem `min ‖A·x − b‖₂` via `R x = Qᴴ b`.
     pub fn least_squares(&self, b: &ZMat) -> ZMat {
         let n = self.packed.cols();
-        let qhb = self.apply_qh(b);
-        let mut x = qhb.block(0, 0, n, b.cols());
-        // Back substitution with R.
-        for j in 0..x.cols() {
-            for k in (0..n).rev() {
-                let mut v = x[(k, j)];
-                for i in k + 1..n {
-                    v -= self.packed[(k, i)] * x[(i, j)];
-                }
-                x[(k, j)] = v * self.packed[(k, k)].inv();
-            }
-        }
-        flops_add(counts::zgetrs(n, b.cols()));
+        let ws = Workspace::new();
+        let mut x = ZMat::zeros(n, b.cols());
+        self.least_squares_into(b.view(), &mut x, &ws);
         x
+    }
+
+    /// [`QrFactors::least_squares`] writing the n×nrhs solution into a
+    /// caller-provided buffer, every temporary borrowed from `ws`.
+    pub fn least_squares_into(&self, b: ZMatRef<'_>, x: &mut ZMat, ws: &Workspace) {
+        let (m, n) = (self.packed.rows(), self.packed.cols());
+        assert_eq!(b.rows(), m, "least_squares rhs row count mismatch");
+        let nrhs = b.cols();
+        assert_eq!((x.rows(), x.cols()), (n, nrhs), "least_squares_into output shape mismatch");
+        let mut qhb = ws.take_scratch(m, nrhs);
+        qhb.view_mut().copy_from_view(b);
+        self.apply_qh_mut(&mut qhb, ws);
+        for j in 0..nrhs {
+            x.col_mut(j).copy_from_slice(&qhb.col(j)[..n]);
+        }
+        ws.recycle(qhb);
+        // Back substitution with R: one blocked triangular sweep.
+        flops_add(counts::ztrsm(n, nrhs));
+        trsm_unc(
+            Side::Left,
+            UpLo::Upper,
+            Op::None,
+            Diag::NonUnit,
+            self.packed.block_view(0, 0, n, n),
+            x.view_mut(),
+        );
+    }
+
+    /// Consumes the factors, returning every backing buffer — packed
+    /// matrix, τ column and `T` store — to the pool.
+    pub fn recycle_into(self, ws: &Workspace) {
+        ws.recycle(self.packed);
+        ws.recycle(self.tau);
+        ws.recycle(self.ts);
     }
 }
 
@@ -162,6 +519,16 @@ pub fn qr(a: &ZMat) -> (ZMat, ZMat) {
 /// Orthonormalizes the columns of `a` (thin Q of its QR factorization).
 pub fn orthonormalize(a: &ZMat) -> ZMat {
     qr_factor(a).q_thin()
+}
+
+/// [`orthonormalize`] over pooled scratch: the returned `Q` and every
+/// internal temporary are borrowed from `ws` (recycle `Q` when spent).
+pub fn orthonormalize_ws(a: &ZMat, ws: &Workspace) -> ZMat {
+    let f = qr_factor_ws(a, ws);
+    let mut q = ws.take_scratch(a.rows(), a.cols());
+    f.q_thin_into(&mut q, ws);
+    f.recycle_into(ws);
+    q
 }
 
 /// Least-squares solve `min ‖A·x − b‖₂` (A must be m×n with m ≥ n).
@@ -262,5 +629,139 @@ mod tests {
         // First column must be normalized.
         let n0: f64 = q.col(0).iter().map(|z| z.norm_sqr()).sum();
         assert!((n0 - 1.0).abs() < 1e-12);
+    }
+
+    // ── blocked-path tests ───────────────────────────────────────────
+
+    /// Reference reconstruction error ‖QR − A‖ and defect ‖QᴴQ − I‖.
+    fn check_factorization(a: &ZMat, f: &QrFactors, tol: f64) {
+        let q = f.q_thin();
+        let r = f.r();
+        assert!((&q * &r).max_diff(a) < tol, "QR ≠ A: {:.2e}", (&q * &r).max_diff(a));
+        assert!(orthonormality_defect(&q) < tol, "QᴴQ ≠ I: {:.2e}", orthonormality_defect(&q));
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_across_crossover() {
+        for (m, n, seed) in [(200, 200, 21u64), (230, 197, 22), (256, 224, 23), (192, 192, 24)] {
+            let a = ZMat::random(m, n, seed);
+            let fb = qr_factor(&a);
+            assert!(fb.ts.cols() > 0, "n = {n} must take the blocked path");
+            let fu = qr_factor_unblocked(&a);
+            check_factorization(&a, &fb, 1e-9 * m as f64);
+            // Same reflectors and R up to roundoff (the panels reproduce
+            // the scalar algorithm exactly; only summation order differs).
+            let scale = a.norm_max().max(1.0);
+            assert!(
+                fb.packed.max_diff(&fu.packed) < 1e-10 * scale * m as f64,
+                "packed drift {:.2e}",
+                fb.packed.max_diff(&fu.packed)
+            );
+            let b = ZMat::random(m, 3, seed + 100);
+            let xb = fb.least_squares(&b);
+            let xu = fu.least_squares(&b);
+            assert!(xb.max_diff(&xu) < 1e-8 * m as f64, "{:.2e}", xb.max_diff(&xu));
+        }
+    }
+
+    #[test]
+    fn blocked_tall_skinny() {
+        // m ≫ n with n above the crossover: multiple panels, long tails.
+        let a = ZMat::random(700, 224, 31);
+        let f = qr_factor(&a);
+        assert!(f.ts.cols() > 0);
+        check_factorization(&a, &f, 1e-7);
+        let b = ZMat::random(700, 2, 32);
+        let x = f.least_squares(&b);
+        // Residual orthogonal to range(A).
+        let r = &b - &(&a * &x);
+        let mut proj = ZMat::zeros(224, 2);
+        gemm(Complex64::ONE, &a, Op::Adjoint, &r, Op::None, Complex64::ZERO, &mut proj);
+        assert!(proj.norm_max() < 1e-7, "Aᴴr = {:.3e}", proj.norm_max());
+    }
+
+    #[test]
+    fn blocked_rank_deficient() {
+        // Duplicate a column band across a panel boundary and zero a few
+        // columns outright: the exactly-zero columns produce τ = 0
+        // reflectors, exercising the recurrence fallback for T (the
+        // trsm-inverse formulation needs every τ nonzero).
+        let mut a = ZMat::random(260, 200, 41);
+        for j in 100..104 {
+            let src: Vec<Complex64> = a.col(j - 100).to_vec();
+            a.col_mut(j).copy_from_slice(&src);
+        }
+        for j in 60..62 {
+            a.col_mut(j).fill(Complex64::ZERO);
+        }
+        let f = qr_factor(&a);
+        assert!(f.ts.cols() > 0);
+        assert!(f.tau_k(60) == Complex64::ZERO, "zero column must give τ = 0");
+        let q = f.q_thin();
+        // Q still reproduces A with R (rank-deficient R has ~zero rows).
+        assert!((&q * &f.r()).max_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn force_unblocked_switch_controls_dispatch() {
+        let a = ZMat::random(224, 224, 51);
+        let fb = qr_factor(&a);
+        assert!(fb.ts.cols() > 0);
+        force_unblocked_qr(true);
+        let fu = qr_factor(&a);
+        force_unblocked_qr(false);
+        assert_eq!(fu.ts.cols(), 0, "forced factorization must be unblocked");
+        assert!(fb.packed.max_diff(&fu.packed) < 1e-8);
+    }
+
+    #[test]
+    fn ws_factor_is_bit_identical_to_fresh() {
+        let a = ZMat::random(240, 200, 61);
+        let b = ZMat::random(240, 4, 62);
+        let fresh = qr_factor(&a);
+        let x_fresh = fresh.least_squares(&b);
+        // Dirty pool: recycled through a decoy factorization first.
+        let ws = Workspace::new();
+        let decoy = qr_factor_ws(&ZMat::random(250, 220, 63), &ws);
+        decoy.recycle_into(&ws);
+        let f = qr_factor_ws(&a, &ws);
+        assert!(f.packed.max_diff(&fresh.packed) == 0.0, "recycled pool changed factor bits");
+        let mut x = ws.take_scratch(200, 4);
+        f.least_squares_into(b.view(), &mut x, &ws);
+        assert!(x.max_diff(&x_fresh) == 0.0, "recycled pool changed solve bits");
+        f.recycle_into(&ws);
+        ws.recycle(x);
+    }
+
+    #[test]
+    fn q_thin_into_matches_q_thin() {
+        let a = ZMat::random(270, 220, 71);
+        let f = qr_factor(&a);
+        assert!(f.ts.cols() > 0);
+        let q_ref = f.q_thin();
+        let ws = Workspace::new();
+        let mut q = ws.take_scratch(270, 220);
+        f.q_thin_into(&mut q, &ws);
+        assert!(q.max_diff(&q_ref) == 0.0);
+    }
+
+    #[test]
+    fn orthonormalize_ws_matches_plain() {
+        let ws = Workspace::new();
+        for trial in 0..2 {
+            let a = ZMat::random(40, 9, 81 + trial);
+            let q_ref = orthonormalize(&a);
+            let q = orthonormalize_ws(&a, &ws);
+            assert!(q.max_diff(&q_ref) == 0.0, "trial {trial}");
+            ws.recycle(q);
+        }
+    }
+
+    #[test]
+    fn counts_blocked_qr_by_formula() {
+        let a = ZMat::random(224, 224, 91);
+        let scope = crate::flops::FlopScope::start();
+        let _ = qr_factor(&a);
+        assert!(scope.elapsed() >= counts::zgeqrf(224, 224));
     }
 }

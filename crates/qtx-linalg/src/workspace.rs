@@ -28,10 +28,20 @@ use crate::zmat::{ZMat, ZMatRef};
 use std::sync::Mutex;
 
 /// A pool of reusable column-major buffers for dense temporaries.
+///
+/// Besides the complex matrix pool, the workspace also pools the
+/// `Vec<usize>` index buffers the pivoted factorizations consume (one
+/// `perm` gather map and one `ipiv` interchange sequence per LU call):
+/// [`Workspace::take_index`] hands out an identity-initialized index
+/// vector from the spare pile and [`Workspace::recycle_index`] returns a
+/// spent one, so the zero-allocation property of a warm factor+solve loop
+/// covers the pivot bookkeeping too.
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Mutex<Vec<Vec<Complex64>>>,
     fresh: Mutex<u64>,
+    idx_pool: Mutex<Vec<Vec<usize>>>,
+    idx_fresh: Mutex<u64>,
 }
 
 impl Workspace {
@@ -129,11 +139,54 @@ impl Workspace {
         self.matmul_op(a, Op::None, b, Op::None)
     }
 
+    /// Hands out an index buffer holding the identity permutation
+    /// `0, 1, …, n−1`, reusing a pooled buffer's capacity when one is
+    /// available — the pivot-vector counterpart of [`Workspace::take`],
+    /// consumed by `lu_factor_ws`-style factorizations for their `perm`
+    /// and `ipiv` vectors.
+    pub fn take_index(&self, n: usize) -> Vec<usize> {
+        let recycled = {
+            let mut pool = self.idx_pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut best: Option<(usize, usize)> = None;
+            for (idx, buf) in pool.iter().enumerate() {
+                let cap = buf.capacity();
+                if cap >= n && best.is_none_or(|(_, c)| cap < c) {
+                    best = Some((idx, cap));
+                }
+            }
+            best.map(|(idx, _)| pool.swap_remove(idx))
+        };
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf.extend(0..n);
+                buf
+            }
+            None => {
+                *self.idx_fresh.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+                (0..n).collect()
+            }
+        }
+    }
+
+    /// Returns a spent index buffer to the pool.
+    pub fn recycle_index(&self, v: Vec<usize>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        self.idx_pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(v);
+    }
+
     /// Fresh (non-recycled) allocations the pool has had to make — the
     /// steady-state value stays flat once the pool is warm, which the
     /// reuse tests assert.
     pub fn fresh_allocations(&self) -> u64 {
         *self.fresh.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Fresh index-buffer allocations (see [`Workspace::take_index`]).
+    pub fn fresh_index_allocations(&self) -> u64 {
+        *self.idx_fresh.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Number of currently pooled spare buffers.
@@ -200,6 +253,21 @@ mod tests {
         assert_eq!(ws.pooled(), 1);
         assert!(ws.pool.lock().unwrap().iter().all(|b| b.capacity() >= 1024));
         drop(m);
+    }
+
+    #[test]
+    fn index_pool_reuses_capacity() {
+        let ws = Workspace::new();
+        let a = ws.take_index(16);
+        assert_eq!(a, (0..16).collect::<Vec<_>>());
+        ws.recycle_index(a);
+        // Smaller request reuses the 16-slot buffer, re-identity-filled.
+        let b = ws.take_index(8);
+        assert_eq!(b, (0..8).collect::<Vec<_>>());
+        assert_eq!(ws.fresh_index_allocations(), 1);
+        ws.recycle_index(b);
+        let _c = ws.take_index(32); // larger: fresh allocation
+        assert_eq!(ws.fresh_index_allocations(), 2);
     }
 
     #[test]

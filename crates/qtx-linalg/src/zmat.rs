@@ -63,6 +63,27 @@ impl ZMat {
         ZMat { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
     }
 
+    /// Zero-size placeholder matrix (0 × 0). Performs **no** heap
+    /// allocation and therefore does not count against [`alloc_count`] —
+    /// the factorization structs use it for optional payloads (e.g. the
+    /// compact-WY `T` store of an unblocked QR) so zero-allocation warm
+    /// loops stay zero-allocation.
+    pub fn empty() -> Self {
+        ZMat { rows: 0, cols: 0, data: Vec::new() }
+    }
+
+    /// Overwrites every entry with the same deterministic uniform stream
+    /// [`ZMat::random`] produces for this `seed` — the in-place,
+    /// pool-friendly counterpart used by the FEAST/Beyn probe matrices.
+    pub fn randomize(&mut self, seed: u64) {
+        let mut rng = Pcg64::new(seed);
+        for j in 0..self.cols {
+            for i in 0..self.rows {
+                self[(i, j)] = c64(rng.uniform() * 2.0 - 1.0, rng.uniform() * 2.0 - 1.0);
+            }
+        }
+    }
+
     /// Wraps a recycled scratch buffer as a `rows × cols` column-major
     /// matrix without allocating when its capacity suffices (the
     /// [`crate::workspace::Workspace`] recycle path). **Element contents

@@ -103,7 +103,7 @@ pub fn sancho_rubio(t00: &ZMat, t01: &ZMat, t10: &ZMat, tol: f64, max_iter: usiz
         f.solve_into(alpha.view(), &mut g_alpha); // δ⁻¹ α
         let mut g_beta = ws.take_scratch(beta.rows(), beta.cols());
         f.solve_into(beta.view(), &mut g_beta); // δ⁻¹ β
-        ws.recycle(f.lu);
+        f.recycle_into(&ws);
         let a_g_b = ws.matmul(&alpha, &g_beta);
         let b_g_a = ws.matmul(&beta, &g_alpha);
         delta_s.axpy(-Complex64::ONE, &a_g_b);

@@ -24,7 +24,7 @@
 //! like the FEAST contour.
 
 use crate::companion::CompanionPencil;
-use qtx_linalg::{eig, gemm, zherk, Complex64, Op, Result, Workspace, ZMat};
+use qtx_linalg::{eig_ws, gemm, zherk, Complex64, Op, Result, Workspace, ZMat};
 use rayon::prelude::*;
 
 /// Beyn configuration.
@@ -61,10 +61,24 @@ pub fn beyn_annulus(
     pencil: &CompanionPencil,
     cfg: BeynConfig,
 ) -> Result<Vec<(Complex64, Vec<Complex64>)>> {
+    beyn_annulus_ws(pencil, cfg, &Workspace::new())
+}
+
+/// [`beyn_annulus`] over a caller-supplied buffer pool: the probe block,
+/// the two contour moments, the Gram-matrix rank revealer (the "SVD
+/// prefactorization" of `A₀`), the small `B` eigenproblem and the polish
+/// solves all recycle through `ws`, so a warm OBC sweep allocates no
+/// fresh matrices.
+pub fn beyn_annulus_ws(
+    pencil: &CompanionPencil,
+    cfg: BeynConfig,
+    ws: &Workspace,
+) -> Result<Vec<(Complex64, Vec<Complex64>)>> {
     let nf = pencil.nf;
     let nbc = 2 * nf;
     let probes = if cfg.probes == 0 { (nf + 8).min(nbc) } else { cfg.probes.min(nbc) };
-    let v_hat = ZMat::random(nbc, probes, 0xbe_11);
+    let mut v_hat = ws.take_scratch(nbc, probes);
+    v_hat.randomize(0xbe_11);
     // Quadrature nodes: outer circle (+) and inner circle (−), half-step
     // offset to dodge band-edge eigenvalues at ±1.
     let nodes: Vec<(Complex64, f64)> = (0..cfg.np)
@@ -79,46 +93,55 @@ pub fn beyn_annulus(
     // Moments: A_k = Σ_p w_p (z_p^{k+1}/N_p)·P(z_p)⁻¹·V̂  (the extra z
     // comes from dz = i·z·dθ on the circle). Per-node temporaries —
     // polynomial evaluation, factorization copy, solve buffers — all
-    // cycle through one shared pool.
-    let ws = Workspace::new();
+    // cycle through the shared pool.
     let partials: Vec<(ZMat, ZMat)> = nodes
         .par_iter()
         .map(|&(z, w)| {
-            let f = pencil.factor_poly_ws(z, &ws)?;
-            let mut s0 = pencil.solve_shifted_ws(&f, z, &v_hat, &ws);
-            ws.recycle(f.lu);
+            let f = pencil.factor_poly_ws(z, ws)?;
+            let mut s0 = pencil.solve_shifted_ws(&f, z, &v_hat, ws);
+            f.recycle_into(ws);
             let mut s1 = ws.copy_of(&s0);
             s0.scale_assign(z.scale(w / cfg.np as f64));
             s1.scale_assign((z * z).scale(w / cfg.np as f64));
             Ok((s0, s1))
         })
         .collect::<Result<Vec<_>>>()?;
-    let mut a0 = ZMat::zeros(nbc, probes);
-    let mut a1 = ZMat::zeros(nbc, probes);
+    let mut a0 = ws.take(nbc, probes);
+    let mut a1 = ws.take(nbc, probes);
     for (s0, s1) in partials {
         a0.axpy(Complex64::ONE, &s0);
         a1.axpy(Complex64::ONE, &s1);
         ws.recycle(s0);
         ws.recycle(s1);
     }
+    ws.recycle(v_hat);
     // Rank-revealing factorization of A₀ through its Gram matrix
     // (A₀ = Q·Σ·Wᴴ with Q = A₀·W·Σ⁻¹): eigen-decompose A₀ᴴA₀ = W·Σ²·Wᴴ
     // with the Hermitian rank-k update (half the flops of a full gemm).
-    let mut gram = ZMat::zeros(probes, probes);
+    let mut gram = ws.take(probes, probes);
     zherk(1.0, a0.view(), Op::Adjoint, 0.0, &mut gram);
-    let dec = eig(&gram)?;
+    let dec = match eig_ws(&gram, ws) {
+        Ok(dec) => dec,
+        Err(e) => {
+            for m in [gram, a0, a1] {
+                ws.recycle(m);
+            }
+            return Err(e);
+        }
+    };
+    ws.recycle(gram);
     let smax = dec.values.iter().map(|v| v.re).fold(0.0f64, f64::max);
-    if smax <= 0.0 {
-        return Ok(Vec::new()); // empty annulus
-    }
     let keep: Vec<usize> =
         (0..probes).filter(|&j| dec.values[j].re > cfg.rank_tol * smax).collect();
     let m = keep.len();
-    if m == 0 {
-        return Ok(Vec::new());
+    if smax <= 0.0 || m == 0 {
+        ws.recycle(dec.vectors);
+        ws.recycle(a0);
+        ws.recycle(a1);
+        return Ok(Vec::new()); // empty annulus
     }
     // W_m (probes × m) and Σ_m⁻¹.
-    let mut w_m = ZMat::zeros(probes, m);
+    let mut w_m = ws.take(probes, m);
     let mut sig_inv = vec![0.0; m];
     for (jj, &j) in keep.iter().enumerate() {
         for i in 0..probes {
@@ -126,28 +149,42 @@ pub fn beyn_annulus(
         }
         sig_inv[jj] = 1.0 / dec.values[j].re.sqrt();
     }
+    ws.recycle(dec.vectors);
     // Q = A₀·W·Σ⁻¹ (nbc × m). Its columns are orthonormal to roundoff by
     // construction; re-orthonormalizing with QR would rotate Q against the
     // SVD factor and destroy the exact similarity of B below.
-    let mut q = &a0 * &w_m;
+    let mut q = ws.matmul(&a0, &w_m);
     for (jj, &si) in sig_inv.iter().enumerate() {
         for i in 0..nbc {
             q[(i, jj)] = q[(i, jj)].scale(si);
         }
     }
     // B = Qᴴ·A₁·W·Σ⁻¹ (m × m).
-    let a1w = &a1 * &w_m;
-    let mut a1ws = a1w;
+    let mut a1ws = ws.matmul(&a1, &w_m);
+    ws.recycle(w_m);
+    ws.recycle(a0);
+    ws.recycle(a1);
     for (jj, &si) in sig_inv.iter().enumerate() {
         for i in 0..nbc {
             a1ws[(i, jj)] = a1ws[(i, jj)].scale(si);
         }
     }
-    let mut b = ZMat::zeros(m, m);
+    let mut b = ws.take(m, m);
     gemm(Complex64::ONE, &q, Op::Adjoint, &a1ws, Op::None, Complex64::ZERO, &mut b);
+    ws.recycle(a1ws);
     // Eigenpairs of B are the enclosed (λ, lifted u).
-    let small = eig(&b)?;
-    let lifted = &q * &small.vectors;
+    let small = match eig_ws(&b, ws) {
+        Ok(small) => small,
+        Err(e) => {
+            ws.recycle(b);
+            ws.recycle(q);
+            return Err(e);
+        }
+    };
+    ws.recycle(b);
+    let lifted = ws.matmul(&q, &small.vectors);
+    ws.recycle(q);
+    ws.recycle(small.vectors);
     let mut out = Vec::new();
     let lo = 1.0 / cfg.r_outer * 0.999;
     let hi = cfg.r_outer * 1.001;
@@ -178,7 +215,7 @@ pub fn beyn_annulus(
             if best_res < cfg.residual_tol {
                 break;
             }
-            match polish(pencil, lam, &u) {
+            match polish(pencil, lam, &u, ws) {
                 Some((l2, u2)) => {
                     let r2 = pencil.residual(l2, &u2);
                     if r2 < best_res {
@@ -202,6 +239,7 @@ pub fn beyn_annulus(
             out.push((lam, u));
         }
     }
+    ws.recycle(lifted);
     // Deduplicate eigenpairs that polished onto the same root.
     out.sort_by(|a, b| {
         (a.0.re, a.0.im).partial_cmp(&(b.0.re, b.0.im)).unwrap_or(std::cmp::Ordering::Equal)
@@ -219,18 +257,22 @@ fn polish(
     pencil: &CompanionPencil,
     lam: Complex64,
     u: &[Complex64],
+    ws: &Workspace,
 ) -> Option<(Complex64, Vec<Complex64>)> {
     let nf = pencil.nf;
     // Shift slightly off the eigenvalue so P(z) stays invertible.
     let z = lam * Complex64::new(1.0 + 1e-7, 1e-7);
-    let f = pencil.factor_poly(z).ok()?;
-    let mut rhs = ZMat::zeros(2 * nf, 1);
+    let f = pencil.factor_poly_ws(z, ws).ok()?;
+    let mut rhs = ws.take(2 * nf, 1);
     for i in 0..nf {
         rhs[(i, 0)] = u[i] * lam; // companion top block = λ·u
         rhs[(nf + i, 0)] = u[i];
     }
-    let y = pencil.solve_shifted(&f, z, &rhs);
+    let y = pencil.solve_shifted_ws(&f, z, &rhs, ws);
+    f.recycle_into(ws);
+    ws.recycle(rhs);
     let mut u2: Vec<Complex64> = (nf..2 * nf).map(|i| y[(i, 0)]).collect();
+    ws.recycle(y);
     let norm = u2.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt();
     if norm < 1e-300 {
         return None;

@@ -21,7 +21,7 @@
 
 use crate::lead::LeadBlocks;
 use qtx_linalg::{
-    gemm_view, lu_factor, lu_factor_owned, Complex64, LuFactors, Op, Result, Workspace, ZMat,
+    gemm_view, lu_factor, lu_factor_owned_ws, Complex64, LuFactors, Op, Result, Workspace, ZMat,
 };
 
 /// The quadratic companion pencil of a lead at fixed energy.
@@ -129,14 +129,15 @@ impl CompanionPencil {
     }
 
     /// [`CompanionPencil::factor_poly`] with the polynomial evaluation
-    /// borrowed from `ws` and factored in place (zero copies); hand
-    /// `factors.lu` back to the pool when the factors are spent.
+    /// borrowed from `ws` and factored in place (zero copies), pivot
+    /// index buffers included; hand everything back via
+    /// [`LuFactors::recycle_into`] when the factors are spent.
     pub fn factor_poly_ws(&self, z: Complex64, ws: &Workspace) -> Result<LuFactors> {
         let mut p = ws.copy_of(&self.t01);
         p.scale_assign(z * z);
         p.axpy(z, &self.t00);
         p.axpy(Complex64::ONE, &self.t10);
-        lu_factor_owned(p, true)
+        lu_factor_owned_ws(p, true, ws)
     }
 
     /// Solves `(z·B − A)·x = y` through the `nf`-sized polynomial solve:

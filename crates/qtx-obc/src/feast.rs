@@ -20,7 +20,7 @@
 
 use crate::companion::CompanionPencil;
 use qtx_linalg::{
-    eig, eig_generalized, gemm, orthonormalize, zherk, Complex64, LinalgError, Op, Result,
+    eig_generalized_ws, eig_ws, gemm, orthonormalize_ws, zherk, Complex64, LinalgError, Op, Result,
     Workspace, ZMat,
 };
 use rayon::prelude::*;
@@ -33,17 +33,27 @@ use rayon::prelude::*;
 /// roundoff and flood the Rayleigh–Ritz step with spurious Ritz values.
 /// Diagonalizing the Gram matrix `(P·Y)ᴴ(P·Y)` and dropping directions
 /// below `rel_tol·λ_max` keeps exactly the numerically meaningful
-/// subspace.
+/// subspace. Every temporary — the Gram matrix, the eigenvector basis,
+/// the cleaned `Q` itself — cycles through the caller's pool.
 fn orthonormalize_rank(p: &ZMat, rel_tol: f64, ws: &Workspace) -> Result<ZMat> {
     let m = p.cols();
     let mut g = ws.take(m, m);
     // Gram matrix through the Hermitian rank-k update: half the flops of
     // the general product, Hermitian by construction (no symmetrization).
     zherk(1.0, p.view(), Op::Adjoint, 0.0, &mut g);
-    let dec = eig(&g)?;
-    ws.recycle(g);
+    let dec = match eig_ws(&g, ws) {
+        Ok(dec) => {
+            ws.recycle(g);
+            dec
+        }
+        Err(e) => {
+            ws.recycle(g);
+            return Err(e);
+        }
+    };
     let lmax = dec.values.iter().map(|v| v.re).fold(0.0, f64::max);
     if lmax <= 0.0 {
+        ws.recycle(dec.vectors);
         return Ok(ZMat::zeros(p.rows(), 0));
     }
     let keep: Vec<usize> = (0..m).filter(|&j| dec.values[j].re > rel_tol * lmax).collect();
@@ -54,10 +64,12 @@ fn orthonormalize_rank(p: &ZMat, rel_tol: f64, ws: &Workspace) -> Result<ZMat> {
             v[(i, jj)] = dec.vectors[(i, j)].scale(scale);
         }
     }
-    // One QR pass cleans residual non-orthogonality.
+    ws.recycle(dec.vectors);
+    // One QR pass cleans residual non-orthogonality (blocked compact-WY
+    // QR over the same pool).
     let pv = ws.matmul(p, &v);
     ws.recycle(v);
-    let q = orthonormalize(&pv);
+    let q = orthonormalize_ws(&pv, ws);
     ws.recycle(pv);
     Ok(q)
 }
@@ -111,11 +123,20 @@ pub fn feast_annulus(
     pencil: &CompanionPencil,
     cfg: FeastConfig,
 ) -> Result<(FeastModes, FeastStats)> {
-    let nf = pencil.nf;
-    let nbc = 2 * nf;
-    let mut m0 = if cfg.subspace == 0 { (nf + 8).min(nbc) } else { cfg.subspace.min(nbc) };
-    let mut stats = FeastStats::default();
+    feast_annulus_ws(pencil, cfg, &Workspace::new())
+}
 
+/// [`feast_annulus`] over a caller-supplied buffer pool: subspaces,
+/// quadrature solves, Rayleigh–Ritz reductions, the QR orthonormalization
+/// and the dense eigensolver all recycle through `ws`, so a warm OBC
+/// sweep (one call per energy point against a shared pool) performs zero
+/// fresh matrix allocations — property-tested in the top-level suite.
+pub fn feast_annulus_ws(
+    pencil: &CompanionPencil,
+    cfg: FeastConfig,
+    ws: &Workspace,
+) -> Result<(FeastModes, FeastStats)> {
+    let mut stats = FeastStats::default();
     // Integration nodes: offset half-steps avoid band-edge eigenvalues at
     // λ = ±1 landing exactly on a node.
     let nodes: Vec<(Complex64, f64)> = (0..cfg.np)
@@ -130,12 +151,30 @@ pub fn feast_annulus(
     // One LU of P(z_p) per node, reused across refinements and RHS; the
     // polynomial evaluations cycle through the shared pool and the factors
     // adopt their buffers (handed back when the run returns).
-    let ws = Workspace::new();
-    let factors: Vec<_> = nodes
-        .par_iter()
-        .map(|(z, _)| pencil.factor_poly_ws(*z, &ws))
-        .collect::<Result<Vec<_>>>()?;
-    let mut y = ZMat::random(nbc, m0, 0x0f_ea_57);
+    let factors: Vec<_> =
+        nodes.par_iter().map(|(z, _)| pencil.factor_poly_ws(*z, ws)).collect::<Result<Vec<_>>>()?;
+    let result = feast_core(pencil, cfg, &nodes, &factors, ws, &mut stats);
+    for f in factors {
+        f.recycle_into(ws);
+    }
+    result.map(|modes| (modes, stats))
+}
+
+/// The refinement loop of [`feast_annulus_ws`], separated so the node
+/// factorizations can be recycled on every exit path.
+fn feast_core(
+    pencil: &CompanionPencil,
+    cfg: FeastConfig,
+    nodes: &[(Complex64, f64)],
+    factors: &[qtx_linalg::LuFactors],
+    ws: &Workspace,
+    stats: &mut FeastStats,
+) -> Result<FeastModes> {
+    let nf = pencil.nf;
+    let nbc = 2 * nf;
+    let mut m0 = if cfg.subspace == 0 { (nf + 8).min(nbc) } else { cfg.subspace.min(nbc) };
+    let mut y = ws.take_scratch(nbc, m0);
+    y.randomize(0x0f_ea_57);
     for _attempt in 0..3 {
         let mut accepted: Vec<(Complex64, Vec<Complex64>)> = Vec::new();
         let mut prev_accepted = usize::MAX;
@@ -143,12 +182,12 @@ pub fn feast_annulus(
         for it in 0..cfg.max_refine {
             stats.iterations += 1;
             // Q = Σ_p w_p (z_p/N_p)(z_p B − A)⁻¹ B Y  (Eq. 10).
-            let by = pencil.apply_b_ws(&y, &ws);
+            let by = pencil.apply_b_ws(&y, ws);
             let partials: Vec<ZMat> = nodes
                 .par_iter()
-                .zip(&factors)
+                .zip(factors)
                 .map(|(&(z, w), f)| {
-                    let mut x = pencil.solve_shifted_ws(f, z, &by, &ws);
+                    let mut x = pencil.solve_shifted_ws(f, z, &by, ws);
                     x.scale_assign(z.scale(w / cfg.np as f64));
                     x
                 })
@@ -160,27 +199,46 @@ pub fn feast_annulus(
                 ws.recycle(p);
             }
             ws.recycle(by);
-            let q = orthonormalize_rank(&p_acc, 1e-13, &ws)?;
+            let q = match orthonormalize_rank(&p_acc, 1e-13, ws) {
+                Ok(q) => q,
+                Err(e) => {
+                    // Keep the pool's steady state across transiently
+                    // failing energy points: recycle everything live.
+                    ws.recycle(p_acc);
+                    ws.recycle(y);
+                    return Err(e);
+                }
+            };
             ws.recycle(p_acc);
             let k = q.cols();
             if k == 0 {
+                ws.recycle(q);
                 break; // empty annulus
             }
             // Reduced pencil (Eq. 7): [QᴴAQ]·y = λ·[QᴴBQ]·y.
-            let aq = pencil.apply_a_ws(&q, &ws);
-            let bq = pencil.apply_b_ws(&q, &ws);
+            let aq = pencil.apply_a_ws(&q, ws);
+            let bq = pencil.apply_b_ws(&q, ws);
             let mut ar = ws.take(k, k);
             let mut br = ws.take(k, k);
             gemm(Complex64::ONE, &q, Op::Adjoint, &aq, Op::None, Complex64::ZERO, &mut ar);
             gemm(Complex64::ONE, &q, Op::Adjoint, &bq, Op::None, Complex64::ZERO, &mut br);
             ws.recycle(aq);
             ws.recycle(bq);
-            let ritz = eig_generalized(&ar, &br)?;
+            let ritz = match eig_generalized_ws(&ar, &br, ws) {
+                Ok(ritz) => ritz,
+                Err(e) => {
+                    for m in [ar, br, q, y] {
+                        ws.recycle(m);
+                    }
+                    return Err(e);
+                }
+            };
             ws.recycle(ar);
             ws.recycle(br);
             // Lift Ritz vectors, classify, and measure residuals.
             let x = ws.matmul(&q, &ritz.vectors);
             ws.recycle(q);
+            ws.recycle(ritz.vectors);
             accepted.clear();
             let mut max_res: f64 = 0.0;
             let mut inside = 0usize;
@@ -213,18 +271,23 @@ pub fn feast_annulus(
             // Subspace saturation: annulus may hold more modes than m0.
             if k + 2 >= m0 && m0 < nbc {
                 saturated = true;
+                ws.recycle(x);
                 break;
             }
             if inside > 0 && accepted.len() == inside {
                 stats.m_found = accepted.len();
-                return Ok((accepted, stats));
+                ws.recycle(x);
+                ws.recycle(y);
+                return Ok(accepted);
             }
             // Stabilized acceptance: if the converged count repeats across
             // two refinements, the stragglers are quadrature leakage from
             // outside the annulus, not missing modes.
             if it >= 1 && !accepted.is_empty() && accepted.len() == prev_accepted {
                 stats.m_found = accepted.len();
-                return Ok((accepted, stats));
+                ws.recycle(x);
+                ws.recycle(y);
+                return Ok(accepted);
             }
             prev_accepted = accepted.len();
             if it + 1 < cfg.max_refine {
@@ -237,16 +300,20 @@ pub fn feast_annulus(
         }
         if saturated {
             m0 = (m0 * 2).min(nbc);
-            y = ZMat::random(nbc, m0, 0x0f_ea_58);
+            ws.recycle(y);
+            y = ws.take_scratch(nbc, m0);
+            y.randomize(0x0f_ea_58);
             continue;
         }
         // Not fully converged: return what passed the residual filter.
         if !accepted.is_empty() {
             stats.m_found = accepted.len();
-            return Ok((accepted, stats));
+            ws.recycle(y);
+            return Ok(accepted);
         }
         break;
     }
+    ws.recycle(y);
     // Either the annulus is empty (legitimate deep in a gap with only
     // fast-decaying modes) or FEAST failed outright; distinguish by one
     // last check with the dense baseline on small pencils.
@@ -259,7 +326,7 @@ pub fn feast_annulus(
             return Err(LinalgError::NoConvergence { remaining: 1 });
         }
     }
-    Ok((Vec::new(), stats))
+    Ok(Vec::new())
 }
 
 #[cfg(test)]

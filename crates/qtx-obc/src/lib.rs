@@ -34,9 +34,9 @@ pub mod modes;
 pub mod selfenergy;
 
 pub use baselines::{dense_modes, sancho_rubio, shift_invert_modes};
-pub use beyn::{beyn_annulus, BeynConfig};
+pub use beyn::{beyn_annulus, beyn_annulus_ws, BeynConfig};
 pub use companion::CompanionPencil;
-pub use feast::{feast_annulus, FeastConfig, FeastStats};
+pub use feast::{feast_annulus, feast_annulus_ws, FeastConfig, FeastStats};
 pub use lead::LeadBlocks;
 pub use modes::{classify_modes, LeadModes, ModeSet};
 pub use selfenergy::{self_energy, self_energy_decimation, ObcResult, Side};

@@ -14,7 +14,7 @@
 
 use crate::companion::CompanionPencil;
 use crate::lead::LeadBlocks;
-use qtx_linalg::{Complex64, ZMat};
+use qtx_linalg::{Complex64, Workspace, ZMat};
 
 /// Tolerance band around `|λ| = 1` classifying propagating modes.
 pub const PROP_TOL: f64 = 1e-6;
@@ -53,12 +53,25 @@ impl LeadModes {
     /// Matrix whose columns are the modes of one direction set.
     pub fn mode_matrix(modes: &[ModeSet], nf: usize) -> ZMat {
         let mut m = ZMat::zeros(nf, modes.len());
+        Self::fill_mode_matrix(modes, nf, &mut m);
+        m
+    }
+
+    /// [`LeadModes::mode_matrix`] over a pooled buffer — the self-energy
+    /// assembly builds one of these per contact per energy point, so the
+    /// `U` blocks cycle through the workspace like every other temporary.
+    pub fn mode_matrix_ws(modes: &[ModeSet], nf: usize, ws: &Workspace) -> ZMat {
+        let mut m = ws.take_scratch(nf, modes.len());
+        Self::fill_mode_matrix(modes, nf, &mut m);
+        m
+    }
+
+    fn fill_mode_matrix(modes: &[ModeSet], nf: usize, m: &mut ZMat) {
         for (j, mode) in modes.iter().enumerate() {
             for i in 0..nf {
                 m[(i, j)] = mode.u[i];
             }
         }
-        m
     }
 }
 

@@ -28,7 +28,7 @@ use crate::feast::{feast_annulus, FeastStats};
 use crate::lead::LeadBlocks;
 use crate::modes::{classify_modes, LeadModes, ModeSet};
 use crate::ObcMethod;
-use qtx_linalg::{c64, qr_least_squares, Complex64, Result, ZMat};
+use qtx_linalg::{c64, qr_factor_ws, Complex64, Result, Workspace, ZMat};
 
 /// Which contact the self-energy belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,14 +56,17 @@ pub struct ObcResult {
     pub stats: Option<FeastStats>,
 }
 
-/// Builds the Bloch propagator piece `U·diag(λ^pow)·U⁺` for a mode set.
-fn bloch_product(modes: &[ModeSet], nf: usize, pow: i32) -> ZMat {
+/// Builds the Bloch propagator piece `U·diag(λ^pow)·U⁺` for a mode set,
+/// every temporary — the mode blocks, the QR factors of `U` and the
+/// pseudo-inverse solve — borrowed from `ws` (the returned product is
+/// pool-backed too; recycle it when spent).
+fn bloch_product(modes: &[ModeSet], nf: usize, pow: i32, ws: &Workspace) -> ZMat {
     if modes.is_empty() {
-        return ZMat::zeros(nf, nf);
+        return ws.take(nf, nf);
     }
     let m = modes.len();
-    let mut u = ZMat::zeros(nf, m);
-    let mut ul = ZMat::zeros(nf, m);
+    let mut u = ws.take_scratch(nf, m);
+    let mut ul = ws.take_scratch(nf, m);
     for (j, mode) in modes.iter().enumerate() {
         let lp = mode.lambda.powi(pow);
         for i in 0..nf {
@@ -71,9 +74,22 @@ fn bloch_product(modes: &[ModeSet], nf: usize, pow: i32) -> ZMat {
             ul[(i, j)] = mode.u[i] * lp;
         }
     }
-    // U⁺ = least-squares solve U·W = I (annulus-truncated pseudo-inverse).
-    let u_pinv = qr_least_squares(&u, &ZMat::identity(nf));
-    &ul * &u_pinv
+    // U⁺ = least-squares solve U·W = I (annulus-truncated pseudo-inverse)
+    // through the blocked compact-WY QR over the same pool.
+    let f = qr_factor_ws(&u, ws);
+    let mut eye = ws.take(nf, nf);
+    for i in 0..nf {
+        eye[(i, i)] = Complex64::ONE;
+    }
+    let mut u_pinv = ws.take_scratch(m, nf);
+    f.least_squares_into(eye.view(), &mut u_pinv, ws);
+    f.recycle_into(ws);
+    ws.recycle(eye);
+    ws.recycle(u);
+    let out = ws.matmul(&ul, &u_pinv);
+    ws.recycle(ul);
+    ws.recycle(u_pinv);
+    out
 }
 
 /// Computes lead modes with the requested algorithm.
@@ -117,11 +133,13 @@ pub fn self_energy(lead: &LeadBlocks, e: f64, side: Side, method: ObcMethod) -> 
     let (modes, stats) = lead_modes(lead, e, method)?;
     let (t00, t01, t10) = lead.t_blocks(e, 0.0);
     let _ = t00;
+    let ws = Workspace::new();
     let (sigma, inc_modes, out_modes, coupling, lam_pow) = match side {
         Side::Left => {
             // Outgoing into the left lead; F_L⁻¹ = U Λ⁻¹ U⁺.
-            let g = bloch_product(&modes.left_going, nf, -1);
+            let g = bloch_product(&modes.left_going, nf, -1, &ws);
             let mut sigma = &t10 * &g;
+            ws.recycle(g);
             sigma.scale_assign(-Complex64::ONE);
             let inc: Vec<ModeSet> =
                 modes.right_going.iter().filter(|m| m.propagating).cloned().collect();
@@ -129,8 +147,9 @@ pub fn self_energy(lead: &LeadBlocks, e: f64, side: Side, method: ObcMethod) -> 
         }
         Side::Right => {
             // Outgoing into the right lead; F_R = U Λ U⁺.
-            let g = bloch_product(&modes.right_going, nf, 1);
+            let g = bloch_product(&modes.right_going, nf, 1, &ws);
             let mut sigma = &t01 * &g;
+            ws.recycle(g);
             sigma.scale_assign(-Complex64::ONE);
             let inc: Vec<ModeSet> =
                 modes.left_going.iter().filter(|m| m.propagating).cloned().collect();

@@ -65,7 +65,7 @@ fn bcr_recurse(
         f0.solve_into(upper[0].view(), &mut d0_inv_u);
         let mut d0_inv_b = ws.take_scratch(rhs[0].rows(), rhs[0].cols());
         f0.solve_into(rhs[0].view(), &mut d0_inv_b);
-        ws.recycle(f0.lu);
+        f0.recycle_into(ws);
         let mut schur = ws.copy_of(&diag[1]);
         let prod = ws.matmul(&lower[0], &d0_inv_u);
         schur.axpy(-Complex64::ONE, &prod);
@@ -111,7 +111,7 @@ fn bcr_recurse(
         let mut r = ws.take_scratch(rhs[i].rows(), rhs[i].cols());
         f.solve_into(rhs[i].view(), &mut r);
         odd_inv_rhs[i] = Some(r);
-        ws.recycle(f.lu);
+        f.recycle_into(ws);
     }
     for (e, &i) in evens.iter().enumerate() {
         let mut d = ws.copy_of(&diag[i]);

@@ -9,7 +9,7 @@
 //! drastically" (§3.B) compared to SplitSolve's accelerator pipeline.
 
 use crate::system::ObcSystem;
-use qtx_linalg::{lu_factor_owned, Complex64, LuFactors, Result, Workspace, ZMat};
+use qtx_linalg::{lu_factor_owned_ws, Complex64, LuFactors, Result, Workspace, ZMat};
 use qtx_sparse::Btd;
 
 /// Factorization state of the block Thomas elimination.
@@ -58,7 +58,7 @@ pub fn btd_lu_factor_ws(
         // The eliminated block is factored in place: the factors adopt the
         // buffer, so no second copy is made (the factors outlive the call
         // and own their storage, as before).
-        let f = lu_factor_owned(d, true)?;
+        let f = lu_factor_owned_ws(d, true, ws)?;
         if i + 1 < nb {
             let mut du = ws.take_scratch(a.upper[i].rows(), a.upper[i].cols());
             f.solve_into(a.upper[i].view(), &mut du);
@@ -124,7 +124,7 @@ impl BtdLuFactors {
     /// steady state.
     pub fn recycle_into(self, ws: &Workspace) {
         for f in self.pivots {
-            ws.recycle(f.lu);
+            f.recycle_into(ws);
         }
         for m in self.dinv_upper.into_iter().chain(self.lower) {
             ws.recycle(m);

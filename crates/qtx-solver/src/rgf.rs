@@ -8,7 +8,7 @@
 //! cross-check of the wave-function (SplitSolve) transmission.
 
 use crate::system::ObcSystem;
-use qtx_linalg::{lu_factor_owned, Complex64, Result, Workspace, ZMat};
+use qtx_linalg::{lu_factor_owned_ws, Complex64, Result, Workspace, ZMat};
 
 /// Green's function blocks produced by one RGF pass.
 #[derive(Debug, Clone)]
@@ -51,10 +51,10 @@ pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> Result<Rgf
         }
         // Factor the shifted block in place (it is spent either way) and
         // solve the identity RHS straight into a pooled buffer.
-        let f = lu_factor_owned(m, true)?;
+        let f = lu_factor_owned_ws(m, true, ws)?;
         let mut g = ws.take_scratch(s, s);
         f.solve_into(id.view(), &mut g);
-        ws.recycle(f.lu);
+        f.recycle_into(ws);
         g_left.push(g);
     }
     // Backward pass: G_{n−1,n−1} = gL_{n−1};

@@ -327,7 +327,7 @@ fn gpu_solve_ws(m: &ZMat, rhs: &ZMat, ws: &Workspace) -> Result<ZMat> {
     };
     let mut x = ws.take_scratch(m.rows(), rhs.cols());
     f.solve_into(rhs.view(), &mut x);
-    ws.recycle(f.lu);
+    f.recycle_into(ws);
     Ok(x)
 }
 

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use qtx::linalg::{
-    c64, gemm, ldl_factor_nopiv, ldl_factor_nopiv_unblocked, lu_factor, lu_factor_unblocked,
-    lu_inverse, zgesv, zgesv_into, zherk, Complex64, Op, Workspace, ZMat,
+    c64, gemm, hessenberg, hessenberg_unblocked, ldl_factor_nopiv, ldl_factor_nopiv_unblocked,
+    lu_factor, lu_factor_unblocked, lu_inverse, orthonormality_defect, qr_factor,
+    qr_factor_unblocked, zgesv, zgesv_into, zherk, Complex64, Op, Workspace, ZMat,
 };
 use qtx::solver::{bcr::bcr_solve_raw, rgf_diagonal_and_corner_ws, ObcSystem, SplitSolve};
 use qtx::sparse::Btd;
@@ -245,6 +246,78 @@ proptest! {
         prop_assert!(x_fresh.max_diff(&x_dirty) == 0.0, "recycled pool changed bits");
     }
 
+    /// Blocked compact-WY QR and the unblocked reflector loop agree on
+    /// sizes straddling the blocking crossover (192 columns), including
+    /// tall-skinny m ≫ n shapes: same packed factors, same least-squares
+    /// solutions, orthonormal thin Q.
+    #[test]
+    fn blocked_qr_matches_unblocked(
+        n in 150usize..260,
+        extra in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        // extra = 0: square; 1: mildly rectangular; 2: tall-skinny 4×.
+        let m = match extra {
+            0 => n,
+            1 => n + 17,
+            _ => 4 * n,
+        };
+        let a = ZMat::random(m, n, seed);
+        let fb = qr_factor(&a);
+        let fu = qr_factor_unblocked(&a);
+        let scale = a.norm_max().max(1.0) * m as f64;
+        // Same reflectors and R entrywise up to summation reordering.
+        let q = fb.q_thin();
+        prop_assert!(orthonormality_defect(&q) < 1e-10 * n as f64);
+        prop_assert!((&q * &fb.r()).max_diff(&a) < 1e-9 * scale);
+        let b = ZMat::random(m, 2, seed + 1);
+        let xb = fb.least_squares(&b);
+        let xu = fu.least_squares(&b);
+        prop_assert!(
+            xb.max_diff(&xu) < 1e-7 * scale,
+            "m={m} n={n}: {:.2e}",
+            xb.max_diff(&xu)
+        );
+    }
+
+    /// Rank-deficient inputs (duplicated columns) keep the blocked path
+    /// consistent with the unblocked one: Q·R still reproduces A.
+    #[test]
+    fn blocked_qr_rank_deficient(n in 192usize..240, seed in 0u64..1_000_000) {
+        let mut a = ZMat::random(n + 20, n, seed);
+        // Duplicate a band of columns across a panel boundary.
+        for j in 0..6 {
+            let src: Vec<Complex64> = a.col(j).to_vec();
+            a.col_mut(90 + j).copy_from_slice(&src);
+        }
+        let fb = qr_factor(&a);
+        let q = fb.q_thin();
+        prop_assert!((&q * &fb.r()).max_diff(&a) < 1e-8 * n as f64);
+    }
+
+    /// Blocked Hessenberg reduction is a similarity transform matching
+    /// the unblocked baseline across the crossover.
+    #[test]
+    fn blocked_hessenberg_matches_unblocked(n in 90usize..150, seed in 0u64..1_000_000) {
+        let a = ZMat::random(n, n, seed);
+        let (hb, qb) = hessenberg(&a);
+        let (hu, qu) = hessenberg_unblocked(&a);
+        let scale = a.norm_max().max(1.0) * n as f64;
+        prop_assert!(hb.max_diff(&hu) < 1e-9 * scale, "H drift {:.2e}", hb.max_diff(&hu));
+        prop_assert!(qb.max_diff(&qu) < 1e-9 * scale, "Q drift {:.2e}", qb.max_diff(&qu));
+        // Similarity invariants: Q unitary, Q·H·Qᴴ = A, Hessenberg shape.
+        prop_assert!(orthonormality_defect(&qb) < 1e-8 * n as f64);
+        let qh = &qb * &hb;
+        let mut back = ZMat::zeros(n, n);
+        gemm(Complex64::ONE, &qh, Op::None, &qb, Op::Adjoint, Complex64::ZERO, &mut back);
+        prop_assert!(back.max_diff(&a) < 1e-8 * scale);
+        for j in 0..n {
+            for i in j + 2..n {
+                prop_assert!(hb[(i, j)].abs() < 1e-10 * scale);
+            }
+        }
+    }
+
     /// The dense inverse round-trips: A·A⁻¹ = 1 for diagonally dominant A.
     #[test]
     fn inverse_roundtrip(n in 1usize..12, seed in 0u64..1_000_000) {
@@ -350,6 +423,120 @@ mod factorization_edges {
             }
             assert_eq!(alloc_count(), before, "factor+solve loop at n={n} allocated a fresh ZMat");
         }
+    }
+}
+
+mod obc_zero_alloc {
+    use super::*;
+    use qtx::linalg::alloc_count;
+    use qtx::obc::{
+        beyn_annulus_ws, feast_annulus_ws, BeynConfig, CompanionPencil, FeastConfig, LeadBlocks,
+    };
+
+    fn sample_pencil() -> CompanionPencil {
+        let mut h00 = ZMat::random(4, 4, 41);
+        h00.hermitianize();
+        let h01 = ZMat::random(4, 4, 42).scaled(c64(0.45, 0.0));
+        let lead = LeadBlocks::new(h00, h01, ZMat::identity(4), ZMat::zeros(4, 4));
+        CompanionPencil::at_energy(&lead, 0.15, 0.0)
+    }
+
+    /// The ISSUE-3 tentpole property: once the pool is warm, one full OBC
+    /// iteration — FEAST quadrature factorizations, subspace products,
+    /// QR orthonormalization, Rayleigh–Ritz eigensolver, pivot vectors —
+    /// performs zero fresh `ZMat` allocations (on this thread and, via
+    /// the pool's own fresh-allocation counters, on the quadrature worker
+    /// threads too), with results bit-identical to a fresh pool.
+    #[test]
+    fn warm_feast_iteration_is_allocation_free_and_bit_identical() {
+        let pencil = sample_pencil();
+        let cfg = FeastConfig { np: 8, r_outer: 3.0, ..FeastConfig::default() };
+        let fresh = feast_annulus_ws(&pencil, cfg, &Workspace::new()).unwrap();
+        let ws = Workspace::new();
+        // Two warm-up passes let the pool reach its steady-state capacity.
+        let _ = feast_annulus_ws(&pencil, cfg, &ws).unwrap();
+        let _ = feast_annulus_ws(&pencil, cfg, &ws).unwrap();
+        let mat_allocs = alloc_count();
+        let pool_fresh = ws.fresh_allocations();
+        let idx_fresh = ws.fresh_index_allocations();
+        let warm = feast_annulus_ws(&pencil, cfg, &ws).unwrap();
+        assert_eq!(alloc_count(), mat_allocs, "warm FEAST iteration allocated a fresh ZMat");
+        assert_eq!(ws.fresh_allocations(), pool_fresh, "warm FEAST iteration grew the matrix pool");
+        assert_eq!(
+            ws.fresh_index_allocations(),
+            idx_fresh,
+            "warm FEAST iteration allocated fresh pivot vectors"
+        );
+        // Bit-identical to the fresh-pool run: recycled buffer history
+        // must never leak into results.
+        assert_eq!(fresh.0.len(), warm.0.len());
+        for ((l1, u1), (l2, u2)) in fresh.0.iter().zip(&warm.0) {
+            assert!(*l1 == *l2, "eigenvalue bits differ: {l1} vs {l2}");
+            for (a, b) in u1.iter().zip(u2) {
+                assert!(*a == *b, "eigenvector bits differ");
+            }
+        }
+    }
+
+    /// Same property for Beyn's single-shot method (moments, Gram-matrix
+    /// rank revealer, polish solves).
+    #[test]
+    fn warm_beyn_iteration_is_allocation_free_and_bit_identical() {
+        let pencil = sample_pencil();
+        let cfg = BeynConfig { r_outer: 3.0, ..BeynConfig::default() };
+        let fresh = beyn_annulus_ws(&pencil, cfg, &Workspace::new()).unwrap();
+        let ws = Workspace::new();
+        let _ = beyn_annulus_ws(&pencil, cfg, &ws).unwrap();
+        let _ = beyn_annulus_ws(&pencil, cfg, &ws).unwrap();
+        let mat_allocs = alloc_count();
+        let pool_fresh = ws.fresh_allocations();
+        let idx_fresh = ws.fresh_index_allocations();
+        let warm = beyn_annulus_ws(&pencil, cfg, &ws).unwrap();
+        assert_eq!(alloc_count(), mat_allocs, "warm Beyn iteration allocated a fresh ZMat");
+        assert_eq!(ws.fresh_allocations(), pool_fresh, "warm Beyn iteration grew the pool");
+        assert_eq!(
+            ws.fresh_index_allocations(),
+            idx_fresh,
+            "warm Beyn iteration allocated fresh pivot vectors"
+        );
+        assert_eq!(fresh.len(), warm.len());
+        for ((l1, u1), (l2, u2)) in fresh.iter().zip(&warm) {
+            assert!(*l1 == *l2, "eigenvalue bits differ: {l1} vs {l2}");
+            for (a, b) in u1.iter().zip(u2) {
+                assert!(*a == *b, "eigenvector bits differ");
+            }
+        }
+    }
+
+    /// The pivot-pool ROADMAP item: a warm pivoted factor+solve loop
+    /// allocates no fresh index vectors either.
+    #[test]
+    fn warm_factor_loop_allocates_no_index_buffers() {
+        let ws = Workspace::new();
+        let n = 130;
+        let a = {
+            let mut a = ZMat::random(n, n, 17);
+            for i in 0..n {
+                a[(i, i)] += c64(4.0, 1.0);
+            }
+            a
+        };
+        let b = ZMat::random(n, 8, 18);
+        let mut x = ws.take_scratch(n, 8);
+        zgesv_into(&a, &b, &mut x, &ws).unwrap();
+        ws.recycle(x);
+        let idx_fresh = ws.fresh_index_allocations();
+        assert!(idx_fresh >= 2, "pivoted factorization must pool perm + ipiv");
+        for _ in 0..3 {
+            let mut x = ws.take_scratch(n, 8);
+            zgesv_into(&a, &b, &mut x, &ws).unwrap();
+            ws.recycle(x);
+        }
+        assert_eq!(
+            ws.fresh_index_allocations(),
+            idx_fresh,
+            "warm factor loop allocated fresh pivot vectors"
+        );
     }
 }
 
