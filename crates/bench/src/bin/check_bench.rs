@@ -12,8 +12,14 @@
 //! reported but not gated: a 0.95× case flapping to 0.88× on a shared
 //! runner is measurement noise, not a regression. Entries are matched by
 //! their identity fields (`kind`, `n`, `m`, `nrhs`, `ops`, `name`, `nb`,
-//! `s`); baseline entries missing from the fresh run (the quick profile
-//! subsets the sizes) are skipped.
+//! `s`); baseline entries entirely missing from the fresh run are skipped
+//! (the quick profile subsets the sizes), but a **matched** entry that
+//! stopped emitting a gated `*speedup*` key the baseline has is a
+//! failure, and so is a `kind` that the baseline gates but the fresh run
+//! gated nothing of (an entry-level drop that removes a kind's coverage
+//! entirely) — a bench silently dropping a ratio must not pass CI.
+//! `--tolerance` must be a fraction in `[0, 1)`: 1.0 or more would accept
+//! any regression down to zero, and negative values reject noise.
 //!
 //! A tiny recursive-descent JSON reader lives below because the offline
 //! container has no serde_json; the bench files are machine-written and
@@ -232,6 +238,14 @@ fn main() -> ExitCode {
         eprintln!("usage: check_bench <baseline.json> <fresh.json> [--tolerance 0.25]");
         return ExitCode::from(2);
     }
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!(
+            "check_bench: --tolerance {tolerance} is nonsensical — it is the accepted \
+             fractional regression, so it must lie in [0, 1) (≥ 1.0 would accept a ratio \
+             collapsing to zero; negative would fail on noise)"
+        );
+        return ExitCode::from(2);
+    }
     let (base_doc, fresh_doc) = match (parse_file(&paths[0]), parse_file(&paths[1])) {
         (Ok(b), Ok(f)) => (b, f),
         (Err(e), _) | (_, Err(e)) => {
@@ -247,14 +261,48 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    // Kinds that carry at least one gated ratio in the baseline: the
+    // fresh run must keep gating *something* of each — a whole entry
+    // silently dropped from a bench (the quick profile legitimately
+    // subsets sizes, so individual missing entries are fine) must not be
+    // able to remove a kind's gating entirely.
+    let gated_kinds: std::collections::BTreeSet<String> = base
+        .values()
+        .filter(|e| {
+            e.iter().any(
+                |(k, v)| matches!(v, Json::Num(x) if k.contains("speedup") && *x >= NOISE_FLOOR),
+            )
+        })
+        .map(|e| match e.get("kind") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        })
+        .collect();
+    let mut fresh_gated_kinds: std::collections::BTreeSet<String> = Default::default();
+
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut missing_keys = 0usize;
     for entry in fresh {
         let id = identity(entry);
         let Some(base_entry) = base.get(&id) else {
             println!("  [skip] {id}: no baseline entry");
             continue;
         };
+        // A matched entry must still emit every gated ratio the baseline
+        // records: a bench that stops measuring a speedup would otherwise
+        // pass CI with the ratio silently un-gated.
+        for (key, val) in base_entry.iter() {
+            let Json::Num(base_v) = val else { continue };
+            if key.contains("speedup") && *base_v >= NOISE_FLOOR && !entry.contains_key(key) {
+                missing_keys += 1;
+                println!(
+                    "  [FAIL] {id} {key}: gated ratio present in the baseline \
+                     (value {base_v:.3}) but missing from the fresh run — the bench \
+                     stopped emitting it"
+                );
+            }
+        }
         for (key, val) in entry {
             if !key.contains("speedup") {
                 continue;
@@ -270,6 +318,10 @@ fn main() -> ExitCode {
                 continue;
             }
             compared += 1;
+            fresh_gated_kinds.insert(match entry.get("kind") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => String::new(),
+            });
             let floor = base_v * (1.0 - tolerance);
             if *fresh_v < floor {
                 regressions += 1;
@@ -289,11 +341,23 @@ fn main() -> ExitCode {
             }
         }
     }
+    let mut missing_kinds = 0usize;
+    for kind in &gated_kinds {
+        if !fresh_gated_kinds.contains(kind) {
+            missing_kinds += 1;
+            println!(
+                "  [FAIL] kind={kind}: the baseline gates ratios of this kind but the fresh \
+                 run compared none — every entry of the kind was dropped or fell out of the \
+                 gate, so the bench stopped measuring it"
+            );
+        }
+    }
     println!(
-        "check_bench: {} vs {}: {compared} gated ratios, {regressions} regression(s)",
+        "check_bench: {} vs {}: {compared} gated ratios, {regressions} regression(s), \
+         {missing_keys} missing gated key(s), {missing_kinds} ungated kind(s)",
         paths[0], paths[1]
     );
-    if regressions > 0 {
+    if regressions > 0 || missing_keys > 0 || missing_kinds > 0 {
         ExitCode::FAILURE
     } else if compared == 0 {
         eprintln!("check_bench: nothing compared — identity mismatch between files?");

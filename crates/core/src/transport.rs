@@ -188,18 +188,43 @@ pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> Result<f64> 
         rhs_top: ZMat::zeros(dk.h.block_size(), 0),
         rhs_bottom: ZMat::zeros(dk.h.block_size(), 0),
     };
-    let g = SOLVER_WS.with(|ws| rgf_diagonal_and_corner_ws(&sys, ws))?;
     let gamma = |sig: &ZMat| -> ZMat {
         // Γ = i(Σ − Σᴴ).
         &sig.scaled(Complex64::I) - &sig.adjoint().scaled(Complex64::I)
     };
     let gl = gamma(&obc_l.sigma);
     let gr = gamma(&obc_r.sigma);
-    // T = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ].
-    let glg = &gl * &g.corner;
-    let glggr = &glg * &gr;
-    let t = &glggr * &g.corner.adjoint();
-    Ok(t.trace().re)
+    // T = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ]: the inner sandwich
+    // A_R = G·Γ_R·Gᴴ is Hermitian (Γ_R is), so it collapses to one
+    // rank-2k update zher2k(½, G·Γ_R, G) = ½(G·Γ_R·Gᴴ + G·Γ_Rᴴ·Gᴴ) at
+    // half the flops of the two gemms, and the trace of the remaining
+    // product is the Frobenius inner product Σᵢⱼ (Γ_L)ᵢⱼ·(A_R)ⱼᵢ — no
+    // third gemm at all. Both temporaries cycle through the per-thread
+    // pool, like the RGF solve that produced G.
+    let t = SOLVER_WS.with(|ws| -> Result<Complex64> {
+        let g = rgf_diagonal_and_corner_ws(&sys, ws)?;
+        let s = gr.rows();
+        let ggr = ws.matmul(&g.corner, &gr);
+        let mut a_r = ws.take_scratch(s, s);
+        qtx_linalg::zher2k(
+            Complex64::new(0.5, 0.0),
+            ggr.view(),
+            g.corner.view(),
+            qtx_linalg::Op::None,
+            0.0,
+            &mut a_r,
+        );
+        ws.recycle(ggr);
+        let mut t = Complex64::ZERO;
+        for j in 0..s {
+            for i in 0..s {
+                t = t.mul_add(gl[(i, j)], a_r[(j, i)]);
+            }
+        }
+        ws.recycle(a_r);
+        Ok(t)
+    })?;
+    Ok(t.re)
 }
 
 /// Lead band edges helper re-exported for grid building.

@@ -12,8 +12,9 @@
 //!    columns see their two-sided updates immediately while everything
 //!    else is deferred), then the trailing matrix takes one `Y·Vᴴ`
 //!    right-update gemm and one `I − V·Tᴴ·Vᴴ` left-update WY sweep on the
-//!    same gemm/trsm kernels as the blocked QR, and `Q` accumulates one
-//!    panel at a time through three more gemms,
+//!    same gemm/trsm kernels as the blocked QR — every `·T` product runs
+//!    as an in-place [`crate::trmm`] on the upper triangle — and `Q`
+//!    accumulates one panel at a time through two more gemms,
 //! 2. explicitly shifted QR iteration with Givens rotations and Wilkinson
 //!    shifts to the (complex) Schur form `A = Z·T·Zᴴ`,
 //! 3. eigenvector recovery by triangular back-substitution,
@@ -32,6 +33,8 @@ use crate::flops::{counts, flops_add};
 use crate::gemm::{gemm_into_unc, Op};
 use crate::lu::{lu_factor_owned_ws, lu_factor_ws};
 use crate::qr::{apply_panel_wy, qr_unblocked_forced, stage_v, zlarfg};
+use crate::trmm::trmm_unc;
+use crate::trsm::{Diag, Side, UpLo};
 use crate::workspace::Workspace;
 use crate::zmat::ZMat;
 use crate::{LinalgError, Result};
@@ -170,11 +173,9 @@ fn hess_blocked_panels(h: &mut ZMat, q: &mut ZMat, kmax: usize, ws: &Workspace) 
     let mut vbuf = ws.take_scratch(n, NB);
     let mut ybuf = ws.take_scratch(n, NB);
     let mut ytbuf = ws.take_scratch(n, NB);
-    let mut qbuf = ws.take_scratch(n, NB);
     let mut tbuf = ws.take_scratch(NB, NB);
     let mut bbuf = ws.take_scratch(n, 1);
     let mut wbuf = ws.take_scratch(NB, n);
-    let mut w2buf = ws.take_scratch(NB, n);
     let mut k0 = 0;
     while kmax - k0 > NX {
         let ib = NB.min(kmax - k0);
@@ -187,9 +188,12 @@ fn hess_blocked_panels(h: &mut ZMat, q: &mut ZMat, kmax: usize, ws: &Workspace) 
         stage_v(&h.block_view(rb, k0, nv, ib), &mut vbuf);
         let v = vbuf.block_view(0, 0, nv, ib);
         let t = tbuf.block_view(0, 0, ib, ib);
-        // Top rows of Y (untouched so far): Y[0..rb] = A[0..rb, rb..n]·V·T.
+        // Top rows of Y (untouched so far): Y[0..rb] = (A[0..rb, rb..n]·V)·T
+        // — the gemm lands in place, then the upper-triangular `T` factor
+        // applies as one right-side ztrmm (half the flops of the square
+        // gemm this used to be, and no second staging buffer).
         {
-            let mut yt = ytbuf.block_view_mut(0, 0, rb, ib);
+            let mut yt = ybuf.block_view_mut(0, 0, rb, ib);
             gemm_into_unc(
                 Complex64::ONE,
                 h.block_view(0, rb, rb, nv),
@@ -199,15 +203,7 @@ fn hess_blocked_panels(h: &mut ZMat, q: &mut ZMat, kmax: usize, ws: &Workspace) 
                 Complex64::ZERO,
                 yt.rb(),
             );
-            gemm_into_unc(
-                Complex64::ONE,
-                yt.as_ref(),
-                Op::None,
-                t,
-                Op::None,
-                Complex64::ZERO,
-                ybuf.block_view_mut(0, 0, rb, ib),
-            );
+            trmm_unc(Side::Right, UpLo::Upper, Op::None, Diag::NonUnit, Complex64::ONE, t, yt.rb());
         }
         // Right update of the trailing columns (all rows): A −= Y·Vᴴ,
         // restricted to the V rows owning columns pe..n.
@@ -240,8 +236,9 @@ fn hess_blocked_panels(h: &mut ZMat, q: &mut ZMat, kmax: usize, ws: &Workspace) 
             }
         }
         // Left update of the trailing block: A ← (I − V·Tᴴ·Vᴴ)·A.
-        apply_panel_wy(v, t, true, h.block_view_mut(rb, pe, nv, n - pe), &mut wbuf, &mut w2buf);
-        // Accumulate Q ← Q·(I − V·T·Vᴴ) through three gemms.
+        apply_panel_wy(v, t, true, h.block_view_mut(rb, pe, nv, n - pe), &mut wbuf);
+        // Accumulate Q ← Q·(I − V·T·Vᴴ): one gemm, the in-place `·T`
+        // ztrmm (which replaced the square gemm and its buffer), one gemm.
         {
             let mut wq = ytbuf.block_view_mut(0, 0, n, ib);
             gemm_into_unc(
@@ -253,19 +250,10 @@ fn hess_blocked_panels(h: &mut ZMat, q: &mut ZMat, kmax: usize, ws: &Workspace) 
                 Complex64::ZERO,
                 wq.rb(),
             );
-            let mut wq2 = qbuf.block_view_mut(0, 0, n, ib);
-            gemm_into_unc(
-                Complex64::ONE,
-                wq.as_ref(),
-                Op::None,
-                t,
-                Op::None,
-                Complex64::ZERO,
-                wq2.rb(),
-            );
+            trmm_unc(Side::Right, UpLo::Upper, Op::None, Diag::NonUnit, Complex64::ONE, t, wq.rb());
             gemm_into_unc(
                 -Complex64::ONE,
-                wq2.as_ref(),
+                wq.as_ref(),
                 Op::None,
                 v,
                 Op::Adjoint,
@@ -285,11 +273,9 @@ fn hess_blocked_panels(h: &mut ZMat, q: &mut ZMat, kmax: usize, ws: &Workspace) 
     ws.recycle(vbuf);
     ws.recycle(ybuf);
     ws.recycle(ytbuf);
-    ws.recycle(qbuf);
     ws.recycle(tbuf);
     ws.recycle(bbuf);
     ws.recycle(wbuf);
-    ws.recycle(w2buf);
     k0
 }
 

@@ -3,29 +3,61 @@
 //! The paper measures CPU FLOPs with PAPI and GPU FLOPs with CUPTI device
 //! counters (§5.B), noting that SplitSolve's operation count is
 //! deterministic. We reproduce that methodology in software: every kernel
-//! in this crate reports its double-precision operation count to a global
-//! relaxed atomic counter, and scoped counters ([`FlopScope`]) measure
-//! individual phases (e.g. "OBC on CPUs" vs "Eq. 5 on GPUs") exactly the
-//! way `PAPI_start_counters`/`PAPI_stop_counters` bracket the production
-//! run.
+//! in this crate reports its double-precision operation count, and scoped
+//! counters ([`FlopScope`]) measure individual phases (e.g. "OBC on CPUs"
+//! vs "Eq. 5 on GPUs") exactly the way
+//! `PAPI_start_counters`/`PAPI_stop_counters` bracket the production run.
+//!
+//! # Counter topology
+//!
+//! Counts accumulate in **two places at once**: a per-thread counter (a
+//! plain `Cell`, no synchronization) and the process-wide relaxed atomic
+//! total. A [`FlopScope`] started with [`FlopScope::start`] reads the
+//! per-thread counter, so its `elapsed()` reports only work executed on
+//! the scope's own thread — exactly like PAPI, whose hardware counters
+//! are per-core. Concurrent FEAST/Beyn quadrature workers therefore no
+//! longer leak their operations into whichever scope happens to be open
+//! on another thread. Phases that *fan out* over worker threads (the
+//! SplitSolve partition sweeps, a whole-device makespan) opt into the
+//! process-wide total with [`FlopScope::start_process`], mirroring how
+//! the paper aggregates per-node counters into machine totals.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static GLOBAL_FLOPS: AtomicU64 = AtomicU64::new(0);
 
-/// Adds `n` double-precision operations to the global counter.
+thread_local! {
+    /// Operations reported by this thread since it started. `FlopScope`
+    /// deltas against this, so the absolute value never needs resetting.
+    static THREAD_FLOPS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `n` double-precision operations to this thread's counter and the
+/// process-wide total.
 #[inline]
 pub fn flops_add(n: u64) {
+    THREAD_FLOPS.with(|c| c.set(c.get() + n));
     GLOBAL_FLOPS.fetch_add(n, Ordering::Relaxed);
 }
 
-/// Total double-precision operations counted since start/reset.
+/// Total double-precision operations counted **process-wide** since
+/// start/reset (every thread's contributions aggregated).
 #[inline]
 pub fn flops_total() -> u64 {
     GLOBAL_FLOPS.load(Ordering::Relaxed)
 }
 
-/// Resets the global counter (used between benchmark phases).
+/// Operations counted by the **current thread** since it started. Scopes
+/// delta against this; it is monotone and never reset.
+#[inline]
+pub fn flops_thread() -> u64 {
+    THREAD_FLOPS.with(|c| c.get())
+}
+
+/// Resets the process-wide counter (used between benchmark phases).
+/// Per-thread counters are monotone and unaffected — [`FlopScope`] works
+/// on deltas, so thread-scoped measurements never need a reset.
 #[inline]
 pub fn flops_reset() {
     GLOBAL_FLOPS.store(0, Ordering::Relaxed);
@@ -34,19 +66,38 @@ pub fn flops_reset() {
 /// A scoped FLOP measurement: records the counter at construction and
 /// reports the delta on [`FlopScope::elapsed`]. Mirrors the PAPI
 /// start/stop bracketing of §5.B.
+///
+/// [`FlopScope::start`] brackets the **current thread only** — work done
+/// by concurrently running threads (other quadrature nodes, unrelated
+/// phases) is excluded, so per-phase counts stay honest under
+/// parallelism. [`FlopScope::start_process`] brackets the process-wide
+/// total instead, for phases whose work intentionally fans out over a
+/// thread pool.
 pub struct FlopScope {
     start: u64,
+    process: bool,
 }
 
 impl FlopScope {
-    /// Starts a measurement scope.
+    /// Starts a thread-scoped measurement: `elapsed()` reports only
+    /// operations executed on the calling thread inside the bracket.
     pub fn start() -> Self {
-        FlopScope { start: flops_total() }
+        FlopScope { start: flops_thread(), process: false }
     }
 
-    /// Operations executed since the scope started.
+    /// Starts a **process-wide** measurement (explicit opt-in): `elapsed()`
+    /// reports operations from every thread, including work the bracketed
+    /// phase fans out to rayon workers. Only meaningful when nothing else
+    /// runs concurrently — the caller owns that guarantee.
+    pub fn start_process() -> Self {
+        FlopScope { start: flops_total(), process: true }
+    }
+
+    /// Operations executed since the scope started (on this scope's
+    /// thread, or process-wide for [`FlopScope::start_process`]).
     pub fn elapsed(&self) -> u64 {
-        flops_total().saturating_sub(self.start)
+        let now = if self.process { flops_total() } else { flops_thread() };
+        now.saturating_sub(self.start)
     }
 }
 
@@ -78,11 +129,27 @@ pub mod counts {
         4 * (n as u64).pow(2) * nrhs as u64
     }
 
+    /// Triangular matrix multiply (`ztrmm`) of an n×n triangle against
+    /// `nrhs` vectors: same profile as [`ztrsm`] — the triangle holds half
+    /// the entries of a square factor, so 4·n²·nrhs.
+    #[inline]
+    pub fn ztrmm(n: usize, nrhs: usize) -> u64 {
+        4 * (n as u64).pow(2) * nrhs as u64
+    }
+
     /// Hermitian rank-k update `C ← α·A·Aᴴ + β·C` for an n×n output:
     /// half of [`zgemm`]`(n, n, k)` — only one triangle is computed.
     #[inline]
     pub fn zherk(n: usize, k: usize) -> u64 {
         4 * (n as u64).pow(2) * k as u64
+    }
+
+    /// Hermitian rank-2k update `C ← α·A·Bᴴ + ᾱ·B·Aᴴ + β·C` for an n×n
+    /// output: two rank-k products at half flops each — 8·n²·k, half of
+    /// the 2·[`zgemm`]`(n, n, k)` it replaces.
+    #[inline]
+    pub fn zher2k(n: usize, k: usize) -> u64 {
+        8 * (n as u64).pow(2) * k as u64
     }
 
     /// Hermitian LDLᴴ factorization: half the LU cost, (4/3)·n³.
@@ -123,14 +190,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scope_measures_delta() {
-        let before = flops_total();
+    fn scope_measures_exact_thread_delta() {
         let scope = FlopScope::start();
         flops_add(123);
-        // Other tests in the same binary run concurrently and share the
-        // global counter: the scope sees *at least* its own additions.
-        assert!(scope.elapsed() >= 123);
-        assert!(flops_total() >= before + 123);
+        // Thread-scoped: concurrent tests in the same binary cannot leak
+        // into this bracket, so the delta is exact, not a lower bound.
+        assert_eq!(scope.elapsed(), 123);
+        flops_add(7);
+        assert_eq!(scope.elapsed(), 130);
     }
 
     #[test]
@@ -140,6 +207,10 @@ mod tests {
         assert_eq!(counts::zgetrs(4, 2), 8 * 16 * 2);
         // Hermitian factorization is half of LU.
         assert_eq!(counts::zhetrf(6), counts::zgetrf(6) / 2);
+        // Triangle kernels are half their square counterparts.
+        assert_eq!(counts::ztrmm(10, 4) * 2, counts::zgemm(10, 4, 10));
+        assert_eq!(counts::zher2k(12, 5) * 2, 2 * counts::zgemm(12, 12, 5));
+        assert_eq!(counts::zherk(12, 5) * 2, counts::zher2k(12, 5));
         // Q-application: 8·n·k·(2m − k).
         assert_eq!(counts::zunmqr(10, 3, 4), 8 * 3 * 4 * 16);
         // Hessenberg: (80/3)·n³; degenerate sizes stay nonzero.
@@ -148,13 +219,73 @@ mod tests {
     }
 
     #[test]
-    fn counters_accumulate_across_threads() {
-        let scope = FlopScope::start();
+    fn thread_scope_excludes_concurrent_worker_flops() {
+        // The §5.B regression: a worker thread hammers the counters with
+        // real gemm work while a scope on this thread brackets a no-op.
+        // The scope must see exactly zero — before the per-thread split,
+        // the worker's operations leaked into every open scope.
+        use crate::gemm::matmul;
+        use crate::zmat::ZMat;
+        use std::sync::mpsc;
+        let (started_tx, started_rx) = mpsc::channel();
+        let (stop_tx, stop_rx) = mpsc::channel();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let a = ZMat::random(48, 48, 1);
+                let b = ZMat::random(48, 48, 2);
+                let mut done_one = false;
+                loop {
+                    let _ = matmul(&a, &b);
+                    if !done_one {
+                        started_tx.send(()).unwrap();
+                        done_one = true;
+                    }
+                    // Stop on the signal *or* a disconnected channel: if
+                    // the main thread's assertion panics before sending,
+                    // the sender is dropped and the worker must still
+                    // exit (otherwise the scope join hangs the unwind and
+                    // the test times out with no diagnostic).
+                    if stop_rx.try_recv() != Err(std::sync::mpsc::TryRecvError::Empty) {
+                        break;
+                    }
+                }
+            });
+            // Wait until the worker demonstrably adds flops, then bracket
+            // a no-op on this thread.
+            started_rx.recv().unwrap();
+            let scope = FlopScope::start();
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert_eq!(scope.elapsed(), 0, "concurrent worker leaked into the scope");
+            stop_tx.send(()).unwrap();
+        });
+    }
+
+    #[test]
+    fn process_scope_aggregates_across_threads() {
+        let scope = FlopScope::start_process();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| flops_add(1000));
             }
         });
+        // Whole-process opt-in: worker contributions are visible (other
+        // concurrent tests may add more, so this is a lower bound).
         assert!(scope.elapsed() >= 4000);
+        // The same bracket viewed thread-scoped sees none of it.
+        let local = FlopScope::start();
+        std::thread::scope(|s| {
+            s.spawn(|| flops_add(500));
+        });
+        assert_eq!(local.elapsed(), 0);
+    }
+
+    #[test]
+    fn global_total_still_aggregates_thread_work() {
+        let before = flops_total();
+        std::thread::scope(|s| {
+            s.spawn(|| flops_add(250));
+        });
+        flops_add(1);
+        assert!(flops_total() >= before + 251);
     }
 }

@@ -1,0 +1,190 @@
+//! Hermitian rank-2k update (`zher2k`), completing the BLAS-3 triangle
+//! set next to [`crate::herk`].
+//!
+//! `C ← α·A·Bᴴ + ᾱ·B·Aᴴ + β·C` is Hermitian by construction whenever `β`
+//! is real, which makes it the natural kernel for "sandwich" products of
+//! the transport observables: the Caroli spectral function `G·Γ·Gᴴ`
+//! (Γ Hermitian) collapses to one `zher2k` with `A = G·Γ`, `B = G`,
+//! `α = ½` — computing only the lower triangle and mirroring, at half the
+//! flops of the two general gemms it replaces. The tiling is the same
+//! lower-triangle block grid as [`crate::herk::zherk`], two packed-gemm
+//! calls per block.
+
+use crate::complex::c64;
+use crate::flops::{counts, flops_add};
+use crate::gemm::{gemm_into_unc, Op};
+use crate::zmat::{ZMat, ZMatRef};
+
+/// Block edge of the triangle tiling (matches [`crate::herk`]).
+const NB: usize = 64;
+
+/// `C ← α·A·Bᴴ + ᾱ·B·Aᴴ + β·C` (`op = Op::None`, `A`/`B` both n×k) or
+/// `C ← α·Aᴴ·B + ᾱ·Bᴴ·A + β·C` (`op = Op::Adjoint`, both k×n), with real
+/// `β` — BLAS `zher2k`.
+///
+/// Only the lower triangle of `C` is read (like BLAS); the full Hermitian
+/// result is written back, diagonal forced real. `Op::Transpose` is
+/// rejected: the transposed form is complex-symmetric, not Hermitian.
+pub fn zher2k(
+    alpha: crate::complex::Complex64,
+    a: ZMatRef<'_>,
+    b: ZMatRef<'_>,
+    op: Op,
+    beta: f64,
+    c: &mut ZMat,
+) {
+    assert!(op != Op::Transpose, "zher2k: use Op::None (A·Bᴴ + B·Aᴴ) or Op::Adjoint (Aᴴ·B + Bᴴ·A)");
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "zher2k operand shape mismatch");
+    let (n, k) = match op {
+        Op::None => (a.rows(), a.cols()),
+        _ => (a.cols(), a.rows()),
+    };
+    assert_eq!((c.rows(), c.cols()), (n, n), "zher2k output shape mismatch");
+    flops_add(counts::zher2k(n, k));
+    let beta = c64(beta, 0.0);
+    let alpha_c = alpha.conj();
+    // Lower-triangle block grid, two gemms per (i ≥ j) block: the first
+    // applies β, the second accumulates. Diagonal blocks are computed in
+    // full (waste NB²/2 per block, negligible against the n²k saved).
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = NB.min(n - j0);
+        let mut i0 = j0;
+        while i0 < n {
+            let ib = NB.min(n - i0);
+            let (ai, bj, bi, aj) = match op {
+                Op::None => (
+                    a.sub(i0, 0, ib, k),
+                    b.sub(j0, 0, jb, k),
+                    b.sub(i0, 0, ib, k),
+                    a.sub(j0, 0, jb, k),
+                ),
+                _ => (
+                    a.sub(0, i0, k, ib),
+                    b.sub(0, j0, k, jb),
+                    b.sub(0, i0, k, ib),
+                    a.sub(0, j0, k, jb),
+                ),
+            };
+            let (op_i, op_j) = match op {
+                Op::None => (Op::None, Op::Adjoint),
+                _ => (Op::Adjoint, Op::None),
+            };
+            gemm_into_unc(alpha, ai, op_i, bj, op_j, beta, c.block_view_mut(i0, j0, ib, jb));
+            gemm_into_unc(
+                alpha_c,
+                bi,
+                op_i,
+                aj,
+                op_j,
+                crate::complex::Complex64::ONE,
+                c.block_view_mut(i0, j0, ib, jb),
+            );
+            i0 += ib;
+        }
+        j0 += jb;
+    }
+    // Mirror the strict lower triangle up and pin the diagonal real.
+    for j in 0..n {
+        for i in 0..j {
+            c[(i, j)] = c[(j, i)].conj();
+        }
+        let d = c[(j, j)];
+        c[(j, j)] = c64(d.re, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+    use crate::gemm::gemm;
+    use crate::zmat::{alloc_count, ZMat};
+
+    fn reference(alpha: Complex64, a: &ZMat, b: &ZMat, op: Op, beta: f64, c0: &ZMat) -> ZMat {
+        let mut c = c0.clone();
+        // Make the β·C term Hermitian the way zher2k reads it (lower only).
+        c.hermitianize();
+        let flip = |o: Op| match o {
+            Op::None => Op::Adjoint,
+            _ => Op::None,
+        };
+        gemm(alpha, a, op, b, flip(op), c64(beta, 0.0), &mut c);
+        gemm(alpha.conj(), b, op, a, flip(op), Complex64::ONE, &mut c);
+        c
+    }
+
+    #[test]
+    fn matches_gemm_both_transposes() {
+        let alpha = c64(0.6, -0.8);
+        for op in [Op::None, Op::Adjoint] {
+            for (n, k) in [(5usize, 9usize), (9, 5), (97, 33), (130, 70)] {
+                let (a, b) = match op {
+                    Op::None => (ZMat::random(n, k, 3), ZMat::random(n, k, 4)),
+                    _ => (ZMat::random(k, n, 3), ZMat::random(k, n, 4)),
+                };
+                let mut c = ZMat::random(n, n, 5);
+                c.hermitianize();
+                let expected = reference(alpha, &a, &b, op, 0.3, &c);
+                zher2k(alpha, a.view(), b.view(), op, 0.3, &mut c);
+                assert!(
+                    c.max_diff(&expected) < 1e-9 * (k as f64),
+                    "op {op:?} n {n} k {k}: {:.2e}",
+                    c.max_diff(&expected)
+                );
+                assert!(c.hermitian_defect() < 1e-12, "result must be Hermitian");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_ignores_garbage_upper_triangle() {
+        let a = ZMat::random(40, 20, 7);
+        let b = ZMat::random(40, 20, 8);
+        let mut c = ZMat::random(40, 40, 9); // arbitrary contents, β = 0
+        zher2k(Complex64::ONE, a.view(), b.view(), Op::None, 0.0, &mut c);
+        let mut expected = ZMat::zeros(40, 40);
+        gemm(Complex64::ONE, &a, Op::None, &b, Op::Adjoint, Complex64::ZERO, &mut expected);
+        gemm(Complex64::ONE, &b, Op::None, &a, Op::Adjoint, Complex64::ONE, &mut expected);
+        assert!(c.max_diff(&expected) < 1e-10);
+    }
+
+    #[test]
+    fn sandwich_product_is_exact() {
+        // The Caroli use-case: G·Γ·Gᴴ with Hermitian Γ equals
+        // zher2k(½, G·Γ, G). Exact identity, not an approximation.
+        let g = ZMat::random(12, 12, 21);
+        let mut gam = ZMat::random(12, 12, 22);
+        gam.hermitianize();
+        let ggam = &g * &gam;
+        let mut c = ZMat::zeros(12, 12);
+        zher2k(c64(0.5, 0.0), ggam.view(), g.view(), Op::None, 0.0, &mut c);
+        let expected = &ggam * &g.adjoint();
+        assert!(c.max_diff(&expected) < 1e-11, "{:.2e}", c.max_diff(&expected));
+        assert!(c.hermitian_defect() < 1e-12);
+    }
+
+    // The seed-gemm A/B kernel clones its operands by design, so the
+    // zero-allocation property only holds for the production gemm.
+    #[cfg(not(feature = "seed-gemm"))]
+    #[test]
+    fn allocation_free() {
+        let a = ZMat::random(96, 64, 11);
+        let b = ZMat::random(96, 64, 12);
+        let mut c = ZMat::zeros(96, 96);
+        let before = alloc_count();
+        zher2k(Complex64::ONE, a.view(), b.view(), Op::None, 0.0, &mut c);
+        assert_eq!(alloc_count(), before, "zher2k allocated a ZMat");
+    }
+
+    #[test]
+    fn counts_half_the_two_gemm_flops() {
+        let a = ZMat::random(30, 12, 13);
+        let b = ZMat::random(30, 12, 14);
+        let mut c = ZMat::zeros(30, 30);
+        let scope = crate::flops::FlopScope::start();
+        zher2k(Complex64::ONE, a.view(), b.view(), Op::None, 0.0, &mut c);
+        assert!(scope.elapsed() >= counts::zher2k(30, 12));
+        assert!(counts::zher2k(30, 12) == 2 * counts::zgemm(30, 30, 12) / 2);
+    }
+}

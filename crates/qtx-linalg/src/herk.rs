@@ -6,10 +6,11 @@
 //! construction. A general `zgemm` computes both triangles; `zherk`
 //! computes only the lower one through the tiled gemm kernel and mirrors
 //! it, halving the flops exactly as the ROADMAP's "dedicated `zherk` for
-//! the FEAST Gram matrix" item asks. (The Rayleigh–Ritz products `QᴴAQ` /
-//! `QᴴBQ` stay on `zgemm`: the companion pencil's `A` and `B` are not
-//! Hermitian, so those reduced matrices have no triangle symmetry to
-//! exploit.)
+//! the FEAST Gram matrix" item asks. (The Rayleigh–Ritz reductions `QᴴAQ`
+//! / `QᴴBQ` are not Hermitian as wholes — the companion pencil's `A` and
+//! `B` are not Hermitian — but FEAST assembles them blockwise from the
+//! companion structure, and the `Q₂ᴴQ₂` term of the `B`-projection does
+//! come through this kernel.)
 
 use crate::complex::c64;
 use crate::flops::{counts, flops_add};

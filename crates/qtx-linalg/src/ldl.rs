@@ -241,7 +241,9 @@ impl LdlFactors {
     }
 
     /// Solves `A·X = B` in place: forward `L`, diagonal `D⁻¹`, backward
-    /// `Lᴴ` — the triangular sweeps run blocked on the gemm microkernel.
+    /// `Lᴴ` — the triangular sweeps run blocked on the gemm microkernel,
+    /// with the small-block substitution RHS-register-blocked in
+    /// [`crate::trsm`] (the `Lᴴ` gather sweep included).
     pub fn solve_in_place(&self, x: &mut ZMat) {
         let n = self.packed.rows();
         assert_eq!(x.rows(), n);

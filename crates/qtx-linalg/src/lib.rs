@@ -16,8 +16,14 @@
 //! * [`trsm`] — triangular solves over borrowed views (left/right,
 //!   lower/upper, `N`/`T`/`H`, unit/non-unit), cache-blocked on the gemm
 //!   microkernel; the substrate of every factor/solve below.
+//! * [`trmm`] — in-place triangular multiply (`ztrmm`): the compact-WY
+//!   `T`-factor products of the blocked QR/Hessenberg kernels at half the
+//!   flops of the square gemm they replaced.
 //! * [`herk`] — Hermitian rank-k update (`zherk`): the FEAST/Beyn Gram
 //!   matrices at half the flops of a general product.
+//! * [`her2k`] — Hermitian rank-2k update (`zher2k`): the sandwich
+//!   products of the transport observables (`G·Γ·Gᴴ`) at half the flops
+//!   of the two gemms they replaced.
 //! * [`lu`] — partial-pivoting LU (`zgesv`), pivot-free LU
 //!   (`zgesv_nopiv`, the MAGMA kernel used in Algorithm 1) and inverses.
 //!   Blocked right-looking (panel + `laswp` + trsm + gemm trailing
@@ -44,11 +50,13 @@ pub mod complex;
 pub mod eig;
 pub mod flops;
 pub mod gemm;
+pub mod her2k;
 pub mod herk;
 pub mod ldl;
 pub mod lu;
 pub mod qr;
 pub mod rng;
+pub mod trmm;
 pub mod trsm;
 pub mod workspace;
 pub mod zmat;
@@ -58,8 +66,9 @@ pub use eig::{
     eig, eig_generalized, eig_generalized_ws, eig_ws, eigenvalues, hessenberg,
     hessenberg_unblocked, hessenberg_ws, schur, schur_ws, EigDecomposition, SchurDecomposition,
 };
-pub use flops::{flops_reset, flops_total, FlopScope};
+pub use flops::{flops_reset, flops_thread, flops_total, FlopScope};
 pub use gemm::{gemm, gemm_into, gemm_view, gemv, matmul, Op};
+pub use her2k::zher2k;
 pub use herk::zherk;
 pub use ldl::{
     ldl_factor_nopiv, ldl_factor_nopiv_unblocked, ldl_factor_nopiv_ws, ldl_solve, zhesv_nopiv,
@@ -75,6 +84,7 @@ pub use qr::{
     qr_factor, qr_factor_unblocked, qr_factor_ws, qr_least_squares, QrFactors,
 };
 pub use rng::Pcg64;
+pub use trmm::ztrmm;
 pub use trsm::{trsm, Diag, Side, UpLo};
 pub use workspace::Workspace;
 pub use zmat::{alloc_count, ZMat, ZMatMut, ZMatRef};

@@ -366,7 +366,10 @@ impl LuFactors {
 
     /// Solves `A·X = B` in place: `x` holds `B` on entry and `X` on exit.
     /// Pivot interchanges ([`laswp`]) followed by two blocked triangular
-    /// solves — the multi-RHS sweeps run on the gemm microkernel.
+    /// solves — the off-diagonal sweeps run on the gemm microkernel and
+    /// the ≤64-block diagonal substitution is RHS-register-blocked
+    /// (4-column panels in [`crate::trsm`]), the sweep that dominates
+    /// SplitSolve's per-block solves at s = 64.
     pub fn solve_in_place(&self, x: &mut ZMat) {
         let n = self.lu.rows();
         assert_eq!(x.rows(), n, "rhs row count mismatch");

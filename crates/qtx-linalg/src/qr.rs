@@ -24,10 +24,11 @@
 //! one [`crate::trsm`] solve of the identity against that triangle (with a
 //! scalar recurrence fallback when a τ vanishes, where the inverse
 //! formulation breaks down). The trailing update is then two gemms around
-//! a small one:
+//! an in-place [`crate::trmm`] (`T` is upper triangular — the square gemm
+//! the `T`-transform used to pay is halved and its staging buffer gone):
 //!
 //! ```text
-//! W = Vᴴ·B,    B ← B − V·(Tᴴ·W)
+//! W = Vᴴ·B,    W ← Tᴴ·W (ztrmm),    B ← B − V·W
 //! ```
 //!
 //! so the bulk of the `8·(m·n² − n³/3)` flops runs on the packed 8×4
@@ -45,6 +46,7 @@
 use crate::complex::{c64, Complex64};
 use crate::flops::{counts, flops_add};
 use crate::gemm::{gemm, gemm_into_unc, Op};
+use crate::trmm::trmm_unc;
 use crate::trsm::{trsm_unc, Diag, Side, UpLo};
 use crate::workspace::Workspace;
 use crate::zmat::{ZMat, ZMatMut, ZMatRef};
@@ -210,7 +212,6 @@ fn factor_blocked(p: &mut ZMat, tau: &mut ZMat, ts: &mut ZMat, ws: &Workspace) {
     let (m, n) = (p.rows(), p.cols());
     let mut vbuf = ws.take_scratch(m, NB);
     let mut wbuf = ws.take_scratch(NB, n);
-    let mut w2buf = ws.take_scratch(NB, n);
     let mut sbuf = ws.take_scratch(NB, NB);
     let mut k0 = 0;
     while k0 < n {
@@ -223,13 +224,12 @@ fn factor_blocked(p: &mut ZMat, tau: &mut ZMat, ts: &mut ZMat, ws: &Workspace) {
         if nr > 0 {
             let t = ts.block_view(0, k0, kb, kb);
             let b = p.block_view_mut(k0, k0 + kb, m - k0, nr);
-            apply_panel_wy(v, t, true, b, &mut wbuf, &mut w2buf);
+            apply_panel_wy(v, t, true, b, &mut wbuf);
         }
         k0 += kb;
     }
     ws.recycle(vbuf);
     ws.recycle(wbuf);
-    ws.recycle(w2buf);
     ws.recycle(sbuf);
 }
 
@@ -296,15 +296,16 @@ fn build_t(v: ZMatRef<'_>, tau: &ZMat, sbuf: &mut ZMat, ts: &mut ZMat, k0: usize
 /// Applies one panel's compact-WY block reflector in place:
 /// `B ← (I − V·Tᴴ·Vᴴ)·B` when `adjoint` (the `Qᴴ` direction used by the
 /// factorization and `apply_qh`), `B ← (I − V·T·Vᴴ)·B` otherwise (the `Q`
-/// direction used by `q_thin`). Three gemms: `W = Vᴴ·B`, the small
-/// `T`-transform, `B −= V·W`.
+/// direction used by `q_thin`). Two gemms around an in-place triangular
+/// multiply: `W = Vᴴ·B`, `W ← op(T)·W` ([`crate::trmm`] — `T` is upper
+/// triangular, so the square gemm and its second staging buffer are
+/// gone), `B −= V·W`.
 pub(crate) fn apply_panel_wy(
     v: ZMatRef<'_>,
     t: ZMatRef<'_>,
     adjoint: bool,
     mut b: ZMatMut<'_>,
     wbuf: &mut ZMat,
-    w2buf: &mut ZMat,
 ) {
     let kb = v.cols();
     let nc = b.cols();
@@ -313,10 +314,9 @@ pub(crate) fn apply_panel_wy(
     }
     let mut w = wbuf.block_view_mut(0, 0, kb, nc);
     gemm_into_unc(Complex64::ONE, v, Op::Adjoint, b.as_ref(), Op::None, Complex64::ZERO, w.rb());
-    let mut w2 = w2buf.block_view_mut(0, 0, kb, nc);
     let t_op = if adjoint { Op::Adjoint } else { Op::None };
-    gemm_into_unc(Complex64::ONE, t, t_op, w.as_ref(), Op::None, Complex64::ZERO, w2.rb());
-    gemm_into_unc(-Complex64::ONE, v, Op::None, w2.as_ref(), Op::None, Complex64::ONE, b.rb());
+    trmm_unc(Side::Left, UpLo::Upper, t_op, Diag::NonUnit, Complex64::ONE, t, w.rb());
+    gemm_into_unc(-Complex64::ONE, v, Op::None, w.as_ref(), Op::None, Complex64::ONE, b.rb());
 }
 
 impl QrFactors {
@@ -360,7 +360,6 @@ impl QrFactors {
             // Blocked: Q = Q_p0·Q_p1···I applied in reverse panel order.
             let mut vbuf = ws.take_scratch(m, NB);
             let mut wbuf = ws.take_scratch(NB, n);
-            let mut w2buf = ws.take_scratch(NB, n);
             let mut k0 = n - (n - 1) % NB - 1;
             loop {
                 let kb = NB.min(n - k0);
@@ -368,7 +367,7 @@ impl QrFactors {
                 let v = vbuf.block_view(0, 0, m - k0, kb);
                 let t = self.ts.block_view(0, k0, kb, kb);
                 let b = q.block_view_mut(k0, 0, m - k0, n);
-                apply_panel_wy(v, t, false, b, &mut wbuf, &mut w2buf);
+                apply_panel_wy(v, t, false, b, &mut wbuf);
                 if k0 == 0 {
                     break;
                 }
@@ -376,7 +375,6 @@ impl QrFactors {
             }
             ws.recycle(vbuf);
             ws.recycle(wbuf);
-            ws.recycle(w2buf);
         } else {
             // Apply reflectors in reverse order: Q = H_0·H_1···H_{n−1}·I.
             for k in (0..n).rev() {
@@ -429,7 +427,6 @@ impl QrFactors {
         if self.ts.cols() > 0 {
             let mut vbuf = ws.take_scratch(m, NB);
             let mut wbuf = ws.take_scratch(NB, nc.max(1));
-            let mut w2buf = ws.take_scratch(NB, nc.max(1));
             let mut k0 = 0;
             while k0 < n {
                 let kb = NB.min(n - k0);
@@ -437,12 +434,11 @@ impl QrFactors {
                 let v = vbuf.block_view(0, 0, m - k0, kb);
                 let t = self.ts.block_view(0, k0, kb, kb);
                 let b = x.block_view_mut(k0, 0, m - k0, nc);
-                apply_panel_wy(v, t, true, b, &mut wbuf, &mut w2buf);
+                apply_panel_wy(v, t, true, b, &mut wbuf);
                 k0 += kb;
             }
             ws.recycle(vbuf);
             ws.recycle(wbuf);
-            ws.recycle(w2buf);
         } else {
             for k in 0..n {
                 let tau_k = self.tau_k(k);

@@ -81,9 +81,10 @@ pub(crate) fn trsm_unc(side: Side, uplo: UpLo, op: Op, diag: Diag, a: ZMatRef<'_
     }
 }
 
-/// Element `op(A)[i, j]` read through the view.
+/// Element `op(A)[i, j]` read through the view (shared with
+/// [`crate::trmm`], which addresses the stored triangle the same way).
 #[inline(always)]
-fn aeff(a: ZMatRef<'_>, op: Op, i: usize, j: usize) -> Complex64 {
+pub(crate) fn aeff(a: ZMatRef<'_>, op: Op, i: usize, j: usize) -> Complex64 {
     match op {
         Op::None => a.at(i, j),
         Op::Transpose => a.at(j, i),
@@ -93,7 +94,7 @@ fn aeff(a: ZMatRef<'_>, op: Op, i: usize, j: usize) -> Complex64 {
 
 /// Whether `op(A)` is effectively lower triangular (forward sweep).
 #[inline]
-fn effectively_lower(uplo: UpLo, op: Op) -> bool {
+pub(crate) fn effectively_lower(uplo: UpLo, op: Op) -> bool {
     (uplo == UpLo::Lower) == (op == Op::None)
 }
 
@@ -104,41 +105,46 @@ fn trsm_left(uplo: UpLo, op: Op, diag: Diag, a: ZMatRef<'_>, mut b: ZMatMut<'_>)
         return;
     }
     let forward = effectively_lower(uplo, op);
-    // Staging buffer for solved block rows: the trailing gemm reads them
-    // while writing the remaining rows of the same columns of B.
-    let mut xbuf: Vec<Complex64> = vec![Complex64::ZERO; NB.min(n) * m];
-    let mut done = 0;
-    while done < n {
-        let kb = NB.min(n - done);
-        let k0 = if forward { done } else { n - done - kb };
-        solve_diag_left(a, op, diag, forward, k0, kb, &mut b);
-        let (r0, rows) = if forward { (k0 + kb, n - k0 - kb) } else { (0, k0) };
-        if rows > 0 {
-            for j in 0..m {
-                xbuf[j * kb..(j + 1) * kb].copy_from_slice(&b.col(j)[k0..k0 + kb]);
+    // Staging buffer for solved block rows (the trailing gemm reads them
+    // while writing the remaining rows of the same columns of B), carved
+    // from the warm per-thread scratch — fully written before it is read.
+    crate::workspace::with_tri_scratch(NB.min(n) * m, |xbuf| {
+        let mut done = 0;
+        while done < n {
+            let kb = NB.min(n - done);
+            let k0 = if forward { done } else { n - done - kb };
+            solve_diag_left(a, op, diag, forward, k0, kb, &mut b);
+            let (r0, rows) = if forward { (k0 + kb, n - k0 - kb) } else { (0, k0) };
+            if rows > 0 {
+                for j in 0..m {
+                    xbuf[j * kb..(j + 1) * kb].copy_from_slice(&b.col(j)[k0..k0 + kb]);
+                }
+                let x = ZMatRef::from_slice(&xbuf[..kb * m], kb, m, kb);
+                // Off-diagonal block op(A)[r0.., k0..k0+kb], addressed
+                // through the stored triangle.
+                let (asub, aop) = match op {
+                    Op::None => (a.sub(r0, k0, rows, kb), Op::None),
+                    _ => (a.sub(k0, r0, kb, rows), op),
+                };
+                let c = b.rb().sub_mut(r0, 0, rows, m);
+                gemm_into_unc(-Complex64::ONE, asub, aop, x, Op::None, Complex64::ONE, c);
             }
-            let x = ZMatRef::from_slice(&xbuf[..kb * m], kb, m, kb);
-            // Off-diagonal block op(A)[r0.., k0..k0+kb], addressed through
-            // the stored triangle.
-            let (asub, aop) = match op {
-                Op::None => (a.sub(r0, k0, rows, kb), Op::None),
-                _ => (a.sub(k0, r0, kb, rows), op),
-            };
-            let c = b.rb().sub_mut(r0, 0, rows, m);
-            gemm_into_unc(-Complex64::ONE, asub, aop, x, Op::None, Complex64::ONE, c);
+            done += kb;
         }
-        done += kb;
-    }
+    });
 }
 
+/// RHS-panel width of the scalar substitution sweeps: each pass over the
+/// diagonal triangle solves this many right-hand-side columns at once,
+/// loading every `A` column once per panel instead of once per column and
+/// keeping four independent `mul_add` chains in flight (the ≤64-block
+/// sweep is latency-bound on a single chain otherwise — this is the
+/// SplitSolve s = 64 hot loop through the LU/LDLᴴ solves).
+const RHS_BLK: usize = 4;
+
 /// Scalar sweep on one diagonal block for the left-side solve: rows
-/// `k0..k0+kb` of `B`, forward (effectively lower) or backward.
-///
-/// Both branches walk **columns of the stored triangle** so the inner
-/// loops run over contiguous slices: `Op::None` scatters the solved entry
-/// down/up its own column (classic substitution), while the transposed
-/// ops gather a dot product against column `gt` of the storage — the
-/// `Lᴴ` backward sweep of the LDLᴴ solve stays contiguous this way.
+/// `k0..k0+kb` of `B`, forward (effectively lower) or backward, processed
+/// in [`RHS_BLK`]-column panels (remainder columns one at a time).
 fn solve_diag_left(
     a: ZMatRef<'_>,
     op: Op,
@@ -148,45 +154,91 @@ fn solve_diag_left(
     kb: usize,
     b: &mut ZMatMut<'_>,
 ) {
-    for j in 0..b.cols() {
-        let bcol = b.col_mut(j);
-        for t in 0..kb {
-            let t = if forward { t } else { kb - 1 - t };
-            let gt = k0 + t;
-            let acol = a.col(gt);
-            match op {
-                Op::None => {
-                    let mut x = bcol[gt];
-                    if diag == Diag::NonUnit {
-                        x *= acol[gt].inv();
-                        bcol[gt] = x;
+    let m = b.cols();
+    let mut j = 0;
+    while j + RHS_BLK <= m {
+        let cols = b.cols_mut_array::<RHS_BLK>(j);
+        solve_diag_left_panel(a, op, diag, forward, k0, kb, cols);
+        j += RHS_BLK;
+    }
+    while j < m {
+        let cols = b.cols_mut_array::<1>(j);
+        solve_diag_left_panel(a, op, diag, forward, k0, kb, cols);
+        j += 1;
+    }
+}
+
+/// One [`RHS_BLK`]-wide (or remainder-width) panel of the substitution
+/// sweep. Both branches walk **columns of the stored triangle** so the
+/// inner loops run over contiguous slices: `Op::None` scatters the solved
+/// entries down/up their own column (classic substitution), while the
+/// transposed ops gather dot products against column `gt` of the storage
+/// — the `Lᴴ` backward sweep of the LDLᴴ solve stays contiguous this way.
+/// Every `A` element is loaded once and fed to all `K` columns' FMA
+/// chains.
+fn solve_diag_left_panel<const K: usize>(
+    a: ZMatRef<'_>,
+    op: Op,
+    diag: Diag,
+    forward: bool,
+    k0: usize,
+    kb: usize,
+    mut cols: [&mut [Complex64]; K],
+) {
+    for t in 0..kb {
+        let t = if forward { t } else { kb - 1 - t };
+        let gt = k0 + t;
+        let acol = a.col(gt);
+        match op {
+            Op::None => {
+                let mut neg = [Complex64::ZERO; K];
+                if diag == Diag::NonUnit {
+                    let dinv = acol[gt].inv();
+                    for (c, n) in cols.iter_mut().zip(neg.iter_mut()) {
+                        let x = c[gt] * dinv;
+                        c[gt] = x;
+                        *n = -x;
                     }
-                    if x == Complex64::ZERO {
-                        continue;
-                    }
-                    let neg = -x;
-                    let (lo, hi) = if forward { (gt + 1, k0 + kb) } else { (k0, gt) };
-                    for (bi, &ai) in bcol[lo..hi].iter_mut().zip(&acol[lo..hi]) {
-                        *bi = bi.mul_add(ai, neg);
+                } else {
+                    for (c, n) in cols.iter().zip(neg.iter_mut()) {
+                        *n = -c[gt];
                     }
                 }
-                Op::Transpose | Op::Adjoint => {
-                    let (lo, hi) = if forward { (k0, gt) } else { (gt + 1, k0 + kb) };
-                    let mut s = Complex64::ZERO;
-                    if op == Op::Adjoint {
-                        for (&bi, &ai) in bcol[lo..hi].iter().zip(&acol[lo..hi]) {
-                            s = s.mul_add(ai.conj(), bi);
-                        }
-                    } else {
-                        for (&bi, &ai) in bcol[lo..hi].iter().zip(&acol[lo..hi]) {
-                            s = s.mul_add(ai, bi);
+                if neg.iter().all(|n| *n == Complex64::ZERO) {
+                    continue;
+                }
+                let (lo, hi) = if forward { (gt + 1, k0 + kb) } else { (k0, gt) };
+                for (i, &ai) in (lo..hi).zip(&acol[lo..hi]) {
+                    for (c, &n) in cols.iter_mut().zip(&neg) {
+                        c[i] = c[i].mul_add(ai, n);
+                    }
+                }
+            }
+            Op::Transpose | Op::Adjoint => {
+                let (lo, hi) = if forward { (k0, gt) } else { (gt + 1, k0 + kb) };
+                let mut s = [Complex64::ZERO; K];
+                if op == Op::Adjoint {
+                    for (i, &ai) in (lo..hi).zip(&acol[lo..hi]) {
+                        let ac = ai.conj();
+                        for (c, sq) in cols.iter().zip(s.iter_mut()) {
+                            *sq = sq.mul_add(ac, c[i]);
                         }
                     }
-                    let mut x = bcol[gt] - s;
+                } else {
+                    for (i, &ai) in (lo..hi).zip(&acol[lo..hi]) {
+                        for (c, sq) in cols.iter().zip(s.iter_mut()) {
+                            *sq = sq.mul_add(ai, c[i]);
+                        }
+                    }
+                }
+                let dinv =
+                    if diag == Diag::NonUnit { aeff(a, op, gt, gt).inv() } else { Complex64::ONE };
+                for (c, &sq) in cols.iter_mut().zip(&s) {
+                    let mut x = c[gt] - sq;
                     if diag == Diag::NonUnit {
-                        x *= aeff(a, op, gt, gt).inv();
+                        x *= dinv;
                     }
-                    bcol[gt] = x;
+                    c[gt] = x;
                 }
             }
         }

@@ -584,6 +584,25 @@ impl<'a> ZMatMut<'a> {
         (&mut a[j0 * self.ld..j0 * self.ld + self.rows], &mut b[..self.rows])
     }
 
+    /// `K` consecutive disjoint mutable columns starting at `j0` — the
+    /// register-blocked substitution sweeps in [`crate::trsm`] and
+    /// [`crate::trmm`] update a panel of right-hand-side columns per pass
+    /// over the triangle, sharing each loaded `A` column across the panel.
+    /// Columns of a column-major view occupy disjoint slice ranges, so the
+    /// split is safe and allocation-free.
+    pub fn cols_mut_array<const K: usize>(&mut self, j0: usize) -> [&mut [Complex64]; K] {
+        assert!(K > 0 && j0 + K <= self.cols, "column panel out of range");
+        let (rows, ld) = (self.rows, self.ld);
+        let mut rest: &mut [Complex64] = &mut self.data[j0 * ld..];
+        std::array::from_fn(|_| {
+            let r = std::mem::take(&mut rest);
+            let cut = ld.min(r.len());
+            let (col, tail) = r.split_at_mut(cut);
+            rest = tail;
+            &mut col[..rows]
+        })
+    }
+
     /// Consuming sub-view (offsets relative to this view's origin).
     pub fn sub_mut(self, r0: usize, c0: usize, rows: usize, cols: usize) -> ZMatMut<'a> {
         assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "sub-view out of range");

@@ -159,19 +159,26 @@ pub fn beyn_annulus_ws(
             q[(i, jj)] = q[(i, jj)].scale(si);
         }
     }
-    // B = Qᴴ·A₁·W·Σ⁻¹ (m × m).
-    let mut a1ws = ws.matmul(&a1, &w_m);
-    ws.recycle(w_m);
+    // B = Qᴴ·A₁·W·Σ⁻¹ = Σ⁻¹·Wᴴ·(A₀ᴴ·A₁)·W·Σ⁻¹ (m × m): associating
+    // through the probes-sized cross moment A₀ᴴ·A₁ replaces the two
+    // nbc-tall products this used to take (A₁·W then Qᴴ·(A₁WΣ⁻¹)) with
+    // one nbc-deep gemm plus probes-sized small products — roughly half
+    // the moment-processing flops when m ≈ probes.
+    let mut cross = ws.take_scratch(probes, probes);
+    gemm(Complex64::ONE, &a0, Op::Adjoint, &a1, Op::None, Complex64::ZERO, &mut cross);
     ws.recycle(a0);
     ws.recycle(a1);
-    for (jj, &si) in sig_inv.iter().enumerate() {
-        for i in 0..nbc {
-            a1ws[(i, jj)] = a1ws[(i, jj)].scale(si);
+    let cw = ws.matmul(&cross, &w_m);
+    ws.recycle(cross);
+    let mut b = ws.take_scratch(m, m);
+    gemm(Complex64::ONE, &w_m, Op::Adjoint, &cw, Op::None, Complex64::ZERO, &mut b);
+    ws.recycle(cw);
+    ws.recycle(w_m);
+    for (jj, &sj) in sig_inv.iter().enumerate() {
+        for (i, &si) in sig_inv.iter().enumerate() {
+            b[(i, jj)] = b[(i, jj)].scale(si * sj);
         }
     }
-    let mut b = ws.take(m, m);
-    gemm(Complex64::ONE, &q, Op::Adjoint, &a1ws, Op::None, Complex64::ZERO, &mut b);
-    ws.recycle(a1ws);
     // Eigenpairs of B are the enclosed (λ, lifted u).
     let small = match eig_ws(&b, ws) {
         Ok(small) => small,
@@ -381,10 +388,12 @@ mod tests {
         // one factorization per node only.
         let lead = LeadBlocks::chain_1d(0.0, -1.0);
         let pencil = CompanionPencil::at_energy(&lead, 0.9, 0.0);
-        let scope = qtx_linalg::FlopScope::start();
+        // Both methods fan their quadrature out over rayon workers, so the
+        // comparison needs the process-wide totals.
+        let scope = qtx_linalg::FlopScope::start_process();
         let _ = beyn_annulus(&pencil, BeynConfig { np: 8, ..Default::default() }).unwrap();
         let beyn_flops = scope.elapsed();
-        let scope = qtx_linalg::FlopScope::start();
+        let scope = qtx_linalg::FlopScope::start_process();
         let _ = feast_annulus(&pencil, FeastConfig { np: 8, ..FeastConfig::default() }).unwrap();
         let feast_flops = scope.elapsed();
         assert!(

@@ -20,8 +20,8 @@
 
 use crate::companion::CompanionPencil;
 use qtx_linalg::{
-    eig_generalized_ws, eig_ws, gemm, orthonormalize_ws, zherk, Complex64, LinalgError, Op, Result,
-    Workspace, ZMat,
+    eig_generalized_ws, eig_ws, gemm_view, orthonormalize_ws, zherk, Complex64, LinalgError, Op,
+    Result, Workspace, ZMat,
 };
 use rayon::prelude::*;
 
@@ -215,15 +215,68 @@ fn feast_core(
                 ws.recycle(q);
                 break; // empty annulus
             }
-            // Reduced pencil (Eq. 7): [QᴴAQ]·y = λ·[QᴴBQ]·y.
-            let aq = pencil.apply_a_ws(&q, ws);
-            let bq = pencil.apply_b_ws(&q, ws);
-            let mut ar = ws.take(k, k);
+            // Reduced pencil (Eq. 7): [QᴴAQ]·y = λ·[QᴴBQ]·y, assembled
+            // blockwise from the companion structure instead of through
+            // materialized A·Q/B·Q products: with Q = [Q₁; Q₂],
+            //   QᴴAQ = −Q₁ᴴ·(T00·Q₁ + T10·Q₂) + Q₂ᴴ·Q₁
+            //   QᴴBQ =  Q₁ᴴ·(T01·Q₁) + Q₂ᴴ·Q₂
+            // so every inner dimension is nf (not 2·nf), the 2nf-tall
+            // temporaries are gone, and the Hermitian Q₂ᴴQ₂ term of the
+            // B-projection runs on the half-flop rank-k update.
+            let nf = pencil.nf;
+            let q1 = q.block_view(0, 0, nf, k);
+            let q2 = q.block_view(nf, 0, nf, k);
+            let mut tq = ws.take_scratch(nf, k);
+            gemm_view(
+                Complex64::ONE,
+                pencil.t00.view(),
+                Op::None,
+                q1,
+                Op::None,
+                Complex64::ZERO,
+                &mut tq,
+            );
+            gemm_view(
+                Complex64::ONE,
+                pencil.t10.view(),
+                Op::None,
+                q2,
+                Op::None,
+                Complex64::ONE,
+                &mut tq,
+            );
+            let mut ar = ws.take_scratch(k, k);
+            gemm_view(
+                -Complex64::ONE,
+                q1,
+                Op::Adjoint,
+                tq.view(),
+                Op::None,
+                Complex64::ZERO,
+                &mut ar,
+            );
+            gemm_view(Complex64::ONE, q2, Op::Adjoint, q1, Op::None, Complex64::ONE, &mut ar);
             let mut br = ws.take(k, k);
-            gemm(Complex64::ONE, &q, Op::Adjoint, &aq, Op::None, Complex64::ZERO, &mut ar);
-            gemm(Complex64::ONE, &q, Op::Adjoint, &bq, Op::None, Complex64::ZERO, &mut br);
-            ws.recycle(aq);
-            ws.recycle(bq);
+            zherk(1.0, q2, Op::Adjoint, 0.0, &mut br);
+            gemm_view(
+                Complex64::ONE,
+                pencil.t01.view(),
+                Op::None,
+                q1,
+                Op::None,
+                Complex64::ZERO,
+                &mut tq,
+            );
+            gemm_view(
+                Complex64::ONE,
+                q1,
+                Op::Adjoint,
+                tq.view(),
+                Op::None,
+                Complex64::ONE,
+                &mut br,
+            );
+            ws.recycle(tq);
             let ritz = match eig_generalized_ws(&ar, &br, ws) {
                 Ok(ritz) => ritz,
                 Err(e) => {

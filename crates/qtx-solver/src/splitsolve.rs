@@ -82,7 +82,10 @@ impl SplitSolve {
         rt: Option<&AccelRuntime>,
         ws: &Workspace,
     ) -> Result<(ZMat, SplitSolveReport)> {
-        let scope = FlopScope::start();
+        // The partition sweeps fan out over rayon workers, so the report
+        // aggregates the process-wide counter (explicit opt-in; a plain
+        // thread-scoped bracket would miss the workers' operations).
+        let scope = FlopScope::start_process();
         let mut report = SplitSolveReport {
             spike_levels: self.partitions.trailing_zeros() as usize,
             ..Default::default()
@@ -663,7 +666,7 @@ mod tests {
         // extra spike work: verify the FLOP count grows with partitions.
         let sys = random_system(16, 3, 1, 31);
         let f = |p: usize| {
-            let scope = FlopScope::start();
+            let scope = FlopScope::start_process();
             let _ = SplitSolve::new(p).inverse_block_columns(&sys.a, None).unwrap();
             scope.elapsed()
         };

@@ -4,7 +4,8 @@ use proptest::prelude::*;
 use qtx::linalg::{
     c64, gemm, hessenberg, hessenberg_unblocked, ldl_factor_nopiv, ldl_factor_nopiv_unblocked,
     lu_factor, lu_factor_unblocked, lu_inverse, orthonormality_defect, qr_factor,
-    qr_factor_unblocked, zgesv, zgesv_into, zherk, Complex64, Op, Workspace, ZMat,
+    qr_factor_unblocked, zgesv, zgesv_into, zher2k, zherk, ztrmm, Complex64, Diag, Op, Side, UpLo,
+    Workspace, ZMat,
 };
 use qtx::solver::{bcr::bcr_solve_raw, rgf_diagonal_and_corner_ws, ObcSystem, SplitSolve};
 use qtx::sparse::Btd;
@@ -126,6 +127,91 @@ proptest! {
             "m={m} n={n} k={k} ops={op_a:?}/{op_b:?}: {:.2e}",
             c.max_diff(&expected)
         );
+    }
+
+    /// The in-place triangular multiply agrees with a materialized
+    /// triangle fed through gemm, for every Side/UpLo/Op/Diag combination
+    /// on arbitrary (block-edge-straddling) shapes — with poison in the
+    /// unreferenced triangle (and on the diagonal for `Diag::Unit`) so any
+    /// out-of-triangle read blows up the comparison.
+    #[test]
+    fn ztrmm_matches_materialized_gemm(
+        n in 1usize..90,
+        m in 1usize..20,
+        sel in 0u32..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let side = if sel % 2 == 0 { Side::Left } else { Side::Right };
+        let uplo = if (sel / 2) % 2 == 0 { UpLo::Lower } else { UpLo::Upper };
+        let op = [Op::None, Op::Transpose, Op::Adjoint][(sel / 4 % 3) as usize];
+        let diag = if (sel / 12) % 2 == 0 { Diag::Unit } else { Diag::NonUnit };
+        let mut a = ZMat::random(n, n, seed);
+        let mut eff = ZMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let stored = match uplo {
+                    UpLo::Lower => i >= j,
+                    UpLo::Upper => i <= j,
+                };
+                if stored {
+                    eff[(i, j)] = a[(i, j)];
+                } else {
+                    a[(i, j)] = c64(1e30, -1e30); // poison: must never be read
+                }
+            }
+            if diag == Diag::Unit {
+                a[(j, j)] = c64(-3e20, 2e20);
+                eff[(j, j)] = Complex64::ONE;
+            }
+        }
+        let eff = apply_op(op, &eff);
+        let b0 = match side {
+            Side::Left => ZMat::random(n, m, seed + 1),
+            Side::Right => ZMat::random(m, n, seed + 1),
+        };
+        let alpha = c64(0.9, -0.2);
+        let mut b = b0.clone();
+        ztrmm(side, uplo, op, diag, alpha, a.view(), b.view_mut());
+        let expected = match side {
+            Side::Left => naive_matmul(&eff, &b0).scaled(alpha),
+            Side::Right => naive_matmul(&b0, &eff).scaled(alpha),
+        };
+        prop_assert!(
+            b.max_diff(&expected) < 1e-9 * (n as f64).max(1.0),
+            "side={side:?} uplo={uplo:?} op={op:?} diag={diag:?} n={n} m={m}: {:.2e}",
+            b.max_diff(&expected)
+        );
+    }
+
+    /// The Hermitian rank-2k update agrees with its two-gemm expansion on
+    /// arbitrary shapes for both transpose modes, and the result is
+    /// exactly Hermitian.
+    #[test]
+    fn zher2k_matches_two_gemms(
+        n in 1usize..80,
+        k in 1usize..40,
+        adjoint_sel in 0u32..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let op = if adjoint_sel == 1 { Op::Adjoint } else { Op::None };
+        let (a, b) = match op {
+            Op::None => (ZMat::random(n, k, seed), ZMat::random(n, k, seed + 1)),
+            _ => (ZMat::random(k, n, seed), ZMat::random(k, n, seed + 1)),
+        };
+        let alpha = c64(0.4, 0.7);
+        let mut c = ZMat::random(n, n, seed + 2);
+        c.hermitianize();
+        let mut expected = c.clone();
+        let flip = if op == Op::None { Op::Adjoint } else { Op::None };
+        gemm(alpha, &a, op, &b, flip, c64(0.25, 0.0), &mut expected);
+        gemm(alpha.conj(), &b, op, &a, flip, Complex64::ONE, &mut expected);
+        zher2k(alpha, a.view(), b.view(), op, 0.25, &mut c);
+        prop_assert!(
+            c.max_diff(&expected) < 1e-9 * (k as f64).max(1.0),
+            "op={op:?} n={n} k={k}: {:.2e}",
+            c.max_diff(&expected)
+        );
+        prop_assert!(c.hermitian_defect() < 1e-12);
     }
 
     /// Solver results are bit-for-bit independent of workspace history: a
