@@ -232,9 +232,13 @@ fn main() {
     // ── Solver level: ms per energy point. (8, 64) is the PR 1 reference
     // configuration; the larger block sizes are where the paper's
     // DFT-basis workloads live and where the blocked factorization
-    // dominates the per-point cost.
+    // dominates the per-point cost. The quick profile keeps (4, 256)
+    // alongside it: since the SIMD microkernel narrowed the s = 64
+    // blocked-vs-unblocked gap below the check_bench noise floor, the
+    // big-block configuration is the one whose gated solver ratio keeps
+    // the kind's CI coverage alive.
     let configs: &[(usize, usize)] =
-        if quick { &[(8, 64)] } else { &[(8, 64), (8, 128), (4, 256)] };
+        if quick { &[(8, 64), (4, 256)] } else { &[(8, 64), (8, 128), (4, 256)] };
     for &(nb, s) in configs {
         let pts = if s > 64 { points.min(8) } else { points };
         let systems: Vec<ObcSystem> =

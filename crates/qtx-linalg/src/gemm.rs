@@ -11,20 +11,47 @@
 //! * the output is partitioned into `MC×KC×NC` cache blocks; each block's
 //!   `A`/`B` panels are packed once into small planar (split re/im)
 //!   buffers laid out in `MR×NR` micro-panel order, which turns the inner
-//!   loop into contiguous, auto-vectorizable streams;
-//! * an `MR×NR` register-tiled microkernel accumulates real and imaginary
-//!   parts in separate scalar accumulators;
+//!   loop into contiguous SIMD streams;
+//! * the register-tiled microkernel is **dispatched at run time** through
+//!   [`crate::kernel`]: AVX-512 (8×8 tile, 8-double zmm lanes), AVX2+FMA
+//!   (4×6 tile, 4-double ymm lanes) or the portable scalar 8×4 loop,
+//!   selected once by CPU-feature detection (override with
+//!   `QTX_FORCE_KERNEL=scalar|avx2|avx512` or
+//!   [`crate::kernel::force_kernel`]);
 //! * large products are parallelized over disjoint 2-D output tiles with
 //!   rayon — each task owns a rectangle of `C` and its own packing
 //!   buffers, so no synchronization happens inside the kernel.
 //!
+//! # Packing contract
+//!
+//! Every variant consumes the same planar packed layout, parameterized by
+//! its own tile shape `(mr, nr)` (read from [`crate::kernel::Kernel`] at
+//! run time, since the micro-panel stride *is* the tile shape):
+//!
+//! * A-panels are `mr`-row micro-panels — element `(i, l)` of micro-panel
+//!   `p` lives at `(p·kc + l)·mr + i`, rows zero-padded to `mr`;
+//! * B-panels are `nr`-column micro-panels — element `(l, j)` of
+//!   micro-panel `q` lives at `(q·kc + l)·nr + j`, columns zero-padded;
+//! * re/im planes are separate buffers, `Op::Transpose`/`Op::Adjoint` are
+//!   folded in during packing (conjugation flips the im plane's sign), so
+//!   the microkernel only ever multiplies two untransposed panels;
+//! * α/β are applied at the output-tile write ([`write_tile`]), never
+//!   inside the microkernel, and β is applied on the first k-panel only.
+//!
+//! Every variant also performs the per-lane reduction in the same fused
+//! operation order (see the [`crate::kernel`] numerical contract), so the
+//! SIMD paths are equivalent to the scalar baseline up to at most the
+//! FMA-vs-separate-rounding difference of the portable fallback.
+//!
 //! Small products (reduced FEAST systems, SPIKE tips, block sizes of a few
 //! dozen) skip packing entirely and run a direct view-based loop: the
 //! break-even point where packing pays for itself is a few thousand output
-//! elements.
+//! elements. The dispatch ladder therefore only governs the packed path;
+//! the direct path is scalar by construction.
 
 use crate::complex::{c64, Complex64};
 use crate::flops::{counts, flops_add};
+use crate::kernel::{active_kernel, Acc, MR_MAX, NR_MAX};
 use crate::zmat::{ZMat, ZMatMut, ZMatRef};
 use rayon::prelude::*;
 
@@ -63,10 +90,6 @@ impl Op {
     }
 }
 
-/// Microkernel tile height (rows of C per register tile).
-const MR: usize = 8;
-/// Microkernel tile width (columns of C per register tile).
-const NR: usize = 4;
 /// K-dimension cache block (panel depth); sized so an `MC×KC` A-panel
 /// (planar f64) stays within L2.
 const KC: usize = 192;
@@ -295,6 +318,18 @@ fn gemm_direct(
                     }
                 }
             }
+            Op::Adjoint if op_b == Op::None => {
+                // Aᴴ·B with both columns contiguous: the 4-lane conjugated
+                // dot keeps the per-output FMA chains pipelined instead of
+                // serializing on one accumulator — the panel-shaped
+                // (small m·n, deep k) products of the recursive QR panels
+                // and the FEAST Gram blocks live here.
+                let b_col = &b.col(j)[..k];
+                for (i, ci) in c_col.iter_mut().enumerate().take(m) {
+                    let s = Complex64::dot_conj(&a.col(i)[..k], b_col);
+                    *ci = ci.mul_add(s, alpha);
+                }
+            }
             Op::Transpose | Op::Adjoint => {
                 // op(A)[i, l] = (conj?) A[l, i]: column i of A is contiguous.
                 for (i, ci) in c_col.iter_mut().enumerate().take(m) {
@@ -354,17 +389,21 @@ fn gemm_tiled(
     let n = c.cols();
     let c_ld = c.ld();
     let c_ptr = SendPtr(c.as_mut_ptr());
+    // Resolve the dispatched microkernel once per product; the tile tasks
+    // capture it so rayon workers never re-read the selection mid-flight.
+    let kern = active_kernel();
+    let (mr, nr) = (kern.mr, kern.nr);
 
     // 2-D task grid over C: prefer column strips (contiguous in memory),
     // add row strips when the matrix is tall and columns are scarce.
     let parallel = m * n * k >= PAR_MNK;
     let workers = if parallel { rayon::current_num_threads() } else { 1 };
     let target = workers * 2;
-    let col_parts = target.min(n.div_ceil(2 * NR)).max(1);
+    let col_parts = target.min(n.div_ceil(2 * nr)).max(1);
     let row_parts =
         if col_parts >= target { 1 } else { target.div_ceil(col_parts).min(m.div_ceil(MC)) };
-    let col_strips = strips(n, col_parts, NR);
-    let row_strips = strips(m, row_parts, MR);
+    let col_strips = strips(n, col_parts, nr);
+    let row_strips = strips(m, row_parts, mr);
     let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
     for &(j0, j1) in &col_strips {
         for &(i0, i1) in &row_strips {
@@ -377,42 +416,47 @@ fn gemm_tiled(
         // panels this task actually touches — a small product must not pay
         // for full `MC×KC`/`KC×NC` blocks.
         let kc_cap = KC.min(k);
-        let nc_cap = NC.min(j1 - j0).div_ceil(NR) * NR;
-        let mc_cap = MC.min(i1 - i0).div_ceil(MR) * MR;
+        let nc_cap = NC.min(j1 - j0).div_ceil(nr) * nr;
+        let mc_cap = MC.min(i1 - i0).div_ceil(mr) * mr;
         let mut b_re = vec![0.0f64; nc_cap * kc_cap];
         let mut b_im = vec![0.0f64; nc_cap * kc_cap];
         let mut a_re = vec![0.0f64; mc_cap * kc_cap];
         let mut a_im = vec![0.0f64; mc_cap * kc_cap];
+        // Accumulator blocks live outside the micro-tile loops: every
+        // kernel fully overwrites its mr×nr corner and write_tile reads
+        // only that corner, so re-zeroing per tile would be pure waste.
+        let mut acc_re: Acc = [[0.0; MR_MAX]; NR_MAX];
+        let mut acc_im: Acc = [[0.0; MR_MAX]; NR_MAX];
         let mut jc = j0;
         while jc < j1 {
             let nc_eff = NC.min(j1 - jc);
-            let n_micro_b = nc_eff.div_ceil(NR);
+            let n_micro_b = nc_eff.div_ceil(nr);
             let mut p0 = 0usize;
             let mut first_panel = true;
             while p0 < k {
                 let kc = KC.min(k - p0);
-                pack_b(b, op_b, p0, kc, jc, nc_eff, &mut b_re, &mut b_im);
+                pack_b(b, op_b, nr, p0, kc, jc, nc_eff, &mut b_re, &mut b_im);
                 let mut ic = i0;
                 while ic < i1 {
                     let mc = MC.min(i1 - ic);
-                    pack_a(a, op_a, ic, mc, p0, kc, &mut a_re, &mut a_im);
-                    for pm in 0..mc.div_ceil(MR) {
-                        let ap_re = &a_re[pm * kc * MR..(pm + 1) * kc * MR];
-                        let ap_im = &a_im[pm * kc * MR..(pm + 1) * kc * MR];
-                        let mr_eff = MR.min(mc - pm * MR);
+                    pack_a(a, op_a, mr, ic, mc, p0, kc, &mut a_re, &mut a_im);
+                    for pm in 0..mc.div_ceil(mr) {
+                        let ap_re = &a_re[pm * kc * mr..(pm + 1) * kc * mr];
+                        let ap_im = &a_im[pm * kc * mr..(pm + 1) * kc * mr];
+                        let mr_eff = mr.min(mc - pm * mr);
                         for qm in 0..n_micro_b {
-                            let bp_re = &b_re[qm * kc * NR..(qm + 1) * kc * NR];
-                            let bp_im = &b_im[qm * kc * NR..(qm + 1) * kc * NR];
-                            let nr_eff = NR.min(nc_eff - qm * NR);
-                            let (acc_re, acc_im) = microkernel(ap_re, ap_im, bp_re, bp_im);
+                            let bp_re = &b_re[qm * kc * nr..(qm + 1) * kc * nr];
+                            let bp_im = &b_im[qm * kc * nr..(qm + 1) * kc * nr];
+                            let nr_eff = nr.min(nc_eff - qm * nr);
+                            kern.run(kc, ap_re, ap_im, bp_re, bp_im, &mut acc_re, &mut acc_im);
                             // Safety: this task owns rows [i0, i1) × cols
                             // [j0, j1) of C exclusively (disjoint task grid).
                             unsafe {
                                 write_tile(
                                     c_ptr,
                                     c_ld,
-                                    ic + pm * MR,
-                                    jc + qm * NR,
+                                    ic + pm * mr,
+                                    jc + qm * nr,
                                     mr_eff,
                                     nr_eff,
                                     &acc_re,
@@ -442,13 +486,15 @@ fn gemm_tiled(
     }
 }
 
-/// Packs `op(A)[ic..ic+mc, p0..p0+kc]` into planar `MR`-row micro-panels,
-/// zero-padding the row remainder. Layout: element `(i, l)` of micro-panel
-/// `p` lives at `(p·kc + l)·MR + i`.
+/// Packs `op(A)[ic..ic+mc, p0..p0+kc]` into planar `mr`-row micro-panels
+/// (`mr` is the dispatched kernel's tile height), zero-padding the row
+/// remainder. Layout: element `(i, l)` of micro-panel `p` lives at
+/// `(p·kc + l)·mr + i`.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
     a: ZMatRef<'_>,
     op: Op,
+    mr: usize,
     ic: usize,
     mc: usize,
     p0: usize,
@@ -456,20 +502,20 @@ fn pack_a(
     a_re: &mut [f64],
     a_im: &mut [f64],
 ) {
-    for pm in 0..mc.div_ceil(MR) {
-        let mr_eff = MR.min(mc - pm * MR);
-        let base = pm * kc * MR;
+    for pm in 0..mc.div_ceil(mr) {
+        let mr_eff = mr.min(mc - pm * mr);
+        let base = pm * kc * mr;
         match op {
             Op::None => {
                 for l in 0..kc {
                     let col = a.col(p0 + l);
-                    let dst = base + l * MR;
+                    let dst = base + l * mr;
                     for i in 0..mr_eff {
-                        let z = col[ic + pm * MR + i];
+                        let z = col[ic + pm * mr + i];
                         a_re[dst + i] = z.re;
                         a_im[dst + i] = z.im;
                     }
-                    for i in mr_eff..MR {
+                    for i in mr_eff..mr {
                         a_re[dst + i] = 0.0;
                         a_im[dst + i] = 0.0;
                     }
@@ -479,18 +525,18 @@ fn pack_a(
                 // op(A)[gi, gl] = (conj?) A[gl, gi]: walk columns of A
                 // (contiguous in l) one micro-row at a time.
                 let sign = if op == Op::Adjoint { -1.0 } else { 1.0 };
-                for i in 0..MR {
+                for i in 0..mr {
                     if i < mr_eff {
-                        let col = a.col(ic + pm * MR + i);
+                        let col = a.col(ic + pm * mr + i);
                         for l in 0..kc {
                             let z = col[p0 + l];
-                            a_re[base + l * MR + i] = z.re;
-                            a_im[base + l * MR + i] = sign * z.im;
+                            a_re[base + l * mr + i] = z.re;
+                            a_im[base + l * mr + i] = sign * z.im;
                         }
                     } else {
                         for l in 0..kc {
-                            a_re[base + l * MR + i] = 0.0;
-                            a_im[base + l * MR + i] = 0.0;
+                            a_re[base + l * mr + i] = 0.0;
+                            a_im[base + l * mr + i] = 0.0;
                         }
                     }
                 }
@@ -499,13 +545,15 @@ fn pack_a(
     }
 }
 
-/// Packs `op(B)[p0..p0+kc, j0..j0+nc]` into planar `NR`-column
-/// micro-panels, zero-padding the column remainder. Layout: element
-/// `(l, j)` of micro-panel `q` lives at `(q·kc + l)·NR + j`.
+/// Packs `op(B)[p0..p0+kc, j0..j0+nc]` into planar `nr`-column
+/// micro-panels (`nr` is the dispatched kernel's tile width),
+/// zero-padding the column remainder. Layout: element `(l, j)` of
+/// micro-panel `q` lives at `(q·kc + l)·nr + j`.
 #[allow(clippy::too_many_arguments)]
 fn pack_b(
     b: ZMatRef<'_>,
     op: Op,
+    nr: usize,
     p0: usize,
     kc: usize,
     j0: usize,
@@ -513,23 +561,23 @@ fn pack_b(
     b_re: &mut [f64],
     b_im: &mut [f64],
 ) {
-    for qm in 0..nc.div_ceil(NR) {
-        let nr_eff = NR.min(nc - qm * NR);
-        let base = qm * kc * NR;
+    for qm in 0..nc.div_ceil(nr) {
+        let nr_eff = nr.min(nc - qm * nr);
+        let base = qm * kc * nr;
         match op {
             Op::None => {
-                for j in 0..NR {
+                for j in 0..nr {
                     if j < nr_eff {
-                        let col = b.col(j0 + qm * NR + j);
+                        let col = b.col(j0 + qm * nr + j);
                         for l in 0..kc {
                             let z = col[p0 + l];
-                            b_re[base + l * NR + j] = z.re;
-                            b_im[base + l * NR + j] = z.im;
+                            b_re[base + l * nr + j] = z.re;
+                            b_im[base + l * nr + j] = z.im;
                         }
                     } else {
                         for l in 0..kc {
-                            b_re[base + l * NR + j] = 0.0;
-                            b_im[base + l * NR + j] = 0.0;
+                            b_re[base + l * nr + j] = 0.0;
+                            b_im[base + l * nr + j] = 0.0;
                         }
                     }
                 }
@@ -539,13 +587,13 @@ fn pack_b(
                 // contiguous direction — here that is the l index.
                 let sign = if op == Op::Adjoint { -1.0 } else { 1.0 };
                 for l in 0..kc {
-                    let dst = base + l * NR;
+                    let dst = base + l * nr;
                     for j in 0..nr_eff {
-                        let z = b.at(j0 + qm * NR + j, p0 + l);
+                        let z = b.at(j0 + qm * nr + j, p0 + l);
                         b_re[dst + j] = z.re;
                         b_im[dst + j] = sign * z.im;
                     }
-                    for j in nr_eff..NR {
+                    for j in nr_eff..nr {
                         b_re[dst + j] = 0.0;
                         b_im[dst + j] = 0.0;
                     }
@@ -555,49 +603,10 @@ fn pack_b(
     }
 }
 
-/// `MR×NR` register tile over one packed `kc`-deep panel pair.
-///
-/// Separate re/im accumulators keep the loop free of complex shuffles; the
-/// `MR`-wide inner loops vectorize to full-width FMAs/multiply-adds.
-#[inline(always)]
-fn microkernel(
-    ap_re: &[f64],
-    ap_im: &[f64],
-    bp_re: &[f64],
-    bp_im: &[f64],
-) -> ([[f64; MR]; NR], [[f64; MR]; NR]) {
-    let mut acc_re = [[0.0f64; MR]; NR];
-    let mut acc_im = [[0.0f64; MR]; NR];
-    let a_iter = ap_re.chunks_exact(MR).zip(ap_im.chunks_exact(MR));
-    let b_iter = bp_re.chunks_exact(NR).zip(bp_im.chunks_exact(NR));
-    for ((ar, ai), (br, bi)) in a_iter.zip(b_iter) {
-        for j in 0..NR {
-            let brj = br[j];
-            let bij = bi[j];
-            let cr = &mut acc_re[j];
-            let ci = &mut acc_im[j];
-            #[cfg(target_feature = "fma")]
-            for i in 0..MR {
-                // Explicit mul_add: Rust never contracts `a*b + c` into an
-                // FMA on its own; with the `fma` target feature these
-                // lower to single vfmadd instructions and vectorize.
-                cr[i] = ai[i].mul_add(-bij, ar[i].mul_add(brj, cr[i]));
-                ci[i] = ai[i].mul_add(brj, ar[i].mul_add(bij, ci[i]));
-            }
-            #[cfg(not(target_feature = "fma"))]
-            for i in 0..MR {
-                // Without hardware FMA `mul_add` is a slow libm call;
-                // plain multiply-add keeps the loop vectorizable.
-                cr[i] += ar[i] * brj - ai[i] * bij;
-                ci[i] += ar[i] * bij + ai[i] * brj;
-            }
-        }
-    }
-    (acc_re, acc_im)
-}
-
 /// Writes one `mr_eff × nr_eff` accumulator tile into `C` at `(gi, gj)`,
-/// applying `α` and (on the first k-panel only) `β`.
+/// applying `α` and (on the first k-panel only) `β`. The accumulators are
+/// the full [`Acc`] blocks the dispatched microkernel filled — only the
+/// `mr_eff × nr_eff` corner is read.
 ///
 /// # Safety
 /// The caller must own the written rectangle exclusively and `gi`/`gj`
@@ -610,8 +619,8 @@ unsafe fn write_tile(
     gj: usize,
     mr_eff: usize,
     nr_eff: usize,
-    acc_re: &[[f64; MR]; NR],
-    acc_im: &[[f64; MR]; NR],
+    acc_re: &Acc,
+    acc_im: &Acc,
     alpha: Complex64,
     beta: Complex64,
     first_panel: bool,

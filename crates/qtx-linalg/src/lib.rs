@@ -13,6 +13,10 @@
 //!   multiplication with `N`/`T`/`H` operand transforms (the `zgemm`
 //!   workhorse of both FEAST and SplitSolve), including the strided
 //!   [`gemm::gemm_into`] entry the factorizations accumulate through.
+//! * [`kernel`] — the runtime-dispatched register-tile microkernel under
+//!   the packed gemm path: explicit AVX-512 (8×8) and AVX2+FMA (4×6)
+//!   `std::arch` variants with the portable scalar 8×4 loop as fallback
+//!   and A/B baseline (`QTX_FORCE_KERNEL` / [`force_kernel`] pin one).
 //! * [`trsm`] — triangular solves over borrowed views (left/right,
 //!   lower/upper, `N`/`T`/`H`, unit/non-unit), cache-blocked on the gemm
 //!   microkernel; the substrate of every factor/solve below.
@@ -52,6 +56,7 @@ pub mod flops;
 pub mod gemm;
 pub mod her2k;
 pub mod herk;
+pub mod kernel;
 pub mod ldl;
 pub mod lu;
 pub mod qr;
@@ -70,6 +75,9 @@ pub use flops::{flops_reset, flops_thread, flops_total, FlopScope};
 pub use gemm::{gemm, gemm_into, gemm_view, gemv, matmul, Op};
 pub use her2k::zher2k;
 pub use herk::zherk;
+pub use kernel::{
+    active_variant, available_variants, best_variant, force_kernel, reset_kernel, KernelVariant,
+};
 pub use ldl::{
     ldl_factor_nopiv, ldl_factor_nopiv_unblocked, ldl_factor_nopiv_ws, ldl_solve, zhesv_nopiv,
     zhesv_nopiv_into, LdlFactors,

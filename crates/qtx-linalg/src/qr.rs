@@ -7,12 +7,16 @@
 //!
 //! # Blocked compact-WY factorization
 //!
-//! Above a measured ~192-column crossover (higher than the LU stack's 96:
-//! the QR panel's serial reflector dots amortize more slowly than LU's
-//! rank-1 axpys), the factorization runs **blocked right-looking** on the
-//! gemm/trsm substrate: 48-wide panels are factored with the scalar
-//! reflector loop, then the panel's reflectors are aggregated into the
-//! compact-WY form
+//! Above a measured crossover (~160 columns square, ~128 for tall-skinny
+//! m ≥ 4n inputs; higher than the LU stack's 96 because the QR panel's
+//! serial reflector dots amortize more slowly than LU's rank-1 axpys),
+//! the factorization runs **blocked right-looking** on the gemm/trsm
+//! substrate: 48-wide panels are factored **recursively**
+//! (RGEQR3-style — [`factor_panel_recursive`] halves each panel, applies
+//! the left half's aggregated reflector to the right half through WY
+//! gemms, and assembles the panel `T` from the halves' `T`s, so only the
+//! 24-column leaves run the serial reflector loop), and the panel's
+//! reflectors come out already aggregated into the compact-WY form
 //!
 //! ```text
 //! Q_panel = H_0·H_1···H_{kb−1} = I − V·T·Vᴴ
@@ -31,8 +35,8 @@
 //! W = Vᴴ·B,    W ← Tᴴ·W (ztrmm),    B ← B − V·W
 //! ```
 //!
-//! so the bulk of the `8·(m·n² − n³/3)` flops runs on the packed 8×4
-//! microkernel. The per-panel `T` factors are retained in the returned
+//! so the bulk of the `8·(m·n² − n³/3)` flops runs on the dispatched
+//! packed microkernel. The per-panel `T` factors are retained in the returned
 //! [`QrFactors`], so `Q`-applications (`apply_qh`, `q_thin`, least
 //! squares) replay the same blocked WY updates instead of one reflector
 //! at a time, and the `R` back-substitution is a blocked [`crate::trsm`]
@@ -57,12 +61,27 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// trailing gemms, and 48 measured fastest on this container at 256–512).
 const NB: usize = 48;
 
-/// Smallest column count that takes the blocked path. Measured on this
-/// container (`bench_qr_json`): break-even against the slice-tuned
-/// unblocked loop sits near n ≈ 200 — higher than the LU stack's 96,
-/// because the QR panel's serial reflector dots amortize more slowly
-/// than LU's rank-1 axpys — so dispatch starts at four full panels.
-const BLOCK_MIN: usize = 192;
+/// Sub-panel width below which the recursive panel factorization stops
+/// splitting and runs the scalar reflector loop. One split of the
+/// 48-wide panel (24-column leaves) measured fastest on this container:
+/// the halves' WY applies and the `V₁ᴴV₂` cross product stay k = 24 deep
+/// (the packed gemm's tall-panel regime), while deeper splits fragment
+/// them into k ≤ 12 products that are overhead-bound.
+const REC_BASE: usize = 24;
+
+/// Smallest column count that takes the blocked path for general
+/// shapes. The recursive sub-panel factorization plus the 4-lane
+/// conjugated-dot direct gemm path lowered the measured square
+/// break-even on this container from the pre-recursion n ≈ 200 to
+/// ≈ 160 (still above the LU stack's 96 because the leaf reflector
+/// dots remain serial).
+const BLOCK_MIN: usize = 160;
+
+/// Smallest column count that takes the blocked path for tall-skinny
+/// inputs (m ≥ 4n, the FEAST `U⁺` least-squares shape): the recursion's
+/// WY gemms amortize over the long columns much sooner — measured
+/// 1.3–1.7× over unblocked at 528×128/1040×128, parity at 784×96.
+const BLOCK_MIN_TALL: usize = 128;
 
 /// A/B baseline switch: `true` forces every QR factorization (and the
 /// blocked Hessenberg reduction in [`crate::eig`]) through the unblocked
@@ -126,7 +145,8 @@ fn factor_entry(mut p: ZMat, ws: Option<&Workspace>) -> QrFactors {
         Some(ws) => ws.take_scratch(n, 1),
         None => ZMat::zeros(n, 1),
     };
-    let ts = if n < BLOCK_MIN || qr_unblocked_forced() {
+    let blocked = !qr_unblocked_forced() && (n >= BLOCK_MIN || (n >= BLOCK_MIN_TALL && m >= 4 * n));
+    let ts = if !blocked {
         factor_panel(&mut p, &mut tau, 0, n, n);
         ZMat::empty()
     } else {
@@ -206,8 +226,9 @@ fn factor_panel(p: &mut ZMat, tau: &mut ZMat, k0: usize, k1: usize, col_hi: usiz
     }
 }
 
-/// Blocked right-looking factorization: scalar 48-wide panels, `T` via
-/// trsm on the Gram triangle, compact-WY trailing updates on gemm.
+/// Blocked right-looking factorization: recursively factored 48-wide
+/// panels, `T` via trsm on the Gram triangle, compact-WY trailing
+/// updates on gemm.
 fn factor_blocked(p: &mut ZMat, tau: &mut ZMat, ts: &mut ZMat, ws: &Workspace) {
     let (m, n) = (p.rows(), p.cols());
     let mut vbuf = ws.take_scratch(m, NB);
@@ -216,12 +237,13 @@ fn factor_blocked(p: &mut ZMat, tau: &mut ZMat, ts: &mut ZMat, ws: &Workspace) {
     let mut k0 = 0;
     while k0 < n {
         let kb = NB.min(n - k0);
-        factor_panel(p, tau, k0, k0 + kb, k0 + kb);
-        stage_v(&p.block_view(k0, k0, m - k0, kb), &mut vbuf);
-        let v = vbuf.block_view(0, 0, m - k0, kb);
-        build_t(v, tau, &mut sbuf, ts, k0, kb);
+        // The recursion leaves the panel's assembled `T` at
+        // ts[0..kb, k0..k0+kb]; no full-panel Gram rebuild is needed.
+        factor_panel_recursive(p, tau, k0, k0 + kb, 0, &mut vbuf, &mut wbuf, &mut sbuf, ts);
         let nr = n - k0 - kb;
         if nr > 0 {
+            stage_v(&p.block_view(k0, k0, m - k0, kb), &mut vbuf);
+            let v = vbuf.block_view(0, 0, m - k0, kb);
             let t = ts.block_view(0, k0, kb, kb);
             let b = p.block_view_mut(k0, k0 + kb, m - k0, nr);
             apply_panel_wy(v, t, true, b, &mut wbuf);
@@ -231,6 +253,98 @@ fn factor_blocked(p: &mut ZMat, tau: &mut ZMat, ts: &mut ZMat, ws: &Workspace) {
     ws.recycle(vbuf);
     ws.recycle(wbuf);
     ws.recycle(sbuf);
+}
+
+/// Recursive sub-panel factorization of columns `k0..k1` (the ROADMAP's
+/// "recursive/sub-panel factor" micro-optimization, RGEQR3-style):
+/// halves the range, factors the left half, applies its aggregated
+/// compact-WY reflector to the right half as two gemms around a
+/// [`crate::trmm`] — instead of one serial reflector-dot sweep per
+/// column — recurses right, then **assembles the whole range's `T` from
+/// the halves'** through the block identity
+///
+/// ```text
+/// T = [ T₁  −T₁·(V₁ᴴV₂)·T₂ ]
+///     [ 0          T₂      ]
+/// ```
+///
+/// so the caller gets the panel `T` for free (no full-panel Gram
+/// rebuild; the identity holds for any `T₁`/`T₂`, τ = 0 cases included —
+/// the leaves' [`build_t`] handles those). `V₁ᴴV₂` needs no staging of
+/// `V₁`: rows `h..` of the unit-lower-trapezoid are the raw stored
+/// reflector block. Leaves of [`REC_BASE`] columns run the scalar loop.
+/// Same reflectors as the scalar panel up to summation order, so the
+/// blocked-vs-unblocked equivalence properties are unchanged. On return
+/// the `kb×kb` upper-triangular `T` of the range sits at
+/// `ts[r0..r0+kb, k0..k0+kb]` (`r0` = the range's row offset within its
+/// panel, so nested calls tile `ts` without moves).
+#[allow(clippy::too_many_arguments)]
+fn factor_panel_recursive(
+    p: &mut ZMat,
+    tau: &mut ZMat,
+    k0: usize,
+    k1: usize,
+    r0: usize,
+    vbuf: &mut ZMat,
+    wbuf: &mut ZMat,
+    sbuf: &mut ZMat,
+    ts: &mut ZMat,
+) {
+    let m = p.rows();
+    let kb = k1 - k0;
+    if kb <= REC_BASE {
+        factor_panel(p, tau, k0, k1, k1);
+        stage_v(&p.block_view(k0, k0, m - k0, kb), vbuf);
+        build_t(vbuf.block_view(0, 0, m - k0, kb), tau, sbuf, ts, r0, k0, kb);
+        return;
+    }
+    let h = kb / 2;
+    factor_panel_recursive(p, tau, k0, k0 + h, r0, vbuf, wbuf, sbuf, ts);
+    // Left half's WY transform hits the right half: B ← (I − V₁T₁ᴴV₁ᴴ)B.
+    stage_v(&p.block_view(k0, k0, m - k0, h), vbuf);
+    {
+        let v1 = vbuf.block_view(0, 0, m - k0, h);
+        let t1 = ts.block_view(r0, k0, h, h);
+        let b = p.block_view_mut(k0, k0 + h, m - k0, kb - h);
+        apply_panel_wy(v1, t1, true, b, wbuf);
+    }
+    factor_panel_recursive(p, tau, k0 + h, k1, r0 + h, vbuf, wbuf, sbuf, ts);
+    // Cross block: G = V₁ᴴV₂ over the rows below the split (the top h
+    // rows of V₂'s frame are zero), then T₁₂ = −T₁·G·T₂ in place.
+    stage_v(&p.block_view(k0 + h, k0 + h, m - k0 - h, kb - h), vbuf);
+    let mut g = sbuf.block_view_mut(0, 0, h, kb - h);
+    gemm_into_unc(
+        Complex64::ONE,
+        p.block_view(k0 + h, k0, m - k0 - h, h),
+        Op::Adjoint,
+        vbuf.block_view(0, 0, m - k0 - h, kb - h),
+        Op::None,
+        Complex64::ZERO,
+        g.rb(),
+    );
+    trmm_unc(
+        Side::Left,
+        UpLo::Upper,
+        Op::None,
+        Diag::NonUnit,
+        Complex64::ONE,
+        ts.block_view(r0, k0, h, h),
+        g.rb(),
+    );
+    trmm_unc(
+        Side::Right,
+        UpLo::Upper,
+        Op::None,
+        Diag::NonUnit,
+        Complex64::ONE,
+        ts.block_view(r0 + h, k0 + h, kb - h, kb - h),
+        g.rb(),
+    );
+    for j in 0..kb - h {
+        for (dst, &gij) in ts.col_mut(k0 + h + j)[r0..r0 + h].iter_mut().zip(g.rb().col(j).iter()) {
+            *dst = -gij;
+        }
+    }
 }
 
 /// Materializes the unit-lower-trapezoidal `V` of one panel (packed
@@ -249,17 +363,25 @@ pub(crate) fn stage_v(src: &ZMatRef<'_>, vbuf: &mut ZMat) {
     }
 }
 
-/// Builds the panel's upper-triangular `T` into `ts[0..kb, k0..k0+kb]`
-/// from `Q_panel = I − V·T·Vᴴ`: the Gram matrix `S = VᴴV` gives
-/// `T⁻¹ = diag(1/τ) + strict_upper(S)`, solved against the identity with
-/// one trsm. A vanishing τ (exactly dependent column) voids the inverse
-/// formulation, so that case falls back to the `zlarft` column recurrence
-/// `T(0:j, j) = −τ_j·T·S(0:j, j)`.
-fn build_t(v: ZMatRef<'_>, tau: &ZMat, sbuf: &mut ZMat, ts: &mut ZMat, k0: usize, kb: usize) {
+/// Builds a reflector range's upper-triangular `T` into
+/// `ts[r0..r0+kb, k0..k0+kb]` from `Q_range = I − V·T·Vᴴ`: the Gram
+/// matrix `S = VᴴV` gives `T⁻¹ = diag(1/τ) + strict_upper(S)`, solved
+/// against the identity with one trsm. A vanishing τ (exactly dependent
+/// column) voids the inverse formulation, so that case falls back to the
+/// `zlarft` column recurrence `T(0:j, j) = −τ_j·T·S(0:j, j)`.
+fn build_t(
+    v: ZMatRef<'_>,
+    tau: &ZMat,
+    sbuf: &mut ZMat,
+    ts: &mut ZMat,
+    r0: usize,
+    k0: usize,
+    kb: usize,
+) {
     let mut s = sbuf.block_view_mut(0, 0, kb, kb);
     gemm_into_unc(Complex64::ONE, v, Op::Adjoint, v, Op::None, Complex64::ZERO, s.rb());
     let all_nonzero = (0..kb).all(|t| tau[(k0 + t, 0)] != Complex64::ZERO);
-    let mut tblk = ts.block_view_mut(0, k0, kb, kb);
+    let mut tblk = ts.block_view_mut(r0, k0, kb, kb);
     if all_nonzero {
         // M = diag(1/τ) + strict_upper(S); T = M⁻¹ via trsm on I.
         for t in 0..kb {
@@ -639,7 +761,11 @@ mod tests {
 
     #[test]
     fn blocked_matches_unblocked_across_crossover() {
-        for (m, n, seed) in [(200, 200, 21u64), (230, 197, 22), (256, 224, 23), (192, 192, 24)] {
+        // Square shapes straddle BLOCK_MIN; (560, 130) takes the
+        // tall-skinny dispatch (m ≥ 4n with n ≥ BLOCK_MIN_TALL).
+        for (m, n, seed) in
+            [(200, 200, 21u64), (230, 197, 22), (256, 224, 23), (192, 192, 24), (560, 130, 25)]
+        {
             let a = ZMat::random(m, n, seed);
             let fb = qr_factor(&a);
             assert!(fb.ts.cols() > 0, "n = {n} must take the blocked path");

@@ -12,8 +12,9 @@
 //!
 //! Cache blocking mirrors [`crate::trsm`]: the triangle is cut into
 //! `NB × NB` diagonal blocks, and everything off-diagonal becomes one
-//! rank-`NB` [`crate::gemm`] update on the 8×4 packed microkernel — the
-//! exact half-of-gemm saving, realized at full packed-kernel speed.
+//! rank-`NB` [`crate::gemm`] update on the dispatched packed microkernel
+//! ([`crate::kernel`]) — the exact half-of-gemm saving, realized at full
+//! packed-kernel speed.
 //! The diagonal blocks themselves dispatch on the panel width: against a
 //! wide `B` they are **staged dense** (the stored triangle copied into a
 //! small zeroed scratch, unit diagonal materialized) and multiplied

@@ -11,7 +11,7 @@
 //! Cache blocking follows the same recipe as the factorizations: the
 //! triangle is cut into `NB × NB` diagonal blocks solved with a scalar
 //! forward/backward sweep, and everything off-diagonal becomes a rank-`NB`
-//! [`crate::gemm`] update that runs on the 8×4 packed microkernel. For a
+//! [`crate::gemm`] update that runs on the dispatched packed microkernel. For a
 //! left-side solve the freshly solved block rows are staged through a
 //! small scratch buffer (raw `Vec`, no [`crate::zmat::ZMat`] allocation)
 //! because the trailing gemm writes other rows of the same columns; the

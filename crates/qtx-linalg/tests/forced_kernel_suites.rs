@@ -1,0 +1,221 @@
+//! The BLAS-3 triangle-set suites, re-run with the microkernel pinned to
+//! each variant the host supports.
+//!
+//! `trmm`'s staged-dense diagonal blocks, `herk`'s and `her2k`'s
+//! triangle grids all consume the packed gemm path, so a defect in any
+//! dispatched variant (a masked lane, a bad edge tile, an out-of-bounds
+//! panel read) would surface here as a wrong triangle, a poisoned-value
+//! leak, or a fresh allocation. Mirrors the modules' own suites —
+//! garbage in the unreferenced triangle, poison on the unit diagonal,
+//! allocation-free warm calls — but inside a per-variant forcing loop.
+//! Forcing is process-global, so everything serializes on one lock.
+
+use qtx_linalg::{
+    available_variants, c64, force_kernel, gemm, reset_kernel, zher2k, zherk, ztrmm, Complex64,
+    Diag, Op, Side, UpLo, ZMat,
+};
+use std::sync::{Mutex, MutexGuard};
+
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Random triangle with poison outside the stored triangle (and on the
+/// diagonal for `Diag::Unit`): the kernels must never read either.
+fn triangle_with_garbage(n: usize, uplo: UpLo, diag: Diag, seed: u64) -> ZMat {
+    let mut t = ZMat::random(n, n, seed);
+    for j in 0..n {
+        for i in 0..n {
+            let stored = match uplo {
+                UpLo::Lower => i > j,
+                UpLo::Upper => i < j,
+            };
+            if !stored && i != j {
+                t[(i, j)] = c64(1e30, -1e30);
+            }
+        }
+        if diag == Diag::Unit {
+            t[(j, j)] = c64(-7.5e20, 3.0e20);
+        }
+    }
+    t
+}
+
+/// Materialized `op(tri(A))` for the gemm reference.
+fn effective(a: &ZMat, uplo: UpLo, op: Op, diag: Diag) -> ZMat {
+    let n = a.rows();
+    let mut eff = ZMat::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            let stored = match uplo {
+                UpLo::Lower => i >= j,
+                UpLo::Upper => i <= j,
+            };
+            if stored {
+                eff[(i, j)] = a[(i, j)];
+            }
+        }
+    }
+    if diag == Diag::Unit {
+        for i in 0..n {
+            eff[(i, i)] = Complex64::ONE;
+        }
+    }
+    match op {
+        Op::None => eff,
+        Op::Transpose => eff.transpose(),
+        Op::Adjoint => eff.adjoint(),
+    }
+}
+
+/// One ztrmm-vs-materialized-gemm check (poisoned other-triangle).
+fn check_trmm(side: Side, uplo: UpLo, op: Op, diag: Diag, n: usize, m: usize, seed: u64) {
+    let a = triangle_with_garbage(n, uplo, diag, seed);
+    let b0 = match side {
+        Side::Left => ZMat::random(n, m, seed + 1),
+        Side::Right => ZMat::random(m, n, seed + 1),
+    };
+    let alpha = c64(0.8, -0.3);
+    let mut b = b0.clone();
+    ztrmm(side, uplo, op, diag, alpha, a.view(), b.view_mut());
+    let eff = effective(&a, uplo, op, diag);
+    let mut expected = match side {
+        Side::Left => ZMat::zeros(n, m),
+        Side::Right => ZMat::zeros(m, n),
+    };
+    match side {
+        Side::Left => gemm(alpha, &eff, Op::None, &b0, Op::None, Complex64::ZERO, &mut expected),
+        Side::Right => gemm(alpha, &b0, Op::None, &eff, Op::None, Complex64::ZERO, &mut expected),
+    }
+    let scale = expected.norm_max().max(1.0);
+    assert!(
+        b.max_diff(&expected) < 1e-10 * scale * n as f64,
+        "side {side:?} uplo {uplo:?} op {op:?} diag {diag:?} n {n} m {m}: {:.2e}",
+        b.max_diff(&expected)
+    );
+}
+
+/// trmm: every Side/UpLo/Op/Diag combination, blocked sizes, both the
+/// staged-dense diagonal path (wide B) and the scalar sweep (narrow B),
+/// with poison in the unreferenced triangle/diagonal — per variant.
+#[test]
+fn trmm_garbage_triangle_suite_under_every_variant() {
+    let _guard = lock();
+    for v in available_variants() {
+        assert!(force_kernel(v), "{v:?} vanished");
+        for side in [Side::Left, Side::Right] {
+            for uplo in [UpLo::Lower, UpLo::Upper] {
+                for op in [Op::None, Op::Transpose, Op::Adjoint] {
+                    for diag in [Diag::Unit, Diag::NonUnit] {
+                        // m = 9 staged-dense, m = 5 RHS-blocked scalar.
+                        check_trmm(side, uplo, op, diag, 150, 9, 77);
+                        check_trmm(side, uplo, op, diag, 150, 5, 78);
+                    }
+                }
+            }
+        }
+    }
+    reset_kernel();
+}
+
+/// herk: result matches the gemm expansion and β = 0 ignores a garbage
+/// upper triangle — per variant.
+#[test]
+fn herk_suite_under_every_variant() {
+    let _guard = lock();
+    for v in available_variants() {
+        assert!(force_kernel(v), "{v:?} vanished");
+        for op in [Op::None, Op::Adjoint] {
+            let (n, k) = (97usize, 33usize);
+            let a = match op {
+                Op::None => ZMat::random(n, k, 3),
+                _ => ZMat::random(k, n, 3),
+            };
+            let mut c = ZMat::random(n, n, 4); // garbage, β = 0
+            zherk(0.7, a.view(), op, 0.0, &mut c);
+            let mut expected = ZMat::zeros(n, n);
+            let flip = if op == Op::None { Op::Adjoint } else { Op::None };
+            gemm(c64(0.7, 0.0), &a, op, &a, flip, Complex64::ZERO, &mut expected);
+            assert!(c.max_diff(&expected) < 1e-9, "{v:?} op {op:?}: {:.2e}", c.max_diff(&expected));
+            assert!(c.hermitian_defect() < 1e-12, "{v:?}: result must be Hermitian");
+        }
+    }
+    reset_kernel();
+}
+
+/// her2k: matches its two-gemm expansion with a garbage (β = 0) output —
+/// per variant.
+#[test]
+fn her2k_suite_under_every_variant() {
+    let _guard = lock();
+    let alpha = c64(0.6, -0.8);
+    for v in available_variants() {
+        assert!(force_kernel(v), "{v:?} vanished");
+        for op in [Op::None, Op::Adjoint] {
+            let (n, k) = (97usize, 33usize);
+            let (a, b) = match op {
+                Op::None => (ZMat::random(n, k, 5), ZMat::random(n, k, 6)),
+                _ => (ZMat::random(k, n, 5), ZMat::random(k, n, 6)),
+            };
+            let mut c = ZMat::random(n, n, 7); // garbage, β = 0
+            zher2k(alpha, a.view(), b.view(), op, 0.0, &mut c);
+            let flip = if op == Op::None { Op::Adjoint } else { Op::None };
+            let mut expected = ZMat::zeros(n, n);
+            gemm(alpha, &a, op, &b, flip, Complex64::ZERO, &mut expected);
+            gemm(alpha.conj(), &b, op, &a, flip, Complex64::ONE, &mut expected);
+            assert!(
+                c.max_diff(&expected) < 1e-9 * k as f64,
+                "{v:?} op {op:?}: {:.2e}",
+                c.max_diff(&expected)
+            );
+            assert!(c.hermitian_defect() < 1e-12, "{v:?}: result must be Hermitian");
+        }
+    }
+    reset_kernel();
+}
+
+/// The allocation-free property must hold under every variant: packing
+/// scratch is raw `f64` buffers whatever the tile shape, so no kernel
+/// may introduce a `ZMat` allocation on the warm path. (The seed-gemm
+/// A/B baseline clones by design and bypasses the dispatch.)
+#[cfg(not(feature = "seed-gemm"))]
+#[test]
+fn triangle_set_is_allocation_free_under_every_variant() {
+    use qtx_linalg::alloc_count;
+    let _guard = lock();
+    for v in available_variants() {
+        assert!(force_kernel(v), "{v:?} vanished");
+        let tri = triangle_with_garbage(96, UpLo::Lower, Diag::NonUnit, 11);
+        let a = ZMat::random(96, 64, 12);
+        let b = ZMat::random(96, 64, 13);
+        let mut bt = ZMat::random(96, 12, 14);
+        let mut ch = ZMat::zeros(64, 64);
+        let mut c2 = ZMat::zeros(96, 96);
+        // Warm-up so the per-thread triangular scratch is grown already.
+        ztrmm(
+            Side::Left,
+            UpLo::Lower,
+            Op::None,
+            Diag::NonUnit,
+            Complex64::ONE,
+            tri.view(),
+            bt.view_mut(),
+        );
+        let before = alloc_count();
+        ztrmm(
+            Side::Left,
+            UpLo::Lower,
+            Op::None,
+            Diag::NonUnit,
+            Complex64::ONE,
+            tri.view(),
+            bt.view_mut(),
+        );
+        zherk(1.0, a.view(), Op::Adjoint, 0.0, &mut ch);
+        zher2k(Complex64::ONE, a.view(), b.view(), Op::None, 0.0, &mut c2);
+        assert_eq!(alloc_count(), before, "{v:?}: triangle kernel allocated a ZMat");
+    }
+    reset_kernel();
+}

@@ -1,0 +1,64 @@
+//! `QTX_FORCE_KERNEL` startup-override contract, in its own test binary
+//! so no other test's runtime forcing can race the assertion.
+//!
+//! This is the test the CI forced-scalar job leans on: with
+//! `QTX_FORCE_KERNEL=scalar` in the environment it fails loudly if the
+//! dispatch silently stops honoring the override, and the numerical
+//! check below then exercises the scalar packed path end to end.
+
+use qtx_linalg::{active_variant, best_variant, Complex64, KernelVariant, ZMat};
+
+/// The startup default must be: the env-named variant when it parses and
+/// the host supports it, the best available variant otherwise. The
+/// `scalar` case is asserted *literally* — not through
+/// `KernelVariant::parse`, which the implementation also uses — so a
+/// vocabulary regression cannot make both sides fall back in lockstep
+/// and leave the CI forced-scalar job silently green.
+#[test]
+fn env_override_pins_the_startup_default() {
+    let env = std::env::var("QTX_FORCE_KERNEL").ok();
+    if env.as_deref() == Some("scalar") {
+        // Scalar is always available: the CI job's exact contract.
+        assert_eq!(
+            active_variant(),
+            KernelVariant::Scalar,
+            "QTX_FORCE_KERNEL=scalar must pin the scalar kernel"
+        );
+        return;
+    }
+    let expected = match &env {
+        Some(val) => match KernelVariant::parse(val) {
+            Some(v) if qtx_linalg::kernel::variant_available(v) => v,
+            // Unknown word or absent ISA: graceful fall-through to best.
+            _ => best_variant(),
+        },
+        None => best_variant(),
+    };
+    assert_eq!(active_variant(), expected, "dispatch default ignored QTX_FORCE_KERNEL={env:?}");
+}
+
+/// Whatever variant the environment selected must produce a correct
+/// packed product (shape chosen to engage the microkernel).
+#[test]
+fn env_selected_kernel_is_numerically_sound() {
+    let (m, n, k) = (66, 65, 67);
+    let a = ZMat::random(m, k, 1);
+    let b = ZMat::random(k, n, 2);
+    let c = qtx_linalg::matmul(&a, &b);
+    let mut reference = ZMat::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = Complex64::ZERO;
+            for l in 0..k {
+                s += a[(i, l)] * b[(l, j)];
+            }
+            reference[(i, j)] = s;
+        }
+    }
+    assert!(
+        c.max_diff(&reference) < 1e-10,
+        "{:?} kernel drifted from naive: {:.2e}",
+        active_variant(),
+        c.max_diff(&reference)
+    );
+}

@@ -1,0 +1,243 @@
+//! Kernel-equivalence battery: every dispatched SIMD microkernel variant
+//! must agree with the scalar baseline on the full gemm surface.
+//!
+//! The comparison is run at the `gemm` level (not just the raw tile) so
+//! packing, edge-tile handling and the α/β write-back are covered too:
+//! all 9 `Op` combinations, ragged shapes (m, n, k not multiples of any
+//! variant's MR/NR or of the 2× k-unroll), and the α/β edge cases
+//! (0, 1, complex).
+//!
+//! # Tolerance
+//!
+//! Every variant performs the per-lane reduction in the same fused
+//! operation order as the scalar kernel (see the `kernel` module's
+//! numerical contract), so when the scalar path itself compiles with
+//! hardware FMA — the repo default, `target-cpu=native` — the results
+//! are expected bit-identical modulo nothing at all. The assertions
+//! still allow the one documented reassociation: a build whose scalar
+//! fallback lacks FMA rounds each multiply and add separately, which
+//! shifts every k-step by at most one ulp per fused pair. That bounds
+//! the elementwise difference by `2k·ε·max|a|·max|b|·|α|`; the checks
+//! use `8k·ε·scale` for slack and nothing looser.
+//!
+//! Forcing is process-global, so every test serializes on [`lock`] and
+//! restores the default before releasing it.
+
+use proptest::prelude::*;
+use qtx_linalg::{
+    available_variants, best_variant, c64, force_kernel, gemm, reset_kernel, Complex64,
+    KernelVariant, Op, ZMat, EPS,
+};
+use std::sync::{Mutex, MutexGuard};
+
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes kernel forcing across this binary's test threads (a
+/// poisoned lock just means another case failed — keep going).
+fn lock() -> MutexGuard<'static, ()> {
+    KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Documented equivalence tolerance for a k-deep product (see module
+/// docs): one extra rounding per fused pair on the non-FMA fallback.
+fn tol(k: usize, amax: f64, bmax: f64, alpha: Complex64) -> f64 {
+    8.0 * EPS * k as f64 * amax.max(1e-300) * bmax.max(1e-300) * alpha.abs().max(1.0) + 1e-300
+}
+
+/// Runs one gemm with the given variant forced; caller holds [`lock`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_forced(
+    v: KernelVariant,
+    alpha: Complex64,
+    a: &ZMat,
+    op_a: Op,
+    b: &ZMat,
+    op_b: Op,
+    beta: Complex64,
+    c0: &ZMat,
+) -> ZMat {
+    assert!(force_kernel(v), "{v:?} vanished mid-test");
+    let mut c = c0.clone();
+    gemm(alpha, a, op_a, b, op_b, beta, &mut c);
+    c
+}
+
+/// Shapes here always hit the packed path: k ≥ 25 with m·n ≥ 64·64
+/// engages the tall-panel packing exception even below the volume
+/// cutoff, so the dispatched microkernel really runs.
+fn operands(m: usize, n: usize, k: usize, op_a: Op, op_b: Op, seed: u64) -> (ZMat, ZMat) {
+    let a = match op_a {
+        Op::None => ZMat::random(m, k, seed),
+        _ => ZMat::random(k, m, seed),
+    };
+    let b = match op_b {
+        Op::None => ZMat::random(k, n, seed + 1),
+        _ => ZMat::random(n, k, seed + 1),
+    };
+    (a, b)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_variant_vs_scalar(
+    v: KernelVariant,
+    m: usize,
+    n: usize,
+    k: usize,
+    op_a: Op,
+    op_b: Op,
+    alpha: Complex64,
+    beta: Complex64,
+    seed: u64,
+) -> Result<(), String> {
+    let (a, b) = operands(m, n, k, op_a, op_b, seed);
+    let c0 = ZMat::random(m, n, seed + 2);
+    let _guard = lock();
+    let reference = gemm_forced(KernelVariant::Scalar, alpha, &a, op_a, &b, op_b, beta, &c0);
+    let dispatched = gemm_forced(v, alpha, &a, op_a, &b, op_b, beta, &c0);
+    reset_kernel();
+    let diff = dispatched.max_diff(&reference);
+    let bound = tol(k, a.norm_max(), b.norm_max(), alpha);
+    if diff > bound {
+        return Err(format!(
+            "{v:?} vs scalar drift {diff:.3e} > {bound:.3e} \
+             (m={m} n={n} k={k} ops={op_a:?}/{op_b:?} α={alpha} β={beta})"
+        ));
+    }
+    Ok(())
+}
+
+const OPS: [Op; 3] = [Op::None, Op::Transpose, Op::Adjoint];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized sweep: every available SIMD variant against the forced
+    /// scalar baseline, across all 9 op pairings and ragged shapes, with
+    /// the general complex α/β accumulation form.
+    #[test]
+    fn dispatched_matches_scalar_randomized(
+        m in 64usize..100,
+        n in 64usize..100,
+        k in 25usize..120,
+        opsel in 0u32..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let (op_a, op_b) = (OPS[(opsel / 3) as usize], OPS[(opsel % 3) as usize]);
+        let alpha = c64(0.7, -0.4);
+        let beta = c64(-0.2, 0.9);
+        for v in available_variants() {
+            if v == KernelVariant::Scalar {
+                continue;
+            }
+            if let Err(e) = check_variant_vs_scalar(v, m, n, k, op_a, op_b, alpha, beta, seed) {
+                prop_assert!(false, "{}", e);
+            }
+        }
+    }
+}
+
+/// Ragged edge tiles: shapes chosen to straddle every variant's MR (4,
+/// 8), NR (4, 6, 8) and the 2× k-unroll — remainder rows, remainder
+/// columns and an odd trailing k-step all at once.
+#[test]
+fn ragged_edge_tiles_match_scalar() {
+    let alpha = c64(0.5, 1.0);
+    let beta = c64(1.5, -0.5);
+    for &(m, n, k) in &[
+        (64usize, 64usize, 25usize), // exact 8× tiles, odd k (unroll tail)
+        (65, 64, 48),                // one remainder row
+        (71, 67, 49),                // remainder rows + cols for all nr ∈ {4,6,8}
+        (72, 66, 47),                // multiple of 8 rows, nr=6 exact / nr=8 ragged
+        (79, 65, 26),                // worst-case row tail (7) and col tail
+    ] {
+        for &op_a in &OPS {
+            for &op_b in &OPS {
+                for v in available_variants() {
+                    if v == KernelVariant::Scalar {
+                        continue; // the baseline itself — nothing to compare
+                    }
+                    check_variant_vs_scalar(v, m, n, k, op_a, op_b, alpha, beta, 7)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
+            }
+        }
+    }
+}
+
+/// α/β edge cases (0, 1, complex) in all 16 pairings: β = 0 must ignore
+/// a poisoned C, α = 0 must reduce to the β-scaling, and the mixed
+/// complex cases must accumulate identically to the scalar baseline.
+#[test]
+fn alpha_beta_edges_match_scalar() {
+    let specials = [Complex64::ZERO, Complex64::ONE, c64(0.5, -1.0), c64(2.0, 0.25)];
+    let (m, n, k) = (67, 66, 33);
+    for &alpha in &specials {
+        for &beta in &specials {
+            for v in available_variants() {
+                if v == KernelVariant::Scalar {
+                    continue; // the baseline itself — nothing to compare
+                }
+                check_variant_vs_scalar(v, m, n, k, Op::None, Op::Adjoint, alpha, beta, 11)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+}
+
+/// β = 0 with NaN-poisoned C: the packed path must never read the output
+/// under β = 0, whichever kernel is dispatched.
+#[test]
+fn beta_zero_ignores_poisoned_output() {
+    let (m, n, k) = (64, 64, 40);
+    let a = ZMat::random(m, k, 3);
+    let b = ZMat::random(k, n, 4);
+    let _guard = lock();
+    for v in available_variants() {
+        assert!(force_kernel(v));
+        let mut c = ZMat::from_fn(m, n, |_, _| c64(f64::NAN, f64::INFINITY));
+        gemm(Complex64::ONE, &a, Op::None, &b, Op::None, Complex64::ZERO, &mut c);
+        assert!(
+            c.as_slice().iter().all(|z| z.is_finite()),
+            "{v:?}: β = 0 read the poisoned output"
+        );
+    }
+    reset_kernel();
+}
+
+/// The QTX_FORCE_KERNEL satellite's forcing test: the scalar and the
+/// best-available variant must agree on a randomized gemm sweep. Skips
+/// gracefully (with a note) when the host has no SIMD variant at all.
+#[test]
+fn forced_scalar_and_best_available_agree() {
+    let best = best_variant();
+    if best == KernelVariant::Scalar {
+        eprintln!("skipping: host has no SIMD kernel variant (scalar only)");
+        return;
+    }
+    for trial in 0..8u64 {
+        let m = 64 + (trial as usize * 13) % 40;
+        let n = 64 + (trial as usize * 29) % 40;
+        let k = 25 + (trial as usize * 41) % 100;
+        let op_a = OPS[trial as usize % 3];
+        let op_b = OPS[(trial as usize / 3) % 3];
+        check_variant_vs_scalar(best, m, n, k, op_a, op_b, c64(0.9, 0.2), c64(0.1, -0.7), trial)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// Forcing an ISA the host lacks must fail softly — `false`, selection
+/// unchanged — which is what lets the per-variant test matrices skip
+/// gracefully on narrower machines.
+#[test]
+fn forcing_an_absent_isa_is_a_soft_no() {
+    let _guard = lock();
+    reset_kernel();
+    let before = qtx_linalg::active_variant();
+    for v in [KernelVariant::Avx2, KernelVariant::Avx512] {
+        if !qtx_linalg::kernel::variant_available(v) {
+            assert!(!force_kernel(v), "{v:?} unavailable but force succeeded");
+            assert_eq!(qtx_linalg::active_variant(), before, "failed force changed selection");
+        }
+    }
+    reset_kernel();
+}

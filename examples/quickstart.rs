@@ -30,7 +30,11 @@ fn main() {
     for i in 0..25 {
         let e = lo + (hi - lo) * i as f64 / 24.0;
         let t = transmission(&device, e).map(|r| r.transmission).unwrap_or(0.0);
-        let bar: String = std::iter::repeat_n('#', (t * 4.0) as usize).collect();
+        // Quantize to the printed precision before sizing the bar, so a
+        // sub-display rounding difference (e.g. T = 1 ± 1e-10 between
+        // kernel variants) cannot flip the bar length in A/B diffs.
+        let tq = (t * 1e4).round() / 1e4;
+        let bar: String = std::iter::repeat_n('#', (tq * 4.0).round() as usize).collect();
         println!("{e:>10.3} {t:>12.4}  {bar}");
     }
     println!("\nInteger plateaus = conduction channels; zero plateau = the band gap.");
