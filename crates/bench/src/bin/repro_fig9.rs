@@ -24,7 +24,7 @@ fn main() {
     let alloc = plan.allocate_ranks(n_ranks);
     println!("dynamic rank allocation over {n_ranks} ranks (ref. [45]): {alloc:?}");
 
-    let result = parallel_sweep(&dev, &plan, n_ranks);
+    let result = parallel_sweep(&dev, &plan, n_ranks).expect("sweep");
     let rows: Vec<Row> = result
         .spectrum
         .iter()
@@ -41,6 +41,18 @@ fn main() {
         result.samples.len(),
         n_ranks,
         result.comm_seconds * 1e3
+    );
+    let h = &result.health;
+    println!(
+        "health: {} points, {} escalated, {} interpolated, {} failed, \
+         {} attempts, {} faults injected, worst residual {:.2e}",
+        h.total_points,
+        h.escalated,
+        h.interpolated,
+        h.failed,
+        h.attempts,
+        h.faults_injected,
+        h.worst_residual
     );
     println!("paper: k and E are almost embarrassingly parallel; the spatial level is SplitSolve");
 }

@@ -206,6 +206,12 @@ impl DeviceK {
     pub fn es_minus_h(&self, e: f64) -> Btd {
         Btd::es_minus_h(c64(e, 0.0), &self.s, &self.h)
     }
+
+    /// `A = (E + iη)·S − H`: the broadened system the escalation ladder
+    /// retries with when the exact-energy solve hits a resonance pole.
+    pub fn es_minus_h_eta(&self, e: f64, eta: f64) -> Btd {
+        Btd::es_minus_h(c64(e, eta), &self.s, &self.h)
+    }
 }
 
 /// Which contact a quantity refers to (re-export sugar).

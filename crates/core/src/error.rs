@@ -1,0 +1,88 @@
+//! Top-level transport failure taxonomy.
+//!
+//! Every layer below reports typed, diagnostic-carrying errors
+//! (`LinalgError` → `ObcError` / `SolveError`); this module folds them
+//! into the one error the driver reasons about. The escalation ladder in
+//! [`crate::transport`] consumes these to decide the next rung, and the
+//! sweep health accounting in [`crate::sweep`] records what survived.
+
+use qtx_linalg::LinalgError;
+use qtx_obc::{ObcError, Side};
+use qtx_solver::SolveError;
+
+/// What went wrong at one (E, k) transport pixel.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The OBC algorithm failed for one contact.
+    Obc {
+        /// Which contact.
+        side: Side,
+        /// The diagnostic-carrying OBC error.
+        source: ObcError,
+    },
+    /// The Eq. 5 solver failed.
+    Solve(SolveError),
+    /// A dense kernel failed outside the OBC/solver layers.
+    Linalg(LinalgError),
+    /// A gathered sweep payload failed frame validation (torn record).
+    Payload(qtx_mpi::FrameError),
+    /// A sweep checkpoint file was unreadable or inconsistent.
+    Checkpoint(crate::checkpoint::CheckpointError),
+    /// Every rung of the escalation ladder was exhausted.
+    Exhausted {
+        /// Energy of the abandoned point (eV).
+        e: f64,
+        /// Transverse momentum of the abandoned point.
+        kz: f64,
+        /// Total solve attempts across all rungs.
+        attempts: u32,
+        /// The failure of the last rung tried.
+        last: Box<TransportError>,
+    },
+}
+
+impl TransportError {
+    /// True when the root cause is a deterministically injected fault.
+    pub fn is_injected(&self) -> bool {
+        match self {
+            TransportError::Obc { source, .. } => source.is_injected(),
+            TransportError::Solve(e) => e.is_injected(),
+            TransportError::Linalg(e) => e.is_injected(),
+            TransportError::Payload(_) | TransportError::Checkpoint(_) => false,
+            TransportError::Exhausted { last, .. } => last.is_injected(),
+        }
+    }
+}
+
+impl From<SolveError> for TransportError {
+    fn from(e: SolveError) -> Self {
+        TransportError::Solve(e)
+    }
+}
+
+impl From<LinalgError> for TransportError {
+    fn from(e: LinalgError) -> Self {
+        TransportError::Linalg(e)
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Obc { side, source } => write!(f, "OBC failure ({side:?}): {source}"),
+            TransportError::Solve(e) => write!(f, "solver failure: {e}"),
+            TransportError::Linalg(e) => write!(f, "linear-algebra failure: {e}"),
+            TransportError::Payload(e) => write!(f, "gathered sweep payload invalid: {e}"),
+            TransportError::Checkpoint(e) => write!(f, "sweep checkpoint invalid: {e}"),
+            TransportError::Exhausted { e, kz, attempts, last } => write!(
+                f,
+                "escalation ladder exhausted at E={e} kz={kz} after {attempts} attempts: {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Result alias for the transport driver.
+pub type TransportResult<T> = std::result::Result<T, TransportError>;

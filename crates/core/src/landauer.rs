@@ -23,19 +23,40 @@ pub fn fermi(e: f64, mu: f64, t: f64) -> f64 {
 /// Ballistic two-terminal current (µA) from a transmission spectrum:
 /// `I = (2e/h) ∫ T(E)·[f_L(E) − f_R(E)] dE` via trapezoid integration.
 /// `spectrum` holds `(E, T(E))` pairs sorted by energy.
+///
+/// Non-finite samples (a failed sweep point that escaped interpolation)
+/// are skipped rather than poisoning the whole integral; in debug builds
+/// that path asserts, because a curated spectrum should never contain
+/// them. Use [`landauer_current_counted_ua`] to observe the skip count.
 pub fn landauer_current_ua(spectrum: &[(f64, f64)], mu_l: f64, mu_r: f64, temp: f64) -> f64 {
-    if spectrum.len() < 2 {
-        return 0.0;
+    let (i, skipped) = landauer_current_counted_ua(spectrum, mu_l, mu_r, temp);
+    debug_assert!(skipped == 0, "{skipped} non-finite spectrum samples reached the integrator");
+    i
+}
+
+/// [`landauer_current_ua`] plus the number of non-finite `(E, T)` samples
+/// that were dropped from the integration.
+pub fn landauer_current_counted_ua(
+    spectrum: &[(f64, f64)],
+    mu_l: f64,
+    mu_r: f64,
+    temp: f64,
+) -> (f64, usize) {
+    let clean: Vec<(f64, f64)> =
+        spectrum.iter().copied().filter(|&(e, t)| e.is_finite() && t.is_finite()).collect();
+    let skipped = spectrum.len() - clean.len();
+    if clean.len() < 2 {
+        return (0.0, skipped);
     }
     let integrand = |e: f64, t: f64| -> f64 { t * (fermi(e, mu_l, temp) - fermi(e, mu_r, temp)) };
     let mut acc = 0.0;
-    for w in spectrum.windows(2) {
+    for w in clean.windows(2) {
         let (e0, t0) = w[0];
         let (e1, t1) = w[1];
         acc += 0.5 * (integrand(e0, t0) + integrand(e1, t1)) * (e1 - e0);
     }
     // (2e/h)·1 eV = 77.48 µA.
-    CONDUCTANCE_QUANTUM_US * acc
+    (CONDUCTANCE_QUANTUM_US * acc, skipped)
 }
 
 #[cfg(test)]
@@ -75,6 +96,20 @@ mod tests {
         let i = landauer_current_ua(&spectrum, v / 2.0, -v / 2.0, 10.0);
         let g = i / v; // µA / V = µS
         assert!((g - CONDUCTANCE_QUANTUM_US).abs() < 0.5, "g = {g}");
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_and_counted() {
+        let mut spectrum: Vec<(f64, f64)> = (0..200).map(|i| (i as f64 * 0.005, 1.0)).collect();
+        let reference = landauer_current_ua(&spectrum, 0.6, 0.4, 300.0);
+        // Poison two samples outside the bias window: the counted variant
+        // drops them without materially changing the integral.
+        spectrum[190].1 = f64::NAN;
+        spectrum[195].1 = f64::INFINITY;
+        let (i, skipped) = landauer_current_counted_ua(&spectrum, 0.6, 0.4, 300.0);
+        assert_eq!(skipped, 2);
+        assert!(i.is_finite());
+        assert!((i - reference).abs() < 1e-6, "{i} vs {reference}");
     }
 
     #[test]

@@ -24,27 +24,37 @@
 //!   Fig. 9 over the simulated MPI fabric, with dynamic node-per-k
 //!   allocation (ref. [45]).
 
+pub mod checkpoint;
 pub mod device;
 pub mod energygrid;
+pub mod error;
 pub mod landauer;
 pub mod observables;
 pub mod scf;
 pub mod sweep;
 pub mod transport;
 
+pub use checkpoint::CheckpointError;
 pub use device::{Device, DeviceK, TransportConfig};
 pub use energygrid::EnergyGrid;
-pub use landauer::{fermi, landauer_current_ua, CONDUCTANCE_QUANTUM_US};
+pub use error::{TransportError, TransportResult};
+pub use landauer::{
+    fermi, landauer_current_counted_ua, landauer_current_ua, CONDUCTANCE_QUANTUM_US,
+};
 pub use observables::{ChargeAndCurrent, SpectralData};
 pub use scf::{id_vgs, schrodinger_poisson, IvPoint, ScfConfig, ScfResult};
-pub use sweep::{parallel_sweep, SweepPlan, SweepResult};
-pub use transport::{caroli_transmission, solve_energy_point, EnergyPointResult};
-
-use qtx_linalg::Result;
+pub use sweep::{
+    parallel_sweep, parallel_sweep_resumable, PointRecord, SweepHealth, SweepOptions, SweepPlan,
+    SweepResult,
+};
+pub use transport::{
+    caroli_transmission, solve_energy_point, solve_energy_point_robust, EnergyPointResult,
+    PointOutcome, RobustSolve,
+};
 
 /// Convenience one-shot ballistic transmission at a single energy with
 /// default configuration (quickstart API).
-pub fn transmission(device: &Device, energy: f64) -> Result<EnergyPointResult> {
+pub fn transmission(device: &Device, energy: f64) -> TransportResult<EnergyPointResult> {
     let dk = device.at_kz(0.0);
     transport::solve_energy_point(&dk, energy, &device.config)
 }

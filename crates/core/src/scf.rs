@@ -10,10 +10,10 @@
 
 use crate::device::Device;
 use crate::energygrid::EnergyGrid;
+use crate::error::TransportResult;
 use crate::landauer::landauer_current_ua;
 use crate::observables::accumulate;
 use crate::transport::solve_energy_point;
-use qtx_linalg::Result;
 use qtx_poisson::{gated_poisson_1d, GateSpec};
 use rayon::prelude::*;
 
@@ -86,7 +86,7 @@ pub struct IvPoint {
 }
 
 /// Runs the Schrödinger–Poisson loop on a device (modifies its potential).
-pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> Result<ScfResult> {
+pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> TransportResult<ScfResult> {
     let nb = dev.n_slabs;
     let gate = GateSpec {
         start: ((nb as f64) * cfg.gate_window.0) as usize,
@@ -134,7 +134,7 @@ pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> Result<ScfResul
             .points
             .par_iter()
             .map(|&e| solve_energy_point(&dk, e, &cfg_t))
-            .collect::<Result<Vec<_>>>()?;
+            .collect::<TransportResult<Vec<_>>>()?;
         spectrum = points.iter().map(|p| (p.e, p.transmission)).collect();
         // 2. Charge per slab.
         let de = (e_hi - e_lo) / (cfg.n_energy.max(2) - 1) as f64;
@@ -180,7 +180,11 @@ pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> Result<ScfResul
 /// Sweeps the gate voltage and returns the transfer characteristic
 /// Id–Vgs of Fig. 1(d). Each bias point restarts from the previous
 /// converged potential (the production continuation strategy).
-pub fn id_vgs(dev: &mut Device, cfg: &ScfConfig, vgs_list: &[f64]) -> Result<Vec<IvPoint>> {
+pub fn id_vgs(
+    dev: &mut Device,
+    cfg: &ScfConfig,
+    vgs_list: &[f64],
+) -> TransportResult<Vec<IvPoint>> {
     let mut out = Vec::with_capacity(vgs_list.len());
     for &vg in vgs_list {
         let mut c = cfg.clone();

@@ -1,4 +1,5 @@
-//! Three-level parallel (k, E, domain) sweep (§4, Fig. 9).
+//! Three-level parallel (k, E, domain) sweep (§4, Fig. 9) with
+//! per-point fault tolerance.
 //!
 //! "The momentum k and energy E points are almost embarrassingly parallel,
 //! while FEAST+SplitSolve provides a 1-D spatial domain decomposition."
@@ -7,11 +8,24 @@
 //! energy-point counts), splits each group's communicator over its energy
 //! points, and leaves the spatial level to SplitSolve's partitions inside
 //! each rank.
+//!
+//! Every point runs through the escalation ladder of
+//! [`crate::transport::solve_energy_point_robust`]; its [`PointOutcome`]
+//! travels in an 80-byte record through the gather tree. Unrecoverable
+//! points are interpolated from their healthy neighbors in energy (with an
+//! explicit error bound) instead of silently contributing `T = 0`, and the
+//! aggregate [`SweepHealth`] reports what the ladder had to do. A sweep
+//! can checkpoint completed records and resume bit-identically (see
+//! [`crate::checkpoint`]).
 
+use crate::checkpoint;
 use crate::device::Device;
 use crate::energygrid::EnergyGrid;
-use crate::transport::solve_energy_point;
+use crate::error::{TransportError, TransportResult};
+use crate::transport::{solve_energy_point_robust, METHOD_FAILED};
 use qtx_mpi::{run_world, Comm, CostModel};
+use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Work description of one sweep.
@@ -84,17 +98,199 @@ impl SweepPlan {
         }
         alloc
     }
+
+    /// Canonical work list: every `(k_idx, e_idx)` pair in `(k, E)` order.
+    /// Checkpoints, resume skipping, and deterministic kill limits are all
+    /// defined against this ordering.
+    pub fn canonical_points(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.total_points());
+        for (k_idx, es) in self.energies.iter().enumerate() {
+            for e_idx in 0..es.len() {
+                out.push((k_idx as u32, e_idx as u32));
+            }
+        }
+        out
+    }
+}
+
+/// Point status: the ladder produced it directly.
+pub const STATUS_OK: u8 = 0;
+/// Point status: every rung failed and no neighbor could patch it.
+pub const STATUS_FAILED: u8 = 1;
+/// Point status: failed, then interpolated from healthy neighbors.
+pub const STATUS_INTERPOLATED: u8 = 2;
+
+/// Serialized size of one [`PointRecord`].
+pub const POINT_RECORD_BYTES: usize = 80;
+
+/// One sweep point with its full robustness record — the 80-byte unit of
+/// both the gather payloads and the checkpoint file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointRecord {
+    /// Momentum index into [`SweepPlan::k_points`].
+    pub k_idx: u32,
+    /// Energy index into that momentum's grid.
+    pub e_idx: u32,
+    /// Transverse momentum.
+    pub kz: f64,
+    /// Momentum weight.
+    pub w: f64,
+    /// Energy (eV).
+    pub e: f64,
+    /// Transmission (`NaN` while `status == STATUS_FAILED`).
+    pub t: f64,
+    /// Ladder rung that produced the point ([`crate::transport::LADDER_METHOD_NAMES`]).
+    pub method: u8,
+    /// One of [`STATUS_OK`], [`STATUS_FAILED`], [`STATUS_INTERPOLATED`].
+    pub status: u8,
+    /// Solve attempts spent on the point.
+    pub attempts: u16,
+    /// Ladder escalations spent on the point.
+    pub escalations: u32,
+    /// Max-norm residual of the accepted solve.
+    pub residual: f64,
+    /// Broadening η of the accepted solve.
+    pub eta: f64,
+    /// Wall time (ms) — excluded from checkpoint identity.
+    pub wall_ms: f64,
+    /// Error bound of the interpolated value (0 for solved points).
+    pub interp_bound: f64,
+}
+
+impl PointRecord {
+    /// Appends the little-endian 80-byte frame.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.k_idx.to_le_bytes());
+        out.extend_from_slice(&self.e_idx.to_le_bytes());
+        for v in [self.kz, self.w, self.e, self.t] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(self.method);
+        out.push(self.status);
+        out.extend_from_slice(&self.attempts.to_le_bytes());
+        out.extend_from_slice(&self.escalations.to_le_bytes());
+        for v in [self.residual, self.eta, self.wall_ms, self.interp_bound] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes one exact frame (panics on wrong length — framing is
+    /// validated upstream by [`qtx_mpi::exact_frames`]).
+    pub fn decode(frame: &[u8]) -> PointRecord {
+        assert_eq!(frame.len(), POINT_RECORD_BYTES, "point record frame");
+        use qtx_mpi::frame::{read_f64, read_u16, read_u32};
+        PointRecord {
+            k_idx: read_u32(frame, 0),
+            e_idx: read_u32(frame, 4),
+            kz: read_f64(frame, 8),
+            w: read_f64(frame, 16),
+            e: read_f64(frame, 24),
+            t: read_f64(frame, 32),
+            method: frame[40],
+            status: frame[41],
+            attempts: read_u16(frame, 42),
+            escalations: read_u32(frame, 44),
+            residual: read_f64(frame, 48),
+            eta: read_f64(frame, 56),
+            wall_ms: read_f64(frame, 64),
+            interp_bound: read_f64(frame, 72),
+        }
+    }
+
+    /// Bit-level identity of everything except wall time (timing differs
+    /// between a killed-and-resumed run and an uninterrupted one; the
+    /// physics must not).
+    pub fn identity_eq(&self, other: &PointRecord) -> bool {
+        self.k_idx == other.k_idx
+            && self.e_idx == other.e_idx
+            && self.kz.to_bits() == other.kz.to_bits()
+            && self.w.to_bits() == other.w.to_bits()
+            && self.e.to_bits() == other.e.to_bits()
+            && self.t.to_bits() == other.t.to_bits()
+            && self.method == other.method
+            && self.status == other.status
+            && self.attempts == other.attempts
+            && self.escalations == other.escalations
+            && self.residual.to_bits() == other.residual.to_bits()
+            && self.eta.to_bits() == other.eta.to_bits()
+            && self.interp_bound.to_bits() == other.interp_bound.to_bits()
+    }
+}
+
+/// Aggregate robustness accounting of one sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepHealth {
+    /// Points the sweep produced (solved + interpolated + failed).
+    pub total_points: usize,
+    /// Points solved by a rung above the configured method.
+    pub escalated: usize,
+    /// Points no rung and no neighbor could produce.
+    pub failed: usize,
+    /// Points patched by neighbor interpolation.
+    pub interpolated: usize,
+    /// Solve attempts summed over all points.
+    pub attempts: u64,
+    /// Deterministically injected faults observed during this run
+    /// (0 unless the `fault-inject` harness is armed).
+    pub faults_injected: u64,
+    /// Worst accepted residual across solved points.
+    pub worst_residual: f64,
+    /// Largest interpolation error bound.
+    pub max_interp_bound: f64,
+}
+
+impl SweepHealth {
+    fn from_records(records: &[PointRecord], faults_injected: u64) -> SweepHealth {
+        let mut h =
+            SweepHealth { total_points: records.len(), faults_injected, ..Default::default() };
+        for r in records {
+            h.attempts += r.attempts as u64;
+            match r.status {
+                STATUS_FAILED => h.failed += 1,
+                STATUS_INTERPOLATED => h.interpolated += 1,
+                _ => {
+                    if r.method != 0 {
+                        h.escalated += 1;
+                    }
+                    if r.residual.is_finite() {
+                        h.worst_residual = h.worst_residual.max(r.residual);
+                    }
+                }
+            }
+            if r.interp_bound.is_finite() {
+                h.max_interp_bound = h.max_interp_bound.max(r.interp_bound);
+            }
+        }
+        h
+    }
 }
 
 /// Aggregated sweep output.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// `(kz, weight, energy, transmission)` tuples from all ranks.
+    /// `(kz, weight, energy, transmission)` tuples in canonical
+    /// `(k_idx, e_idx)` order (`NaN` transmission for failed points).
     pub samples: Vec<(f64, f64, f64, f64)>,
-    /// k-summed transmission spectrum, sorted by energy.
+    /// k-summed transmission spectrum, sorted by energy (failed points
+    /// excluded).
     pub spectrum: Vec<(f64, f64)>,
     /// Virtual communication seconds (max over ranks).
     pub comm_seconds: f64,
+    /// Per-point robustness records, canonical order.
+    pub records: Vec<PointRecord>,
+    /// Aggregate robustness accounting.
+    pub health: SweepHealth,
+}
+
+/// Knobs of [`parallel_sweep_resumable`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Checkpoint file: loaded (if present) before sweeping, written
+    /// after. Completed points are never recomputed.
+    pub checkpoint: Option<PathBuf>,
+    /// Stop after at most this many *new* points, in canonical order —
+    /// the deterministic "kill" used by the resume property tests.
+    pub max_new_points: Option<usize>,
 }
 
 /// Runs the sweep over `n_ranks` simulated MPI ranks.
@@ -103,11 +299,106 @@ pub struct SweepResult {
 /// (k-groups → energy distribution). With fewer ranks than momenta, all
 /// ranks pool and stride the flattened (k, E) work list — "each
 /// point/iteration is processed sequentially" (§5.D).
-pub fn parallel_sweep(dev: &Device, plan: &SweepPlan, n_ranks: usize) -> SweepResult {
-    let non_empty = plan.energies.iter().filter(|e| !e.is_empty()).count();
-    if n_ranks < non_empty.max(1) {
-        return pooled_sweep(dev, plan, n_ranks);
+pub fn parallel_sweep(
+    dev: &Device,
+    plan: &SweepPlan,
+    n_ranks: usize,
+) -> TransportResult<SweepResult> {
+    parallel_sweep_resumable(dev, plan, n_ranks, &SweepOptions::default())
+}
+
+/// [`parallel_sweep`] with checkpoint/resume support. The union of a
+/// killed run's checkpoint and its resumed completion is bit-identical
+/// (modulo wall time) to an uninterrupted sweep.
+pub fn parallel_sweep_resumable(
+    dev: &Device,
+    plan: &SweepPlan,
+    n_ranks: usize,
+    opts: &SweepOptions,
+) -> TransportResult<SweepResult> {
+    // Resume: load completed records, skip their (k, E) pairs.
+    let mut done: Vec<PointRecord> = match &opts.checkpoint {
+        Some(path) if path.exists() => checkpoint::load(path, plan)?,
+        _ => Vec::new(),
+    };
+    let done_set: HashSet<(u32, u32)> = done.iter().map(|r| (r.k_idx, r.e_idx)).collect();
+    let mut todo: Vec<(u32, u32)> =
+        plan.canonical_points().into_iter().filter(|p| !done_set.contains(p)).collect();
+    if let Some(limit) = opts.max_new_points {
+        todo.truncate(limit);
     }
+    let todo: Arc<HashSet<(u32, u32)>> = Arc::new(todo.into_iter().collect());
+
+    let injected_before = qtx_linalg::fault::injected_total();
+    let non_empty = plan.energies.iter().filter(|e| !e.is_empty()).count();
+    let (payload_parts, comm_seconds) = if n_ranks < non_empty.max(1) {
+        pooled_worker(dev, plan, n_ranks, todo)
+    } else {
+        hierarchical_worker(dev, plan, n_ranks, todo)
+    };
+    let faults_injected = qtx_linalg::fault::injected_total() - injected_before;
+
+    // Decode the gathered frames, loudly rejecting torn payloads.
+    let mut fresh = Vec::new();
+    for part in &payload_parts {
+        for frame in
+            qtx_mpi::exact_frames(part, POINT_RECORD_BYTES).map_err(TransportError::Payload)?
+        {
+            fresh.push(PointRecord::decode(frame));
+        }
+    }
+    done.extend(fresh);
+    done.sort_by_key(|r| (r.k_idx, r.e_idx));
+
+    // Persist raw (pre-interpolation) records: the resumed run re-derives
+    // interpolations over the full set, keeping the union bit-identical.
+    if let Some(path) = &opts.checkpoint {
+        checkpoint::save(path, plan, &done)?;
+    }
+
+    interpolate_failures(&mut done);
+    let health = SweepHealth::from_records(&done, faults_injected);
+    Ok(finalize(done, health, comm_seconds))
+}
+
+/// One robust point solve, packaged for the wire.
+fn solve_record(
+    dk: &crate::device::DeviceK,
+    dev: &Device,
+    k_idx: u32,
+    e_idx: u32,
+    kz: f64,
+    w: f64,
+    e: f64,
+) -> PointRecord {
+    let rs = solve_energy_point_robust(dk, e, &dev.config);
+    let o = rs.outcome;
+    PointRecord {
+        k_idx,
+        e_idx,
+        kz,
+        w,
+        e,
+        t: rs.result.as_ref().map_or(f64::NAN, |r| r.transmission),
+        method: o.method_used,
+        status: if o.method_used == METHOD_FAILED { STATUS_FAILED } else { STATUS_OK },
+        attempts: o.attempts,
+        escalations: o.escalations as u32,
+        residual: o.residual,
+        eta: o.eta,
+        wall_ms: o.wall_ms,
+        interp_bound: 0.0,
+    }
+}
+
+/// Fig. 9 hierarchy: k-groups sized by workload, energies round-robin
+/// inside each group, two-level gather to world root.
+fn hierarchical_worker(
+    dev: &Device,
+    plan: &SweepPlan,
+    n_ranks: usize,
+    todo: Arc<HashSet<(u32, u32)>>,
+) -> (Vec<Vec<u8>>, f64) {
     let alloc = plan.allocate_ranks(n_ranks);
     // Map world rank → (k-group, rank within group).
     let mut owner = Vec::with_capacity(n_ranks);
@@ -128,114 +419,142 @@ pub fn parallel_sweep(dev: &Device, plan: &SweepPlan, n_ranks: usize) -> SweepRe
         let energies = &plan.energies[k_idx];
         // Energy-level distribution: round-robin inside the k-group.
         let dk = dev.at_kz(kz);
-        let mut local: Vec<(f64, f64, f64, f64)> = Vec::new();
+        let mut payload = Vec::new();
         for (i, &e) in energies.iter().enumerate() {
-            if i % k_comm.size() == k_comm.rank() {
-                let t =
-                    solve_energy_point(&dk, e, &dev.config).map(|r| r.transmission).unwrap_or(0.0);
-                local.push((kz, w, e, t));
+            if i % k_comm.size() == k_comm.rank() && todo.contains(&(k_idx as u32, i as u32)) {
+                solve_record(&dk, &dev, k_idx as u32, i as u32, kz, w, e).encode_into(&mut payload);
             }
         }
-        // Gather the group's samples at the group root, then at world 0.
-        let mut payload = Vec::new();
-        for (kz, w, e, t) in &local {
-            payload.extend_from_slice(&kz.to_le_bytes());
-            payload.extend_from_slice(&w.to_le_bytes());
-            payload.extend_from_slice(&e.to_le_bytes());
-            payload.extend_from_slice(&t.to_le_bytes());
-        }
+        // Gather the group's records at the group root, then at world 0.
         let group_gathered = k_comm.gather(0, payload);
         let group_payload: Vec<u8> = group_gathered.map(|v| v.concat()).unwrap_or_default();
         let world_gathered = comm.gather(0, group_payload);
         let t_comm = comm.comm_time();
         (world_gathered, t_comm)
     });
-    let mut samples = Vec::new();
-    let mut comm_seconds = 0.0f64;
-    for (gathered, t) in outputs {
-        comm_seconds = comm_seconds.max(t);
-        if let Some(parts) = gathered {
-            for part in parts {
-                for chunk in part.chunks_exact(32) {
-                    let f = |r: std::ops::Range<usize>| {
-                        f64::from_le_bytes(chunk[r].try_into().expect("8 bytes"))
-                    };
-                    samples.push((f(0..8), f(8..16), f(16..24), f(24..32)));
-                }
-            }
-        }
-    }
-    finalize(samples, comm_seconds)
-}
-
-fn finalize(samples: Vec<(f64, f64, f64, f64)>, comm_seconds: f64) -> SweepResult {
-    // k-summed spectrum.
-    let mut spectrum: Vec<(f64, f64)> = Vec::new();
-    let mut sorted = samples.clone();
-    sorted.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
-    for (_, w, e, t) in sorted {
-        match spectrum.last_mut() {
-            Some((le, lt)) if (*le - e).abs() < 1e-12 => *lt += w * t,
-            _ => spectrum.push((e, w * t)),
-        }
-    }
-    SweepResult { samples, spectrum, comm_seconds }
+    collect_outputs(outputs)
 }
 
 /// Fallback for rank-starved sweeps: every rank strides the flattened
 /// (k, E) list; momenta are processed one after the other.
-fn pooled_sweep(dev: &Device, plan: &SweepPlan, n_ranks: usize) -> SweepResult {
+fn pooled_worker(
+    dev: &Device,
+    plan: &SweepPlan,
+    n_ranks: usize,
+    todo: Arc<HashSet<(u32, u32)>>,
+) -> (Vec<Vec<u8>>, f64) {
     let dev = Arc::new(dev.clone());
     let plan = Arc::new(plan.clone());
     let outputs = run_world(n_ranks.max(1), CostModel::gemini(), move |comm: Comm| {
-        let mut local = Vec::new();
+        let mut payload = Vec::new();
         let mut idx = 0usize;
         for (k_idx, &(kz, w)) in plan.k_points.iter().enumerate() {
             if plan.energies[k_idx].is_empty() {
                 continue;
             }
             let dk = dev.at_kz(kz);
-            for &e in &plan.energies[k_idx] {
-                if idx % comm.size() == comm.rank() {
-                    let t = solve_energy_point(&dk, e, &dev.config)
-                        .map(|r| r.transmission)
-                        .unwrap_or(0.0);
-                    local.push((kz, w, e, t));
+            for (e_idx, &e) in plan.energies[k_idx].iter().enumerate() {
+                if idx % comm.size() == comm.rank() && todo.contains(&(k_idx as u32, e_idx as u32))
+                {
+                    solve_record(&dk, &dev, k_idx as u32, e_idx as u32, kz, w, e)
+                        .encode_into(&mut payload);
                 }
                 idx += 1;
             }
         }
-        let mut payload = Vec::new();
-        for (kz, w, e, t) in &local {
-            payload.extend_from_slice(&kz.to_le_bytes());
-            payload.extend_from_slice(&w.to_le_bytes());
-            payload.extend_from_slice(&e.to_le_bytes());
-            payload.extend_from_slice(&t.to_le_bytes());
-        }
         let gathered = comm.gather(0, payload);
         (gathered, comm.comm_time())
     });
-    let mut samples = Vec::new();
+    collect_outputs(outputs)
+}
+
+/// Flattens rank outputs into root payload parts + max virtual comm time.
+fn collect_outputs(outputs: Vec<(Option<Vec<Vec<u8>>>, f64)>) -> (Vec<Vec<u8>>, f64) {
+    let mut parts = Vec::new();
     let mut comm_seconds = 0.0f64;
     for (gathered, t) in outputs {
         comm_seconds = comm_seconds.max(t);
-        if let Some(parts) = gathered {
-            for part in parts {
-                for chunk in part.chunks_exact(32) {
-                    let f = |r: std::ops::Range<usize>| {
-                        f64::from_le_bytes(chunk[r].try_into().expect("8 bytes"))
-                    };
-                    samples.push((f(0..8), f(8..16), f(16..24), f(24..32)));
-                }
-            }
+        if let Some(p) = gathered {
+            parts.extend(p);
         }
     }
-    finalize(samples, comm_seconds)
+    (parts, comm_seconds)
+}
+
+/// Patches failed points from their healthy neighbors along the energy
+/// axis of the same momentum: linear interpolation between the bracketing
+/// solved points, nearest-value extrapolation at the grid edges. The
+/// recorded bound is the transmission variation between the sources —
+/// honest for the smooth-between-resonances spectra these grids resolve.
+fn interpolate_failures(records: &mut [PointRecord]) {
+    let n = records.len();
+    let mut i = 0;
+    while i < n {
+        let k = records[i].k_idx;
+        let mut j = i;
+        while j < n && records[j].k_idx == k {
+            j += 1;
+        }
+        let oks: Vec<usize> = (i..j).filter(|&x| records[x].status == STATUS_OK).collect();
+        for x in i..j {
+            if records[x].status != STATUS_FAILED {
+                continue;
+            }
+            let prev = oks.iter().rev().filter(|&&o| o < x).copied().collect::<Vec<_>>();
+            let next = oks.iter().filter(|&&o| o > x).copied().collect::<Vec<_>>();
+            let (t, bound) = match (prev.first(), next.first()) {
+                (Some(&p), Some(&q)) => {
+                    let (e0, t0) = (records[p].e, records[p].t);
+                    let (e1, t1) = (records[q].e, records[q].t);
+                    let t = if e1 > e0 {
+                        t0 + (t1 - t0) * (records[x].e - e0) / (e1 - e0)
+                    } else {
+                        0.5 * (t0 + t1)
+                    };
+                    (t, (t1 - t0).abs())
+                }
+                (Some(&p), None) | (None, Some(&p)) => {
+                    // One-sided: copy the nearest healthy value; bound it
+                    // by the variation to the next-nearest when available.
+                    let second = if prev.first() == Some(&p) { prev.get(1) } else { next.get(1) };
+                    let bound =
+                        second.map_or(records[p].t.abs(), |&s| (records[p].t - records[s].t).abs());
+                    (records[p].t, bound)
+                }
+                (None, None) => continue, // whole momentum failed — stays failed
+            };
+            records[x].t = t;
+            records[x].interp_bound = bound;
+            records[x].status = STATUS_INTERPOLATED;
+        }
+        i = j;
+    }
+}
+
+fn finalize(records: Vec<PointRecord>, health: SweepHealth, comm_seconds: f64) -> SweepResult {
+    let samples: Vec<(f64, f64, f64, f64)> =
+        records.iter().map(|r| (r.kz, r.w, r.e, r.t)).collect();
+    // k-summed spectrum over usable (solved or interpolated) points.
+    let mut spectrum: Vec<(f64, f64)> = Vec::new();
+    let mut sorted: Vec<(f64, f64, f64)> = records
+        .iter()
+        .filter(|r| r.status != STATUS_FAILED && r.t.is_finite())
+        .map(|r| (r.e, r.w, r.t))
+        .collect();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for (e, w, t) in sorted {
+        match spectrum.last_mut() {
+            Some((le, lt)) if (*le - e).abs() < 1e-12 => *lt += w * t,
+            _ => spectrum.push((e, w * t)),
+        }
+    }
+    SweepResult { samples, spectrum, comm_seconds, records, health }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::solve_energy_point;
     use qtx_atomistic::{BasisKind, DeviceBuilder};
 
     fn small_device() -> Device {
@@ -258,6 +577,7 @@ mod tests {
         assert!(plan.total_points() > 5);
         let alloc = plan.allocate_ranks(4);
         assert_eq!(alloc.iter().sum::<usize>(), 4);
+        assert_eq!(plan.canonical_points().len(), plan.total_points());
     }
 
     #[test]
@@ -277,8 +597,13 @@ mod tests {
     fn sweep_matches_serial_reference() {
         let d = small_device();
         let plan = SweepPlan::from_device(&d, 0.05, 0.15);
-        let result = parallel_sweep(&d, &plan, 3);
+        let result = parallel_sweep(&d, &plan, 3).unwrap();
         assert_eq!(result.samples.len(), plan.total_points());
+        // A healthy sweep reports a clean bill.
+        assert_eq!(result.health.failed, 0);
+        assert_eq!(result.health.interpolated, 0);
+        assert_eq!(result.health.escalated, 0);
+        assert_eq!(result.health.attempts, plan.total_points() as u64);
         // Serial reference for a few points.
         let dk = d.at_kz(0.0);
         for &(kz, _w, e, t) in result.samples.iter().take(4) {
@@ -293,10 +618,133 @@ mod tests {
     fn spectrum_is_sorted_and_weighted() {
         let d = small_device();
         let plan = SweepPlan::from_device(&d, 0.05, 0.15);
-        let result = parallel_sweep(&d, &plan, 2);
+        let result = parallel_sweep(&d, &plan, 2).unwrap();
         for w in result.spectrum.windows(2) {
             assert!(w[0].0 <= w[1].0);
         }
         assert_eq!(result.spectrum.len(), plan.total_points());
+    }
+
+    #[test]
+    fn point_record_roundtrips_through_wire_format() {
+        let r = PointRecord {
+            k_idx: 3,
+            e_idx: 41,
+            kz: 0.7,
+            w: 0.5,
+            e: -0.125,
+            t: 1.996,
+            method: 4,
+            status: STATUS_INTERPOLATED,
+            attempts: 5,
+            escalations: 4,
+            residual: 3.5e-12,
+            eta: 1e-6,
+            wall_ms: 17.25,
+            interp_bound: 0.03,
+        };
+        let mut buf = Vec::new();
+        r.encode_into(&mut buf);
+        assert_eq!(buf.len(), POINT_RECORD_BYTES);
+        let back = PointRecord::decode(&buf);
+        assert_eq!(back, r);
+        assert!(back.identity_eq(&r));
+    }
+
+    #[test]
+    fn torn_gather_payload_is_rejected_loudly() {
+        // A record stream with trailing garbage must surface as a typed
+        // error, not silently decode to fewer samples.
+        let r = PointRecord {
+            k_idx: 0,
+            e_idx: 0,
+            kz: 0.0,
+            w: 1.0,
+            e: 0.5,
+            t: 1.0,
+            method: 0,
+            status: STATUS_OK,
+            attempts: 1,
+            escalations: 0,
+            residual: 0.0,
+            eta: 0.0,
+            wall_ms: 1.0,
+            interp_bound: 0.0,
+        };
+        let mut payload = Vec::new();
+        r.encode_into(&mut payload);
+        payload.extend_from_slice(&[0xde, 0xad, 0xbe]); // torn frame
+        let err = qtx_mpi::exact_frames(&payload, POINT_RECORD_BYTES).unwrap_err();
+        assert_eq!(err.payload_len, POINT_RECORD_BYTES + 3);
+    }
+
+    #[test]
+    fn interpolation_patches_interior_and_edge_failures() {
+        let mk = |e_idx: u32, e: f64, t: f64, status: u8| PointRecord {
+            k_idx: 0,
+            e_idx,
+            kz: 0.0,
+            w: 1.0,
+            e,
+            t,
+            method: if status == STATUS_FAILED { METHOD_FAILED } else { 0 },
+            status,
+            attempts: 1,
+            escalations: 0,
+            residual: 0.0,
+            eta: 0.0,
+            wall_ms: 0.0,
+            interp_bound: 0.0,
+        };
+        let mut records = vec![
+            mk(0, 0.0, f64::NAN, STATUS_FAILED), // leading edge
+            mk(1, 0.1, 1.0, STATUS_OK),
+            mk(2, 0.2, f64::NAN, STATUS_FAILED), // interior
+            mk(3, 0.3, 2.0, STATUS_OK),
+            mk(4, 0.4, f64::NAN, STATUS_FAILED), // trailing edge
+        ];
+        interpolate_failures(&mut records);
+        // Interior: linear midpoint between 1.0 and 2.0.
+        assert_eq!(records[2].status, STATUS_INTERPOLATED);
+        assert!((records[2].t - 1.5).abs() < 1e-12);
+        assert!((records[2].interp_bound - 1.0).abs() < 1e-12);
+        // Edges: nearest healthy value, bounded by neighbor variation.
+        assert_eq!(records[0].status, STATUS_INTERPOLATED);
+        assert_eq!(records[0].t, 1.0);
+        assert_eq!(records[4].status, STATUS_INTERPOLATED);
+        assert_eq!(records[4].t, 2.0);
+        assert!((records[0].interp_bound - 1.0).abs() < 1e-12);
+        let health = SweepHealth::from_records(&records, 0);
+        assert_eq!(health.interpolated, 3);
+        assert_eq!(health.failed, 0);
+        assert!((health.max_interp_bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_failed_momentum_stays_failed() {
+        let mk = |e_idx: u32| PointRecord {
+            k_idx: 0,
+            e_idx,
+            kz: 0.0,
+            w: 1.0,
+            e: e_idx as f64 * 0.1,
+            t: f64::NAN,
+            method: METHOD_FAILED,
+            status: STATUS_FAILED,
+            attempts: 6,
+            escalations: 5,
+            residual: f64::INFINITY,
+            eta: 1e-6,
+            wall_ms: 0.0,
+            interp_bound: 0.0,
+        };
+        let mut records = vec![mk(0), mk(1)];
+        interpolate_failures(&mut records);
+        assert!(records.iter().all(|r| r.status == STATUS_FAILED));
+        let health = SweepHealth::from_records(&records, 0);
+        assert_eq!(health.failed, 2);
+        let result = finalize(records, health, 0.0);
+        assert!(result.spectrum.is_empty(), "failed points never enter the spectrum");
+        assert!(result.samples.iter().all(|s| s.3.is_nan()));
     }
 }

@@ -14,13 +14,17 @@
 //!   the RGF kernel — the cross-check used throughout the test suite.
 
 use crate::device::{DeviceK, TransportConfig};
+use crate::error::{TransportError, TransportResult};
 use qtx_accel::AccelRuntime;
-use qtx_linalg::{qr_least_squares, Complex64, Result, ZMat};
-use qtx_obc::{self_energy, LeadBlocks, ModeSet, ObcMethod, ObcResult, Side};
+use qtx_linalg::{qr_least_squares, Complex64, LinalgError, ZMat};
+use qtx_obc::{
+    self_energy, self_energy_eta, BeynConfig, LeadBlocks, ModeSet, ObcMethod, ObcResult, Side,
+};
 use qtx_solver::{
     bcr_solve, btd_lu_solve_ws, rgf_diagonal_and_corner_ws, ObcSystem, SolverKind, SplitSolve,
     Workspace,
 };
+use std::time::Instant;
 
 thread_local! {
     /// Per-thread solver scratch pool: energy points swept on the same
@@ -78,7 +82,7 @@ pub fn solve_energy_point(
     dk: &DeviceK,
     e: f64,
     cfg: &TransportConfig,
-) -> Result<EnergyPointResult> {
+) -> TransportResult<EnergyPointResult> {
     solve_energy_point_with_runtime(dk, e, cfg, None)
 }
 
@@ -89,9 +93,11 @@ pub fn solve_energy_point_with_runtime(
     e: f64,
     cfg: &TransportConfig,
     rt: Option<&AccelRuntime>,
-) -> Result<EnergyPointResult> {
-    let obc_l = self_energy(&dk.lead_l, e, Side::Left, cfg.obc)?;
-    let obc_r = self_energy(&dk.lead_r, e, Side::Right, cfg.obc)?;
+) -> TransportResult<EnergyPointResult> {
+    let obc_l = self_energy(&dk.lead_l, e, Side::Left, cfg.obc)
+        .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
+    let obc_r = self_energy(&dk.lead_r, e, Side::Right, cfg.obc)
+        .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
     solve_with_obc(dk, e, cfg, &obc_l, &obc_r, rt)
 }
 
@@ -104,8 +110,24 @@ pub fn solve_with_obc(
     obc_l: &ObcResult,
     obc_r: &ObcResult,
     rt: Option<&AccelRuntime>,
-) -> Result<EnergyPointResult> {
-    let a = dk.es_minus_h(e);
+) -> TransportResult<EnergyPointResult> {
+    Ok(solve_with_obc_eta(dk, e, 0.0, cfg, obc_l, obc_r, rt)?.0)
+}
+
+/// [`solve_with_obc`] at finite broadening `η` (the system becomes
+/// `(E + iη)S − H − Σ`), additionally returning the max-norm residual of
+/// the scattering states — the quality figure the escalation ladder and
+/// the sweep health report record.
+pub fn solve_with_obc_eta(
+    dk: &DeviceK,
+    e: f64,
+    eta: f64,
+    cfg: &TransportConfig,
+    obc_l: &ObcResult,
+    obc_r: &ObcResult,
+    rt: Option<&AccelRuntime>,
+) -> TransportResult<(EnergyPointResult, f64)> {
+    let a = if eta == 0.0 { dk.es_minus_h(e) } else { dk.es_minus_h_eta(e, eta) };
     let sys = ObcSystem {
         a,
         sigma_l: obc_l.sigma.clone(),
@@ -113,7 +135,7 @@ pub fn solve_with_obc(
         rhs_top: obc_l.injection.clone(),
         rhs_bottom: obc_r.injection.clone(),
     };
-    let psi = SOLVER_WS.with(|ws| -> Result<ZMat> {
+    let psi = SOLVER_WS.with(|ws| -> TransportResult<ZMat> {
         Ok(match cfg.solver {
             SolverKind::SplitSolve { partitions } => {
                 let p = partitions.min(sys.num_blocks().next_power_of_two() / 2).max(1);
@@ -163,28 +185,97 @@ pub fn solve_with_obc(
             }
         }
     }
-    Ok(EnergyPointResult {
-        e,
-        kz: dk.kz,
-        transmission: t_lr,
-        transmission_rl: t_rl,
-        reflection: r_l,
-        channels: (m_left, m_right),
-        psi,
-        m_left,
-        sigma_l: obc_l.sigma.clone(),
-        sigma_r: obc_r.sigma.clone(),
-    })
+    if !(t_lr.is_finite() && t_rl.is_finite() && r_l.is_finite()) {
+        return Err(TransportError::Linalg(LinalgError::NonFinite {
+            op: "transmission",
+            count: 1,
+        }));
+    }
+    let residual = btd_residual(&sys, &psi);
+    Ok((
+        EnergyPointResult {
+            e,
+            kz: dk.kz,
+            transmission: t_lr,
+            transmission_rl: t_rl,
+            reflection: r_l,
+            channels: (m_left, m_right),
+            psi,
+            m_left,
+            sigma_l: obc_l.sigma.clone(),
+            sigma_r: obc_r.sigma.clone(),
+        },
+        residual,
+    ))
+}
+
+/// Max-norm residual `‖T·ψ − b‖_max` evaluated block row by block row —
+/// O(n_b·s²·m), never densifying `T` (the `ObcSystem::residual` check
+/// does, which is fine for tests but not for every sweep point).
+fn btd_residual(sys: &ObcSystem, x: &ZMat) -> f64 {
+    let s = sys.block_size();
+    let nb = sys.num_blocks();
+    let m = sys.num_rhs();
+    if m == 0 {
+        return 0.0;
+    }
+    let xb = |i: usize| x.block(i * s, 0, s, m);
+    let mut worst = 0.0f64;
+    for i in 0..nb {
+        let mut r = &sys.a.diag[i] * &xb(i);
+        if i + 1 < nb {
+            r.axpy(Complex64::ONE, &(&sys.a.upper[i] * &xb(i + 1)));
+        }
+        if i > 0 {
+            r.axpy(Complex64::ONE, &(&sys.a.lower[i - 1] * &xb(i - 1)));
+        }
+        if i == 0 {
+            r.axpy(-Complex64::ONE, &(&sys.sigma_l * &xb(0)));
+            for c in 0..sys.rhs_top.cols() {
+                for row in 0..s {
+                    r[(row, c)] -= sys.rhs_top[(row, c)];
+                }
+            }
+        }
+        if i == nb - 1 {
+            r.axpy(-Complex64::ONE, &(&sys.sigma_r * &xb(nb - 1)));
+            let off = sys.rhs_top.cols();
+            for c in 0..sys.rhs_bottom.cols() {
+                for row in 0..s {
+                    r[(row, off + c)] -= sys.rhs_bottom[(row, c)];
+                }
+            }
+        }
+        worst = worst.max(r.norm_max());
+    }
+    worst
 }
 
 /// NEGF/Caroli transmission through the RGF kernel (Eq. 4 route).
-pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> Result<f64> {
-    let obc_l = self_energy(&dk.lead_l, e, Side::Left, obc)?;
-    let obc_r = self_energy(&dk.lead_r, e, Side::Right, obc)?;
+pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> TransportResult<f64> {
+    let obc_l = self_energy(&dk.lead_l, e, Side::Left, obc)
+        .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
+    let obc_r = self_energy(&dk.lead_r, e, Side::Right, obc)
+        .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
+    caroli_from_sigmas(dk, e, 0.0, &obc_l.sigma, &obc_r.sigma)
+}
+
+/// Caroli transmission from already-computed self-energies — shared by
+/// [`caroli_transmission`] and the decimation rung of the escalation
+/// ladder (whose Σ comes without modes, so the wave-function route is
+/// unavailable).
+pub fn caroli_from_sigmas(
+    dk: &DeviceK,
+    e: f64,
+    eta: f64,
+    sigma_l: &ZMat,
+    sigma_r: &ZMat,
+) -> TransportResult<f64> {
+    let a = if eta == 0.0 { dk.es_minus_h(e) } else { dk.es_minus_h_eta(e, eta) };
     let sys = ObcSystem {
-        a: dk.es_minus_h(e),
-        sigma_l: obc_l.sigma.clone(),
-        sigma_r: obc_r.sigma.clone(),
+        a,
+        sigma_l: sigma_l.clone(),
+        sigma_r: sigma_r.clone(),
         rhs_top: ZMat::zeros(dk.h.block_size(), 0),
         rhs_bottom: ZMat::zeros(dk.h.block_size(), 0),
     };
@@ -192,8 +283,8 @@ pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> Result<f64> 
         // Γ = i(Σ − Σᴴ).
         &sig.scaled(Complex64::I) - &sig.adjoint().scaled(Complex64::I)
     };
-    let gl = gamma(&obc_l.sigma);
-    let gr = gamma(&obc_r.sigma);
+    let gl = gamma(sigma_l);
+    let gr = gamma(sigma_r);
     // T = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ]: the inner sandwich
     // A_R = G·Γ_R·Gᴴ is Hermitian (Γ_R is), so it collapses to one
     // rank-2k update zher2k(½, G·Γ_R, G) = ½(G·Γ_R·Gᴴ + G·Γ_Rᴴ·Gᴴ) at
@@ -201,7 +292,7 @@ pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> Result<f64> 
     // product is the Frobenius inner product Σᵢⱼ (Γ_L)ᵢⱼ·(A_R)ⱼᵢ — no
     // third gemm at all. Both temporaries cycle through the per-thread
     // pool, like the RGF solve that produced G.
-    let t = SOLVER_WS.with(|ws| -> Result<Complex64> {
+    let t = SOLVER_WS.with(|ws| -> TransportResult<Complex64> {
         let g = rgf_diagonal_and_corner_ws(&sys, ws)?;
         let s = gr.rows();
         let ggr = ws.matmul(&g.corner, &gr);
@@ -232,6 +323,215 @@ pub fn lead_of(dk: &DeviceK, side: Side) -> &LeadBlocks {
     match side {
         Side::Left => &dk.lead_l,
         Side::Right => &dk.lead_r,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-point escalation ladder.
+// ---------------------------------------------------------------------------
+
+/// Broadening applied from the second rung on: large enough to step off a
+/// resonance pole, small enough that `|T(E+iη) − T(E)|` stays far below
+/// the transmission tolerances used throughout the test suite.
+pub const ETA_BUMP: f64 = 1e-6;
+
+/// Human-readable names of the ladder rungs, indexed by
+/// [`PointOutcome::method_used`].
+pub const LADDER_METHOD_NAMES: [&str; 7] = [
+    "configured",
+    "configured+eta",
+    "feast-wide",
+    "beyn",
+    "shift-invert",
+    "decimation-caroli",
+    "failed",
+];
+
+/// `method_used` value marking a point every rung gave up on.
+pub const METHOD_FAILED: u8 = 6;
+
+/// Robustness record of one (E, k) point: which rung produced the
+/// result, how hard the ladder had to work, and how good the answer is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointOutcome {
+    /// Index into [`LADDER_METHOD_NAMES`] of the method that succeeded
+    /// ([`METHOD_FAILED`] when none did).
+    pub method_used: u8,
+    /// Total solve attempts, the first one included.
+    pub attempts: u16,
+    /// Ladder steps taken beyond the configured method.
+    pub escalations: u16,
+    /// Max-norm residual of the accepted scattering states
+    /// (`+inf` for a failed point, `0` for the mode-free Caroli rung).
+    pub residual: f64,
+    /// Broadening η the accepted attempt ran with.
+    pub eta: f64,
+    /// Wall time spent on the point, all attempts included (ms). Excluded
+    /// from checkpoint identity — timing is not physics.
+    pub wall_ms: f64,
+}
+
+impl PointOutcome {
+    /// Rung name for logs and health reports.
+    pub fn method_name(&self) -> &'static str {
+        LADDER_METHOD_NAMES[(self.method_used as usize).min(LADDER_METHOD_NAMES.len() - 1)]
+    }
+
+    /// True when the configured method did not produce this point.
+    pub fn escalated(&self) -> bool {
+        self.method_used != 0
+    }
+
+    /// True when no rung produced the point.
+    pub fn failed(&self) -> bool {
+        self.method_used == METHOD_FAILED
+    }
+}
+
+/// Result of [`solve_energy_point_robust`]: the point (if any rung
+/// succeeded), the ladder record, and the terminal error when exhausted.
+#[derive(Debug)]
+pub struct RobustSolve {
+    /// The accepted solve, `None` when every rung failed.
+    pub result: Option<EnergyPointResult>,
+    /// The ladder record — always present, success or not.
+    pub outcome: PointOutcome,
+    /// The last rung's error when `result` is `None`.
+    pub error: Option<TransportError>,
+}
+
+/// The rungs tried in order: configured method at exact energy, the same
+/// with broadening, a wider FEAST quadrature (when FEAST is configured),
+/// the Beyn single-shot contour, then dense shift-invert. Rungs equal to
+/// an earlier one are skipped. The Sancho–Rubio + Caroli last resort is
+/// handled separately (it produces no scattering states).
+fn ladder_rungs(cfg: &TransportConfig) -> Vec<(u8, f64, ObcMethod)> {
+    let mut rungs = vec![(0u8, 0.0, cfg.obc), (1, ETA_BUMP, cfg.obc)];
+    if let ObcMethod::Feast(fc) = cfg.obc {
+        let mut wide = fc;
+        wide.np *= 2;
+        wide.max_refine = fc.max_refine.max(1) * 2;
+        rungs.push((2, ETA_BUMP, ObcMethod::Feast(wide)));
+    }
+    if !matches!(cfg.obc, ObcMethod::Beyn(_)) {
+        rungs.push((3, ETA_BUMP, ObcMethod::Beyn(BeynConfig::default())));
+    }
+    if cfg.obc != ObcMethod::ShiftInvert {
+        rungs.push((4, ETA_BUMP, ObcMethod::ShiftInvert));
+    }
+    rungs
+}
+
+/// One ladder attempt: OBCs and Eq. 5 with the given method/broadening.
+fn try_rung(
+    dk: &DeviceK,
+    e: f64,
+    eta: f64,
+    method: ObcMethod,
+    cfg: &TransportConfig,
+) -> TransportResult<(EnergyPointResult, f64)> {
+    let obc_l = self_energy_eta(&dk.lead_l, e, eta, Side::Left, method)
+        .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
+    let obc_r = self_energy_eta(&dk.lead_r, e, eta, Side::Right, method)
+        .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
+    let mut c = *cfg;
+    c.obc = method;
+    solve_with_obc_eta(dk, e, eta, &c, &obc_l, &obc_r, None)
+}
+
+/// Last-resort rung: Sancho–Rubio decimation Σ (no modes, so no
+/// injection) + the NEGF/Caroli transmission. The returned point carries
+/// an empty `psi`; observables needing wave functions see zero columns.
+fn decimation_caroli_rung(dk: &DeviceK, e: f64) -> TransportResult<EnergyPointResult> {
+    let obc_l = self_energy_eta(&dk.lead_l, e, ETA_BUMP, Side::Left, ObcMethod::Decimation)
+        .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
+    let obc_r = self_energy_eta(&dk.lead_r, e, ETA_BUMP, Side::Right, ObcMethod::Decimation)
+        .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
+    let t = caroli_from_sigmas(dk, e, ETA_BUMP, &obc_l.sigma, &obc_r.sigma)?;
+    if !t.is_finite() {
+        return Err(TransportError::Linalg(LinalgError::NonFinite { op: "caroli", count: 1 }));
+    }
+    Ok(EnergyPointResult {
+        e,
+        kz: dk.kz,
+        transmission: t,
+        transmission_rl: t,
+        reflection: 0.0,
+        channels: (0, 0),
+        psi: ZMat::zeros(0, 0),
+        m_left: 0,
+        sigma_l: obc_l.sigma,
+        sigma_r: obc_r.sigma,
+    })
+}
+
+/// Fault-tolerant energy-point solve: walks the escalation ladder until a
+/// rung produces a finite answer, recording every attempt. The first rung
+/// is bit-identical to [`solve_energy_point`], so a healthy sweep through
+/// this entry matches the plain one exactly.
+pub fn solve_energy_point_robust(dk: &DeviceK, e: f64, cfg: &TransportConfig) -> RobustSolve {
+    let start = Instant::now();
+    let mut attempts: u16 = 0;
+    let mut escalations: u16 = 0;
+    let mut last_err: Option<TransportError> = None;
+    for (code, eta, method) in ladder_rungs(cfg) {
+        if attempts > 0 {
+            escalations += 1;
+        }
+        attempts += 1;
+        match try_rung(dk, e, eta, method, cfg) {
+            Ok((result, residual)) => {
+                return RobustSolve {
+                    result: Some(result),
+                    outcome: PointOutcome {
+                        method_used: code,
+                        attempts,
+                        escalations,
+                        residual,
+                        eta,
+                        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                    },
+                    error: None,
+                };
+            }
+            Err(err) => last_err = Some(err),
+        }
+    }
+    escalations += 1;
+    attempts += 1;
+    match decimation_caroli_rung(dk, e) {
+        Ok(result) => RobustSolve {
+            result: Some(result),
+            outcome: PointOutcome {
+                method_used: 5,
+                attempts,
+                escalations,
+                residual: 0.0,
+                eta: ETA_BUMP,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            },
+            error: None,
+        },
+        Err(err) => {
+            let last = Box::new(last_err.unwrap_or(err));
+            RobustSolve {
+                result: None,
+                outcome: PointOutcome {
+                    method_used: METHOD_FAILED,
+                    attempts,
+                    escalations,
+                    residual: f64::INFINITY,
+                    eta: ETA_BUMP,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                },
+                error: Some(TransportError::Exhausted {
+                    e,
+                    kz: dk.kz,
+                    attempts: attempts as u32,
+                    last,
+                }),
+            }
+        }
     }
 }
 

@@ -1,0 +1,266 @@
+//! Deterministic fault injection for the robustness test battery.
+//!
+//! Long (k × E × bias) sweeps only earn trust if the recovery machinery —
+//! the per-point escalation ladder, the sweep health accounting and the
+//! checkpoint/resume path in `qtx-core` — is exercised against *actual*
+//! failures. Real OBC failures cluster near band edges and resonances and
+//! are hard to provoke on demand, so this module fails a configurable
+//! fraction of calls at three chokepoints instead:
+//!
+//! * `factor_poly` — the per-quadrature-node factorization inside
+//!   FEAST/Beyn ([`crate::lu`] through `CompanionPencil::factor_poly_ws`);
+//! * `self_energy` — the whole OBC build of one contact;
+//! * `splitsolve` — the Eq. 5 interior solve.
+//!
+//! Decisions are **deterministic and order-free**: whether a call fails
+//! depends only on `(seed, site, key)` where `key` hashes the call's
+//! mathematical identity (energy, shift, broadening, operand bits) — never
+//! on a global call counter. Parallel quadrature workers, re-ordered
+//! sweeps and checkpoint resumes therefore see byte-identical fault
+//! patterns, which is what lets the battery assert bit-identical recovery.
+//! A retry of the *same* computation fails again; an escalation that
+//! changes the broadening, the quadrature or the method changes the key
+//! and gets a fresh draw — exactly the contract the escalation ladder is
+//! built against.
+//!
+//! Everything here is compiled only under the `fault-inject` cargo
+//! feature; without it [`should_fail`] is a `const false` the optimizer
+//! deletes. With the feature on, injection still stays dormant until
+//! configured programmatically ([`set_config`]) or through the
+//! `QTX_FAULT_INJECT` environment hook, e.g.
+//! `QTX_FAULT_INJECT=rate=0.2,seed=7,sites=factor_poly|self_energy|splitsolve`.
+
+#[cfg(feature = "fault-inject")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Once, RwLock};
+
+    /// Which chokepoints a configuration arms.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct FaultSites {
+        /// `CompanionPencil::factor_poly_ws` (FEAST/Beyn quadrature LU).
+        pub factor_poly: bool,
+        /// `qtx_obc::self_energy` (whole-contact OBC build).
+        pub self_energy: bool,
+        /// `SplitSolve::solve_ws` (interior solve).
+        pub splitsolve: bool,
+    }
+
+    impl FaultSites {
+        /// Every site armed.
+        pub fn all() -> Self {
+            FaultSites { factor_poly: true, self_energy: true, splitsolve: true }
+        }
+
+        fn armed(&self, site: &str) -> bool {
+            match site {
+                "factor_poly" => self.factor_poly,
+                "self_energy" => self.self_energy,
+                "splitsolve" => self.splitsolve,
+                _ => false,
+            }
+        }
+    }
+
+    /// One injection campaign.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct FaultConfig {
+        /// Fraction of calls to fail in `[0, 1]`.
+        pub rate: f64,
+        /// Seed decorrelating campaigns.
+        pub seed: u64,
+        /// Armed chokepoints.
+        pub sites: FaultSites,
+    }
+
+    impl FaultConfig {
+        /// All sites at `rate` under `seed`.
+        pub fn new(rate: f64, seed: u64) -> Self {
+            FaultConfig { rate, seed, sites: FaultSites::all() }
+        }
+
+        /// Parses the `QTX_FAULT_INJECT` format:
+        /// `rate=0.2,seed=7,sites=factor_poly|self_energy|splitsolve`
+        /// (a bare number is shorthand for `rate=<x>` with all sites).
+        pub fn parse(s: &str) -> Option<FaultConfig> {
+            let s = s.trim();
+            if s.is_empty() {
+                return None;
+            }
+            if let Ok(rate) = s.parse::<f64>() {
+                return Some(FaultConfig::new(rate, 0));
+            }
+            let mut cfg = FaultConfig::new(0.0, 0);
+            for kv in s.split(',') {
+                let (k, v) = kv.split_once('=')?;
+                match k.trim() {
+                    "rate" => cfg.rate = v.trim().parse().ok()?,
+                    "seed" => cfg.seed = v.trim().parse().ok()?,
+                    "sites" => {
+                        let mut sites = FaultSites {
+                            factor_poly: false,
+                            self_energy: false,
+                            splitsolve: false,
+                        };
+                        for site in v.split('|') {
+                            match site.trim() {
+                                "factor_poly" => sites.factor_poly = true,
+                                "self_energy" => sites.self_energy = true,
+                                "splitsolve" => sites.splitsolve = true,
+                                "all" => sites = FaultSites::all(),
+                                _ => return None,
+                            }
+                        }
+                        cfg.sites = sites;
+                    }
+                    _ => return None,
+                }
+            }
+            Some(cfg)
+        }
+    }
+
+    static CONFIG: RwLock<Option<FaultConfig>> = RwLock::new(None);
+    static ENV_HOOK: Once = Once::new();
+    static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+    /// Installs (or clears) the active campaign programmatically; wins
+    /// over the environment hook. Tests use this to arm and disarm
+    /// injection without process-global env races.
+    pub fn set_config(cfg: Option<FaultConfig>) {
+        ENV_HOOK.call_once(|| {}); // suppress a later env read
+        *CONFIG.write().expect("fault config lock") = cfg;
+    }
+
+    /// Active campaign, pulling `QTX_FAULT_INJECT` on first use.
+    pub fn config() -> Option<FaultConfig> {
+        ENV_HOOK.call_once(|| {
+            if let Ok(v) = std::env::var("QTX_FAULT_INJECT") {
+                if let Some(cfg) = FaultConfig::parse(&v) {
+                    *CONFIG.write().expect("fault config lock") = Some(cfg);
+                } else {
+                    eprintln!("QTX_FAULT_INJECT: unparsable value {v:?}; injection disarmed");
+                }
+            }
+        });
+        *CONFIG.read().expect("fault config lock")
+    }
+
+    /// Total faults injected by this process (across every site/thread).
+    pub fn injected_total() -> u64 {
+        INJECTED.load(Ordering::Relaxed)
+    }
+
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// FNV-1a over a site name (compile-time-constant strings).
+    fn site_hash(site: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in site.as_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Deterministic draw: does this `(site, key)` call fail under the
+    /// active campaign? Increments the process-wide counter on a hit.
+    pub fn should_fail(site: &'static str, key: u64) -> bool {
+        let Some(cfg) = config() else { return false };
+        if cfg.rate <= 0.0 || !cfg.sites.armed(site) {
+            return false;
+        }
+        let draw = splitmix(cfg.seed ^ site_hash(site) ^ key.rotate_left(17));
+        let frac = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        let hit = frac < cfg.rate;
+        if hit {
+            INJECTED.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Mixes f64 bit patterns into an injection key (order-sensitive, so
+    /// `key(&[e, eta])` ≠ `key(&[eta, e])`).
+    pub fn key_of(parts: &[f64]) -> u64 {
+        let mut h = 0x51_7c_c1_b7_27_22_0a_95u64;
+        for p in parts {
+            h = splitmix(h ^ p.to_bits());
+        }
+        h
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use imp::{config, injected_total, key_of, set_config, should_fail, FaultConfig, FaultSites};
+
+/// No-op twin compiled without the `fault-inject` feature: the call sites
+/// stay unconditional and the optimizer removes them.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn should_fail(_site: &'static str, _key: u64) -> bool {
+    false
+}
+
+/// See the feature-gated twin; always 0 without `fault-inject`.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn injected_total() -> u64 {
+    0
+}
+
+/// See the feature-gated twin; constant without `fault-inject`.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn key_of(_parts: &[f64]) -> u64 {
+    0
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_bounded() {
+        set_config(Some(FaultConfig::new(0.25, 42)));
+        let first: Vec<bool> =
+            (0..4000).map(|i| should_fail("factor_poly", key_of(&[i as f64]))).collect();
+        let second: Vec<bool> =
+            (0..4000).map(|i| should_fail("factor_poly", key_of(&[i as f64]))).collect();
+        assert_eq!(first, second, "same (site, key) must draw identically");
+        let hits = first.iter().filter(|&&b| b).count();
+        // 4000 draws at 25%: a ±5σ band around 1000.
+        assert!((850..1150).contains(&hits), "hit rate off: {hits}/4000");
+        set_config(None);
+        assert!(!should_fail("factor_poly", 123), "disarmed campaign must not fire");
+    }
+
+    #[test]
+    fn sites_gate_independently_and_counter_accumulates() {
+        let mut cfg = FaultConfig::new(1.0, 7);
+        cfg.sites.splitsolve = false;
+        set_config(Some(cfg));
+        let before = injected_total();
+        assert!(should_fail("self_energy", 1));
+        assert!(!should_fail("splitsolve", 1));
+        assert!(!should_fail("unknown_site", 1));
+        assert_eq!(injected_total() - before, 1, "only the armed hit counts");
+        set_config(None);
+    }
+
+    #[test]
+    fn env_format_parses() {
+        let cfg = FaultConfig::parse("rate=0.2,seed=7,sites=factor_poly|splitsolve").unwrap();
+        assert_eq!(cfg.rate, 0.2);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.sites.factor_poly && cfg.sites.splitsolve && !cfg.sites.self_energy);
+        let bare = FaultConfig::parse("0.5").unwrap();
+        assert_eq!(bare.rate, 0.5);
+        assert!(bare.sites.self_energy);
+        assert!(FaultConfig::parse("rate=x").is_none());
+        assert!(FaultConfig::parse("sites=bogus").is_none());
+    }
+}

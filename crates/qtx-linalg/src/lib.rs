@@ -52,6 +52,7 @@
 
 pub mod complex;
 pub mod eig;
+pub mod fault;
 pub mod flops;
 pub mod gemm;
 pub mod her2k;
@@ -110,6 +111,36 @@ pub enum LinalgError {
     NoConvergence { remaining: usize },
     /// Matrix dimensions are inconsistent for the requested operation.
     DimensionMismatch { expected: (usize, usize), got: (usize, usize) },
+    /// A kernel produced NaN/Inf entries (`count` of them) where finite
+    /// values were required.
+    NonFinite { op: &'static str, count: usize },
+    /// A deterministic fault-injection hit (see [`fault`]); only produced
+    /// by `fault-inject` builds with an armed campaign.
+    Injected { site: &'static str },
+    /// A lower-level failure annotated with the operation and operand
+    /// shape it occurred in (the matrix/size/pivot context the failure
+    /// taxonomy carries up the solve stack).
+    Context { op: &'static str, dim: (usize, usize), source: Box<LinalgError> },
+}
+
+impl LinalgError {
+    /// Wraps the error with the operation name and operand shape.
+    pub fn with_context(self, op: &'static str, dim: (usize, usize)) -> LinalgError {
+        LinalgError::Context { op, dim, source: Box::new(self) }
+    }
+
+    /// Innermost cause, stripping any [`LinalgError::Context`] layers.
+    pub fn root(&self) -> &LinalgError {
+        match self {
+            LinalgError::Context { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// True for errors manufactured by fault injection (at any depth).
+    pub fn is_injected(&self) -> bool {
+        matches!(self.root(), LinalgError::Injected { .. })
+    }
 }
 
 impl std::fmt::Display for LinalgError {
@@ -123,6 +154,15 @@ impl std::fmt::Display for LinalgError {
             }
             LinalgError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected:?}, got {got:?}")
+            }
+            LinalgError::NonFinite { op, count } => {
+                write!(f, "{op} produced {count} non-finite entries")
+            }
+            LinalgError::Injected { site } => {
+                write!(f, "fault injected at site {site:?}")
+            }
+            LinalgError::Context { op, dim, source } => {
+                write!(f, "{op} on a {}x{} matrix: {source}", dim.0, dim.1)
             }
         }
     }

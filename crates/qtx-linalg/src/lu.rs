@@ -184,7 +184,10 @@ fn factor_entry(mut lu: ZMat, pivot: bool, ws: Option<&Workspace>) -> Result<LuF
                 ws.recycle_index(perm);
                 ws.recycle_index(ipiv);
             }
-            Err(e)
+            // Annotate with the op and operand shape so the failure
+            // taxonomy upstairs (ObcError/SolveError) reports *which*
+            // factorization of *what size* broke, not just "singular".
+            Err(e.with_context(if pivot { "zgetrf" } else { "zgetrf_nopiv" }, (n, n)))
         }
     }
 }
@@ -498,7 +501,10 @@ mod tests {
         a[(0, 0)] = Complex64::ZERO;
         a[(0, 1)] = Complex64::ONE;
         a[(1, 0)] = Complex64::ONE;
-        assert!(matches!(lu_factor_nopiv(&a), Err(LinalgError::SingularPivot { .. })));
+        assert!(matches!(
+            lu_factor_nopiv(&a),
+            Err(ref e) if matches!(e.root(), LinalgError::SingularPivot { .. })
+        ));
         // Pivoted factorization handles the same matrix fine.
         assert!(lu_factor(&a).is_ok());
     }
@@ -545,7 +551,10 @@ mod tests {
     fn singular_matrix_rejected() {
         let mut a = ZMat::zeros(4, 4);
         a[(0, 0)] = Complex64::ONE; // rank 1
-        assert!(matches!(lu_factor(&a), Err(LinalgError::SingularPivot { .. })));
+        assert!(matches!(
+            lu_factor(&a),
+            Err(ref e) if matches!(e.root(), LinalgError::SingularPivot { .. })
+        ));
     }
 
     #[test]

@@ -299,6 +299,13 @@ impl ZMat {
         self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
     }
 
+    /// Number of entries whose real or imaginary part is NaN/Inf — the
+    /// solver-output health check of the fault-tolerance layer (`fold`
+    /// over `abs` silently launders NaN, so this scans parts explicitly).
+    pub fn non_finite_count(&self) -> usize {
+        self.data.iter().filter(|z| !z.re.is_finite() || !z.im.is_finite()).count()
+    }
+
     /// One-norm (max column sum), the norm used in condition estimates.
     pub fn norm_one(&self) -> f64 {
         (0..self.cols).map(|j| self.col(j).iter().map(|z| z.abs()).sum::<f64>()).fold(0.0, f64::max)

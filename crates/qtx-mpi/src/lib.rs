@@ -15,7 +15,9 @@
 //! per-energy-point measurements.
 
 pub mod comm;
+pub mod frame;
 pub mod world;
 
 pub use comm::Comm;
+pub use frame::{exact_frames, FrameError};
 pub use world::{run_world, CostModel};

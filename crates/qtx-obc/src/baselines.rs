@@ -16,13 +16,12 @@
 //!   cross-validate the mode-based self-energies.
 
 use crate::companion::CompanionPencil;
-use qtx_linalg::{
-    c64, eig, lu_factor, lu_factor_ws, zgesv, Complex64, LinalgError, Result, Workspace, ZMat,
-};
+use crate::error::{ObcError, ObcOutcome};
+use qtx_linalg::{c64, eig, lu_factor, lu_factor_ws, zgesv, Complex64, Workspace, ZMat};
 
 /// Directly solves the companion pencil with the dense generalized
 /// eigensolver. Returns finite `(λ, u)` pairs (`u` = bottom block).
-pub fn dense_modes(pencil: &CompanionPencil) -> Result<Vec<(Complex64, Vec<Complex64>)>> {
+pub fn dense_modes(pencil: &CompanionPencil) -> ObcOutcome<Vec<(Complex64, Vec<Complex64>)>> {
     // Shift-and-invert with σ well inside the annulus is the most robust
     // dense route (B is singular whenever T01 is): reuse it with σ = 0.83
     // + a fallback shift when σ collides with an eigenvalue.
@@ -37,7 +36,10 @@ pub fn dense_modes(pencil: &CompanionPencil) -> Result<Vec<(Complex64, Vec<Compl
 pub fn shift_invert_modes(
     pencil: &CompanionPencil,
     sigma: Complex64,
-) -> Result<Vec<(Complex64, Vec<Complex64>)>> {
+) -> ObcOutcome<Vec<(Complex64, Vec<Complex64>)>> {
+    let wrap = |e: qtx_linalg::LinalgError| ObcError::ShiftInvert {
+        source: Box::new(ObcError::Linalg(e)),
+    };
     let nf = pencil.nf;
     let a = pencil.a_dense();
     let b = pencil.b_dense();
@@ -47,11 +49,11 @@ pub fn shift_invert_modes(
         Err(_) => {
             // σ hit an eigenvalue: nudge it.
             let sigma2 = sigma + c64(0.017, 0.013);
-            lu_factor(&(&a - &b.scaled(sigma2)))?
+            lu_factor(&(&a - &b.scaled(sigma2))).map_err(wrap)?
         }
     };
     let m = f.solve(&b);
-    let dec = eig(&m)?;
+    let dec = eig(&m).map_err(wrap)?;
     let mut out = Vec::new();
     for (j, &mu) in dec.values.iter().enumerate() {
         if mu.abs() < 1e-10 {
@@ -70,7 +72,7 @@ pub fn shift_invert_modes(
         }
     }
     if out.is_empty() {
-        return Err(LinalgError::NoConvergence { remaining: 2 * nf });
+        return Err(ObcError::NoModes { method: "shift-invert" });
     }
     Ok(out)
 }
@@ -80,7 +82,13 @@ pub fn shift_invert_modes(
 /// lower coupling `t10` (chain grows away from the surface). Needs a
 /// finite broadening (`t00` built at `E + iη`) to converge at in-band
 /// energies.
-pub fn sancho_rubio(t00: &ZMat, t01: &ZMat, t10: &ZMat, tol: f64, max_iter: usize) -> Result<ZMat> {
+pub fn sancho_rubio(
+    t00: &ZMat,
+    t01: &ZMat,
+    t10: &ZMat,
+    tol: f64,
+    max_iter: usize,
+) -> ObcOutcome<ZMat> {
     // Iteration derived by eliminating odd layers of A·G = 1:
     //   g = δ⁻¹
     //   δs ← δs − α·g·β
@@ -96,7 +104,7 @@ pub fn sancho_rubio(t00: &ZMat, t01: &ZMat, t10: &ZMat, tol: f64, max_iter: usiz
     let ws = Workspace::new();
     for _ in 0..max_iter {
         if alpha.norm_max() < tol * scale && beta.norm_max() < tol * scale {
-            return zgesv(&delta_s, &ZMat::identity(t00.rows()));
+            return Ok(zgesv(&delta_s, &ZMat::identity(t00.rows()))?);
         }
         let f = lu_factor_ws(&delta, &ws)?;
         let mut g_alpha = ws.take_scratch(alpha.rows(), alpha.cols());
@@ -120,7 +128,13 @@ pub fn sancho_rubio(t00: &ZMat, t01: &ZMat, t10: &ZMat, tol: f64, max_iter: usiz
         ws.recycle(g_alpha);
         ws.recycle(g_beta);
     }
-    Err(LinalgError::NoConvergence { remaining: 1 })
+    // Report how far from converged the couplings still are — the
+    // escalation ladder reads the defect to decide whether a broadening
+    // bump is worth a retry.
+    Err(ObcError::SanchoRubio {
+        iterations: max_iter,
+        defect: alpha.norm_max().max(beta.norm_max()) / scale,
+    })
 }
 
 #[cfg(test)]
@@ -193,6 +207,24 @@ mod tests {
         let z = c64(5.0, 0.0);
         let lhs = z - g[(0, 0)];
         assert!((lhs - g[(0, 0)].inv()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sancho_rubio_reports_iterations_and_defect_at_max_iter() {
+        // In-band energy at zero broadening: the couplings decay only
+        // algebraically, so a 3-iteration cap cannot reach 1e-14.
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let (t00, t01, t10) = lead.t_blocks(0.5, 0.0);
+        match sancho_rubio(&t00, &t01, &t10, 1e-14, 3) {
+            Err(ObcError::SanchoRubio { iterations, defect }) => {
+                assert_eq!(iterations, 3, "diagnostics carry the exhausted cap");
+                assert!(defect.is_finite() && defect > 1e-14, "defect {defect}");
+            }
+            other => panic!("expected SanchoRubio non-convergence, got {other:?}"),
+        }
+        // The same system converges once broadened — the ladder's η bump.
+        let (t00, t01, t10) = lead.t_blocks(0.5, 1e-6);
+        assert!(sancho_rubio(&t00, &t01, &t10, 1e-10, 500).is_ok());
     }
 
     #[test]

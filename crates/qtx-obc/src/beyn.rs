@@ -24,7 +24,8 @@
 //! like the FEAST contour.
 
 use crate::companion::CompanionPencil;
-use qtx_linalg::{eig_ws, gemm, zherk, Complex64, Op, Result, Workspace, ZMat};
+use crate::error::{ObcError, ObcOutcome};
+use qtx_linalg::{eig_ws, gemm, zherk, Complex64, Op, Workspace, ZMat};
 use rayon::prelude::*;
 
 /// Beyn configuration.
@@ -60,7 +61,7 @@ impl Default for BeynConfig {
 pub fn beyn_annulus(
     pencil: &CompanionPencil,
     cfg: BeynConfig,
-) -> Result<Vec<(Complex64, Vec<Complex64>)>> {
+) -> ObcOutcome<Vec<(Complex64, Vec<Complex64>)>> {
     beyn_annulus_ws(pencil, cfg, &Workspace::new())
 }
 
@@ -73,7 +74,28 @@ pub fn beyn_annulus_ws(
     pencil: &CompanionPencil,
     cfg: BeynConfig,
     ws: &Workspace,
-) -> Result<Vec<(Complex64, Vec<Complex64>)>> {
+) -> ObcOutcome<Vec<(Complex64, Vec<Complex64>)>> {
+    let nbc = pencil.nbc();
+    let probes = if cfg.probes == 0 { (pencil.nf + 8).min(nbc) } else { cfg.probes.min(nbc) };
+    let mut rank = 0usize;
+    // Failures leave carrying the probe count and the revealed moment
+    // rank (0 when the quadrature itself failed) — the diagnostics the
+    // escalation ladder reads before trying more nodes.
+    beyn_core(pencil, cfg, ws, &mut rank).map_err(|source| ObcError::Beyn {
+        probes,
+        rank,
+        source: Box::new(source),
+    })
+}
+
+/// The quadrature + moment-processing body of [`beyn_annulus_ws`],
+/// separated so the entry point can wrap failures with the revealed rank.
+fn beyn_core(
+    pencil: &CompanionPencil,
+    cfg: BeynConfig,
+    ws: &Workspace,
+    rank_out: &mut usize,
+) -> ObcOutcome<Vec<(Complex64, Vec<Complex64>)>> {
     let nf = pencil.nf;
     let nbc = 2 * nf;
     let probes = if cfg.probes == 0 { (nf + 8).min(nbc) } else { cfg.probes.min(nbc) };
@@ -105,7 +127,7 @@ pub fn beyn_annulus_ws(
             s1.scale_assign((z * z).scale(w / cfg.np as f64));
             Ok((s0, s1))
         })
-        .collect::<Result<Vec<_>>>()?;
+        .collect::<qtx_linalg::Result<Vec<_>>>()?;
     let mut a0 = ws.take(nbc, probes);
     let mut a1 = ws.take(nbc, probes);
     for (s0, s1) in partials {
@@ -126,7 +148,7 @@ pub fn beyn_annulus_ws(
             for m in [gram, a0, a1] {
                 ws.recycle(m);
             }
-            return Err(e);
+            return Err(e.into());
         }
     };
     ws.recycle(gram);
@@ -134,6 +156,7 @@ pub fn beyn_annulus_ws(
     let keep: Vec<usize> =
         (0..probes).filter(|&j| dec.values[j].re > cfg.rank_tol * smax).collect();
     let m = keep.len();
+    *rank_out = m;
     if smax <= 0.0 || m == 0 {
         ws.recycle(dec.vectors);
         ws.recycle(a0);
@@ -185,7 +208,7 @@ pub fn beyn_annulus_ws(
         Err(e) => {
             ws.recycle(b);
             ws.recycle(q);
-            return Err(e);
+            return Err(e.into());
         }
     };
     ws.recycle(b);

@@ -122,9 +122,22 @@ impl CompanionPencil {
         p
     }
 
+    /// Deterministic fault-injection key for this pencil's quadrature
+    /// factorizations: mixes the node `z` with pencil content (which
+    /// carries `E`, `η` and the lead), so an escalation that changes the
+    /// broadening or the quadrature draws a fresh fault decision while a
+    /// plain retry of the identical computation fails identically.
+    fn injection_key(&self, z: Complex64) -> u64 {
+        let t = self.t00[(0, 0)];
+        qtx_linalg::fault::key_of(&[z.re, z.im, t.re, t.im])
+    }
+
     /// Factorizes `P(z)` once; reused across all FEAST right-hand sides at
     /// the same integration point.
     pub fn factor_poly(&self, z: Complex64) -> Result<LuFactors> {
+        if qtx_linalg::fault::should_fail("factor_poly", self.injection_key(z)) {
+            return Err(qtx_linalg::LinalgError::Injected { site: "factor_poly" });
+        }
         lu_factor(&self.poly_at(z))
     }
 
@@ -133,6 +146,9 @@ impl CompanionPencil {
     /// index buffers included; hand everything back via
     /// [`LuFactors::recycle_into`] when the factors are spent.
     pub fn factor_poly_ws(&self, z: Complex64, ws: &Workspace) -> Result<LuFactors> {
+        if qtx_linalg::fault::should_fail("factor_poly", self.injection_key(z)) {
+            return Err(qtx_linalg::LinalgError::Injected { site: "factor_poly" });
+        }
         let mut p = ws.copy_of(&self.t01);
         p.scale_assign(z * z);
         p.axpy(z, &self.t00);

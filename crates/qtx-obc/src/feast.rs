@@ -19,9 +19,9 @@
 //! iteration refine the eigenpairs.
 
 use crate::companion::CompanionPencil;
+use crate::error::{ObcError, ObcOutcome};
 use qtx_linalg::{
-    eig_generalized_ws, eig_ws, gemm_view, orthonormalize_ws, zherk, Complex64, LinalgError, Op,
-    Result, Workspace, ZMat,
+    eig_generalized_ws, eig_ws, gemm_view, orthonormalize_ws, zherk, Complex64, Op, Workspace, ZMat,
 };
 use rayon::prelude::*;
 
@@ -35,7 +35,7 @@ use rayon::prelude::*;
 /// below `rel_tol·λ_max` keeps exactly the numerically meaningful
 /// subspace. Every temporary — the Gram matrix, the eigenvector basis,
 /// the cleaned `Q` itself — cycles through the caller's pool.
-fn orthonormalize_rank(p: &ZMat, rel_tol: f64, ws: &Workspace) -> Result<ZMat> {
+fn orthonormalize_rank(p: &ZMat, rel_tol: f64, ws: &Workspace) -> ObcOutcome<ZMat> {
     let m = p.cols();
     let mut g = ws.take(m, m);
     // Gram matrix through the Hermitian rank-k update: half the flops of
@@ -48,7 +48,7 @@ fn orthonormalize_rank(p: &ZMat, rel_tol: f64, ws: &Workspace) -> Result<ZMat> {
         }
         Err(e) => {
             ws.recycle(g);
-            return Err(e);
+            return Err(e.into());
         }
     };
     let lmax = dec.values.iter().map(|v| v.re).fold(0.0, f64::max);
@@ -122,7 +122,7 @@ pub type FeastModes = Vec<(Complex64, Vec<Complex64>)>;
 pub fn feast_annulus(
     pencil: &CompanionPencil,
     cfg: FeastConfig,
-) -> Result<(FeastModes, FeastStats)> {
+) -> ObcOutcome<(FeastModes, FeastStats)> {
     feast_annulus_ws(pencil, cfg, &Workspace::new())
 }
 
@@ -135,7 +135,7 @@ pub fn feast_annulus_ws(
     pencil: &CompanionPencil,
     cfg: FeastConfig,
     ws: &Workspace,
-) -> Result<(FeastModes, FeastStats)> {
+) -> ObcOutcome<(FeastModes, FeastStats)> {
     let mut stats = FeastStats::default();
     // Integration nodes: offset half-steps avoid band-edge eigenvalues at
     // λ = ±1 landing exactly on a node.
@@ -151,13 +151,29 @@ pub fn feast_annulus_ws(
     // One LU of P(z_p) per node, reused across refinements and RHS; the
     // polynomial evaluations cycle through the shared pool and the factors
     // adopt their buffers (handed back when the run returns).
-    let factors: Vec<_> =
-        nodes.par_iter().map(|(z, _)| pencil.factor_poly_ws(*z, ws)).collect::<Result<Vec<_>>>()?;
-    let result = feast_core(pencil, cfg, &nodes, &factors, ws, &mut stats);
-    for f in factors {
-        f.recycle_into(ws);
+    let factors = nodes
+        .par_iter()
+        .map(|(z, _)| pencil.factor_poly_ws(*z, ws))
+        .collect::<qtx_linalg::Result<Vec<_>>>()
+        .map_err(ObcError::from);
+    let result = factors.and_then(|factors| {
+        let r = feast_core(pencil, cfg, &nodes, &factors, ws, &mut stats);
+        for f in factors {
+            f.recycle_into(ws);
+        }
+        r
+    });
+    match result {
+        Ok(modes) => Ok((modes, stats)),
+        // Carry the run's cost and residual diagnostics out with the
+        // failure: the escalation ladder keys off them.
+        Err(source) => Err(ObcError::Feast {
+            iterations: stats.iterations,
+            linear_solves: stats.linear_solves,
+            max_residual: stats.max_residual,
+            source: Box::new(source),
+        }),
     }
-    result.map(|modes| (modes, stats))
 }
 
 /// The refinement loop of [`feast_annulus_ws`], separated so the node
@@ -169,7 +185,7 @@ fn feast_core(
     factors: &[qtx_linalg::LuFactors],
     ws: &Workspace,
     stats: &mut FeastStats,
-) -> Result<FeastModes> {
+) -> ObcOutcome<FeastModes> {
     let nf = pencil.nf;
     let nbc = 2 * nf;
     let mut m0 = if cfg.subspace == 0 { (nf + 8).min(nbc) } else { cfg.subspace.min(nbc) };
@@ -283,7 +299,7 @@ fn feast_core(
                     for m in [ar, br, q, y] {
                         ws.recycle(m);
                     }
-                    return Err(e);
+                    return Err(e.into());
                 }
             };
             ws.recycle(ar);
@@ -376,7 +392,7 @@ fn feast_core(
         let lo = 1.0 / cfg.r_outer;
         let hi = cfg.r_outer;
         if all.iter().any(|(l, _)| (lo..=hi).contains(&l.abs())) {
-            return Err(LinalgError::NoConvergence { remaining: 1 });
+            return Err(ObcError::NoModes { method: "feast" });
         }
     }
     Ok(Vec::new())

@@ -28,6 +28,7 @@
 pub mod baselines;
 pub mod beyn;
 pub mod companion;
+pub mod error;
 pub mod feast;
 pub mod lead;
 pub mod modes;
@@ -36,16 +37,22 @@ pub mod selfenergy;
 pub use baselines::{dense_modes, sancho_rubio, shift_invert_modes};
 pub use beyn::{beyn_annulus, beyn_annulus_ws, BeynConfig};
 pub use companion::CompanionPencil;
+pub use error::{ObcError, ObcOutcome};
 pub use feast::{feast_annulus, feast_annulus_ws, FeastConfig, FeastStats};
 pub use lead::LeadBlocks;
-pub use modes::{classify_modes, LeadModes, ModeSet};
-pub use selfenergy::{self_energy, self_energy_decimation, ObcResult, Side};
+pub use modes::{classify_modes, classify_modes_eta, LeadModes, ModeSet};
+pub use selfenergy::{
+    lead_modes, self_energy, self_energy_decimation, self_energy_eta, ObcResult, Side,
+};
 
 /// Which algorithm computes the lead modes / self-energies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ObcMethod {
     /// FEAST annulus contour integration (the paper's method).
     Feast(FeastConfig),
+    /// Beyn's single-shot contour moments (the ref. [43] modification the
+    /// paper suggests for further speedups).
+    Beyn(BeynConfig),
     /// Dense shift-and-invert spectral transformation (baseline, ref. [38]).
     ShiftInvert,
     /// Sancho–Rubio decimation (NEGF-era baseline, ref. [40]); produces

@@ -116,6 +116,21 @@ pub fn classify_modes(
     pencil: &CompanionPencil,
     pairs: &[(Complex64, Vec<Complex64>)],
 ) -> LeadModes {
+    classify_modes_eta(lead, pencil, pairs, 0.0)
+}
+
+/// [`classify_modes`] at finite broadening. A propagating mode of the
+/// pencil at `E + iη` sits at `|λ| = e^{−η/|v|}`, not on the unit circle;
+/// the fixed [`PROP_TOL`] band would misread it as evanescent (killing
+/// its injection and silently zeroing the transmission), so candidates
+/// just off the circle are re-tested against the decay their own group
+/// velocity predicts.
+pub fn classify_modes_eta(
+    lead: &LeadBlocks,
+    pencil: &CompanionPencil,
+    pairs: &[(Complex64, Vec<Complex64>)],
+    eta: f64,
+) -> LeadModes {
     let mut left = Vec::new();
     let mut right = Vec::new();
     for (lambda, u_raw) in pairs {
@@ -128,7 +143,11 @@ pub fn classify_modes(
             continue;
         }
         let mut u: Vec<Complex64> = u_raw.iter().map(|&z| z / norm).collect();
-        let propagating = (mag - 1.0).abs() < PROP_TOL;
+        let mut propagating = (mag - 1.0).abs() < PROP_TOL;
+        if !propagating && eta > 0.0 && mag.ln().abs() < 0.05 {
+            let v = group_velocity(pencil, lead, *lambda, &u);
+            propagating = v.abs() > 1e-9 && mag.ln().abs() <= 2.0 * eta / v.abs() + PROP_TOL;
+        }
         if propagating {
             let v = group_velocity(pencil, lead, *lambda, &u);
             // Flux normalization: scale so |v|·‖u‖²_S = 1.
@@ -218,6 +237,32 @@ mod tests {
         }
         let flux = 2.0 * (m.lambda * c).im;
         assert!((flux.abs() - 1.0).abs() < 1e-9, "flux = {flux}");
+    }
+
+    #[test]
+    fn broadened_propagating_modes_are_rescued() {
+        // At E + iη a propagating mode sits at |λ| = e^{−η/|v|} ≉ 1; the
+        // η-aware classification must still see it as propagating (the
+        // escalation ladder's η rung depends on this — losing the mode
+        // silently zeroes the injection and the transmission).
+        let lead = LeadBlocks::chain_1d(0.0, -1.0);
+        let eta = 1e-5; // well past PROP_TOL·|v|
+        let pencil = CompanionPencil::at_energy(&lead, 0.3, eta);
+        let pairs = dense_modes(&pencil).unwrap();
+        // The fixed band misclassifies...
+        let strict = classify_modes(&lead, &pencil, &pairs);
+        assert_eq!(strict.propagating_counts(), (0, 0), "premise: η pushed λ off the circle");
+        // ...the η-aware one recovers both directions with sane velocities.
+        let modes = classify_modes_eta(&lead, &pencil, &pairs, eta);
+        assert_eq!(modes.propagating_counts(), (1, 1));
+        let vr = modes.right_going[0].velocity;
+        let k = (0.3f64 / 2.0).acos();
+        assert!((vr - 2.0 * k.sin()).abs() < 1e-3, "v = {vr}");
+        // Genuinely evanescent modes stay evanescent under broadening.
+        let pencil_gap = CompanionPencil::at_energy(&lead, 3.0, eta);
+        let pairs_gap = dense_modes(&pencil_gap).unwrap();
+        let gap = classify_modes_eta(&lead, &pencil_gap, &pairs_gap, eta);
+        assert_eq!(gap.propagating_counts(), (0, 0));
     }
 
     #[test]

@@ -23,12 +23,14 @@
 //! function `g_L` provides an independent cross-check (tests below).
 
 use crate::baselines::{sancho_rubio, shift_invert_modes};
+use crate::beyn::beyn_annulus;
 use crate::companion::CompanionPencil;
+use crate::error::{ObcError, ObcOutcome};
 use crate::feast::{feast_annulus, FeastStats};
 use crate::lead::LeadBlocks;
-use crate::modes::{classify_modes, LeadModes, ModeSet};
+use crate::modes::{classify_modes_eta, LeadModes, ModeSet};
 use crate::ObcMethod;
-use qtx_linalg::{c64, qr_factor_ws, Complex64, Result, Workspace, ZMat};
+use qtx_linalg::{c64, fault, qr_factor_ws, Complex64, LinalgError, Workspace, ZMat};
 
 /// Which contact the self-energy belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,33 +94,87 @@ fn bloch_product(modes: &[ModeSet], nf: usize, pow: i32, ws: &Workspace) -> ZMat
     out
 }
 
-/// Computes lead modes with the requested algorithm.
+/// Computes lead modes with the requested algorithm (zero broadening).
 pub fn lead_modes(
     lead: &LeadBlocks,
     e: f64,
     method: ObcMethod,
-) -> Result<(LeadModes, Option<FeastStats>)> {
-    let pencil = CompanionPencil::at_energy(lead, e, 0.0);
+) -> ObcOutcome<(LeadModes, Option<FeastStats>)> {
+    lead_modes_eta(lead, e, 0.0, method)
+}
+
+/// [`lead_modes`] with an explicit broadening: the pencil is built at
+/// `E + iη`, which pushes unit-circle eigenvalues off contours and
+/// regularizes band-edge degeneracies — the escalation ladder's first
+/// retry knob.
+pub fn lead_modes_eta(
+    lead: &LeadBlocks,
+    e: f64,
+    eta: f64,
+    method: ObcMethod,
+) -> ObcOutcome<(LeadModes, Option<FeastStats>)> {
+    let pencil = CompanionPencil::at_energy(lead, e, eta);
     let (pairs, stats) = match method {
         ObcMethod::Feast(cfg) => match feast_annulus(&pencil, cfg) {
             Ok((p, s)) => (p, Some(s)),
-            // FEAST can stall when modes straddle the contour at band
-            // edges; production robustness demands the exact (slower)
-            // dense route as a fallback rather than a failed energy point.
+            // Injected faults must surface — the robustness battery drives
+            // the escalation ladder through exactly this path. Organic
+            // FEAST stalls (modes straddling the contour at band edges)
+            // keep the exact-but-slower dense fallback.
+            Err(e) if e.is_injected() => return Err(e),
             Err(_) => (shift_invert_modes(&pencil, c64(0.83, 0.41))?, None),
         },
+        ObcMethod::Beyn(cfg) => (beyn_annulus(&pencil, cfg)?, None),
         ObcMethod::ShiftInvert | ObcMethod::Decimation => {
             (shift_invert_modes(&pencil, c64(0.83, 0.41))?, None)
         }
     };
-    Ok((classify_modes(lead, &pencil, &pairs), stats))
+    Ok((classify_modes_eta(lead, &pencil, &pairs, eta), stats))
 }
 
 /// Boundary self-energy and injection for one side (mode-based, the
-/// FEAST+SplitSolve production path).
-pub fn self_energy(lead: &LeadBlocks, e: f64, side: Side, method: ObcMethod) -> Result<ObcResult> {
+/// FEAST+SplitSolve production path), at zero broadening.
+pub fn self_energy(
+    lead: &LeadBlocks,
+    e: f64,
+    side: Side,
+    method: ObcMethod,
+) -> ObcOutcome<ObcResult> {
+    self_energy_eta(lead, e, 0.0, side, method)
+}
+
+/// [`self_energy`] with an explicit broadening `η` (pencil and coupling
+/// blocks both built at `E + iη`).
+pub fn self_energy_eta(
+    lead: &LeadBlocks,
+    e: f64,
+    eta: f64,
+    side: Side,
+    method: ObcMethod,
+) -> ObcOutcome<ObcResult> {
+    // Whole-contact injection chokepoint. The key mixes everything an
+    // escalation can change — energy, broadening, side, method and its
+    // quadrature size — so a plain retry fails identically while any
+    // ladder rung gets a fresh draw.
+    let (tag, knob) = match method {
+        ObcMethod::Feast(c) => (1.0, c.np as f64),
+        ObcMethod::Beyn(c) => (2.0, c.np as f64),
+        ObcMethod::ShiftInvert => (3.0, 0.0),
+        ObcMethod::Decimation => (4.0, 0.0),
+    };
+    let side_f = match side {
+        Side::Left => 0.0,
+        Side::Right => 1.0,
+    };
+    if fault::should_fail("self_energy", fault::key_of(&[e, eta, side_f, tag, knob])) {
+        return Err(ObcError::Linalg(LinalgError::Injected { site: "self_energy" }));
+    }
     if let ObcMethod::Decimation = method {
-        let sigma = self_energy_decimation(lead, e, 1e-8, side)?;
+        let sigma = self_energy_decimation(lead, e, eta.max(1e-8), side)?;
+        let bad = sigma.non_finite_count();
+        if bad > 0 {
+            return Err(ObcError::NonFinite { what: "decimation sigma", count: bad });
+        }
         let nf = lead.nf();
         return Ok(ObcResult {
             sigma,
@@ -129,10 +185,8 @@ pub fn self_energy(lead: &LeadBlocks, e: f64, side: Side, method: ObcMethod) -> 
         });
     }
     let nf = lead.nf();
-    let pencil = CompanionPencil::at_energy(lead, e, 0.0);
-    let (modes, stats) = lead_modes(lead, e, method)?;
-    let (t00, t01, t10) = lead.t_blocks(e, 0.0);
-    let _ = t00;
+    let (modes, stats) = lead_modes_eta(lead, e, eta, method)?;
+    let (_t00, t01, t10) = lead.t_blocks(e, eta);
     let ws = Workspace::new();
     let (sigma, inc_modes, out_modes, coupling, lam_pow) = match side {
         Side::Left => {
@@ -166,13 +220,18 @@ pub fn self_energy(lead: &LeadBlocks, e: f64, side: Side, method: ObcMethod) -> 
             injection[(i, j)] = -(tu[i] * lp) - su[i];
         }
     }
-    let _ = &pencil;
+    // Non-finite outputs poison every downstream solve silently (the
+    // max-norms drop NaN); catch them at the boundary-condition seam.
+    let bad = sigma.non_finite_count() + injection.non_finite_count();
+    if bad > 0 {
+        return Err(ObcError::NonFinite { what: "self-energy", count: bad });
+    }
     Ok(ObcResult { sigma, injection, inc_modes, out_modes, stats })
 }
 
 /// Self-energy through Sancho–Rubio decimation (ref. [40]) — the
 /// independent NEGF-era route: `Σ_L = T10·g_L·T01`, `Σ_R = T01·g_R·T10`.
-pub fn self_energy_decimation(lead: &LeadBlocks, e: f64, eta: f64, side: Side) -> Result<ZMat> {
+pub fn self_energy_decimation(lead: &LeadBlocks, e: f64, eta: f64, side: Side) -> ObcOutcome<ZMat> {
     let (t00, t01, t10) = lead.t_blocks(e, eta);
     match side {
         Side::Left => {
@@ -278,6 +337,45 @@ mod tests {
                 assert!(v.re > -1e-7, "Γ eigenvalue {v} negative at E = {e}");
             }
         }
+    }
+
+    #[test]
+    fn feast_stall_falls_back_to_dense_route() {
+        // max_refine = 0 guarantees a FEAST stall at an in-band energy
+        // (the annulus holds modes it never gets to refine towards)...
+        let cfg = FeastConfig { max_refine: 0, ..FeastConfig::default() };
+        let pencil = crate::companion::CompanionPencil::at_energy(&chain(), 0.4, 0.0);
+        assert!(crate::feast::feast_annulus(&pencil, cfg).is_err());
+        // ...but self_energy still succeeds through the shift-invert
+        // fallback and lands on the exact dense answer.
+        let obc = self_energy(&chain(), 0.4, Side::Left, ObcMethod::Feast(cfg)).unwrap();
+        let reference = self_energy(&chain(), 0.4, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        assert!(obc.sigma.max_diff(&reference.sigma) < 1e-6);
+    }
+
+    #[test]
+    fn beyn_method_matches_shift_invert_sigma() {
+        let e = 0.6;
+        let beyn = self_energy(
+            &chain(),
+            e,
+            Side::Left,
+            ObcMethod::Beyn(crate::beyn::BeynConfig::default()),
+        )
+        .unwrap();
+        let si = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        assert!(beyn.sigma.max_diff(&si.sigma) < 1e-5);
+        assert_eq!(beyn.inc_modes.len(), si.inc_modes.len());
+    }
+
+    #[test]
+    fn broadened_self_energy_approaches_unbroadened() {
+        let e = 0.5;
+        let s0 = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let s1 = self_energy_eta(&chain(), e, 1e-6, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        assert!(s0.sigma.max_diff(&s1.sigma) < 1e-3);
+        // Broadening keeps the retarded character.
+        assert!(s1.sigma[(0, 0)].im < 0.0);
     }
 
     #[test]

@@ -9,13 +9,14 @@
 //! with the same `s³` block kernels as the other solvers, which is exactly
 //! why the DFT-sized blocks kill it in the Fig. 8 comparison.
 
+use crate::error::{SolveError, SolveOutcome};
 use crate::system::ObcSystem;
 use qtx_linalg::{lu_factor_ws, zgesv_into, Complex64, Result, Workspace, ZMat};
 use qtx_sparse::Btd;
 
 /// Solves `T·x = b` by block cyclic reduction. `T` is the BTD matrix of
 /// `sys` with the boundary self-energies folded into the corner blocks.
-pub fn bcr_solve(sys: &ObcSystem) -> Result<ZMat> {
+pub fn bcr_solve(sys: &ObcSystem) -> SolveOutcome<ZMat> {
     let nb = sys.num_blocks();
     let s = sys.block_size();
     let m = sys.num_rhs();
@@ -32,6 +33,10 @@ pub fn bcr_solve(sys: &ObcSystem) -> Result<ZMat> {
     let mut x = ZMat::zeros(nb * s, m);
     for (i, xb) in x_blocks.into_iter().enumerate() {
         x.set_block(i * s, 0, &xb);
+    }
+    let bad = x.non_finite_count();
+    if bad > 0 {
+        return Err(SolveError::NonFinite { solver: "bcr", count: bad });
     }
     Ok(x)
 }
@@ -189,7 +194,7 @@ fn bcr_recurse(
 
 /// Convenience: solve a raw BTD system (no boundary terms) — used by the
 /// legacy tight-binding path and tests.
-pub fn bcr_solve_raw(a: &Btd, b: &ZMat) -> Result<ZMat> {
+pub fn bcr_solve_raw(a: &Btd, b: &ZMat) -> SolveOutcome<ZMat> {
     let s = a.block_size();
     let sys = ObcSystem {
         a: a.clone(),
@@ -209,6 +214,10 @@ pub fn bcr_solve_raw(a: &Btd, b: &ZMat) -> Result<ZMat> {
         x.set_block(i * s, 0, &blk);
     }
     let _ = sys;
+    let bad = x.non_finite_count();
+    if bad > 0 {
+        return Err(SolveError::NonFinite { solver: "bcr", count: bad });
+    }
     Ok(x)
 }
 

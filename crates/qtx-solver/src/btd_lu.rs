@@ -8,8 +8,9 @@
 //! is what makes it "slow when the number of non-zero entries increases
 //! drastically" (§3.B) compared to SplitSolve's accelerator pipeline.
 
+use crate::error::{SolveError, SolveOutcome};
 use crate::system::ObcSystem;
-use qtx_linalg::{lu_factor_owned_ws, Complex64, LuFactors, Result, Workspace, ZMat};
+use qtx_linalg::{lu_factor_owned_ws, Complex64, LuFactors, Workspace, ZMat};
 use qtx_sparse::Btd;
 
 /// Factorization state of the block Thomas elimination.
@@ -23,7 +24,7 @@ pub struct BtdLuFactors {
 }
 
 /// Factors `T` with a private scratch pool.
-pub fn btd_lu_factor(a: &Btd, sigma_l: &ZMat, sigma_r: &ZMat) -> Result<BtdLuFactors> {
+pub fn btd_lu_factor(a: &Btd, sigma_l: &ZMat, sigma_r: &ZMat) -> SolveOutcome<BtdLuFactors> {
     btd_lu_factor_ws(a, sigma_l, sigma_r, &Workspace::new())
 }
 
@@ -38,7 +39,7 @@ pub fn btd_lu_factor_ws(
     sigma_l: &ZMat,
     sigma_r: &ZMat,
     ws: &Workspace,
-) -> Result<BtdLuFactors> {
+) -> SolveOutcome<BtdLuFactors> {
     let nb = a.num_blocks();
     let mut pivots = Vec::with_capacity(nb);
     let mut dinv_upper = Vec::with_capacity(nb - 1);
@@ -133,15 +134,19 @@ impl BtdLuFactors {
 }
 
 /// One-shot baseline solve of Eq. 5.
-pub fn btd_lu_solve(sys: &ObcSystem) -> Result<ZMat> {
+pub fn btd_lu_solve(sys: &ObcSystem) -> SolveOutcome<ZMat> {
     btd_lu_solve_ws(sys, &Workspace::new())
 }
 
 /// One-shot baseline solve of Eq. 5 over a shared workspace.
-pub fn btd_lu_solve_ws(sys: &ObcSystem, ws: &Workspace) -> Result<ZMat> {
+pub fn btd_lu_solve_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutcome<ZMat> {
     let f = btd_lu_factor_ws(&sys.a, &sys.sigma_l, &sys.sigma_r, ws)?;
     let x = f.solve_ws(&sys.b_dense(), ws);
     f.recycle_into(ws);
+    let bad = x.non_finite_count();
+    if bad > 0 {
+        return Err(SolveError::NonFinite { solver: "btd-lu", count: bad });
+    }
     Ok(x)
 }
 

@@ -30,12 +30,14 @@
 
 pub mod bcr;
 pub mod btd_lu;
+pub mod error;
 pub mod rgf;
 pub mod splitsolve;
 pub mod system;
 
 pub use bcr::bcr_solve;
 pub use btd_lu::{btd_lu_factor, btd_lu_solve, btd_lu_solve_ws, BtdLuFactors};
+pub use error::{SolveError, SolveOutcome};
 pub use rgf::{rgf_diagonal_and_corner, rgf_diagonal_and_corner_ws, RgfResult};
 pub use splitsolve::{SplitSolve, SplitSolveReport};
 pub use system::ObcSystem;

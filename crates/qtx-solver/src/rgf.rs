@@ -7,8 +7,9 @@
 //! `T(E) = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ]` — the independent
 //! cross-check of the wave-function (SplitSolve) transmission.
 
+use crate::error::{SolveError, SolveOutcome};
 use crate::system::ObcSystem;
-use qtx_linalg::{lu_factor_owned_ws, Complex64, Result, Workspace, ZMat};
+use qtx_linalg::{lu_factor_owned_ws, Complex64, Workspace, ZMat};
 
 /// Green's function blocks produced by one RGF pass.
 #[derive(Debug, Clone)]
@@ -20,14 +21,14 @@ pub struct RgfResult {
 }
 
 /// Runs the two-pass RGF on the open system with a private scratch pool.
-pub fn rgf_diagonal_and_corner(sys: &ObcSystem) -> Result<RgfResult> {
+pub fn rgf_diagonal_and_corner(sys: &ObcSystem) -> SolveOutcome<RgfResult> {
     rgf_diagonal_and_corner_ws(sys, &Workspace::new())
 }
 
 /// Runs the two-pass RGF borrowing every block temporary from `ws`, so a
 /// sweep over energy points recycles the same handful of `s × s` buffers
 /// instead of allocating ~5 fresh matrices per block per point.
-pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> Result<RgfResult> {
+pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutcome<RgfResult> {
     let nb = sys.num_blocks();
     let s = sys.block_size();
     let id = ZMat::identity(s);
@@ -88,6 +89,12 @@ pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> Result<Rgf
     }
     for g in g_left {
         ws.recycle(g);
+    }
+    // The Caroli formula consumes the corner block and the LDOS path the
+    // diagonal — a NaN in either silently zeros/poisons an observable.
+    let bad = corner.non_finite_count() + diag.iter().map(|g| g.non_finite_count()).sum::<usize>();
+    if bad > 0 {
+        return Err(SolveError::NonFinite { solver: "rgf", count: bad });
     }
     Ok(RgfResult { diag, corner })
 }

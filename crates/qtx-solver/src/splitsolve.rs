@@ -16,12 +16,13 @@
 //! 3. **Step 3**: `R·z = (1 − C·Q)·z = C·y` — one small `2s × 2s` solve.
 //! 4. **Step 4**: `x = y + Q·z = Q·(b′ + z)` — one GEMM per block row.
 
+use crate::error::{SolveError, SolveOutcome};
 use crate::system::ObcSystem;
 use qtx_accel::{AccelRuntime, KernelClass};
 use qtx_linalg::flops::counts;
 use qtx_linalg::{
-    gemm_view, lu_factor_nopiv_ws, lu_factor_ws, zgesv_into, Complex64, FlopScope, Op, Result,
-    Workspace, ZMat,
+    fault, gemm_view, lu_factor_nopiv_ws, lu_factor_ws, zgesv_into, Complex64, FlopScope, Op,
+    Result, Workspace, ZMat,
 };
 use qtx_sparse::Btd;
 use rayon::prelude::*;
@@ -68,7 +69,7 @@ impl SplitSolve {
         &self,
         sys: &ObcSystem,
         rt: Option<&AccelRuntime>,
-    ) -> Result<(ZMat, SplitSolveReport)> {
+    ) -> SolveOutcome<(ZMat, SplitSolveReport)> {
         self.solve_ws(sys, rt, &Workspace::new())
     }
 
@@ -81,7 +82,21 @@ impl SplitSolve {
         sys: &ObcSystem,
         rt: Option<&AccelRuntime>,
         ws: &Workspace,
-    ) -> Result<(ZMat, SplitSolveReport)> {
+    ) -> SolveOutcome<(ZMat, SplitSolveReport)> {
+        // Fault-injection chokepoint: keyed on the system content (the
+        // diagonal carries E·S − H, the corners carry Σ(E + iη)), so a
+        // bit-identical retry fails identically while any escalation —
+        // η bump, different OBC method — draws fresh.
+        let key = fault::key_of(&[
+            sys.a.diag[0][(0, 0)].re,
+            sys.a.diag[0][(0, 0)].im,
+            sys.sigma_l[(0, 0)].re,
+            sys.sigma_l[(0, 0)].im,
+            sys.dim() as f64,
+        ]);
+        if fault::should_fail("splitsolve", key) {
+            return Err(SolveError::Injected { site: "splitsolve" });
+        }
         // The partition sweeps fan out over rayon workers, so the report
         // aggregates the process-wide counter (explicit opt-in; a plain
         // thread-scoped bracket would miss the workers' operations).
@@ -101,6 +116,13 @@ impl SplitSolve {
             report.virtual_seconds = rt.sync();
         }
         report.flops = scope.elapsed();
+        // A singular-looking A can survive both LU routes (nopiv + pivoted
+        // fallback) and still emit garbage; catch it before it reaches the
+        // transmission assembly.
+        let bad = x.non_finite_count();
+        if bad > 0 {
+            return Err(SolveError::NonFinite { solver: "splitsolve", count: bad });
+        }
         Ok((x, report))
     }
 

@@ -22,7 +22,7 @@ fn main() {
     let n_ranks = 8;
     println!("rank allocation over {n_ranks} ranks: {:?}", plan.allocate_ranks(n_ranks));
 
-    let result = parallel_sweep(&dev, &plan, n_ranks);
+    let result = parallel_sweep(&dev, &plan, n_ranks).expect("sweep");
     println!("\nk-summed transmission spectrum:");
     println!("{:>10} {:>12}", "E (eV)", "Σ_k w_k T");
     for (e, t) in result.spectrum.iter().step_by((result.spectrum.len() / 20).max(1)) {

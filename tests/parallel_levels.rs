@@ -22,8 +22,10 @@ fn sweep_is_rank_count_invariant() {
     let plan = SweepPlan::from_device(&dev, 0.05, 0.12);
     assert_eq!(plan.k_points.len(), 3);
     assert!(plan.total_points() > 0);
-    let spectra: Vec<Vec<(f64, f64)>> =
-        [2usize, 5].iter().map(|&n| parallel_sweep(&dev, &plan, n).spectrum).collect();
+    let spectra: Vec<Vec<(f64, f64)>> = [2usize, 5]
+        .iter()
+        .map(|&n| parallel_sweep(&dev, &plan, n).expect("sweep").spectrum)
+        .collect();
     assert_eq!(spectra[0].len(), spectra[1].len());
     for (a, b) in spectra[0].iter().zip(&spectra[1]) {
         assert!((a.0 - b.0).abs() < 1e-12);
@@ -35,7 +37,7 @@ fn sweep_is_rank_count_invariant() {
 fn sweep_matches_serial_per_k_reference() {
     let dev = utb_device();
     let plan = SweepPlan::from_device(&dev, 0.08, 0.15);
-    let result = parallel_sweep(&dev, &plan, 4);
+    let result = parallel_sweep(&dev, &plan, 4).expect("sweep");
     // Pick a handful of samples and recompute serially.
     for &(kz, _w, e, t) in result.samples.iter().take(5) {
         let dk = dev.at_kz(kz);
