@@ -54,5 +54,9 @@ fn main() {
         h.faults_injected,
         h.worst_residual
     );
+    println!(
+        "scheduler: {} caught panics, {} retries, {} quarantined, {} stragglers",
+        h.panics, h.sched_retries, h.quarantined, h.stragglers
+    );
     println!("paper: k and E are almost embarrassingly parallel; the spatial level is SplitSolve");
 }

@@ -130,7 +130,7 @@ pub fn parse(buf: &[u8], plan: &SweepPlan) -> TransportResult<Vec<PointRecord>> 
     }
     let frames = qtx_mpi::exact_frames(&buf[HEADER_BYTES..], POINT_RECORD_BYTES)
         .map_err(TransportError::Payload)?;
-    Ok(frames.map(PointRecord::decode).collect())
+    frames.map(|f| PointRecord::decode(f).map_err(TransportError::Payload)).collect()
 }
 
 /// Loads and validates a checkpoint for `plan`.

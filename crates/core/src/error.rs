@@ -28,6 +28,13 @@ pub enum TransportError {
     Payload(qtx_mpi::FrameError),
     /// A sweep checkpoint file was unreadable or inconsistent.
     Checkpoint(crate::checkpoint::CheckpointError),
+    /// A scheduler worker caught a panicking point solve; the panic
+    /// payload is preserved as text. Unlike the typed failures above this
+    /// carries no ladder diagnostics — the solve never returned.
+    Panic {
+        /// The panic payload, rendered to text.
+        what: String,
+    },
     /// Every rung of the escalation ladder was exhausted.
     Exhausted {
         /// Energy of the abandoned point (eV).
@@ -49,6 +56,10 @@ impl TransportError {
             TransportError::Solve(e) => e.is_injected(),
             TransportError::Linalg(e) => e.is_injected(),
             TransportError::Payload(_) | TransportError::Checkpoint(_) => false,
+            // A panic may *originate* from the injected `sched_panic`
+            // site, but it carries no typed provenance — the sweep health
+            // counts panics separately from injected ladder faults.
+            TransportError::Panic { .. } => false,
             TransportError::Exhausted { last, .. } => last.is_injected(),
         }
     }
@@ -74,6 +85,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Linalg(e) => write!(f, "linear-algebra failure: {e}"),
             TransportError::Payload(e) => write!(f, "gathered sweep payload invalid: {e}"),
             TransportError::Checkpoint(e) => write!(f, "sweep checkpoint invalid: {e}"),
+            TransportError::Panic { what } => write!(f, "worker caught a panicking solve: {what}"),
             TransportError::Exhausted { e, kz, attempts, last } => write!(
                 f,
                 "escalation ladder exhausted at E={e} kz={kz} after {attempts} attempts: {last}"

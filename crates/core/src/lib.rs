@@ -31,6 +31,7 @@ pub mod error;
 pub mod landauer;
 pub mod observables;
 pub mod scf;
+pub mod scheduler;
 pub mod sweep;
 pub mod transport;
 
@@ -43,6 +44,9 @@ pub use landauer::{
 };
 pub use observables::{ChargeAndCurrent, SpectralData};
 pub use scf::{id_vgs, schrodinger_poisson, IvPoint, ScfConfig, ScfResult};
+pub use scheduler::{
+    BatchOptions, BatchStats, Scheduler, SchedulerConfig, TaskAttempt, TaskReport,
+};
 pub use sweep::{
     parallel_sweep, parallel_sweep_resumable, PointRecord, SweepHealth, SweepOptions, SweepPlan,
     SweepResult,

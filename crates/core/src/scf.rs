@@ -13,9 +13,10 @@ use crate::energygrid::EnergyGrid;
 use crate::error::TransportResult;
 use crate::landauer::landauer_current_ua;
 use crate::observables::accumulate;
+use crate::scheduler::{self, BatchOptions, TaskAttempt};
 use crate::transport::solve_energy_point;
 use qtx_poisson::{gated_poisson_1d, GateSpec};
-use rayon::prelude::*;
+use std::sync::Arc;
 
 /// SCF controls.
 #[derive(Debug, Clone)]
@@ -130,11 +131,21 @@ pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> TransportResult
         }
         let grid = EnergyGrid::uniform(e_lo, e_hi, cfg.n_energy.max(2));
         let cfg_t = dev.config;
-        let points: Vec<_> = grid
-            .points
-            .par_iter()
-            .map(|&e| solve_energy_point(&dk, e, &cfg_t))
-            .collect::<TransportResult<Vec<_>>>()?;
+        // Panic-isolated solves on the supervised pool: typed errors
+        // propagate as before (no retries — the SCF loop owns recovery),
+        // a panicking point surfaces as `TransportError::Panic` instead of
+        // tearing down the whole iteration.
+        let dk_shared = Arc::new(dk);
+        let run_dk = Arc::clone(&dk_shared);
+        let reports = scheduler::global().execute(
+            grid.points.clone(),
+            &BatchOptions { deadline_ms: None, keys: None, max_retries: Some(0) },
+            move |_, &e, _| TaskAttempt::Done(solve_energy_point(&run_dk, e, &cfg_t)),
+            |_, _, _, err| Err(crate::error::TransportError::Panic { what: err.to_string() }),
+        );
+        let points: Vec<_> =
+            reports.into_iter().map(|r| r.value).collect::<TransportResult<Vec<_>>>()?;
+        let dk = Arc::try_unwrap(dk_shared).unwrap_or_else(|arc| (*arc).clone());
         spectrum = points.iter().map(|p| (p.e, p.transmission)).collect();
         // 2. Charge per slab.
         let de = (e_hi - e_lo) / (cfg.n_energy.max(2) - 1) as f64;

@@ -17,14 +17,22 @@
 //! aggregate [`SweepHealth`] reports what the ladder had to do. A sweep
 //! can checkpoint completed records and resume bit-identically (see
 //! [`crate::checkpoint`]).
+//!
+//! Since PR 7 the point solves run on the persistent supervised pool of
+//! [`crate::scheduler`] (panic isolation, retry/backoff, deadlines,
+//! quarantine — see `docs/scheduler.md`); the simulated MPI ranks then
+//! only encode and gather the finished records, so `n_ranks` models the
+//! Fig. 9 communication topology while `QTX_SCHED_WORKERS` (or
+//! [`SweepOptions::scheduler`]) controls the real compute threads.
 
 use crate::checkpoint;
 use crate::device::Device;
 use crate::energygrid::EnergyGrid;
 use crate::error::{TransportError, TransportResult};
+use crate::scheduler::{self, Scheduler};
 use crate::transport::{solve_energy_point_robust, METHOD_FAILED};
 use qtx_mpi::{run_world, Comm, CostModel};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -68,22 +76,41 @@ impl SweepPlan {
     /// Dynamic node allocation (ref. [45]): ranks per momentum
     /// proportional to its energy-point count, with at least one rank per
     /// non-empty momentum.
+    ///
+    /// Contract (so shard-sizing callers need no edge-case guards):
+    ///
+    /// * empty momenta always get 0 ranks — ranks are never parked on
+    ///   workless groups;
+    /// * a plan with zero total points (or `n_ranks == 0`) allocates
+    ///   all-zero;
+    /// * with `n_ranks ≥` the number of non-empty momenta the allocation
+    ///   sums to exactly `n_ranks` (more ranks than points simply
+    ///   over-subscribe the largest groups);
+    /// * with fewer ranks than non-empty momenta the minimum-one rule
+    ///   wins and the sum equals the non-empty count (the sweep's pooled
+    ///   fallback path handles that regime instead).
     pub fn allocate_ranks(&self, n_ranks: usize) -> Vec<usize> {
-        let total = self.total_points().max(1);
         let nk = self.k_points.len();
         let mut alloc = vec![0usize; nk];
+        let total = self.total_points();
+        if n_ranks == 0 || total == 0 {
+            return alloc;
+        }
         let mut assigned = 0usize;
         for (i, es) in self.energies.iter().enumerate() {
+            if es.is_empty() {
+                continue;
+            }
             let share = ((es.len() as f64 / total as f64) * n_ranks as f64).floor() as usize;
-            alloc[i] = share.max(usize::from(!es.is_empty()));
+            alloc[i] = share.max(1);
             assigned += alloc[i];
         }
-        // Distribute leftovers to the largest groups.
-        let mut order: Vec<usize> = (0..nk).collect();
+        // Distribute leftovers to the largest non-empty groups.
+        let mut order: Vec<usize> = (0..nk).filter(|&i| !self.energies[i].is_empty()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.energies[i].len()));
         let mut idx = 0;
-        while assigned < n_ranks && nk > 0 {
-            alloc[order[idx % nk]] += 1;
+        while assigned < n_ranks {
+            alloc[order[idx % order.len()]] += 1;
             assigned += 1;
             idx += 1;
         }
@@ -174,12 +201,19 @@ impl PointRecord {
         }
     }
 
-    /// Decodes one exact frame (panics on wrong length — framing is
-    /// validated upstream by [`qtx_mpi::exact_frames`]).
-    pub fn decode(frame: &[u8]) -> PointRecord {
-        assert_eq!(frame.len(), POINT_RECORD_BYTES, "point record frame");
+    /// Decodes one exact 80-byte frame. Truncated or oversized frames are
+    /// a typed [`qtx_mpi::FrameError`] (mirroring
+    /// [`qtx_mpi::exact_frames`]) instead of a panic — a crafted or torn
+    /// record stream must never unwind a sweep or a checkpoint load.
+    pub fn decode(frame: &[u8]) -> Result<PointRecord, qtx_mpi::FrameError> {
+        if frame.len() != POINT_RECORD_BYTES {
+            return Err(qtx_mpi::FrameError {
+                frame_size: POINT_RECORD_BYTES,
+                payload_len: frame.len(),
+            });
+        }
         use qtx_mpi::frame::{read_f64, read_u16, read_u32};
-        PointRecord {
+        Ok(PointRecord {
             k_idx: read_u32(frame, 0),
             e_idx: read_u32(frame, 4),
             kz: read_f64(frame, 8),
@@ -194,7 +228,7 @@ impl PointRecord {
             eta: read_f64(frame, 56),
             wall_ms: read_f64(frame, 64),
             interp_bound: read_f64(frame, 72),
-        }
+        })
     }
 
     /// Bit-level identity of everything except wall time (timing differs
@@ -218,7 +252,15 @@ impl PointRecord {
 }
 
 /// Aggregate robustness accounting of one sweep.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The per-record counters (`total_points` … `max_interp_bound`) are
+/// derived from the canonical record set and are bit-identical across
+/// resumes and worker counts. The scheduler counters (`panics`,
+/// `sched_retries`, `quarantined`, `faults_injected`) are **run-scoped**:
+/// they count what *this process* did, so a resumed run reports only its
+/// own share. `stragglers` is wall-time-derived and therefore excluded
+/// from equality.
+#[derive(Debug, Clone, Default)]
 pub struct SweepHealth {
     /// Points the sweep produced (solved + interpolated + failed).
     pub total_points: usize,
@@ -233,16 +275,56 @@ pub struct SweepHealth {
     /// Deterministically injected faults observed during this run
     /// (0 unless the `fault-inject` harness is armed).
     pub faults_injected: u64,
+    /// Panicking point solves caught by the scheduler this run.
+    pub panics: u64,
+    /// Scheduler-level retries (full extra ladder walks) this run.
+    pub sched_retries: u64,
+    /// Points whose scheduler retry budget ran out this run — handed to
+    /// the interpolation path as poison points.
+    pub quarantined: usize,
+    /// Points the deadline supervisor flagged as overdue this run
+    /// (wall-time-derived — excluded from [`PartialEq`]).
+    pub stragglers: usize,
     /// Worst accepted residual across solved points.
     pub worst_residual: f64,
     /// Largest interpolation error bound.
     pub max_interp_bound: f64,
 }
 
+/// Everything except `stragglers`, which depends on wall time the way
+/// [`PointRecord::wall_ms`] does and may legitimately differ between two
+/// otherwise bit-identical schedules.
+impl PartialEq for SweepHealth {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_points == other.total_points
+            && self.escalated == other.escalated
+            && self.failed == other.failed
+            && self.interpolated == other.interpolated
+            && self.attempts == other.attempts
+            && self.faults_injected == other.faults_injected
+            && self.panics == other.panics
+            && self.sched_retries == other.sched_retries
+            && self.quarantined == other.quarantined
+            && self.worst_residual == other.worst_residual
+            && self.max_interp_bound == other.max_interp_bound
+    }
+}
+
 impl SweepHealth {
-    fn from_records(records: &[PointRecord], faults_injected: u64) -> SweepHealth {
-        let mut h =
-            SweepHealth { total_points: records.len(), faults_injected, ..Default::default() };
+    fn from_records(
+        records: &[PointRecord],
+        faults_injected: u64,
+        stats: scheduler::BatchStats,
+    ) -> SweepHealth {
+        let mut h = SweepHealth {
+            total_points: records.len(),
+            faults_injected,
+            panics: stats.panics,
+            sched_retries: stats.retries,
+            quarantined: stats.quarantined,
+            stragglers: stats.stragglers,
+            ..Default::default()
+        };
         for r in records {
             h.attempts += r.attempts as u64;
             match r.status {
@@ -291,6 +373,10 @@ pub struct SweepOptions {
     /// Stop after at most this many *new* points, in canonical order —
     /// the deterministic "kill" used by the resume property tests.
     pub max_new_points: Option<usize>,
+    /// Pool to solve on; `None` uses the process-wide
+    /// [`crate::scheduler::global`] pool. Tests pass explicit pools to
+    /// pin worker counts.
+    pub scheduler: Option<Arc<Scheduler>>,
 }
 
 /// Runs the sweep over `n_ranks` simulated MPI ranks.
@@ -327,16 +413,25 @@ pub fn parallel_sweep_resumable(
     if let Some(limit) = opts.max_new_points {
         todo.truncate(limit);
     }
-    let todo: Arc<HashSet<(u32, u32)>> = Arc::new(todo.into_iter().collect());
 
+    // Compute phase: every new point solves on the supervised pool.
     let injected_before = qtx_linalg::fault::injected_total();
-    let non_empty = plan.energies.iter().filter(|e| !e.is_empty()).count();
-    let (payload_parts, comm_seconds) = if n_ranks < non_empty.max(1) {
-        pooled_worker(dev, plan, n_ranks, todo)
-    } else {
-        hierarchical_worker(dev, plan, n_ranks, todo)
-    };
+    let (computed, stats) = compute_records(dev, plan, &todo, opts);
     let faults_injected = qtx_linalg::fault::injected_total() - injected_before;
+
+    // Communication phase: the Fig. 9 rank topology encodes and gathers
+    // the finished records (virtual comm cost only — no recomputation).
+    let todo: Arc<HashSet<(u32, u32)>> = Arc::new(todo.into_iter().collect());
+    let records: Arc<HashMap<(u32, u32), PointRecord>> =
+        Arc::new(computed.into_iter().map(|r| ((r.k_idx, r.e_idx), r)).collect());
+    let non_empty = plan.energies.iter().filter(|e| !e.is_empty()).count();
+    let (payload_parts, comm_seconds) = if todo.is_empty() {
+        (Vec::new(), 0.0)
+    } else if n_ranks < non_empty.max(1) {
+        pooled_worker(plan, n_ranks, todo, records)
+    } else {
+        hierarchical_worker(plan, n_ranks, todo, records)
+    };
 
     // Decode the gathered frames, loudly rejecting torn payloads.
     let mut fresh = Vec::new();
@@ -344,7 +439,7 @@ pub fn parallel_sweep_resumable(
         for frame in
             qtx_mpi::exact_frames(part, POINT_RECORD_BYTES).map_err(TransportError::Payload)?
         {
-            fresh.push(PointRecord::decode(frame));
+            fresh.push(PointRecord::decode(frame).map_err(TransportError::Payload)?);
         }
     }
     done.extend(fresh);
@@ -357,28 +452,32 @@ pub fn parallel_sweep_resumable(
     }
 
     interpolate_failures(&mut done);
-    let health = SweepHealth::from_records(&done, faults_injected);
+    let health = SweepHealth::from_records(&done, faults_injected, stats);
     Ok(finalize(done, health, comm_seconds))
 }
 
-/// One robust point solve, packaged for the wire.
-fn solve_record(
-    dk: &crate::device::DeviceK,
-    dev: &Device,
+/// One scheduler task: a sweep point plus the shared per-momentum
+/// structure it solves against.
+struct PointTask {
     k_idx: u32,
     e_idx: u32,
     kz: f64,
     w: f64,
     e: f64,
-) -> PointRecord {
-    let rs = solve_energy_point_robust(dk, e, &dev.config);
+    dk: Arc<crate::device::DeviceK>,
+    cfg: crate::device::TransportConfig,
+}
+
+/// One robust point solve, packaged for the wire.
+fn solve_record(t: &PointTask) -> PointRecord {
+    let rs = solve_energy_point_robust(&t.dk, t.e, &t.cfg);
     let o = rs.outcome;
     PointRecord {
-        k_idx,
-        e_idx,
-        kz,
-        w,
-        e,
+        k_idx: t.k_idx,
+        e_idx: t.e_idx,
+        kz: t.kz,
+        w: t.w,
+        e: t.e,
         t: rs.result.as_ref().map_or(f64::NAN, |r| r.transmission),
         method: o.method_used,
         status: if o.method_used == METHOD_FAILED { STATUS_FAILED } else { STATUS_OK },
@@ -391,38 +490,139 @@ fn solve_record(
     }
 }
 
-/// Fig. 9 hierarchy: k-groups sized by workload, energies round-robin
-/// inside each group, two-level gather to world root.
-fn hierarchical_worker(
+/// Wire record for a point whose every scheduler attempt panicked: the
+/// solve never returned, so no ladder diagnostics exist — the point is
+/// failed and the interpolation path takes over.
+fn panic_record(t: &PointTask, attempts: u32) -> PointRecord {
+    PointRecord {
+        k_idx: t.k_idx,
+        e_idx: t.e_idx,
+        kz: t.kz,
+        w: t.w,
+        e: t.e,
+        t: f64::NAN,
+        method: METHOD_FAILED,
+        status: STATUS_FAILED,
+        attempts: attempts.min(u16::MAX as u32) as u16,
+        escalations: 0,
+        residual: f64::INFINITY,
+        eta: 0.0,
+        wall_ms: 0.0,
+        interp_bound: 0.0,
+    }
+}
+
+/// Soft per-point deadline from the `qtx-machine` FLOP ledger over this
+/// device's actual block dimensions (§5.B: per-point work is
+/// deterministic, so overdue means straggler, not noise).
+fn point_deadline_ms(dk: &crate::device::DeviceK) -> f64 {
+    let s = dk.h.block_size();
+    qtx_machine::DeadlineModel::default().soft_deadline_ms(s, dk.h.num_blocks(), s)
+}
+
+/// Solves every `todo` point on the supervised pool, in canonical order,
+/// returning the records plus the run-scoped scheduler accounting.
+///
+/// Escalation-ladder exhaustion surfaces as a scheduler retry (a fresh
+/// full ladder walk, after backoff); a point that also exhausts the
+/// scheduler budget — or whose key was quarantined by an earlier batch —
+/// keeps its last failed record and flows into the interpolation path.
+fn compute_records(
     dev: &Device,
+    plan: &SweepPlan,
+    todo: &[(u32, u32)],
+    opts: &SweepOptions,
+) -> (Vec<PointRecord>, scheduler::BatchStats) {
+    if todo.is_empty() {
+        return (Vec::new(), scheduler::BatchStats::default());
+    }
+    let sched: Arc<Scheduler> =
+        opts.scheduler.clone().unwrap_or_else(|| scheduler::global().clone());
+    // One folded-device build per momentum, shared across its points.
+    let mut dks: HashMap<u32, Arc<crate::device::DeviceK>> = HashMap::new();
+    let tasks: Vec<PointTask> = todo
+        .iter()
+        .map(|&(k_idx, e_idx)| {
+            let (kz, w) = plan.k_points[k_idx as usize];
+            let dk = dks.entry(k_idx).or_insert_with(|| Arc::new(dev.at_kz(kz))).clone();
+            PointTask {
+                k_idx,
+                e_idx,
+                kz,
+                w,
+                e: plan.energies[k_idx as usize][e_idx as usize],
+                dk,
+                cfg: dev.config,
+            }
+        })
+        .collect();
+    let batch = scheduler::BatchOptions {
+        deadline_ms: Some(point_deadline_ms(&tasks[0].dk)),
+        // Quarantine keys on the point's math identity (not plan indices),
+        // matching how the fault harness keys its draws.
+        keys: Some(tasks.iter().map(|t| scheduler::stable_key(&[t.kz, t.e])).collect()),
+        max_retries: None,
+    };
+    let reports = sched.execute(
+        tasks,
+        &batch,
+        |_, t, attempt| {
+            // Opt-in injected panic site: fires *before* the ladder so the
+            // pool's catch_unwind is what must absorb it. The attempt
+            // number enters the key — a retry re-draws.
+            if qtx_linalg::fault::should_fail(
+                "sched_panic",
+                qtx_linalg::fault::key_of(&[t.kz, t.e, attempt as f64]),
+            ) {
+                panic!("injected scheduler panic at E={} kz={} attempt {attempt}", t.e, t.kz);
+            }
+            let record = solve_record(t);
+            if record.status == STATUS_FAILED {
+                scheduler::TaskAttempt::Retry(record)
+            } else {
+                scheduler::TaskAttempt::Done(record)
+            }
+        },
+        |_, t, attempts, _err| panic_record(t, attempts),
+    );
+    let stats = scheduler::stats_of(&reports);
+    (reports.into_iter().map(|r| r.value).collect(), stats)
+}
+
+/// Fig. 9 hierarchy: k-groups sized by workload, energies round-robin
+/// inside each group, two-level gather to world root. Ranks only encode
+/// and gather the pool-computed records.
+fn hierarchical_worker(
     plan: &SweepPlan,
     n_ranks: usize,
     todo: Arc<HashSet<(u32, u32)>>,
+    records: Arc<HashMap<(u32, u32), PointRecord>>,
 ) -> (Vec<Vec<u8>>, f64) {
     let alloc = plan.allocate_ranks(n_ranks);
-    // Map world rank → (k-group, rank within group).
+    // Map world rank → (k-group, rank within group). Empty momenta get no
+    // ranks (see `allocate_ranks`); the fallback momentum for any
+    // over-resize is the last worked one.
     let mut owner = Vec::with_capacity(n_ranks);
     for (k_idx, &n) in alloc.iter().enumerate() {
         for _ in 0..n {
             owner.push(k_idx);
         }
     }
-    owner.resize(n_ranks, alloc.len().saturating_sub(1));
+    let fallback = (0..alloc.len()).rev().find(|&i| alloc[i] > 0).unwrap_or(0);
+    owner.resize(n_ranks, fallback);
     let owner = Arc::new(owner);
-    let dev = Arc::new(dev.clone());
     let plan = Arc::new(plan.clone());
     let outputs = run_world(n_ranks, CostModel::gemini(), move |comm: Comm| {
         let k_idx = owner[comm.rank()];
         // Momentum-level communicator (top of Fig. 9).
         let k_comm = comm.split(k_idx, comm.rank());
-        let (kz, w) = plan.k_points[k_idx];
         let energies = &plan.energies[k_idx];
         // Energy-level distribution: round-robin inside the k-group.
-        let dk = dev.at_kz(kz);
         let mut payload = Vec::new();
-        for (i, &e) in energies.iter().enumerate() {
-            if i % k_comm.size() == k_comm.rank() && todo.contains(&(k_idx as u32, i as u32)) {
-                solve_record(&dk, &dev, k_idx as u32, i as u32, kz, w, e).encode_into(&mut payload);
+        for i in 0..energies.len() {
+            let point = (k_idx as u32, i as u32);
+            if i % k_comm.size() == k_comm.rank() && todo.contains(&point) {
+                records[&point].encode_into(&mut payload);
             }
         }
         // Gather the group's records at the group root, then at world 0.
@@ -438,26 +638,20 @@ fn hierarchical_worker(
 /// Fallback for rank-starved sweeps: every rank strides the flattened
 /// (k, E) list; momenta are processed one after the other.
 fn pooled_worker(
-    dev: &Device,
     plan: &SweepPlan,
     n_ranks: usize,
     todo: Arc<HashSet<(u32, u32)>>,
+    records: Arc<HashMap<(u32, u32), PointRecord>>,
 ) -> (Vec<Vec<u8>>, f64) {
-    let dev = Arc::new(dev.clone());
     let plan = Arc::new(plan.clone());
     let outputs = run_world(n_ranks.max(1), CostModel::gemini(), move |comm: Comm| {
         let mut payload = Vec::new();
         let mut idx = 0usize;
-        for (k_idx, &(kz, w)) in plan.k_points.iter().enumerate() {
-            if plan.energies[k_idx].is_empty() {
-                continue;
-            }
-            let dk = dev.at_kz(kz);
-            for (e_idx, &e) in plan.energies[k_idx].iter().enumerate() {
-                if idx % comm.size() == comm.rank() && todo.contains(&(k_idx as u32, e_idx as u32))
-                {
-                    solve_record(&dk, &dev, k_idx as u32, e_idx as u32, kz, w, e)
-                        .encode_into(&mut payload);
+        for k_idx in 0..plan.k_points.len() {
+            for e_idx in 0..plan.energies[k_idx].len() {
+                let point = (k_idx as u32, e_idx as u32);
+                if idx % comm.size() == comm.rank() && todo.contains(&point) {
+                    records[&point].encode_into(&mut payload);
                 }
                 idx += 1;
             }
@@ -594,6 +788,35 @@ mod tests {
     }
 
     #[test]
+    fn allocation_edge_cases_honor_the_contract() {
+        // More ranks than points: everything still sums to n_ranks, and
+        // empty momenta stay at zero.
+        let plan = SweepPlan {
+            k_points: vec![(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)],
+            energies: vec![vec![0.0; 2], Vec::new(), vec![0.0; 1]],
+        };
+        let alloc = plan.allocate_ranks(16);
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+        assert_eq!(alloc[1], 0, "empty momentum never parks ranks");
+        assert!(alloc[0] >= 1 && alloc[2] >= 1);
+        // Fewer ranks than non-empty momenta: minimum-one wins.
+        let alloc = plan.allocate_ranks(1);
+        assert_eq!(alloc, vec![1, 0, 1]);
+        // Zero ranks allocates nothing.
+        assert_eq!(plan.allocate_ranks(0), vec![0, 0, 0]);
+        // Zero total points allocates nothing regardless of ranks.
+        let empty = SweepPlan {
+            k_points: vec![(0.0, 1.0), (1.0, 1.0)],
+            energies: vec![Vec::new(), Vec::new()],
+        };
+        assert_eq!(empty.allocate_ranks(8), vec![0, 0]);
+        // Degenerate plan with no momenta at all.
+        let none = SweepPlan { k_points: Vec::new(), energies: Vec::new() };
+        assert!(none.allocate_ranks(4).is_empty());
+        assert!(none.canonical_points().is_empty());
+    }
+
+    #[test]
     fn sweep_matches_serial_reference() {
         let d = small_device();
         let plan = SweepPlan::from_device(&d, 0.05, 0.15);
@@ -646,9 +869,17 @@ mod tests {
         let mut buf = Vec::new();
         r.encode_into(&mut buf);
         assert_eq!(buf.len(), POINT_RECORD_BYTES);
-        let back = PointRecord::decode(&buf);
+        let back = PointRecord::decode(&buf).unwrap();
         assert_eq!(back, r);
         assert!(back.identity_eq(&r));
+        // Crafted payloads: truncated and oversized frames are typed
+        // errors, never a panic or a silently-garbled record.
+        for bad in [&buf[..buf.len() - 1], &[buf.as_slice(), &[0u8]].concat()[..]] {
+            let err = PointRecord::decode(bad).unwrap_err();
+            assert_eq!(err.frame_size, POINT_RECORD_BYTES);
+            assert_eq!(err.payload_len, bad.len());
+        }
+        assert!(PointRecord::decode(&[]).is_err());
     }
 
     #[test]
@@ -714,7 +945,7 @@ mod tests {
         assert_eq!(records[4].status, STATUS_INTERPOLATED);
         assert_eq!(records[4].t, 2.0);
         assert!((records[0].interp_bound - 1.0).abs() < 1e-12);
-        let health = SweepHealth::from_records(&records, 0);
+        let health = SweepHealth::from_records(&records, 0, scheduler::BatchStats::default());
         assert_eq!(health.interpolated, 3);
         assert_eq!(health.failed, 0);
         assert!((health.max_interp_bound - 1.0).abs() < 1e-12);
@@ -741,7 +972,7 @@ mod tests {
         let mut records = vec![mk(0), mk(1)];
         interpolate_failures(&mut records);
         assert!(records.iter().all(|r| r.status == STATUS_FAILED));
-        let health = SweepHealth::from_records(&records, 0);
+        let health = SweepHealth::from_records(&records, 0, scheduler::BatchStats::default());
         assert_eq!(health.failed, 2);
         let result = finalize(records, health, 0.0);
         assert!(result.spectrum.is_empty(), "failed points never enter the spectrum");

@@ -16,9 +16,16 @@ use qtx_core::{
     landauer_current_counted_ua, parallel_sweep, parallel_sweep_resumable, Device, PointRecord,
     SweepOptions, SweepPlan, SweepResult, CONDUCTANCE_QUANTUM_US,
 };
+use qtx_core::{Scheduler, SchedulerConfig};
 use qtx_linalg::fault::{self, FaultConfig};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// A fresh pinned-width pool, isolated from the process-global one so
+/// campaign quarantines cannot leak across tests.
+fn pool(workers: usize) -> Arc<Scheduler> {
+    Arc::new(Scheduler::new(SchedulerConfig { workers, ..SchedulerConfig::default() }))
+}
 
 static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
@@ -241,15 +248,22 @@ fn checkpoint_resume_is_bit_identical_under_faults() {
     let kill_after = plan.total_points() / 3;
     assert!(kill_after > 0);
     let partial = with_faults(Some(campaign), || {
-        let opts =
-            SweepOptions { checkpoint: Some(path.clone()), max_new_points: Some(kill_after) };
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            max_new_points: Some(kill_after),
+            scheduler: Some(pool(2)),
+        };
         parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
     });
     assert_eq!(partial.records.len(), kill_after, "the kill limit bounds the partial run");
     assert!(path.exists(), "killed run must leave its checkpoint behind");
 
     let resumed = with_faults(Some(campaign), || {
-        let opts = SweepOptions { checkpoint: Some(path.clone()), max_new_points: None };
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            max_new_points: None,
+            scheduler: Some(pool(2)),
+        };
         parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
     });
     assert_eq!(resumed.records.len(), uninterrupted.records.len());
@@ -263,9 +277,13 @@ fn checkpoint_resume_is_bit_identical_under_faults() {
     }
     assert_eq!(resumed.health, {
         let mut h = uninterrupted.health.clone();
-        // The resumed process only injected faults for the remaining
-        // points; everything else about the health must agree.
+        // The run-scoped fields (faults drawn, scheduler accounting) only
+        // cover the points each process actually computed; everything
+        // derived from the records themselves must agree.
         h.faults_injected = resumed.health.faults_injected;
+        h.panics = resumed.health.panics;
+        h.sched_retries = resumed.health.sched_retries;
+        h.quarantined = resumed.health.quarantined;
         h
     });
 
@@ -273,12 +291,123 @@ fn checkpoint_resume_is_bit_identical_under_faults() {
     // same records again.
     let before = fault::injected_total();
     let replay = with_faults(Some(campaign), || {
-        let opts = SweepOptions { checkpoint: Some(path.clone()), max_new_points: None };
+        let opts = SweepOptions {
+            checkpoint: Some(path.clone()),
+            max_new_points: None,
+            scheduler: Some(pool(2)),
+        };
         parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
     });
     assert_eq!(fault::injected_total(), before, "a cached resume must not recompute");
     assert!(replay.records.iter().zip(&resumed.records).all(|(a, b)| a.identity_eq(b)));
     std::fs::remove_file(&path).ok();
+}
+
+/// A campaign that only arms the opt-in scheduler-panic site.
+fn panic_campaign(rate: f64, seed: u64) -> FaultConfig {
+    let mut cfg = FaultConfig::new(rate, seed);
+    cfg.sites.factor_poly = false;
+    cfg.sites.self_energy = false;
+    cfg.sites.splitsolve = false;
+    cfg.sites.sched_panic = true;
+    cfg
+}
+
+#[test]
+fn injected_panics_are_isolated_counted_and_quarantined() {
+    // Every scheduler attempt at every point panics (rate 1.0): the pool
+    // must absorb each one, burn the retry budget, quarantine the points,
+    // and hand the sweep failed records — never unwind into the caller.
+    let dev = small_device();
+    let mut plan = small_plan(&dev);
+    plan.energies[0].truncate(3);
+    let sched = pool(2);
+    let opts =
+        SweepOptions { checkpoint: None, max_new_points: None, scheduler: Some(sched.clone()) };
+    let result = with_faults(Some(panic_campaign(1.0, 13)), || {
+        parallel_sweep_resumable(&dev, &plan, 2, &opts).unwrap()
+    });
+    assert_eq!(result.health.total_points, 3);
+    assert_eq!(result.health.failed, 3, "all-panic points cannot be interpolated");
+    assert_eq!(result.health.quarantined, 3);
+    // Default budget: 1 first try + 2 retries, each one a caught panic.
+    assert_eq!(result.health.panics, 9);
+    assert!(result.samples.iter().all(|s| s.3.is_nan()));
+    assert_eq!(sched.poisoned_count(), 3, "exhausted keys enter the poison set");
+
+    // The pool survives the barrage: the same sweep, disarmed, on the
+    // same pool is clean — a poisoned key only loses its retries, the
+    // first attempt still runs.
+    let clean = with_faults(None, || parallel_sweep_resumable(&dev, &plan, 2, &opts).unwrap());
+    assert_eq!(clean.health.failed, 0);
+    assert_eq!(clean.health.panics, 0);
+    assert_eq!(clean.health.quarantined, 0);
+}
+
+#[test]
+fn partial_panic_campaign_recovers_via_retry() {
+    // A 40% panic rate: the attempt number enters the injection key, so a
+    // scheduler retry re-draws and most points land. Recovered points are
+    // bit-identical to the fault-free sweep — a panicked attempt leaves
+    // no trace in the math.
+    let dev = small_device();
+    let plan = small_plan(&dev);
+    let clean = with_faults(None, || parallel_sweep(&dev, &plan, 3).unwrap());
+    let opts = SweepOptions { checkpoint: None, max_new_points: None, scheduler: Some(pool(2)) };
+    let faulty = with_faults(Some(panic_campaign(0.4, 17)), || {
+        parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
+    });
+    assert!(faulty.health.panics > 0, "a 40% campaign over a full sweep must fire");
+    assert_eq!(faulty.health.total_points, plan.total_points());
+    let clean_map = by_point(&clean);
+    for r in &faulty.records {
+        if r.status == qtx_core::sweep::STATUS_OK {
+            let c = clean_map[&(r.k_idx, r.e_idx)];
+            assert_eq!(
+                r.t.to_bits(),
+                c.t.to_bits(),
+                "point (k={}, e={}) solved after a panic must be bit-identical",
+                r.k_idx,
+                r.e_idx
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_is_bit_identical_across_worker_counts_under_faults() {
+    // The acceptance invariant, under both the ladder campaign and the
+    // panic site at once: fresh pools of width 1, 2, and 4 produce
+    // identical record sets and identical health.
+    let dev = small_device();
+    let plan = small_plan(&dev);
+    let mut campaign = FaultConfig::new(0.2, 7);
+    campaign.sites.sched_panic = true;
+    let runs: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| {
+            with_faults(Some(campaign), || {
+                let opts = SweepOptions {
+                    checkpoint: None,
+                    max_new_points: None,
+                    scheduler: Some(pool(w)),
+                };
+                parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
+            })
+        })
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(r.records.len(), runs[0].records.len());
+        for (a, b) in r.records.iter().zip(&runs[0].records) {
+            assert!(
+                a.identity_eq(b),
+                "worker-count changed a record (k={}, e={}):\n{a:?}\nvs\n{b:?}",
+                a.k_idx,
+                a.e_idx
+            );
+        }
+        assert_eq!(r.health, runs[0].health, "health must not depend on pool width");
+    }
 }
 
 #[test]

@@ -1,0 +1,90 @@
+//! Determinism battery for the supervised work-stealing scheduler.
+//!
+//! The scheduler's contract (`docs/scheduler.md`): a sweep's records are a
+//! pure function of the plan — the pool's width, steal order, and timing
+//! never leak into the results. These properties drive randomized sweep
+//! plans through fresh pools of 1, 2, and 4 workers and require the
+//! record sets to be `identity_eq` and the health accounting equal.
+//!
+//! The same invariance *under fault campaigns* (including the injected
+//! `sched_panic` site) lives in `fault_tolerance.rs`, which owns the
+//! process-global campaign configuration.
+
+use proptest::prelude::*;
+use qtx_atomistic::{BasisKind, DeviceBuilder};
+use qtx_core::{
+    parallel_sweep_resumable, Device, Scheduler, SchedulerConfig, SweepOptions, SweepPlan,
+    SweepResult,
+};
+use std::sync::Arc;
+
+fn small_device() -> Device {
+    let spec = DeviceBuilder::nanowire(0.8).cells(6).basis(BasisKind::TightBinding).build();
+    let mut d = Device::build(spec).unwrap();
+    let dk = d.at_kz(0.0);
+    let edge = dk.lead_l.dispersive_band_min(0.1, 0.3).expect("conduction edge");
+    d.config.mu_l = edge + 0.15;
+    d.config.mu_r = edge + 0.10;
+    d
+}
+
+fn sweep_on_fresh_pool(dev: &Device, plan: &SweepPlan, workers: usize) -> SweepResult {
+    let opts = SweepOptions {
+        checkpoint: None,
+        max_new_points: None,
+        scheduler: Some(Arc::new(Scheduler::new(SchedulerConfig {
+            workers,
+            ..SchedulerConfig::default()
+        }))),
+    };
+    parallel_sweep_resumable(dev, plan, 3, &opts).unwrap()
+}
+
+fn assert_runs_identical(reference: &SweepResult, other: &SweepResult, label: &str) {
+    assert_eq!(other.records.len(), reference.records.len(), "{label}: record count");
+    for (a, b) in other.records.iter().zip(&reference.records) {
+        assert!(
+            a.identity_eq(b),
+            "{label}: record (k={}, e={}) diverged:\n{a:?}\nvs\n{b:?}",
+            a.k_idx,
+            a.e_idx
+        );
+    }
+    assert_eq!(other.health, reference.health, "{label}: health accounting");
+    assert_eq!(other.spectrum, reference.spectrum, "{label}: spectrum");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized energy windows: the 1-worker pool defines the reference
+    /// ordering; 2- and 4-worker pools must reproduce it bit-for-bit.
+    #[test]
+    fn sweep_records_are_invariant_under_worker_count(
+        d_min_milli in 20usize..45,
+        width_milli in 60usize..120,
+    ) {
+        let dev = small_device();
+        let d_min = d_min_milli as f64 * 1e-3;
+        let d_max = d_min + width_milli as f64 * 1e-3;
+        let plan = SweepPlan::from_device(&dev, d_min, d_max);
+        prop_assert!(plan.total_points() > 0);
+        let reference = sweep_on_fresh_pool(&dev, &plan, 1);
+        for workers in [2usize, 4] {
+            let run = sweep_on_fresh_pool(&dev, &plan, workers);
+            assert_runs_identical(&reference, &run, &format!("{workers} workers"));
+        }
+    }
+}
+
+/// The non-randomized smoke version stays cheap enough for every CI leg.
+#[test]
+fn default_plan_is_invariant_under_worker_count() {
+    let dev = small_device();
+    let plan = SweepPlan::from_device(&dev, 0.05, 0.15);
+    let reference = sweep_on_fresh_pool(&dev, &plan, 1);
+    for workers in [2usize, 4] {
+        let run = sweep_on_fresh_pool(&dev, &plan, workers);
+        assert_runs_identical(&reference, &run, &format!("{workers} workers"));
+    }
+}

@@ -44,12 +44,24 @@ mod imp {
         pub self_energy: bool,
         /// `SplitSolve::solve_ws` (interior solve).
         pub splitsolve: bool,
+        /// Pre-solve panic in `qtx-core`'s scheduler workers. Unlike the
+        /// three chokepoints above, a hit here *panics* instead of
+        /// returning a typed error, bypassing the escalation ladder —
+        /// it exercises the pool's `catch_unwind` isolation. Opt-in only:
+        /// never armed by [`FaultSites::all`] or `sites=all`.
+        pub sched_panic: bool,
     }
 
     impl FaultSites {
-        /// Every site armed.
+        /// Every error-returning site armed (`sched_panic` stays off —
+        /// see its field docs).
         pub fn all() -> Self {
-            FaultSites { factor_poly: true, self_energy: true, splitsolve: true }
+            FaultSites {
+                factor_poly: true,
+                self_energy: true,
+                splitsolve: true,
+                sched_panic: false,
+            }
         }
 
         fn armed(&self, site: &str) -> bool {
@@ -57,6 +69,7 @@ mod imp {
                 "factor_poly" => self.factor_poly,
                 "self_energy" => self.self_energy,
                 "splitsolve" => self.splitsolve,
+                "sched_panic" => self.sched_panic,
                 _ => false,
             }
         }
@@ -101,13 +114,19 @@ mod imp {
                             factor_poly: false,
                             self_energy: false,
                             splitsolve: false,
+                            sched_panic: false,
                         };
                         for site in v.split('|') {
                             match site.trim() {
                                 "factor_poly" => sites.factor_poly = true,
                                 "self_energy" => sites.self_energy = true,
                                 "splitsolve" => sites.splitsolve = true,
-                                "all" => sites = FaultSites::all(),
+                                "sched_panic" => sites.sched_panic = true,
+                                "all" => {
+                                    let keep = sites.sched_panic;
+                                    sites = FaultSites::all();
+                                    sites.sched_panic = keep;
+                                }
                                 _ => return None,
                             }
                         }
@@ -262,5 +281,26 @@ mod tests {
         assert!(bare.sites.self_energy);
         assert!(FaultConfig::parse("rate=x").is_none());
         assert!(FaultConfig::parse("sites=bogus").is_none());
+    }
+
+    #[test]
+    fn sched_panic_site_is_strictly_opt_in() {
+        // Neither the programmatic `all()` nor the `sites=all` shorthand
+        // may arm the panic site: it bypasses the escalation ladder and
+        // must only fire in campaigns that asked for it by name.
+        assert!(!FaultSites::all().sched_panic);
+        assert!(!FaultConfig::new(1.0, 0).sites.sched_panic);
+        let all = FaultConfig::parse("rate=1.0,sites=all").unwrap();
+        assert!(all.sites.factor_poly && !all.sites.sched_panic);
+        let explicit = FaultConfig::parse("rate=1.0,sites=sched_panic").unwrap();
+        assert!(explicit.sites.sched_panic && !explicit.sites.splitsolve);
+        let mixed = FaultConfig::parse("rate=1.0,sites=sched_panic|all").unwrap();
+        assert!(mixed.sites.sched_panic && mixed.sites.splitsolve);
+        set_config(Some(explicit));
+        let before = injected_total();
+        assert!(should_fail("sched_panic", 1), "rate 1.0 must fire the armed site");
+        assert!(!should_fail("splitsolve", 1), "unarmed sites stay quiet");
+        assert_eq!(injected_total() - before, 1);
+        set_config(None);
     }
 }

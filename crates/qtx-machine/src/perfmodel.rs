@@ -309,6 +309,56 @@ impl PerfModel {
     }
 }
 
+/// Soft-deadline estimator for the energy-point scheduler in `qtx-core`.
+///
+/// §5.B: "the number of floating point operations (FLOPs) involved in
+/// SplitSolve is deterministic and can be accurately estimated" — so a
+/// point that blows far past its FLOP-derived budget is a *detectable
+/// anomaly* (straggler), not noise. The model converts the per-point
+/// SplitSolve ledger (the dominant cost) into milliseconds at a sustained
+/// local rate, multiplies in a generous slack factor, and clamps to a
+/// configurable floor so tiny test devices never flag scheduling jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineModel {
+    /// Sustained local compute rate (GFLOP/s) used to convert the ledger.
+    pub sustained_gflops: f64,
+    /// Minimum deadline (ms): below this, timing is all jitter.
+    pub floor_ms: f64,
+    /// Multiplier on the estimate — escalation rungs re-run the solve, so
+    /// the budget must cover several ladder walks, not one.
+    pub slack: f64,
+}
+
+impl Default for DeadlineModel {
+    fn default() -> Self {
+        DeadlineModel { sustained_gflops: 5.0, floor_ms: 250.0, slack: 8.0 }
+    }
+}
+
+impl DeadlineModel {
+    /// Single-partition SplitSolve FLOPs for raw matrix dimensions
+    /// (`block_size` × `num_blocks` blocks, `nrhs` injected columns) —
+    /// the same Algorithm 1 + post-processing + factorization terms as
+    /// [`PerfModel::splitsolve_flops`] at `partitions = 1` for a complex
+    /// device (a test pins the two ledgers together).
+    pub fn point_flops(block_size: usize, num_blocks: usize, nrhs: usize) -> f64 {
+        let s = block_size as f64;
+        let nb = num_blocks as f64;
+        let m = nrhs as f64;
+        let alg1_gemm = 2.0 * 2.0 * 8.0 * s * s * s;
+        let post_gemm = 8.0 * s * (2.0 * s) * m;
+        let solve = 2.0 * (8.0 / 3.0 * s * s * s + 8.0 * s * s * s);
+        nb * (alg1_gemm + post_gemm + solve)
+    }
+
+    /// Soft deadline (ms) for one energy point of the given dimensions.
+    pub fn soft_deadline_ms(&self, block_size: usize, num_blocks: usize, nrhs: usize) -> f64 {
+        let est_ms = Self::point_flops(block_size, num_blocks, nrhs)
+            / (self.sustained_gflops.max(1e-9) * 1e6);
+        (est_ms * self.slack).max(self.floor_ms)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +410,30 @@ mod tests {
         let cpu = m.feast_seconds(&dev, 4);
         let gpu = m.splitsolve_seconds(&dev, 4, false);
         assert!(cpu < gpu, "OBC {cpu} s must hide behind SplitSolve {gpu} s");
+    }
+
+    #[test]
+    fn deadline_ledger_matches_splitsolve_flops_at_one_partition() {
+        // Same formula, different entry point: for a complex device the
+        // dimension-based deadline ledger must equal the PerfModel's
+        // splitsolve terms at partitions = 1 (no SPIKE levels).
+        let m = PerfModel::titan();
+        let dev = PaperDevice::utbfet_23040();
+        let (gemm, solve) = m.splitsolve_flops(&dev, 1);
+        let deadline = DeadlineModel::point_flops(dev.block_size(), dev.num_blocks(), dev.nrhs);
+        let rel = ((gemm + solve) - deadline).abs() / (gemm + solve);
+        assert!(rel < 1e-12, "ledgers diverged by {rel}");
+    }
+
+    #[test]
+    fn deadline_floor_and_scaling() {
+        let dm = DeadlineModel::default();
+        // A tiny test device hits the floor.
+        assert_eq!(dm.soft_deadline_ms(8, 3, 8), dm.floor_ms);
+        // A paper-scale block is far above it and scales with the dims.
+        let big = dm.soft_deadline_ms(3840, 72, 64);
+        assert!(big > dm.floor_ms * 100.0, "paper-scale deadline {big} ms too small");
+        assert!(dm.soft_deadline_ms(3840, 144, 64) > 1.9 * big);
     }
 
     #[test]

@@ -51,6 +51,25 @@ impl Drop for WorkerLease {
     }
 }
 
+/// Marks the current thread as a member of an external persistent worker
+/// pool (e.g. `qtx-core`'s sweep scheduler) for the guard's lifetime.
+///
+/// Each guard charges one core's worth of workers against the nesting
+/// cap, so a single pool worker still leaves headroom for inner shim
+/// parallelism (a parallel gemm under one energy point), while two or
+/// more concurrent pool workers saturate the cap and nested parallel
+/// sections run inline — pool threads never multiply through scoped
+/// spawns.
+pub struct PoolWorkerGuard {
+    _lease: WorkerLease,
+}
+
+/// Acquires a [`PoolWorkerGuard`] for the current thread.
+pub fn enter_pool_worker() -> PoolWorkerGuard {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    PoolWorkerGuard { _lease: WorkerLease::acquire(cores) }
+}
+
 /// Runs `a` and `b` potentially in parallel and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -62,12 +81,27 @@ where
     if available_workers() <= 1 {
         return (a(), b());
     }
+    join_parallel(a, b)
+}
+
+/// The spawning path of [`join`]. `b` runs on the calling thread; if the
+/// spawned `a` panics, its original payload is re-raised here (after `b`
+/// has finished — no sibling is abandoned mid-write).
+fn join_parallel<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
     std::thread::scope(|s| {
         let _lease = WorkerLease::acquire(1);
         let ha = s.spawn(a);
         let rb = b();
-        let ra = ha.join().expect("rayon-shim join worker panicked");
-        (ra, rb)
+        match ha.join() {
+            Ok(ra) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     })
 }
 
@@ -83,7 +117,20 @@ where
     if workers <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    // Split into `workers` nearly equal runs, keep chunk order.
+    par_map_vec_chunked(items, f, workers)
+}
+
+/// The spawning path of [`par_map_vec`]: splits into `workers` nearly
+/// equal runs, keeps chunk order, and joins *every* sibling before
+/// propagating the first panic payload — a panicking chunk never leaves
+/// its siblings' writes torn mid-flight.
+fn par_map_vec_chunked<T, U, F>(items: Vec<T>, f: &F, workers: usize) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
     let chunk = n.div_ceil(workers);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
     let mut items = items;
@@ -93,15 +140,24 @@ where
     }
     let _lease = WorkerLease::acquire(chunks.len());
     let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
             .collect();
         for h in handles {
-            out.push(h.join().expect("rayon-shim map worker panicked"));
+            match h.join() {
+                Ok(part) => out.push(part),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            }
         }
     });
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
     out.into_iter().flatten().collect()
 }
 
@@ -282,6 +338,58 @@ mod tests {
         let (a, b) = crate::join(|| 21 * 2, || "ok");
         assert_eq!(a, 42);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn panicking_chunk_joins_all_siblings_first() {
+        // One of four chunks panics; the other three must still run to
+        // completion (their writes land) before the panic propagates, and
+        // the original payload must survive the join.
+        use std::sync::atomic::AtomicBool;
+        let n = 64usize;
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::par_map_vec_chunked(
+                items,
+                &|i| {
+                    if i == 0 {
+                        panic!("chunk zero down");
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    done[i].store(true, Ordering::SeqCst);
+                },
+                4,
+            )
+        }))
+        .unwrap_err();
+        assert_eq!(caught.downcast_ref::<&str>(), Some(&"chunk zero down"));
+        // Chunks 1..3 (items 16..64) must all have completed despite the
+        // early panic in chunk 0.
+        for (i, flag) in done.iter().enumerate().skip(n / 4) {
+            assert!(flag.load(Ordering::SeqCst), "sibling item {i} was abandoned");
+        }
+    }
+
+    #[test]
+    fn join_preserves_spawned_panic_payload() {
+        let caught =
+            std::panic::catch_unwind(|| super::join_parallel(|| panic!("left arm down"), || 7))
+                .unwrap_err();
+        assert_eq!(caught.downcast_ref::<&str>(), Some(&"left arm down"));
+    }
+
+    #[test]
+    fn pool_worker_guard_inlines_nested_parallelism() {
+        // With two pool-worker guards held the nesting cap is saturated:
+        // a parallel section must degrade to the calling thread instead
+        // of spawning.
+        let _g1 = crate::enter_pool_worker();
+        let _g2 = crate::enter_pool_worker();
+        let me = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> =
+            (0..16usize).into_par_iter().map(|_| std::thread::current().id()).collect();
+        assert!(ids.iter().all(|&id| id == me), "saturated sections must run inline");
     }
 
     #[test]
