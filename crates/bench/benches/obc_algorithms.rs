@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use qtx_atomistic::{BasisKind, DeviceBuilder};
 use qtx_core::Device;
 use qtx_obc::{
-    self_energy, self_energy_decimation, CompanionPencil, FeastConfig, LeadBlocks, ObcMethod, Side,
+    self_energy, self_energy_decimation, CompanionPencil, Eta, FeastConfig, LeadBlocks, ObcMethod,
+    Side,
 };
 use std::hint::black_box;
 
@@ -25,13 +26,21 @@ fn bench_obc(c: &mut Criterion) {
     g.bench_function("feast_annulus", |b| {
         b.iter(|| {
             black_box(
-                self_energy(&lead, e, Side::Left, ObcMethod::Feast(FeastConfig::default()))
-                    .unwrap(),
+                self_energy(
+                    &lead,
+                    e,
+                    Eta::ZERO,
+                    Side::Left,
+                    ObcMethod::Feast(FeastConfig::default()),
+                )
+                .unwrap(),
             )
         })
     });
     g.bench_function("shift_invert_dense", |b| {
-        b.iter(|| black_box(self_energy(&lead, e, Side::Left, ObcMethod::ShiftInvert).unwrap()))
+        b.iter(|| {
+            black_box(self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap())
+        })
     });
     g.bench_function("sancho_rubio_decimation", |b| {
         b.iter(|| black_box(self_energy_decimation(&lead, e, 1e-8, Side::Left).unwrap()))

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qtx_atomistic::{BasisKind, DeviceBuilder};
-use qtx_core::transport::solve_energy_point;
-use qtx_core::Device;
+use qtx_core::{Device, PointPolicy, TransportEngine};
 use qtx_obc::ObcMethod;
 use std::hint::black_box;
 
@@ -24,9 +23,11 @@ fn bench_energy_point(c: &mut Criterion) {
         [("tight_binding", BasisKind::TightBinding), ("dft_3sp", BasisKind::Dft3sp)]
     {
         let (dev, e) = device(basis);
-        let dk = dev.at_kz(0.0);
+        let engine = TransportEngine::new(dev);
         g.bench_function(name, |b| {
-            b.iter(|| black_box(solve_energy_point(&dk, e, &dev.config).unwrap()))
+            b.iter(|| {
+                black_box(engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().unwrap())
+            })
         });
     }
     g.finish();
@@ -36,13 +37,17 @@ fn bench_obc_method_ablation(c: &mut Criterion) {
     // DESIGN.md ablation: the OBC algorithm is the knob that moved the
     // paper from 1000-atom to 50 000-atom systems.
     let (dev, e) = device(BasisKind::Dft3sp);
-    let dk = dev.at_kz(0.0);
     let mut g = c.benchmark_group("obc_ablation_full_point");
     g.sample_size(10);
     for (name, obc) in [("feast", ObcMethod::default()), ("shift_invert", ObcMethod::ShiftInvert)] {
-        let mut cfg = dev.config;
-        cfg.obc = obc;
-        g.bench_function(name, |b| b.iter(|| black_box(solve_energy_point(&dk, e, &cfg).unwrap())));
+        let mut d = dev.clone();
+        d.config.obc = obc;
+        let engine = TransportEngine::new(d);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().unwrap())
+            })
+        });
     }
     g.finish();
 }

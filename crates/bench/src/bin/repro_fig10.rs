@@ -8,8 +8,8 @@
 use qtx_atomistic::{BasisKind, DeviceBuilder};
 use qtx_bench::{print_table, Row};
 use qtx_core::observables::{accumulate, spectral_map};
-use qtx_core::transport::solve_energy_point;
 use qtx_core::{landauer_current_ua, schrodinger_poisson, Device, EnergyGrid, ScfConfig};
+use qtx_core::{PointPolicy, TransportEngine};
 
 fn main() {
     let spec = DeviceBuilder::nanowire(0.8).cells(10).basis(BasisKind::TightBinding).build();
@@ -37,10 +37,11 @@ fn main() {
     let (lo, hi) = dev.fermi_window(8.0);
     let (blo, bhi) = dk.lead_l.band_window(24);
     let grid = EnergyGrid::uniform(lo.max(blo), hi.min(bhi), 24);
+    let engine = TransportEngine::new(dev.clone());
     let points: Vec<_> = grid
         .points
         .iter()
-        .map(|&e| solve_energy_point(&dk, e, &dev.config).expect("point"))
+        .map(|&e| engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().expect("point"))
         .collect();
     let de = grid.points[1] - grid.points[0];
     let weights = vec![de; points.len()];

@@ -4,8 +4,7 @@
 use qtx_accel::{power_profile, AccelRuntime, GpuSpec, TraceSummary};
 use qtx_atomistic::{BasisKind, DeviceBuilder};
 use qtx_bench::{print_table, Row};
-use qtx_core::transport::solve_energy_point_with_runtime;
-use qtx_core::Device;
+use qtx_core::{Device, PointPolicy, TransportEngine};
 use qtx_machine::fig12_power;
 use qtx_solver::SolverKind;
 
@@ -33,7 +32,10 @@ fn main() {
     let dk = dev.at_kz(0.0);
     let e = dk.lead_l.dispersive_energy(1.0, 0.2, 0.3).expect("band");
     let rt = AccelRuntime::new(4, GpuSpec::k20x_titan());
-    let _ = solve_energy_point_with_runtime(&dk, e, &dev.config, Some(&rt)).expect("solve");
+    let _ = TransportEngine::new(dev)
+        .solve_point(e, 0.0, &PointPolicy::direct().with_runtime(&rt))
+        .into_result()
+        .expect("solve");
     let records = rt.traces();
     println!("\nFig. 12(b) — GPU activity during one energy point (4 GPUs):");
     println!("{}", TraceSummary::activity_chart(&records, 4, 64));

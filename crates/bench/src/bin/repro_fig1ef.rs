@@ -13,7 +13,7 @@ use qtx_atomistic::BasisKind;
 use qtx_bench::{print_table, Row};
 use qtx_core::observables::bond_current_of_state;
 use qtx_core::transport::solve_with_obc;
-use qtx_obc::{self_energy, LeadBlocks, ObcMethod, Side};
+use qtx_obc::{self_energy, Eta, LeadBlocks, ObcMethod, Side};
 
 fn main() {
     // --- Fig. 1(e): volume expansion vs capacity -------------------------
@@ -42,8 +42,10 @@ fn main() {
     );
     // Probe at a conducting energy of the SnO contact.
     let e = lead.dispersive_energy(1.0, 0.2, 0.25).expect("conduction band");
-    let obc_l = self_energy(&lead, e, Side::Left, ObcMethod::ShiftInvert).expect("obc L");
-    let obc_r = self_energy(&lead, e, Side::Right, ObcMethod::ShiftInvert).expect("obc R");
+    let obc_l =
+        self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).expect("obc L");
+    let obc_r =
+        self_energy(&lead, e, Eta::ZERO, Side::Right, ObcMethod::ShiftInvert).expect("obc R");
     let dk =
         qtx_core::device::DeviceK { lead_l: lead.clone(), lead_r: lead, h: dm.h, s: dm.s, kz: 0.0 };
     let cfg = qtx_core::TransportConfig::default();

@@ -4,7 +4,7 @@
 
 use qtx_atomistic::{BasisKind, DeviceBuilder};
 use qtx_core::Device;
-use qtx_obc::{self_energy, ObcMethod, Side};
+use qtx_obc::{self_energy, Eta, ObcMethod, Side};
 use qtx_solver::ObcSystem;
 use qtx_sparse::{spy_string, Csr};
 
@@ -13,8 +13,10 @@ fn main() {
     let dev = Device::build(spec).expect("device");
     let dk = dev.at_kz(0.0);
     let e = dk.lead_l.dispersive_energy(1.0, 0.2, 0.3).expect("band");
-    let obc_l = self_energy(&dk.lead_l, e, Side::Left, ObcMethod::ShiftInvert).expect("L");
-    let obc_r = self_energy(&dk.lead_r, e, Side::Right, ObcMethod::ShiftInvert).expect("R");
+    let obc_l =
+        self_energy(&dk.lead_l, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).expect("L");
+    let obc_r =
+        self_energy(&dk.lead_r, e, Eta::ZERO, Side::Right, ObcMethod::ShiftInvert).expect("R");
     let sys = ObcSystem {
         a: dk.es_minus_h(e),
         sigma_l: obc_l.sigma.clone(),

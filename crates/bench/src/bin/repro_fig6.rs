@@ -6,8 +6,7 @@
 use qtx_accel::{AccelRuntime, GpuSpec, TraceSummary};
 use qtx_atomistic::{BasisKind, DeviceBuilder};
 use qtx_bench::{print_table, Row};
-use qtx_core::transport::solve_energy_point_with_runtime;
-use qtx_core::Device;
+use qtx_core::{Device, PointPolicy, TransportEngine};
 use qtx_solver::SolverKind;
 
 fn main() {
@@ -17,7 +16,10 @@ fn main() {
     let dk = dev.at_kz(0.0);
     let e = dk.lead_l.dispersive_energy(1.0, 0.2, 0.3).expect("band");
     let rt = AccelRuntime::new(4, GpuSpec::k20x());
-    let r = solve_energy_point_with_runtime(&dk, e, &dev.config, Some(&rt)).expect("solve");
+    let r = TransportEngine::new(dev)
+        .solve_point(e, 0.0, &PointPolicy::direct().with_runtime(&rt))
+        .into_result()
+        .expect("solve");
     println!(
         "device: {} blocks of size {}, T(E) = {:.4}",
         dk.h.num_blocks(),

@@ -10,8 +10,7 @@
 
 use qtx_atomistic::{BasisKind, DeviceBuilder};
 use qtx_bench::{print_table, Row};
-use qtx_core::transport::solve_energy_point;
-use qtx_core::Device;
+use qtx_core::{Device, PointPolicy, TransportEngine};
 use qtx_machine::{fig8_comparison, PaperDevice};
 use qtx_obc::{FeastConfig, ObcMethod};
 use qtx_solver::SolverKind;
@@ -56,11 +55,12 @@ fn real_downscaled() {
             SolverKind::SplitSolve { partitions: 2 },
         ),
     ] {
-        let mut cfg = dev.config;
-        cfg.obc = obc;
-        cfg.solver = solver;
+        let mut d = dev.clone();
+        d.config.obc = obc;
+        d.config.solver = solver;
+        let engine = TransportEngine::new(d);
         let t0 = Instant::now();
-        let r = solve_energy_point(&dk, e, &cfg).expect("solve");
+        let r = engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().expect("solve");
         let dt = t0.elapsed().as_secs_f64();
         if let Some(t_ref) = reference {
             let t_ref: f64 = t_ref;

@@ -1,0 +1,353 @@
+//! The unified transport front door.
+//!
+//! Before this module, callers juggled three free functions
+//! (`solve_energy_point`, `solve_energy_point_with_runtime`,
+//! `solve_energy_point_robust`), a hand-rolled `SweepOptions` literal and
+//! a process-global scheduler — and each call re-derived the shared state
+//! (folded `DeviceK`, lead content hashes, cache resolution) from
+//! scratch. [`TransportEngine`] owns that state once:
+//!
+//! * the device and its [`TransportConfig`];
+//! * the momentum-folded `DeviceK` builds, memoized per `kz`;
+//! * the optional scheduler pool shared by its sweeps;
+//! * the optional content-addressed self-energy cache
+//!   ([`crate::cache::SigmaCache`]) with the lead hashes computed once.
+//!
+//! Point solves go through [`TransportEngine::solve_point`] with a
+//! [`PointPolicy`] (direct / robust ladder / interpolation-enabled);
+//! sweeps go through [`TransportEngine::sweep`] /
+//! [`TransportEngine::sweep_resumable`] and inherit the engine's
+//! scheduler and cache unless the options override them. The old free
+//! functions survive as `#[deprecated]` forwarders.
+
+use crate::cache::{CacheConfig, CacheHandle, CachePolicy, CacheStats, SigmaCache};
+use crate::device::{Device, DeviceK, TransportConfig};
+use crate::error::TransportResult;
+use crate::scheduler::Scheduler;
+use crate::sweep::{parallel_sweep_resumable, SweepOptions, SweepPlan, SweepResult};
+use crate::transport::{
+    self, caroli_from_sigmas, EnergyPointResult, PointOutcome, RobustSolve, METHOD_CACHE_INTERP,
+};
+use qtx_accel::AccelRuntime;
+use qtx_linalg::ZMat;
+use qtx_obc::Side;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How [`TransportEngine::solve_point`] attacks one (E, kz) pixel.
+///
+/// `#[non_exhaustive]`: build through the constructors
+/// ([`PointPolicy::direct`], [`PointPolicy::robust`],
+/// [`PointPolicy::interpolating`]) plus [`PointPolicy::with_runtime`].
+#[derive(Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct PointPolicy<'rt> {
+    /// Walk the escalation ladder on failure instead of returning the
+    /// first error.
+    pub robust: bool,
+    /// Allow serving Σ from validated cache interpolation intervals
+    /// (see `docs/cache.md` for the error contract). Never affects
+    /// sweeps — only explicit point queries opt in.
+    pub allow_interp: bool,
+    /// Accelerator runtime for the Eq. 5 solve (direct path only; the
+    /// ladder always runs on the host, matching the pre-engine behavior).
+    pub runtime: Option<&'rt AccelRuntime>,
+}
+
+impl PointPolicy<'static> {
+    /// Single attempt with the configured method; errors surface as-is.
+    pub fn direct() -> Self {
+        PointPolicy { robust: false, allow_interp: false, runtime: None }
+    }
+
+    /// Full escalation ladder (the sweep's per-point behavior).
+    pub fn robust() -> Self {
+        PointPolicy { robust: true, allow_interp: false, runtime: None }
+    }
+
+    /// Ladder + cache interpolation: a point bracketed by a validated
+    /// interval skips the OBC solves entirely and reports
+    /// [`METHOD_CACHE_INTERP`] with its error bound in
+    /// [`PointOutcome::interp_bound`].
+    pub fn interpolating() -> Self {
+        PointPolicy { robust: true, allow_interp: true, runtime: None }
+    }
+}
+
+impl<'rt> PointPolicy<'rt> {
+    /// Attaches an accelerator runtime (used by the direct path).
+    pub fn with_runtime<'a>(self, rt: &'a AccelRuntime) -> PointPolicy<'a> {
+        PointPolicy { robust: self.robust, allow_interp: self.allow_interp, runtime: Some(rt) }
+    }
+}
+
+impl std::fmt::Debug for PointPolicy<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PointPolicy")
+            .field("robust", &self.robust)
+            .field("allow_interp", &self.allow_interp)
+            .field("runtime", &self.runtime.is_some())
+            .finish()
+    }
+}
+
+/// Builder of [`TransportEngine`]; see [`TransportEngine::builder`].
+pub struct TransportEngineBuilder {
+    device: Device,
+    config: Option<TransportConfig>,
+    scheduler: Option<Arc<Scheduler>>,
+    cache: CachePolicy,
+    cache_config: Option<CacheConfig>,
+}
+
+impl TransportEngineBuilder {
+    /// Overrides the device's transport configuration.
+    pub fn config(mut self, cfg: TransportConfig) -> Self {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Scheduler pool the engine's sweeps run on (defaults to the
+    /// process-global pool at sweep time).
+    pub fn scheduler(mut self, sched: Arc<Scheduler>) -> Self {
+        self.scheduler = Some(sched);
+        self
+    }
+
+    /// Cache policy ([`CachePolicy::Auto`] honors `QTX_OBC_CACHE_BYTES`).
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
+    /// Creates a private cache with these knobs (the way to enable the
+    /// interpolation layer, which the env-armed global cache keeps off).
+    pub fn cache_config(mut self, cfg: CacheConfig) -> Self {
+        self.cache_config = Some(cfg);
+        self
+    }
+
+    /// Finishes the engine. Infallible — every knob combination is
+    /// meaningful ([`Self::cache_config`] takes precedence over
+    /// [`Self::cache`] when both are set).
+    pub fn build(self) -> TransportEngine {
+        let mut device = self.device;
+        if let Some(cfg) = self.config {
+            device.config = cfg;
+        }
+        let cache = match self.cache_config {
+            Some(cfg) => Some(Arc::new(SigmaCache::new(cfg))),
+            None => self.cache.resolve(),
+        };
+        TransportEngine {
+            device,
+            scheduler: self.scheduler,
+            cache,
+            dks: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// A transport session over one device: the single front door for point
+/// solves and sweeps. Cheap to share behind an `Arc`; all interior state
+/// is synchronized.
+pub struct TransportEngine {
+    device: Device,
+    scheduler: Option<Arc<Scheduler>>,
+    cache: Option<Arc<SigmaCache>>,
+    /// Folded `DeviceK` (plus its cache handle with the lead hashes
+    /// computed once), memoized per `kz` bit pattern.
+    dks: Mutex<HashMap<u64, FoldedK>>,
+}
+
+/// A folded device at one `kz` together with its per-lead cache handle.
+type FoldedK = (Arc<DeviceK>, Option<CacheHandle>);
+
+impl std::fmt::Debug for TransportEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportEngine")
+            .field("config", &self.device.config)
+            .field("cache", &self.cache)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TransportEngine {
+    /// Starts building an engine over `device`.
+    pub fn builder(device: Device) -> TransportEngineBuilder {
+        TransportEngineBuilder {
+            device,
+            config: None,
+            scheduler: None,
+            cache: CachePolicy::Auto,
+            cache_config: None,
+        }
+    }
+
+    /// An engine with all defaults (env-armed cache, global scheduler).
+    pub fn new(device: Device) -> TransportEngine {
+        TransportEngine::builder(device).build()
+    }
+
+    /// The device this engine solves on.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The active transport configuration.
+    pub fn config(&self) -> &TransportConfig {
+        &self.device.config
+    }
+
+    /// Counter snapshot of the engine's cache, `None` when caching is off.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The engine's cache, if any (share it across engines via
+    /// [`CachePolicy::Shared`] to keep Σ warm between sessions).
+    pub fn cache(&self) -> Option<&Arc<SigmaCache>> {
+        self.cache.as_ref()
+    }
+
+    fn dk_at(&self, kz: f64) -> (Arc<DeviceK>, Option<CacheHandle>) {
+        let mut dks = self.dks.lock().expect("engine dk map");
+        dks.entry(kz.to_bits())
+            .or_insert_with(|| {
+                let dk = Arc::new(self.device.at_kz(kz));
+                let handle = self.cache.as_ref().map(|c| CacheHandle::for_dk(c.clone(), &dk));
+                (dk, handle)
+            })
+            .clone()
+    }
+
+    /// Solves one (E, kz) pixel under `policy`. Always returns a
+    /// [`RobustSolve`] so callers see the same record shape whichever
+    /// path produced the point; collapse with [`RobustSolve::into_result`]
+    /// when only the result matters.
+    pub fn solve_point(&self, e: f64, kz: f64, policy: &PointPolicy<'_>) -> RobustSolve {
+        let (dk, handle) = self.dk_at(kz);
+        let cfg = &self.device.config;
+        if policy.allow_interp {
+            if let Some(h) = &handle {
+                if let Some(rs) = self.try_interp_point(&dk, h, e) {
+                    return rs;
+                }
+            }
+        }
+        if policy.robust {
+            return transport::solve_point_robust_raw(&dk, e, cfg, handle.as_ref());
+        }
+        let start = Instant::now();
+        match transport::solve_point_direct(&dk, e, cfg, policy.runtime, handle.as_ref()) {
+            Ok(result) => RobustSolve {
+                result: Some(result),
+                outcome: PointOutcome {
+                    method_used: 0,
+                    attempts: 1,
+                    escalations: 0,
+                    residual: 0.0,
+                    eta: 0.0,
+                    interp_bound: 0.0,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                },
+                error: None,
+            },
+            Err(error) => RobustSolve {
+                result: None,
+                outcome: PointOutcome {
+                    method_used: transport::METHOD_FAILED,
+                    attempts: 1,
+                    escalations: 0,
+                    residual: f64::INFINITY,
+                    eta: 0.0,
+                    interp_bound: 0.0,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                },
+                error: Some(error),
+            },
+        }
+    }
+
+    /// Interpolation fast path: both sides must be servable from the
+    /// cache (an exact stored frame counts; at least one side must come
+    /// from a validated interval for this to beat the plain hit path).
+    /// The transmission then comes from the mode-free Caroli route, like
+    /// the decimation rung — interpolated Σ carries no mode sets.
+    fn try_interp_point(&self, dk: &DeviceK, h: &CacheHandle, e: f64) -> Option<RobustSolve> {
+        let start = Instant::now();
+        let cfg = &self.device.config;
+        let side_sigma = |side: Side| -> Option<(ZMat, f64)> {
+            let hash = h.hash_of(side);
+            if let Some(exact) = h.cache().lookup_exact(hash, e, 0.0, side, cfg.obc) {
+                return Some((exact.sigma, 0.0));
+            }
+            h.cache().try_interpolate(hash, e, 0.0, side, cfg.obc)
+        };
+        let (sigma_l, bound_l) = side_sigma(Side::Left)?;
+        let (sigma_r, bound_r) = side_sigma(Side::Right)?;
+        let bound = bound_l.max(bound_r);
+        if bound == 0.0 {
+            // Both sides were exact hits: let the normal path produce the
+            // full wave-function result instead of the Caroli fallback.
+            return None;
+        }
+        let t = caroli_from_sigmas(dk, e, 0.0, &sigma_l, &sigma_r).ok()?;
+        if !t.is_finite() {
+            return None;
+        }
+        Some(RobustSolve {
+            result: Some(EnergyPointResult {
+                e,
+                kz: dk.kz,
+                transmission: t,
+                transmission_rl: t,
+                reflection: 0.0,
+                channels: (0, 0),
+                psi: ZMat::zeros(0, 0),
+                m_left: 0,
+                sigma_l,
+                sigma_r,
+            }),
+            outcome: PointOutcome {
+                method_used: METHOD_CACHE_INTERP,
+                attempts: 1,
+                escalations: 0,
+                residual: 0.0,
+                eta: 0.0,
+                interp_bound: bound,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            },
+            error: None,
+        })
+    }
+
+    /// Runs a sweep with default options (engine scheduler + cache).
+    pub fn sweep(&self, plan: &SweepPlan, n_ranks: usize) -> TransportResult<SweepResult> {
+        self.sweep_resumable(plan, n_ranks, &SweepOptions::default())
+    }
+
+    /// [`Self::sweep`] with explicit options. `opts.scheduler = None`
+    /// inherits the engine's pool; `opts.cache = Auto` inherits the
+    /// engine's cache (or stays off when the engine has none — an
+    /// engine-level "Auto" has already been resolved at build time).
+    pub fn sweep_resumable(
+        &self,
+        plan: &SweepPlan,
+        n_ranks: usize,
+        opts: &SweepOptions,
+    ) -> TransportResult<SweepResult> {
+        let mut o = opts.clone();
+        if o.scheduler.is_none() {
+            o.scheduler = self.scheduler.clone();
+        }
+        if matches!(o.cache, CachePolicy::Auto) {
+            o.cache = match &self.cache {
+                Some(c) => CachePolicy::Shared(c.clone()),
+                None => CachePolicy::Off,
+            };
+        }
+        parallel_sweep_resumable(&self.device, plan, n_ranks, &o)
+    }
+}

@@ -24,9 +24,11 @@
 //!   Fig. 9 over the simulated MPI fabric, with dynamic node-per-k
 //!   allocation (ref. [45]).
 
+pub mod cache;
 pub mod checkpoint;
 pub mod device;
 pub mod energygrid;
+pub mod engine;
 pub mod error;
 pub mod landauer;
 pub mod observables;
@@ -35,9 +37,11 @@ pub mod scheduler;
 pub mod sweep;
 pub mod transport;
 
+pub use cache::{global as global_sigma_cache, CacheConfig, CachePolicy, CacheStats, SigmaCache};
 pub use checkpoint::CheckpointError;
 pub use device::{Device, DeviceK, TransportConfig};
 pub use energygrid::EnergyGrid;
+pub use engine::{PointPolicy, TransportEngine, TransportEngineBuilder};
 pub use error::{TransportError, TransportResult};
 pub use landauer::{
     fermi, landauer_current_counted_ua, landauer_current_ua, CONDUCTANCE_QUANTUM_US,
@@ -48,17 +52,22 @@ pub use scheduler::{
     BatchOptions, BatchStats, Scheduler, SchedulerConfig, TaskAttempt, TaskReport,
 };
 pub use sweep::{
-    parallel_sweep, parallel_sweep_resumable, PointRecord, SweepHealth, SweepOptions, SweepPlan,
-    SweepResult,
+    parallel_sweep, parallel_sweep_resumable, PointRecord, SweepHealth, SweepOptions,
+    SweepOptionsBuilder, SweepOptionsError, SweepPlan, SweepResult,
 };
-pub use transport::{
-    caroli_transmission, solve_energy_point, solve_energy_point_robust, EnergyPointResult,
-    PointOutcome, RobustSolve,
-};
+pub use transport::{caroli_transmission, EnergyPointResult, PointOutcome, RobustSolve};
+#[allow(deprecated)]
+pub use transport::{solve_energy_point, solve_energy_point_robust};
 
 /// Convenience one-shot ballistic transmission at a single energy with
 /// default configuration (quickstart API).
 pub fn transmission(device: &Device, energy: f64) -> TransportResult<EnergyPointResult> {
     let dk = device.at_kz(0.0);
-    transport::solve_energy_point(&dk, energy, &device.config)
+    transport::solve_point_direct(
+        &dk,
+        energy,
+        &device.config,
+        None,
+        cache::env_handle(&dk).as_ref(),
+    )
 }

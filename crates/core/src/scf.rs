@@ -14,7 +14,7 @@ use crate::error::TransportResult;
 use crate::landauer::landauer_current_ua;
 use crate::observables::accumulate;
 use crate::scheduler::{self, BatchOptions, TaskAttempt};
-use crate::transport::solve_energy_point;
+use crate::transport::solve_point_direct;
 use qtx_poisson::{gated_poisson_1d, GateSpec};
 use std::sync::Arc;
 
@@ -137,10 +137,19 @@ pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> TransportResult
         // tearing down the whole iteration.
         let dk_shared = Arc::new(dk);
         let run_dk = Arc::clone(&dk_shared);
+        // Env-armed self-energy cache: the gate potential folds into the
+        // channel, not the leads, so Σ(E) survives across SCF iterations
+        // and bias points — exactly the reuse the cache is for. (The
+        // handle re-hashes the leads each iteration; if a model ever does
+        // shift them, the content address changes and nothing stale is
+        // served.)
+        let cache = crate::cache::env_handle(&dk_shared);
         let reports = scheduler::global().execute(
             grid.points.clone(),
             &BatchOptions { deadline_ms: None, keys: None, max_retries: Some(0) },
-            move |_, &e, _| TaskAttempt::Done(solve_energy_point(&run_dk, e, &cfg_t)),
+            move |_, &e, _| {
+                TaskAttempt::Done(solve_point_direct(&run_dk, e, &cfg_t, None, cache.as_ref()))
+            },
             |_, _, _, err| Err(crate::error::TransportError::Panic { what: err.to_string() }),
         );
         let points: Vec<_> =

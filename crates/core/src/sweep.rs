@@ -25,12 +25,13 @@
 //! Fig. 9 communication topology while `QTX_SCHED_WORKERS` (or
 //! [`SweepOptions::scheduler`]) controls the real compute threads.
 
+use crate::cache::{CacheHandle, CachePolicy, SigmaCache};
 use crate::checkpoint;
 use crate::device::Device;
 use crate::energygrid::EnergyGrid;
 use crate::error::{TransportError, TransportResult};
 use crate::scheduler::{self, Scheduler};
-use crate::transport::{solve_energy_point_robust, METHOD_FAILED};
+use crate::transport::{solve_point_robust_raw, METHOD_FAILED};
 use qtx_mpi::{run_world, Comm, CostModel};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -285,15 +286,26 @@ pub struct SweepHealth {
     /// Points the deadline supervisor flagged as overdue this run
     /// (wall-time-derived — excluded from [`PartialEq`]).
     pub stragglers: usize,
+    /// Self-energy cache hits this run (0 when no cache is armed).
+    /// Hit/miss splits are scheduling-dependent — two workers racing the
+    /// same key may both miss — so all three cache counters are excluded
+    /// from [`PartialEq`], like `stragglers`.
+    pub cache_hits: u64,
+    /// Self-energy cache misses (real OBC solves) this run.
+    pub cache_misses: u64,
+    /// Interpolated self-energies served this run (always 0 on the sweep
+    /// path, which never interpolates Σ; present for engine-level sweeps
+    /// sharing a cache with interpolating point queries).
+    pub cache_interp: u64,
     /// Worst accepted residual across solved points.
     pub worst_residual: f64,
     /// Largest interpolation error bound.
     pub max_interp_bound: f64,
 }
 
-/// Everything except `stragglers`, which depends on wall time the way
-/// [`PointRecord::wall_ms`] does and may legitimately differ between two
-/// otherwise bit-identical schedules.
+/// Everything except `stragglers` (wall-time-derived) and the cache
+/// counters (scheduling-dependent): both may legitimately differ between
+/// two otherwise bit-identical schedules.
 impl PartialEq for SweepHealth {
     fn eq(&self, other: &Self) -> bool {
         self.total_points == other.total_points
@@ -315,6 +327,7 @@ impl SweepHealth {
         records: &[PointRecord],
         faults_injected: u64,
         stats: scheduler::BatchStats,
+        cache: (u64, u64, u64),
     ) -> SweepHealth {
         let mut h = SweepHealth {
             total_points: records.len(),
@@ -323,6 +336,9 @@ impl SweepHealth {
             sched_retries: stats.retries,
             quarantined: stats.quarantined,
             stragglers: stats.stragglers,
+            cache_hits: cache.0,
+            cache_misses: cache.1,
+            cache_interp: cache.2,
             ..Default::default()
         };
         for r in records {
@@ -364,8 +380,13 @@ pub struct SweepResult {
     pub health: SweepHealth,
 }
 
-/// Knobs of [`parallel_sweep_resumable`].
+/// Knobs of [`parallel_sweep_resumable`]. Construct through
+/// [`SweepOptions::builder`] — the struct is `#[non_exhaustive]` so new
+/// knobs (like `cache`) can land without breaking downstream literals,
+/// and the builder rejects incompatible combinations with a typed error
+/// instead of letting them silently misbehave at sweep time.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct SweepOptions {
     /// Checkpoint file: loaded (if present) before sweeping, written
     /// after. Completed points are never recomputed.
@@ -377,6 +398,98 @@ pub struct SweepOptions {
     /// [`crate::scheduler::global`] pool. Tests pass explicit pools to
     /// pin worker counts.
     pub scheduler: Option<Arc<Scheduler>>,
+    /// Self-energy cache policy for the point solves.
+    pub cache: CachePolicy,
+}
+
+impl SweepOptions {
+    /// Starts a validated builder.
+    pub fn builder() -> SweepOptionsBuilder {
+        SweepOptionsBuilder::default()
+    }
+}
+
+/// Invalid knob combinations [`SweepOptionsBuilder::build`] rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepOptionsError {
+    /// `max_new_points` caps how much *new* work lands in the checkpoint
+    /// before the sweep stops; without a checkpoint the capped run's
+    /// remainder would simply be discarded.
+    MaxNewPointsWithoutCheckpoint {
+        /// The offending cap.
+        max_new_points: usize,
+    },
+    /// A zero cap would checkpoint forever without progressing.
+    ZeroMaxNewPoints,
+}
+
+impl std::fmt::Display for SweepOptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepOptionsError::MaxNewPointsWithoutCheckpoint { max_new_points } => write!(
+                f,
+                "max_new_points ({max_new_points}) requires a checkpoint: the capped run's \
+                 progress would otherwise be discarded"
+            ),
+            SweepOptionsError::ZeroMaxNewPoints => {
+                write!(f, "max_new_points must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepOptionsError {}
+
+/// Builder of [`SweepOptions`]; see [`SweepOptions::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptionsBuilder {
+    checkpoint: Option<PathBuf>,
+    max_new_points: Option<usize>,
+    scheduler: Option<Arc<Scheduler>>,
+    cache: CachePolicy,
+}
+
+impl SweepOptionsBuilder {
+    /// Checkpoint file to resume from / persist to.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Deterministic kill: stop after this many new points.
+    pub fn max_new_points(mut self, n: usize) -> Self {
+        self.max_new_points = Some(n);
+        self
+    }
+
+    /// Explicit scheduler pool (tests pin worker counts with this).
+    pub fn scheduler(mut self, sched: Arc<Scheduler>) -> Self {
+        self.scheduler = Some(sched);
+        self
+    }
+
+    /// Self-energy cache policy.
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
+    /// Validates and produces the options.
+    pub fn build(self) -> Result<SweepOptions, SweepOptionsError> {
+        match self.max_new_points {
+            Some(0) => return Err(SweepOptionsError::ZeroMaxNewPoints),
+            Some(n) if self.checkpoint.is_none() => {
+                return Err(SweepOptionsError::MaxNewPointsWithoutCheckpoint { max_new_points: n })
+            }
+            _ => {}
+        }
+        Ok(SweepOptions {
+            checkpoint: self.checkpoint,
+            max_new_points: self.max_new_points,
+            scheduler: self.scheduler,
+            cache: self.cache,
+        })
+    }
 }
 
 /// Runs the sweep over `n_ranks` simulated MPI ranks.
@@ -415,9 +528,24 @@ pub fn parallel_sweep_resumable(
     }
 
     // Compute phase: every new point solves on the supervised pool.
+    // Fault injection and cache counters are measured as deltas around
+    // this phase so a resumed run reports only its own share.
+    let cache = opts.cache.resolve();
+    let cache_before = cache.as_ref().map(|c| c.stats());
     let injected_before = qtx_linalg::fault::injected_total();
-    let (computed, stats) = compute_records(dev, plan, &todo, opts);
+    let (computed, stats) = compute_records(dev, plan, &todo, opts, cache.as_ref());
     let faults_injected = qtx_linalg::fault::injected_total() - injected_before;
+    let cache_delta = match (&cache, cache_before) {
+        (Some(c), Some(before)) => {
+            let after = c.stats();
+            (
+                after.hits - before.hits,
+                after.misses - before.misses,
+                after.interp_hits - before.interp_hits,
+            )
+        }
+        _ => (0, 0, 0),
+    };
 
     // Communication phase: the Fig. 9 rank topology encodes and gathers
     // the finished records (virtual comm cost only — no recomputation).
@@ -452,7 +580,7 @@ pub fn parallel_sweep_resumable(
     }
 
     interpolate_failures(&mut done);
-    let health = SweepHealth::from_records(&done, faults_injected, stats);
+    let health = SweepHealth::from_records(&done, faults_injected, stats, cache_delta);
     Ok(finalize(done, health, comm_seconds))
 }
 
@@ -466,11 +594,12 @@ struct PointTask {
     e: f64,
     dk: Arc<crate::device::DeviceK>,
     cfg: crate::device::TransportConfig,
+    cache: Option<CacheHandle>,
 }
 
 /// One robust point solve, packaged for the wire.
 fn solve_record(t: &PointTask) -> PointRecord {
-    let rs = solve_energy_point_robust(&t.dk, t.e, &t.cfg);
+    let rs = solve_point_robust_raw(&t.dk, t.e, &t.cfg, t.cache.as_ref());
     let o = rs.outcome;
     PointRecord {
         k_idx: t.k_idx,
@@ -532,19 +661,28 @@ fn compute_records(
     plan: &SweepPlan,
     todo: &[(u32, u32)],
     opts: &SweepOptions,
+    cache: Option<&Arc<SigmaCache>>,
 ) -> (Vec<PointRecord>, scheduler::BatchStats) {
     if todo.is_empty() {
         return (Vec::new(), scheduler::BatchStats::default());
     }
     let sched: Arc<Scheduler> =
         opts.scheduler.clone().unwrap_or_else(|| scheduler::global().clone());
-    // One folded-device build per momentum, shared across its points.
-    let mut dks: HashMap<u32, Arc<crate::device::DeviceK>> = HashMap::new();
+    // One folded-device build (and one pair of lead content hashes) per
+    // momentum, shared across its points.
+    let mut dks: HashMap<u32, (Arc<crate::device::DeviceK>, Option<CacheHandle>)> = HashMap::new();
     let tasks: Vec<PointTask> = todo
         .iter()
         .map(|&(k_idx, e_idx)| {
             let (kz, w) = plan.k_points[k_idx as usize];
-            let dk = dks.entry(k_idx).or_insert_with(|| Arc::new(dev.at_kz(kz))).clone();
+            let (dk, handle) = dks
+                .entry(k_idx)
+                .or_insert_with(|| {
+                    let dk = Arc::new(dev.at_kz(kz));
+                    let handle = cache.map(|c| CacheHandle::for_dk(c.clone(), &dk));
+                    (dk, handle)
+                })
+                .clone();
             PointTask {
                 k_idx,
                 e_idx,
@@ -553,6 +691,7 @@ fn compute_records(
                 e: plan.energies[k_idx as usize][e_idx as usize],
                 dk,
                 cfg: dev.config,
+                cache: handle,
             }
         })
         .collect();
@@ -748,7 +887,7 @@ fn finalize(records: Vec<PointRecord>, health: SweepHealth, comm_seconds: f64) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::solve_energy_point;
+    use crate::transport::solve_point_direct;
     use qtx_atomistic::{BasisKind, DeviceBuilder};
 
     fn small_device() -> Device {
@@ -831,7 +970,7 @@ mod tests {
         let dk = d.at_kz(0.0);
         for &(kz, _w, e, t) in result.samples.iter().take(4) {
             assert_eq!(kz, 0.0);
-            let reference = solve_energy_point(&dk, e, &d.config).unwrap().transmission;
+            let reference = solve_point_direct(&dk, e, &d.config, None, None).unwrap().transmission;
             assert!((t - reference).abs() < 1e-9, "E={e}: {t} vs {reference}");
         }
         assert!(result.comm_seconds > 0.0);
@@ -945,7 +1084,8 @@ mod tests {
         assert_eq!(records[4].status, STATUS_INTERPOLATED);
         assert_eq!(records[4].t, 2.0);
         assert!((records[0].interp_bound - 1.0).abs() < 1e-12);
-        let health = SweepHealth::from_records(&records, 0, scheduler::BatchStats::default());
+        let health =
+            SweepHealth::from_records(&records, 0, scheduler::BatchStats::default(), (0, 0, 0));
         assert_eq!(health.interpolated, 3);
         assert_eq!(health.failed, 0);
         assert!((health.max_interp_bound - 1.0).abs() < 1e-12);
@@ -972,7 +1112,8 @@ mod tests {
         let mut records = vec![mk(0), mk(1)];
         interpolate_failures(&mut records);
         assert!(records.iter().all(|r| r.status == STATUS_FAILED));
-        let health = SweepHealth::from_records(&records, 0, scheduler::BatchStats::default());
+        let health =
+            SweepHealth::from_records(&records, 0, scheduler::BatchStats::default(), (0, 0, 0));
         assert_eq!(health.failed, 2);
         let result = finalize(records, health, 0.0);
         assert!(result.spectrum.is_empty(), "failed points never enter the spectrum");

@@ -13,13 +13,12 @@
 //! * **NEGF/Caroli** (Eq. 4): `T = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ]` via
 //!   the RGF kernel — the cross-check used throughout the test suite.
 
+use crate::cache::{self, CacheHandle};
 use crate::device::{DeviceK, TransportConfig};
 use crate::error::{TransportError, TransportResult};
 use qtx_accel::AccelRuntime;
 use qtx_linalg::{qr_least_squares, Complex64, LinalgError, ZMat};
-use qtx_obc::{
-    self_energy, self_energy_eta, BeynConfig, LeadBlocks, ModeSet, ObcMethod, ObcResult, Side,
-};
+use qtx_obc::{self_energy, BeynConfig, Eta, LeadBlocks, ModeSet, ObcMethod, ObcResult, Side};
 use qtx_solver::{
     bcr_solve, btd_lu_solve_ws, rgf_diagonal_and_corner_ws, ObcSystem, SolverKind, SplitSolve,
     Workspace,
@@ -78,25 +77,48 @@ fn project_onto_modes(modes: &[ModeSet], block: &[Complex64]) -> Vec<Complex64> 
 }
 
 /// Solves one energy point on a momentum-resolved device.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `TransportEngine::solve_point` with `PointPolicy::direct()` — the engine owns \
+            the scheduler, workspace pool and self-energy cache this free function has to \
+            re-resolve on every call"
+)]
 pub fn solve_energy_point(
     dk: &DeviceK,
     e: f64,
     cfg: &TransportConfig,
 ) -> TransportResult<EnergyPointResult> {
-    solve_energy_point_with_runtime(dk, e, cfg, None)
+    solve_point_direct(dk, e, cfg, None, cache::env_handle(dk).as_ref())
 }
 
 /// Same as [`solve_energy_point`] with an attached accelerator runtime
 /// (for the virtual-time experiments).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `TransportEngine::solve_point` with `PointPolicy::direct().with_runtime(rt)`"
+)]
 pub fn solve_energy_point_with_runtime(
     dk: &DeviceK,
     e: f64,
     cfg: &TransportConfig,
     rt: Option<&AccelRuntime>,
 ) -> TransportResult<EnergyPointResult> {
-    let obc_l = self_energy(&dk.lead_l, e, Side::Left, cfg.obc)
+    solve_point_direct(dk, e, cfg, rt, cache::env_handle(dk).as_ref())
+}
+
+/// The raw single-attempt entry every public path funnels into: builds
+/// both lead self-energies (through the cache when a handle is given) and
+/// runs the Eq. 5 solve with the configured method at exact energy.
+pub(crate) fn solve_point_direct(
+    dk: &DeviceK,
+    e: f64,
+    cfg: &TransportConfig,
+    rt: Option<&AccelRuntime>,
+    cache: Option<&CacheHandle>,
+) -> TransportResult<EnergyPointResult> {
+    let obc_l = cache::cached_self_energy(cache, &dk.lead_l, e, 0.0, Side::Left, cfg.obc)
         .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
-    let obc_r = self_energy(&dk.lead_r, e, Side::Right, cfg.obc)
+    let obc_r = cache::cached_self_energy(cache, &dk.lead_r, e, 0.0, Side::Right, cfg.obc)
         .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
     solve_with_obc(dk, e, cfg, &obc_l, &obc_r, rt)
 }
@@ -253,9 +275,9 @@ fn btd_residual(sys: &ObcSystem, x: &ZMat) -> f64 {
 
 /// NEGF/Caroli transmission through the RGF kernel (Eq. 4 route).
 pub fn caroli_transmission(dk: &DeviceK, e: f64, obc: ObcMethod) -> TransportResult<f64> {
-    let obc_l = self_energy(&dk.lead_l, e, Side::Left, obc)
+    let obc_l = self_energy(&dk.lead_l, e, Eta::ZERO, Side::Left, obc)
         .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
-    let obc_r = self_energy(&dk.lead_r, e, Side::Right, obc)
+    let obc_r = self_energy(&dk.lead_r, e, Eta::ZERO, Side::Right, obc)
         .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
     caroli_from_sigmas(dk, e, 0.0, &obc_l.sigma, &obc_r.sigma)
 }
@@ -336,8 +358,10 @@ pub fn lead_of(dk: &DeviceK, side: Side) -> &LeadBlocks {
 pub const ETA_BUMP: f64 = 1e-6;
 
 /// Human-readable names of the ladder rungs, indexed by
-/// [`PointOutcome::method_used`].
-pub const LADDER_METHOD_NAMES: [&str; 7] = [
+/// [`PointOutcome::method_used`]. `cache-interp` sits *after* `failed` so
+/// the rung codes of existing checkpoints stay valid — it is not a ladder
+/// rung but the engine's interpolated-Σ fast path.
+pub const LADDER_METHOD_NAMES: [&str; 8] = [
     "configured",
     "configured+eta",
     "feast-wide",
@@ -345,10 +369,15 @@ pub const LADDER_METHOD_NAMES: [&str; 7] = [
     "shift-invert",
     "decimation-caroli",
     "failed",
+    "cache-interp",
 ];
 
 /// `method_used` value marking a point every rung gave up on.
 pub const METHOD_FAILED: u8 = 6;
+
+/// `method_used` value of a point served from interpolated cached
+/// self-energies (engine-only; never appears in sweep records).
+pub const METHOD_CACHE_INTERP: u8 = 7;
 
 /// Robustness record of one (E, k) point: which rung produced the
 /// result, how hard the ladder had to work, and how good the answer is.
@@ -366,6 +395,10 @@ pub struct PointOutcome {
     pub residual: f64,
     /// Broadening η the accepted attempt ran with.
     pub eta: f64,
+    /// Recorded error bound of the interpolated self-energies when
+    /// `method_used == METHOD_CACHE_INTERP` (the worse of the two sides);
+    /// `0` for every real solve.
+    pub interp_bound: f64,
     /// Wall time spent on the point, all attempts included (ms). Excluded
     /// from checkpoint identity — timing is not physics.
     pub wall_ms: f64,
@@ -388,7 +421,7 @@ impl PointOutcome {
     }
 }
 
-/// Result of [`solve_energy_point_robust`]: the point (if any rung
+/// Result of a robust (escalation-ladder) solve: the point (if any rung
 /// succeeded), the ladder record, and the terminal error when exhausted.
 #[derive(Debug)]
 pub struct RobustSolve {
@@ -398,6 +431,18 @@ pub struct RobustSolve {
     pub outcome: PointOutcome,
     /// The last rung's error when `result` is `None`.
     pub error: Option<TransportError>,
+}
+
+impl RobustSolve {
+    /// Collapses into a plain `Result`, discarding the ladder record.
+    pub fn into_result(self) -> TransportResult<EnergyPointResult> {
+        match self.result {
+            Some(r) => Ok(r),
+            None => Err(self.error.unwrap_or(TransportError::Panic {
+                what: "robust solve failed without error".into(),
+            })),
+        }
+    }
 }
 
 /// The rungs tried in order: configured method at exact energy, the same
@@ -423,16 +468,19 @@ fn ladder_rungs(cfg: &TransportConfig) -> Vec<(u8, f64, ObcMethod)> {
 }
 
 /// One ladder attempt: OBCs and Eq. 5 with the given method/broadening.
+/// Each rung consults the cache at its *own* (η, method) key, so an
+/// escalated re-solve never aliases the exact-energy entry.
 fn try_rung(
     dk: &DeviceK,
     e: f64,
     eta: f64,
     method: ObcMethod,
     cfg: &TransportConfig,
+    cache: Option<&CacheHandle>,
 ) -> TransportResult<(EnergyPointResult, f64)> {
-    let obc_l = self_energy_eta(&dk.lead_l, e, eta, Side::Left, method)
+    let obc_l = cache::cached_self_energy(cache, &dk.lead_l, e, eta, Side::Left, method)
         .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
-    let obc_r = self_energy_eta(&dk.lead_r, e, eta, Side::Right, method)
+    let obc_r = cache::cached_self_energy(cache, &dk.lead_r, e, eta, Side::Right, method)
         .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
     let mut c = *cfg;
     c.obc = method;
@@ -442,11 +490,29 @@ fn try_rung(
 /// Last-resort rung: Sancho–Rubio decimation Σ (no modes, so no
 /// injection) + the NEGF/Caroli transmission. The returned point carries
 /// an empty `psi`; observables needing wave functions see zero columns.
-fn decimation_caroli_rung(dk: &DeviceK, e: f64) -> TransportResult<EnergyPointResult> {
-    let obc_l = self_energy_eta(&dk.lead_l, e, ETA_BUMP, Side::Left, ObcMethod::Decimation)
-        .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
-    let obc_r = self_energy_eta(&dk.lead_r, e, ETA_BUMP, Side::Right, ObcMethod::Decimation)
-        .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
+fn decimation_caroli_rung(
+    dk: &DeviceK,
+    e: f64,
+    cache: Option<&CacheHandle>,
+) -> TransportResult<EnergyPointResult> {
+    let obc_l = cache::cached_self_energy(
+        cache,
+        &dk.lead_l,
+        e,
+        ETA_BUMP,
+        Side::Left,
+        ObcMethod::Decimation,
+    )
+    .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
+    let obc_r = cache::cached_self_energy(
+        cache,
+        &dk.lead_r,
+        e,
+        ETA_BUMP,
+        Side::Right,
+        ObcMethod::Decimation,
+    )
+    .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
     let t = caroli_from_sigmas(dk, e, ETA_BUMP, &obc_l.sigma, &obc_r.sigma)?;
     if !t.is_finite() {
         return Err(TransportError::Linalg(LinalgError::NonFinite { op: "caroli", count: 1 }));
@@ -467,9 +533,25 @@ fn decimation_caroli_rung(dk: &DeviceK, e: f64) -> TransportResult<EnergyPointRe
 
 /// Fault-tolerant energy-point solve: walks the escalation ladder until a
 /// rung produces a finite answer, recording every attempt. The first rung
-/// is bit-identical to [`solve_energy_point`], so a healthy sweep through
+/// is bit-identical to [`solve_point_direct`], so a healthy sweep through
 /// this entry matches the plain one exactly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `TransportEngine::solve_point` with `PointPolicy::robust()`"
+)]
 pub fn solve_energy_point_robust(dk: &DeviceK, e: f64, cfg: &TransportConfig) -> RobustSolve {
+    solve_point_robust_raw(dk, e, cfg, cache::env_handle(dk).as_ref())
+}
+
+/// The raw escalation-ladder entry (shared by the engine, the sweep
+/// workers and the deprecated free function). Exhausted points and any
+/// rung that errors are never cached — only accepted solves are.
+pub(crate) fn solve_point_robust_raw(
+    dk: &DeviceK,
+    e: f64,
+    cfg: &TransportConfig,
+    cache: Option<&CacheHandle>,
+) -> RobustSolve {
     let start = Instant::now();
     let mut attempts: u16 = 0;
     let mut escalations: u16 = 0;
@@ -479,7 +561,7 @@ pub fn solve_energy_point_robust(dk: &DeviceK, e: f64, cfg: &TransportConfig) ->
             escalations += 1;
         }
         attempts += 1;
-        match try_rung(dk, e, eta, method, cfg) {
+        match try_rung(dk, e, eta, method, cfg, cache) {
             Ok((result, residual)) => {
                 return RobustSolve {
                     result: Some(result),
@@ -489,6 +571,7 @@ pub fn solve_energy_point_robust(dk: &DeviceK, e: f64, cfg: &TransportConfig) ->
                         escalations,
                         residual,
                         eta,
+                        interp_bound: 0.0,
                         wall_ms: start.elapsed().as_secs_f64() * 1e3,
                     },
                     error: None,
@@ -499,7 +582,7 @@ pub fn solve_energy_point_robust(dk: &DeviceK, e: f64, cfg: &TransportConfig) ->
     }
     escalations += 1;
     attempts += 1;
-    match decimation_caroli_rung(dk, e) {
+    match decimation_caroli_rung(dk, e, cache) {
         Ok(result) => RobustSolve {
             result: Some(result),
             outcome: PointOutcome {
@@ -508,6 +591,7 @@ pub fn solve_energy_point_robust(dk: &DeviceK, e: f64, cfg: &TransportConfig) ->
                 escalations,
                 residual: 0.0,
                 eta: ETA_BUMP,
+                interp_bound: 0.0,
                 wall_ms: start.elapsed().as_secs_f64() * 1e3,
             },
             error: None,
@@ -522,6 +606,7 @@ pub fn solve_energy_point_robust(dk: &DeviceK, e: f64, cfg: &TransportConfig) ->
                     escalations,
                     residual: f64::INFINITY,
                     eta: ETA_BUMP,
+                    interp_bound: 0.0,
                     wall_ms: start.elapsed().as_secs_f64() * 1e3,
                 },
                 error: Some(TransportError::Exhausted {
@@ -568,7 +653,7 @@ mod tests {
         let d = chain_device();
         let dk = d.at_kz(0.0);
         for e in probe_energies(&dk.lead_l, 2) {
-            let r = solve_energy_point(&dk, e, &d.config).unwrap();
+            let r = solve_point_direct(&dk, e, &d.config, None, None).unwrap();
             assert!(r.channels.0 > 0, "E={e} should propagate");
             assert!(
                 (r.transmission - r.channels.0 as f64).abs() < 1e-6,
@@ -584,7 +669,7 @@ mod tests {
     fn gap_energy_transmits_nothing() {
         let d = chain_device();
         let dk = d.at_kz(0.0);
-        let r = solve_energy_point(&dk, 0.0, &d.config).unwrap();
+        let r = solve_point_direct(&dk, 0.0, &d.config, None, None).unwrap();
         assert_eq!(r.channels.0, 0);
         assert_eq!(r.transmission, 0.0);
     }
@@ -602,7 +687,7 @@ mod tests {
         d.set_potential(&v);
         let dk = d.at_kz(0.0);
         for e in probe_energies(&dk.lead_l, 3) {
-            let wf = solve_energy_point(&dk, e, &d.config).unwrap();
+            let wf = solve_point_direct(&dk, e, &d.config, None, None).unwrap();
             let neg = caroli_transmission(&dk, e, d.config.obc).unwrap();
             assert!(
                 (wf.transmission - neg).abs() < 1e-5,
@@ -633,7 +718,7 @@ mod tests {
         {
             let mut cfg = d.config;
             cfg.solver = solver;
-            results.push(solve_energy_point(&dk, e, &cfg).unwrap().transmission);
+            results.push(solve_point_direct(&dk, e, &cfg, None, None).unwrap().transmission);
         }
         assert!((results[0] - results[1]).abs() < 1e-8, "{results:?}");
         assert!((results[0] - results[2]).abs() < 1e-8, "{results:?}");
@@ -648,8 +733,8 @@ mod tests {
         cfg_feast.obc = qtx_obc::ObcMethod::Feast(FeastConfig::default());
         let mut cfg_si = d.config;
         cfg_si.obc = qtx_obc::ObcMethod::ShiftInvert;
-        let t_feast = solve_energy_point(&dk, e, &cfg_feast).unwrap().transmission;
-        let t_si = solve_energy_point(&dk, e, &cfg_si).unwrap().transmission;
+        let t_feast = solve_point_direct(&dk, e, &cfg_feast, None, None).unwrap().transmission;
+        let t_si = solve_point_direct(&dk, e, &cfg_si, None, None).unwrap().transmission;
         assert!((t_feast - t_si).abs() < 1e-6, "{t_feast} vs {t_si}");
     }
 
@@ -661,7 +746,7 @@ mod tests {
         d.set_potential(&v);
         let dk = d.at_kz(0.0);
         let e = probe_energies(&dk.lead_l, 1)[0] + 0.07;
-        let r = solve_energy_point(&dk, e, &d.config).unwrap();
+        let r = solve_point_direct(&dk, e, &d.config, None, None).unwrap();
         assert!(
             (r.transmission - r.transmission_rl).abs() < 1e-6,
             "L→R {} vs R→L {}",

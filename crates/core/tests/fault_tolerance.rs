@@ -11,10 +11,10 @@
 #![cfg(feature = "fault-inject")]
 
 use qtx_atomistic::{BasisKind, DeviceBuilder};
-use qtx_core::transport::{solve_energy_point, solve_energy_point_robust, ETA_BUMP, METHOD_FAILED};
+use qtx_core::transport::{ETA_BUMP, METHOD_FAILED};
 use qtx_core::{
-    landauer_current_counted_ua, parallel_sweep, parallel_sweep_resumable, Device, PointRecord,
-    SweepOptions, SweepPlan, SweepResult, CONDUCTANCE_QUANTUM_US,
+    landauer_current_counted_ua, parallel_sweep, parallel_sweep_resumable, Device, PointPolicy,
+    PointRecord, SweepOptions, SweepPlan, SweepResult, TransportEngine, CONDUCTANCE_QUANTUM_US,
 };
 use qtx_core::{Scheduler, SchedulerConfig};
 use qtx_linalg::fault::{self, FaultConfig};
@@ -53,6 +53,12 @@ fn small_plan(dev: &Device) -> SweepPlan {
     SweepPlan::from_device(dev, 0.05, 0.15)
 }
 
+/// Engine over a clone of the device (the unified point-solve entry; the
+/// fault chokepoints sit below it, so campaigns behave identically).
+fn engine(dev: &Device) -> TransportEngine {
+    TransportEngine::new(dev.clone())
+}
+
 fn by_point(result: &SweepResult) -> HashMap<(u32, u32), PointRecord> {
     result.records.iter().map(|r| ((r.k_idx, r.e_idx), *r)).collect()
 }
@@ -64,14 +70,13 @@ fn eta_bump_rung_recovers_points() {
     // exact-energy OBC build was hit.
     let dev = small_device();
     let plan = small_plan(&dev);
-    let dk = dev.at_kz(0.0);
     let mut cfg = FaultConfig::new(0.5, 11);
     cfg.sites.factor_poly = false;
     cfg.sites.splitsolve = false;
     let outcomes = with_faults(Some(cfg), || {
         plan.energies[0]
             .iter()
-            .map(|&e| (e, solve_energy_point_robust(&dk, e, &dev.config)))
+            .map(|&e| (e, engine(&dev).solve_point(e, 0.0, &PointPolicy::robust())))
             .collect::<Vec<_>>()
     });
     let mut rung1 = 0;
@@ -84,7 +89,11 @@ fn eta_bump_rung_recovers_points() {
             assert!(rs.error.as_ref().is_some_and(|err| err.is_injected()));
             continue;
         };
-        let clean = solve_energy_point(&dk, *e, &dev.config).unwrap().transmission;
+        let clean = engine(&dev)
+            .solve_point(*e, 0.0, &PointPolicy::direct())
+            .into_result()
+            .unwrap()
+            .transmission;
         match rs.outcome.method_used {
             0 => assert_eq!(
                 rs_result.transmission.to_bits(),
@@ -114,13 +123,16 @@ fn ladder_escalates_to_shift_invert_when_contours_fail() {
     // does not use factor_poly and lands the point.
     let dev = small_device();
     let plan = small_plan(&dev);
-    let dk = dev.at_kz(0.0);
     let e = plan.energies[0][plan.energies[0].len() / 2];
-    let clean = solve_energy_point(&dk, e, &dev.config).unwrap().transmission;
+    let clean = engine(&dev)
+        .solve_point(e, 0.0, &PointPolicy::direct())
+        .into_result()
+        .unwrap()
+        .transmission;
     let mut cfg = FaultConfig::new(1.0, 3);
     cfg.sites.self_energy = false;
     cfg.sites.splitsolve = false;
-    let rs = with_faults(Some(cfg), || solve_energy_point_robust(&dk, e, &dev.config));
+    let rs = with_faults(Some(cfg), || engine(&dev).solve_point(e, 0.0, &PointPolicy::robust()));
     let result = rs.result.expect("shift-invert rung must recover the point");
     assert_eq!(rs.outcome.method_used, 4, "expected the shift-invert rung");
     assert_eq!(rs.outcome.method_name(), "shift-invert");
@@ -248,22 +260,20 @@ fn checkpoint_resume_is_bit_identical_under_faults() {
     let kill_after = plan.total_points() / 3;
     assert!(kill_after > 0);
     let partial = with_faults(Some(campaign), || {
-        let opts = SweepOptions {
-            checkpoint: Some(path.clone()),
-            max_new_points: Some(kill_after),
-            scheduler: Some(pool(2)),
-        };
+        let opts = SweepOptions::builder()
+            .checkpoint(path.clone())
+            .max_new_points(kill_after)
+            .scheduler(pool(2))
+            .build()
+            .unwrap();
         parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
     });
     assert_eq!(partial.records.len(), kill_after, "the kill limit bounds the partial run");
     assert!(path.exists(), "killed run must leave its checkpoint behind");
 
     let resumed = with_faults(Some(campaign), || {
-        let opts = SweepOptions {
-            checkpoint: Some(path.clone()),
-            max_new_points: None,
-            scheduler: Some(pool(2)),
-        };
+        let opts =
+            SweepOptions::builder().checkpoint(path.clone()).scheduler(pool(2)).build().unwrap();
         parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
     });
     assert_eq!(resumed.records.len(), uninterrupted.records.len());
@@ -291,11 +301,8 @@ fn checkpoint_resume_is_bit_identical_under_faults() {
     // same records again.
     let before = fault::injected_total();
     let replay = with_faults(Some(campaign), || {
-        let opts = SweepOptions {
-            checkpoint: Some(path.clone()),
-            max_new_points: None,
-            scheduler: Some(pool(2)),
-        };
+        let opts =
+            SweepOptions::builder().checkpoint(path.clone()).scheduler(pool(2)).build().unwrap();
         parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
     });
     assert_eq!(fault::injected_total(), before, "a cached resume must not recompute");
@@ -322,8 +329,7 @@ fn injected_panics_are_isolated_counted_and_quarantined() {
     let mut plan = small_plan(&dev);
     plan.energies[0].truncate(3);
     let sched = pool(2);
-    let opts =
-        SweepOptions { checkpoint: None, max_new_points: None, scheduler: Some(sched.clone()) };
+    let opts = SweepOptions::builder().scheduler(sched.clone()).build().unwrap();
     let result = with_faults(Some(panic_campaign(1.0, 13)), || {
         parallel_sweep_resumable(&dev, &plan, 2, &opts).unwrap()
     });
@@ -353,7 +359,7 @@ fn partial_panic_campaign_recovers_via_retry() {
     let dev = small_device();
     let plan = small_plan(&dev);
     let clean = with_faults(None, || parallel_sweep(&dev, &plan, 3).unwrap());
-    let opts = SweepOptions { checkpoint: None, max_new_points: None, scheduler: Some(pool(2)) };
+    let opts = SweepOptions::builder().scheduler(pool(2)).build().unwrap();
     let faulty = with_faults(Some(panic_campaign(0.4, 17)), || {
         parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
     });
@@ -387,11 +393,7 @@ fn sweep_is_bit_identical_across_worker_counts_under_faults() {
         .iter()
         .map(|&w| {
             with_faults(Some(campaign), || {
-                let opts = SweepOptions {
-                    checkpoint: None,
-                    max_new_points: None,
-                    scheduler: Some(pool(w)),
-                };
+                let opts = SweepOptions::builder().scheduler(pool(w)).build().unwrap();
                 parallel_sweep_resumable(&dev, &plan, 3, &opts).unwrap()
             })
         })

@@ -29,14 +29,13 @@ fn small_device() -> Device {
 }
 
 fn sweep_on_fresh_pool(dev: &Device, plan: &SweepPlan, workers: usize) -> SweepResult {
-    let opts = SweepOptions {
-        checkpoint: None,
-        max_new_points: None,
-        scheduler: Some(Arc::new(Scheduler::new(SchedulerConfig {
+    let opts = SweepOptions::builder()
+        .scheduler(Arc::new(Scheduler::new(SchedulerConfig {
             workers,
             ..SchedulerConfig::default()
-        }))),
-    };
+        })))
+        .build()
+        .unwrap();
     parallel_sweep_resumable(dev, plan, 3, &opts).unwrap()
 }
 

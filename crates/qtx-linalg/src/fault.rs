@@ -170,6 +170,15 @@ mod imp {
         INJECTED.load(Ordering::Relaxed)
     }
 
+    /// True while a campaign with a positive rate is installed. Layers
+    /// whose *caching* could change how often the chokepoints are reached
+    /// (and therefore how many faults a run draws) consult this to stand
+    /// down for the duration of a campaign, keeping fault batteries
+    /// byte-identical to the uncached path.
+    pub fn armed() -> bool {
+        config().is_some_and(|c| c.rate > 0.0)
+    }
+
     fn splitmix(mut z: u64) -> u64 {
         z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -214,7 +223,9 @@ mod imp {
 }
 
 #[cfg(feature = "fault-inject")]
-pub use imp::{config, injected_total, key_of, set_config, should_fail, FaultConfig, FaultSites};
+pub use imp::{
+    armed, config, injected_total, key_of, set_config, should_fail, FaultConfig, FaultSites,
+};
 
 /// No-op twin compiled without the `fault-inject` feature: the call sites
 /// stay unconditional and the optimizer removes them.
@@ -236,6 +247,13 @@ pub fn injected_total() -> u64 {
 #[inline(always)]
 pub fn key_of(_parts: &[f64]) -> u64 {
     0
+}
+
+/// See the feature-gated twin; never armed without `fault-inject`.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn armed() -> bool {
+    false
 }
 
 #[cfg(all(test, feature = "fault-inject"))]

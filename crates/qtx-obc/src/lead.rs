@@ -50,6 +50,30 @@ impl LeadBlocks {
         self.h00.rows()
     }
 
+    /// Stable content address of the lead: FNV-1a over the block
+    /// dimensions and the exact f64 bit patterns of all four blocks.
+    /// Two leads hash equal iff they are bit-identical, so the hash is a
+    /// sound cache key for anything that is a pure function of the lead
+    /// (self-energies, mode sets). Not a cryptographic digest — collisions
+    /// are astronomically unlikely but not adversarially hard.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bits: u64| {
+            for b in bits.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for m in [&self.h00, &self.h01, &self.s00, &self.s01] {
+            eat(m.rows() as u64);
+            eat(m.cols() as u64);
+            for z in m.as_slice() {
+                eat(z.re.to_bits());
+                eat(z.im.to_bits());
+            }
+        }
+        h
+    }
+
     /// Energy-shifted blocks `(T00, T01, T10) = (E·S − H)` at energy `e`
     /// with broadening `eta` (retarded: `E + iη`).
     pub fn t_blocks(&self, e: f64, eta: f64) -> (ZMat, ZMat, ZMat) {
@@ -162,6 +186,26 @@ mod tests {
         assert!((t00[(0, 0)] - c64(1.0, 0.0)).abs() < 1e-14); // 2·1 − 1
         assert!((t01[(0, 0)] - c64(0.5, 0.0)).abs() < 1e-14); // −(−0.5)
         assert!((t10[(0, 0)] - t01[(0, 0)].conj()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_bit_sensitive() {
+        let a = LeadBlocks::chain_1d(0.5, -1.0);
+        let b = LeadBlocks::chain_1d(0.5, -1.0);
+        assert_eq!(a.content_hash(), b.content_hash(), "identical leads hash equal");
+        // A one-ULP perturbation of a single entry must change the address.
+        let mut c = LeadBlocks::chain_1d(0.5, -1.0);
+        let v = c.h00[(0, 0)];
+        c.h00[(0, 0)] = c64(f64::from_bits(v.re.to_bits() + 1), v.im);
+        assert_ne!(a.content_hash(), c.content_hash(), "one-bit change must rekey");
+        // Different dimensions never collide with the tiny chain by shape.
+        let two = LeadBlocks::new(
+            ZMat::identity(2),
+            ZMat::zeros(2, 2),
+            ZMat::identity(2),
+            ZMat::zeros(2, 2),
+        );
+        assert_ne!(a.content_hash(), two.content_hash());
     }
 
     #[test]

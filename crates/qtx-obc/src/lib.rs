@@ -30,6 +30,7 @@ pub mod beyn;
 pub mod companion;
 pub mod error;
 pub mod feast;
+pub mod frame;
 pub mod lead;
 pub mod modes;
 pub mod selfenergy;
@@ -39,10 +40,13 @@ pub use beyn::{beyn_annulus, beyn_annulus_ws, BeynConfig};
 pub use companion::CompanionPencil;
 pub use error::{ObcError, ObcOutcome};
 pub use feast::{feast_annulus, feast_annulus_ws, FeastConfig, FeastStats};
+pub use frame::{decode_obc_result, encode_obc_result, FrameDecodeError};
 pub use lead::LeadBlocks;
 pub use modes::{classify_modes, classify_modes_eta, LeadModes, ModeSet};
+#[allow(deprecated)]
+pub use selfenergy::self_energy_eta;
 pub use selfenergy::{
-    lead_modes, self_energy, self_energy_decimation, self_energy_eta, ObcResult, Side,
+    lead_modes, obc_solves_total, self_energy, self_energy_decimation, Eta, ObcResult, Side,
 };
 
 /// Which algorithm computes the lead modes / self-energies.

@@ -31,6 +31,7 @@ use crate::lead::LeadBlocks;
 use crate::modes::{classify_modes_eta, LeadModes, ModeSet};
 use crate::ObcMethod;
 use qtx_linalg::{c64, fault, qr_factor_ws, Complex64, LinalgError, Workspace, ZMat};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which contact the self-energy belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +40,37 @@ pub enum Side {
     Left,
     /// Lead occupying `q ≥ nb` (electrons enter moving towards −x).
     Right,
+}
+
+/// Imaginary broadening `η` of a retarded evaluation at `E + iη`.
+///
+/// A dedicated newtype (instead of a bare `f64` trailing parameter) so
+/// that [`self_energy`]'s one merged signature reads unambiguously at the
+/// call site: `self_energy(&lead, e, Eta::ZERO, Side::Left, method)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Eta(pub f64);
+
+impl Eta {
+    /// No broadening — the exact-energy production evaluation.
+    pub const ZERO: Eta = Eta(0.0);
+}
+
+impl From<f64> for Eta {
+    fn from(v: f64) -> Eta {
+        Eta(v)
+    }
+}
+
+/// Process-wide count of *actual* self-energy builds performed by
+/// [`self_energy`] (any method: FEAST, Beyn, shift-invert, Sancho–Rubio).
+/// Fault-injected calls that never reach the solve are not counted.
+/// Cache layers assert against deltas of this counter to prove a warm
+/// sweep performed zero OBC solves.
+static OBC_SOLVES: AtomicU64 = AtomicU64::new(0);
+
+/// Total self-energy solves performed by this process.
+pub fn obc_solves_total() -> u64 {
+    OBC_SOLVES.load(Ordering::Relaxed)
 }
 
 /// Self-energy + injection data for one contact at one energy.
@@ -133,25 +165,17 @@ pub fn lead_modes_eta(
 }
 
 /// Boundary self-energy and injection for one side (mode-based, the
-/// FEAST+SplitSolve production path), at zero broadening.
+/// FEAST+SplitSolve production path): pencil and coupling blocks are both
+/// built at `E + iη`. Pass [`Eta::ZERO`] for the exact-energy evaluation;
+/// the escalation ladder passes its per-rung broadening.
 pub fn self_energy(
     lead: &LeadBlocks,
     e: f64,
+    eta: Eta,
     side: Side,
     method: ObcMethod,
 ) -> ObcOutcome<ObcResult> {
-    self_energy_eta(lead, e, 0.0, side, method)
-}
-
-/// [`self_energy`] with an explicit broadening `η` (pencil and coupling
-/// blocks both built at `E + iη`).
-pub fn self_energy_eta(
-    lead: &LeadBlocks,
-    e: f64,
-    eta: f64,
-    side: Side,
-    method: ObcMethod,
-) -> ObcOutcome<ObcResult> {
+    let Eta(eta) = eta;
     // Whole-contact injection chokepoint. The key mixes everything an
     // escalation can change — energy, broadening, side, method and its
     // quadrature size — so a plain retry fails identically while any
@@ -169,6 +193,7 @@ pub fn self_energy_eta(
     if fault::should_fail("self_energy", fault::key_of(&[e, eta, side_f, tag, knob])) {
         return Err(ObcError::Linalg(LinalgError::Injected { site: "self_energy" }));
     }
+    OBC_SOLVES.fetch_add(1, Ordering::Relaxed);
     if let ObcMethod::Decimation = method {
         let sigma = self_energy_decimation(lead, e, eta.max(1e-8), side)?;
         let bad = sigma.non_finite_count();
@@ -229,6 +254,23 @@ pub fn self_energy_eta(
     Ok(ObcResult { sigma, injection, inc_modes, out_modes, stats })
 }
 
+/// Forwarder kept for the pre-merge API shape; the broadened and
+/// unbroadened entry points are now one function.
+#[deprecated(
+    since = "0.1.0",
+    note = "merged into `self_energy`: pass the broadening as `Eta(eta)` \
+            (or `Eta::ZERO` for the exact-energy evaluation)"
+)]
+pub fn self_energy_eta(
+    lead: &LeadBlocks,
+    e: f64,
+    eta: f64,
+    side: Side,
+    method: ObcMethod,
+) -> ObcOutcome<ObcResult> {
+    self_energy(lead, e, Eta(eta), side, method)
+}
+
 /// Self-energy through Sancho–Rubio decimation (ref. [40]) — the
 /// independent NEGF-era route: `Σ_L = T10·g_L·T01`, `Σ_R = T01·g_R·T10`.
 pub fn self_energy_decimation(lead: &LeadBlocks, e: f64, eta: f64, side: Side) -> ObcOutcome<ZMat> {
@@ -262,7 +304,7 @@ mod tests {
         let e = 0.5;
         let k = (-e / 2.0f64).acos(); // E = −2 cos k
         let expected = c64(-k.cos(), -k.sin()); // t e^{ik} = −e^{ik}... sign check below
-        let obc = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let obc = self_energy(&chain(), e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
         let got = obc.sigma[(0, 0)];
         // Retarded: Im Σ < 0 and |Σ| = |t| = 1.
         assert!(got.im < 0.0, "retarded self-energy, got {got}");
@@ -274,7 +316,9 @@ mod tests {
     fn mode_sigma_equals_decimation_sigma() {
         for &e in &[0.3f64, -0.8, 1.4] {
             let modes_sigma =
-                self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap().sigma;
+                self_energy(&chain(), e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert)
+                    .unwrap()
+                    .sigma;
             let dec_sigma = self_energy_decimation(&chain(), e, 1e-9, Side::Left).unwrap();
             assert!(
                 modes_sigma.max_diff(&dec_sigma) < 1e-5,
@@ -292,8 +336,10 @@ mod tests {
         let lead = LeadBlocks::new(h00, h01, ZMat::identity(2), ZMat::zeros(2, 2));
         let cfg = FeastConfig { r_outer: 12.0, np: 16, ..FeastConfig::default() };
         for &e in &[-1.2f64, 1.1] {
-            let s_feast = self_energy(&lead, e, Side::Left, ObcMethod::Feast(cfg)).unwrap();
-            let s_si = self_energy(&lead, e, Side::Left, ObcMethod::ShiftInvert).unwrap();
+            let s_feast =
+                self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::Feast(cfg)).unwrap();
+            let s_si =
+                self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
             assert!(
                 s_feast.sigma.max_diff(&s_si.sigma) < 1e-5,
                 "E = {e}: diff {:.2e}",
@@ -306,15 +352,15 @@ mod tests {
     #[test]
     fn right_side_mirrors_left_for_symmetric_lead() {
         let e = 0.7;
-        let l = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap();
-        let r = self_energy(&chain(), e, Side::Right, ObcMethod::ShiftInvert).unwrap();
+        let l = self_energy(&chain(), e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let r = self_energy(&chain(), e, Eta::ZERO, Side::Right, ObcMethod::ShiftInvert).unwrap();
         assert!((l.sigma[(0, 0)] - r.sigma[(0, 0)]).abs() < 1e-8, "inversion-symmetric chain");
     }
 
     #[test]
     fn injection_vanishes_in_gap() {
         let e = 3.5; // outside the band |E| ≤ 2
-        let obc = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let obc = self_energy(&chain(), e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
         assert_eq!(obc.injection.cols(), 0);
         assert_eq!(obc.inc_modes.len(), 0);
         // And Σ is real (no broadening without open channels).
@@ -329,7 +375,7 @@ mod tests {
         h01[(0, 1)] = c64(0.1, 0.0);
         let lead = LeadBlocks::new(h00, h01, ZMat::identity(2), ZMat::zeros(2, 2));
         for &e in &[-1.1f64, 1.3] {
-            let obc = self_energy(&lead, e, Side::Left, ObcMethod::ShiftInvert).unwrap();
+            let obc = self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
             let gamma = &obc.sigma.scaled(Complex64::I) - &obc.sigma.adjoint().scaled(Complex64::I);
             // Positive semidefinite ⇔ all eigenvalues ≥ −tol (Hermitian Γ).
             let dec = qtx_linalg::eig(&gamma).unwrap();
@@ -348,8 +394,9 @@ mod tests {
         assert!(crate::feast::feast_annulus(&pencil, cfg).is_err());
         // ...but self_energy still succeeds through the shift-invert
         // fallback and lands on the exact dense answer.
-        let obc = self_energy(&chain(), 0.4, Side::Left, ObcMethod::Feast(cfg)).unwrap();
-        let reference = self_energy(&chain(), 0.4, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let obc = self_energy(&chain(), 0.4, Eta::ZERO, Side::Left, ObcMethod::Feast(cfg)).unwrap();
+        let reference =
+            self_energy(&chain(), 0.4, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
         assert!(obc.sigma.max_diff(&reference.sigma) < 1e-6);
     }
 
@@ -359,11 +406,12 @@ mod tests {
         let beyn = self_energy(
             &chain(),
             e,
+            Eta::ZERO,
             Side::Left,
             ObcMethod::Beyn(crate::beyn::BeynConfig::default()),
         )
         .unwrap();
-        let si = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let si = self_energy(&chain(), e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
         assert!(beyn.sigma.max_diff(&si.sigma) < 1e-5);
         assert_eq!(beyn.inc_modes.len(), si.inc_modes.len());
     }
@@ -371,16 +419,38 @@ mod tests {
     #[test]
     fn broadened_self_energy_approaches_unbroadened() {
         let e = 0.5;
-        let s0 = self_energy(&chain(), e, Side::Left, ObcMethod::ShiftInvert).unwrap();
-        let s1 = self_energy_eta(&chain(), e, 1e-6, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let s0 = self_energy(&chain(), e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        let s1 = self_energy(&chain(), e, Eta(1e-6), Side::Left, ObcMethod::ShiftInvert).unwrap();
         assert!(s0.sigma.max_diff(&s1.sigma) < 1e-3);
         // Broadening keeps the retarded character.
         assert!(s1.sigma[(0, 0)].im < 0.0);
     }
 
+    /// Pins the deprecated forwarder to the merged entry point until its
+    /// removal — downstream code migrating incrementally relies on the
+    /// two being bit-identical.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_eta_forwarder_matches_merged_entry() {
+        let e = 0.5;
+        let merged =
+            self_energy(&chain(), e, Eta(1e-6), Side::Left, ObcMethod::ShiftInvert).unwrap().sigma;
+        let fwd =
+            self_energy_eta(&chain(), e, 1e-6, Side::Left, ObcMethod::ShiftInvert).unwrap().sigma;
+        assert_eq!(merged.max_diff(&fwd), 0.0, "forwarder must be bit-identical");
+    }
+
+    #[test]
+    fn solve_counter_counts_real_builds_only() {
+        let before = obc_solves_total();
+        self_energy(&chain(), 0.3, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap();
+        self_energy(&chain(), 0.3, Eta::ZERO, Side::Right, ObcMethod::Decimation).unwrap();
+        assert!(obc_solves_total() - before >= 2, "every real build increments the counter");
+    }
+
     #[test]
     fn decimation_method_variant_returns_sigma_only() {
-        let obc = self_energy(&chain(), 0.2, Side::Left, ObcMethod::Decimation).unwrap();
+        let obc = self_energy(&chain(), 0.2, Eta::ZERO, Side::Left, ObcMethod::Decimation).unwrap();
         assert_eq!(obc.injection.cols(), 0);
         let reference = self_energy_decimation(&chain(), 0.2, 1e-8, Side::Left).unwrap();
         assert!(obc.sigma.max_diff(&reference) < 1e-12);

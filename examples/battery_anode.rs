@@ -9,7 +9,7 @@ use qtx::atomistic::structure::SNO_LATTICE;
 use qtx::core::device::DeviceK;
 use qtx::core::transport::solve_with_obc;
 use qtx::core::TransportConfig;
-use qtx::obc::{self_energy, LeadBlocks, ObcMethod, Side};
+use qtx::obc::{self_energy, Eta, LeadBlocks, ObcMethod, Side};
 use qtx::prelude::*;
 
 fn transmission_at_capacity(capacity: f64) -> (f64, usize) {
@@ -22,8 +22,8 @@ fn transmission_at_capacity(capacity: f64) -> (f64, usize) {
         dm.s.upper[0].clone(),
     );
     let e = lead.dispersive_energy(1.0, 0.2, 0.25).expect("conduction band");
-    let obc_l = self_energy(&lead, e, Side::Left, ObcMethod::ShiftInvert).expect("obc");
-    let obc_r = self_energy(&lead, e, Side::Right, ObcMethod::ShiftInvert).expect("obc");
+    let obc_l = self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).expect("obc");
+    let obc_r = self_energy(&lead, e, Eta::ZERO, Side::Right, ObcMethod::ShiftInvert).expect("obc");
     let dk = DeviceK { lead_l: lead.clone(), lead_r: lead, h: dm.h, s: dm.s, kz: 0.0 };
     let cfg = TransportConfig::default();
     let r = solve_with_obc(&dk, e, &cfg, &obc_l, &obc_r, None).expect("transport");

@@ -52,7 +52,8 @@ pub use qtx_sparse as sparse;
 pub mod prelude {
     pub use qtx_atomistic::{BasisKind, DeviceBuilder, Species, Structure};
     pub use qtx_core::{
-        schrodinger_poisson, transmission, Device, EnergyGrid, ScfConfig, TransportConfig,
+        schrodinger_poisson, transmission, Device, EnergyGrid, PointPolicy, ScfConfig,
+        TransportConfig, TransportEngine,
     };
     pub use qtx_cp2k::{Cp2kRun, Functional, HsFile};
     pub use qtx_linalg::{Complex64, ZMat};

@@ -1,8 +1,7 @@
 //! Integration: the three-level parallel sweep (Fig. 9) is independent of
 //! the rank count and matches the serial reference.
 
-use qtx::core::transport::solve_energy_point;
-use qtx::core::{parallel_sweep, SweepPlan};
+use qtx::core::{parallel_sweep, PointPolicy, SweepPlan, TransportEngine};
 use qtx::prelude::*;
 
 fn utb_device() -> Device {
@@ -39,9 +38,13 @@ fn sweep_matches_serial_per_k_reference() {
     let plan = SweepPlan::from_device(&dev, 0.08, 0.15);
     let result = parallel_sweep(&dev, &plan, 4).expect("sweep");
     // Pick a handful of samples and recompute serially.
+    let engine = TransportEngine::new(dev.clone());
     for &(kz, _w, e, t) in result.samples.iter().take(5) {
-        let dk = dev.at_kz(kz);
-        let reference = solve_energy_point(&dk, e, &dev.config).expect("serial").transmission;
+        let reference = engine
+            .solve_point(e, kz, &PointPolicy::direct())
+            .into_result()
+            .expect("serial")
+            .transmission;
         assert!((t - reference).abs() < 1e-9, "kz={kz} E={e}: {t} vs {reference}");
     }
 }

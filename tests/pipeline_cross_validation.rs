@@ -7,8 +7,8 @@
 //! route — in the DFT-like basis with NBW = 2, the regime the paper
 //! targets.
 
-use qtx::core::transport::{caroli_transmission, solve_energy_point};
-use qtx::core::Device;
+use qtx::core::transport::caroli_transmission;
+use qtx::core::{Device, PointPolicy, TransportEngine};
 use qtx::obc::{FeastConfig, ObcMethod};
 use qtx::prelude::*;
 use qtx::solver::SolverKind;
@@ -43,10 +43,13 @@ fn every_pipeline_agrees_in_the_dft_basis() {
             ("btd-lu", SolverKind::BtdLu),
             ("bcr", SolverKind::Bcr),
         ] {
-            let mut cfg = dev.config;
-            cfg.obc = obc;
-            cfg.solver = solver;
-            let r = solve_energy_point(&dk, e, &cfg).expect("solve");
+            let mut d = dev.clone();
+            d.config.obc = obc;
+            d.config.solver = solver;
+            let r = TransportEngine::new(d)
+                .solve_point(e, 0.0, &PointPolicy::direct())
+                .into_result()
+                .expect("solve");
             results.push((format!("{obc_name}+{solver_name}"), r.transmission));
         }
     }
@@ -78,9 +81,11 @@ fn unitarity_in_the_dft_basis() {
     // Exact OBCs: unitarity to solver precision even in the DFT basis.
     dev.config.obc = ObcMethod::ShiftInvert;
     let dk = dev.at_kz(0.0);
+    let engine = TransportEngine::new(dev.clone());
     for k in [0.7f64, 1.3, 2.2] {
         if let Some(e) = dk.lead_l.dispersive_energy(k, 0.3, 0.3) {
-            let r = solve_energy_point(&dk, e, &dev.config).expect("solve");
+            let r =
+                engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().expect("solve");
             if r.channels.0 > 0 {
                 assert!(
                     (r.transmission + r.reflection - r.channels.0 as f64).abs() < 1e-6,

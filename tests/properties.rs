@@ -630,8 +630,7 @@ mod obc_zero_alloc {
 
 mod transport_properties {
     use super::*;
-    use qtx::core::transport::solve_energy_point;
-    use qtx::core::Device;
+    use qtx::core::{Device, PointPolicy, TransportEngine};
     use qtx::prelude::*;
 
     fn device_with_barrier(height: f64) -> Device {
@@ -657,7 +656,10 @@ mod transport_properties {
             let dev = device_with_barrier(height);
             let dk = dev.at_kz(0.0);
             if let Some(e) = dk.lead_l.dispersive_energy(kprobe, 0.2, 0.3) {
-                let r = solve_energy_point(&dk, e, &dev.config).unwrap();
+                let r = TransportEngine::new(dev.clone())
+                    .solve_point(e, 0.0, &PointPolicy::direct())
+                    .into_result()
+                    .unwrap();
                 prop_assert!(r.transmission >= -1e-9);
                 prop_assert!(r.transmission <= r.channels.0 as f64 + 1e-6);
                 if r.channels.0 > 0 {
@@ -681,12 +683,17 @@ mod transport_properties {
             let d1 = device_with_barrier(h1);
             let d2 = device_with_barrier(h2);
             let dk1 = d1.at_kz(0.0);
-            let dk2 = d2.at_kz(0.0);
             if let Some(edge) = dk1.lead_l.dispersive_band_min(0.1, 0.3) {
                 // E − h1 < edge ⇒ evanescent inside the lower barrier too.
                 let e = edge + 0.4 * h1;
-                let t1 = solve_energy_point(&dk1, e, &d1.config).unwrap().transmission;
-                let t2 = solve_energy_point(&dk2, e, &d2.config).unwrap().transmission;
+                let solve = |d: &Device| {
+                    TransportEngine::new(d.clone())
+                        .solve_point(e, 0.0, &PointPolicy::direct())
+                        .into_result()
+                        .unwrap()
+                        .transmission
+                };
+                let (t1, t2) = (solve(&d1), solve(&d2));
                 prop_assert!(t2 <= t1 + 1e-6, "T({h2}) = {t2} > T({h1}) = {t1}");
             }
         }
