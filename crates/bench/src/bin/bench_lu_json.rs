@@ -143,8 +143,8 @@ fn random_system(nb: usize, s: usize, m: usize, seed: u64) -> ObcSystem {
     }
     ObcSystem {
         a,
-        sigma_l: ZMat::random(s, s, seed + 300).scaled(c64(0.3, 0.1)),
-        sigma_r: ZMat::random(s, s, seed + 301).scaled(c64(0.3, -0.1)),
+        sigma_l: ZMat::random(s, s, seed + 300).scaled(c64(0.3, 0.1)).into(),
+        sigma_r: ZMat::random(s, s, seed + 301).scaled(c64(0.3, -0.1)).into(),
         rhs_top: ZMat::random(s, m, seed + 400),
         rhs_bottom: ZMat::random(s, m, seed + 401),
     }

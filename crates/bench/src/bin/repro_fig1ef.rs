@@ -11,9 +11,9 @@ use qtx_atomistic::battery::{lithiate, volume_expansion};
 use qtx_atomistic::structure::SNO_LATTICE;
 use qtx_atomistic::BasisKind;
 use qtx_bench::{print_table, Row};
+use qtx_core::engine::{PointPolicy, TransportEngine};
 use qtx_core::observables::bond_current_of_state;
-use qtx_core::transport::solve_with_obc;
-use qtx_obc::{self_energy, Eta, LeadBlocks, ObcMethod, Side};
+use qtx_obc::{LeadBlocks, ObcMethod};
 
 fn main() {
     // --- Fig. 1(e): volume expansion vs capacity -------------------------
@@ -32,7 +32,7 @@ fn main() {
         "\nlithiated structure: {} atoms, {} Li, x = {:.2}",
         report.n_atoms, report.n_li, report.li_fraction
     );
-    let dm = assemble_device(&slab, BasisKind::TightBinding, SNO_LATTICE);
+    let dm = assemble_device(&slab, BasisKind::TightBinding, SNO_LATTICE).expect("assemble");
     // Leads: pristine SnO end cells.
     let lead = LeadBlocks::new(
         dm.h.diag[0].clone(),
@@ -42,15 +42,18 @@ fn main() {
     );
     // Probe at a conducting energy of the SnO contact.
     let e = lead.dispersive_energy(1.0, 0.2, 0.25).expect("conduction band");
-    let obc_l =
-        self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).expect("obc L");
-    let obc_r =
-        self_energy(&lead, e, Eta::ZERO, Side::Right, ObcMethod::ShiftInvert).expect("obc R");
     let dk =
         qtx_core::device::DeviceK { lead_l: lead.clone(), lead_r: lead, h: dm.h, s: dm.s, kz: 0.0 };
-    let cfg = qtx_core::TransportConfig::default();
-    let r = solve_with_obc(&dk, e, &cfg, &obc_l, &obc_r, None).expect("transport");
+    let cfg = qtx_core::TransportConfig {
+        obc: ObcMethod::ShiftInvert,
+        ..qtx_core::TransportConfig::default()
+    };
+    // The engine owns the folded blocks now; the observable loop below
+    // borrows them back from the solved point's system instead.
     let nb = dk.h.num_blocks();
+    let engine = TransportEngine::from_device_k(dk, cfg);
+    let r = engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().expect("transport");
+    let dk = engine.device_k(0.0).expect("seeded kz");
     let mut rows = Vec::new();
     for q in 0..nb - 1 {
         let j: f64 = (0..r.m_left).map(|col| bond_current_of_state(&dk, e, &r.psi, col, q)).sum();

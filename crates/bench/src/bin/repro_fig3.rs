@@ -17,7 +17,7 @@ fn main() {
     for (name, basis) in
         [("tight-binding", BasisKind::TightBinding), ("DFT (3SP-like)", BasisKind::Dft3sp)]
     {
-        let dm = assemble_device(&slab, basis, 2.0 * SI_LATTICE);
+        let dm = assemble_device(&slab, basis, 2.0 * SI_LATTICE).expect("assemble");
         let csr = Csr::from_dense(&dm.h.to_dense(), 1e-12);
         let st = sparsity_stats(&csr, dm.orbitals_per_slab);
         println!("\n{name} H pattern ({} x {}, nnz {}):", st.dim, st.dim, st.nnz);

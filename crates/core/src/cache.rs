@@ -40,8 +40,10 @@
 use crate::device::DeviceK;
 use qtx_linalg::ZMat;
 use qtx_obc::{
-    decode_obc_result, encode_obc_result, Eta, LeadBlocks, ObcMethod, ObcOutcome, ObcResult, Side,
+    decode_obc_result_parts, encode_obc_result_compressed, Eta, LeadBlocks, ObcFrameParts,
+    ObcMethod, ObcOutcome, ObcResult, Side,
 };
+use qtx_sparse::CompressedSigma;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -58,11 +60,21 @@ pub struct CacheConfig {
     /// Largest recorded error bound an interval may carry and still be
     /// served by [`SigmaCache::try_interpolate`].
     pub interp_tol: f64,
+    /// Relative tolerance for storing Σ as truncated `U·Vᴴ` factors
+    /// (`QTXOBC02` frames). `0.0` (the default) keeps every frame exact
+    /// and bit-identical; a positive value shrinks entries with the
+    /// numerical rank of the lead at the recorded error bound.
+    pub sigma_compress_tol: f64,
 }
 
 impl Default for CacheConfig {
     fn default() -> Self {
-        CacheConfig { max_bytes: 256 << 20, interp_max_de: 0.0, interp_tol: 1e-6 }
+        CacheConfig {
+            max_bytes: 256 << 20,
+            interp_max_de: 0.0,
+            interp_tol: 1e-6,
+            sigma_compress_tol: 0.0,
+        }
     }
 }
 
@@ -267,12 +279,45 @@ impl SigmaCache {
         let key = Key::new(lead_hash, e, eta, side, method);
         if let Some(found) = self.lookup(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(found);
+            return Ok(found.into_result());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = qtx_obc::self_energy(lead, e, Eta(eta), side, method)?;
         self.insert(key, e, &fresh);
         Ok(fresh)
+    }
+
+    /// Like [`SigmaCache::self_energy`] but keeps Σ in its stored
+    /// representation: a compressed (`QTXOBC02`) hit returns the factors
+    /// without expanding them, so a boundary-block solver that consumes
+    /// `U·Vᴴ` directly never pays for the dense block. The returned
+    /// parts always match what a subsequent exact hit would serve.
+    pub fn self_energy_parts(
+        &self,
+        lead: &LeadBlocks,
+        lead_hash: u64,
+        e: f64,
+        eta: f64,
+        side: Side,
+        method: ObcMethod,
+    ) -> ObcOutcome<ObcFrameParts> {
+        let key = Key::new(lead_hash, e, eta, side, method);
+        if let Some(found) = self.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = qtx_obc::self_energy(lead, e, Eta(eta), side, method)?;
+        self.insert(key, e, &fresh);
+        // Mirror the stored frame: the same deterministic compression the
+        // encoder applied, so a miss and a later hit hand back the same Σ.
+        let sigma = CompressedSigma::compress(&fresh.sigma, self.cfg.sigma_compress_tol);
+        Ok(ObcFrameParts {
+            sigma,
+            injection: fresh.injection,
+            inc_modes: fresh.inc_modes,
+            out_modes: fresh.out_modes,
+        })
     }
 
     /// Exact lookup without a solve fallback (the engine's interpolating
@@ -288,16 +333,16 @@ impl SigmaCache {
         let key = Key::new(lead_hash, e, eta, side, method);
         let found = self.lookup(&key)?;
         self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(found)
+        Some(found.into_result())
     }
 
-    fn lookup(&self, key: &Key) -> Option<ObcResult> {
+    fn lookup(&self, key: &Key) -> Option<ObcFrameParts> {
         let mut inner = self.inner.lock().expect("sigma cache lock");
         inner.tick += 1;
         let tick = inner.tick;
         let entry = inner.map.get_mut(key)?;
         entry.stamp = tick;
-        match decode_obc_result(&entry.frame) {
+        match decode_obc_result_parts(&entry.frame) {
             Ok(r) => Some(r),
             Err(_) => {
                 // A frame we encoded ourselves cannot fail to decode; if
@@ -331,7 +376,7 @@ impl SigmaCache {
     /// doubles as that interval's validation (and is stored *non-anchor*
     /// so the bracket stays in place); otherwise it becomes a new anchor.
     fn insert(&self, key: Key, e: f64, fresh: &ObcResult) {
-        let frame = encode_obc_result(fresh);
+        let frame = encode_obc_result_compressed(fresh, self.cfg.sigma_compress_tol);
         let mut inner = self.inner.lock().expect("sigma cache lock");
         if inner.map.contains_key(&key) {
             return; // concurrent identical solve already landed
@@ -406,7 +451,7 @@ impl SigmaCache {
 
     fn peek_sigma(&self, inner: &Inner, fam: FamKey, e: f64) -> Option<ZMat> {
         let entry = inner.map.get(&Key { fam, e: e.to_bits() })?;
-        decode_obc_result(&entry.frame).ok().map(|r| r.sigma)
+        decode_obc_result_parts(&entry.frame).ok().map(|p| p.into_result().sigma)
     }
 
     /// Pure interpolation lookup: serves Σ only from a **validated,
@@ -584,6 +629,38 @@ pub(crate) fn cached_self_energy(
     }
 }
 
+/// [`cached_self_energy`] for the transmission-only path: hands back
+/// frame *parts* so a Σ that compressed inside the cache reaches the
+/// solver still factored. Without a handle the fresh solve is compressed
+/// here with `compress_tol` (the cache applies its own configured
+/// tolerance, which wins when a handle is present). Same fault-injection
+/// bypass as the dense chokepoint.
+pub(crate) fn cached_self_energy_parts(
+    handle: Option<&CacheHandle>,
+    lead: &LeadBlocks,
+    e: f64,
+    eta: f64,
+    side: Side,
+    method: ObcMethod,
+    compress_tol: f64,
+) -> ObcOutcome<ObcFrameParts> {
+    match handle {
+        Some(h) if !qtx_linalg::fault::armed() => {
+            h.cache.self_energy_parts(lead, h.hash_of(side), e, eta, side, method)
+        }
+        _ => {
+            let fresh = qtx_obc::self_energy(lead, e, Eta(eta), side, method)?;
+            let sigma = CompressedSigma::compress(&fresh.sigma, compress_tol);
+            Ok(ObcFrameParts {
+                sigma,
+                injection: fresh.injection,
+                inc_modes: fresh.inc_modes,
+                out_modes: fresh.out_modes,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +668,65 @@ mod tests {
 
     fn chain() -> LeadBlocks {
         LeadBlocks::chain_1d(0.0, -1.0)
+    }
+
+    /// An 8-orbital lead with a rank-2 inter-cell coupling, so
+    /// `Σ = τ·g·τᴴ` is genuinely low-rank and the compressed frame path
+    /// has something to shed (a 1×1 chain Σ can never compress).
+    fn block_lead() -> LeadBlocks {
+        use qtx_linalg::{c64, gemm, Op};
+        let nf = 8;
+        let mut h00 = ZMat::zeros(nf, nf);
+        let r = ZMat::random(nf, nf, 11);
+        for i in 0..nf {
+            for j in 0..nf {
+                h00[(i, j)] = 0.1 * (r[(i, j)] + r[(j, i)].conj());
+            }
+            h00[(i, i)] += c64(2.0 + i as f64 * 0.1, 0.0);
+        }
+        let a = ZMat::random(nf, 2, 13);
+        let b = ZMat::random(nf, 2, 17);
+        let mut h01 = ZMat::zeros(nf, nf);
+        gemm(c64(0.2, 0.0), &a, Op::None, &b, Op::Adjoint, qtx_linalg::Complex64::ZERO, &mut h01);
+        LeadBlocks::new(h00, h01, ZMat::identity(nf), ZMat::zeros(nf, nf))
+    }
+
+    #[test]
+    fn compressed_entries_shrink_and_parts_stay_lazy() {
+        let lead = block_lead();
+        let h = lead.content_hash();
+        let tol = 1e-8;
+        let exact = SigmaCache::new(CacheConfig::default());
+        let packed =
+            SigmaCache::new(CacheConfig { sigma_compress_tol: tol, ..CacheConfig::default() });
+        let args = (0.3, 1e-6, Side::Left, ObcMethod::Decimation);
+        let truth =
+            exact.self_energy(&lead, h, args.0, args.1, args.2, args.3).expect("exact solve");
+        let miss =
+            packed.self_energy_parts(&lead, h, args.0, args.1, args.2, args.3).expect("miss");
+        let hit = packed.self_energy_parts(&lead, h, args.0, args.1, args.2, args.3).expect("hit");
+        for (label, parts) in [("miss", &miss), ("hit", &hit)] {
+            assert!(parts.sigma.is_compressed(), "{label} must carry factors");
+            let err = (&parts.sigma.to_dense() - &truth.sigma).norm_fro();
+            assert!(err <= parts.sigma.bound() + 1e-14, "{label}: err {err} beyond bound");
+        }
+        assert!(
+            packed.stats().bytes < exact.stats().bytes,
+            "compressed frames must occupy fewer bytes ({} vs {})",
+            packed.stats().bytes,
+            exact.stats().bytes
+        );
+        // The dense-facing API still works off the same compressed entry,
+        // expanding within the recorded bound.
+        let dense_hit =
+            packed.self_energy(&lead, h, args.0, args.1, args.2, args.3).expect("dense hit");
+        let err = (&dense_hit.sigma - &truth.sigma).norm_fro();
+        assert!(err <= hit.sigma.bound() + 1e-14);
+        // Default tolerance stays bit-identical through the parts API too.
+        let exact_hit =
+            exact.self_energy_parts(&lead, h, args.0, args.1, args.2, args.3).expect("hit");
+        assert!(!exact_hit.sigma.is_compressed());
+        assert_eq!(exact_hit.sigma.to_dense().max_diff(&truth.sigma), 0.0);
     }
 
     #[test]
@@ -640,7 +776,7 @@ mod tests {
             let r =
                 qtx_obc::self_energy(&chain(), 0.5, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert)
                     .unwrap();
-            encode_obc_result(&r).len()
+            qtx_obc::encode_obc_result(&r).len()
         };
         // Room for roughly two frames: the third insert must evict.
         let cache = SigmaCache::new(CacheConfig {

@@ -22,11 +22,13 @@
 
 use crate::cache::{CacheConfig, CacheHandle, CachePolicy, CacheStats, SigmaCache};
 use crate::device::{Device, DeviceK, TransportConfig};
+use crate::error::TransportError;
 use crate::error::TransportResult;
 use crate::scheduler::Scheduler;
 use crate::sweep::{parallel_sweep_resumable, SweepOptions, SweepPlan, SweepResult};
 use crate::transport::{
-    self, caroli_from_sigmas, EnergyPointResult, PointOutcome, RobustSolve, METHOD_CACHE_INTERP,
+    self, caroli_from_sigmas, EnergyPointResult, PointOutcome, RobustSolve, METHOD_BOUNDARY,
+    METHOD_CACHE_INTERP,
 };
 use qtx_accel::AccelRuntime;
 use qtx_linalg::ZMat;
@@ -50,6 +52,15 @@ pub struct PointPolicy<'rt> {
     /// (see `docs/cache.md` for the error contract). Never affects
     /// sweeps — only explicit point queries opt in.
     pub allow_interp: bool,
+    /// Skip the scattering-state solve entirely and compute T(E) through
+    /// the boundary-block RGF with compressed Σ (the sparsity fast path;
+    /// see `docs/sparsity.md`). The result carries no wave functions.
+    pub transmission_only: bool,
+    /// Relative tolerance for compressing self-energies on the
+    /// transmission-only path when the engine has no cache (a cache
+    /// applies its own configured tolerance). `0.0` keeps Σ exact and the
+    /// transmission bit-identical to the dense Caroli route.
+    pub sigma_compress_tol: f64,
     /// Accelerator runtime for the Eq. 5 solve (direct path only; the
     /// ladder always runs on the host, matching the pre-engine behavior).
     pub runtime: Option<&'rt AccelRuntime>,
@@ -58,12 +69,12 @@ pub struct PointPolicy<'rt> {
 impl PointPolicy<'static> {
     /// Single attempt with the configured method; errors surface as-is.
     pub fn direct() -> Self {
-        PointPolicy { robust: false, allow_interp: false, runtime: None }
+        PointPolicy::default()
     }
 
     /// Full escalation ladder (the sweep's per-point behavior).
     pub fn robust() -> Self {
-        PointPolicy { robust: true, allow_interp: false, runtime: None }
+        PointPolicy { robust: true, ..PointPolicy::default() }
     }
 
     /// Ladder + cache interpolation: a point bracketed by a validated
@@ -71,14 +82,35 @@ impl PointPolicy<'static> {
     /// [`METHOD_CACHE_INTERP`] with its error bound in
     /// [`PointOutcome::interp_bound`].
     pub fn interpolating() -> Self {
-        PointPolicy { robust: true, allow_interp: true, runtime: None }
+        PointPolicy { robust: true, allow_interp: true, ..PointPolicy::default() }
+    }
+
+    /// Boundary-block-only NEGF: only `G_{0,0}`, `G_{0,n−1}`, `G_{n−1,n−1}`
+    /// are ever materialized and Σ stays in its compressed form end to
+    /// end. The point reports [`transport::METHOD_BOUNDARY`] with the
+    /// recorded Σ-compression bound in [`PointOutcome::interp_bound`].
+    pub fn transmission_only() -> Self {
+        PointPolicy { transmission_only: true, ..PointPolicy::default() }
     }
 }
 
 impl<'rt> PointPolicy<'rt> {
     /// Attaches an accelerator runtime (used by the direct path).
     pub fn with_runtime<'a>(self, rt: &'a AccelRuntime) -> PointPolicy<'a> {
-        PointPolicy { robust: self.robust, allow_interp: self.allow_interp, runtime: Some(rt) }
+        PointPolicy {
+            robust: self.robust,
+            allow_interp: self.allow_interp,
+            transmission_only: self.transmission_only,
+            sigma_compress_tol: self.sigma_compress_tol,
+            runtime: Some(rt),
+        }
+    }
+
+    /// Sets the Σ-compression tolerance used by the cacheless
+    /// transmission-only path.
+    pub fn with_sigma_compression(mut self, tol: f64) -> Self {
+        self.sigma_compress_tol = tol;
+        self
     }
 }
 
@@ -87,6 +119,8 @@ impl std::fmt::Debug for PointPolicy<'_> {
         f.debug_struct("PointPolicy")
             .field("robust", &self.robust)
             .field("allow_interp", &self.allow_interp)
+            .field("transmission_only", &self.transmission_only)
+            .field("sigma_compress_tol", &self.sigma_compress_tol)
             .field("runtime", &self.runtime.is_some())
             .finish()
     }
@@ -141,7 +175,8 @@ impl TransportEngineBuilder {
             None => self.cache.resolve(),
         };
         TransportEngine {
-            device,
+            config: device.config,
+            device: Some(device),
             scheduler: self.scheduler,
             cache,
             dks: Mutex::new(HashMap::new()),
@@ -153,7 +188,11 @@ impl TransportEngineBuilder {
 /// solves and sweeps. Cheap to share behind an `Arc`; all interior state
 /// is synchronized.
 pub struct TransportEngine {
-    device: Device,
+    /// `None` for an engine fixed on pre-folded `DeviceK`s
+    /// ([`TransportEngine::from_device_k`]): point solves work on the
+    /// seeded momenta, sweeps (which re-fold per kz) are unavailable.
+    device: Option<Device>,
+    config: TransportConfig,
     scheduler: Option<Arc<Scheduler>>,
     cache: Option<Arc<SigmaCache>>,
     /// Folded `DeviceK` (plus its cache handle with the lead hashes
@@ -167,7 +206,7 @@ type FoldedK = (Arc<DeviceK>, Option<CacheHandle>);
 impl std::fmt::Debug for TransportEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TransportEngine")
-            .field("config", &self.device.config)
+            .field("config", &self.config)
             .field("cache", &self.cache)
             .finish_non_exhaustive()
     }
@@ -190,14 +229,30 @@ impl TransportEngine {
         TransportEngine::builder(device).build()
     }
 
-    /// The device this engine solves on.
-    pub fn device(&self) -> &Device {
-        &self.device
+    /// An engine fixed on one pre-folded [`DeviceK`] — the migration path
+    /// for pipelines that assemble lead/device blocks by hand and never
+    /// had a [`Device`]. Point solves work at the seeded `kz` (and any
+    /// other `kz` the caller seeds through additional `from_device_k`
+    /// engines); [`Self::sweep`] is unavailable and errors. The cache
+    /// resolves through [`CachePolicy::Auto`], like [`Self::new`].
+    pub fn from_device_k(dk: DeviceK, config: TransportConfig) -> TransportEngine {
+        let cache = CachePolicy::Auto.resolve();
+        let kz = dk.kz;
+        let dk = Arc::new(dk);
+        let handle = cache.as_ref().map(|c| CacheHandle::for_dk(c.clone(), &dk));
+        let dks = Mutex::new(HashMap::from([(kz.to_bits(), (dk, handle))]));
+        TransportEngine { device: None, config, scheduler: None, cache, dks }
+    }
+
+    /// The device this engine solves on — `None` for a fixed-`DeviceK`
+    /// engine ([`Self::from_device_k`]).
+    pub fn device(&self) -> Option<&Device> {
+        self.device.as_ref()
     }
 
     /// The active transport configuration.
     pub fn config(&self) -> &TransportConfig {
-        &self.device.config
+        &self.config
     }
 
     /// Counter snapshot of the engine's cache, `None` when caching is off.
@@ -211,15 +266,30 @@ impl TransportEngine {
         self.cache.as_ref()
     }
 
-    fn dk_at(&self, kz: f64) -> (Arc<DeviceK>, Option<CacheHandle>) {
+    /// The folded [`DeviceK`] at `kz`: always available on a device-backed
+    /// engine (folding and memoizing on first use), only at seeded momenta
+    /// on a fixed-`DeviceK` engine. Observable post-processing
+    /// (`bond_current_of_state` and friends) borrows the blocks from here
+    /// instead of keeping a second copy outside the engine.
+    pub fn device_k(&self, kz: f64) -> Option<Arc<DeviceK>> {
+        self.dk_at(kz).map(|(dk, _)| dk)
+    }
+
+    fn dk_at(&self, kz: f64) -> Option<(Arc<DeviceK>, Option<CacheHandle>)> {
         let mut dks = self.dks.lock().expect("engine dk map");
-        dks.entry(kz.to_bits())
-            .or_insert_with(|| {
-                let dk = Arc::new(self.device.at_kz(kz));
+        match (dks.get(&kz.to_bits()), &self.device) {
+            (Some(found), _) => Some(found.clone()),
+            (None, Some(device)) => {
+                let dk = Arc::new(device.at_kz(kz));
                 let handle = self.cache.as_ref().map(|c| CacheHandle::for_dk(c.clone(), &dk));
-                (dk, handle)
-            })
-            .clone()
+                let folded = (dk, handle);
+                dks.insert(kz.to_bits(), folded.clone());
+                Some(folded)
+            }
+            // Fixed-`DeviceK` engine queried off its seeded momentum:
+            // nothing to fold from.
+            (None, None) => None,
+        }
     }
 
     /// Solves one (E, kz) pixel under `policy`. Always returns a
@@ -227,8 +297,30 @@ impl TransportEngine {
     /// path produced the point; collapse with [`RobustSolve::into_result`]
     /// when only the result matters.
     pub fn solve_point(&self, e: f64, kz: f64, policy: &PointPolicy<'_>) -> RobustSolve {
-        let (dk, handle) = self.dk_at(kz);
-        let cfg = &self.device.config;
+        let start = Instant::now();
+        let Some((dk, handle)) = self.dk_at(kz) else {
+            return RobustSolve {
+                result: None,
+                outcome: PointOutcome {
+                    method_used: transport::METHOD_FAILED,
+                    attempts: 0,
+                    escalations: 0,
+                    residual: f64::INFINITY,
+                    eta: 0.0,
+                    interp_bound: 0.0,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                },
+                error: Some(TransportError::Panic {
+                    what: format!(
+                        "engine fixed on a pre-folded DeviceK has no device to fold kz={kz}"
+                    ),
+                }),
+            };
+        };
+        let cfg = &self.config;
+        if policy.transmission_only {
+            return self.boundary_point(&dk, handle.as_ref(), e, policy.sigma_compress_tol);
+        }
         if policy.allow_interp {
             if let Some(h) = &handle {
                 if let Some(rs) = self.try_interp_point(&dk, h, e) {
@@ -270,6 +362,48 @@ impl TransportEngine {
         }
     }
 
+    /// Transmission-only fast path: Σ flows compressed from the cache (or
+    /// a fresh solve) into the boundary-block RGF; only three Green's
+    /// function blocks are ever materialized. The recorded Σ-compression
+    /// bound rides in [`PointOutcome::interp_bound`].
+    fn boundary_point(
+        &self,
+        dk: &DeviceK,
+        handle: Option<&CacheHandle>,
+        e: f64,
+        compress_tol: f64,
+    ) -> RobustSolve {
+        let start = Instant::now();
+        match transport::solve_point_transmission_only(dk, e, &self.config, handle, compress_tol) {
+            Ok((result, bound)) => RobustSolve {
+                result: Some(result),
+                outcome: PointOutcome {
+                    method_used: METHOD_BOUNDARY,
+                    attempts: 1,
+                    escalations: 0,
+                    residual: 0.0,
+                    eta: 0.0,
+                    interp_bound: bound,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                },
+                error: None,
+            },
+            Err(error) => RobustSolve {
+                result: None,
+                outcome: PointOutcome {
+                    method_used: transport::METHOD_FAILED,
+                    attempts: 1,
+                    escalations: 0,
+                    residual: f64::INFINITY,
+                    eta: 0.0,
+                    interp_bound: 0.0,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                },
+                error: Some(error),
+            },
+        }
+    }
+
     /// Interpolation fast path: both sides must be servable from the
     /// cache (an exact stored frame counts; at least one side must come
     /// from a validated interval for this to beat the plain hit path).
@@ -277,7 +411,7 @@ impl TransportEngine {
     /// the decimation rung — interpolated Σ carries no mode sets.
     fn try_interp_point(&self, dk: &DeviceK, h: &CacheHandle, e: f64) -> Option<RobustSolve> {
         let start = Instant::now();
-        let cfg = &self.device.config;
+        let cfg = &self.config;
         let side_sigma = |side: Side| -> Option<(ZMat, f64)> {
             let hash = h.hash_of(side);
             if let Some(exact) = h.cache().lookup_exact(hash, e, 0.0, side, cfg.obc) {
@@ -338,6 +472,13 @@ impl TransportEngine {
         n_ranks: usize,
         opts: &SweepOptions,
     ) -> TransportResult<SweepResult> {
+        let Some(device) = &self.device else {
+            return Err(TransportError::Panic {
+                what: "sweeps need a full Device; this engine is fixed on a pre-folded DeviceK \
+                       (TransportEngine::from_device_k)"
+                    .into(),
+            });
+        };
         let mut o = opts.clone();
         if o.scheduler.is_none() {
             o.scheduler = self.scheduler.clone();
@@ -348,6 +489,6 @@ impl TransportEngine {
                 None => CachePolicy::Off,
             };
         }
-        parallel_sweep_resumable(&self.device, plan, n_ranks, &o)
+        parallel_sweep_resumable(device, plan, n_ranks, &o)
     }
 }

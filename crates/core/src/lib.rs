@@ -55,7 +55,10 @@ pub use sweep::{
     parallel_sweep, parallel_sweep_resumable, PointRecord, SweepHealth, SweepOptions,
     SweepOptionsBuilder, SweepOptionsError, SweepPlan, SweepResult,
 };
-pub use transport::{caroli_transmission, EnergyPointResult, PointOutcome, RobustSolve};
+pub use transport::{
+    caroli_transmission, EnergyPointResult, PointOutcome, RobustSolve, LADDER_METHOD_NAMES,
+    METHOD_BOUNDARY, METHOD_CACHE_INTERP, METHOD_FAILED,
+};
 #[allow(deprecated)]
 pub use transport::{solve_energy_point, solve_energy_point_robust};
 

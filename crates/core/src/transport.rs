@@ -20,9 +20,9 @@ use qtx_accel::AccelRuntime;
 use qtx_linalg::{qr_least_squares, Complex64, LinalgError, ZMat};
 use qtx_obc::{self_energy, BeynConfig, Eta, LeadBlocks, ModeSet, ObcMethod, ObcResult, Side};
 use qtx_solver::{
-    bcr_solve, btd_lu_solve_ws, rgf_diagonal_and_corner_ws, ObcSystem, SolverKind, SplitSolve,
-    Workspace,
+    bcr_solve, btd_lu_solve_ws, rgf_boundary_ws, ObcSystem, SolverKind, SplitSolve, Workspace,
 };
+use qtx_sparse::CompressedSigma;
 use std::time::Instant;
 
 thread_local! {
@@ -152,8 +152,8 @@ pub fn solve_with_obc_eta(
     let a = if eta == 0.0 { dk.es_minus_h(e) } else { dk.es_minus_h_eta(e, eta) };
     let sys = ObcSystem {
         a,
-        sigma_l: obc_l.sigma.clone(),
-        sigma_r: obc_r.sigma.clone(),
+        sigma_l: obc_l.sigma.clone().into(),
+        sigma_r: obc_r.sigma.clone().into(),
         rhs_top: obc_l.injection.clone(),
         rhs_bottom: obc_r.injection.clone(),
     };
@@ -252,7 +252,7 @@ fn btd_residual(sys: &ObcSystem, x: &ZMat) -> f64 {
             r.axpy(Complex64::ONE, &(&sys.a.lower[i - 1] * &xb(i - 1)));
         }
         if i == 0 {
-            r.axpy(-Complex64::ONE, &(&sys.sigma_l * &xb(0)));
+            r.axpy(-Complex64::ONE, &(&*sys.sigma_l.dense() * &xb(0)));
             for c in 0..sys.rhs_top.cols() {
                 for row in 0..s {
                     r[(row, c)] -= sys.rhs_top[(row, c)];
@@ -260,7 +260,7 @@ fn btd_residual(sys: &ObcSystem, x: &ZMat) -> f64 {
             }
         }
         if i == nb - 1 {
-            r.axpy(-Complex64::ONE, &(&sys.sigma_r * &xb(nb - 1)));
+            r.axpy(-Complex64::ONE, &(&*sys.sigma_r.dense() * &xb(nb - 1)));
             let off = sys.rhs_top.cols();
             for c in 0..sys.rhs_bottom.cols() {
                 for row in 0..s {
@@ -296,17 +296,28 @@ pub fn caroli_from_sigmas(
     let a = if eta == 0.0 { dk.es_minus_h(e) } else { dk.es_minus_h_eta(e, eta) };
     let sys = ObcSystem {
         a,
-        sigma_l: sigma_l.clone(),
-        sigma_r: sigma_r.clone(),
+        sigma_l: sigma_l.clone().into(),
+        sigma_r: sigma_r.clone().into(),
         rhs_top: ZMat::zeros(dk.h.block_size(), 0),
         rhs_bottom: ZMat::zeros(dk.h.block_size(), 0),
     };
-    let gamma = |sig: &ZMat| -> ZMat {
-        // Γ = i(Σ − Σᴴ).
-        &sig.scaled(Complex64::I) - &sig.adjoint().scaled(Complex64::I)
-    };
-    let gl = gamma(sigma_l);
-    let gr = gamma(sigma_r);
+    caroli_of_system(&sys)
+}
+
+/// `Γ = i(Σ − Σᴴ)` from a possibly-factored Σ. The broadening matrix is
+/// one `s × s` block — expanding a compressed Σ here costs bandwidth²,
+/// never n².
+fn gamma_of(sigma: &CompressedSigma) -> ZMat {
+    let sig = sigma.dense();
+    &sig.scaled(Complex64::I) - &sig.adjoint().scaled(Complex64::I)
+}
+
+/// Caroli transmission of an assembled open system through the
+/// boundary-block-only RGF: the only Green's function blocks ever
+/// materialized are `G_{0,0}`, `G_{0,n−1}` and `G_{n−1,n−1}`.
+fn caroli_of_system(sys: &ObcSystem) -> TransportResult<f64> {
+    let gl = gamma_of(&sys.sigma_l);
+    let gr = gamma_of(&sys.sigma_r);
     // T = Tr[Γ_L·G_{0,n−1}·Γ_R·G_{0,n−1}ᴴ]: the inner sandwich
     // A_R = G·Γ_R·Gᴴ is Hermitian (Γ_R is), so it collapses to one
     // rank-2k update zher2k(½, G·Γ_R, G) = ½(G·Γ_R·Gᴴ + G·Γ_Rᴴ·Gᴴ) at
@@ -315,7 +326,7 @@ pub fn caroli_from_sigmas(
     // third gemm at all. Both temporaries cycle through the per-thread
     // pool, like the RGF solve that produced G.
     let t = SOLVER_WS.with(|ws| -> TransportResult<Complex64> {
-        let g = rgf_diagonal_and_corner_ws(&sys, ws)?;
+        let g = rgf_boundary_ws(sys, ws)?;
         let s = gr.rows();
         let ggr = ws.matmul(&g.corner, &gr);
         let mut a_r = ws.take_scratch(s, s);
@@ -340,6 +351,74 @@ pub fn caroli_from_sigmas(
     Ok(t.re)
 }
 
+/// Transmission-only solve through the boundary-block RGF path: Σ flows
+/// from the cache (or a fresh OBC solve) in its compressed representation
+/// straight into [`ObcSystem`], no scattering-state system is ever formed,
+/// and the dense working set stays at bandwidth·n. Returns the point plus
+/// the worse of the two Σ-compression bounds (0 when compression is off —
+/// then the transmission is bit-identical to the Caroli route over exact
+/// self-energies).
+pub(crate) fn solve_point_transmission_only(
+    dk: &DeviceK,
+    e: f64,
+    cfg: &TransportConfig,
+    cache: Option<&CacheHandle>,
+    compress_tol: f64,
+) -> TransportResult<(EnergyPointResult, f64)> {
+    let parts_l = cache::cached_self_energy_parts(
+        cache,
+        &dk.lead_l,
+        e,
+        0.0,
+        Side::Left,
+        cfg.obc,
+        compress_tol,
+    )
+    .map_err(|source| TransportError::Obc { side: Side::Left, source })?;
+    let parts_r = cache::cached_self_energy_parts(
+        cache,
+        &dk.lead_r,
+        e,
+        0.0,
+        Side::Right,
+        cfg.obc,
+        compress_tol,
+    )
+    .map_err(|source| TransportError::Obc { side: Side::Right, source })?;
+    let bound = parts_l.sigma.bound().max(parts_r.sigma.bound());
+    let channels = (
+        parts_l.inc_modes.iter().filter(|m| m.propagating).count(),
+        parts_r.inc_modes.iter().filter(|m| m.propagating).count(),
+    );
+    let s = dk.h.block_size();
+    let sys = ObcSystem {
+        a: dk.es_minus_h(e),
+        sigma_l: parts_l.sigma,
+        sigma_r: parts_r.sigma,
+        rhs_top: ZMat::zeros(s, 0),
+        rhs_bottom: ZMat::zeros(s, 0),
+    };
+    let t = caroli_of_system(&sys)?;
+    if !t.is_finite() {
+        return Err(TransportError::Linalg(LinalgError::NonFinite { op: "caroli", count: 1 }));
+    }
+    Ok((
+        EnergyPointResult {
+            e,
+            kz: dk.kz,
+            transmission: t,
+            transmission_rl: t,
+            reflection: 0.0,
+            channels,
+            psi: ZMat::zeros(0, 0),
+            m_left: 0,
+            sigma_l: sys.sigma_l.to_dense(),
+            sigma_r: sys.sigma_r.to_dense(),
+        },
+        bound,
+    ))
+}
+
 /// Lead band edges helper re-exported for grid building.
 pub fn lead_of(dk: &DeviceK, side: Side) -> &LeadBlocks {
     match side {
@@ -361,7 +440,7 @@ pub const ETA_BUMP: f64 = 1e-6;
 /// [`PointOutcome::method_used`]. `cache-interp` sits *after* `failed` so
 /// the rung codes of existing checkpoints stay valid — it is not a ladder
 /// rung but the engine's interpolated-Σ fast path.
-pub const LADDER_METHOD_NAMES: [&str; 8] = [
+pub const LADDER_METHOD_NAMES: [&str; 9] = [
     "configured",
     "configured+eta",
     "feast-wide",
@@ -370,6 +449,7 @@ pub const LADDER_METHOD_NAMES: [&str; 8] = [
     "decimation-caroli",
     "failed",
     "cache-interp",
+    "boundary-caroli",
 ];
 
 /// `method_used` value marking a point every rung gave up on.
@@ -378,6 +458,11 @@ pub const METHOD_FAILED: u8 = 6;
 /// `method_used` value of a point served from interpolated cached
 /// self-energies (engine-only; never appears in sweep records).
 pub const METHOD_CACHE_INTERP: u8 = 7;
+
+/// `method_used` value of a transmission-only point solved through the
+/// boundary-block RGF with compressed self-energies (engine-only; never
+/// appears in sweep records).
+pub const METHOD_BOUNDARY: u8 = 8;
 
 /// Robustness record of one (E, k) point: which rung produced the
 /// result, how hard the ladder had to work, and how good the answer is.

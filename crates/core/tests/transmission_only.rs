@@ -1,0 +1,167 @@
+//! Acceptance battery for the boundary-block-only transmission path: T(E)
+//! parity with the dense Caroli route (bit-identical with compression
+//! off, within the recorded Σ bound with it on) and the `bandwidth·n`
+//! peak-memory scaling that retiring dense staging buys.
+
+use qtx_atomistic::{BasisKind, DeviceBuilder};
+use qtx_core::engine::{PointPolicy, TransportEngine};
+use qtx_core::{caroli_transmission, transport, Device, DeviceK, TransportConfig, METHOD_BOUNDARY};
+use qtx_linalg::{c64, gemm, Complex64, Op, ZMat};
+use qtx_obc::{LeadBlocks, ObcMethod};
+use qtx_sparse::{peak_matrix_bytes, reset_peak_matrix_bytes, Btd};
+use std::sync::{Mutex, MutexGuard};
+
+/// The peak-byte counter is process-global; every test that reads it (or
+/// allocates heavily enough to disturb a concurrent reader) serializes
+/// here.
+static PEAK_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    PEAK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn nanowire(cells: usize) -> Device {
+    let spec = DeviceBuilder::nanowire(0.8).cells(cells).basis(BasisKind::TightBinding).build();
+    Device::build(spec).unwrap()
+}
+
+/// An 8-orbital lead whose inter-cell coupling has rank 2, so
+/// `Σ = τ·g·τᴴ` is genuinely low-rank and compression has something to
+/// shed (a full-rank coupling would only exercise the dense fallback).
+fn block_lead() -> LeadBlocks {
+    let nf = 8;
+    let mut h00 = ZMat::zeros(nf, nf);
+    let r = ZMat::random(nf, nf, 11);
+    for i in 0..nf {
+        for j in 0..nf {
+            h00[(i, j)] = 0.1 * (r[(i, j)] + r[(j, i)].conj());
+        }
+        h00[(i, i)] += c64(2.0 + i as f64 * 0.1, 0.0);
+    }
+    let a = ZMat::random(nf, 2, 13);
+    let b = ZMat::random(nf, 2, 17);
+    let mut h01 = ZMat::zeros(nf, nf);
+    gemm(c64(0.2, 0.0), &a, Op::None, &b, Op::Adjoint, Complex64::ZERO, &mut h01);
+    LeadBlocks::new(h00, h01, ZMat::identity(nf), ZMat::zeros(nf, nf))
+}
+
+/// A homogeneous chain of `nb` copies of the block lead's unit cell,
+/// assembled by hand the way external pipelines feed `from_device_k`.
+fn block_device_k(nb: usize) -> DeviceK {
+    let lead = block_lead();
+    let s = lead.h00.rows();
+    let mut h = Btd::zeros(nb, s);
+    let mut ov = Btd::zeros(nb, s);
+    for i in 0..nb {
+        h.diag[i] = lead.h00.clone();
+        ov.diag[i] = ZMat::identity(s);
+    }
+    for i in 0..nb - 1 {
+        h.upper[i] = lead.h01.clone();
+        h.lower[i] = lead.h01.adjoint();
+    }
+    DeviceK { lead_l: lead.clone(), lead_r: lead, h, s: ov, kz: 0.0 }
+}
+
+#[test]
+fn uncompressed_boundary_path_is_bit_identical_to_caroli() {
+    let _guard = lock();
+    let d = nanowire(8);
+    let dk = d.at_kz(0.0);
+    let e = dk.lead_l.dispersive_energy(1.0, 0.2, 0.3).expect("conduction band");
+    let reference = caroli_transmission(&dk, e, d.config.obc).unwrap();
+    let engine = TransportEngine::builder(d).cache(qtx_core::CachePolicy::Off).build();
+    let rs = engine.solve_point(e, 0.0, &PointPolicy::transmission_only());
+    assert_eq!(rs.outcome.method_used, METHOD_BOUNDARY);
+    assert_eq!(rs.outcome.method_name(), "boundary-caroli");
+    assert_eq!(rs.outcome.interp_bound, 0.0, "tol 0 must record a zero bound");
+    let r = rs.into_result().unwrap();
+    assert_eq!(r.transmission, reference, "compression off must be bit-identical");
+    assert!(r.transmission > 0.5, "conduction band must transmit");
+    // The transmission-only point carries no scattering states.
+    assert_eq!(r.psi.rows(), 0);
+}
+
+#[test]
+fn boundary_path_agrees_with_wave_function_route() {
+    let _guard = lock();
+    let d = nanowire(8);
+    let e = d.at_kz(0.0).lead_l.dispersive_energy(1.0, 0.2, 0.3).expect("conduction band");
+    let engine = TransportEngine::builder(d).cache(qtx_core::CachePolicy::Off).build();
+    let wf = engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().unwrap();
+    let bd = engine.solve_point(e, 0.0, &PointPolicy::transmission_only()).into_result().unwrap();
+    assert!(
+        (wf.transmission - bd.transmission).abs() < 1e-6,
+        "WF {} vs boundary {}",
+        wf.transmission,
+        bd.transmission
+    );
+}
+
+#[test]
+fn compressed_sigma_stays_within_recorded_bound() {
+    let _guard = lock();
+    let dk = block_device_k(12);
+    let cfg = TransportConfig { obc: ObcMethod::Decimation, ..TransportConfig::default() };
+    let e = 0.3;
+    let exact = transport::caroli_from_sigmas;
+    // Reference: exact Σ through the same boundary kernel.
+    let engine = TransportEngine::from_device_k(block_device_k(12), cfg);
+    let rs_exact = engine.solve_point(e, 0.0, &PointPolicy::transmission_only());
+    assert_eq!(rs_exact.outcome.interp_bound, 0.0);
+    let t_exact = rs_exact.into_result().unwrap().transmission;
+    // Compressed: the rank-2 coupling caps rank(Σ) at 2 of 8, so the
+    // factor form genuinely engages and records a non-zero bound.
+    let policy = PointPolicy::transmission_only().with_sigma_compression(1e-8);
+    let rs = engine.solve_point(e, 0.0, &policy);
+    let bound = rs.outcome.interp_bound;
+    assert!(bound > 0.0, "rank-2 Σ at tol 1e-8 must compress");
+    assert!(bound < 1e-6, "bound {bound} out of scale for tol 1e-8");
+    let t_comp = rs.into_result().unwrap().transmission;
+    assert!(
+        (t_comp - t_exact).abs() <= 1e4 * bound + 1e-12,
+        "ΔT {} exceeds condition-scaled Σ bound {bound}",
+        (t_comp - t_exact).abs()
+    );
+    // Silence the unused-import-style warning for the exact fn reference:
+    // the dense Caroli route must agree with the engine's exact pass too.
+    let sig_l =
+        qtx_obc::self_energy(&dk.lead_l, e, qtx_obc::Eta(0.0), qtx_obc::Side::Left, cfg.obc)
+            .unwrap()
+            .sigma;
+    let sig_r =
+        qtx_obc::self_energy(&dk.lead_r, e, qtx_obc::Eta(0.0), qtx_obc::Side::Right, cfg.obc)
+            .unwrap()
+            .sigma;
+    let t_dense = exact(&dk, e, 0.0, &sig_l, &sig_r).unwrap();
+    assert_eq!(t_dense, t_exact, "engine exact pass must match the dense Caroli route");
+}
+
+#[test]
+fn peak_matrix_bytes_scale_with_bandwidth_times_n() {
+    let _guard = lock();
+    let lengths = [16usize, 64];
+    let mut peaks = [0usize; 2];
+    for (slot, &nb) in peaks.iter_mut().zip(&lengths) {
+        let cfg = TransportConfig { obc: ObcMethod::Decimation, ..TransportConfig::default() };
+        let engine = TransportEngine::from_device_k(block_device_k(nb), cfg);
+        // Warm up the thread-local workspace and the OBC machinery so the
+        // measured pass sees steady-state allocation behavior.
+        engine.solve_point(0.3, 0.0, &PointPolicy::transmission_only()).into_result().unwrap();
+        reset_peak_matrix_bytes();
+        engine.solve_point(0.3, 0.0, &PointPolicy::transmission_only()).into_result().unwrap();
+        *slot = peak_matrix_bytes();
+    }
+    let ratio = peaks[1] as f64 / peaks[0] as f64;
+    let linear = (lengths[1] / lengths[0]) as f64;
+    assert!(
+        ratio < 2.0 * linear,
+        "peak bytes grew {ratio:.1}× over a {linear}× device — dense (n²) staging is back \
+         (peaks: {peaks:?})"
+    );
+    assert!(
+        ratio > 0.5 * linear,
+        "peak bytes barely grew ({ratio:.2}× over {linear}×) — the counter is not seeing \
+         the solve (peaks: {peaks:?})"
+    );
+}

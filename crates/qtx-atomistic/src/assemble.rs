@@ -12,8 +12,76 @@ use crate::basis::BasisKind;
 use crate::neighbors::NeighborList;
 use crate::structure::Structure;
 use qtx_linalg::{c64, Complex64, ZMat};
-use qtx_sparse::Btd;
+use qtx_sparse::{Btd, CsrBuilder, SparseShapeError};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a structure could not be assembled into BTD device matrices.
+/// Surfaced as a value (not a panic) so a sweep driver can skip a bad
+/// geometry or report it instead of aborting mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssembleError {
+    /// The structure holds no atoms.
+    EmptyStructure,
+    /// Slab length below the basis cutoff — couplings would skip slabs.
+    SlabTooShort {
+        /// Requested slab length (nm).
+        slab_len: f64,
+        /// Basis interaction cutoff (nm).
+        rcut: f64,
+    },
+    /// A transport device needs at least two slabs.
+    TooFewSlabs {
+        /// Slabs the binning produced.
+        got: usize,
+    },
+    /// A slab's orbital count differs from the first slab's.
+    HeterogeneousSlab {
+        /// Offending slab index.
+        slab: usize,
+        /// Orbitals found in it.
+        got: usize,
+        /// Orbitals in slab 0.
+        expected: usize,
+    },
+    /// A neighbor pair couples atoms more than one slab apart.
+    CouplingSkipsSlabs {
+        /// Widest slab distance a pair crosses.
+        span: usize,
+    },
+    /// The accumulated pattern violated the sparse layout contract.
+    Shape(SparseShapeError),
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::EmptyStructure => write!(f, "structure holds no atoms"),
+            AssembleError::SlabTooShort { slab_len, rcut } => {
+                write!(f, "slab length {slab_len} below basis cutoff {rcut}")
+            }
+            AssembleError::TooFewSlabs { got } => {
+                write!(f, "need at least two slabs, got {got}")
+            }
+            AssembleError::HeterogeneousSlab { slab, got, expected } => write!(
+                f,
+                "slab {slab} has {got} orbitals vs {expected}; use homogeneous cross-sections"
+            ),
+            AssembleError::CouplingSkipsSlabs { span } => {
+                write!(f, "coupling skips {span} slabs; enlarge slab_len")
+            }
+            AssembleError::Shape(e) => write!(f, "sparse layout violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+impl From<SparseShapeError> for AssembleError {
+    fn from(e: SparseShapeError) -> Self {
+        AssembleError::Shape(e)
+    }
+}
 
 /// Unit-cell Hamiltonian/overlap blocks of a periodic lead.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +113,56 @@ pub struct DeviceMatrices {
     pub atom_orbital_offset: Vec<usize>,
     /// Slab index of each atom.
     pub atom_slab: Vec<usize>,
+    /// Stored orbital-level entries `(nnz_h, nnz_s)` of the assembled
+    /// sparse patterns, before block densification — the number footprint
+    /// diagnostics compare against `dim²`.
+    pub nnz: (usize, usize),
+}
+
+/// Orbital-level accumulator that assembles device matrices straight from
+/// neighbor-list contributions into [`Btd`] form. Contributions are pushed
+/// at *global* orbital coordinates (`slab·bs + offset`); duplicates sum.
+/// [`BtdAssembler::finish`] compresses the triplets, validates them
+/// against the block tri-diagonal envelope and densifies the blocks — the
+/// single point where the layout decision is made. There is no dense
+/// `dim×dim` staging matrix anywhere in this path.
+#[derive(Debug, Clone)]
+pub struct BtdAssembler {
+    nb: usize,
+    bs: usize,
+    h: CsrBuilder,
+    s: CsrBuilder,
+}
+
+impl BtdAssembler {
+    /// Accumulator for an `nb`-slab device with `bs` orbitals per slab.
+    pub fn new(nb: usize, bs: usize) -> Self {
+        let dim = nb * bs;
+        BtdAssembler { nb, bs, h: CsrBuilder::new(dim, dim), s: CsrBuilder::new(dim, dim) }
+    }
+
+    /// Adds a Hamiltonian contribution at global orbital `(row, col)`.
+    #[inline]
+    pub fn add_h(&mut self, row: usize, col: usize, v: Complex64) {
+        self.h.push(row, col, v);
+    }
+
+    /// Adds an overlap contribution at global orbital `(row, col)`.
+    #[inline]
+    pub fn add_s(&mut self, row: usize, col: usize, v: Complex64) {
+        self.s.push(row, col, v);
+    }
+
+    /// Compresses and validates the accumulated patterns into `(H, S, nnz)`.
+    pub fn finish(self) -> Result<(Btd, Btd, (usize, usize)), SparseShapeError> {
+        let (nb, bs) = (self.nb, self.bs);
+        let h_csr = self.h.try_build()?;
+        let s_csr = self.s.try_build()?;
+        let nnz = (h_csr.nnz(), s_csr.nnz());
+        let h = Btd::from_csr(&h_csr, nb, bs)?;
+        let s = Btd::from_csr(&s_csr, nb, bs)?;
+        Ok((h, s, nnz))
+    }
 }
 
 /// Assembles the unit-cell blocks `H_l(k), S_l(k)` of a periodic cell.
@@ -180,21 +298,36 @@ impl UnitCellMatrices {
 /// inhomogeneous) structure by binning atoms into slabs of `slab_len` nm.
 /// All slabs must carry the same orbital count; the slab length must be at
 /// least the basis cutoff so couplings never skip a slab.
-pub fn assemble_device(structure: &Structure, basis: BasisKind, slab_len: f64) -> DeviceMatrices {
+///
+/// Contributions flow from the neighbor list straight into a
+/// [`BtdAssembler`] — orbital-level triplets compressed to CSR and
+/// densified per block — so nothing `dim×dim` is ever staged and every
+/// layout violation surfaces as a typed [`AssembleError`].
+pub fn assemble_device(
+    structure: &Structure,
+    basis: BasisKind,
+    slab_len: f64,
+) -> Result<DeviceMatrices, AssembleError> {
     let n_orb_atom = basis.orbitals_per_atom();
-    let first = structure.atoms.first().expect("non-empty structure").species;
+    let first = structure.atoms.first().ok_or(AssembleError::EmptyStructure)?.species;
     let rcut = basis.params(first).rcut;
-    assert!(slab_len + 1e-9 >= rcut, "slab length {slab_len} below basis cutoff {rcut}");
+    if slab_len + 1e-9 < rcut {
+        return Err(AssembleError::SlabTooShort { slab_len, rcut });
+    }
     let ranges = structure.slab_ranges(slab_len);
     let nb = ranges.len();
-    assert!(nb >= 2, "need at least two slabs");
+    if nb < 2 {
+        return Err(AssembleError::TooFewSlabs { got: nb });
+    }
     let orbs_per_slab = ranges[0].len() * n_orb_atom;
     for (k, r) in ranges.iter().enumerate() {
-        assert_eq!(
-            r.len() * n_orb_atom,
-            orbs_per_slab,
-            "slab {k} has a different orbital count; use homogeneous cross-sections"
-        );
+        if r.len() * n_orb_atom != orbs_per_slab {
+            return Err(AssembleError::HeterogeneousSlab {
+                slab: k,
+                got: r.len() * n_orb_atom,
+                expected: orbs_per_slab,
+            });
+        }
     }
     let mut atom_slab = vec![0usize; structure.len()];
     let mut atom_off = vec![0usize; structure.len()];
@@ -206,9 +339,12 @@ pub fn assemble_device(structure: &Structure, basis: BasisKind, slab_len: f64) -
     }
     let z_images = if structure.z_period > 0.0 { 1 } else { 0 };
     let list = NeighborList::build(structure, rcut, 0, z_images);
+    let span = list.max_slab_span(&atom_slab);
+    if span > 1 {
+        return Err(AssembleError::CouplingSkipsSlabs { span });
+    }
 
-    let mut h = Btd::zeros(nb, orbs_per_slab);
-    let mut s = Btd::zeros(nb, orbs_per_slab);
+    let mut asm = BtdAssembler::new(nb, orbs_per_slab);
     // On-site terms with the same surface-passivation rule as the
     // unit-cell assembly.
     for (i, at) in structure.atoms.iter().enumerate() {
@@ -216,55 +352,46 @@ pub fn assemble_device(structure: &Structure, basis: BasisKind, slab_len: f64) -
         let nn = 1.15 * p.r_bond;
         let coord = list.of(i).iter().filter(|&&(_, _, _, r)| r <= nn).count();
         let missing = p.ideal_coordination.saturating_sub(coord) as f64;
-        let (sl, off) = (atom_slab[i], atom_off[i]);
+        let row0 = atom_slab[i] * orbs_per_slab + atom_off[i];
         for o in 0..n_orb_atom {
             let manifold = if o < n_orb_atom / 2 { -1.0 } else { 1.0 };
             let shift = manifold * missing * p.passivation_shift;
-            h.diag[sl][(off + o, off + o)] = c64(p.onsite[o] + shift, 0.0);
-            s.diag[sl][(off + o, off + o)] = Complex64::ONE;
+            asm.add_h(row0 + o, row0 + o, c64(p.onsite[o] + shift, 0.0));
+            asm.add_s(row0 + o, row0 + o, Complex64::ONE);
         }
     }
     // Pairs (z-phase at kz = 0; the device sweep folds k in the leads).
     for i in 0..structure.len() {
         let si = structure.atoms[i].species;
+        let ri = atom_slab[i] * orbs_per_slab + atom_off[i];
         for &(j, _ix, _iz, r) in list.of(i) {
             let sj = structure.atoms[j].species;
-            let (sli, slj) = (atom_slab[i], atom_slab[j]);
-            let (oi, oj) = (atom_off[i], atom_off[j]);
-            let target_h: &mut ZMat = match slj as isize - sli as isize {
-                0 => &mut h.diag[sli],
-                1 => &mut h.upper[sli],
-                -1 => &mut h.lower[slj],
-                d => panic!("coupling skips {d} slabs; enlarge slab_len"),
-            };
+            let cj = atom_slab[j] * orbs_per_slab + atom_off[j];
             if let Some(hb) = basis.h_block(si, sj, r) {
                 for a in 0..n_orb_atom {
                     for b in 0..n_orb_atom {
-                        target_h[(oi + a, oj + b)] += c64(hb[a * n_orb_atom + b], 0.0);
+                        asm.add_h(ri + a, cj + b, c64(hb[a * n_orb_atom + b], 0.0));
                     }
                 }
             }
             if let Some(sb) = basis.s_block(si, sj, r) {
-                let target_s: &mut ZMat = match slj as isize - sli as isize {
-                    0 => &mut s.diag[sli],
-                    1 => &mut s.upper[sli],
-                    _ => &mut s.lower[slj],
-                };
                 for a in 0..n_orb_atom {
                     for b in 0..n_orb_atom {
-                        target_s[(oi + a, oj + b)] += c64(sb[a * n_orb_atom + b], 0.0);
+                        asm.add_s(ri + a, cj + b, c64(sb[a * n_orb_atom + b], 0.0));
                     }
                 }
             }
         }
     }
-    DeviceMatrices {
+    let (h, s, nnz) = asm.finish()?;
+    Ok(DeviceMatrices {
         h,
         s,
         orbitals_per_slab: orbs_per_slab,
         atom_orbital_offset: atom_off,
         atom_slab,
-    }
+        nnz,
+    })
 }
 
 #[cfg(test)]
@@ -313,7 +440,7 @@ mod tests {
         let mut bulk = diamond_supercell(Species::Si, SI_LATTICE, 4, 1, 1);
         bulk.z_period = 0.0;
         bulk.sort_into_slabs(SI_LATTICE);
-        let dev = assemble_device(&bulk, BasisKind::TightBinding, SI_LATTICE);
+        let dev = assemble_device(&bulk, BasisKind::TightBinding, SI_LATTICE).expect("assemble");
 
         let mut cell = diamond_supercell(Species::Si, SI_LATTICE, 1, 1, 1);
         cell.z_period = 0.0;
@@ -349,16 +476,55 @@ mod tests {
         let mut bulk = diamond_supercell(Species::Si, SI_LATTICE, 4, 1, 1);
         bulk.z_period = 0.0;
         bulk.sort_into_slabs(SI_LATTICE);
-        let dev = assemble_device(&bulk, BasisKind::Dft3sp, 2.0 * SI_LATTICE);
+        let dev = assemble_device(&bulk, BasisKind::Dft3sp, 2.0 * SI_LATTICE).expect("assemble");
         assert!(dev.h.hermitian_defect() < 1e-10);
         assert!(dev.s.hermitian_defect() < 1e-10);
+        // The sparse pattern never densifies: well under dim² entries.
+        let dim = dev.h.dim();
+        assert!(dev.nnz.0 > 0 && dev.nnz.0 < dim * dim);
     }
 
     #[test]
-    #[should_panic(expected = "below basis cutoff")]
     fn small_slab_rejected() {
         let mut bulk = diamond_supercell(Species::Si, SI_LATTICE, 4, 1, 1);
         bulk.sort_into_slabs(SI_LATTICE);
-        let _ = assemble_device(&bulk, BasisKind::Dft3sp, 0.1);
+        match assemble_device(&bulk, BasisKind::Dft3sp, 0.1) {
+            Err(AssembleError::SlabTooShort { .. }) => {}
+            other => panic!("expected SlabTooShort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_out_of_envelope_pushes() {
+        let mut asm = BtdAssembler::new(3, 2);
+        asm.add_h(0, 0, Complex64::ONE);
+        asm.add_h(0, 5, Complex64::ONE); // two slabs away
+        match asm.finish() {
+            Err(SparseShapeError::OutsideEnvelope { row: 0, col: 5 }) => {}
+            other => panic!("expected OutsideEnvelope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assembler_matches_legacy_block_writes() {
+        // The CSR-routed assembly must reproduce what direct dense block
+        // writes produce for the same contributions.
+        let mut asm = BtdAssembler::new(3, 2);
+        let mut reference = Btd::zeros(3, 2);
+        let entries =
+            [(0usize, 1usize, 0.5), (1, 0, 0.5), (2, 3, -1.25), (3, 2, -1.25), (4, 4, 2.0)];
+        for &(r, c, v) in &entries {
+            asm.add_h(r, c, c64(v, 0.0));
+            let (bi, bj) = (r / 2, c / 2);
+            let (lr, lc) = (r % 2, c % 2);
+            match bj as isize - bi as isize {
+                0 => reference.diag[bi][(lr, lc)] += c64(v, 0.0),
+                1 => reference.upper[bi][(lr, lc)] += c64(v, 0.0),
+                _ => reference.lower[bj][(lr, lc)] += c64(v, 0.0),
+            }
+        }
+        let (h, _s, nnz) = asm.finish().expect("in envelope");
+        assert_eq!(nnz.0, entries.len());
+        assert!(h.to_dense().max_diff(&reference.to_dense()) < 1e-15);
     }
 }

@@ -25,7 +25,10 @@ pub mod devices;
 pub mod neighbors;
 pub mod structure;
 
-pub use assemble::{assemble_device, assemble_unit_cell, DeviceMatrices, UnitCellMatrices};
+pub use assemble::{
+    assemble_device, assemble_unit_cell, AssembleError, BtdAssembler, DeviceMatrices,
+    UnitCellMatrices,
+};
 pub use basis::{BasisKind, BasisParams};
 pub use battery::{lithiate, LithiationReport};
 pub use devices::{nanowire, utb_film, DeviceBuilder, DeviceGeometry};

@@ -105,6 +105,20 @@ impl NeighborList {
     pub fn coordination(&self, i: usize, r: f64) -> usize {
         self.pairs[i].iter().filter(|&&(_, _, _, d)| d <= r).count()
     }
+
+    /// Widest slab distance any stored pair crosses, given each atom's
+    /// slab index. The assembly layer uses this as its pre-flight check
+    /// that every coupling fits the block tri-diagonal envelope (span ≤ 1)
+    /// before a single block is written.
+    pub fn max_slab_span(&self, atom_slab: &[usize]) -> usize {
+        let mut span = 0usize;
+        for (i, nbrs) in self.pairs.iter().enumerate() {
+            for &(j, _, _, _) in nbrs {
+                span = span.max(atom_slab[i].abs_diff(atom_slab[j]));
+            }
+        }
+        span
+    }
 }
 
 #[cfg(test)]

@@ -96,7 +96,7 @@ pub use rng::Pcg64;
 pub use trmm::ztrmm;
 pub use trsm::{trsm, Diag, Side, UpLo};
 pub use workspace::Workspace;
-pub use zmat::{alloc_count, ZMat, ZMatMut, ZMatRef};
+pub use zmat::{alloc_count, live_bytes, peak_bytes, reset_peak_bytes, ZMat, ZMatMut, ZMatRef};
 
 /// Machine epsilon for `f64`, re-exported for tolerance bookkeeping.
 pub const EPS: f64 = f64::EPSILON;

@@ -16,6 +16,12 @@ thread_local! {
     /// [`alloc_count`]). Thread-local so concurrent tests measuring
     /// allocation deltas don't pollute each other.
     static ZMAT_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    /// Bytes currently held by live `ZMat` buffers on this thread (see
+    /// [`live_bytes`]).
+    static ZMAT_LIVE_BYTES: Cell<usize> = const { Cell::new(0) };
+    /// High-water mark of [`ZMAT_LIVE_BYTES`] since the last
+    /// [`reset_peak_bytes`].
+    static ZMAT_PEAK_BYTES: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Number of fresh `ZMat` buffer allocations (zeros/clones/materialized
@@ -31,6 +37,57 @@ fn note_alloc() {
     ZMAT_ALLOCS.with(|c| c.set(c.get() + 1));
 }
 
+/// Bytes currently held by live `ZMat` backing buffers on this thread
+/// (capacity, not length — a recycled buffer counts in full). Buffers
+/// parked in a [`crate::workspace::Workspace`] pool as raw `Vec`s are
+/// *not* counted: the counter measures the matrices an algorithm holds
+/// simultaneously, which is the footprint that scales with device size.
+pub fn live_bytes() -> usize {
+    ZMAT_LIVE_BYTES.with(|c| c.get())
+}
+
+/// High-water mark of [`live_bytes`] on this thread since the last
+/// [`reset_peak_bytes`]. This is the counter the sparsity acceptance
+/// tests assert on: a boundary-block-only transmission solve must peak at
+/// `O(bandwidth · n)` bytes while a dense-staged solve peaks at `O(n²)`.
+pub fn peak_bytes() -> usize {
+    ZMAT_PEAK_BYTES.with(|c| c.get())
+}
+
+/// Resets the peak tracker to the current live footprint, so a subsequent
+/// [`peak_bytes`] reads the high-water mark of the enclosed region only.
+pub fn reset_peak_bytes() {
+    ZMAT_PEAK_BYTES.with(|p| p.set(live_bytes()));
+}
+
+#[inline]
+fn note_bytes_grow(bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    ZMAT_LIVE_BYTES.with(|l| {
+        let live = l.get() + bytes;
+        l.set(live);
+        ZMAT_PEAK_BYTES.with(|p| {
+            if live > p.get() {
+                p.set(live);
+            }
+        });
+    });
+}
+
+#[inline]
+fn note_bytes_shrink(bytes: usize) {
+    // Saturating: matrices materialized outside the counted constructors
+    // (e.g. serde deserialization) release bytes they never registered.
+    ZMAT_LIVE_BYTES.with(|l| l.set(l.get().saturating_sub(bytes)));
+}
+
+#[inline]
+fn buf_bytes(data: &Vec<Complex64>) -> usize {
+    data.capacity() * std::mem::size_of::<Complex64>()
+}
+
 /// Dense complex matrix, column-major.
 #[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct ZMat {
@@ -39,20 +96,31 @@ pub struct ZMat {
     data: Vec<Complex64>,
 }
 
+impl Drop for ZMat {
+    fn drop(&mut self) {
+        note_bytes_shrink(buf_bytes(&self.data));
+    }
+}
+
 impl Clone for ZMat {
     fn clone(&self) -> Self {
         note_alloc();
-        ZMat { rows: self.rows, cols: self.cols, data: self.data.clone() }
+        let data = self.data.clone();
+        note_bytes_grow(buf_bytes(&data));
+        ZMat { rows: self.rows, cols: self.cols, data }
     }
 
     fn clone_from(&mut self, source: &Self) {
         self.rows = source.rows;
         self.cols = source.cols;
+        let before = buf_bytes(&self.data);
         if self.data.capacity() < source.data.len() {
             note_alloc();
         }
         self.data.clear();
         self.data.extend_from_slice(&source.data);
+        // `clear` + `extend_from_slice` never shrinks capacity.
+        note_bytes_grow(buf_bytes(&self.data) - before);
     }
 }
 
@@ -60,7 +128,9 @@ impl ZMat {
     /// Zero matrix of shape `rows × cols`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         note_alloc();
-        ZMat { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        let data = vec![Complex64::ZERO; rows * cols];
+        note_bytes_grow(buf_bytes(&data));
+        ZMat { rows, cols, data }
     }
 
     /// Zero-size placeholder matrix (0 × 0). Performs **no** heap
@@ -98,12 +168,18 @@ impl ZMat {
         // Resize without clearing: only growth beyond the previous length
         // is written here; existing elements keep their stale values.
         data.resize(rows * cols, Complex64::ZERO);
+        note_bytes_grow(buf_bytes(&data));
         ZMat { rows, cols, data }
     }
 
-    /// Consumes the matrix, returning its backing buffer for reuse.
+    /// Consumes the matrix, returning its backing buffer for reuse. The
+    /// bytes leave the [`live_bytes`] ledger with the matrix; they re-enter
+    /// when the buffer is wrapped again via [`ZMat::from_recycled_buffer`].
     pub fn into_vec(self) -> Vec<Complex64> {
-        self.data
+        let mut this = std::mem::ManuallyDrop::new(self);
+        let data = std::mem::take(&mut this.data);
+        note_bytes_shrink(buf_bytes(&data));
+        data
     }
 
     /// Identity matrix of size `n`.
@@ -730,6 +806,32 @@ impl Mul for &ZMat {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn byte_ledger_tracks_live_and_peak() {
+        let sz = std::mem::size_of::<Complex64>();
+        let live0 = live_bytes();
+        reset_peak_bytes();
+        {
+            let a = ZMat::zeros(8, 8);
+            assert_eq!(live_bytes(), live0 + 64 * sz);
+            let b = a.clone();
+            assert_eq!(live_bytes(), live0 + 128 * sz);
+            assert!(peak_bytes() >= live0 + 128 * sz);
+            // Moving the buffer out hands the bytes back to the pool side
+            // of the ledger; rewrapping re-registers them.
+            let buf = b.into_vec();
+            assert_eq!(live_bytes(), live0 + 64 * sz);
+            let c = ZMat::from_recycled_buffer(8, 8, buf);
+            assert_eq!(live_bytes(), live0 + 128 * sz);
+            drop(c);
+        }
+        assert_eq!(live_bytes(), live0);
+        // Peak survives the drops until explicitly reset.
+        assert!(peak_bytes() >= live0 + 128 * sz);
+        reset_peak_bytes();
+        assert_eq!(peak_bytes(), live_bytes());
+    }
 
     #[test]
     fn construction_and_indexing() {

@@ -16,9 +16,16 @@
 use crate::modes::ModeSet;
 use crate::selfenergy::ObcResult;
 use qtx_linalg::{Complex64, ZMat};
+use qtx_sparse::CompressedSigma;
 
-/// Magic prefix of every encoded [`ObcResult`] frame.
+/// Magic prefix of every dense-Σ [`ObcResult`] frame.
 pub const OBC_FRAME_MAGIC: &[u8; 8] = b"QTXOBC01";
+
+/// Magic prefix of compressed-Σ frames: Σ travels as truncated factors
+/// `U·Vᴴ` plus the recorded error bound, so cached entries shrink with
+/// the numerical rank of the lead. Only emitted when a caller opts into a
+/// tolerance > 0 — `QTXOBC01` frames stay bit-identical.
+pub const OBC_FRAME_MAGIC_V2: &[u8; 8] = b"QTXOBC02";
 
 /// Typed decode failure: a torn, truncated, or foreign byte frame must
 /// surface loudly instead of producing a silently-garbled self-energy.
@@ -99,6 +106,41 @@ pub fn encode_obc_result(r: &ObcResult) -> Vec<u8> {
     out
 }
 
+/// Encodes an [`ObcResult`] with Σ-compression at relative tolerance
+/// `tol`. `tol ≤ 0`, or a Σ whose numerical rank is too high to pay off,
+/// falls back to the exact [`encode_obc_result`] frame — so enabling
+/// compression can only ever shrink frames, never degrade an entry that
+/// has no low-rank structure to exploit.
+pub fn encode_obc_result_compressed(r: &ObcResult, tol: f64) -> Vec<u8> {
+    if tol <= 0.0 {
+        return encode_obc_result(r);
+    }
+    match CompressedSigma::compress(&r.sigma, tol) {
+        CompressedSigma::Dense(_) => encode_obc_result(r),
+        CompressedSigma::Factored { u, v, bound } => {
+            let mode_bytes = |ms: &[ModeSet]| {
+                4 + ms.iter().map(|m| 8 + 8 + 8 + 1 + 4 + 16 * m.u.len()).sum::<usize>()
+            };
+            let cap = 8
+                + (8 + 16 * u.as_slice().len())
+                + (8 + 16 * v.as_slice().len())
+                + 8
+                + (8 + 16 * r.injection.as_slice().len())
+                + mode_bytes(&r.inc_modes)
+                + mode_bytes(&r.out_modes);
+            let mut out = Vec::with_capacity(cap);
+            out.extend_from_slice(OBC_FRAME_MAGIC_V2);
+            put_mat(&mut out, &u);
+            put_mat(&mut out, &v);
+            put_f64(&mut out, bound);
+            put_mat(&mut out, &r.injection);
+            put_modes(&mut out, &r.inc_modes);
+            put_modes(&mut out, &r.out_modes);
+            out
+        }
+    }
+}
+
 struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
@@ -168,21 +210,74 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes a frame produced by [`encode_obc_result`]. The returned result
-/// carries `stats: None` (stats are not serialized).
-pub fn decode_obc_result(buf: &[u8]) -> Result<ObcResult, FrameDecodeError> {
-    let mut c = Cursor { buf, at: 0 };
-    if c.take(8)? != OBC_FRAME_MAGIC {
-        return Err(FrameDecodeError::BadMagic);
+/// A decoded frame with Σ still in whatever representation it traveled
+/// in. This is the *lazy* decode: a `QTXOBC02` frame's factors are not
+/// multiplied out here — a boundary-block solver can consume them
+/// directly, and only [`ObcFrameParts::into_result`] pays for expansion.
+#[derive(Debug, Clone)]
+pub struct ObcFrameParts {
+    /// Self-energy, dense (v1 frames) or factored (v2 frames).
+    pub sigma: CompressedSigma,
+    /// Injection block, always dense.
+    pub injection: ZMat,
+    /// Incoming mode set.
+    pub inc_modes: Vec<ModeSet>,
+    /// Outgoing mode set.
+    pub out_modes: Vec<ModeSet>,
+}
+
+impl ObcFrameParts {
+    /// Expands into a dense [`ObcResult`] (`stats: None`). For v1 frames
+    /// the stored Σ moves through untouched — bit-identical; for v2 frames
+    /// this is the point where `U·Vᴴ` is materialized.
+    pub fn into_result(self) -> ObcResult {
+        let sigma = match self.sigma {
+            CompressedSigma::Dense(m) => m,
+            ref factored => factored.to_dense(),
+        };
+        ObcResult {
+            sigma,
+            injection: self.injection,
+            inc_modes: self.inc_modes,
+            out_modes: self.out_modes,
+            stats: None,
+        }
     }
-    let sigma = c.mat()?;
+}
+
+/// Decodes either frame version without expanding a compressed Σ.
+pub fn decode_obc_result_parts(buf: &[u8]) -> Result<ObcFrameParts, FrameDecodeError> {
+    let mut c = Cursor { buf, at: 0 };
+    let magic = c.take(8)?;
+    let compressed = if magic == OBC_FRAME_MAGIC {
+        false
+    } else if magic == OBC_FRAME_MAGIC_V2 {
+        true
+    } else {
+        return Err(FrameDecodeError::BadMagic);
+    };
+    let sigma = if compressed {
+        let u = c.mat()?;
+        let v = c.mat()?;
+        let bound = c.f64()?;
+        CompressedSigma::Factored { u, v, bound }
+    } else {
+        CompressedSigma::Dense(c.mat()?)
+    };
     let injection = c.mat()?;
     let inc_modes = c.modes()?;
     let out_modes = c.modes()?;
     if c.at != buf.len() {
         return Err(FrameDecodeError::TrailingBytes { extra: buf.len() - c.at });
     }
-    Ok(ObcResult { sigma, injection, inc_modes, out_modes, stats: None })
+    Ok(ObcFrameParts { sigma, injection, inc_modes, out_modes })
+}
+
+/// Decodes a frame produced by [`encode_obc_result`] (or its compressed
+/// variant). The returned result carries `stats: None` (stats are not
+/// serialized).
+pub fn decode_obc_result(buf: &[u8]) -> Result<ObcResult, FrameDecodeError> {
+    decode_obc_result_parts(buf).map(ObcFrameParts::into_result)
 }
 
 #[cfg(test)]
@@ -194,6 +289,28 @@ mod tests {
     fn sample() -> ObcResult {
         let lead = LeadBlocks::chain_1d(0.0, -1.0);
         self_energy(&lead, 0.5, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).unwrap()
+    }
+
+    /// An 8-orbital lead whose inter-cell coupling has rank 2, so
+    /// `Σ = τ·g·τᴴ` has numerical rank ≤ 2 and the v2 frame path is
+    /// exercised deterministically (a 1×1 chain Σ can never compress).
+    fn block_sample() -> ObcResult {
+        use qtx_linalg::{c64, gemm, Op};
+        let nf = 8;
+        let mut h00 = ZMat::zeros(nf, nf);
+        let r = ZMat::random(nf, nf, 11);
+        for i in 0..nf {
+            for j in 0..nf {
+                h00[(i, j)] = 0.1 * (r[(i, j)] + r[(j, i)].conj());
+            }
+            h00[(i, i)] += c64(2.0 + i as f64 * 0.1, 0.0);
+        }
+        let a = ZMat::random(nf, 2, 13);
+        let b = ZMat::random(nf, 2, 17);
+        let mut h01 = ZMat::zeros(nf, nf);
+        gemm(c64(0.2, 0.0), &a, Op::None, &b, Op::Adjoint, Complex64::ZERO, &mut h01);
+        let lead = LeadBlocks::new(h00, h01, ZMat::identity(nf), ZMat::zeros(nf, nf));
+        self_energy(&lead, 0.3, Eta(1e-6), Side::Left, ObcMethod::Decimation).unwrap()
     }
 
     #[test]
@@ -213,6 +330,56 @@ mod tests {
             assert!(a.u.iter().zip(&b.u).all(|(x, y)| x == y));
         }
         assert!(back.stats.is_none(), "stats are observability, not physics — dropped");
+    }
+
+    #[test]
+    fn tiny_sigma_falls_back_to_exact_frame() {
+        // A 1×1 Σ has no rank to shed: the compressed encoder must emit
+        // the exact v1 frame regardless of tolerance.
+        let r = sample();
+        let exact = encode_obc_result(&r);
+        assert_eq!(encode_obc_result_compressed(&r, 1e-8), exact);
+    }
+
+    #[test]
+    fn compressed_frames_shrink_and_stay_within_bound() {
+        let r = block_sample();
+        let exact = encode_obc_result(&r);
+        // tol = 0 must emit the exact frame byte-for-byte.
+        assert_eq!(encode_obc_result_compressed(&r, 0.0), exact);
+        let tol = 1e-8;
+        let buf = encode_obc_result_compressed(&r, tol);
+        assert_eq!(buf[..8], *OBC_FRAME_MAGIC_V2, "rank-2 Σ must take the compressed path");
+        let parts = decode_obc_result_parts(&buf).unwrap();
+        assert!(buf.len() < exact.len(), "compressed frame must shrink");
+        assert!(parts.sigma.is_compressed());
+        let back = parts.clone().into_result();
+        let err = (&back.sigma - &r.sigma).norm_fro();
+        assert!(err <= parts.sigma.bound() + 1e-14, "err {err} > bound");
+        assert!(parts.sigma.bound() <= tol * r.sigma.norm_fro() * (1.0 + 1e-12));
+        // Injection and modes travel bit-identically either way.
+        let back = decode_obc_result(&buf).unwrap();
+        assert_eq!(back.injection.max_diff(&r.injection), 0.0);
+        assert_eq!(back.inc_modes.len(), r.inc_modes.len());
+    }
+
+    #[test]
+    fn torn_v2_frames_are_typed_errors() {
+        let r = block_sample();
+        let buf = encode_obc_result_compressed(&r, 1e-8);
+        assert_eq!(buf[..8], *OBC_FRAME_MAGIC_V2);
+        for cut in [buf.len() - 1, buf.len() / 2, 9] {
+            assert!(matches!(
+                decode_obc_result(&buf[..cut]),
+                Err(FrameDecodeError::Truncated { .. })
+            ));
+        }
+        let mut extra = buf.clone();
+        extra.push(0);
+        assert_eq!(
+            decode_obc_result(&extra).unwrap_err(),
+            FrameDecodeError::TrailingBytes { extra: 1 }
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod system;
 pub use bcr::bcr_solve;
 pub use btd_lu::{btd_lu_factor, btd_lu_solve, btd_lu_solve_ws, BtdLuFactors};
 pub use error::{SolveError, SolveOutcome};
-pub use rgf::{rgf_diagonal_and_corner, rgf_diagonal_and_corner_ws, RgfResult};
+pub use rgf::{
+    rgf_boundary, rgf_boundary_ws, rgf_diagonal_and_corner, rgf_diagonal_and_corner_ws,
+    RgfBoundary, RgfResult,
+};
 pub use splitsolve::{SplitSolve, SplitSolveReport};
 pub use system::ObcSystem;
 // The buffer pool itself lives in `qtx-linalg` (so the OBC layer can use

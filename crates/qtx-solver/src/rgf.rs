@@ -25,23 +25,24 @@ pub fn rgf_diagonal_and_corner(sys: &ObcSystem) -> SolveOutcome<RgfResult> {
     rgf_diagonal_and_corner_ws(sys, &Workspace::new())
 }
 
-/// Runs the two-pass RGF borrowing every block temporary from `ws`, so a
-/// sweep over energy points recycles the same handful of `s × s` buffers
-/// instead of allocating ~5 fresh matrices per block per point.
-pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutcome<RgfResult> {
+/// Forward (left-connected) pass shared by both RGF variants:
+/// `gL_i = (D_i − L_{i−1}·gL_{i−1}·U_{i−1})⁻¹`, with the boundary
+/// self-energies folded into the corner blocks. A factored Σ is applied
+/// through its `U·Vᴴ` form directly — no dense expansion. The retained
+/// `gL` chain is the variants' whole working set: `n_B` blocks of
+/// `s × s`, i.e. bandwidth·n storage.
+fn rgf_forward_pass(sys: &ObcSystem, ws: &Workspace) -> SolveOutcome<Vec<ZMat>> {
     let nb = sys.num_blocks();
     let s = sys.block_size();
     let id = ZMat::identity(s);
-    // Forward (left-connected) pass: gL_i = (D_i − L_{i−1}·gL_{i−1}·U_{i−1})⁻¹,
-    // with the boundary self-energies folded into the corner blocks.
     let mut g_left: Vec<ZMat> = Vec::with_capacity(nb);
     for i in 0..nb {
         let mut m = ws.copy_of(&sys.a.diag[i]);
         if i == 0 {
-            m.axpy(-Complex64::ONE, &sys.sigma_l);
+            sys.sigma_l.add_scaled_into(-Complex64::ONE, &mut m);
         }
         if i == nb - 1 {
-            m.axpy(-Complex64::ONE, &sys.sigma_r);
+            sys.sigma_r.add_scaled_into(-Complex64::ONE, &mut m);
         }
         if i > 0 {
             let lg = ws.matmul(&sys.a.lower[i - 1], &g_left[i - 1]);
@@ -58,6 +59,32 @@ pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutco
         f.recycle_into(ws);
         g_left.push(g);
     }
+    Ok(g_left)
+}
+
+/// Corner column recursion `G_{i,n−1} = −gL_i·U_i·G_{i+1,n−1}` walked up
+/// from the seed `G_{n−1,n−1} = gL_{n−1}` — exact with left-connected
+/// functions only, and shared verbatim by both variants so their corner
+/// blocks are bit-identical.
+fn rgf_corner(g_left: &[ZMat], sys: &ObcSystem, ws: &Workspace) -> ZMat {
+    let nb = g_left.len();
+    let mut corner = g_left[nb - 1].clone();
+    for i in (0..nb - 1).rev() {
+        let t = ws.matmul(&sys.a.upper[i], &corner);
+        let mut next = ws.matmul(&g_left[i], &t);
+        ws.recycle(t);
+        next.scale_assign(-Complex64::ONE);
+        ws.recycle(std::mem::replace(&mut corner, next));
+    }
+    corner
+}
+
+/// Runs the two-pass RGF borrowing every block temporary from `ws`, so a
+/// sweep over energy points recycles the same handful of `s × s` buffers
+/// instead of allocating ~5 fresh matrices per block per point.
+pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutcome<RgfResult> {
+    let nb = sys.num_blocks();
+    let g_left = rgf_forward_pass(sys, ws)?;
     // Backward pass: G_{n−1,n−1} = gL_{n−1};
     // G_{i,i} = gL_i + gL_i·U_i·G_{i+1,i+1}·L_i·gL_i.
     let mut diag = vec![ZMat::zeros(0, 0); nb];
@@ -75,18 +102,7 @@ pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutco
         ws.recycle(corr);
         diag[i] = gi;
     }
-    // Corner block through the upper off-diagonal recursion
-    // G_{i,j} = −gL_i·U_i·G_{i+1,j} (i < j), seeded with
-    // G_{n−1,n−1} = gL_{n−1}: walking up the last column is exact with
-    // left-connected functions only.
-    let mut corner = g_left[nb - 1].clone();
-    for i in (0..nb - 1).rev() {
-        let t = ws.matmul(&sys.a.upper[i], &corner);
-        let mut next = ws.matmul(&g_left[i], &t);
-        ws.recycle(t);
-        next.scale_assign(-Complex64::ONE);
-        ws.recycle(std::mem::replace(&mut corner, next));
-    }
+    let corner = rgf_corner(&g_left, sys, ws);
     for g in g_left {
         ws.recycle(g);
     }
@@ -97,6 +113,62 @@ pub fn rgf_diagonal_and_corner_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutco
         return Err(SolveError::NonFinite { solver: "rgf", count: bad });
     }
     Ok(RgfResult { diag, corner })
+}
+
+/// The three Green's function blocks a transmission-only run needs.
+#[derive(Debug, Clone)]
+pub struct RgfBoundary {
+    /// First diagonal block `G_{0,0}`.
+    pub first: ZMat,
+    /// Corner block `G_{0,n−1}` (the Caroli transmission block),
+    /// bit-identical to [`RgfResult::corner`].
+    pub corner: ZMat,
+    /// Last diagonal block `G_{n−1,n−1}`.
+    pub last: ZMat,
+}
+
+/// Boundary-block-only RGF with a private scratch pool.
+pub fn rgf_boundary(sys: &ObcSystem) -> SolveOutcome<RgfBoundary> {
+    rgf_boundary_ws(sys, &Workspace::new())
+}
+
+/// Boundary-block-only RGF: retains just `G_{0,0}`, `G_{0,n−1}` and
+/// `G_{n−1,n−1}` — everything the Caroli transmission and the contact
+/// spectral functions consume. The backward Dyson recursion streams
+/// through interior diagonal blocks without storing them, so beyond the
+/// forward `gL` chain (bandwidth·n) the working set is three `s × s`
+/// blocks regardless of device length. Block values match
+/// [`rgf_diagonal_and_corner_ws`] bit-for-bit: both run the identical
+/// operation sequence per block.
+pub fn rgf_boundary_ws(sys: &ObcSystem, ws: &Workspace) -> SolveOutcome<RgfBoundary> {
+    let nb = sys.num_blocks();
+    let g_left = rgf_forward_pass(sys, ws)?;
+    let last = g_left[nb - 1].clone();
+    // Backward pass streamed: only the running G_{i,i} survives each step.
+    let mut g_cur = g_left[nb - 1].clone();
+    for i in (0..nb - 1).rev() {
+        let u_g = ws.matmul(&sys.a.upper[i], &g_cur);
+        let u_g_l = ws.matmul(&u_g, &sys.a.lower[i]);
+        ws.recycle(u_g);
+        let g_ugl = ws.matmul(&g_left[i], &u_g_l);
+        ws.recycle(u_g_l);
+        let corr = ws.matmul(&g_ugl, &g_left[i]);
+        ws.recycle(g_ugl);
+        let mut gi = g_left[i].clone();
+        gi.axpy(Complex64::ONE, &corr);
+        ws.recycle(corr);
+        ws.recycle(std::mem::replace(&mut g_cur, gi));
+    }
+    let first = g_cur;
+    let corner = rgf_corner(&g_left, sys, ws);
+    for g in g_left {
+        ws.recycle(g);
+    }
+    let bad = first.non_finite_count() + corner.non_finite_count() + last.non_finite_count();
+    if bad > 0 {
+        return Err(SolveError::NonFinite { solver: "rgf-boundary", count: bad });
+    }
+    Ok(RgfBoundary { first, corner, last })
 }
 
 #[cfg(test)]
@@ -119,8 +191,8 @@ mod tests {
         }
         ObcSystem {
             a,
-            sigma_l: ZMat::random(s, s, seed + 200).scaled(c64(0.3, 0.1)),
-            sigma_r: ZMat::random(s, s, seed + 201).scaled(c64(0.3, -0.1)),
+            sigma_l: ZMat::random(s, s, seed + 200).scaled(c64(0.3, 0.1)).into(),
+            sigma_r: ZMat::random(s, s, seed + 201).scaled(c64(0.3, -0.1)).into(),
             rhs_top: ZMat::zeros(s, 0),
             rhs_bottom: ZMat::zeros(s, 0),
         }
@@ -157,5 +229,35 @@ mod tests {
         let ginv = lu_inverse(&sys.t_dense()).unwrap();
         assert!(r.diag[0].max_diff(&ginv) < 1e-9);
         assert!(r.corner.max_diff(&ginv) < 1e-9);
+    }
+
+    #[test]
+    fn boundary_variant_is_bit_identical_to_full_rgf() {
+        for (nb, s, seed) in [(1, 4, 13), (5, 3, 7), (8, 2, 21)] {
+            let sys = random_system(nb, s, seed);
+            let full = rgf_diagonal_and_corner(&sys).unwrap();
+            let b = rgf_boundary(&sys).unwrap();
+            assert_eq!(b.first.max_diff(&full.diag[0]), 0.0, "nb={nb}");
+            assert_eq!(b.last.max_diff(&full.diag[nb - 1]), 0.0, "nb={nb}");
+            assert_eq!(b.corner.max_diff(&full.corner), 0.0, "nb={nb}");
+        }
+    }
+
+    #[test]
+    fn boundary_variant_accepts_factored_sigma() {
+        use qtx_sparse::CompressedSigma;
+        let mut sys = random_system(6, 4, 17);
+        // Replace Σ_L with a genuinely low-rank factored form.
+        let u = ZMat::random(4, 1, 31);
+        let v = ZMat::random(4, 1, 37);
+        let mut dense = ZMat::zeros(4, 4);
+        CompressedSigma::Factored { u: u.clone(), v: v.clone(), bound: 0.0 }
+            .add_scaled_into(Complex64::ONE, &mut dense);
+        sys.sigma_l = CompressedSigma::Factored { u, v, bound: 0.0 };
+        let factored = rgf_boundary(&sys).unwrap();
+        sys.sigma_l = dense.into();
+        let expanded = rgf_boundary(&sys).unwrap();
+        assert!(factored.corner.max_diff(&expanded.corner) < 1e-12);
+        assert!(factored.first.max_diff(&expanded.first) < 1e-12);
     }
 }

@@ -90,8 +90,8 @@ impl SplitSolve {
         let key = fault::key_of(&[
             sys.a.diag[0][(0, 0)].re,
             sys.a.diag[0][(0, 0)].im,
-            sys.sigma_l[(0, 0)].re,
-            sys.sigma_l[(0, 0)].im,
+            sys.sigma_l.probe().re,
+            sys.sigma_l.probe().im,
             sys.dim() as f64,
         ]);
         if fault::should_fail("splitsolve", key) {
@@ -259,13 +259,18 @@ impl SplitSolve {
         // b′ = [b_top; b_bottom] (2s × m), assembled in pooled scratch.
         let mut bp = ws.take(2 * s, m);
         sys.b_prime_into(&mut bp);
-        // C·Q (2s × 2s): corners of Q hit by the self-energies.
+        // C·Q (2s × 2s): corners of Q hit by the self-energies. The
+        // wave-function path applies Σ against dense s × m blocks, so a
+        // factored Σ is expanded once per solve here (the boundary-only
+        // NEGF path is the one that keeps the factors).
+        let sl = sys.sigma_l.dense();
+        let sr = sys.sigma_r.dense();
         let mut cq = ws.take(2 * s, 2 * s);
         for (r0, c0, sigma, qcorner) in [
-            (0, 0, &sys.sigma_l, &q.first[0]),
-            (0, s, &sys.sigma_l, &q.last[0]),
-            (s, 0, &sys.sigma_r, &q.first[nb - 1]),
-            (s, s, &sys.sigma_r, &q.last[nb - 1]),
+            (0, 0, &*sl, &q.first[0]),
+            (0, s, &*sl, &q.last[0]),
+            (s, 0, &*sr, &q.first[nb - 1]),
+            (s, s, &*sr, &q.last[nb - 1]),
         ] {
             let prod = ws.matmul(sigma, qcorner);
             cq.set_block(r0, c0, &prod);
@@ -275,7 +280,7 @@ impl SplitSolve {
         let y0 = block_row_times(&q.first[0], &q.last[0], &bp, s, ws);
         let yn = block_row_times(&q.first[nb - 1], &q.last[nb - 1], &bp, s, ws);
         let mut cy = ws.take(2 * s, m);
-        for (r0, sigma, y) in [(0, &sys.sigma_l, &y0), (s, &sys.sigma_r, &yn)] {
+        for (r0, sigma, y) in [(0, &*sl, &y0), (s, &*sr, &yn)] {
             let prod = ws.matmul(sigma, y);
             cy.set_block(r0, 0, &prod);
             ws.recycle(prod);
@@ -599,8 +604,8 @@ mod tests {
         }
         ObcSystem {
             a,
-            sigma_l: ZMat::random(s, s, seed + 300).scaled(c64(0.3, 0.1)),
-            sigma_r: ZMat::random(s, s, seed + 301).scaled(c64(0.3, -0.1)),
+            sigma_l: ZMat::random(s, s, seed + 300).scaled(c64(0.3, 0.1)).into(),
+            sigma_r: ZMat::random(s, s, seed + 301).scaled(c64(0.3, -0.1)).into(),
             rhs_top: ZMat::random(s, m, seed + 400),
             rhs_bottom: ZMat::random(s, m, seed + 401),
         }

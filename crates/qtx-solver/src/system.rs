@@ -1,14 +1,17 @@
 //! The open-boundary linear system `T·x = b` of Eq. 5 and Fig. 4.
 
 use qtx_linalg::ZMat;
-use qtx_sparse::Btd;
+use qtx_sparse::{Btd, CompressedSigma};
 
 /// `T·x = Inj` with `T = A − B·C`:
 ///
 /// * `a` — the block tri-diagonal `E·S − H` *before* boundary terms;
 /// * `sigma_l`/`sigma_r` — the boundary self-energies subtracted from the
 ///   first/last diagonal blocks (the low-rank `B·C` product of §3.B with
-///   `B` holding identity sub-blocks and `C` the self-energies);
+///   `B` holding identity sub-blocks and `C` the self-energies). They
+///   travel as [`CompressedSigma`] so a cache-served truncated `U·Vᴴ`
+///   factorization flows into the solvers without a dense round-trip;
+///   dense callers convert with `.into()`.
 /// * `rhs_top`/`rhs_bottom` — injection columns living in the first/last
 ///   block rows only.
 #[derive(Debug, Clone)]
@@ -16,9 +19,9 @@ pub struct ObcSystem {
     /// Block tri-diagonal bulk matrix `A = E·S − H`.
     pub a: Btd,
     /// Left boundary self-energy (`s × s`, `s` = block size).
-    pub sigma_l: ZMat,
+    pub sigma_l: CompressedSigma,
     /// Right boundary self-energy.
-    pub sigma_r: ZMat,
+    pub sigma_r: CompressedSigma,
     /// Left-injected right-hand-side columns (`s × m_L`).
     pub rhs_top: ZMat,
     /// Right-injected right-hand-side columns (`s × m_R`).
@@ -51,12 +54,14 @@ impl ObcSystem {
         let mut t = self.a.to_dense();
         let s = self.block_size();
         let n = self.dim();
+        let sl = self.sigma_l.dense();
+        let sr = self.sigma_r.dense();
         for i in 0..s {
             for j in 0..s {
                 let tl = t[(i, j)];
-                t[(i, j)] = tl - self.sigma_l[(i, j)];
+                t[(i, j)] = tl - sl[(i, j)];
                 let br = t[(n - s + i, n - s + j)];
-                t[(n - s + i, n - s + j)] = br - self.sigma_r[(i, j)];
+                t[(n - s + i, n - s + j)] = br - sr[(i, j)];
             }
         }
         t
@@ -119,8 +124,8 @@ mod tests {
         }
         ObcSystem {
             a,
-            sigma_l: ZMat::random(s, s, seed + 300).scaled(c64(0.3, 0.1)),
-            sigma_r: ZMat::random(s, s, seed + 301).scaled(c64(0.3, -0.1)),
+            sigma_l: ZMat::random(s, s, seed + 300).scaled(c64(0.3, 0.1)).into(),
+            sigma_r: ZMat::random(s, s, seed + 301).scaled(c64(0.3, -0.1)).into(),
             rhs_top: ZMat::random(s, m, seed + 400),
             rhs_bottom: ZMat::random(s, m, seed + 401),
         }
@@ -132,7 +137,7 @@ mod tests {
         let t = sys.t_dense();
         // Corners carry −Σ.
         let d0 = sys.a.diag[0].clone();
-        assert!((t[(0, 0)] - (d0[(0, 0)] - sys.sigma_l[(0, 0)])).abs() < 1e-14);
+        assert!((t[(0, 0)] - (d0[(0, 0)] - sys.sigma_l.probe())).abs() < 1e-14);
         let b = sys.b_dense();
         assert_eq!(b.cols(), 4);
         // Middle block rows of b are zero (Fig. 4).

@@ -9,6 +9,7 @@ use qtx_linalg::{Complex64, ZMat};
 use serde::{Deserialize, Serialize};
 
 use crate::csr::Csr;
+use crate::error::SparseShapeError;
 
 /// A square block tri-diagonal matrix with `nb` diagonal blocks of equal
 /// size `bs` (uniform block size — the transport slabs are homogeneous).
@@ -23,19 +24,40 @@ pub struct Btd {
 }
 
 impl Btd {
-    /// Builds from block vectors, validating shapes.
-    pub fn new(diag: Vec<ZMat>, upper: Vec<ZMat>, lower: Vec<ZMat>) -> Self {
-        assert!(!diag.is_empty(), "need at least one diagonal block");
+    /// Builds from block vectors, validating shapes. Malformed inputs are
+    /// reported as [`SparseShapeError`] so a sweep can skip the offending
+    /// point instead of aborting mid-run.
+    pub fn new(
+        diag: Vec<ZMat>,
+        upper: Vec<ZMat>,
+        lower: Vec<ZMat>,
+    ) -> Result<Self, SparseShapeError> {
+        if diag.is_empty() {
+            return Err(SparseShapeError::EmptyDiag);
+        }
         let bs = diag[0].rows();
-        assert_eq!(upper.len(), diag.len() - 1);
-        assert_eq!(lower.len(), diag.len() - 1);
-        for d in &diag {
-            assert_eq!((d.rows(), d.cols()), (bs, bs), "non-uniform diagonal block");
+        for (which, band) in [("upper", &upper), ("lower", &lower)] {
+            if band.len() != diag.len() - 1 {
+                return Err(SparseShapeError::BlockCountMismatch {
+                    which,
+                    expected: diag.len() - 1,
+                    got: band.len(),
+                });
+            }
         }
-        for u in upper.iter().chain(lower.iter()) {
-            assert_eq!((u.rows(), u.cols()), (bs, bs), "non-uniform off-diagonal block");
+        for (which, band) in [("diagonal", &diag), ("upper", &upper), ("lower", &lower)] {
+            for (index, b) in band.iter().enumerate() {
+                if (b.rows(), b.cols()) != (bs, bs) {
+                    return Err(SparseShapeError::NonUniformBlock {
+                        which,
+                        index,
+                        got: (b.rows(), b.cols()),
+                        expected: (bs, bs),
+                    });
+                }
+            }
         }
-        Btd { diag, upper, lower }
+        Ok(Btd { diag, upper, lower })
     }
 
     /// Zero matrix with `nb` blocks of size `bs`.
@@ -90,10 +112,18 @@ impl Btd {
         m
     }
 
-    /// Extracts the BTD structure from a CSR matrix, asserting that no
-    /// entry falls outside the block tri-diagonal envelope.
-    pub fn from_csr(csr: &Csr, nb: usize, bs: usize) -> Self {
-        assert_eq!(csr.rows(), nb * bs, "dimension mismatch");
+    /// Extracts the BTD structure from a CSR matrix. Any stored entry
+    /// outside the block tri-diagonal envelope is reported as
+    /// [`SparseShapeError::OutsideEnvelope`] — this is the chokepoint that
+    /// makes the layout decision: once a matrix passes, every downstream
+    /// solver may assume the envelope.
+    pub fn from_csr(csr: &Csr, nb: usize, bs: usize) -> Result<Self, SparseShapeError> {
+        if csr.rows() != nb * bs || csr.cols() != nb * bs {
+            return Err(SparseShapeError::DimensionMismatch {
+                expected: (nb * bs, nb * bs),
+                got: (csr.rows(), csr.cols()),
+            });
+        }
         let mut btd = Btd::zeros(nb, bs);
         for r in 0..csr.rows() {
             let bi = r / bs;
@@ -104,11 +134,11 @@ impl Btd {
                     0 => btd.diag[bi][(lr, lc)] = v,
                     1 => btd.upper[bi][(lr, lc)] = v,
                     -1 => btd.lower[bj][(lr, lc)] = v,
-                    _ => panic!("entry ({r},{c}) outside the BTD envelope"),
+                    _ => return Err(SparseShapeError::OutsideEnvelope { row: r, col: c }),
                 }
             }
         }
-        btd
+        Ok(btd)
     }
 
     /// Block-level matrix–vector product `y = A·x`.
@@ -215,17 +245,32 @@ mod tests {
         let b = sample_btd(4, 3);
         let dense = b.to_dense();
         let csr = Csr::from_dense(&dense, 0.0);
-        let back = Btd::from_csr(&csr, 4, 3);
+        let back = Btd::from_csr(&csr, 4, 3).expect("inside envelope");
         assert!(back.to_dense().max_diff(&dense) < 1e-15);
     }
 
     #[test]
-    #[should_panic(expected = "outside the BTD envelope")]
     fn from_csr_rejects_out_of_envelope() {
         let mut dense = ZMat::zeros(6, 6);
         dense[(0, 5)] = c64(1.0, 0.0); // far corner, outside tri-diagonal
         let csr = Csr::from_dense(&dense, 0.0);
-        let _ = Btd::from_csr(&csr, 3, 2);
+        match Btd::from_csr(&csr, 3, 2) {
+            Err(SparseShapeError::OutsideEnvelope { row: 0, col: 5 }) => {}
+            other => panic!("expected OutsideEnvelope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_reports_typed_shape_errors() {
+        assert!(matches!(Btd::new(vec![], vec![], vec![]), Err(SparseShapeError::EmptyDiag)));
+        let d = ZMat::zeros(2, 2);
+        let err = Btd::new(vec![d.clone(), d.clone()], vec![], vec![ZMat::zeros(2, 2)]);
+        assert!(matches!(err, Err(SparseShapeError::BlockCountMismatch { which: "upper", .. })));
+        let err = Btd::new(vec![d.clone(), d], vec![ZMat::zeros(3, 2)], vec![ZMat::zeros(2, 2)]);
+        assert!(matches!(
+            err,
+            Err(SparseShapeError::NonUniformBlock { which: "upper", index: 0, .. })
+        ));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use qtx_linalg::{Complex64, ZMat};
 use serde::{Deserialize, Serialize};
 
+use crate::error::SparseShapeError;
+
 /// A complex matrix in compressed sparse row format.
 ///
 /// Entries within a row are kept sorted by column index; duplicate
@@ -37,6 +39,20 @@ impl CsrBuilder {
         if value != Complex64::ZERO {
             self.triplets.push((row, col, value));
         }
+    }
+
+    /// Like [`CsrBuilder::build`], but validates every accumulated triplet
+    /// against the declared shape first — the entry point for assembly
+    /// paths that must survive malformed input (neighbor lists feeding the
+    /// block-sparse device builder) instead of relying on debug assertions.
+    pub fn try_build(self) -> Result<Csr, SparseShapeError> {
+        let dims = (self.rows, self.cols);
+        for &(r, c, _) in &self.triplets {
+            if r >= self.rows || c >= self.cols {
+                return Err(SparseShapeError::IndexOutOfBounds { row: r, col: c, dims });
+            }
+        }
+        Ok(self.build())
     }
 
     /// Compresses into CSR form, summing duplicate coordinates.
@@ -173,9 +189,20 @@ impl Csr {
         worst
     }
 
-    /// Returns `α·A + β·B` (pattern union).
-    pub fn linear_combination(alpha: Complex64, a: &Csr, beta: Complex64, b: &Csr) -> Csr {
-        assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+    /// Returns `α·A + β·B` (pattern union), or a typed shape error when
+    /// the operands disagree in dimension.
+    pub fn linear_combination(
+        alpha: Complex64,
+        a: &Csr,
+        beta: Complex64,
+        b: &Csr,
+    ) -> Result<Csr, SparseShapeError> {
+        if (a.rows, a.cols) != (b.rows, b.cols) {
+            return Err(SparseShapeError::DimensionMismatch {
+                expected: (a.rows, a.cols),
+                got: (b.rows, b.cols),
+            });
+        }
         let mut builder = CsrBuilder::new(a.rows, a.cols);
         for r in 0..a.rows {
             for (c, v) in a.row(r) {
@@ -185,7 +212,19 @@ impl Csr {
                 builder.push(r, c, beta * v);
             }
         }
-        builder.build()
+        Ok(builder.build())
+    }
+
+    /// Plain transpose in CSR form (`Aᵀ`), used by the SpMM dispatcher to
+    /// realize `Op::Transpose`/`Op::Adjoint` on the sparse operand.
+    pub fn transpose(&self) -> Csr {
+        let mut b = CsrBuilder::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                b.push(c, r, v);
+            }
+        }
+        b.build()
     }
 
     /// Maximum column distance from the diagonal (matrix bandwidth).
@@ -272,9 +311,32 @@ mod tests {
         let hs = Csr::from_dense(&h, 0.0);
         let ss = Csr::from_dense(&s_mat, 0.0);
         let e = c64(0.35, 0.0);
-        let t = Csr::linear_combination(e, &ss, c64(-1.0, 0.0), &hs);
+        let t = Csr::linear_combination(e, &ss, c64(-1.0, 0.0), &hs).expect("same shape");
         let expected = &s_mat.scaled(e) - &h;
         assert!(t.to_dense().max_diff(&expected) < 1e-14);
+        let short = Csr::zeros(5, 4);
+        assert!(matches!(
+            Csr::linear_combination(e, &ss, c64(-1.0, 0.0), &short),
+            Err(SparseShapeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_bounds_triplets() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, c64(1.0, 0.0));
+        b.triplets.push((5, 0, c64(1.0, 0.0))); // bypass push's debug check
+        assert!(matches!(
+            b.try_build(),
+            Err(SparseShapeError::IndexOutOfBounds { row: 5, col: 0, dims: (2, 2) })
+        ));
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let d = ZMat::random(5, 3, 11);
+        let s = Csr::from_dense(&d, 0.0);
+        assert!(s.transpose().to_dense().max_diff(&d.transpose()) < 1e-15);
     }
 
     #[test]

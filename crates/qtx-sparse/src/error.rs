@@ -1,0 +1,100 @@
+//! Typed shape errors for the sparse constructors.
+//!
+//! The sweep layer escalates per-point failures instead of aborting, so
+//! the constructors that used to `assert!` now report malformed shapes as
+//! values the solver ladder can propagate (`qtx-solver`) or surface as
+//! assembly diagnostics (`qtx-atomistic`).
+
+use std::fmt;
+
+/// A structural violation detected while building a sparse matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseShapeError {
+    /// A block tri-diagonal matrix needs at least one diagonal block.
+    EmptyDiag,
+    /// Off-diagonal block vectors must hold exactly `nb − 1` blocks.
+    BlockCountMismatch {
+        /// Which band is malformed (`"upper"` or `"lower"`).
+        which: &'static str,
+        /// Blocks required (`nb − 1`).
+        expected: usize,
+        /// Blocks supplied.
+        got: usize,
+    },
+    /// All blocks of a uniform BTD matrix must share one square shape.
+    NonUniformBlock {
+        /// Which band the offending block sits in.
+        which: &'static str,
+        /// Index of the offending block within its band.
+        index: usize,
+        /// Shape found.
+        got: (usize, usize),
+        /// Shape required.
+        expected: (usize, usize),
+    },
+    /// Two operands (or a matrix and its target layout) disagree in shape.
+    DimensionMismatch {
+        /// Shape expected by the operation.
+        expected: (usize, usize),
+        /// Shape supplied.
+        got: (usize, usize),
+    },
+    /// A stored entry falls outside the block tri-diagonal envelope.
+    OutsideEnvelope {
+        /// Global row of the offending entry.
+        row: usize,
+        /// Global column of the offending entry.
+        col: usize,
+    },
+    /// A triplet addresses coordinates beyond the declared matrix shape.
+    IndexOutOfBounds {
+        /// Row addressed.
+        row: usize,
+        /// Column addressed.
+        col: usize,
+        /// Declared matrix shape.
+        dims: (usize, usize),
+    },
+}
+
+impl fmt::Display for SparseShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseShapeError::EmptyDiag => write!(f, "need at least one diagonal block"),
+            SparseShapeError::BlockCountMismatch { which, expected, got } => {
+                write!(f, "{which} band has {got} blocks, need {expected}")
+            }
+            SparseShapeError::NonUniformBlock { which, index, got, expected } => write!(
+                f,
+                "non-uniform {which} block {index}: {}×{} vs required {}×{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            SparseShapeError::DimensionMismatch { expected, got } => write!(
+                f,
+                "dimension mismatch: got {}×{}, expected {}×{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            SparseShapeError::OutsideEnvelope { row, col } => {
+                write!(f, "entry ({row},{col}) outside the BTD envelope")
+            }
+            SparseShapeError::IndexOutOfBounds { row, col, dims } => {
+                write!(f, "entry ({row},{col}) outside a {}×{} matrix", dims.0, dims.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseShapeError::OutsideEnvelope { row: 3, col: 9 };
+        assert_eq!(e.to_string(), "entry (3,9) outside the BTD envelope");
+        let e = SparseShapeError::DimensionMismatch { expected: (4, 4), got: (4, 5) };
+        assert!(e.to_string().contains("4×5"));
+    }
+}

@@ -14,10 +14,19 @@
 
 pub mod btd;
 pub mod csr;
+pub mod error;
+pub mod lowrank;
+pub mod spmm;
 pub mod spy;
 pub mod stats;
 
 pub use btd::Btd;
 pub use csr::{Csr, CsrBuilder};
+pub use error::SparseShapeError;
+pub use lowrank::CompressedSigma;
+pub use spmm::spmm;
 pub use spy::spy_string;
-pub use stats::{sparsity_stats, SparsityStats};
+pub use stats::{
+    btd_stats, dense_matrix_bytes, live_matrix_bytes, peak_matrix_bytes, reset_peak_matrix_bytes,
+    sparsity_stats, BtdStats, SparsityStats,
+};

@@ -1,0 +1,275 @@
+//! Rank-revealing compression for lead self-energies.
+//!
+//! Off resonance, the retarded self-energy `Σ = τ·g_s·τᴴ` of a
+//! semi-infinite lead is numerically low-rank: only the handful of
+//! propagating and slowly-decaying modes contribute, while the fast
+//! evanescent ones fall below any sensible tolerance. [`CompressedSigma`]
+//! stores the truncated factor form `Σ ≈ U·Vᴴ` together with an *honest*
+//! spectral-norm error bound (the Frobenius norm of the discarded
+//! residual, which dominates its 2-norm), so every downstream consumer —
+//! solver corrections, cache frames, transmission bounds — can account
+//! for exactly how much self-energy it gave up.
+
+use qtx_linalg::{gemm, Complex64, Op, ZMat};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+
+/// A lead self-energy block, either dense (exact) or in truncated factor
+/// form `Σ ≈ U·Vᴴ` with a recorded error bound `‖Σ − U·Vᴴ‖₂ ≤ bound`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CompressedSigma {
+    /// The exact dense block; `bound() == 0`.
+    Dense(ZMat),
+    /// Truncated factors: `u` is `n×r`, `v` is `n×r`, `Σ ≈ u·vᴴ`.
+    Factored {
+        /// Left factor (orthonormal columns).
+        u: ZMat,
+        /// Right factor.
+        v: ZMat,
+        /// Frobenius norm of the discarded residual — an upper bound on
+        /// the spectral norm of the approximation error.
+        bound: f64,
+    },
+}
+
+impl CompressedSigma {
+    /// Compresses `sigma` with relative tolerance `tol` (on the Frobenius
+    /// norm). `tol ≤ 0` disables compression and stores the dense block
+    /// bit-for-bit. Compression also falls back to dense when the revealed
+    /// rank would not save memory (`r ≥ n/2`) — the factor form must never
+    /// cost more than what it replaces.
+    pub fn compress(sigma: &ZMat, tol: f64) -> CompressedSigma {
+        let (n, m) = (sigma.rows(), sigma.cols());
+        if tol <= 0.0 || n == 0 || m == 0 {
+            return CompressedSigma::Dense(sigma.clone());
+        }
+        let threshold = tol * sigma.norm_fro();
+        let max_rank = (n.min(m)) / 2;
+        let mut resid = sigma.clone();
+        let mut u_cols: Vec<Vec<Complex64>> = Vec::new();
+        let mut v_cols: Vec<Vec<Complex64>> = Vec::new();
+        loop {
+            let rnorm = resid.norm_fro();
+            if rnorm <= threshold {
+                let r = u_cols.len();
+                let u = ZMat::from_fn(n, r, |i, k| u_cols[k][i]);
+                let v = ZMat::from_fn(m, r, |j, k| v_cols[k][j]);
+                return CompressedSigma::Factored { u, v, bound: rnorm };
+            }
+            if u_cols.len() >= max_rank {
+                return CompressedSigma::Dense(sigma.clone());
+            }
+            // Column-pivoted deflation: peel off the residual's dominant
+            // column as the next left basis vector.
+            let (mut pivot, mut best) = (0usize, -1.0f64);
+            for j in 0..m {
+                let nj: f64 = resid.col(j).iter().map(|z| z.norm_sqr()).sum();
+                if nj > best {
+                    best = nj;
+                    pivot = j;
+                }
+            }
+            if best <= 0.0 {
+                // Residual is exactly zero columns beyond threshold — done.
+                let r = u_cols.len();
+                let u = ZMat::from_fn(n, r, |i, k| u_cols[k][i]);
+                let v = ZMat::from_fn(m, r, |j, k| v_cols[k][j]);
+                return CompressedSigma::Factored { u, v, bound: rnorm };
+            }
+            let scale = 1.0 / best.sqrt();
+            let uk: Vec<Complex64> = resid.col(pivot).iter().map(|&z| z * scale).collect();
+            // w = ukᴴ·R, then deflate R ← R − uk·w (rank-one update).
+            let mut wk = vec![Complex64::ZERO; m];
+            for (j, w) in wk.iter_mut().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (i, &ui) in uk.iter().enumerate() {
+                    acc += ui.conj() * resid[(i, j)];
+                }
+                *w = acc;
+            }
+            for j in 0..m {
+                let w = wk[j];
+                for (i, &ui) in uk.iter().enumerate() {
+                    resid[(i, j)] -= ui * w;
+                }
+            }
+            u_cols.push(uk);
+            v_cols.push(wk.iter().map(|w| w.conj()).collect());
+        }
+    }
+
+    /// Recorded spectral-norm error bound (`0` for the dense form).
+    pub fn bound(&self) -> f64 {
+        match self {
+            CompressedSigma::Dense(_) => 0.0,
+            CompressedSigma::Factored { bound, .. } => *bound,
+        }
+    }
+
+    /// Numerical rank of the stored representation.
+    pub fn rank(&self) -> usize {
+        match self {
+            CompressedSigma::Dense(m) => m.rows().min(m.cols()),
+            CompressedSigma::Factored { u, .. } => u.cols(),
+        }
+    }
+
+    /// Row count of the (square, for self-energies) represented block.
+    pub fn dim(&self) -> usize {
+        match self {
+            CompressedSigma::Dense(m) => m.rows(),
+            CompressedSigma::Factored { u, .. } => u.rows(),
+        }
+    }
+
+    /// Bytes of complex storage held by this representation.
+    pub fn bytes(&self) -> usize {
+        let entries = match self {
+            CompressedSigma::Dense(m) => m.rows() * m.cols(),
+            CompressedSigma::Factored { u, v, .. } => u.rows() * u.cols() + v.rows() * v.cols(),
+        };
+        entries * std::mem::size_of::<Complex64>()
+    }
+
+    /// True when the factor form is in effect.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, CompressedSigma::Factored { .. })
+    }
+
+    /// The dense block, borrowing when it is already materialized. This is
+    /// the *lazy expansion* point: solvers that genuinely need the dense
+    /// block (wave-function back-substitution, residual checks) pay for it
+    /// here; the boundary-only transmission path never calls it.
+    pub fn dense(&self) -> Cow<'_, ZMat> {
+        match self {
+            CompressedSigma::Dense(m) => Cow::Borrowed(m),
+            CompressedSigma::Factored { .. } => Cow::Owned(self.to_dense()),
+        }
+    }
+
+    /// Materializes the represented block.
+    pub fn to_dense(&self) -> ZMat {
+        match self {
+            CompressedSigma::Dense(m) => m.clone(),
+            CompressedSigma::Factored { u, v, .. } => {
+                let mut out = ZMat::zeros(u.rows(), v.rows());
+                gemm(Complex64::ONE, u, Op::None, v, Op::Adjoint, Complex64::ZERO, &mut out);
+                out
+            }
+        }
+    }
+
+    /// `target ← target + α·Σ` without materializing the factor form: the
+    /// rank-`r` update runs as a single `(n×r)·(r×n)` gemm.
+    pub fn add_scaled_into(&self, alpha: Complex64, target: &mut ZMat) {
+        match self {
+            CompressedSigma::Dense(m) => target.axpy(alpha, m),
+            CompressedSigma::Factored { u, v, .. } => {
+                gemm(alpha, u, Op::None, v, Op::Adjoint, Complex64::ONE, target);
+            }
+        }
+    }
+
+    /// First entry `Σ₀₀` — a cheap deterministic fingerprint used by the
+    /// fault-injection chokepoints. Identical to indexing for the dense
+    /// form.
+    pub fn probe(&self) -> Complex64 {
+        match self {
+            CompressedSigma::Dense(m) => {
+                if m.rows() == 0 || m.cols() == 0 {
+                    Complex64::ZERO
+                } else {
+                    m[(0, 0)]
+                }
+            }
+            CompressedSigma::Factored { u, v, .. } => {
+                let mut acc = Complex64::ZERO;
+                for k in 0..u.cols() {
+                    acc += u[(0, k)] * v[(0, k)].conj();
+                }
+                acc
+            }
+        }
+    }
+}
+
+impl From<ZMat> for CompressedSigma {
+    fn from(m: ZMat) -> Self {
+        CompressedSigma::Dense(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtx_linalg::c64;
+
+    /// A numerically low-rank "self-energy": rank-3 outer products plus
+    /// tiny noise, mimicking a lead off resonance.
+    fn low_rank_sigma(n: usize, noise: f64) -> ZMat {
+        let a = ZMat::random(n, 3, 17);
+        let b = ZMat::random(n, 3, 23);
+        let mut s = ZMat::zeros(n, n);
+        gemm(Complex64::ONE, &a, Op::None, &b, Op::Adjoint, Complex64::ZERO, &mut s);
+        let dust = ZMat::random(n, n, 31);
+        s.axpy(c64(noise, 0.0), &dust);
+        s
+    }
+
+    #[test]
+    fn reconstruction_stays_within_recorded_bound() {
+        let sigma = low_rank_sigma(16, 1e-9);
+        let comp = CompressedSigma::compress(&sigma, 1e-6);
+        assert!(comp.is_compressed(), "rank-3 + dust must compress");
+        assert!(comp.rank() <= 5, "rank {} too high", comp.rank());
+        let err = (&comp.to_dense() - &sigma).norm_fro();
+        assert!(
+            err <= comp.bound() * (1.0 + 1e-12) + 1e-14,
+            "reconstruction error {err} exceeds recorded bound {}",
+            comp.bound()
+        );
+        assert!(comp.bytes() < 16 * 16 * std::mem::size_of::<Complex64>());
+    }
+
+    #[test]
+    fn tol_zero_is_bitwise_dense() {
+        let sigma = low_rank_sigma(8, 0.1);
+        let comp = CompressedSigma::compress(&sigma, 0.0);
+        match &comp {
+            CompressedSigma::Dense(m) => assert_eq!(m, &sigma),
+            _ => panic!("tol = 0 must store dense"),
+        }
+        assert_eq!(comp.bound(), 0.0);
+        assert_eq!(comp.probe(), sigma[(0, 0)]);
+    }
+
+    #[test]
+    fn full_rank_input_falls_back_to_dense() {
+        // A well-conditioned random matrix has no low-rank structure at
+        // tight tolerance: compression must refuse rather than bloat.
+        let sigma = ZMat::random(10, 10, 3);
+        let comp = CompressedSigma::compress(&sigma, 1e-12);
+        assert!(!comp.is_compressed());
+        assert_eq!(comp.bound(), 0.0);
+    }
+
+    #[test]
+    fn add_scaled_matches_dense_axpy() {
+        let sigma = low_rank_sigma(12, 1e-10);
+        let comp = CompressedSigma::compress(&sigma, 1e-7);
+        let base = ZMat::random(12, 12, 41);
+        let alpha = c64(-1.0, 0.25);
+        let mut via_factor = base.clone();
+        comp.add_scaled_into(alpha, &mut via_factor);
+        let mut via_dense = base;
+        via_dense.axpy(alpha, &comp.to_dense());
+        assert!(via_factor.max_diff(&via_dense) < 1e-10);
+    }
+
+    #[test]
+    fn probe_matches_expanded_entry() {
+        let sigma = low_rank_sigma(9, 1e-10);
+        let comp = CompressedSigma::compress(&sigma, 1e-7);
+        assert!((comp.probe() - comp.to_dense()[(0, 0)]).abs() < 1e-12);
+    }
+}

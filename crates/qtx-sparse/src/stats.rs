@@ -5,8 +5,18 @@
 //! of non-zero entries increases by two orders of magnitude in DFT as
 //! compared to tight-binding." These helpers measure exactly that.
 
+use crate::btd::Btd;
 use crate::csr::Csr;
 use serde::{Deserialize, Serialize};
+
+// Matrix-byte counters, re-exported here because the sparsity layer is
+// where footprint questions are asked: the acceptance gate for the
+// boundary-block-only transport path asserts `peak_matrix_bytes()` scales
+// with `bandwidth·n` rather than `n²`.
+pub use qtx_linalg::zmat::{
+    live_bytes as live_matrix_bytes, peak_bytes as peak_matrix_bytes,
+    reset_peak_bytes as reset_peak_matrix_bytes,
+};
 
 /// Summary statistics of a sparse matrix pattern.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,6 +61,43 @@ impl SparsityStats {
     }
 }
 
+/// Storage accounting for a block tri-diagonal matrix — the numbers the
+/// footprint benchmarks and the `bandwidth·n` acceptance assertions read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BtdStats {
+    /// Number of diagonal blocks.
+    pub nb: usize,
+    /// Block size.
+    pub bs: usize,
+    /// Total matrix dimension `nb·bs`.
+    pub dim: usize,
+    /// Complex entries actually stored (all three bands).
+    pub entries: usize,
+    /// Bytes of those entries (16 bytes per complex).
+    pub bytes: usize,
+    /// Bytes an equivalent dense `dim×dim` matrix would occupy.
+    pub dense_bytes: usize,
+    /// `bytes / dense_bytes` — tends to `3·bs/n` for long devices.
+    pub fill: f64,
+}
+
+/// Computes the storage accounting of a BTD matrix.
+pub fn btd_stats(m: &Btd) -> BtdStats {
+    let (nb, bs) = (m.num_blocks(), m.block_size());
+    let dim = m.dim();
+    let entries = m.storage_entries();
+    let bytes = entries * std::mem::size_of::<qtx_linalg::Complex64>();
+    let dense_bytes = dense_matrix_bytes(dim);
+    let fill = bytes as f64 / dense_bytes.max(1) as f64;
+    BtdStats { nb, bs, dim, entries, bytes, dense_bytes, fill }
+}
+
+/// Bytes a dense complex `dim×dim` matrix occupies — the `n²` yardstick
+/// the BTD and boundary-only paths are measured against.
+pub fn dense_matrix_bytes(dim: usize) -> usize {
+    dim * dim * std::mem::size_of::<qtx_linalg::Complex64>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +138,32 @@ mod tests {
         let m = banded(30, 6);
         let s = sparsity_stats(&m, 3);
         assert_eq!(s.coupling_range_blocks, 2);
+    }
+
+    #[test]
+    fn btd_accounting_beats_dense_for_long_chains() {
+        let m = Btd::zeros(20, 4);
+        let s = btd_stats(&m);
+        assert_eq!(s.dim, 80);
+        assert_eq!(s.entries, 16 * (20 + 19 + 19));
+        assert_eq!(s.bytes, s.entries * 16);
+        assert_eq!(s.dense_bytes, 80 * 80 * 16);
+        assert!(s.fill < 0.15, "fill {}", s.fill);
+        // Doubling the chain keeps bytes linear while dense grows n².
+        let s2 = btd_stats(&Btd::zeros(40, 4));
+        assert_eq!(s2.bytes, s.bytes * (40 + 39 + 39) / (20 + 19 + 19));
+        assert_eq!(s2.dense_bytes, 4 * s.dense_bytes);
+    }
+
+    #[test]
+    fn peak_counter_sees_btd_allocation() {
+        reset_peak_matrix_bytes();
+        let before = live_matrix_bytes();
+        let m = Btd::zeros(6, 3);
+        assert!(live_matrix_bytes() >= before + m.storage_entries() * 16);
+        assert!(peak_matrix_bytes() >= live_matrix_bytes());
+        drop(m);
+        assert_eq!(live_matrix_bytes(), before);
     }
 
     #[test]

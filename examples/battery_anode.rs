@@ -7,14 +7,14 @@ use qtx::atomistic::assemble::assemble_device;
 use qtx::atomistic::battery::{lithiate, volume_expansion};
 use qtx::atomistic::structure::SNO_LATTICE;
 use qtx::core::device::DeviceK;
-use qtx::core::transport::solve_with_obc;
+use qtx::core::engine::{PointPolicy, TransportEngine};
 use qtx::core::TransportConfig;
-use qtx::obc::{self_energy, Eta, LeadBlocks, ObcMethod, Side};
+use qtx::obc::{LeadBlocks, ObcMethod};
 use qtx::prelude::*;
 
 fn transmission_at_capacity(capacity: f64) -> (f64, usize) {
     let (slab, _report) = lithiate(10, 1, capacity, 0.4, 7);
-    let dm = assemble_device(&slab, BasisKind::TightBinding, SNO_LATTICE);
+    let dm = assemble_device(&slab, BasisKind::TightBinding, SNO_LATTICE).expect("assemble");
     let lead = LeadBlocks::new(
         dm.h.diag[0].clone(),
         dm.h.upper[0].clone(),
@@ -22,11 +22,10 @@ fn transmission_at_capacity(capacity: f64) -> (f64, usize) {
         dm.s.upper[0].clone(),
     );
     let e = lead.dispersive_energy(1.0, 0.2, 0.25).expect("conduction band");
-    let obc_l = self_energy(&lead, e, Eta::ZERO, Side::Left, ObcMethod::ShiftInvert).expect("obc");
-    let obc_r = self_energy(&lead, e, Eta::ZERO, Side::Right, ObcMethod::ShiftInvert).expect("obc");
     let dk = DeviceK { lead_l: lead.clone(), lead_r: lead, h: dm.h, s: dm.s, kz: 0.0 };
-    let cfg = TransportConfig::default();
-    let r = solve_with_obc(&dk, e, &cfg, &obc_l, &obc_r, None).expect("transport");
+    let cfg = TransportConfig { obc: ObcMethod::ShiftInvert, ..TransportConfig::default() };
+    let engine = TransportEngine::from_device_k(dk, cfg);
+    let r = engine.solve_point(e, 0.0, &PointPolicy::direct()).into_result().expect("transport");
     (r.transmission, r.channels.0)
 }
 

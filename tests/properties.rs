@@ -74,8 +74,8 @@ proptest! {
         let partitions = if partitions.is_power_of_two() { partitions } else { 1 };
         let sys = ObcSystem {
             a: random_btd(nb, s, seed, 4.0 + s as f64),
-            sigma_l: ZMat::random(s, s, seed + 31).scaled(c64(0.25, 0.1)),
-            sigma_r: ZMat::random(s, s, seed + 32).scaled(c64(0.25, -0.1)),
+            sigma_l: ZMat::random(s, s, seed + 31).scaled(c64(0.25, 0.1)).into(),
+            sigma_r: ZMat::random(s, s, seed + 32).scaled(c64(0.25, -0.1)).into(),
             rhs_top: ZMat::random(s, m, seed + 33),
             rhs_bottom: ZMat::random(s, m, seed + 34),
         };
@@ -226,15 +226,15 @@ proptest! {
     ) {
         let sys = ObcSystem {
             a: random_btd(nb, s, seed, 4.0 + s as f64),
-            sigma_l: ZMat::random(s, s, seed + 41).scaled(c64(0.25, 0.1)),
-            sigma_r: ZMat::random(s, s, seed + 42).scaled(c64(0.25, -0.1)),
+            sigma_l: ZMat::random(s, s, seed + 41).scaled(c64(0.25, 0.1)).into(),
+            sigma_r: ZMat::random(s, s, seed + 42).scaled(c64(0.25, -0.1)).into(),
             rhs_top: ZMat::random(s, m, seed + 43),
             rhs_bottom: ZMat::random(s, m, seed + 44),
         };
         let decoy = ObcSystem {
             a: random_btd(nb + 1, s, seed + 99, 5.0 + s as f64),
-            sigma_l: ZMat::random(s, s, seed + 51).scaled(c64(0.2, 0.1)),
-            sigma_r: ZMat::random(s, s, seed + 52).scaled(c64(0.2, -0.1)),
+            sigma_l: ZMat::random(s, s, seed + 51).scaled(c64(0.2, 0.1)).into(),
+            sigma_r: ZMat::random(s, s, seed + 52).scaled(c64(0.2, -0.1)).into(),
             rhs_top: ZMat::random(s, m, seed + 53),
             rhs_bottom: ZMat::random(s, m, seed + 54),
         };
