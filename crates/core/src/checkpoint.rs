@@ -99,9 +99,17 @@ pub fn plan_fingerprint(plan: &SweepPlan) -> u64 {
 
 /// Serializes `records` for `plan` into the checkpoint byte format.
 pub fn encode(plan: &SweepPlan, records: &[PointRecord]) -> Vec<u8> {
+    encode_with_fingerprint(plan_fingerprint(plan), records)
+}
+
+/// [`encode`] against an explicit fingerprint — adaptive refinement pins
+/// its checkpoints to `(plan, refinement config)` instead of the bare
+/// plan, so a plain-sweep checkpoint and a refined-sweep checkpoint of
+/// the same base grid can never be confused for each other.
+pub fn encode_with_fingerprint(fingerprint: u64, records: &[PointRecord]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HEADER_BYTES + records.len() * POINT_RECORD_BYTES);
     buf.extend_from_slice(&CHECKPOINT_MAGIC);
-    buf.extend_from_slice(&plan_fingerprint(plan).to_le_bytes());
+    buf.extend_from_slice(&fingerprint.to_le_bytes());
     buf.extend_from_slice(&(records.len() as u64).to_le_bytes());
     for r in records {
         r.encode_into(&mut buf);
@@ -112,6 +120,12 @@ pub fn encode(plan: &SweepPlan, records: &[PointRecord]) -> Vec<u8> {
 /// Parses checkpoint bytes, validating magic, plan fingerprint, and exact
 /// length before touching a single record.
 pub fn parse(buf: &[u8], plan: &SweepPlan) -> TransportResult<Vec<PointRecord>> {
+    parse_with_fingerprint(buf, plan_fingerprint(plan))
+}
+
+/// [`parse`] against an explicit fingerprint (see
+/// [`encode_with_fingerprint`]).
+pub fn parse_with_fingerprint(buf: &[u8], fingerprint: u64) -> TransportResult<Vec<PointRecord>> {
     if buf.len() < HEADER_BYTES {
         return Err(CheckpointError::Truncated { expected: HEADER_BYTES, got: buf.len() }.into());
     }
@@ -119,9 +133,8 @@ pub fn parse(buf: &[u8], plan: &SweepPlan) -> TransportResult<Vec<PointRecord>> 
         return Err(CheckpointError::BadMagic.into());
     }
     let got_fp = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
-    let expected_fp = plan_fingerprint(plan);
-    if got_fp != expected_fp {
-        return Err(CheckpointError::PlanMismatch { expected: expected_fp, got: got_fp }.into());
+    if got_fp != fingerprint {
+        return Err(CheckpointError::PlanMismatch { expected: fingerprint, got: got_fp }.into());
     }
     let count = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")) as usize;
     let expected_len = HEADER_BYTES + count * POINT_RECORD_BYTES;
@@ -135,14 +148,30 @@ pub fn parse(buf: &[u8], plan: &SweepPlan) -> TransportResult<Vec<PointRecord>> 
 
 /// Loads and validates a checkpoint for `plan`.
 pub fn load(path: &Path, plan: &SweepPlan) -> TransportResult<Vec<PointRecord>> {
+    load_with_fingerprint(path, plan_fingerprint(plan))
+}
+
+/// [`load`] against an explicit fingerprint (see
+/// [`encode_with_fingerprint`]).
+pub fn load_with_fingerprint(path: &Path, fingerprint: u64) -> TransportResult<Vec<PointRecord>> {
     let buf = std::fs::read(path).map_err(CheckpointError::Io)?;
-    parse(&buf, plan)
+    parse_with_fingerprint(&buf, fingerprint)
 }
 
 /// Atomically writes a checkpoint: temp file in the same directory, then
 /// rename over the target.
 pub fn save(path: &Path, plan: &SweepPlan, records: &[PointRecord]) -> TransportResult<()> {
-    let buf = encode(plan, records);
+    save_with_fingerprint(path, plan_fingerprint(plan), records)
+}
+
+/// [`save`] against an explicit fingerprint (see
+/// [`encode_with_fingerprint`]).
+pub fn save_with_fingerprint(
+    path: &Path,
+    fingerprint: u64,
+    records: &[PointRecord],
+) -> TransportResult<()> {
+    let buf = encode_with_fingerprint(fingerprint, records);
     let tmp = path.with_extension("qtxswp.tmp");
     std::fs::write(&tmp, &buf).map_err(CheckpointError::Io)?;
     std::fs::rename(&tmp, path).map_err(CheckpointError::Io)?;

@@ -479,6 +479,34 @@ impl TransportEngine {
                     .into(),
             });
         };
+        parallel_sweep_resumable(device, plan, n_ranks, &self.inherit(opts))
+    }
+
+    /// [`Self::sweep_resumable`] with adaptive energy-grid refinement
+    /// (see [`crate::refine::parallel_sweep_refined`]); the engine's pool
+    /// and cache are inherited the same way.
+    pub fn sweep_refined(
+        &self,
+        base: &SweepPlan,
+        n_ranks: usize,
+        opts: &SweepOptions,
+        cfg: &crate::refine::RefineConfig,
+    ) -> TransportResult<crate::refine::RefinedSweep> {
+        let Some(device) = &self.device else {
+            return Err(TransportError::Panic {
+                what: "sweeps need a full Device; this engine is fixed on a pre-folded DeviceK \
+                       (TransportEngine::from_device_k)"
+                    .into(),
+            });
+        };
+        crate::refine::parallel_sweep_refined(device, base, n_ranks, &self.inherit(opts), cfg)
+    }
+
+    /// Fills unset sweep options from the engine: `scheduler = None`
+    /// inherits the engine's pool; `cache = Auto` inherits the engine's
+    /// cache (or stays off when the engine has none — an engine-level
+    /// "Auto" has already been resolved at build time).
+    fn inherit(&self, opts: &SweepOptions) -> SweepOptions {
         let mut o = opts.clone();
         if o.scheduler.is_none() {
             o.scheduler = self.scheduler.clone();
@@ -489,6 +517,6 @@ impl TransportEngine {
                 None => CachePolicy::Off,
             };
         }
-        parallel_sweep_resumable(device, plan, n_ranks, &o)
+        o
     }
 }

@@ -22,41 +22,111 @@ pub fn fermi(e: f64, mu: f64, t: f64) -> f64 {
 
 /// Ballistic two-terminal current (µA) from a transmission spectrum:
 /// `I = (2e/h) ∫ T(E)·[f_L(E) − f_R(E)] dE` via trapezoid integration.
-/// `spectrum` holds `(E, T(E))` pairs sorted by energy.
+/// `spectrum` holds `(E, T(E))` pairs, ideally sorted by energy —
+/// misordered or duplicated energies are repaired defensively (see
+/// [`landauer_integrate`]).
 ///
 /// Non-finite samples (a failed sweep point that escaped interpolation)
 /// are skipped rather than poisoning the whole integral; in debug builds
 /// that path asserts, because a curated spectrum should never contain
-/// them. Use [`landauer_current_counted_ua`] to observe the skip count.
+/// them (nor duplicate energies). Use [`landauer_current_counted_ua`] or
+/// [`landauer_integrate`] to observe the defensive accounting instead.
 pub fn landauer_current_ua(spectrum: &[(f64, f64)], mu_l: f64, mu_r: f64, temp: f64) -> f64 {
-    let (i, skipped) = landauer_current_counted_ua(spectrum, mu_l, mu_r, temp);
-    debug_assert!(skipped == 0, "{skipped} non-finite spectrum samples reached the integrator");
-    i
+    let out = landauer_integrate(spectrum, mu_l, mu_r, temp);
+    debug_assert!(
+        out.skipped == 0,
+        "{} non-finite spectrum samples reached the integrator",
+        out.skipped
+    );
+    debug_assert!(
+        out.deduped == 0,
+        "{} duplicate-energy spectrum samples reached the integrator",
+        out.deduped
+    );
+    out.current_ua
 }
 
 /// [`landauer_current_ua`] plus the number of non-finite `(E, T)` samples
-/// that were dropped from the integration.
+/// that were dropped from the integration (the historical tuple API;
+/// [`landauer_integrate`] reports the full accounting).
 pub fn landauer_current_counted_ua(
     spectrum: &[(f64, f64)],
     mu_l: f64,
     mu_r: f64,
     temp: f64,
 ) -> (f64, usize) {
-    let clean: Vec<(f64, f64)> =
-        spectrum.iter().copied().filter(|&(e, t)| e.is_finite() && t.is_finite()).collect();
+    let out = landauer_integrate(spectrum, mu_l, mu_r, temp);
+    (out.current_ua, out.skipped)
+}
+
+/// Decomposed result of [`landauer_integrate`]: the current plus the
+/// integrator's defensive accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LandauerIntegration {
+    /// Integrated current (µA).
+    pub current_ua: f64,
+    /// Samples dropped for a non-finite energy or transmission.
+    pub skipped: usize,
+    /// Samples dropped as exact-energy duplicates (the first occurrence
+    /// in input order wins).
+    pub deduped: usize,
+    /// Trapezoid intervals that silently bridge at least one dropped
+    /// sample — wide steps whose local error the sample count hides. A
+    /// dropped sample with a non-finite *energy* cannot be located and
+    /// counts only as `skipped`.
+    pub bridged: usize,
+}
+
+/// Full trapezoid integration with defensive input repair: non-finite
+/// samples are dropped (and the intervals that bridge them counted),
+/// energies are sorted, and exact duplicates collapse to their first
+/// occurrence — an unsorted or duplicated spectrum must never produce
+/// negative or zero trapezoid widths.
+pub fn landauer_integrate(
+    spectrum: &[(f64, f64)],
+    mu_l: f64,
+    mu_r: f64,
+    temp: f64,
+) -> LandauerIntegration {
+    // Partition: finite samples enter the integration; dropped ones are
+    // remembered by energy so bridging intervals can be counted.
+    let mut clean: Vec<(f64, f64)> = Vec::with_capacity(spectrum.len());
+    let mut dropped_es: Vec<f64> = Vec::new();
+    for &(e, t) in spectrum {
+        if e.is_finite() && t.is_finite() {
+            clean.push((e, t));
+        } else if e.is_finite() {
+            dropped_es.push(e);
+        }
+    }
     let skipped = spectrum.len() - clean.len();
+    // Defensive ordering: stable sort keeps input order among equal
+    // energies, so the dedup below keeps the first occurrence.
+    clean.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite energies"));
+    let before = clean.len();
+    clean.dedup_by(|later, first| later.0 == first.0);
+    let deduped = before - clean.len();
+    dropped_es.sort_by(|a, b| a.partial_cmp(b).expect("finite energies"));
     if clean.len() < 2 {
-        return (0.0, skipped);
+        return LandauerIntegration { current_ua: 0.0, skipped, deduped, bridged: 0 };
     }
     let integrand = |e: f64, t: f64| -> f64 { t * (fermi(e, mu_l, temp) - fermi(e, mu_r, temp)) };
     let mut acc = 0.0;
+    let mut bridged = 0usize;
     for w in clean.windows(2) {
         let (e0, t0) = w[0];
         let (e1, t1) = w[1];
+        debug_assert!(e1 > e0, "post-repair grid must be strictly increasing: {e0} vs {e1}");
         acc += 0.5 * (integrand(e0, t0) + integrand(e1, t1)) * (e1 - e0);
+        // A dropped sample strictly inside this interval means the
+        // trapezoid silently spans a missing point.
+        let lo = dropped_es.partition_point(|&d| d <= e0);
+        if dropped_es.get(lo).is_some_and(|&d| d < e1) {
+            bridged += 1;
+        }
     }
     // (2e/h)·1 eV = 77.48 µA.
-    (CONDUCTANCE_QUANTUM_US * acc, skipped)
+    LandauerIntegration { current_ua: CONDUCTANCE_QUANTUM_US * acc, skipped, deduped, bridged }
 }
 
 #[cfg(test)]
@@ -110,6 +180,48 @@ mod tests {
         assert_eq!(skipped, 2);
         assert!(i.is_finite());
         assert!((i - reference).abs() < 1e-6, "{i} vs {reference}");
+    }
+
+    #[test]
+    fn unsorted_and_duplicated_energies_are_repaired() {
+        let sorted: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.01, 1.0 + i as f64)).collect();
+        let reference = landauer_current_ua(&sorted, 0.3, 0.1, 300.0);
+        // Deterministically shuffled copy plus a conflicting duplicate:
+        // the pre-fix integrator trusted input order, so negative widths
+        // silently corrupted the integral.
+        let mut messy = sorted.clone();
+        messy.swap(3, 40);
+        messy.swap(11, 27);
+        messy.swap(0, 49);
+        messy.push((0.25, -7.0)); // duplicate energy, conflicting T — first wins
+        let (i_tuple, _) = landauer_current_counted_ua(&messy, 0.3, 0.1, 300.0);
+        assert!(
+            (i_tuple - reference).abs() < 1e-12 * reference.abs().max(1.0),
+            "{i_tuple} vs {reference}"
+        );
+        let out = landauer_integrate(&messy, 0.3, 0.1, 300.0);
+        assert_eq!(out.deduped, 1);
+        assert_eq!(out.skipped, 0);
+        assert_eq!(out.bridged, 0);
+        assert!((out.current_ua - reference).abs() < 1e-12 * reference.abs().max(1.0));
+    }
+
+    #[test]
+    fn bridged_intervals_are_counted() {
+        let mut spectrum: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 0.005, 1.0)).collect();
+        spectrum[40].1 = f64::NAN; // interior drop → one bridging interval
+        spectrum[60].1 = f64::NAN;
+        spectrum[61].1 = f64::NAN; // adjacent drops share one wide interval
+        let out = landauer_integrate(&spectrum, 0.3, 0.1, 300.0);
+        assert_eq!(out.skipped, 3);
+        assert_eq!(out.bridged, 2);
+        assert_eq!(out.deduped, 0);
+        assert!(out.current_ua.is_finite());
+        // A NaN-energy sample cannot be located: skipped, not bridged.
+        spectrum.push((f64::NAN, 1.0));
+        let out2 = landauer_integrate(&spectrum, 0.3, 0.1, 300.0);
+        assert_eq!(out2.skipped, 4);
+        assert_eq!(out2.bridged, 2);
     }
 
     #[test]

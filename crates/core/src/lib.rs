@@ -32,6 +32,7 @@ pub mod engine;
 pub mod error;
 pub mod landauer;
 pub mod observables;
+pub mod refine;
 pub mod scf;
 pub mod scheduler;
 pub mod sweep;
@@ -44,15 +45,17 @@ pub use energygrid::EnergyGrid;
 pub use engine::{PointPolicy, TransportEngine, TransportEngineBuilder};
 pub use error::{TransportError, TransportResult};
 pub use landauer::{
-    fermi, landauer_current_counted_ua, landauer_current_ua, CONDUCTANCE_QUANTUM_US,
+    fermi, landauer_current_counted_ua, landauer_current_ua, landauer_integrate,
+    LandauerIntegration, CONDUCTANCE_QUANTUM_US,
 };
 pub use observables::{ChargeAndCurrent, SpectralData};
+pub use refine::{parallel_sweep_refined, refined_fingerprint, RefineConfig, RefinedSweep};
 pub use scf::{id_vgs, schrodinger_poisson, IvPoint, ScfConfig, ScfResult};
 pub use scheduler::{
     BatchOptions, BatchStats, Scheduler, SchedulerConfig, TaskAttempt, TaskReport,
 };
 pub use sweep::{
-    parallel_sweep, parallel_sweep_resumable, PointRecord, SweepHealth, SweepOptions,
+    parallel_sweep, parallel_sweep_resumable, Batching, PointRecord, SweepHealth, SweepOptions,
     SweepOptionsBuilder, SweepOptionsError, SweepPlan, SweepResult,
 };
 pub use transport::{

@@ -146,7 +146,7 @@ pub fn schrodinger_poisson(dev: &mut Device, cfg: &ScfConfig) -> TransportResult
         let cache = crate::cache::env_handle(&dk_shared);
         let reports = scheduler::global().execute(
             grid.points.clone(),
-            &BatchOptions { deadline_ms: None, keys: None, max_retries: Some(0) },
+            &BatchOptions { max_retries: Some(0), ..Default::default() },
             move |_, &e, _| {
                 TaskAttempt::Done(solve_point_direct(&run_dk, e, &cfg_t, None, cache.as_ref()))
             },

@@ -172,6 +172,16 @@ pub struct BatchOptions {
     pub keys: Option<Vec<u64>>,
     /// Overrides [`SchedulerConfig::max_retries`] for this batch.
     pub max_retries: Option<u32>,
+    /// Intra-batch dependencies (parallel to the item vector):
+    /// `deps[i] = Some(j)` holds task `i` back until task `j` has
+    /// *finished* — whatever its outcome; retries, quarantine and panic
+    /// fallbacks all count as finished, so a dependent is never stranded.
+    /// Every dependency must point backwards (`j < i`), which makes cycles
+    /// unrepresentable and lets the inline (nested-batch) path satisfy
+    /// dependencies by plain index order. The sweep's OBC/interior overlap
+    /// split rides on this: the Σ-prefetch task precedes its interior
+    /// solve in the item vector.
+    pub deps: Option<Vec<Option<u32>>>,
 }
 
 /// Order-sensitive stable key for [`BatchOptions::keys`] (splitmix64
@@ -293,6 +303,9 @@ struct Batch<T, R> {
     backoff_cap_ms: f64,
     deadline: Option<Duration>,
     keys: Option<Vec<u64>>,
+    /// Reverse dependency map: `dependents[j]` holds the tasks to enqueue
+    /// once task `j` finishes (empty for dependency-free batches).
+    dependents: Vec<Vec<u32>>,
     /// Per-worker deques: owner pops the front, thieves pop the back.
     deques: Vec<Mutex<VecDeque<Task>>>,
     /// Seeded victim permutation per worker.
@@ -348,6 +361,17 @@ impl<T: Send + Sync, R: Send> Batch<T, R> {
     }
 
     fn finish(&self, idx: usize, value: R, attempts: u32, panics: u32, quarantined: bool) {
+        // Release dependents before reporting: any outcome (success,
+        // quarantine, panic fallback) satisfies the dependency.
+        if let Some(waiters) = self.dependents.get(idx) {
+            for &d in waiters {
+                lock(&self.deques[d as usize % self.deques.len()]).push_back(Task {
+                    idx: d,
+                    attempt: 0,
+                    panics: 0,
+                });
+            }
+        }
         let report = TaskReport {
             value,
             attempts,
@@ -580,6 +604,20 @@ impl Scheduler {
         if let Some(keys) = &opts.keys {
             assert_eq!(keys.len(), n, "BatchOptions::keys must parallel the item vector");
         }
+        let mut dependents: Vec<Vec<u32>> = Vec::new();
+        if let Some(deps) = &opts.deps {
+            assert_eq!(deps.len(), n, "BatchOptions::deps must parallel the item vector");
+            dependents = vec![Vec::new(); n];
+            for (i, dep) in deps.iter().enumerate() {
+                if let Some(j) = dep {
+                    assert!(
+                        (*j as usize) < i,
+                        "BatchOptions::deps must point backwards (task {i} depends on {j})"
+                    );
+                    dependents[*j as usize].push(i as u32);
+                }
+            }
+        }
         let budgets = self.budgets(n, opts);
         if IN_POOL.with(|c| c.get()) {
             // A task is executing a nested batch on a pool thread:
@@ -596,7 +634,8 @@ impl Scheduler {
             backoff_cap_ms: self.cfg.backoff_cap_ms,
             deadline: opts.deadline_ms.map(|ms| Duration::from_secs_f64(ms.max(0.0) / 1000.0)),
             keys: opts.keys.clone(),
-            deques: seed_deques(n, self.cfg.workers),
+            dependents,
+            deques: seed_deques(n, self.cfg.workers, opts.deps.as_deref()),
             steal_order: steal_orders(self.cfg.workers, self.cfg.seed),
             delayed: Mutex::new(Vec::new()),
             inflight: (0..self.cfg.workers).map(|_| Mutex::new(None)).collect(),
@@ -751,10 +790,19 @@ impl Drop for Scheduler {
 
 /// Initial task distribution: round-robin over the worker deques, in
 /// canonical item order (owner pops the front, so worker `w` walks items
-/// `w, w + W, w + 2W, …` — stealing rebalances from the back).
-fn seed_deques(n: usize, workers: usize) -> Vec<Mutex<VecDeque<Task>>> {
+/// `w, w + W, w + 2W, …` — stealing rebalances from the back). Tasks with
+/// a dependency are held back; [`Batch::finish`] enqueues them when their
+/// dependency completes.
+fn seed_deques(
+    n: usize,
+    workers: usize,
+    deps: Option<&[Option<u32>]>,
+) -> Vec<Mutex<VecDeque<Task>>> {
     let mut deques: Vec<VecDeque<Task>> = (0..workers).map(|_| VecDeque::new()).collect();
     for idx in 0..n {
+        if deps.is_some_and(|d| d[idx].is_some()) {
+            continue;
+        }
         deques[idx % workers].push_back(Task { idx: idx as u32, attempt: 0, panics: 0 });
     }
     deques.into_iter().map(Mutex::new).collect()
@@ -1009,6 +1057,59 @@ mod tests {
             |_, _, _, _| 0,
         );
         assert_eq!(values(&reports), (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn dependent_tasks_run_after_their_dependency() {
+        for workers in [1usize, 3] {
+            let s = sched(workers);
+            let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+            let trace = order.clone();
+            let opts = BatchOptions {
+                deps: Some(vec![None, Some(0), None, Some(2), Some(1)]),
+                ..Default::default()
+            };
+            let reports = s.execute(
+                (0..5u64).collect(),
+                &opts,
+                move |idx, &x, _| {
+                    lock(&trace).push(idx);
+                    TaskAttempt::Done(x * 10)
+                },
+                |_, _, _, _| 0,
+            );
+            assert_eq!(values(&reports), vec![0, 10, 20, 30, 40]);
+            let ran = lock(&order).clone();
+            let pos = |i: usize| ran.iter().position(|&r| r == i).expect("every task ran");
+            assert!(pos(0) < pos(1), "1 depends on 0: {ran:?}");
+            assert!(pos(2) < pos(3), "3 depends on 2: {ran:?}");
+            assert!(pos(1) < pos(4), "4 depends on 1: {ran:?}");
+        }
+    }
+
+    #[test]
+    fn dependents_are_released_by_failed_dependencies() {
+        let s = sched(2);
+        let opts = BatchOptions {
+            deps: Some(vec![None, Some(0)]),
+            max_retries: Some(0),
+            ..Default::default()
+        };
+        let reports = s.execute(
+            vec![10u32, 11],
+            &opts,
+            |idx, &x, _| {
+                if idx == 0 {
+                    panic!("dependency failed");
+                }
+                TaskAttempt::Done(x)
+            },
+            |_, _, _, _| 100,
+        );
+        assert_eq!(reports[0].value, 100, "failed dependency falls back");
+        assert!(reports[0].quarantined);
+        assert_eq!(reports[1].value, 11, "dependent still runs after the failure");
+        assert!(!reports[1].quarantined);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::error::{TransportError, TransportResult};
 use crate::scheduler::{self, Scheduler};
 use crate::transport::{solve_point_robust_raw, METHOD_FAILED};
 use qtx_mpi::{run_world, Comm, CostModel};
+use qtx_obc::Side;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -323,7 +324,7 @@ impl PartialEq for SweepHealth {
 }
 
 impl SweepHealth {
-    fn from_records(
+    pub(crate) fn from_records(
         records: &[PointRecord],
         faults_injected: u64,
         stats: scheduler::BatchStats,
@@ -380,6 +381,32 @@ pub struct SweepResult {
     pub health: SweepHealth,
 }
 
+/// How the sweep groups energy points into scheduler tasks.
+///
+/// Batching amortizes the per-task fixed costs (deque traffic, inflight
+/// bookkeeping, one warm Σ-cache anchor and workspace pool per chunk) over
+/// neighboring energy points of the same momentum — the
+/// factorization-structure reuse of §5.B: consecutive points share the
+/// same block structure, so their solves profit from staying on one
+/// worker. Batching never changes *what* is computed: every point still
+/// solves independently, in canonical order within its chunk, and results
+/// are bit-identical to [`Batching::PerPoint`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Batching {
+    /// One scheduler task per energy point — the PR-6/7 fault-tolerance
+    /// semantics (per-point retries, quarantine and panic fallbacks) that
+    /// the fault battery pins. The default.
+    #[default]
+    PerPoint,
+    /// Chunk size from the `qtx-machine` FLOP ledger
+    /// ([`qtx_machine::DeadlineModel::batch_points`]): enough points per
+    /// task to fill the deadline floor, so paper-scale devices stay
+    /// per-point while small devices batch aggressively.
+    Auto,
+    /// Fixed number of points per task (clamped to ≥ 1).
+    Fixed(usize),
+}
+
 /// Knobs of [`parallel_sweep_resumable`]. Construct through
 /// [`SweepOptions::builder`] — the struct is `#[non_exhaustive]` so new
 /// knobs (like `cache`) can land without breaking downstream literals,
@@ -400,6 +427,11 @@ pub struct SweepOptions {
     pub scheduler: Option<Arc<Scheduler>>,
     /// Self-energy cache policy for the point solves.
     pub cache: CachePolicy,
+    /// Energy-point batching (see [`Batching`]). With a cache armed and
+    /// any non-[`Batching::PerPoint`] mode, each chunk additionally
+    /// splits into an OBC Σ-prefetch task and a dependent interior-solve
+    /// task, overlapping boundary and interior work across chunks.
+    pub batching: Batching,
 }
 
 impl SweepOptions {
@@ -447,6 +479,7 @@ pub struct SweepOptionsBuilder {
     max_new_points: Option<usize>,
     scheduler: Option<Arc<Scheduler>>,
     cache: CachePolicy,
+    batching: Batching,
 }
 
 impl SweepOptionsBuilder {
@@ -474,6 +507,12 @@ impl SweepOptionsBuilder {
         self
     }
 
+    /// Energy-point batching mode (see [`Batching`]).
+    pub fn batching(mut self, batching: Batching) -> Self {
+        self.batching = batching;
+        self
+    }
+
     /// Validates and produces the options.
     pub fn build(self) -> Result<SweepOptions, SweepOptionsError> {
         match self.max_new_points {
@@ -488,6 +527,7 @@ impl SweepOptionsBuilder {
             max_new_points: self.max_new_points,
             scheduler: self.scheduler,
             cache: self.cache,
+            batching: self.batching,
         })
     }
 }
@@ -527,15 +567,59 @@ pub fn parallel_sweep_resumable(
         todo.truncate(limit);
     }
 
-    // Compute phase: every new point solves on the supervised pool.
-    // Fault injection and cache counters are measured as deltas around
-    // this phase so a resumed run reports only its own share.
     let cache = opts.cache.resolve();
-    let cache_before = cache.as_ref().map(|c| c.stats());
+    let phase = solve_phase(dev, plan, todo, n_ranks, opts, cache.as_ref())?;
+    done.extend(phase.records);
+    done.sort_by_key(|r| (r.k_idx, r.e_idx));
+
+    // Persist raw (pre-interpolation) records: the resumed run re-derives
+    // interpolations over the full set, keeping the union bit-identical.
+    if let Some(path) = &opts.checkpoint {
+        checkpoint::save(path, plan, &done)?;
+    }
+
+    interpolate_failures(&mut done);
+    let health =
+        SweepHealth::from_records(&done, phase.faults_injected, phase.stats, phase.cache_delta);
+    Ok(finalize(done, health, phase.comm_seconds))
+}
+
+/// Output of one [`solve_phase`] round: the freshly computed records plus
+/// the run-scoped accounting deltas measured around the round.
+pub(crate) struct SolvePhase {
+    /// Decoded records for exactly the requested `todo` points.
+    pub records: Vec<PointRecord>,
+    /// Scheduler accounting for the round.
+    pub stats: scheduler::BatchStats,
+    /// Fault-injection draws that fired during the round.
+    pub faults_injected: u64,
+    /// `(hits, misses, interp_hits)` Σ-cache delta for the round.
+    pub cache_delta: (u64, u64, u64),
+    /// Virtual communication seconds (max over ranks).
+    pub comm_seconds: f64,
+}
+
+/// One compute + communication round: solves `todo` on the supervised
+/// pool, routes the finished records through the Fig. 9 rank topology
+/// (virtual comm cost only — no recomputation), and decodes the gathered
+/// frames. Both the plain resumable sweep and each adaptive-refinement
+/// round run through this single path, so a refined sweep inherits every
+/// robustness and determinism property of the flat one.
+pub(crate) fn solve_phase(
+    dev: &Device,
+    plan: &SweepPlan,
+    todo: Vec<(u32, u32)>,
+    n_ranks: usize,
+    opts: &SweepOptions,
+    cache: Option<&Arc<SigmaCache>>,
+) -> TransportResult<SolvePhase> {
+    // Fault injection and cache counters are measured as deltas around
+    // the round so a resumed run reports only its own share.
+    let cache_before = cache.map(|c| c.stats());
     let injected_before = qtx_linalg::fault::injected_total();
-    let (computed, stats) = compute_records(dev, plan, &todo, opts, cache.as_ref());
+    let (computed, stats) = compute_records(dev, plan, &todo, opts, cache);
     let faults_injected = qtx_linalg::fault::injected_total() - injected_before;
-    let cache_delta = match (&cache, cache_before) {
+    let cache_delta = match (cache, cache_before) {
         (Some(c), Some(before)) => {
             let after = c.stats();
             (
@@ -547,8 +631,6 @@ pub fn parallel_sweep_resumable(
         _ => (0, 0, 0),
     };
 
-    // Communication phase: the Fig. 9 rank topology encodes and gathers
-    // the finished records (virtual comm cost only — no recomputation).
     let todo: Arc<HashSet<(u32, u32)>> = Arc::new(todo.into_iter().collect());
     let records: Arc<HashMap<(u32, u32), PointRecord>> =
         Arc::new(computed.into_iter().map(|r| ((r.k_idx, r.e_idx), r)).collect());
@@ -570,43 +652,71 @@ pub fn parallel_sweep_resumable(
             fresh.push(PointRecord::decode(frame).map_err(TransportError::Payload)?);
         }
     }
-    done.extend(fresh);
-    done.sort_by_key(|r| (r.k_idx, r.e_idx));
-
-    // Persist raw (pre-interpolation) records: the resumed run re-derives
-    // interpolations over the full set, keeping the union bit-identical.
-    if let Some(path) = &opts.checkpoint {
-        checkpoint::save(path, plan, &done)?;
-    }
-
-    interpolate_failures(&mut done);
-    let health = SweepHealth::from_records(&done, faults_injected, stats, cache_delta);
-    Ok(finalize(done, health, comm_seconds))
+    Ok(SolvePhase { records: fresh, stats, faults_injected, cache_delta, comm_seconds })
 }
 
-/// One scheduler task: a sweep point plus the shared per-momentum
-/// structure it solves against.
-struct PointTask {
+/// One scheduler chunk: a run of consecutive energy points of one
+/// momentum, plus the shared structure they solve against. With
+/// [`Batching::PerPoint`] every chunk holds exactly one point and the
+/// scheduler semantics reduce to the historical per-point contract.
+struct ChunkSpec {
     k_idx: u32,
-    e_idx: u32,
     kz: f64,
     w: f64,
-    e: f64,
+    /// `(e_idx, energy)` pairs, canonical (ascending `e_idx`) order.
+    points: Vec<(u32, f64)>,
     dk: Arc<crate::device::DeviceK>,
     cfg: crate::device::TransportConfig,
     cache: Option<CacheHandle>,
 }
 
+impl ChunkSpec {
+    /// Warms the Σ-cache for every point of the chunk at the first-rung
+    /// parameters (η = 0, the configured OBC method) — exactly the keys
+    /// the interior solve's ladder hits first. Failures are ignored: the
+    /// solve task re-derives (and properly reports) any Σ this pass could
+    /// not produce.
+    fn prefetch_sigma(&self) {
+        for &(_, e) in &self.points {
+            let _ = crate::cache::cached_self_energy(
+                self.cache.as_ref(),
+                &self.dk.lead_l,
+                e,
+                0.0,
+                Side::Left,
+                self.cfg.obc,
+            );
+            let _ = crate::cache::cached_self_energy(
+                self.cache.as_ref(),
+                &self.dk.lead_r,
+                e,
+                0.0,
+                Side::Right,
+                self.cfg.obc,
+            );
+        }
+    }
+}
+
+/// The two task flavors of the compute phase. A `Sigma` task prefetches a
+/// chunk's boundary self-energies into the shared cache; its dependent
+/// `Solve` task then runs the interior solves with warm Σ anchors —
+/// overlapping one chunk's OBC work with another's interior work.
+enum SweepTask {
+    Sigma(Arc<ChunkSpec>),
+    Solve(Arc<ChunkSpec>),
+}
+
 /// One robust point solve, packaged for the wire.
-fn solve_record(t: &PointTask) -> PointRecord {
-    let rs = solve_point_robust_raw(&t.dk, t.e, &t.cfg, t.cache.as_ref());
+fn solve_record(c: &ChunkSpec, e_idx: u32, e: f64) -> PointRecord {
+    let rs = solve_point_robust_raw(&c.dk, e, &c.cfg, c.cache.as_ref());
     let o = rs.outcome;
     PointRecord {
-        k_idx: t.k_idx,
-        e_idx: t.e_idx,
-        kz: t.kz,
-        w: t.w,
-        e: t.e,
+        k_idx: c.k_idx,
+        e_idx,
+        kz: c.kz,
+        w: c.w,
+        e,
         t: rs.result.as_ref().map_or(f64::NAN, |r| r.transmission),
         method: o.method_used,
         status: if o.method_used == METHOD_FAILED { STATUS_FAILED } else { STATUS_OK },
@@ -622,13 +732,13 @@ fn solve_record(t: &PointTask) -> PointRecord {
 /// Wire record for a point whose every scheduler attempt panicked: the
 /// solve never returned, so no ladder diagnostics exist — the point is
 /// failed and the interpolation path takes over.
-fn panic_record(t: &PointTask, attempts: u32) -> PointRecord {
+fn panic_record(c: &ChunkSpec, e_idx: u32, e: f64, attempts: u32) -> PointRecord {
     PointRecord {
-        k_idx: t.k_idx,
-        e_idx: t.e_idx,
-        kz: t.kz,
-        w: t.w,
-        e: t.e,
+        k_idx: c.k_idx,
+        e_idx,
+        kz: c.kz,
+        w: c.w,
+        e,
         t: f64::NAN,
         method: METHOD_FAILED,
         status: STATUS_FAILED,
@@ -669,63 +779,131 @@ fn compute_records(
     let sched: Arc<Scheduler> =
         opts.scheduler.clone().unwrap_or_else(|| scheduler::global().clone());
     // One folded-device build (and one pair of lead content hashes) per
-    // momentum, shared across its points.
+    // momentum, shared across its points. Consecutive same-k runs of the
+    // canonical todo list chunk into scheduler tasks.
     let mut dks: HashMap<u32, (Arc<crate::device::DeviceK>, Option<CacheHandle>)> = HashMap::new();
-    let tasks: Vec<PointTask> = todo
-        .iter()
-        .map(|&(k_idx, e_idx)| {
-            let (kz, w) = plan.k_points[k_idx as usize];
-            let (dk, handle) = dks
-                .entry(k_idx)
-                .or_insert_with(|| {
-                    let dk = Arc::new(dev.at_kz(kz));
-                    let handle = cache.map(|c| CacheHandle::for_dk(c.clone(), &dk));
-                    (dk, handle)
-                })
-                .clone();
-            PointTask {
+    let mut chunks: Vec<Arc<ChunkSpec>> = Vec::new();
+    let mut i = 0usize;
+    while i < todo.len() {
+        let k_idx = todo[i].0;
+        let mut j = i;
+        while j < todo.len() && todo[j].0 == k_idx {
+            j += 1;
+        }
+        let (kz, w) = plan.k_points[k_idx as usize];
+        let (dk, handle) = dks
+            .entry(k_idx)
+            .or_insert_with(|| {
+                let dk = Arc::new(dev.at_kz(kz));
+                let handle = cache.map(|c| CacheHandle::for_dk(c.clone(), &dk));
+                (dk, handle)
+            })
+            .clone();
+        let size = match opts.batching {
+            Batching::PerPoint => 1,
+            Batching::Fixed(n) => n.max(1),
+            Batching::Auto => {
+                let s = dk.h.block_size();
+                qtx_machine::DeadlineModel::default().batch_points(s, dk.h.num_blocks(), s)
+            }
+        };
+        for run in todo[i..j].chunks(size) {
+            let points = run
+                .iter()
+                .map(|&(_, e_idx)| (e_idx, plan.energies[k_idx as usize][e_idx as usize]))
+                .collect();
+            chunks.push(Arc::new(ChunkSpec {
                 k_idx,
-                e_idx,
                 kz,
                 w,
-                e: plan.energies[k_idx as usize][e_idx as usize],
-                dk,
+                points,
+                dk: dk.clone(),
                 cfg: dev.config,
-                cache: handle,
-            }
-        })
-        .collect();
+                cache: handle.clone(),
+            }));
+        }
+        i = j;
+    }
+    // OBC/interior overlap: with a cache to carry the prefetched Σ and any
+    // batching beyond the pinned per-point contract, every chunk splits
+    // into a Σ-prefetch task and a dependent interior-solve task.
+    let overlap = !matches!(opts.batching, Batching::PerPoint) && cache.is_some();
+    /// Salts Σ-task keys away from their solve task's quarantine key.
+    const SIGMA_KEY_SALT: u64 = 0x0051_063A_0BC0_FFEE;
+    let mut items: Vec<SweepTask> = Vec::with_capacity(chunks.len() * if overlap { 2 } else { 1 });
+    let mut keys: Vec<u64> = Vec::with_capacity(items.capacity());
+    let mut deps: Vec<Option<u32>> = Vec::with_capacity(items.capacity());
+    let mut max_len = 1usize;
+    for c in &chunks {
+        max_len = max_len.max(c.points.len());
+        // Quarantine keys on the chunk's math identity (not plan indices),
+        // matching how the fault harness keys its draws; a 1-point chunk
+        // reproduces the historical per-point key exactly.
+        let mut parts = vec![c.kz];
+        parts.extend(c.points.iter().map(|&(_, e)| e));
+        let solve_key = scheduler::stable_key(&parts);
+        if overlap {
+            items.push(SweepTask::Sigma(c.clone()));
+            keys.push(solve_key ^ SIGMA_KEY_SALT);
+            deps.push(None);
+            let sigma_idx = (items.len() - 1) as u32;
+            items.push(SweepTask::Solve(c.clone()));
+            keys.push(solve_key);
+            deps.push(Some(sigma_idx));
+        } else {
+            items.push(SweepTask::Solve(c.clone()));
+            keys.push(solve_key);
+            deps.push(None);
+        }
+    }
     let batch = scheduler::BatchOptions {
-        deadline_ms: Some(point_deadline_ms(&tasks[0].dk)),
-        // Quarantine keys on the point's math identity (not plan indices),
-        // matching how the fault harness keys its draws.
-        keys: Some(tasks.iter().map(|t| scheduler::stable_key(&[t.kz, t.e])).collect()),
+        deadline_ms: Some(point_deadline_ms(&chunks[0].dk) * max_len as f64),
+        keys: Some(keys),
         max_retries: None,
+        deps: if overlap { Some(deps) } else { None },
     };
     let reports = sched.execute(
-        tasks,
+        items,
         &batch,
-        |_, t, attempt| {
-            // Opt-in injected panic site: fires *before* the ladder so the
-            // pool's catch_unwind is what must absorb it. The attempt
-            // number enters the key — a retry re-draws.
-            if qtx_linalg::fault::should_fail(
-                "sched_panic",
-                qtx_linalg::fault::key_of(&[t.kz, t.e, attempt as f64]),
-            ) {
-                panic!("injected scheduler panic at E={} kz={} attempt {attempt}", t.e, t.kz);
+        |_, task, attempt| match task {
+            SweepTask::Sigma(c) => {
+                c.prefetch_sigma();
+                scheduler::TaskAttempt::Done(Vec::new())
             }
-            let record = solve_record(t);
-            if record.status == STATUS_FAILED {
-                scheduler::TaskAttempt::Retry(record)
-            } else {
-                scheduler::TaskAttempt::Done(record)
+            SweepTask::Solve(c) => {
+                let mut records = Vec::with_capacity(c.points.len());
+                let mut any_failed = false;
+                for &(e_idx, e) in &c.points {
+                    // Opt-in injected panic site: fires *before* the
+                    // ladder so the pool's catch_unwind is what must
+                    // absorb it. The attempt number enters the key — a
+                    // retry re-draws.
+                    if qtx_linalg::fault::should_fail(
+                        "sched_panic",
+                        qtx_linalg::fault::key_of(&[c.kz, e, attempt as f64]),
+                    ) {
+                        panic!("injected scheduler panic at E={e} kz={} attempt {attempt}", c.kz);
+                    }
+                    let record = solve_record(c, e_idx, e);
+                    any_failed |= record.status == STATUS_FAILED;
+                    records.push(record);
+                }
+                if any_failed {
+                    scheduler::TaskAttempt::Retry(records)
+                } else {
+                    scheduler::TaskAttempt::Done(records)
+                }
             }
         },
-        |_, t, attempts, _err| panic_record(t, attempts),
+        |_, task, attempts, _err| match task {
+            SweepTask::Sigma(_) => Vec::new(),
+            SweepTask::Solve(c) => {
+                c.points.iter().map(|&(e_idx, e)| panic_record(c, e_idx, e, attempts)).collect()
+            }
+        },
     );
     let stats = scheduler::stats_of(&reports);
-    (reports.into_iter().map(|r| r.value).collect(), stats)
+    (reports.into_iter().flat_map(|r| r.value).collect(), stats)
 }
 
 /// Fig. 9 hierarchy: k-groups sized by workload, energies round-robin
@@ -819,7 +997,7 @@ fn collect_outputs(outputs: Vec<(Option<Vec<Vec<u8>>>, f64)>) -> (Vec<Vec<u8>>, 
 /// solved points, nearest-value extrapolation at the grid edges. The
 /// recorded bound is the transmission variation between the sources —
 /// honest for the smooth-between-resonances spectra these grids resolve.
-fn interpolate_failures(records: &mut [PointRecord]) {
+pub(crate) fn interpolate_failures(records: &mut [PointRecord]) {
     let n = records.len();
     let mut i = 0;
     while i < n {
@@ -864,7 +1042,11 @@ fn interpolate_failures(records: &mut [PointRecord]) {
     }
 }
 
-fn finalize(records: Vec<PointRecord>, health: SweepHealth, comm_seconds: f64) -> SweepResult {
+pub(crate) fn finalize(
+    records: Vec<PointRecord>,
+    health: SweepHealth,
+    comm_seconds: f64,
+) -> SweepResult {
     let samples: Vec<(f64, f64, f64, f64)> =
         records.iter().map(|r| (r.kz, r.w, r.e, r.t)).collect();
     // k-summed spectrum over usable (solved or interpolated) points.

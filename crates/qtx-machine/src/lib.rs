@@ -23,5 +23,5 @@ pub use experiments::{
     fig11_table23, fig12_power, fig7_strong, fig7_weak, fig8_comparison, PowerReport, ScalingRow,
     SolverComparison,
 };
-pub use perfmodel::{DeadlineModel, PaperDevice, PerfModel};
+pub use perfmodel::{DeadlineModel, PaperDevice, PerfModel, MAX_BATCH_POINTS};
 pub use specs::{MachineSpec, PIZ_DAINT, TITAN};

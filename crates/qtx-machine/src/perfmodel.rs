@@ -357,7 +357,25 @@ impl DeadlineModel {
             / (self.sustained_gflops.max(1e-9) * 1e6);
         (est_ms * self.slack).max(self.floor_ms)
     }
+
+    /// Points per factorization-sharing scheduler task for the sweep's
+    /// batched mode: how many neighboring energy points of this structure
+    /// fit into one deadline floor at the sustained rate. Small systems
+    /// (estimate ≪ floor) batch up to [`MAX_BATCH_POINTS`] so one task
+    /// amortizes the warm workspace pool and Σ-cache anchors across its
+    /// chunk; a paper-scale block already fills the floor alone and gets
+    /// one point per task.
+    pub fn batch_points(&self, block_size: usize, num_blocks: usize, nrhs: usize) -> usize {
+        let est_ms = Self::point_flops(block_size, num_blocks, nrhs)
+            / (self.sustained_gflops.max(1e-9) * 1e6);
+        ((self.floor_ms / est_ms.max(1e-9)) as usize).clamp(1, MAX_BATCH_POINTS)
+    }
 }
+
+/// Ceiling of [`DeadlineModel::batch_points`]: past this, a chunk stops
+/// amortizing anything and only coarsens the scheduler's stealing/retry
+/// granularity.
+pub const MAX_BATCH_POINTS: usize = 16;
 
 #[cfg(test)]
 mod tests {
@@ -434,6 +452,18 @@ mod tests {
         let big = dm.soft_deadline_ms(3840, 72, 64);
         assert!(big > dm.floor_ms * 100.0, "paper-scale deadline {big} ms too small");
         assert!(dm.soft_deadline_ms(3840, 144, 64) > 1.9 * big);
+    }
+
+    #[test]
+    fn batch_points_scale_with_structure() {
+        let dm = DeadlineModel::default();
+        // Tiny test structures batch up to the cap.
+        assert_eq!(dm.batch_points(8, 3, 8), MAX_BATCH_POINTS);
+        // Paper-scale structures fill the floor alone: one point per task.
+        assert_eq!(dm.batch_points(3840, 72, 64), 1);
+        // Monotone: larger structures never batch more.
+        assert!(dm.batch_points(128, 16, 128) >= dm.batch_points(512, 16, 512));
+        assert!(dm.batch_points(512, 16, 512) >= 1);
     }
 
     #[test]
